@@ -1,0 +1,92 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once, prints the same rows/series the paper reports (so the
+output can be compared side by side with the publication), asserts the
+qualitative *shape* (who wins, rough factors, crossovers), and hands a
+representative kernel to pytest-benchmark for timing.
+
+Absolute numbers are not expected to match the authors' ASTRA-sim testbed;
+EXPERIMENTS.md records paper-vs-measured for every experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core import Libra, Scheme
+from repro.core.results import DesignPoint
+from repro.topology import MultiDimNetwork, get_topology
+from repro.utils import gbps
+from repro.workloads import build_workload
+
+#: The Fig. 13/14 sweep range: 100–1,000 GB/s per NPU (Sec. VI-A).
+BW_SWEEP_GBPS: tuple[int, ...] = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Fixed-width table printer for benchmark reports."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * width for width in widths))
+    for row in materialized:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def optimize_workload(
+    workload_name: str,
+    topology_name: str,
+    total_bw_gbps: float,
+    scheme: Scheme,
+) -> tuple[DesignPoint, DesignPoint]:
+    """(optimized point, EqualBW baseline) for one sweep cell."""
+    network = get_topology(topology_name)
+    libra = Libra(network)
+    libra.add_workload(build_workload(workload_name, network.num_npus))
+    constraints = libra.constraints().with_total_bandwidth(gbps(total_bw_gbps))
+    optimized = libra.optimize(scheme, constraints)
+    baseline = libra.equal_bw_point(gbps(total_bw_gbps))
+    return optimized, baseline
+
+
+def sweep_speedups(
+    workload_name: str,
+    topology_name: str,
+    scheme: Scheme,
+    bw_points: Sequence[int] = BW_SWEEP_GBPS,
+) -> list[tuple[int, float, float]]:
+    """Rows of (BW GB/s, speedup over EqualBW, perf-per-cost over EqualBW)."""
+    rows = []
+    for bw in bw_points:
+        optimized, baseline = optimize_workload(workload_name, topology_name, bw, scheme)
+        rows.append(
+            (
+                bw,
+                optimized.speedup_over(baseline),
+                optimized.perf_per_cost_gain_over(baseline),
+            )
+        )
+    return rows
+
+
+def merged_2d_topology() -> MultiDimNetwork:
+    """The 2D companion of 4D-4K: all scale-up dims merged (Fig. 10)."""
+    return MultiDimNetwork.from_notation("RI(128)_SW(32)", name="2D-4K")

@@ -1,0 +1,65 @@
+"""Ablation — training loops (Fig. 5(b) vs Fig. 5(c), DESIGN.md §5).
+
+Quantifies what the TP-DP overlap loop buys on the evaluation workloads,
+and verifies that the optimizer exploits the overlap structure: under the
+overlap loop, DP bandwidth demand can hide behind TP communication, so the
+optimal allocation shifts.
+"""
+
+import pytest
+
+from _common import print_header, print_table
+from repro.core import Libra, Scheme
+from repro.topology import get_topology
+from repro.training import NoOverlapLoop, TPDPOverlapLoop
+from repro.utils import gbps
+from repro.workloads import build_workload
+
+
+def run_cell(workload_name: str, loop):
+    network = get_topology("4D-4K")
+    libra = Libra(network, loop=loop)
+    libra.add_workload(build_workload(workload_name, 4096))
+    constraints = libra.constraints().with_total_bandwidth(gbps(500))
+    optimized = libra.optimize(Scheme.PERF_OPT, constraints)
+    baseline = libra.equal_bw_point(gbps(500))
+    return optimized, baseline
+
+
+def test_ablation_loops(benchmark):
+    print_header("Ablation — No-Overlap vs TP-DP-Overlap loop (4D-4K @ 500 GB/s)")
+    rows = []
+    for name in ("GPT-3", "MSFT-1T"):
+        sequential, sequential_base = run_cell(name, NoOverlapLoop())
+        overlapped, overlapped_base = run_cell(name, TPDPOverlapLoop())
+        overlap_gain = sequential.step_time(name) / overlapped.step_time(name)
+        rows.append(
+            (
+                name,
+                f"{sequential.step_time(name) * 1e3:.1f} ms",
+                f"{overlapped.step_time(name) * 1e3:.1f} ms",
+                f"{overlap_gain:.3f}x",
+                ", ".join(f"{b:.0f}" for b in sequential.bandwidths_gbps()),
+                ", ".join(f"{b:.0f}" for b in overlapped.bandwidths_gbps()),
+            )
+        )
+        # Overlap never hurts an optimized design.
+        assert overlapped.step_time(name) <= sequential.step_time(name) * 1.0001
+        # Both loops still beat their own EqualBW baselines.
+        assert overlapped.speedup_over(overlapped_base) >= 1.0 - 1e-6
+        assert sequential.speedup_over(sequential_base) >= 1.0 - 1e-6
+    print_table(
+        [
+            "workload",
+            "no-overlap (opt)",
+            "tp-dp-overlap (opt)",
+            "overlap gain",
+            "no-overlap split",
+            "overlap split",
+        ],
+        rows,
+    )
+
+    benchmark.pedantic(
+        lambda: run_cell("GPT-3", TPDPOverlapLoop()), rounds=3, iterations=1
+    )

@@ -1,0 +1,85 @@
+"""Ablation — solver paths (DESIGN.md §5.1).
+
+PerfOptBW is convex after epigraph reformulation, so three independent
+routes must agree:
+
+1. the closed-form water-filling solution (exact for a single collective
+   under a pure budget);
+2. the epigraph-compiled SLSQP solver;
+3. brute-force simplex grid search over allocations.
+
+This bench cross-checks them on single- and multi-collective instances and
+times the production path.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from _common import print_header, print_table
+from repro.core import ConstraintSet, minimize_training_time
+from repro.training.expr import CommTerm, Sum
+from repro.utils import gbps
+
+
+def single_collective_instance():
+    return CommTerm(((0, gbps(300)), (1, gbps(120)), (2, gbps(30))))
+
+
+def multi_collective_instance():
+    return Sum(
+        (
+            CommTerm(((0, gbps(500)), (1, gbps(50)))),
+            CommTerm(((1, gbps(90)), (2, gbps(40)))),
+            CommTerm(((0, gbps(60)), (2, gbps(60)))),
+        )
+    )
+
+
+def grid_search(expr, total: float, resolution: int = 40) -> float:
+    """Brute-force best objective over the 3-simplex at ``resolution`` steps."""
+    best = float("inf")
+    for i, j in itertools.product(range(1, resolution), repeat=2):
+        k = resolution - i - j
+        if k < 1:
+            continue
+        bandwidths = [total * i / resolution, total * j / resolution, total * k / resolution]
+        best = min(best, expr.evaluate(bandwidths))
+    return best
+
+
+def test_ablation_solver(benchmark):
+    total = gbps(450)
+    rows = []
+
+    # --- path 1 vs 2: water-filling is the solver's answer on one collective.
+    expr = single_collective_instance()
+    constraints = ConstraintSet(3).with_total_bandwidth(total)
+    solved = minimize_training_time(expr, constraints)
+    traffic = np.array([coeff for _, coeff in expr.coefficients])
+    waterfilled = total * traffic / traffic.sum()
+    analytic_objective = expr.evaluate(waterfilled)
+    rows.append(
+        ("single collective", "water-filling", analytic_objective)
+    )
+    rows.append(("single collective", "epigraph SLSQP", solved.objective))
+    assert solved.objective == pytest.approx(analytic_objective, rel=1e-4)
+    np.testing.assert_allclose(solved.bandwidths, waterfilled, rtol=1e-3)
+
+    # --- path 2 vs 3: grid search cannot beat the solver.
+    expr = multi_collective_instance()
+    constraints = ConstraintSet(3).with_total_bandwidth(total)
+    solved = minimize_training_time(expr, constraints)
+    gridded = grid_search(expr, total)
+    rows.append(("three collectives", "epigraph SLSQP", solved.objective))
+    rows.append(("three collectives", "grid search (40 steps)", gridded))
+    assert solved.objective <= gridded * 1.001
+
+    print_header("Ablation — solver path agreement (objective seconds)")
+    print_table(["instance", "method", "objective"], rows)
+
+    benchmark(lambda: minimize_training_time(
+        multi_collective_instance(),
+        ConstraintSet(3).with_total_bandwidth(total),
+    ))

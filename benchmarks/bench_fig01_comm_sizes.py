@@ -1,0 +1,64 @@
+"""Fig. 1 — communication sizes for model training across 1,024 NPUs.
+
+The paper plots the total communication volume per training step (FP16) for
+models from ResNet-50 up to MSFT-1T, spanning from tens of MB to the TB
+range. This bench regenerates the series from the workload models and
+asserts the ordering and the orders-of-magnitude spread.
+
+Batch accounting: Fig. 1 uses a minibatch of 32 per model replica (the
+paper's DP setting), so the TP-parallel LLMs are built here with
+``microbatch = 32`` as well — one training step processes the full
+minibatch, and TP activation all-reduces scale with it.
+"""
+
+from dataclasses import replace
+
+from _common import print_header, print_table
+from repro.utils import bytes_to_mb
+from repro.workloads import (
+    GPT3_CONFIG,
+    MSFT_1T_CONFIG,
+    TP_SIZES,
+    Parallelism,
+    build_transformer,
+    build_workload,
+)
+
+#: Plot order follows the paper's timeline (small → large models).
+SERIES = ("ResNet-50", "DLRM", "Turing-NLG", "GPT-3", "MSFT-1T")
+
+_FIG1_CONFIGS = {
+    "GPT-3": replace(GPT3_CONFIG, microbatch=32),
+    "MSFT-1T": replace(MSFT_1T_CONFIG, microbatch=32),
+}
+
+
+def comm_size_mb(name: str) -> float:
+    num_npus = 1024
+    config = _FIG1_CONFIGS.get(name)
+    if config is None:
+        workload = build_workload(name, num_npus)
+    else:
+        tp = TP_SIZES[name]
+        workload = build_transformer(config, Parallelism(tp, num_npus // tp))
+    return bytes_to_mb(workload.total_comm_bytes)
+
+
+def test_fig01_comm_sizes(benchmark):
+    print_header("Fig. 1 — total communication per training step @ 1,024 NPUs (FP16)")
+    sizes = {name: comm_size_mb(name) for name in SERIES}
+    print_table(
+        ["workload", "comm size (MB)"],
+        [(name, f"{sizes[name]:,.1f}") for name in SERIES],
+    )
+
+    # Shape: monotone growth from vision/recommendation to trillion-parameter
+    # LLMs, spanning several orders of magnitude (the paper shows ~10 MB at
+    # the low end and ~1 TB at the top).
+    ordered = [sizes[name] for name in SERIES]
+    assert ordered == sorted(ordered)
+    assert sizes["MSFT-1T"] / sizes["ResNet-50"] > 1e3
+    assert sizes["MSFT-1T"] > 1e5  # approaching the TB regime
+    assert sizes["GPT-3"] > 1e4  # tens of GB and up
+
+    benchmark(lambda: comm_size_mb("GPT-3"))

@@ -1,0 +1,61 @@
+"""Fig. 13 — end-to-end training speedup over EqualBW, BW sweep 100–1,000 GB/s.
+
+Six panels: {Turing-NLG, GPT-3, MSFT-1T} × {3D-4K, 4D-4K}, each sweeping the
+per-NPU bandwidth budget and plotting the speedup of PerfOptBW and
+PerfPerCostOptBW networks over the EqualBW baseline. Paper headline:
+PerfOptBW averages 1.23× (max 2.00×); PerfPerCostOptBW may dip below 1×
+(it trades speed for cost).
+"""
+
+import statistics
+
+import pytest
+
+from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table
+from repro.core import Scheme
+
+PANELS = [
+    (workload, topology)
+    for workload in ("Turing-NLG", "GPT-3", "MSFT-1T")
+    for topology in ("3D-4K", "4D-4K")
+]
+
+
+def run_panel(workload: str, topology: str) -> list[tuple[int, float, float]]:
+    """Rows of (BW, PerfOpt speedup, PerfPerCostOpt speedup)."""
+    rows = []
+    for bw in BW_SWEEP_GBPS:
+        perf, baseline = optimize_workload(workload, topology, bw, Scheme.PERF_OPT)
+        ppc, _ = optimize_workload(workload, topology, bw, Scheme.PERF_PER_COST_OPT)
+        rows.append(
+            (bw, perf.speedup_over(baseline), ppc.speedup_over(baseline))
+        )
+    return rows
+
+
+def test_fig13_speedup_sweep(benchmark):
+    all_perf_speedups = []
+    for workload, topology in PANELS:
+        rows = run_panel(workload, topology)
+        print_header(f"Fig. 13 — {workload} + {topology}: speedup over EqualBW")
+        print_table(["BW (GB/s)", "PerfOptBW", "PerfPerCostOptBW"], rows)
+        for _, perf_speedup, _ in rows:
+            all_perf_speedups.append(perf_speedup)
+            # PerfOpt never loses to EqualBW (same constraint set).
+            assert perf_speedup >= 1.0 - 1e-6
+
+    mean_speedup = statistics.mean(all_perf_speedups)
+    max_speedup = max(all_perf_speedups)
+    print_header("Fig. 13 summary")
+    print(f"PerfOptBW speedup: mean {mean_speedup:.2f}x, max {max_speedup:.2f}x")
+    print("paper reference:   mean 1.23x, max 2.00x")
+
+    # Shape: meaningful average gain and a pronounced best case.
+    assert mean_speedup > 1.05
+    assert max_speedup > 1.3
+
+    benchmark.pedantic(
+        lambda: optimize_workload("GPT-3", "4D-4K", 500, Scheme.PERF_OPT),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,69 @@
+"""Fig. 14 — perf-per-cost benefit over EqualBW, BW sweep 100–1,000 GB/s.
+
+Same six panels as Fig. 13, measuring perf-per-cost (1 / (time × dollars))
+relative to the EqualBW baseline. Paper headline: PerfOptBW averages 5.40×
+(max 12.24×); PerfPerCostOptBW averages 9.16× (max 13.02×) and wins every
+design point.
+"""
+
+import statistics
+
+import pytest
+
+from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table
+from repro.core import Scheme
+
+PANELS = [
+    (workload, topology)
+    for workload in ("Turing-NLG", "GPT-3", "MSFT-1T")
+    for topology in ("3D-4K", "4D-4K")
+]
+
+
+def run_panel(workload: str, topology: str) -> list[tuple[int, float, float]]:
+    rows = []
+    for bw in BW_SWEEP_GBPS:
+        perf, baseline = optimize_workload(workload, topology, bw, Scheme.PERF_OPT)
+        ppc, _ = optimize_workload(workload, topology, bw, Scheme.PERF_PER_COST_OPT)
+        rows.append(
+            (
+                bw,
+                perf.perf_per_cost_gain_over(baseline),
+                ppc.perf_per_cost_gain_over(baseline),
+            )
+        )
+    return rows
+
+
+def test_fig14_perf_per_cost(benchmark):
+    perf_gains = []
+    ppc_gains = []
+    for workload, topology in PANELS:
+        rows = run_panel(workload, topology)
+        print_header(f"Fig. 14 — {workload} + {topology}: perf-per-cost over EqualBW")
+        print_table(["BW (GB/s)", "PerfOptBW", "PerfPerCostOptBW"], rows)
+        for _, perf_gain, ppc_gain in rows:
+            perf_gains.append(perf_gain)
+            ppc_gains.append(ppc_gain)
+            # PerfPerCostOptBW wins its own metric at every design point.
+            assert ppc_gain >= perf_gain * 0.999
+            assert ppc_gain >= 1.0 - 1e-6
+
+    print_header("Fig. 14 summary")
+    print(
+        f"perf-per-cost gain: PerfOpt mean {statistics.mean(perf_gains):.2f}x "
+        f"(max {max(perf_gains):.2f}x), "
+        f"PerfPerCostOpt mean {statistics.mean(ppc_gains):.2f}x "
+        f"(max {max(ppc_gains):.2f}x)"
+    )
+    print("paper reference:    PerfOpt mean 5.40x (max 12.24x), "
+          "PerfPerCostOpt mean 9.16x (max 13.02x)")
+
+    assert statistics.mean(ppc_gains) > 2.0
+    assert max(ppc_gains) > 4.0
+
+    benchmark.pedantic(
+        lambda: optimize_workload("GPT-3", "4D-4K", 500, Scheme.PERF_PER_COST_OPT),
+        rounds=3,
+        iterations=1,
+    )

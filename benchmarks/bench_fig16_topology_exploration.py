@@ -1,0 +1,60 @@
+"""Fig. 16 — MSFT-1T across 3D-512, 3D-1K, and 4D-2K topologies.
+
+LIBRA supports arbitrary shapes and scales; this bench reruns the Fig. 13/14
+analysis for the three smaller Table III networks, normalized to each
+network's own EqualBW baseline.
+"""
+
+import pytest
+
+from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table
+from repro.core import Scheme
+
+TOPOLOGIES = ("3D-512", "3D-1K", "4D-2K")
+
+
+def run_panel(topology: str):
+    rows = []
+    for bw in BW_SWEEP_GBPS:
+        perf, baseline = optimize_workload("MSFT-1T", topology, bw, Scheme.PERF_OPT)
+        ppc, _ = optimize_workload("MSFT-1T", topology, bw, Scheme.PERF_PER_COST_OPT)
+        rows.append(
+            (
+                bw,
+                perf.speedup_over(baseline),
+                ppc.speedup_over(baseline),
+                perf.perf_per_cost_gain_over(baseline),
+                ppc.perf_per_cost_gain_over(baseline),
+            )
+        )
+    return rows
+
+
+def test_fig16_topology_exploration(benchmark):
+    for topology in TOPOLOGIES:
+        rows = run_panel(topology)
+        print_header(f"Fig. 16 — MSFT-1T on {topology}")
+        print_table(
+            [
+                "BW (GB/s)",
+                "PerfOpt speedup",
+                "PerfPerCost speedup",
+                "PerfOpt ppc",
+                "PerfPerCost ppc",
+            ],
+            rows,
+        )
+        best_speedup = max(row[1] for row in rows)
+        best_ppc = max(row[4] for row in rows)
+        # Every topology shows gains from workload-aware allocation.
+        assert best_speedup > 1.05
+        assert best_ppc > 1.2
+        for _, perf_speedup, _, perf_ppc, ppc_ppc in rows:
+            assert perf_speedup >= 1.0 - 1e-6
+            assert ppc_ppc >= perf_ppc * 0.999
+
+    benchmark.pedantic(
+        lambda: optimize_workload("MSFT-1T", "4D-2K", 500, Scheme.PERF_OPT),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Table I + Fig. 12 — the network cost model and its worked example.
+
+Regenerates the Table I price grid and the Fig. 12 cost walkthrough
+(3 NPUs behind one inter-Pod switch at 10 GB/s → $1,722) and verifies the
+line items exactly.
+"""
+
+import pytest
+
+from _common import print_header, print_table
+from repro.cost import cost_breakdown, default_cost_model, network_cost
+from repro.topology import MultiDimNetwork, NetworkTier, switch
+from repro.utils import gbps
+
+
+def fig12_network() -> MultiDimNetwork:
+    return MultiDimNetwork(blocks=(switch(3),), tiers=(NetworkTier.POD,))
+
+
+def test_table1_cost_model(benchmark):
+    model = default_cost_model()
+
+    print_header("Table I — cost model ($/GBps, lowest value per entry)")
+    rows = []
+    for tier in NetworkTier:
+        price = model.tier_cost(tier)
+        rows.append(
+            (
+                f"inter-{tier.value.capitalize()}",
+                price.link,
+                price.switch if price.switch is not None else "-",
+                price.nic if price.nic is not None else "-",
+            )
+        )
+    print_table(["tier", "link", "switch", "NIC"], rows)
+
+    print_header("Fig. 12 — worked example: 3-NPU inter-Pod switch @ 10 GB/s")
+    network = fig12_network()
+    (entry,) = cost_breakdown(network, [gbps(10)], model)
+    print_table(
+        ["component", "dollars"],
+        [
+            ("links (3 × $7.8 × 10)", entry.link),
+            ("switch ($18 × 3 × 10)", entry.switch),
+            ("NICs (3 × $31.6 × 10)", entry.nic),
+            ("total", entry.total),
+        ],
+    )
+
+    assert entry.link == pytest.approx(234.0)
+    assert entry.switch == pytest.approx(540.0)
+    assert entry.nic == pytest.approx(948.0)
+    assert entry.total == pytest.approx(1722.0)
+
+    benchmark(lambda: network_cost(fig12_network(), [gbps(10)], model))

@@ -1,0 +1,50 @@
+"""Table III + Fig. 11 — the topology zoo and real-system notation.
+
+Regenerates the Table III list used throughout the evaluation and the
+Fig. 11 real-system examples, verifying shapes and NPU counts.
+"""
+
+from _common import print_header, print_table
+from repro.topology import (
+    EVALUATION_TOPOLOGIES,
+    REAL_SYSTEM_TOPOLOGIES,
+    get_topology,
+    parse_notation,
+)
+
+EXPECTED_NPUS = {
+    "4D-4K": 4096,
+    "3D-4K": 4096,
+    "3D-512": 512,
+    "3D-1K": 1024,
+    "4D-2K": 2048,
+    "3D-Torus": 64,
+}
+
+
+def test_table3_topologies(benchmark):
+    print_header("Table III — multi-dimensional topologies used for analysis")
+    rows = []
+    for name, notation in EVALUATION_TOPOLOGIES.items():
+        network = get_topology(name)
+        rows.append(
+            (
+                name,
+                notation,
+                network.num_dims,
+                network.num_npus,
+                "/".join(tier.value for tier in network.tiers),
+            )
+        )
+        assert network.num_npus == EXPECTED_NPUS[name]
+        assert network.notation == notation
+    print_table(["name", "shape", "dims", "NPUs", "tiers"], rows)
+
+    print_header("Fig. 11 — real systems captured by the notation")
+    rows = []
+    for system, notation in REAL_SYSTEM_TOPOLOGIES.items():
+        network = get_topology(system)
+        rows.append((system, notation, network.num_dims, network.num_npus))
+    print_table(["system", "shape", "dims", "NPUs"], rows)
+
+    benchmark(lambda: parse_notation("RI(4)_FC(8)_RI(4)_SW(32)"))

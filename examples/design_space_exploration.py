@@ -1,0 +1,83 @@
+"""Design-space exploration: sweep bandwidth budgets and constraint shapes.
+
+Reproduces the flavour of the paper's Sec. VI-A study interactively: for a
+target workload, sweep the per-NPU bandwidth budget, then show how designer
+constraints (a capped scale-out dimension, an ordering requirement, a
+two-dimension budget split) reshape the optimal allocation.
+
+Run:
+    python examples/design_space_exploration.py [workload] [topology]
+"""
+
+import sys
+
+from repro import Libra, Scheme, build_workload, gbps, get_topology
+
+
+def sweep_budgets(workload_name: str, topology_name: str) -> None:
+    network = get_topology(topology_name)
+    libra = Libra(network)
+    libra.add_workload(build_workload(workload_name, network.num_npus))
+
+    print(f"--- {workload_name} on {topology_name}: budget sweep ---")
+    print(f"{'BW/NPU':>8}  {'speedup':>8}  {'ppc gain':>8}  optimal split (GB/s)")
+    for budget in (100, 250, 500, 750, 1000):
+        constraints = libra.constraints().with_total_bandwidth(gbps(budget))
+        optimized = libra.optimize(Scheme.PERF_OPT, constraints)
+        baseline = libra.equal_bw_point(gbps(budget))
+        split = ", ".join(f"{bw:.0f}" for bw in optimized.bandwidths_gbps())
+        print(
+            f"{budget:>8}  {optimized.speedup_over(baseline):>7.2f}x "
+            f"{optimized.perf_per_cost_gain_over(baseline):>8.2f}x  [{split}]"
+        )
+
+
+def constrained_designs(workload_name: str, topology_name: str) -> None:
+    network = get_topology(topology_name)
+    libra = Libra(network)
+    libra.add_workload(build_workload(workload_name, network.num_npus))
+    budget = gbps(500)
+
+    scenarios = {
+        "unconstrained": libra.constraints().with_total_bandwidth(budget),
+        "pod capped at 50 GB/s": (
+            libra.constraints()
+            .with_total_bandwidth(budget)
+            .with_dim_cap(network.num_dims - 1, gbps(50))
+        ),
+        "B1 >= B2 >= B3": (
+            libra.constraints()
+            .with_total_bandwidth(budget)
+            .with_ordering(list(range(min(3, network.num_dims))))
+        ),
+    }
+    if network.num_dims >= 2:
+        scenarios["B1 + B2 = 400 GB/s"] = (
+            libra.constraints()
+            .with_total_bandwidth(budget)
+            .with_linear(
+                [1.0, 1.0] + [0.0] * (network.num_dims - 2),
+                lower=gbps(400),
+                upper=gbps(400),
+                label="b1+b2",
+            )
+        )
+
+    print(f"\n--- {workload_name} on {topology_name}: constraint scenarios "
+          f"(500 GB/s budget) ---")
+    for label, constraints in scenarios.items():
+        point = libra.optimize(Scheme.PERF_OPT, constraints)
+        split = ", ".join(f"{bw:.0f}" for bw in point.bandwidths_gbps())
+        print(f"{label:>24}: [{split}] GB/s, "
+              f"step {point.step_time() * 1e3:.2f} ms")
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "MSFT-1T"
+    topology_name = sys.argv[2] if len(sys.argv) > 2 else "4D-4K"
+    sweep_budgets(workload_name, topology_name)
+    constrained_designs(workload_name, topology_name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: optimize a 4D fabric's bandwidth for GPT-3 training.
+
+This walks the core LIBRA loop from the paper's Fig. 3: pick a network
+shape, register a target workload, state the design constraints, and let
+the framework propose the bandwidth allocation — then compare it with the
+EqualBW straw-person on speed, dollars, and perf-per-cost.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Libra, Scheme, build_workload, gbps, get_topology
+
+
+def main() -> None:
+    # The paper's representative topology: RI(4)_FC(8)_RI(4)_SW(32), 4,096 NPUs.
+    network = get_topology("4D-4K")
+    print(f"network: {network}")
+
+    # GPT-3 with its Table II parallelization (TP-16, DP-256 at this scale).
+    workload = build_workload("GPT-3", network.num_npus)
+    print(f"workload: {workload}\n")
+
+    libra = Libra(network)
+    libra.add_workload(workload)
+
+    # Designer constraint: 500 GB/s aggregate bandwidth per NPU.
+    constraints = libra.constraints().with_total_bandwidth(gbps(500))
+
+    baseline = libra.equal_bw_point(gbps(500))
+    perf_opt = libra.optimize(Scheme.PERF_OPT, constraints)
+    cost_opt = libra.optimize(Scheme.PERF_PER_COST_OPT, constraints)
+
+    print("design points:")
+    for point in (baseline, perf_opt, cost_opt):
+        print(f"  {point.describe()}")
+
+    print()
+    print(f"PerfOptBW speedup over EqualBW:          "
+          f"{perf_opt.speedup_over(baseline):.2f}x")
+    print(f"PerfOptBW perf-per-cost over EqualBW:    "
+          f"{perf_opt.perf_per_cost_gain_over(baseline):.2f}x")
+    print(f"PerfPerCostOptBW perf-per-cost gain:     "
+          f"{cost_opt.perf_per_cost_gain_over(baseline):.2f}x")
+    print(f"PerfPerCostOptBW network cost reduction: "
+          f"{baseline.network_cost / cost_opt.network_cost:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Design-time allocation meets runtime optimizers (Themis & TACOS).
+
+The paper's Sec. VI-D shows runtime techniques perform best on top of a
+well-designed fabric. This example reproduces both studies at small scale:
+
+* Themis chunk scheduling on EqualBW vs LIBRA-shaped 4D networks, iso-cost
+  and iso-resource (Fig. 19's setup);
+* TACOS collective synthesis on the 3D torus, co-optimized with the
+  bandwidth allocation (Fig. 20's setup).
+
+Run:
+    python examples/runtime_cooptimization.py
+"""
+
+from repro import Libra, Scheme, build_workload, gbps, get_topology
+from repro.collectives import DimSpan, all_reduce, ideal_bandwidth_split
+from repro.cost import default_cost_model, max_bandwidth_for_budget, network_cost
+from repro.runtime import (
+    ThemisScheduler,
+    cooptimize_with_tacos,
+    multirail_all_reduce_time,
+    synthesize_all_gather,
+)
+from repro.simulator import simulate_training_step
+from repro.utils import gb
+
+
+def themis_study() -> None:
+    print("--- Themis: runtime scheduling on top of design-time allocation ---")
+    network = get_topology("4D-4K")
+    workload = build_workload("GPT-3", network.num_npus)
+    model = default_cost_model()
+
+    libra = Libra(network)
+    libra.add_workload(workload)
+    constraints = libra.constraints().with_total_bandwidth(gbps(1000))
+    shaped = libra.optimize(Scheme.PERF_PER_COST_OPT, constraints)
+    total = shaped.total_bandwidth
+    shares = [bw / total for bw in shaped.bandwidths]
+
+    budget = 15e6
+    for label, share_vector in (("EqualBW", [0.25] * 4), ("LIBRA", shares)):
+        affordable = max_bandwidth_for_budget(network, share_vector, budget, model)
+        bandwidths = [affordable * share for share in share_vector]
+        step = simulate_training_step(
+            workload, network, bandwidths, num_chunks=8,
+            scheduler_factory=ThemisScheduler,
+        )
+        print(
+            f"  iso-cost $15M  {label:>8}: {affordable / 1e9:7.0f} GB/s total, "
+            f"step {step.total_time * 1e3:8.2f} ms"
+        )
+
+
+def tacos_study() -> None:
+    print("\n--- TACOS: synthesized collectives on the 3D torus ---")
+    torus = get_topology("3D-Torus")
+    model = default_cost_model()
+    payload = gb(1)
+
+    equal_bw = [gbps(1000 / 3)] * 3
+    tacos_only = synthesize_all_gather(torus, equal_bw, payload, chunks_per_npu=8)
+
+    op = all_reduce(payload, tuple(DimSpan(dim, 4) for dim in range(3)))
+    split = ideal_bandwidth_split(op, gbps(1000))
+    libra_bw = [split[dim] for dim in range(3)]
+    libra_only = multirail_all_reduce_time(torus, libra_bw, payload, num_chunks=8)
+
+    codesign = cooptimize_with_tacos(
+        torus, gbps(1000), payload, chunks_per_npu=8, objective="perf_per_cost"
+    )
+
+    rows = (
+        ("EqualBW + TACOS", tacos_only.all_reduce_time,
+         network_cost(torus, equal_bw, model)),
+        ("LIBRA-only (multi-rail)", libra_only,
+         network_cost(torus, libra_bw, model)),
+        ("LIBRA + TACOS", codesign.all_reduce_time, codesign.network_cost),
+    )
+    for label, time, cost in rows:
+        print(f"  {label:<26} All-Reduce {time * 1e3:7.3f} ms   "
+              f"cost ${cost:,.0f}   time x cost {time * cost:8.2f}")
+
+
+def main() -> None:
+    themis_study()
+    tacos_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Design analytically, validate on the chunk-level simulator.
+
+LIBRA's optimizer works on the closed-form bandwidth model; the paper
+validates its designs on ASTRA-sim. This example runs the same pipeline on
+the built-in simulator: optimize MSFT-1T's fabric, then replay the training
+step chunk by chunk — with and without the Themis runtime scheduler — and
+compare step times and per-dimension utilization against the EqualBW
+baseline (the Fig. 9/10 mechanics, end to end).
+
+Run:
+    python examples/simulate_and_validate.py
+"""
+
+from repro import Libra, Scheme, build_workload, gbps, get_topology
+from repro.runtime import ThemisScheduler
+from repro.simulator import simulate_training_step
+
+BUDGET_GBPS = 500
+
+
+def describe(label, step):
+    utils = ", ".join(f"{u:.2f}" for u in step.comm_report.per_dim_utilization)
+    print(
+        f"  {label:<28} step {step.total_time * 1e3:8.2f} ms   "
+        f"comm {step.comm_time * 1e3:8.2f} ms   "
+        f"dim utilization [{utils}]   "
+        f"aggregate {step.comm_report.aggregate_utilization:.2f}"
+    )
+
+
+def main() -> None:
+    network = get_topology("4D-4K")
+    workload = build_workload("MSFT-1T", network.num_npus)
+
+    libra = Libra(network)
+    libra.add_workload(workload)
+    constraints = libra.constraints().with_total_bandwidth(gbps(BUDGET_GBPS))
+    optimized = libra.optimize(Scheme.PERF_OPT, constraints)
+
+    equal_bw = [gbps(BUDGET_GBPS) / network.num_dims] * network.num_dims
+    libra_bw = list(optimized.bandwidths)
+
+    print(f"workload: {workload}")
+    print(f"network:  {network}")
+    print(f"LIBRA allocation: "
+          f"[{', '.join(f'{bw:.0f}' for bw in optimized.bandwidths_gbps())}] GB/s\n")
+
+    print("chunk-level simulation (64 chunks per collective):")
+    for label, bandwidths, factory in (
+        ("EqualBW", equal_bw, None),
+        ("EqualBW + Themis", equal_bw, ThemisScheduler),
+        ("LIBRA", libra_bw, None),
+        ("LIBRA + Themis", libra_bw, ThemisScheduler),
+    ):
+        step = simulate_training_step(
+            workload, network, bandwidths, num_chunks=64,
+            scheduler_factory=factory,
+        )
+        describe(label, step)
+
+    analytical = optimized.step_time("MSFT-1T")
+    print(f"\nanalytical model predicted {analytical * 1e3:.2f} ms for the "
+          "LIBRA design — the simulation should land within a few percent "
+          "(the gap is pipeline fill/drain, which the closed form ignores).")
+
+
+if __name__ == "__main__":
+    main()

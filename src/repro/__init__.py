@@ -1,0 +1,73 @@
+"""repro — a from-scratch reproduction of LIBRA (ISPASS 2024).
+
+LIBRA is a workload-aware, design-time framework that optimizes the
+per-dimension bandwidth allocation of multi-dimensional (multi-rail)
+training fabrics. This package rebuilds the framework and every substrate
+its evaluation depends on: the network/collective/workload/cost models, the
+constrained optimizer, a chunk-level network simulator, and the Themis/TACOS
+runtime companions.
+
+Quick start::
+
+    from repro import Libra, Scheme, build_workload, get_topology, gbps
+
+    libra = Libra(get_topology("4D-4K"))
+    libra.add_workload(build_workload("GPT-3", 4096))
+    constraints = libra.constraints().with_total_bandwidth(gbps(500))
+    optimized = libra.optimize(Scheme.PERF_OPT, constraints)
+    baseline = libra.equal_bw_point(gbps(500))
+    print(optimized.speedup_over(baseline))
+
+Subpackage map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.topology` — network shapes, notation, presets, link graphs.
+* :mod:`repro.collectives` — collective patterns, traffic, analytical times.
+* :mod:`repro.workloads` — Table II model builders, parallelism, parser.
+* :mod:`repro.training` — compute model, training loops, symbolic estimator.
+* :mod:`repro.cost` — the Table I dollar-cost model.
+* :mod:`repro.core` — constraints, solver, the :class:`Libra` facade.
+* :mod:`repro.simulator` — chunk-level network simulation (ASTRA-sim role).
+* :mod:`repro.runtime` — Themis scheduler and TACOS synthesizer analogues.
+"""
+
+from repro.core import (
+    ConstraintSet,
+    DesignPoint,
+    Libra,
+    Scheme,
+    run_group_study,
+)
+from repro.cost import CostModel, default_cost_model, network_cost
+from repro.simulator import simulate_collective, simulate_training_step
+from repro.topology import MultiDimNetwork, get_topology, parse_notation
+from repro.training import a100_compute_model, estimate_step_time
+from repro.utils import gb, gbps, mb
+from repro.workloads import Parallelism, Workload, build_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstraintSet",
+    "DesignPoint",
+    "Libra",
+    "Scheme",
+    "run_group_study",
+    "CostModel",
+    "default_cost_model",
+    "network_cost",
+    "simulate_collective",
+    "simulate_training_step",
+    "MultiDimNetwork",
+    "get_topology",
+    "parse_notation",
+    "a100_compute_model",
+    "estimate_step_time",
+    "gb",
+    "gbps",
+    "mb",
+    "Parallelism",
+    "Workload",
+    "build_workload",
+    "workload_names",
+    "__version__",
+]

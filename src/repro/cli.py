@@ -1,0 +1,261 @@
+"""Command-line interface for the LIBRA reproduction.
+
+Drives the Fig. 3 pipeline from the shell::
+
+    repro-libra topologies
+    repro-libra workloads
+    repro-libra optimize --topology 4D-4K --workload GPT-3 \\
+        --total-bw 500 --scheme perf
+    repro-libra optimize --topology 3D-4K --workload-file my.workload \\
+        --total-bw 600 --scheme perf-per-cost --cap 2:50
+    repro-libra sweep --topology 4D-4K --workload MSFT-1T \\
+        --bw 100 --bw 500 --bw 1000
+    repro-libra simulate --topology 4D-4K --workload GPT-3 \\
+        --bandwidths 225,138,104,33 --themis
+    repro-libra cost --topology 4D-4K --bandwidths 125,125,125,125
+
+Bandwidths are GB/s on the command line (converted at the boundary; the
+library itself is bytes/s throughout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core import Libra, Scheme
+from repro.cost import cost_breakdown, default_cost_model
+from repro.topology import (
+    EVALUATION_TOPOLOGIES,
+    REAL_SYSTEM_TOPOLOGIES,
+    MultiDimNetwork,
+    get_topology,
+)
+from repro.utils import gbps
+from repro.utils.errors import ReproError
+from repro.workloads import build_workload, load_workload_file, workload_names
+
+_SCHEMES = {
+    "perf": Scheme.PERF_OPT,
+    "perf-per-cost": Scheme.PERF_PER_COST_OPT,
+    "equal": Scheme.EQUAL_BW,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-libra",
+        description="Workload-aware multi-dimensional network bandwidth optimization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topologies", help="list preset topologies (Table III, Fig. 11)")
+    sub.add_parser("workloads", help="list preset workloads (Table II)")
+
+    optimize = sub.add_parser("optimize", help="optimize one design point")
+    _add_target_args(optimize)
+    optimize.add_argument(
+        "--total-bw", type=float, required=True,
+        help="aggregate bandwidth budget per NPU, GB/s",
+    )
+    optimize.add_argument(
+        "--scheme", choices=sorted(_SCHEMES), default="perf",
+        help="optimization objective (default: perf)",
+    )
+    optimize.add_argument(
+        "--cap", action="append", default=[], metavar="DIM:GBPS",
+        help="cap one dimension's bandwidth, e.g. --cap 3:50 (repeatable)",
+    )
+
+    sweep = sub.add_parser("sweep", help="sweep bandwidth budgets")
+    _add_target_args(sweep)
+    sweep.add_argument(
+        "--bw", action="append", type=float, required=True, metavar="GBPS",
+        help="budget point in GB/s (repeatable)",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="chunk-level simulation of one training step"
+    )
+    _add_target_args(simulate)
+    simulate.add_argument(
+        "--bandwidths", required=True,
+        help="comma-separated per-dimension bandwidths, GB/s",
+    )
+    simulate.add_argument(
+        "--chunks", type=int, default=64, help="chunks per collective (default 64)"
+    )
+    simulate.add_argument(
+        "--themis", action="store_true", help="enable the Themis chunk scheduler"
+    )
+
+    cost = sub.add_parser("cost", help="price a bandwidth configuration")
+    cost.add_argument("--topology", required=True)
+    cost.add_argument(
+        "--bandwidths", required=True,
+        help="comma-separated per-dimension bandwidths, GB/s",
+    )
+    return parser
+
+
+def _add_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", required=True, help="preset name or notation")
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--workload", help="preset workload name (Table II)")
+    target.add_argument("--workload-file", help="path to a text workload file")
+
+
+def _resolve_network(name: str) -> MultiDimNetwork:
+    if name in EVALUATION_TOPOLOGIES or name in REAL_SYSTEM_TOPOLOGIES:
+        return get_topology(name)
+    return MultiDimNetwork.from_notation(name)
+
+
+def _resolve_workload(args: argparse.Namespace, network: MultiDimNetwork):
+    if args.workload_file:
+        return load_workload_file(args.workload_file)
+    return build_workload(args.workload, network.num_npus)
+
+
+def _parse_bandwidths(text: str, num_dims: int) -> list[float]:
+    values = [float(part) for part in text.split(",")]
+    if len(values) != num_dims:
+        raise ReproError(
+            f"expected {num_dims} bandwidths, got {len(values)} in {text!r}"
+        )
+    return [gbps(value) for value in values]
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_topologies(_args: argparse.Namespace) -> int:
+    print("Table III evaluation topologies:")
+    for name, notation in EVALUATION_TOPOLOGIES.items():
+        network = get_topology(name)
+        print(f"  {name:<10} {notation:<28} {network.num_npus:>5} NPUs")
+    print("\nFig. 11 real systems:")
+    for name, notation in REAL_SYSTEM_TOPOLOGIES.items():
+        print(f"  {name:<20} {notation}")
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    print("Table II workloads (shown at 4,096 NPUs):")
+    for name in workload_names():
+        workload = build_workload(name, 4096)
+        print(f"  {workload}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    network = _resolve_network(args.topology)
+    workload = _resolve_workload(args, network)
+    libra = Libra(network)
+    libra.add_workload(workload)
+
+    constraints = libra.constraints().with_total_bandwidth(gbps(args.total_bw))
+    for cap in args.cap:
+        dim_text, _, cap_text = cap.partition(":")
+        constraints.with_dim_cap(int(dim_text), gbps(float(cap_text)))
+
+    point = libra.optimize(_SCHEMES[args.scheme], constraints)
+    baseline = libra.equal_bw_point(gbps(args.total_bw))
+    print(point.describe())
+    print(baseline.describe())
+    print(f"speedup over EqualBW:       {point.speedup_over(baseline):.3f}x")
+    print(f"perf-per-cost over EqualBW: {point.perf_per_cost_gain_over(baseline):.3f}x")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    network = _resolve_network(args.topology)
+    workload = _resolve_workload(args, network)
+    libra = Libra(network)
+    libra.add_workload(workload)
+    print(f"{'BW (GB/s)':>10}  {'PerfOpt speedup':>16}  {'PerfPerCost ppc':>16}")
+    for budget in args.bw:
+        constraints = libra.constraints().with_total_bandwidth(gbps(budget))
+        perf = libra.optimize(Scheme.PERF_OPT, constraints)
+        ppc = libra.optimize(Scheme.PERF_PER_COST_OPT, constraints)
+        baseline = libra.equal_bw_point(gbps(budget))
+        print(
+            f"{budget:>10.0f}  {perf.speedup_over(baseline):>15.3f}x "
+            f"{ppc.perf_per_cost_gain_over(baseline):>15.3f}x"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.runtime import ThemisScheduler
+    from repro.simulator import simulate_training_step
+
+    network = _resolve_network(args.topology)
+    workload = _resolve_workload(args, network)
+    bandwidths = _parse_bandwidths(args.bandwidths, network.num_dims)
+    factory = ThemisScheduler if args.themis else None
+    step = simulate_training_step(
+        workload, network, bandwidths, num_chunks=args.chunks,
+        scheduler_factory=factory,
+    )
+    utils = ", ".join(f"{u:.2f}" for u in step.comm_report.per_dim_utilization)
+    print(f"step time:    {step.total_time * 1e3:.3f} ms")
+    print(f"compute time: {step.compute_time * 1e3:.3f} ms")
+    print(f"comm time:    {step.comm_time * 1e3:.3f} ms")
+    print(f"per-dim utilization: [{utils}]")
+    print(f"aggregate BW utilization: {step.comm_report.aggregate_utilization:.3f}")
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    network = _resolve_network(args.topology)
+    bandwidths = _parse_bandwidths(args.bandwidths, network.num_dims)
+    model = default_cost_model()
+    entries = cost_breakdown(network, bandwidths, model)
+    total = 0.0
+    for entry in entries:
+        tier = network.tiers[entry.dim].value
+        print(
+            f"dim {entry.dim} ({tier:>8}): link ${entry.link:,.0f}  "
+            f"switch ${entry.switch:,.0f}  NIC ${entry.nic:,.0f}  "
+            f"= ${entry.total:,.0f}"
+        )
+        total += entry.total
+    print(f"total network cost: ${total:,.0f}")
+    return 0
+
+
+_COMMANDS = {
+    "topologies": _cmd_topologies,
+    "workloads": _cmd_workloads,
+    "optimize": _cmd_optimize,
+    "sweep": _cmd_sweep,
+    "simulate": _cmd_simulate,
+    "cost": _cmd_cost,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — the Unix convention is to
+        # exit quietly (and avoid the interpreter's own flush complaining).
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

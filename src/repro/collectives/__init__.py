@@ -1,0 +1,79 @@
+"""Collective communication modeling (paper Sec. II-C and IV-C).
+
+Public surface:
+
+* :class:`CollectiveType`, :class:`CollectiveOp`, :class:`DimSpan` — the
+  vocabulary for describing collectives over multi-dimensional groups.
+* :func:`per_dim_traffic` / :func:`traffic_coefficients` — the closed-form
+  per-dimension traffic volumes (the optimizer's raw material).
+* :func:`collective_time` / :func:`bottleneck_dim` / :func:`dim_utilization`
+  — the bandwidth-only analytical time model.
+* :func:`decompose` — multi-rail stage decomposition for the simulator.
+* :func:`phase_schedule` — topology-aware unit algorithm step schedules.
+"""
+
+from repro.collectives.algorithms import (
+    AlgorithmSchedule,
+    AlgorithmStep,
+    direct_schedule,
+    halving_doubling_schedule,
+    phase_schedule,
+    phase_volume,
+    ring_schedule,
+)
+from repro.collectives.analytical import (
+    bottleneck_dim,
+    collective_time,
+    dim_utilization,
+    ideal_bandwidth_split,
+)
+from repro.collectives.multirail import (
+    Stage,
+    StagePhase,
+    decompose,
+    stage_volumes_per_dim,
+)
+from repro.collectives.traffic import (
+    per_dim_traffic,
+    span_traffic,
+    total_traffic,
+    traffic_coefficients,
+)
+from repro.collectives.types import (
+    CollectiveOp,
+    CollectiveType,
+    DimSpan,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    reduce_scatter,
+)
+
+__all__ = [
+    "AlgorithmSchedule",
+    "AlgorithmStep",
+    "direct_schedule",
+    "halving_doubling_schedule",
+    "phase_schedule",
+    "phase_volume",
+    "ring_schedule",
+    "bottleneck_dim",
+    "collective_time",
+    "dim_utilization",
+    "ideal_bandwidth_split",
+    "Stage",
+    "StagePhase",
+    "decompose",
+    "stage_volumes_per_dim",
+    "per_dim_traffic",
+    "span_traffic",
+    "total_traffic",
+    "traffic_coefficients",
+    "CollectiveOp",
+    "CollectiveType",
+    "DimSpan",
+    "all_gather",
+    "all_reduce",
+    "all_to_all",
+    "reduce_scatter",
+]

@@ -1,0 +1,145 @@
+"""Topology-aware unit collective algorithms (Fig. 7).
+
+Each building block has a matching contention-free algorithm:
+
+* Ring → **Ring** algorithm: ``e − 1`` steps, each moving ``m/e`` per NPU.
+* FullyConnected → **Direct**: a single step exchanging ``m/e`` with each of
+  the ``e − 1`` peers simultaneously.
+* Switch → **Recursive Halving-Doubling**: ``log2(e)`` steps of
+  exponentially shrinking (RS) or growing (AG) payloads; for non-power-of-two
+  sizes the switch falls back to the Direct pattern through the crossbar
+  (same total volume, one step).
+
+All three move identical total volume — ``m·(e−1)/e`` per NPU for a
+Reduce-Scatter or All-Gather phase — which is why the bandwidth-only
+analytical model does not distinguish them. The per-step schedules produced
+here feed the simulator (latency-per-step effects) and give tests a
+structural invariant to verify: the per-step volumes of every algorithm must
+sum to the closed-form total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import is_power_of_two
+
+
+@dataclass(frozen=True)
+class AlgorithmStep:
+    """One synchronous step of a unit collective algorithm.
+
+    Attributes:
+        volume_bytes: Bytes each NPU transmits during this step.
+        peer_count: Number of distinct peers each NPU exchanges with.
+    """
+
+    volume_bytes: float
+    peer_count: int
+
+
+@dataclass(frozen=True)
+class AlgorithmSchedule:
+    """The full step list for one phase (RS or AG) on one dimension.
+
+    Attributes:
+        algorithm: Algorithm name (``ring`` / ``direct`` / ``halving_doubling``).
+        steps: Ordered steps.
+    """
+
+    algorithm: str
+    steps: tuple[AlgorithmStep, ...]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_volume(self) -> float:
+        """Total bytes each NPU transmits over the whole phase."""
+        return sum(step.volume_bytes for step in self.steps)
+
+    def duration(self, bandwidth: float, step_latency: float = 0.0) -> float:
+        """Phase time under per-NPU ``bandwidth``, with optional per-step latency.
+
+        The bandwidth-only model sets ``step_latency = 0`` and recovers
+        ``total_volume / bandwidth`` regardless of the algorithm.
+        """
+        if bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+        return self.total_volume / bandwidth + step_latency * self.num_steps
+
+
+def ring_schedule(size: int, payload_bytes: float) -> AlgorithmSchedule:
+    """Ring Reduce-Scatter / All-Gather phase on a ring of ``size`` NPUs.
+
+    ``size − 1`` steps; each NPU forwards one ``payload/size`` shard per step.
+    """
+    _check_phase_args(size, payload_bytes)
+    shard = payload_bytes / size
+    steps = tuple(AlgorithmStep(volume_bytes=shard, peer_count=1) for _ in range(size - 1))
+    return AlgorithmSchedule("ring", steps)
+
+
+def direct_schedule(size: int, payload_bytes: float) -> AlgorithmSchedule:
+    """Direct phase on a fully-connected group: one step, all peers at once."""
+    _check_phase_args(size, payload_bytes)
+    shard = payload_bytes / size
+    steps = (AlgorithmStep(volume_bytes=shard * (size - 1), peer_count=size - 1),)
+    return AlgorithmSchedule("direct", steps)
+
+
+def halving_doubling_schedule(size: int, payload_bytes: float) -> AlgorithmSchedule:
+    """Recursive halving (RS) phase behind a switch.
+
+    Step ``k`` (1-based) exchanges ``payload / 2^k`` with one partner;
+    ``log2(size)`` steps total. The mirrored doubling (AG) phase has the same
+    volumes in reverse order, which does not change the totals this library
+    consumes, so one schedule serves both phases. Non-power-of-two sizes fall
+    back to the Direct pattern through the crossbar.
+    """
+    _check_phase_args(size, payload_bytes)
+    if not is_power_of_two(size):
+        fallback = direct_schedule(size, payload_bytes)
+        return AlgorithmSchedule("halving_doubling", fallback.steps)
+    steps = tuple(
+        AlgorithmStep(volume_bytes=payload_bytes / (2 ** k), peer_count=1)
+        for k in range(1, int(math.log2(size)) + 1)
+    )
+    return AlgorithmSchedule("halving_doubling", steps)
+
+
+_SCHEDULE_BUILDERS = {
+    "ring": ring_schedule,
+    "direct": direct_schedule,
+    "halving_doubling": halving_doubling_schedule,
+}
+
+
+def phase_schedule(algorithm: str, size: int, payload_bytes: float) -> AlgorithmSchedule:
+    """Dispatch to the schedule builder for ``algorithm``.
+
+    >>> phase_schedule("ring", 4, 1000.0).num_steps
+    3
+    """
+    builder = _SCHEDULE_BUILDERS.get(algorithm)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(_SCHEDULE_BUILDERS)}"
+        )
+    return builder(size, payload_bytes)
+
+
+def phase_volume(size: int, payload_bytes: float) -> float:
+    """Closed-form per-NPU volume of one RS or AG phase: ``m·(e−1)/e``."""
+    _check_phase_args(size, payload_bytes)
+    return payload_bytes * (size - 1) / size
+
+
+def _check_phase_args(size: int, payload_bytes: float) -> None:
+    if size < 2:
+        raise ConfigurationError(f"phase group size must be >= 2, got {size}")
+    if payload_bytes < 0:
+        raise ConfigurationError(f"payload must be >= 0, got {payload_bytes}")

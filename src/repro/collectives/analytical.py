@@ -1,0 +1,125 @@
+"""Closed-form collective time model (Sec. IV-C).
+
+The multi-rail collective pipelines chunks through the dimensions, so in
+steady state the *bottleneck dimension* determines throughput (Fig. 9):
+
+    ``T(B) = max_j traffic_j / B[dim_j]``
+
+This module evaluates that expression for a bandwidth vector and reports the
+bottleneck. It is deliberately bandwidth-only — the paper's modeling section
+notes that link latency and NPU-side effects are disregarded because
+large-model collectives are overwhelmingly bandwidth-bound; the chunk-level
+simulator (:mod:`repro.simulator`) captures the residual pipeline fill/drain
+effects the closed form ignores.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.collectives.traffic import per_dim_traffic
+from repro.collectives.types import CollectiveOp
+from repro.utils.errors import ConfigurationError
+
+
+def collective_time(
+    op: CollectiveOp,
+    bandwidths: Sequence[float],
+    in_network_dims: frozenset[int] | set[int] = frozenset(),
+) -> float:
+    """Completion time of ``op`` in seconds under per-dim bandwidths.
+
+    Args:
+        op: The collective operation.
+        bandwidths: Per-NPU bandwidth of every physical dimension, bytes/s.
+        in_network_dims: Dimensions with in-network reduction offload.
+
+    Returns:
+        Seconds; 0.0 for trivial ops.
+    """
+    traffic = per_dim_traffic(op, in_network_dims)
+    if not traffic:
+        return 0.0
+    worst = 0.0
+    for dim, volume in traffic.items():
+        bandwidth = _dim_bandwidth(bandwidths, dim, op)
+        worst = max(worst, volume / bandwidth)
+    return worst
+
+
+def bottleneck_dim(
+    op: CollectiveOp,
+    bandwidths: Sequence[float],
+    in_network_dims: frozenset[int] | set[int] = frozenset(),
+) -> int | None:
+    """The physical dimension that determines ``op``'s completion time.
+
+    Returns None for trivial ops. Ties break toward the lowest dimension.
+    """
+    traffic = per_dim_traffic(op, in_network_dims)
+    if not traffic:
+        return None
+    best_dim = None
+    best_time = -1.0
+    for dim in sorted(traffic):
+        time = traffic[dim] / _dim_bandwidth(bandwidths, dim, op)
+        if time > best_time:
+            best_time = time
+            best_dim = dim
+    return best_dim
+
+
+def dim_utilization(
+    op: CollectiveOp,
+    bandwidths: Sequence[float],
+    in_network_dims: frozenset[int] | set[int] = frozenset(),
+) -> dict[int, float]:
+    """Steady-state bandwidth utilization per spanned dimension.
+
+    Utilization of dimension ``j`` is its busy fraction while the collective
+    runs: ``(traffic_j / B_j) / T``. The bottleneck dimension is 1.0 by
+    construction; overprovisioned dimensions fall below 1.0 (Fig. 9's idle
+    gaps).
+    """
+    traffic = per_dim_traffic(op, in_network_dims)
+    if not traffic:
+        return {}
+    total = collective_time(op, bandwidths, in_network_dims)
+    return {
+        dim: (volume / _dim_bandwidth(bandwidths, dim, op)) / total
+        for dim, volume in traffic.items()
+    }
+
+
+def ideal_bandwidth_split(
+    op: CollectiveOp,
+    total_bandwidth: float,
+    in_network_dims: frozenset[int] | set[int] = frozenset(),
+) -> dict[int, float]:
+    """Traffic-proportional bandwidth allocation for a single collective.
+
+    With one collective and a total-bandwidth budget, the optimum equalizes
+    ``traffic_j / B_j`` across dimensions, i.e. allocates proportionally to
+    traffic — the water-filling solution the paper motivates with the 1/4
+    payload example in Sec. III-C. Used as a solver fast path and seed.
+    """
+    if total_bandwidth <= 0:
+        raise ConfigurationError(f"total bandwidth must be positive, got {total_bandwidth}")
+    traffic = per_dim_traffic(op, in_network_dims)
+    if not traffic:
+        return {}
+    volume_sum = sum(traffic.values())
+    return {dim: total_bandwidth * volume / volume_sum for dim, volume in traffic.items()}
+
+
+def _dim_bandwidth(bandwidths: Sequence[float], dim: int, op: CollectiveOp) -> float:
+    """Bandwidth of ``dim`` with range/positivity validation."""
+    if dim >= len(bandwidths):
+        raise ConfigurationError(
+            f"collective {op.label or op.kind.value!r} spans dimension {dim} "
+            f"but only {len(bandwidths)} bandwidths were given"
+        )
+    bandwidth = float(bandwidths[dim])
+    if bandwidth <= 0:
+        raise ConfigurationError(f"bandwidth of dimension {dim} must be positive, got {bandwidth}")
+    return bandwidth

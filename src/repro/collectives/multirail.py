@@ -1,0 +1,151 @@
+"""Multi-rail collective stage decomposition (Sec. II-C).
+
+A multi-rail All-Reduce on an N-span group runs 2N stages: Reduce-Scatter on
+spans 1..N ascending, then All-Gather on spans N..1 descending. Each stage
+runs that dimension's topology-aware unit algorithm on the payload that
+survives the preceding reductions. Fig. 8 walks this through for a 3×2
+network.
+
+The decomposition here is consumed by the chunk-level simulator (each chunk
+traverses the stage list as a little pipeline job) and by the Themis-style
+scheduler (which reorders the RS stages per chunk).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.collectives.types import CollectiveOp, CollectiveType
+from repro.utils.errors import ConfigurationError
+
+
+class StagePhase(enum.Enum):
+    """Which half of the multi-rail pipeline a stage belongs to."""
+
+    REDUCE_SCATTER = "RS"
+    ALL_GATHER = "AG"
+    ALL_TO_ALL = "A2A"
+    POINT_TO_POINT = "P2P"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of a multi-rail collective.
+
+    Attributes:
+        phase: RS / AG / A2A.
+        dim: Physical dimension index the stage runs on.
+        span_size: Effective group size on that dimension.
+        payload_bytes: Payload entering the stage, per NPU.
+        volume_bytes: Bytes each NPU transfers during the stage.
+    """
+
+    phase: StagePhase
+    dim: int
+    span_size: int
+    payload_bytes: float
+    volume_bytes: float
+
+    def duration(self, bandwidth: float) -> float:
+        """Stage time at ``bandwidth`` bytes/s per NPU."""
+        if bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+        return self.volume_bytes / bandwidth
+
+
+def decompose(op: CollectiveOp) -> list[Stage]:
+    """Stage list for ``op``, in execution order.
+
+    * All-Reduce → RS ascending then AG descending (2N stages).
+    * Reduce-Scatter → RS ascending only.
+    * All-Gather → AG descending only (payload grows back out).
+    * All-to-All → one A2A stage per span, ascending (no reduction).
+
+    Trivial ops decompose to an empty list.
+    """
+    if op.is_trivial:
+        return []
+    if op.kind is CollectiveType.ALL_REDUCE:
+        return _reduce_scatter_stages(op) + _all_gather_stages(op)
+    if op.kind is CollectiveType.REDUCE_SCATTER:
+        return _reduce_scatter_stages(op)
+    if op.kind is CollectiveType.ALL_GATHER:
+        return _all_gather_stages(op)
+    if op.kind is CollectiveType.ALL_TO_ALL:
+        return _all_to_all_stages(op)
+    if op.kind is CollectiveType.POINT_TO_POINT:
+        return _point_to_point_stages(op)
+    raise ConfigurationError(f"unsupported collective type {op.kind!r}")
+
+
+def _reduce_scatter_stages(op: CollectiveOp) -> list[Stage]:
+    """RS stages in ascending span order; payload shrinks by each span size."""
+    stages = []
+    payload = op.size_bytes
+    for span in op.spans:
+        volume = payload * (span.size - 1) / span.size
+        stages.append(
+            Stage(StagePhase.REDUCE_SCATTER, span.dim, span.size, payload, volume)
+        )
+        payload /= span.size
+    return stages
+
+
+def _all_gather_stages(op: CollectiveOp) -> list[Stage]:
+    """AG stages in descending span order; payload regrows by each span size.
+
+    The payload entering the AG stage on span ``j`` equals the payload that
+    entered the RS stage on the same span divided by ``e_j`` — i.e. the
+    volumes mirror the RS half exactly, which is why RS and AG share the
+    traffic formula in :mod:`repro.collectives.traffic`.
+    """
+    shard = op.size_bytes / op.group_size
+    stages = []
+    for span in reversed(op.spans):
+        payload_out = shard * span.size
+        volume = payload_out * (span.size - 1) / span.size
+        stages.append(Stage(StagePhase.ALL_GATHER, span.dim, span.size, shard, volume))
+        shard = payload_out
+    return stages
+
+
+def _all_to_all_stages(op: CollectiveOp) -> list[Stage]:
+    """A2A stages: every span moves ``m·(e−1)/e`` — no payload decay."""
+    return [
+        Stage(
+            StagePhase.ALL_TO_ALL,
+            span.dim,
+            span.size,
+            op.size_bytes,
+            op.size_bytes * (span.size - 1) / span.size,
+        )
+        for span in op.spans
+    ]
+
+
+def _point_to_point_stages(op: CollectiveOp) -> list[Stage]:
+    """P2P stages: the full payload hops once through each spanned dim."""
+    return [
+        Stage(
+            StagePhase.POINT_TO_POINT,
+            span.dim,
+            span.size,
+            op.size_bytes,
+            op.size_bytes,
+        )
+        for span in op.spans
+    ]
+
+
+def stage_volumes_per_dim(op: CollectiveOp) -> dict[int, float]:
+    """Sum of stage volumes per dimension.
+
+    Must agree with :func:`repro.collectives.traffic.per_dim_traffic` — the
+    stage decomposition and the closed-form traffic are two derivations of
+    the same quantity, and the test suite asserts their equality.
+    """
+    totals: dict[int, float] = {}
+    for stage in decompose(op):
+        totals[stage.dim] = totals.get(stage.dim, 0.0) + stage.volume_bytes
+    return totals

@@ -1,0 +1,130 @@
+"""Per-dimension traffic volumes for multi-rail collectives (Sec. IV-C).
+
+For a collective of ``m`` bytes over group spans with effective sizes
+``(e_1, …, e_k)`` on physical dimensions ``(d_1, …, d_k)``, the bytes each
+NPU transfers through dimension ``d_j`` are:
+
+========================  =============================================
+Collective                Traffic on span ``j``
+========================  =============================================
+All-Reduce                ``2 · m · (e_j − 1) / (e_1 ⋯ e_j)``
+Reduce-Scatter            ``m · (e_j − 1) / (e_1 ⋯ e_j)``
+All-Gather                ``m · (e_j − 1) / (e_1 ⋯ e_j)``
+All-to-All                ``m · (e_j − 1) / e_j``
+Point-to-Point            ``m`` (one hop per spanned dimension)
+========================  =============================================
+
+The denominators encode the multi-rail load reduction: Reduce-Scatter on
+lower dimensions shrinks the payload before it reaches higher (more
+expensive) dimensions — the paper's core motivation for multi-dimensional
+fabrics (Sec. III-B). All-to-All sees no reduction, so every span moves a
+near-full payload.
+
+With in-network collective offload (Sec. IV-C "In-network Collective") on
+dimension ``d_j``, the NPU only injects its payload once toward the switch:
+traffic becomes ``m / (e_1 ⋯ e_{j−1})``.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.types import CollectiveOp, CollectiveType
+from repro.utils.errors import ConfigurationError
+
+
+def span_traffic(
+    kind: CollectiveType,
+    size_bytes: float,
+    span_sizes: tuple[int, ...],
+    span_index: int,
+    in_network: bool = False,
+) -> float:
+    """Bytes per NPU moved through span ``span_index`` of the collective.
+
+    Args:
+        kind: Collective pattern.
+        size_bytes: Payload ``m`` in bytes.
+        span_sizes: Effective group sizes ``(e_1, …, e_k)``, innermost first.
+        span_index: Zero-based index ``j`` into ``span_sizes``.
+        in_network: Whether this span's dimension offloads reduction to the
+            switch (only meaningful for reducing collectives).
+
+    Returns:
+        Traffic volume in bytes (per NPU).
+    """
+    if not 0 <= span_index < len(span_sizes):
+        raise ConfigurationError(
+            f"span index {span_index} out of range for {len(span_sizes)} spans"
+        )
+    e_j = span_sizes[span_index]
+    prefix = 1
+    for size in span_sizes[:span_index]:
+        prefix *= size
+
+    if kind is CollectiveType.POINT_TO_POINT:
+        # One hop through each spanned dimension; no reduction, no offload.
+        return size_bytes
+
+    if kind is CollectiveType.ALL_REDUCE:
+        npu_driven = 2.0 * size_bytes * (e_j - 1) / (prefix * e_j)
+    elif kind in (CollectiveType.REDUCE_SCATTER, CollectiveType.ALL_GATHER):
+        npu_driven = size_bytes * (e_j - 1) / (prefix * e_j)
+    elif kind is CollectiveType.ALL_TO_ALL:
+        return size_bytes * (e_j - 1) / e_j
+    else:
+        raise ConfigurationError(f"unsupported collective type {kind!r}")
+
+    if in_network:
+        # Switch offload injects the payload once toward the switch:
+        # m / prefix. That halves a fused All-Reduce's dimension traffic but
+        # is (marginally) *worse* than NPU-driven Reduce-Scatter or
+        # All-Gather alone — a system with offload capability simply would
+        # not engage it then, so the model takes the cheaper of the two.
+        return min(npu_driven, size_bytes / prefix)
+    return npu_driven
+
+
+def per_dim_traffic(
+    op: CollectiveOp,
+    in_network_dims: frozenset[int] | set[int] = frozenset(),
+) -> dict[int, float]:
+    """Traffic per physical dimension for one collective op.
+
+    Returns:
+        Mapping from zero-based physical dimension index to bytes moved per
+        NPU on that dimension. Dimensions the op does not span are absent.
+        A trivial op returns an empty mapping.
+    """
+    if op.is_trivial:
+        return {}
+    span_sizes = tuple(span.size for span in op.spans)
+    traffic: dict[int, float] = {}
+    for index, span in enumerate(op.spans):
+        traffic[span.dim] = span_traffic(
+            op.kind,
+            op.size_bytes,
+            span_sizes,
+            index,
+            in_network=span.dim in in_network_dims,
+        )
+    return traffic
+
+
+def traffic_coefficients(
+    op: CollectiveOp,
+    in_network_dims: frozenset[int] | set[int] = frozenset(),
+) -> tuple[tuple[int, float], ...]:
+    """Traffic as ``(dim, coefficient)`` pairs for the optimizer.
+
+    The collective's completion time under bandwidth vector ``B`` is
+    ``max_j coefficient_j / B[dim_j]`` — each pair contributes one epigraph
+    constraint to the solver.
+    """
+    return tuple(sorted(per_dim_traffic(op, in_network_dims).items()))
+
+
+def total_traffic(
+    op: CollectiveOp,
+    in_network_dims: frozenset[int] | set[int] = frozenset(),
+) -> float:
+    """Total bytes per NPU summed over all dimensions (Fig. 1's metric)."""
+    return sum(per_dim_traffic(op, in_network_dims).values())

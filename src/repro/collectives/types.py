@@ -1,0 +1,135 @@
+"""Collective communication types and operations.
+
+A :class:`CollectiveOp` describes one collective as issued by a workload: the
+pattern (All-Reduce, Reduce-Scatter, All-Gather, All-to-All — Fig. 6), the
+payload size, and which network dimensions the participating group spans.
+
+Group spans
+-----------
+
+Parallelization groups do not always cover whole network dimensions. GPT-3's
+TP-16 group on the 4D-4K network (``RI(4)_FC(8)_RI(4)_SW(32)``) covers Dim 1
+fully (4 NPUs) but only half of Dim 2's 8 NPUs. A :class:`DimSpan` records
+the *effective* participating size per physical dimension, so the traffic
+formulas operate on the group the collective actually runs over. This is the
+mechanism behind the paper's note that GPT-3 "cannot leverage all Dim 2 BW
+resources ... due to the mismatching TP size" (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import prod
+
+
+class CollectiveType(enum.Enum):
+    """The four collective patterns of Fig. 6, plus point-to-point.
+
+    ``POINT_TO_POINT`` is not a collective in the Fig. 6 sense — it is the
+    pipeline-parallel activation/gradient transfer the paper sketches in
+    Sec. IV-C ("such operations could still be captured in terms of network
+    BW, e.g. m/B_i"): the full payload hops once through each spanned
+    dimension, with no payload decay and no group-wide synchronization.
+    """
+
+    ALL_REDUCE = "all_reduce"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALL_GATHER = "all_gather"
+    ALL_TO_ALL = "all_to_all"
+    POINT_TO_POINT = "point_to_point"
+
+
+@dataclass(frozen=True)
+class DimSpan:
+    """Participation of a collective group along one physical dimension.
+
+    Attributes:
+        dim: Zero-based physical network dimension index.
+        size: Effective group size along that dimension (>= 2). A size
+            smaller than the physical dimension size means the group covers
+            only a slice of the dimension (partial span).
+    """
+
+    dim: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.dim < 0:
+            raise ConfigurationError(f"dimension index must be >= 0, got {self.dim}")
+        if self.size < 2:
+            raise ConfigurationError(
+                f"span size must be >= 2, got {self.size} (size-1 spans carry no traffic)"
+            )
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """One collective operation over a multi-dimensional network.
+
+    Attributes:
+        kind: Which collective pattern this is.
+        size_bytes: Payload size ``m`` in bytes. For All-Reduce this is the
+            size each NPU contributes (and ends up with); for All-to-All it is
+            the total data each NPU exchanges.
+        spans: The dimensions the group occupies, innermost (lowest dim)
+            first. An empty tuple is a degenerate single-NPU group — legal,
+            and always free (e.g. TP communication when TP = 1).
+        label: Optional tag for reports (e.g. ``"GPT-3/layer12/dp"``).
+    """
+
+    kind: CollectiveType
+    size_bytes: float
+    spans: tuple[DimSpan, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ConfigurationError(f"collective size must be >= 0, got {self.size_bytes}")
+        dims = [span.dim for span in self.spans]
+        if len(set(dims)) != len(dims):
+            raise ConfigurationError(f"duplicate dimensions in spans: {dims}")
+        if dims != sorted(dims):
+            raise ConfigurationError(f"spans must be ordered innermost-first, got dims {dims}")
+
+    @property
+    def group_size(self) -> int:
+        """Total number of NPUs participating (product of span sizes)."""
+        return prod(span.size for span in self.spans)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the op moves no data (empty group or zero payload)."""
+        return not self.spans or self.size_bytes == 0
+
+    def scaled(self, factor: float) -> "CollectiveOp":
+        """Copy with the payload scaled by ``factor`` (e.g. per-chunk splits)."""
+        if factor < 0:
+            raise ConfigurationError(f"scale factor must be >= 0, got {factor}")
+        return CollectiveOp(self.kind, self.size_bytes * factor, self.spans, self.label)
+
+    def with_label(self, label: str) -> "CollectiveOp":
+        """Copy with a new label."""
+        return CollectiveOp(self.kind, self.size_bytes, self.spans, label)
+
+
+def all_reduce(size_bytes: float, spans: tuple[DimSpan, ...], label: str = "") -> CollectiveOp:
+    """Convenience constructor for an All-Reduce op."""
+    return CollectiveOp(CollectiveType.ALL_REDUCE, size_bytes, spans, label)
+
+
+def reduce_scatter(size_bytes: float, spans: tuple[DimSpan, ...], label: str = "") -> CollectiveOp:
+    """Convenience constructor for a Reduce-Scatter op."""
+    return CollectiveOp(CollectiveType.REDUCE_SCATTER, size_bytes, spans, label)
+
+
+def all_gather(size_bytes: float, spans: tuple[DimSpan, ...], label: str = "") -> CollectiveOp:
+    """Convenience constructor for an All-Gather op."""
+    return CollectiveOp(CollectiveType.ALL_GATHER, size_bytes, spans, label)
+
+
+def all_to_all(size_bytes: float, spans: tuple[DimSpan, ...], label: str = "") -> CollectiveOp:
+    """Convenience constructor for an All-to-All op."""
+    return CollectiveOp(CollectiveType.ALL_TO_ALL, size_bytes, spans, label)

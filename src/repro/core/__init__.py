@@ -1,0 +1,58 @@
+"""LIBRA's core: symbolic time expressions, constraints, solver, facade.
+
+This package is the paper's primary contribution (Sec. IV):
+
+* :mod:`repro.training.expr` — training time as a symbolic function of the
+  bandwidth vector.
+* :mod:`repro.core.constraints` — the designer constraint DSL (Sec. IV-F).
+* :mod:`repro.core.solver` — the constrained optimizer replacing Gurobi.
+* :class:`Libra` — the framework facade of Fig. 3.
+* :func:`run_group_study` — the multi-workload protocol of Fig. 17.
+"""
+
+from repro.core.constraints import (
+    DEFAULT_MIN_BANDWIDTH,
+    ConstraintSet,
+    LinearConstraint,
+)
+from repro.training.expr import CommTerm, Const, Expr, MaxExpr, Sum, count_nodes, simplify
+from repro.core.framework import Libra
+from repro.core.group import GroupStudyResult, run_group_study
+from repro.core.results import DesignPoint, Scheme
+from repro.core.sensitivity import SensitivityReport, bandwidth_sensitivity
+from repro.core.solver import (
+    CompiledProgram,
+    SolverResult,
+    build_seeds,
+    compile_expression,
+    minimize_time_cost_product,
+    minimize_training_time,
+    traffic_totals,
+)
+
+__all__ = [
+    "DEFAULT_MIN_BANDWIDTH",
+    "ConstraintSet",
+    "LinearConstraint",
+    "CommTerm",
+    "Const",
+    "Expr",
+    "MaxExpr",
+    "Sum",
+    "count_nodes",
+    "simplify",
+    "Libra",
+    "GroupStudyResult",
+    "run_group_study",
+    "DesignPoint",
+    "SensitivityReport",
+    "bandwidth_sensitivity",
+    "Scheme",
+    "CompiledProgram",
+    "SolverResult",
+    "build_seeds",
+    "compile_expression",
+    "minimize_time_cost_product",
+    "minimize_training_time",
+    "traffic_totals",
+]

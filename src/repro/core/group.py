@@ -1,0 +1,146 @@
+"""Multi-workload (group) optimization study helpers (Sec. VI-B, Fig. 17).
+
+The paper's group study optimizes a network for each workload separately,
+then cross-evaluates every workload on every network, and finally optimizes
+one network for the whole group at once. :class:`GroupStudy` packages that
+protocol; the Fig. 17 benchmark prints its matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import ConstraintSet
+from repro.core.framework import Libra
+from repro.core.results import DesignPoint, Scheme
+from repro.cost.model import CostModel
+from repro.topology.network import MultiDimNetwork
+from repro.training.compute import ComputeModel
+from repro.training.loops import TrainingLoop
+from repro.utils.errors import ConfigurationError
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class GroupStudyResult:
+    """Everything Fig. 17 reads off.
+
+    Attributes:
+        per_target_points: Design point of the network optimized for each
+            single target, keyed by target workload name.
+        group_point: Design point of the group-optimized network.
+        equal_point: EqualBW baseline point.
+        speedups: ``speedups[design][workload]`` — training speedup of
+            ``workload`` on ``design``'s network over EqualBW. ``design`` is
+            a workload name or ``"group"``.
+        slowdowns: ``slowdowns[design][workload]`` — slowdown of ``workload``
+            on ``design``'s network relative to the network optimized for
+            that same workload (1.0 on the diagonal by construction).
+    """
+
+    per_target_points: dict[str, DesignPoint]
+    group_point: DesignPoint
+    equal_point: DesignPoint
+    speedups: dict[str, dict[str, float]]
+    slowdowns: dict[str, dict[str, float]]
+
+    @property
+    def average_group_slowdown(self) -> float:
+        """Mean slowdown of the group network — the paper reports 1.01×."""
+        values = list(self.slowdowns["group"].values())
+        return sum(values) / len(values)
+
+    @property
+    def worst_cross_slowdown(self) -> float:
+        """Worst off-diagonal slowdown among single-target networks."""
+        worst = 1.0
+        for design, row in self.slowdowns.items():
+            if design == "group":
+                continue
+            for workload, value in row.items():
+                if workload != design:
+                    worst = max(worst, value)
+        return worst
+
+
+def run_group_study(
+    network: MultiDimNetwork,
+    workloads: list[Workload],
+    total_bandwidth: float,
+    cost_model: CostModel | None = None,
+    compute_model: ComputeModel | None = None,
+    loop: TrainingLoop | None = None,
+    scheme: Scheme = Scheme.PERF_OPT,
+) -> GroupStudyResult:
+    """Execute the full Fig. 17 protocol on one network.
+
+    Args:
+        network: The shared network shape (paper: 4D-4K).
+        workloads: Target workloads (all sized for this network).
+        total_bandwidth: Per-NPU bandwidth budget, bytes/s (paper: 1 TB/s).
+        scheme: Optimization scheme for the per-target and group networks.
+    """
+    if len(workloads) < 2:
+        raise ConfigurationError("a group study needs at least two workloads")
+
+    def fresh_libra() -> Libra:
+        return Libra(
+            network,
+            cost_model=cost_model,
+            compute_model=compute_model,
+            loop=loop,
+        )
+
+    def budget(libra: Libra) -> ConstraintSet:
+        return libra.constraints().with_total_bandwidth(total_bandwidth)
+
+    # A shared evaluator that knows every workload's expression.
+    evaluator = fresh_libra()
+    for workload in workloads:
+        evaluator.add_workload(workload)
+    equal_point = evaluator.equal_bw_point(total_bandwidth)
+
+    per_target_points: dict[str, DesignPoint] = {}
+    for target in workloads:
+        libra = fresh_libra().add_workload(target)
+        optimized = libra.optimize(scheme, budget(libra))
+        # Re-evaluate the single-target bandwidths against all workloads.
+        per_target_points[target.name] = evaluator.evaluate(
+            optimized.bandwidths, scheme=scheme,
+            solver_message=optimized.solver_message,
+        )
+
+    # Group objective: weight each workload by the reciprocal of its own
+    # optimized step time, so the weighted sum is (up to a constant) the sum
+    # of per-workload *slowdowns*. Every target then contributes comparably
+    # regardless of its absolute scale — otherwise a trillion-parameter
+    # model's seconds drown a vision model's milliseconds and the "group"
+    # network ignores the small workloads entirely.
+    group_libra = fresh_libra()
+    for workload in workloads:
+        own_optimal = per_target_points[workload.name].step_time(workload.name)
+        group_libra.add_workload(workload, weight=1.0 / own_optimal)
+    group_point = group_libra.optimize(scheme, budget(group_libra))
+
+    designs: dict[str, DesignPoint] = dict(per_target_points)
+    designs["group"] = group_point
+
+    speedups: dict[str, dict[str, float]] = {}
+    slowdowns: dict[str, dict[str, float]] = {}
+    for design_name, point in designs.items():
+        speedups[design_name] = {}
+        slowdowns[design_name] = {}
+        for workload in workloads:
+            time_here = point.step_time(workload.name)
+            time_equal = equal_point.step_time(workload.name)
+            time_own = per_target_points[workload.name].step_time(workload.name)
+            speedups[design_name][workload.name] = time_equal / time_here
+            slowdowns[design_name][workload.name] = time_here / time_own
+
+    return GroupStudyResult(
+        per_target_points=per_target_points,
+        group_point=group_point,
+        equal_point=equal_point,
+        speedups=speedups,
+        slowdowns=slowdowns,
+    )

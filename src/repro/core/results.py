@@ -1,0 +1,102 @@
+"""Design-point result objects returned by the framework."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GBPS
+
+
+class Scheme(enum.Enum):
+    """The bandwidth-allocation schemes of Sec. IV-F and the baseline."""
+
+    EQUAL_BW = "EqualBW"
+    PERF_OPT = "PerfOptBW"
+    PERF_PER_COST_OPT = "PerfPerCostOptBW"
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated network bandwidth configuration.
+
+    Attributes:
+        scheme: How the configuration was produced.
+        bandwidths: Per-dimension per-NPU bandwidth, bytes/s.
+        step_times: Training-step seconds per workload name.
+        network_cost: Dollar cost of the whole network.
+        solver_message: Diagnostics from the optimizer (empty for baselines).
+    """
+
+    scheme: Scheme
+    bandwidths: tuple[float, ...]
+    step_times: dict[str, float]
+    network_cost: float
+    solver_message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.bandwidths:
+            raise ConfigurationError("design point needs at least one bandwidth")
+        if any(b < 0 for b in self.bandwidths):
+            raise ConfigurationError(f"negative bandwidth in {self.bandwidths}")
+        if self.network_cost < 0:
+            raise ConfigurationError(f"negative network cost {self.network_cost}")
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Aggregate per-NPU bandwidth, bytes/s."""
+        return sum(self.bandwidths)
+
+    @property
+    def weighted_step_time(self) -> float:
+        """Sum of workload step times (the group objective with unit weights)."""
+        return sum(self.step_times.values())
+
+    def step_time(self, workload_name: str | None = None) -> float:
+        """Step time of one workload (or the only one when unnamed)."""
+        if workload_name is None:
+            if len(self.step_times) != 1:
+                raise ConfigurationError(
+                    f"design point covers {sorted(self.step_times)}; name one"
+                )
+            return next(iter(self.step_times.values()))
+        try:
+            return self.step_times[workload_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no step time recorded for {workload_name!r}; "
+                f"known: {sorted(self.step_times)}"
+            ) from None
+
+    def speedup_over(self, baseline: "DesignPoint", workload_name: str | None = None) -> float:
+        """Training speedup vs a baseline point: ``T_base / T_this``."""
+        return baseline.step_time(workload_name) / self.step_time(workload_name)
+
+    def perf_per_cost_gain_over(
+        self, baseline: "DesignPoint", workload_name: str | None = None
+    ) -> float:
+        """Perf-per-cost ratio vs a baseline: ``(T·C)_base / (T·C)_this``.
+
+        Perf-per-cost is ``1 / (time × cost)``, so the *gain* is the inverse
+        ratio of the time-cost products (Sec. IV-F).
+        """
+        ours = self.step_time(workload_name) * self.network_cost
+        theirs = baseline.step_time(workload_name) * baseline.network_cost
+        if ours <= 0:
+            raise ConfigurationError("degenerate design point with zero time-cost product")
+        return theirs / ours
+
+    def bandwidths_gbps(self) -> tuple[float, ...]:
+        """Bandwidths in GB/s for reports."""
+        return tuple(b / GBPS for b in self.bandwidths)
+
+    def describe(self) -> str:
+        """One-line summary for logs and benchmark output."""
+        bws = ", ".join(f"{b:.1f}" for b in self.bandwidths_gbps())
+        times = ", ".join(
+            f"{name}: {time * 1e3:.2f} ms" for name, time in sorted(self.step_times.items())
+        )
+        return (
+            f"{self.scheme.value}: [{bws}] GB/s, cost ${self.network_cost:,.0f}, {times}"
+        )

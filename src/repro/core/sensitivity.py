@@ -1,0 +1,119 @@
+"""Bandwidth sensitivity analysis at a design point.
+
+Once LIBRA proposes an allocation, a designer's next question is *where the
+next GB/s should go* — which dimension's bandwidth is the binding resource,
+and how flat the optimum is. This module differentiates the symbolic
+training-time expression numerically and turns the result into a marginal-
+value report:
+
+* ``dT/dB_i`` — seconds saved per extra byte/s on dimension *i* (≤ 0);
+* the *binding set* — dimensions whose marginal value is within tolerance
+  of the best;
+* transfer gradients — the benefit of moving budget from one dimension to
+  another at fixed total, exposing constraint pressure.
+
+A caveat for points *at* a water-filling optimum: the objective has a kink
+there (several dimensions co-bottleneck a ``max``), so central differences
+report half-slopes that scale as ``T/B_i`` — smaller dimensions look more
+"valuable" even though no budget transfer actually helps. Use direct
+re-evaluation (as the optimality tests do) to certify an optimum; use this
+module to rank *off-optimum* points and to find the binding structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.training.expr import Expr
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Marginal values of bandwidth at one design point.
+
+    Attributes:
+        bandwidths: The evaluated point, bytes/s.
+        step_time: Training-step seconds at the point.
+        marginals: ``dT/dB_i`` in seconds per (byte/s); non-positive.
+    """
+
+    bandwidths: tuple[float, ...]
+    step_time: float
+    marginals: tuple[float, ...]
+
+    @property
+    def most_valuable_dim(self) -> int:
+        """Dimension where an extra unit of bandwidth helps most."""
+        return int(np.argmin(self.marginals))  # most negative
+
+    def binding_dims(self, tolerance: float = 0.05) -> tuple[int, ...]:
+        """Dimensions whose marginal value is within ``tolerance`` (relative)
+        of the best. A singleton means one dimension bottlenecks the step;
+        at a clean water-filling optimum every loaded dimension appears."""
+        best = min(self.marginals)
+        if best >= 0.0:
+            return ()
+        return tuple(
+            dim
+            for dim, value in enumerate(self.marginals)
+            if value <= best * (1 - tolerance)
+        )
+
+    def transfer_gradient(self, source: int, target: int) -> float:
+        """Seconds saved per byte/s moved from ``source`` to ``target``.
+
+        Positive = the move helps. Zero across all pairs characterizes an
+        interior optimum of the budget-constrained problem.
+        """
+        num = len(self.marginals)
+        if not (0 <= source < num and 0 <= target < num):
+            raise ConfigurationError(f"dimension out of range: {source}, {target}")
+        return self.marginals[source] - self.marginals[target]
+
+    def seconds_per_extra_gbps(self) -> tuple[float, ...]:
+        """Marginals rescaled to seconds saved per extra GB/s (≥ 0)."""
+        return tuple(-value * 1e9 for value in self.marginals)
+
+
+def bandwidth_sensitivity(
+    expression: Expr,
+    bandwidths: Sequence[float],
+    relative_step: float = 1e-4,
+) -> SensitivityReport:
+    """Central-difference sensitivity of a time expression at a point.
+
+    Args:
+        expression: Symbolic step time (from the estimator or pipeline
+            model).
+        bandwidths: Evaluation point, bytes/s; all entries must be positive.
+        relative_step: Finite-difference step as a fraction of each
+            bandwidth.
+    """
+    point = np.asarray(bandwidths, dtype=float)
+    if point.ndim != 1 or point.size == 0:
+        raise ConfigurationError("bandwidths must be a non-empty vector")
+    if np.any(point <= 0):
+        raise ConfigurationError(f"bandwidths must be positive, got {point}")
+    if not 0 < relative_step < 0.5:
+        raise ConfigurationError(f"relative_step must be in (0, 0.5), got {relative_step}")
+
+    base_time = expression.evaluate(point)
+    marginals = []
+    for dim in range(point.size):
+        step = point[dim] * relative_step
+        upper = point.copy()
+        lower = point.copy()
+        upper[dim] += step
+        lower[dim] -= step
+        marginals.append(
+            (expression.evaluate(upper) - expression.evaluate(lower)) / (2 * step)
+        )
+    return SensitivityReport(
+        bandwidths=tuple(float(value) for value in point),
+        step_time=base_time,
+        marginals=tuple(marginals),
+    )

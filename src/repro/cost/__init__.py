@@ -1,0 +1,33 @@
+"""Network dollar-cost modeling (paper Sec. IV-D, Table I, Fig. 12).
+
+Public surface:
+
+* :class:`CostModel` / :class:`TierCost` / :func:`default_cost_model` — the
+  Table I price table (a user-supplied input to LIBRA).
+* :func:`network_cost` / :func:`cost_breakdown` — dollar cost of a
+  bandwidth configuration.
+* :func:`cost_rates` — the linear coefficients the optimizer consumes.
+* :func:`max_bandwidth_for_budget` — iso-cost sizing (Fig. 19).
+"""
+
+from repro.cost.estimator import (
+    DimCostBreakdown,
+    cost_breakdown,
+    cost_rates,
+    dim_cost_rate,
+    max_bandwidth_for_budget,
+    network_cost,
+)
+from repro.cost.model import CostModel, TierCost, default_cost_model
+
+__all__ = [
+    "DimCostBreakdown",
+    "cost_breakdown",
+    "cost_rates",
+    "dim_cost_rate",
+    "max_bandwidth_for_budget",
+    "network_cost",
+    "CostModel",
+    "TierCost",
+    "default_cost_model",
+]

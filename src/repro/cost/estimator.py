@@ -1,0 +1,129 @@
+"""Network cost estimation (Sec. IV-D, Fig. 12).
+
+Cost is linear in the bandwidth vector. For each dimension, the per-NPU
+hardware purchased per GB/s of dimension bandwidth is:
+
+* one link share (``link`` $/GBps) — ring and FC NPUs split their dimension
+  bandwidth across ports, so total link capacity bought per NPU equals the
+  dimension bandwidth regardless of topology;
+* one switch-port share (``switch`` $/GBps) if the dimension is a Switch —
+  a radix-``k`` switch serving ``k`` NPUs at ``b`` GB/s costs
+  ``switch · k · b``, i.e. ``switch · b`` per NPU;
+* one NIC share (``nic`` $/GBps) at NIC-bearing tiers (inter-Pod).
+
+Worked example (Fig. 12): 3 NPUs behind one inter-Pod switch at 10 GB/s →
+links ``$7.8 × 10 × 3 = $234``, switch ``$18 × 3 × 10 = $540``, NICs
+``$31.6 × 10 × 3 = $948`` — total **$1,722**, reproduced by the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.cost.model import CostModel
+from repro.topology.network import MultiDimNetwork
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GBPS
+
+
+@dataclass(frozen=True)
+class DimCostBreakdown:
+    """Dollar cost of one dimension, split by component class."""
+
+    dim: int
+    link: float
+    switch: float
+    nic: float
+
+    @property
+    def total(self) -> float:
+        return self.link + self.switch + self.nic
+
+
+def dim_cost_rate(network: MultiDimNetwork, dim: int, cost_model: CostModel) -> float:
+    """$ per (byte/s of per-NPU bandwidth) for dimension ``dim``, per NPU.
+
+    This is the linear coefficient the optimizer uses: network cost is
+    ``num_npus · Σ_i rate_i · B_i`` with ``B`` in bytes/s.
+    """
+    if not 0 <= dim < network.num_dims:
+        raise ConfigurationError(f"dimension {dim} out of range for {network.num_dims}D network")
+    block = network.blocks[dim]
+    tier = network.tiers[dim]
+    dollars_per_gbps = cost_model.link_cost(tier)
+    if block.uses_switch:
+        dollars_per_gbps += cost_model.switch_cost(tier)
+    dollars_per_gbps += cost_model.nic_cost(tier)
+    return dollars_per_gbps / GBPS
+
+
+def cost_rates(network: MultiDimNetwork, cost_model: CostModel) -> tuple[float, ...]:
+    """Per-dimension linear cost coefficients ($ per byte/s per NPU)."""
+    return tuple(dim_cost_rate(network, dim, cost_model) for dim in range(network.num_dims))
+
+
+def network_cost(
+    network: MultiDimNetwork,
+    bandwidths: Sequence[float],
+    cost_model: CostModel,
+) -> float:
+    """Total network dollar cost for per-NPU ``bandwidths`` (bytes/s)."""
+    breakdown = cost_breakdown(network, bandwidths, cost_model)
+    return sum(entry.total for entry in breakdown)
+
+
+def cost_breakdown(
+    network: MultiDimNetwork,
+    bandwidths: Sequence[float],
+    cost_model: CostModel,
+) -> list[DimCostBreakdown]:
+    """Per-dimension, per-component dollar cost (the Fig. 12 line items)."""
+    if len(bandwidths) != network.num_dims:
+        raise ConfigurationError(
+            f"expected {network.num_dims} bandwidths, got {len(bandwidths)}"
+        )
+    entries = []
+    for dim, bandwidth in enumerate(bandwidths):
+        if bandwidth < 0:
+            raise ConfigurationError(f"bandwidth of dim {dim} must be >= 0, got {bandwidth}")
+        block = network.blocks[dim]
+        tier = network.tiers[dim]
+        gbps_per_npu = bandwidth / GBPS
+        scale = network.num_npus * gbps_per_npu
+        link = cost_model.link_cost(tier) * scale
+        switch = cost_model.switch_cost(tier) * scale if block.uses_switch else 0.0
+        nic = cost_model.nic_cost(tier) * scale
+        entries.append(DimCostBreakdown(dim=dim, link=link, switch=switch, nic=nic))
+    return entries
+
+
+def max_bandwidth_for_budget(
+    network: MultiDimNetwork,
+    shares: Sequence[float],
+    budget_dollars: float,
+    cost_model: CostModel,
+) -> float:
+    """Total per-NPU bandwidth achievable for ``budget_dollars``.
+
+    Given an allocation *shape* (``shares`` summing to 1 across dimensions),
+    returns the total bandwidth ``B`` such that the network with per-dim
+    bandwidths ``shares_i · B`` costs exactly the budget. Used by the
+    iso-cost Themis study (Sec. VI-D), where the LIBRA-shaped network affords
+    5.05× more bandwidth than EqualBW at equal dollars.
+    """
+    if budget_dollars <= 0:
+        raise ConfigurationError(f"budget must be positive, got {budget_dollars}")
+    if len(shares) != network.num_dims:
+        raise ConfigurationError(f"expected {network.num_dims} shares, got {len(shares)}")
+    share_sum = sum(shares)
+    if share_sum <= 0:
+        raise ConfigurationError("shares must sum to a positive value")
+    normalized = [share / share_sum for share in shares]
+    rates = cost_rates(network, cost_model)
+    dollars_per_unit_total = network.num_npus * sum(
+        rate * share for rate, share in zip(rates, normalized)
+    )
+    if dollars_per_unit_total <= 0:
+        raise ConfigurationError("cost rates are all zero; cannot size a budget")
+    return budget_dollars / dollars_per_unit_total

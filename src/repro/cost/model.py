@@ -1,0 +1,113 @@
+"""Network dollar-cost model (Table I, Sec. IV-D).
+
+The cost model prices three component classes — Link, Switch, NIC — in
+$/GBps, per physical tier (inter-Chiplet / Package / Node / Pod). It is a
+*user input* to LIBRA: technology costs shift over time, so the framework
+treats the table as data. The default table uses the lowest value of each
+Table I entry, exactly as the paper's evaluation does.
+
+Conventions baked into the default model (Sec. IV-D):
+
+* Only the inter-Pod (scale-out) tier uses NICs.
+* Inter-Chiplet networks are peer-to-peer only — no switches — so a Switch
+  dimension at the Chiplet tier is priced as a configuration error rather
+  than silently given a made-up cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.topology.network import NetworkTier
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TierCost:
+    """Component prices for one tier, in $/GBps.
+
+    ``None`` marks a component unavailable at this tier (e.g. Chiplet
+    switches); pricing a dimension that needs an unavailable component is a
+    configuration error.
+    """
+
+    link: float
+    switch: float | None = None
+    nic: float | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("link", self.link), ("switch", self.switch), ("nic", self.nic)):
+            if value is not None and value < 0:
+                raise ConfigurationError(f"{name} cost must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """$/GBps prices per tier plus lookup helpers.
+
+    Attributes:
+        tiers: Price table keyed by :class:`NetworkTier`.
+        name: Label for reports.
+    """
+
+    tiers: dict[NetworkTier, TierCost] = field(default_factory=dict)
+    name: str = "custom"
+
+    def tier_cost(self, tier: NetworkTier) -> TierCost:
+        """Prices for ``tier``; raises if the model does not cover it."""
+        try:
+            return self.tiers[tier]
+        except KeyError:
+            raise ConfigurationError(
+                f"cost model {self.name!r} has no prices for tier {tier.value!r}"
+            ) from None
+
+    def link_cost(self, tier: NetworkTier) -> float:
+        """Link $/GBps at ``tier``."""
+        return self.tier_cost(tier).link
+
+    def switch_cost(self, tier: NetworkTier) -> float:
+        """Switch $/GBps at ``tier``; raises if switches are unavailable."""
+        cost = self.tier_cost(tier).switch
+        if cost is None:
+            raise ConfigurationError(
+                f"tier {tier.value!r} does not support switches in cost model {self.name!r} "
+                "(inter-Chiplet networks are peer-to-peer only)"
+            )
+        return cost
+
+    def nic_cost(self, tier: NetworkTier) -> float:
+        """NIC $/GBps at ``tier``; 0.0 for tiers that do not use NICs."""
+        cost = self.tier_cost(tier).nic
+        return 0.0 if cost is None else cost
+
+    def with_link_cost(self, tier: NetworkTier, link: float) -> "CostModel":
+        """Copy with one tier's link price replaced (Fig. 18's sweep knob)."""
+        if link < 0:
+            raise ConfigurationError(f"link cost must be >= 0, got {link}")
+        new_tiers = dict(self.tiers)
+        new_tiers[tier] = replace(self.tier_cost(tier), link=link)
+        return CostModel(tiers=new_tiers, name=f"{self.name}[{tier.value}.link={link}]")
+
+
+def default_cost_model() -> CostModel:
+    """The paper's default cost model: lowest value of each Table I entry.
+
+    ======== ===== ====== =====
+    tier     link  switch NIC
+    ======== ===== ====== =====
+    Chiplet  2.0   —      —
+    Package  4.0   13.0   —
+    Node     4.0   13.0   —
+    Pod      7.8   18.0   31.6
+    ======== ===== ====== =====
+    """
+    return CostModel(
+        tiers={
+            NetworkTier.CHIPLET: TierCost(link=2.0),
+            NetworkTier.PACKAGE: TierCost(link=4.0, switch=13.0),
+            NetworkTier.NODE: TierCost(link=4.0, switch=13.0),
+            NetworkTier.POD: TierCost(link=7.8, switch=18.0, nic=31.6),
+        },
+        name="table1-default",
+    )

@@ -1,0 +1,30 @@
+"""Runtime optimizers that complement design-time bandwidth allocation.
+
+The paper pairs LIBRA with two runtime techniques (Sec. VI-D):
+
+* :class:`ThemisScheduler` — bandwidth-aware dynamic chunk scheduling
+  (Fig. 19), plugged into the chunk-level simulator.
+* :func:`synthesize_all_gather` — TACOS-style topology-aware collective
+  synthesis on the physical link graph (Fig. 20).
+"""
+
+from repro.runtime.tacos import (
+    SynthesizedCollective,
+    TacosCoDesign,
+    Transfer,
+    cooptimize_with_tacos,
+    multirail_all_reduce_time,
+    synthesize_all_gather,
+)
+from repro.runtime.themis import ThemisScheduler, themis_scheduler_factory
+
+__all__ = [
+    "SynthesizedCollective",
+    "TacosCoDesign",
+    "cooptimize_with_tacos",
+    "Transfer",
+    "multirail_all_reduce_time",
+    "synthesize_all_gather",
+    "ThemisScheduler",
+    "themis_scheduler_factory",
+]

@@ -1,0 +1,346 @@
+"""TACOS-style topology-aware collective synthesizer (Sec. VI-D, [63]).
+
+TACOS synthesizes collective algorithms directly on the physical link graph
+(rather than composing per-dimension unit algorithms the multi-rail way), by
+matching chunks to links over a time-expanded view of the topology. This
+module implements that search family as a continuous-time greedy matcher:
+
+* Every NPU starts with its shard of the payload, split into chunks.
+* Whenever a directed link is free and its source holds a chunk its
+  destination still lacks, the link transfers one — preferring the *rarest*
+  chunk system-wide (the classic gossip heuristic the time-expanded matching
+  approximates), tie-breaking deterministically.
+* The synthesized All-Gather finishes when every NPU holds every chunk;
+  Reduce-Scatter is its time-mirror (same makespan, reductions instead of
+  copies), so an All-Reduce costs two passes.
+
+Because the matcher works on the link graph, it exploits *all* dimensions
+concurrently — unlike the staged multi-rail algorithm — which is exactly why
+TACOS helps EqualBW tori, and why pairing it with LIBRA's bandwidth shaping
+compounds the benefit (Fig. 20).
+
+Switch dimensions are intentionally unsupported: the paper's TACOS study
+runs on the 3D-Torus (``RI(4)_RI(4)_RI(4)``), and store-and-forward hubs
+would need a different data model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.topology.graph import build_graph
+from repro.topology.network import MultiDimNetwork
+from repro.utils.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One scheduled chunk transfer in the synthesized algorithm."""
+
+    chunk: int
+    src: int
+    dst: int
+    start: float
+    finish: float
+
+
+@dataclass(frozen=True)
+class SynthesizedCollective:
+    """A synthesized All-Gather schedule and its derived collective times.
+
+    Attributes:
+        makespan: All-Gather completion time, seconds.
+        transfers: Every link-level transfer, in start-time order.
+        num_chunks_total: Chunk count across all NPUs.
+    """
+
+    makespan: float
+    transfers: tuple[Transfer, ...]
+    num_chunks_total: int
+
+    @property
+    def all_gather_time(self) -> float:
+        return self.makespan
+
+    @property
+    def reduce_scatter_time(self) -> float:
+        """RS is the time-reversed AG with reductions — same makespan."""
+        return self.makespan
+
+    @property
+    def all_reduce_time(self) -> float:
+        """All-Reduce = Reduce-Scatter followed by All-Gather."""
+        return 2.0 * self.makespan
+
+    @property
+    def link_transfer_count(self) -> int:
+        return len(self.transfers)
+
+
+def synthesize_all_gather(
+    network: MultiDimNetwork,
+    bandwidths: tuple[float, ...] | list[float],
+    collective_bytes: float,
+    chunks_per_npu: int = 8,
+) -> SynthesizedCollective:
+    """Synthesize an All-Gather over the whole network's link graph.
+
+    Args:
+        network: Target network; all dimensions must be switchless (Ring or
+            FullyConnected), matching the paper's 3D-Torus study.
+        bandwidths: Per-NPU per-dimension bandwidth, bytes/s.
+        collective_bytes: Total All-Gather payload ``m`` (each NPU starts
+            with ``m / num_npus`` and ends with ``m``).
+        chunks_per_npu: How many chunks each NPU's shard is split into
+            (paper: 8 for the 1 GB study).
+
+    Returns:
+        The synthesized schedule.
+    """
+    if any(block.uses_switch for block in network.blocks):
+        raise ConfigurationError(
+            "the TACOS synthesizer supports switchless topologies only "
+            f"(got {network.notation})"
+        )
+    if collective_bytes <= 0:
+        raise ConfigurationError(f"collective size must be positive, got {collective_bytes}")
+    if chunks_per_npu < 1:
+        raise ConfigurationError(f"chunks_per_npu must be >= 1, got {chunks_per_npu}")
+
+    graph = build_graph(network, bandwidths)
+    num_npus = network.num_npus
+    num_chunks = num_npus * chunks_per_npu
+    chunk_bytes = collective_bytes / num_chunks
+
+    # have[npu] = set of chunks held; chunk k starts at NPU k // chunks_per_npu.
+    have: list[set[int]] = [set() for _ in range(num_npus)]
+    holder_count = [0] * num_chunks
+    for chunk in range(num_chunks):
+        origin = chunk // chunks_per_npu
+        have[origin].add(chunk)
+        holder_count[chunk] = 1
+
+    inflight: list[set[int]] = [set() for _ in range(num_npus)]
+    links = [
+        (int(u), int(v), float(data["bandwidth"]))
+        for u, v, data in graph.edges(data=True)
+    ]
+    out_links: dict[int, list[int]] = {npu: [] for npu in range(num_npus)}
+    in_links: dict[int, list[int]] = {npu: [] for npu in range(num_npus)}
+    for index, (u, v, _bw) in enumerate(links):
+        out_links[u].append(index)
+        in_links[v].append(index)
+    link_free = [True] * len(links)
+
+    transfers: list[Transfer] = []
+    heap: list[tuple[float, int, int, int]] = []  # (finish, seq, link, chunk)
+    sequence = itertools.count()
+    remaining = num_chunks * num_npus - num_chunks  # deliveries still needed
+
+    # In-neighbour sources per NPU, fastest link first — the deferral rule
+    # below only walks the strictly-faster prefix, so uniform-bandwidth
+    # networks pay nothing for it.
+    in_sources: dict[int, list[tuple[float, int]]] = {
+        npu: sorted(
+            ((links[index][2], links[index][0]) for index in in_links[npu]),
+            reverse=True,
+        )
+        for npu in range(num_npus)
+    }
+
+    def faster_source_exists(chunk: int, dst: int, link_bw: float) -> bool:
+        """True when ``dst`` can expect ``chunk`` over a strictly faster link.
+
+        On bandwidth-skewed networks (LIBRA-shaped tori) this deferral rule
+        is what keeps slow outer-dimension links from redundantly importing
+        chunks that a fast inner-dimension neighbour already holds or is
+        about to receive — the greedy stays near the relay-based schedules
+        real TACOS synthesizes.
+        """
+        for other_bw, other_src in in_sources[dst]:
+            if other_bw <= link_bw:
+                return False
+            if chunk in have[other_src] or chunk in inflight[other_src]:
+                return True
+        return False
+
+    def pick_chunk(src: int, dst: int, link_index: int, link_bw: float) -> int | None:
+        """Rarest chunk ``src`` can usefully send to ``dst`` (None if none).
+
+        Rarity ties break by a per-link rotation rather than by chunk id:
+        with a global tie-break every importer of a region would fetch the
+        *same* rarest chunk at the same instant, multiplying redundant
+        transfers over the slowest links. The rotation keeps the choice
+        deterministic while spreading concurrent imports across chunks.
+        """
+        candidates = have[src] - have[dst] - inflight[dst]
+        if not candidates:
+            return None
+        usable = [
+            chunk for chunk in candidates
+            if not faster_source_exists(chunk, dst, link_bw)
+        ]
+        if not usable:
+            return None
+        rotation = (link_index * 2654435761) % num_chunks
+        return min(
+            usable,
+            key=lambda chunk: (holder_count[chunk], (chunk + rotation) % num_chunks),
+        )
+
+    def try_start(link_index: int, now: float) -> None:
+        src, dst, link_bw = links[link_index]
+        if not link_free[link_index]:
+            return
+        chunk = pick_chunk(src, dst, link_index, link_bw)
+        if chunk is None:
+            return
+        link_free[link_index] = False
+        inflight[dst].add(chunk)
+        finish = now + chunk_bytes / link_bw
+        heapq.heappush(heap, (finish, next(sequence), link_index, chunk))
+        transfers.append(Transfer(chunk, src, dst, now, finish))
+
+    for link_index in range(len(links)):
+        try_start(link_index, 0.0)
+
+    makespan = 0.0
+    while heap:
+        now, _, link_index, chunk = heapq.heappop(heap)
+        src, dst, _bw = links[link_index]
+        inflight[dst].discard(chunk)
+        have[dst].add(chunk)
+        holder_count[chunk] += 1
+        remaining -= 1
+        makespan = now
+        link_free[link_index] = True
+        # The freed link may have more to send; the destination can now
+        # forward its new chunk on every idle outgoing link (which is also
+        # what releases transfers the deferral rule was holding back).
+        try_start(link_index, now)
+        for neighbor_link in out_links[dst]:
+            try_start(neighbor_link, now)
+
+    if remaining != 0:
+        raise SimulationError(
+            f"synthesis finished with {remaining} undelivered chunk copies "
+            "(disconnected topology?)"
+        )
+    transfers.sort(key=lambda t: (t.start, t.finish, t.chunk))
+    return SynthesizedCollective(
+        makespan=makespan,
+        transfers=tuple(transfers),
+        num_chunks_total=num_chunks,
+    )
+
+
+@dataclass(frozen=True)
+class TacosCoDesign:
+    """Outcome of co-optimizing bandwidth allocation with the synthesizer.
+
+    Attributes:
+        bandwidths: Chosen per-dim bandwidths, bytes/s.
+        all_reduce_time: Synthesized All-Reduce seconds at that allocation.
+        network_cost: Dollar cost of the allocation.
+        evaluated: Every (bandwidths, time, cost) candidate examined.
+    """
+
+    bandwidths: tuple[float, ...]
+    all_reduce_time: float
+    network_cost: float
+    evaluated: tuple[tuple[tuple[float, ...], float, float], ...]
+
+
+def cooptimize_with_tacos(
+    network: MultiDimNetwork,
+    total_bandwidth: float,
+    collective_bytes: float,
+    chunks_per_npu: int = 8,
+    objective: str = "perf_per_cost",
+    skew_levels: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> TacosCoDesign:
+    """LIBRA + TACOS co-design (Fig. 20): search allocations with the
+    synthesizer in the loop.
+
+    The multi-rail traffic model does not describe TACOS execution — the
+    synthesizer routes adaptively, so its per-dimension load follows the
+    allocation rather than the staged formulas. LIBRA therefore evaluates a
+    small family of allocations (interpolating from EqualBW toward a
+    cheap-inner-dimension skew) by synthesizing the collective on each, and
+    picks the best under the requested objective. Because EqualBW is always
+    in the family, the co-design never loses to TACOS-only.
+
+    Args:
+        objective: ``"perf"`` (minimize time) or ``"perf_per_cost"``
+            (minimize time × dollar cost).
+    """
+    from repro.cost.estimator import network_cost as price
+    from repro.cost.model import default_cost_model
+
+    if objective not in ("perf", "perf_per_cost"):
+        raise ConfigurationError(f"unknown objective {objective!r}")
+    cost_model = default_cost_model()
+    num_dims = network.num_dims
+    equal_shares = [1.0 / num_dims] * num_dims
+    # The skew target keeps every dimension above the connectivity floor
+    # (a chunk still needs (e_d − 1) hops per dimension) while shifting the
+    # budget toward the cheaper inner dimensions.
+    skew_target = _cheap_skew_shares(network)
+
+    evaluated = []
+    best = None
+    for alpha in skew_levels:
+        shares = [
+            (1 - alpha) * equal + alpha * skew
+            for equal, skew in zip(equal_shares, skew_target)
+        ]
+        bandwidths = tuple(total_bandwidth * share for share in shares)
+        result = synthesize_all_gather(
+            network, list(bandwidths), collective_bytes, chunks_per_npu
+        )
+        time = result.all_reduce_time
+        dollars = price(network, list(bandwidths), cost_model)
+        evaluated.append((bandwidths, time, dollars))
+        score = time if objective == "perf" else time * dollars
+        if best is None or score < best[0]:
+            best = (score, bandwidths, time, dollars)
+
+    assert best is not None
+    _, bandwidths, time, dollars = best
+    return TacosCoDesign(
+        bandwidths=bandwidths,
+        all_reduce_time=time,
+        network_cost=dollars,
+        evaluated=tuple(evaluated),
+    )
+
+
+def _cheap_skew_shares(network: MultiDimNetwork) -> list[float]:
+    """A cost-leaning share vector: 70/20/10-style, inner dimensions first."""
+    num_dims = network.num_dims
+    raw = [2.0 ** (num_dims - 1 - dim) for dim in range(num_dims)]
+    # Temper the geometric decay so no dimension drops below ~10% of budget.
+    floor = 0.1
+    total = sum(raw)
+    shares = [max(value / total, floor) for value in raw]
+    norm = sum(shares)
+    return [share / norm for share in shares]
+
+
+def multirail_all_reduce_time(
+    network: MultiDimNetwork,
+    bandwidths: tuple[float, ...] | list[float],
+    collective_bytes: float,
+    num_chunks: int = 8,
+) -> float:
+    """Baseline for Fig. 20: the staged multi-rail All-Reduce, simulated."""
+    from repro.collectives.types import CollectiveOp, CollectiveType, DimSpan
+    from repro.simulator.pipeline import simulate_collective
+
+    spans = tuple(
+        DimSpan(dim, size) for dim, size in enumerate(network.dim_sizes) if size > 1
+    )
+    op = CollectiveOp(CollectiveType.ALL_REDUCE, collective_bytes, spans, "fig20-ar")
+    return simulate_collective(op, list(bandwidths), num_chunks=num_chunks).finish_time

@@ -1,0 +1,62 @@
+"""Chunk-level network simulator — the ASTRA-sim analogue (Sec. V-A).
+
+Public surface:
+
+* :class:`EventQueue` — deterministic discrete-event core.
+* :func:`simulate_collective` / :class:`FixedOrderScheduler` /
+  :class:`ChunkScheduler` — pipelined multi-rail collective execution on
+  per-dimension bandwidth servers (Fig. 9).
+* :func:`simulate_training_step` — full training-step simulation with
+  overlap semantics and utilization accounting (Fig. 10).
+* :func:`run_all_reduce` / :func:`run_all_to_all` — value-level data-plane
+  execution for correctness verification (Fig. 8).
+* :class:`UtilizationReport` / :class:`BusyTracker` — per-dimension
+  bandwidth utilization accounting.
+"""
+
+from repro.simulator.dataplane import run_all_reduce, run_all_to_all
+from repro.simulator.engine import EventQueue
+from repro.simulator.pipeline import (
+    ChunkProgress,
+    ChunkScheduler,
+    CollectiveResult,
+    DimServer,
+    FixedOrderScheduler,
+    StageJob,
+    simulate_collective,
+)
+from repro.simulator.pipeline import TimelineEvent
+from repro.simulator.stats import BusyTracker, UtilizationReport, merge_reports
+from repro.simulator.timeline import busy_fraction, render_timeline, timeline_gaps
+from repro.simulator.training_sim import (
+    DEFAULT_NUM_CHUNKS,
+    StepSimulation,
+    ideal_comm_time,
+    simulate_training_step,
+    utilization_speedup_potential,
+)
+
+__all__ = [
+    "run_all_reduce",
+    "run_all_to_all",
+    "EventQueue",
+    "ChunkProgress",
+    "ChunkScheduler",
+    "CollectiveResult",
+    "DimServer",
+    "FixedOrderScheduler",
+    "StageJob",
+    "simulate_collective",
+    "TimelineEvent",
+    "busy_fraction",
+    "render_timeline",
+    "timeline_gaps",
+    "BusyTracker",
+    "UtilizationReport",
+    "merge_reports",
+    "DEFAULT_NUM_CHUNKS",
+    "StepSimulation",
+    "ideal_comm_time",
+    "simulate_training_step",
+    "utilization_speedup_potential",
+]

@@ -1,0 +1,65 @@
+"""Minimal discrete-event simulation core.
+
+A deliberately small engine: a monotonic clock plus a priority queue of
+``(time, sequence, callback)`` events. The sequence number makes event
+ordering deterministic under ties, which keeps every simulation in this
+library exactly reproducible — a property the regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+from repro.utils.errors import SimulationError
+
+
+class EventQueue:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire at absolute ``time``."""
+        if time < self._now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Drain the queue; returns the final simulation time.
+
+        ``max_events`` bounds runaway simulations (a scheduling bug would
+        otherwise loop forever); hitting it raises :class:`SimulationError`.
+        """
+        count = 0
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            self._now = time
+            callback()
+            count += 1
+            self._processed += 1
+            if count > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely a scheduling loop")
+        return self._now

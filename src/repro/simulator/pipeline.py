@@ -1,0 +1,324 @@
+"""Chunk-level multi-rail collective simulation (Fig. 9).
+
+Collectives are split into chunks (64 per collective in the paper's setup)
+that pipeline through the network dimensions: while chunk *c* reduces on
+Dim 2, chunk *c+1* reduces on Dim 1. Each dimension is modeled as a FIFO
+bandwidth server from the perspective of one (representative) NPU — the
+multi-rail algorithm is fully symmetric, so every NPU sees the same
+schedule, exactly as Fig. 9 draws it.
+
+The *order* in which a chunk visits dimensions is delegated to a
+:class:`ChunkScheduler`. The baseline :class:`FixedOrderScheduler` follows
+the canonical multi-rail order (RS ascending, AG descending); the
+Themis-style scheduler in :mod:`repro.runtime.themis` plugs in here to pick
+orders dynamically. For correctness, a chunk's All-Gather phase always
+mirrors its own Reduce-Scatter order in reverse, whatever that order was.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.collectives.types import CollectiveOp, CollectiveType, DimSpan
+from repro.simulator.engine import EventQueue
+from repro.simulator.stats import BusyTracker, UtilizationReport
+from repro.utils.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class StageJob:
+    """One (chunk, dimension) transfer queued at a dimension server."""
+
+    chunk_id: int
+    span: DimSpan
+    phase: str  # "RS" / "AG" / "A2A"
+    volume_bytes: float
+
+
+class ChunkProgress:
+    """Mutable per-chunk state machine for the multi-rail traversal."""
+
+    def __init__(self, chunk_id: int, op: CollectiveOp, chunk_bytes: float):
+        self.chunk_id = chunk_id
+        self.op = op
+        self.spans = op.spans
+        self.kind = op.kind
+        self.ag_pending: set[int] = set()
+        if self.kind is CollectiveType.ALL_GATHER:
+            # All-Gather starts from the scattered shard and grows back out;
+            # the visit order is free (any order yields a complete gather),
+            # so it uses a pending set like the RS phase.
+            self.payload = chunk_bytes / op.group_size
+            self.rs_pending: set[int] = set()
+            self.ag_pending = set(range(len(self.spans)))
+        else:
+            self.payload = chunk_bytes
+            self.rs_pending = set(range(len(self.spans)))
+        self.rs_visit_order: list[int] = []
+        self.ag_position = 0
+
+    # -- phase bookkeeping ---------------------------------------------------
+
+    @property
+    def in_rs_phase(self) -> bool:
+        # A2A reuses the pending set: one visit per span, order-flexible.
+        return bool(self.rs_pending)
+
+    @property
+    def in_ag_phase(self) -> bool:
+        if self.kind is CollectiveType.ALL_REDUCE:
+            return not self.rs_pending and self.ag_position < len(self.spans)
+        if self.kind is CollectiveType.ALL_GATHER:
+            return bool(self.ag_pending)
+        return False
+
+    @property
+    def finished(self) -> bool:
+        return not self.in_rs_phase and not self.in_ag_phase
+
+    def ag_order(self) -> list[int]:
+        """AG span order for All-Reduce: the chunk's own RS order reversed.
+
+        Mirroring is a correctness requirement of the multi-rail value flow —
+        the scattered shard must be gathered back through the same groups it
+        was reduced into, in reverse. Pure All-Gather collectives do not go
+        through this method; their order is free (see ``ag_pending``).
+        """
+        return list(reversed(self.rs_visit_order))
+
+    def stage_volume(self, span_index: int) -> float:
+        """Bytes this chunk would move on ``span_index`` right now."""
+        span = self.spans[span_index]
+        if self.kind is CollectiveType.POINT_TO_POINT:
+            return self.payload  # full payload hops through the dimension
+        if self.in_rs_phase:
+            return self.payload * (span.size - 1) / span.size
+        payload_out = self.payload * span.size
+        return payload_out * (span.size - 1) / span.size
+
+    def advance(self, span_index: int) -> None:
+        """Commit the transfer on ``span_index`` and update the payload."""
+        span = self.spans[span_index]
+        if self.in_rs_phase:
+            if span_index not in self.rs_pending:
+                raise SimulationError(
+                    f"chunk {self.chunk_id} revisited span {span_index} in RS phase"
+                )
+            self.rs_pending.discard(span_index)
+            self.rs_visit_order.append(span_index)
+            if self.kind not in (
+                CollectiveType.ALL_TO_ALL,
+                CollectiveType.POINT_TO_POINT,
+            ):
+                self.payload /= span.size
+        elif self.in_ag_phase:
+            if self.kind is CollectiveType.ALL_GATHER:
+                if span_index not in self.ag_pending:
+                    raise SimulationError(
+                        f"chunk {self.chunk_id} revisited span {span_index} in AG phase"
+                    )
+                self.ag_pending.discard(span_index)
+            else:
+                expected = self.ag_order()[self.ag_position]
+                if span_index != expected:
+                    raise SimulationError(
+                        f"chunk {self.chunk_id} AG phase expected span {expected}, "
+                        f"got {span_index}"
+                    )
+                self.ag_position += 1
+            self.payload *= span.size
+        else:
+            raise SimulationError(f"chunk {self.chunk_id} advanced after finishing")
+
+
+class ChunkScheduler(abc.ABC):
+    """Chooses which span a ready chunk traverses next."""
+
+    def prepare(
+        self,
+        op: CollectiveOp,
+        num_chunks: int,
+        servers: "list[DimServer]",
+        bandwidths: tuple[float, ...],
+    ) -> None:
+        """Hook called once before dispatching; planners build state here."""
+
+    @abc.abstractmethod
+    def next_span(
+        self,
+        progress: ChunkProgress,
+        now: float,
+        servers: "list[DimServer]",
+        bandwidths: tuple[float, ...],
+    ) -> int:
+        """Span index for the chunk's next stage. Only called when unfinished."""
+
+
+class FixedOrderScheduler(ChunkScheduler):
+    """Canonical multi-rail order: RS ascending spans, AG descending."""
+
+    def next_span(
+        self,
+        progress: ChunkProgress,
+        now: float,
+        servers: "list[DimServer]",
+        bandwidths: tuple[float, ...],
+    ) -> int:
+        if progress.in_rs_phase:
+            return min(progress.rs_pending)
+        if progress.ag_pending:
+            return max(progress.ag_pending)
+        return progress.ag_order()[progress.ag_position]
+
+
+class DimServer:
+    """FIFO bandwidth server for one network dimension."""
+
+    def __init__(self, dim: int, bandwidth: float):
+        if bandwidth <= 0:
+            raise ConfigurationError(f"dimension {dim} bandwidth must be positive")
+        self.dim = dim
+        self.bandwidth = bandwidth
+        self.queue: deque[StageJob] = deque()
+        self.busy = False
+        self.free_at = 0.0
+        self.queued_volume = 0.0
+
+    def estimated_completion(self, now: float, volume: float) -> float:
+        """Finish time if ``volume`` were enqueued now (Themis' lookahead)."""
+        start = max(self.free_at, now) if self.busy else now
+        return start + (self.queued_volume + volume) / self.bandwidth
+
+    def backlog_seconds(self, now: float) -> float:
+        """Work already committed to this server, in seconds from ``now``."""
+        in_service = max(self.free_at - now, 0.0) if self.busy else 0.0
+        return in_service + self.queued_volume / self.bandwidth
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One transfer on one dimension server (a Fig. 9 box)."""
+
+    dim: int
+    chunk_id: int
+    phase: str  # "RS" / "AG" / "A2A" / "P2P"
+    start: float
+    end: float
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one simulated collective."""
+
+    finish_time: float
+    report: UtilizationReport
+    chunk_finish_times: tuple[float, ...] = field(default=())
+    timeline: tuple[TimelineEvent, ...] = field(default=())
+
+
+def simulate_collective(
+    op: CollectiveOp,
+    bandwidths: tuple[float, ...] | list[float],
+    num_chunks: int = 64,
+    scheduler: ChunkScheduler | None = None,
+) -> CollectiveResult:
+    """Simulate one collective, chunked and pipelined, on dimension servers.
+
+    Args:
+        op: The collective (spans bound to physical dimensions).
+        bandwidths: Per-NPU bandwidth per dimension, bytes/s.
+        num_chunks: Pipeline depth (paper default: 64).
+        scheduler: Stage-ordering policy; canonical multi-rail when omitted.
+
+    Returns:
+        Finish time, per-dimension utilization report, and per-chunk finish
+        times (ascending — useful for pipelining diagnostics).
+    """
+    if num_chunks < 1:
+        raise ConfigurationError(f"num_chunks must be >= 1, got {num_chunks}")
+    num_dims = len(bandwidths)
+    bw = tuple(float(b) for b in bandwidths)
+    if op.is_trivial:
+        empty = BusyTracker(num_dims).report(0.0, bw)
+        return CollectiveResult(finish_time=0.0, report=empty, chunk_finish_times=())
+    if op.spans and op.spans[-1].dim >= num_dims:
+        raise ConfigurationError(
+            f"collective spans dim {op.spans[-1].dim}, network has {num_dims}"
+        )
+
+    policy = scheduler or FixedOrderScheduler()
+    queue = EventQueue()
+    tracker = BusyTracker(num_dims)
+    servers = [DimServer(dim, bw[dim]) for dim in range(num_dims)]
+    chunk_bytes = op.size_bytes / num_chunks
+    chunks = [ChunkProgress(index, op, chunk_bytes) for index in range(num_chunks)]
+    finish_times: dict[int, float] = {}
+    timeline: list[TimelineEvent] = []
+    policy.prepare(op, num_chunks, servers, bw)
+
+    def dispatch(chunk: ChunkProgress) -> None:
+        """Route a ready chunk to its next dimension server (or retire it)."""
+        if chunk.finished:
+            finish_times[chunk.chunk_id] = queue.now
+            return
+        span_index = policy.next_span(chunk, queue.now, servers, bw)
+        span = chunk.op.spans[span_index]
+        volume = chunk.stage_volume(span_index)
+        phase = "RS" if chunk.in_rs_phase else "AG"
+        if chunk.kind is CollectiveType.ALL_TO_ALL:
+            phase = "A2A"
+        elif chunk.kind is CollectiveType.POINT_TO_POINT:
+            phase = "P2P"
+        chunk.advance(span_index)
+        job = StageJob(chunk.chunk_id, span, phase, volume)
+        enqueue(servers[span.dim], job)
+
+    def enqueue(server: DimServer, job: StageJob) -> None:
+        server.queue.append(job)
+        server.queued_volume += job.volume_bytes
+        if not server.busy:
+            start_next(server)
+
+    def start_next(server: DimServer) -> None:
+        if not server.queue:
+            server.busy = False
+            return
+        job = server.queue.popleft()
+        server.queued_volume -= job.volume_bytes
+        duration = job.volume_bytes / server.bandwidth
+        server.busy = True
+        server.free_at = queue.now + duration
+        tracker.record(server.dim, duration, job.volume_bytes)
+        timeline.append(
+            TimelineEvent(
+                dim=server.dim,
+                chunk_id=job.chunk_id,
+                phase=job.phase,
+                start=queue.now,
+                end=queue.now + duration,
+            )
+        )
+
+        def complete() -> None:
+            start_next(server)
+            dispatch(chunks[job.chunk_id])
+
+        queue.schedule_after(duration, complete)
+
+    for chunk in chunks:
+        dispatch(chunk)
+    makespan = queue.run()
+
+    if len(finish_times) != num_chunks:
+        raise SimulationError(
+            f"{num_chunks - len(finish_times)} chunks never finished"
+        )
+    ordered = tuple(finish_times[index] for index in range(num_chunks))
+    return CollectiveResult(
+        finish_time=makespan,
+        report=tracker.report(makespan, bw),
+        chunk_finish_times=ordered,
+        timeline=tuple(timeline),
+    )

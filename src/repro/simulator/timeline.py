@@ -1,0 +1,114 @@
+"""ASCII rendering of collective timelines — Fig. 9, drawn from simulation.
+
+The paper's Fig. 9 shades, per dimension, which chunk occupies the rail at
+each instant and where the idle gaps sit. :func:`render_timeline` produces
+the same picture in text from the simulator's recorded
+:class:`~repro.simulator.pipeline.TimelineEvent` stream::
+
+    Dim1 |00112233--------|
+    Dim2 |--0--1--2--3----|
+    Dim3 |---0---1---2---3|
+
+Digits are chunk ids (mod 10, lowercase letters for the RS half and digits
+for AG when ``phase_markers`` is on), ``-`` is idle. Rendering is resolution
+-limited, not exact: each column covers ``makespan / width`` seconds and
+shows the event that covers the column's midpoint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.simulator.pipeline import TimelineEvent
+from repro.utils.errors import ConfigurationError
+
+_IDLE = "-"
+
+
+def render_timeline(
+    events: Sequence[TimelineEvent],
+    num_dims: int,
+    width: int = 64,
+    phase_markers: bool = False,
+) -> str:
+    """Render a per-dimension occupancy chart from timeline events.
+
+    Args:
+        events: The simulator's recorded transfers.
+        num_dims: Number of dimension rows to draw.
+        width: Characters per row.
+        phase_markers: When True, Reduce-Scatter cells render as lowercase
+            letters (a–j for chunks 0–9 mod 10) and All-Gather cells as
+            digits, making the two phases visually distinct.
+
+    Returns:
+        One line per dimension, ``Dim<k> |cells|``.
+    """
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    if num_dims < 1:
+        raise ConfigurationError(f"num_dims must be >= 1, got {num_dims}")
+    makespan = max((event.end for event in events), default=0.0)
+    rows = []
+    for dim in range(num_dims):
+        cells = [_IDLE] * width
+        dim_events = [event for event in events if event.dim == dim]
+        if makespan > 0:
+            for column in range(width):
+                instant = (column + 0.5) * makespan / width
+                for event in dim_events:
+                    if event.start <= instant < event.end:
+                        cells[column] = _marker(event, phase_markers)
+                        break
+        rows.append(f"Dim{dim + 1} |{''.join(cells)}|")
+    return "\n".join(rows)
+
+
+def _marker(event: TimelineEvent, phase_markers: bool) -> str:
+    digit = event.chunk_id % 10
+    if phase_markers and event.phase == "RS":
+        return "abcdefghij"[digit]
+    return str(digit)
+
+
+def timeline_gaps(
+    events: Sequence[TimelineEvent],
+    dim: int,
+    horizon: float | None = None,
+) -> list[tuple[float, float]]:
+    """Idle intervals of one dimension, ``[(start, end), …]``.
+
+    ``horizon`` defaults to the overall makespan; trailing idle time up to
+    the horizon counts as a gap (those are Fig. 9's underutilization bands).
+    """
+    dim_events = sorted(
+        (event for event in events if event.dim == dim),
+        key=lambda event: event.start,
+    )
+    end_of_time = horizon if horizon is not None else max(
+        (event.end for event in events), default=0.0
+    )
+    gaps = []
+    cursor = 0.0
+    for event in dim_events:
+        if event.start > cursor + 1e-15:
+            gaps.append((cursor, event.start))
+        cursor = max(cursor, event.end)
+    if cursor + 1e-15 < end_of_time:
+        gaps.append((cursor, end_of_time))
+    return gaps
+
+
+def busy_fraction(
+    events: Sequence[TimelineEvent],
+    dim: int,
+    horizon: float | None = None,
+) -> float:
+    """Busy share of one dimension over the horizon (1 − idle)."""
+    end_of_time = horizon if horizon is not None else max(
+        (event.end for event in events), default=0.0
+    )
+    if end_of_time == 0:
+        return 0.0
+    idle = sum(end - start for start, end in timeline_gaps(events, dim, end_of_time))
+    return max(0.0, 1.0 - idle / end_of_time)

@@ -1,0 +1,164 @@
+"""Full training-step simulation on the chunk-level network model.
+
+This mirrors the analytical estimator of :mod:`repro.training.estimator`
+but replaces every closed-form collective time with a chunk-pipelined
+simulation (:func:`repro.simulator.pipeline.simulate_collective`), capturing
+the pipeline fill/drain bubbles the closed form ignores. It also aggregates
+per-dimension utilization across the whole step — the quantity Fig. 10
+reports for the EqualBW baselines.
+
+Loop semantics follow Fig. 5: under the no-overlap loop everything is
+sequential; under TP-DP overlap, each layer's backward time is
+``TP_Comp + max(TP_Comm, DP_Comp + DP_Comm)`` with the communication terms
+taken from simulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.collectives.types import CollectiveOp
+from repro.simulator.pipeline import ChunkScheduler, CollectiveResult, simulate_collective
+from repro.simulator.stats import UtilizationReport, merge_reports
+from repro.topology.network import MultiDimNetwork
+from repro.training.compute import ComputeModel, a100_compute_model
+from repro.training.estimator import resolve_comm
+from repro.utils.errors import ConfigurationError
+from repro.workloads.parallelism import map_parallelism
+from repro.workloads.workload import Workload
+
+#: Paper default: every collective is split into 64 chunks (Sec. V-B).
+DEFAULT_NUM_CHUNKS: int = 64
+
+
+@dataclass(frozen=True)
+class StepSimulation:
+    """Result of simulating one training step.
+
+    Attributes:
+        total_time: End-to-end step seconds.
+        compute_time: Exposed (non-overlapped) compute seconds.
+        comm_time: Exposed communication seconds.
+        comm_report: Merged per-dimension utilization over all simulated
+            communication phases.
+        collective_times: Simulated seconds per resolved collective label.
+    """
+
+    total_time: float
+    compute_time: float
+    comm_time: float
+    comm_report: UtilizationReport
+    collective_times: dict[str, float]
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the step spent in exposed communication."""
+        if self.total_time == 0:
+            return 0.0
+        return self.comm_time / self.total_time
+
+
+def simulate_training_step(
+    workload: Workload,
+    network: MultiDimNetwork,
+    bandwidths: tuple[float, ...] | list[float],
+    compute_model: ComputeModel | None = None,
+    loop_name: str = "no-overlap",
+    num_chunks: int = DEFAULT_NUM_CHUNKS,
+    scheduler_factory: Callable[[], ChunkScheduler] | None = None,
+) -> StepSimulation:
+    """Simulate one training step of ``workload`` at ``bandwidths``.
+
+    Args:
+        scheduler_factory: Optional per-collective chunk-scheduler factory
+            (e.g. the Themis scheduler); canonical multi-rail when omitted.
+    """
+    if loop_name not in ("no-overlap", "tp-dp-overlap"):
+        raise ConfigurationError(f"unknown loop {loop_name!r}")
+    compute = compute_model or a100_compute_model()
+    mapping = map_parallelism(network, workload.parallelism)
+    bw = tuple(float(value) for value in bandwidths)
+
+    collective_times: dict[str, float] = {}
+    reports: list[UtilizationReport] = []
+
+    def run_collectives(comms, label: str) -> float:
+        """Simulate a phase's collectives back-to-back; returns total seconds."""
+        total = 0.0
+        for index, comm in enumerate(comms):
+            op: CollectiveOp = resolve_comm(comm, mapping, f"{label}#{index}")
+            if op.is_trivial:
+                continue
+            scheduler = scheduler_factory() if scheduler_factory else None
+            result: CollectiveResult = simulate_collective(
+                op, bw, num_chunks=num_chunks, scheduler=scheduler
+            )
+            collective_times[op.label] = result.finish_time
+            reports.append(result.report)
+            total += result.finish_time
+        return total
+
+    total_time = 0.0
+    compute_time = 0.0
+    comm_time = 0.0
+    for layer in workload.layers:
+        fwd_compute = compute.time_for(layer.fwd_compute_flops)
+        tp_compute = compute.time_for(layer.tp_compute_flops)
+        dp_compute = compute.time_for(layer.dp_compute_flops)
+        fwd_comm = run_collectives(layer.fwd_comms, f"{layer.name}/fwd")
+        tp_comm = run_collectives(layer.tp_comms, f"{layer.name}/tp")
+        dp_comm = run_collectives(layer.dp_comms, f"{layer.name}/dp")
+
+        total_time += fwd_compute + fwd_comm
+        compute_time += fwd_compute
+        comm_time += fwd_comm
+        if loop_name == "no-overlap":
+            total_time += tp_compute + tp_comm + dp_compute + dp_comm
+            compute_time += tp_compute + dp_compute
+            comm_time += tp_comm + dp_comm
+        else:
+            overlapped = max(tp_comm, dp_compute + dp_comm)
+            total_time += tp_compute + overlapped
+            compute_time += tp_compute
+            if tp_comm >= dp_compute + dp_comm:
+                comm_time += tp_comm
+            else:
+                compute_time += dp_compute
+                comm_time += dp_comm
+
+    if reports:
+        comm_report = merge_reports(reports)
+    else:
+        from repro.simulator.stats import BusyTracker
+
+        comm_report = BusyTracker(network.num_dims).report(0.0, bw)
+    return StepSimulation(
+        total_time=total_time,
+        compute_time=compute_time,
+        comm_time=comm_time,
+        comm_report=comm_report,
+        collective_times=collective_times,
+    )
+
+
+def ideal_comm_time(step: StepSimulation) -> float:
+    """Communication time at 100% aggregate bandwidth utilization.
+
+    Fig. 10's "achievable ideal": moving the same bytes while saturating the
+    whole fabric. The theoretical speedup the paper quotes (e.g. 1.83× for
+    3D EqualBW) is ``total_time / (compute_time + ideal_comm_time)``.
+    """
+    report = step.comm_report
+    total_bandwidth = sum(report.bandwidths)
+    if total_bandwidth == 0:
+        return 0.0
+    return sum(report.bytes_moved) / total_bandwidth
+
+
+def utilization_speedup_potential(step: StepSimulation) -> float:
+    """Speedup available from perfect bandwidth utilization (Fig. 10)."""
+    ideal_total = step.compute_time + ideal_comm_time(step)
+    if ideal_total == 0:
+        return 1.0
+    return step.total_time / ideal_total

@@ -1,0 +1,66 @@
+"""Multi-dimensional network topology representation (paper Sec. II-A, IV-A).
+
+Public surface:
+
+* :class:`BuildingBlock` and the :func:`ring` / :func:`fully_connected` /
+  :func:`switch` constructors — per-dimension unit topologies.
+* :class:`MultiDimNetwork` — a stack of building blocks with physical tiers.
+* :func:`parse_notation` / :func:`format_notation` — the
+  ``"RI(4)_FC(8)_SW(32)"`` string form.
+* :func:`build_graph` — expansion to a physical link graph (networkx).
+* :func:`get_topology` and the Table III / Fig. 11 preset registries.
+"""
+
+from repro.topology.building_blocks import (
+    ALGORITHM_BY_KIND,
+    BlockKind,
+    BuildingBlock,
+    fully_connected,
+    ring,
+    switch,
+)
+from repro.topology.graph import build_graph, count_physical_links, per_link_bandwidth
+from repro.topology.metrics import (
+    BisectionReport,
+    bisection_report,
+    block_diameter,
+    describe_structure,
+    injection_bandwidth,
+    network_diameter,
+)
+from repro.topology.network import MultiDimNetwork, NetworkTier, default_tiers
+from repro.topology.notation import format_notation, parse_block, parse_notation
+from repro.topology.presets import (
+    EVALUATION_TOPOLOGIES,
+    REAL_SYSTEM_TOPOLOGIES,
+    evaluation_topology_names,
+    get_topology,
+)
+
+__all__ = [
+    "ALGORITHM_BY_KIND",
+    "BlockKind",
+    "BuildingBlock",
+    "fully_connected",
+    "ring",
+    "switch",
+    "build_graph",
+    "count_physical_links",
+    "per_link_bandwidth",
+    "BisectionReport",
+    "bisection_report",
+    "block_diameter",
+    "describe_structure",
+    "injection_bandwidth",
+    "network_diameter",
+    "MultiDimNetwork",
+    "NetworkTier",
+    "default_tiers",
+    "format_notation",
+    "parse_block",
+    "parse_notation",
+    "EVALUATION_TOPOLOGIES",
+    "REAL_SYSTEM_TOPOLOGIES",
+    "evaluation_topology_names",
+    "get_topology",
+]

@@ -1,0 +1,134 @@
+"""Unit topologies used as multi-dimensional network building blocks.
+
+The paper (Sec. IV-A, Fig. 7) adopts three unit topologies per dimension:
+
+* ``Ring`` (``RI``) — NPUs in a bidirectional ring; topology-aware
+  All-Reduce algorithm: Ring.
+* ``FullyConnected`` (``FC``) — all-to-all peer links; algorithm: Direct.
+* ``Switch`` (``SW``) — NPUs behind a single crossbar switch; algorithm:
+  Recursive Halving-Doubling.
+
+A multi-dimensional network stacks one building block per dimension. Each
+block knows its size, its topology-aware collective algorithm, the physical
+link set it induces (for cost modeling and graph construction), and the
+per-NPU traffic each collective places on the dimension.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+
+class BlockKind(enum.Enum):
+    """The three supported unit topologies and their notation tags."""
+
+    RING = "RI"
+    FULLY_CONNECTED = "FC"
+    SWITCH = "SW"
+
+    @classmethod
+    def from_tag(cls, tag: str) -> "BlockKind":
+        """Look up a kind from its two-letter notation tag (case-insensitive)."""
+        normalized = tag.strip().upper()
+        for kind in cls:
+            if kind.value == normalized:
+                return kind
+        valid = ", ".join(kind.value for kind in cls)
+        raise ConfigurationError(f"unknown building block tag {tag!r}; expected one of {valid}")
+
+
+#: Topology-aware All-Reduce algorithm per building block (Fig. 7(b)).
+ALGORITHM_BY_KIND = {
+    BlockKind.RING: "ring",
+    BlockKind.FULLY_CONNECTED: "direct",
+    BlockKind.SWITCH: "halving_doubling",
+}
+
+
+@dataclass(frozen=True)
+class BuildingBlock:
+    """One network dimension: a unit topology of ``size`` NPU endpoints.
+
+    Attributes:
+        kind: Which unit topology this dimension uses.
+        size: Number of NPU endpoints directly attached to this dimension.
+            Must be at least 2 for a meaningful dimension (a size-1 dimension
+            carries no traffic and is rejected at parse time).
+    """
+
+    kind: BlockKind
+    size: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size, "building block size")
+        if self.size < 2:
+            raise ConfigurationError(
+                f"building block {self.kind.value} must have size >= 2, got {self.size}"
+            )
+        if self.kind is BlockKind.SWITCH and self.size < 2:
+            raise ConfigurationError("switch dimension needs at least 2 endpoints")
+
+    @property
+    def tag(self) -> str:
+        """Two-letter notation tag (``RI``, ``FC``, ``SW``)."""
+        return self.kind.value
+
+    @property
+    def algorithm(self) -> str:
+        """Name of the topology-aware All-Reduce algorithm for this block."""
+        return ALGORITHM_BY_KIND[self.kind]
+
+    @property
+    def uses_switch(self) -> bool:
+        """True when the dimension requires a physical switch component."""
+        return self.kind is BlockKind.SWITCH
+
+    @property
+    def npu_link_count(self) -> int:
+        """Number of physical links attached to each NPU in this dimension.
+
+        Used for graph construction; cost modeling uses bandwidth-proportional
+        coefficients instead (a ring NPU has 2 ports but each carries half of
+        the per-NPU dimension bandwidth).
+        """
+        if self.kind is BlockKind.RING:
+            return 2 if self.size > 2 else 1
+        if self.kind is BlockKind.FULLY_CONNECTED:
+            return self.size - 1
+        return 1  # one uplink to the switch
+
+    def links(self) -> list[tuple[int, int]]:
+        """Undirected physical NPU-to-NPU or NPU-to-switch link list.
+
+        NPU endpoints are numbered ``0..size-1``. For a switch dimension, the
+        switch itself is denoted by index ``-1`` and each NPU has one uplink.
+        """
+        if self.kind is BlockKind.RING:
+            if self.size == 2:
+                return [(0, 1)]
+            return [(i, (i + 1) % self.size) for i in range(self.size)]
+        if self.kind is BlockKind.FULLY_CONNECTED:
+            return [(i, j) for i in range(self.size) for j in range(i + 1, self.size)]
+        return [(i, -1) for i in range(self.size)]
+
+    def __str__(self) -> str:
+        return f"{self.tag}({self.size})"
+
+
+def ring(size: int) -> BuildingBlock:
+    """A Ring dimension of ``size`` NPUs."""
+    return BuildingBlock(BlockKind.RING, size)
+
+
+def fully_connected(size: int) -> BuildingBlock:
+    """A FullyConnected dimension of ``size`` NPUs."""
+    return BuildingBlock(BlockKind.FULLY_CONNECTED, size)
+
+
+def switch(size: int) -> BuildingBlock:
+    """A Switch dimension of ``size`` NPUs behind one crossbar."""
+    return BuildingBlock(BlockKind.SWITCH, size)

@@ -1,0 +1,132 @@
+"""Structural network metrics: diameter, bisection, injection capacity.
+
+Design-space exploration needs quick structural sanity checks alongside the
+bandwidth optimization: how many hops a worst-case message takes, where the
+thinnest bisection cut lies, and how much aggregate injection bandwidth a
+configuration provides. All metrics follow the per-NPU bandwidth convention
+of :mod:`repro.topology.graph` (a dimension's bandwidth is split across the
+NPU's ports in that dimension).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.topology.building_blocks import BlockKind, BuildingBlock
+from repro.topology.graph import per_link_bandwidth
+from repro.topology.network import MultiDimNetwork
+from repro.utils.errors import ConfigurationError
+
+
+def block_diameter(block: BuildingBlock) -> int:
+    """Worst-case hop count within one dimension's unit topology.
+
+    Ring: half-way around; FullyConnected: one hop; Switch: two hops
+    (NPU → switch → NPU).
+    """
+    if block.kind is BlockKind.RING:
+        return block.size // 2
+    if block.kind is BlockKind.FULLY_CONNECTED:
+        return 1
+    return 2
+
+
+def network_diameter(network: MultiDimNetwork) -> int:
+    """Worst-case NPU-to-NPU hop count: dimension diameters add.
+
+    Dimension-ordered routing crosses each dimension independently, so the
+    network diameter is the sum of the per-dimension diameters.
+    """
+    return sum(block_diameter(block) for block in network.blocks)
+
+
+def block_bisection_links(block: BuildingBlock) -> int:
+    """Minimum undirected link cut halving one dimension group.
+
+    Ring: the two links where the halves meet. FullyConnected: every link
+    between the ⌈k/2⌉ and ⌊k/2⌋ halves. Switch: the uplinks of the smaller
+    half (the crossbar itself is non-blocking).
+    """
+    size = block.size
+    if block.kind is BlockKind.RING:
+        return 1 if size == 2 else 2
+    if block.kind is BlockKind.FULLY_CONNECTED:
+        return (size // 2) * ((size + 1) // 2)
+    return size // 2
+
+
+@dataclass(frozen=True)
+class BisectionReport:
+    """Bisection capacities of a bandwidth configuration.
+
+    Attributes:
+        per_dim: Aggregate bisection bandwidth (bytes/s, one direction) when
+            cutting the network across each dimension.
+        weakest_dim: The dimension whose cut is cheapest.
+    """
+
+    per_dim: tuple[float, ...]
+
+    @property
+    def weakest_dim(self) -> int:
+        return min(range(len(self.per_dim)), key=self.per_dim.__getitem__)
+
+    @property
+    def bandwidth(self) -> float:
+        """The network's bisection bandwidth: the cheapest dimension cut."""
+        return min(self.per_dim)
+
+
+def bisection_report(
+    network: MultiDimNetwork,
+    bandwidths: Sequence[float],
+) -> BisectionReport:
+    """Bisection bandwidth per cutting dimension.
+
+    Cutting across dimension ``d`` severs every dimension-``d`` group at its
+    own minimum cut; there are ``num_npus / size_d`` such groups, each
+    contributing ``cut_links · per_link_bandwidth``.
+    """
+    if len(bandwidths) != network.num_dims:
+        raise ConfigurationError(
+            f"expected {network.num_dims} bandwidths, got {len(bandwidths)}"
+        )
+    per_dim = []
+    for dim, block in enumerate(network.blocks):
+        groups = network.num_npus // block.size
+        link_bw = per_link_bandwidth(block.kind, block.size, float(bandwidths[dim]))
+        per_dim.append(groups * block_bisection_links(block) * link_bw)
+    return BisectionReport(per_dim=tuple(per_dim))
+
+
+def injection_bandwidth(
+    network: MultiDimNetwork,
+    bandwidths: Sequence[float],
+) -> float:
+    """Aggregate injection bandwidth of the whole system (bytes/s).
+
+    Each NPU injects up to the sum of its per-dimension bandwidths.
+    """
+    if len(bandwidths) != network.num_dims:
+        raise ConfigurationError(
+            f"expected {network.num_dims} bandwidths, got {len(bandwidths)}"
+        )
+    return network.num_npus * float(sum(bandwidths))
+
+
+def describe_structure(network: MultiDimNetwork, bandwidths: Sequence[float]) -> str:
+    """Multi-line structural summary for reports."""
+    report = bisection_report(network, bandwidths)
+    lines = [
+        f"{network}",
+        f"diameter: {network_diameter(network)} hops",
+        f"injection bandwidth: {injection_bandwidth(network, bandwidths) / 1e12:.2f} TB/s",
+    ]
+    for dim, capacity in enumerate(report.per_dim):
+        marker = "  <- weakest cut" if dim == report.weakest_dim else ""
+        lines.append(
+            f"bisection across dim {dim + 1} ({network.blocks[dim]}): "
+            f"{capacity / 1e12:.2f} TB/s{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Multi-dimensional network representation.
+
+A :class:`MultiDimNetwork` stacks one :class:`BuildingBlock` per dimension
+(Sec. IV-A). Each NPU is addressed either by a flat id in ``0..n-1`` or by a
+coordinate vector, one digit per dimension, with Dim 1 varying fastest. The
+network also records the physical *tier* of each dimension (Chiplet, Package,
+Node, Pod — Fig. 2(b)), which the cost model uses to price links, switches,
+and NICs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.topology.building_blocks import BuildingBlock
+from repro.topology.notation import format_notation, parse_notation
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import prod
+
+
+class NetworkTier(enum.Enum):
+    """Physical connotation of a network dimension (Fig. 2(b)).
+
+    The tier determines which cost-model row prices the dimension and whether
+    NICs are required (only the scale-out ``POD`` tier uses NICs in the
+    default cost model, Sec. IV-D).
+    """
+
+    CHIPLET = "chiplet"
+    PACKAGE = "package"
+    NODE = "node"
+    POD = "pod"
+
+
+#: Tier assignment used in the paper's evaluation: the outermost dimension is
+#: always the scale-out Pod; dimensions inward of it are Node, Package, and
+#: Chiplet in that order. Networks deeper than 4 dimensions repeat CHIPLET
+#: for the innermost extras (the cheapest tier, matching the on-package trend
+#: the paper motivates).
+_DEFAULT_TIER_ORDER = [
+    NetworkTier.POD,
+    NetworkTier.NODE,
+    NetworkTier.PACKAGE,
+    NetworkTier.CHIPLET,
+]
+
+
+def default_tiers(num_dims: int) -> list[NetworkTier]:
+    """Default dimension→tier assignment for an ``num_dims``-D network.
+
+    >>> [tier.value for tier in default_tiers(2)]
+    ['node', 'pod']
+    >>> [tier.value for tier in default_tiers(4)]
+    ['chiplet', 'package', 'node', 'pod']
+    """
+    if num_dims < 1:
+        raise ConfigurationError(f"network needs at least 1 dimension, got {num_dims}")
+    tiers: list[NetworkTier] = []
+    for position_from_outside in range(num_dims):
+        index = min(position_from_outside, len(_DEFAULT_TIER_ORDER) - 1)
+        tiers.append(_DEFAULT_TIER_ORDER[index])
+    tiers.reverse()
+    return tiers
+
+
+@dataclass(frozen=True)
+class MultiDimNetwork:
+    """A multi-dimensional network: stacked building blocks plus tiers.
+
+    Attributes:
+        blocks: One building block per dimension, Dim 1 first.
+        tiers: Physical tier per dimension; defaults to :func:`default_tiers`.
+        name: Optional human-readable name (e.g. ``"4D-4K"``).
+    """
+
+    blocks: tuple[BuildingBlock, ...]
+    tiers: tuple[NetworkTier, ...] = field(default=())
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ConfigurationError("network must have at least one dimension")
+        tiers = self.tiers or tuple(default_tiers(len(self.blocks)))
+        if len(tiers) != len(self.blocks):
+            raise ConfigurationError(
+                f"got {len(tiers)} tiers for {len(self.blocks)} dimensions"
+            )
+        object.__setattr__(self, "blocks", tuple(self.blocks))
+        object.__setattr__(self, "tiers", tuple(tiers))
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_notation(
+        cls,
+        text: str,
+        tiers: tuple[NetworkTier, ...] | None = None,
+        name: str = "",
+    ) -> "MultiDimNetwork":
+        """Build a network from notation such as ``"RI(4)_FC(8)_SW(32)"``."""
+        blocks = tuple(parse_notation(text))
+        return cls(blocks=blocks, tiers=tiers or (), name=name or text)
+
+    # -- shape accessors ----------------------------------------------------
+
+    @property
+    def num_dims(self) -> int:
+        """Number of network dimensions."""
+        return len(self.blocks)
+
+    @property
+    def dim_sizes(self) -> tuple[int, ...]:
+        """NPU endpoint count per dimension, Dim 1 first."""
+        return tuple(block.size for block in self.blocks)
+
+    @property
+    def num_npus(self) -> int:
+        """Total NPUs: the product of all dimension sizes."""
+        return prod(self.dim_sizes)
+
+    @property
+    def notation(self) -> str:
+        """Canonical notation string for this network shape."""
+        return format_notation(list(self.blocks))
+
+    # -- coordinate math ----------------------------------------------------
+
+    def coordinates_of(self, npu_id: int) -> tuple[int, ...]:
+        """Coordinate vector of an NPU (Dim 1 digit first, varies fastest).
+
+        >>> net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        >>> net.coordinates_of(4)
+        (1, 1)
+        """
+        if not 0 <= npu_id < self.num_npus:
+            raise ConfigurationError(
+                f"NPU id {npu_id} out of range for {self.num_npus}-NPU network"
+            )
+        coords = []
+        remainder = npu_id
+        for size in self.dim_sizes:
+            coords.append(remainder % size)
+            remainder //= size
+        return tuple(coords)
+
+    def npu_id_of(self, coords: tuple[int, ...]) -> int:
+        """Flat NPU id of a coordinate vector (inverse of :meth:`coordinates_of`)."""
+        if len(coords) != self.num_dims:
+            raise ConfigurationError(
+                f"expected {self.num_dims} coordinates, got {len(coords)}"
+            )
+        npu_id = 0
+        stride = 1
+        for coord, size in zip(coords, self.dim_sizes):
+            if not 0 <= coord < size:
+                raise ConfigurationError(f"coordinate {coord} out of range for size {size}")
+            npu_id += coord * stride
+            stride *= size
+        return npu_id
+
+    def peers_along_dim(self, npu_id: int, dim: int) -> list[int]:
+        """All NPUs sharing every coordinate with ``npu_id`` except dimension ``dim``.
+
+        ``dim`` is zero-based. The returned list includes ``npu_id`` itself and
+        is ordered by the coordinate along ``dim``; it is exactly the group
+        that a collective stage on that dimension communicates within.
+        """
+        if not 0 <= dim < self.num_dims:
+            raise ConfigurationError(f"dimension {dim} out of range")
+        coords = list(self.coordinates_of(npu_id))
+        peers = []
+        for position in range(self.dim_sizes[dim]):
+            coords[dim] = position
+            peers.append(self.npu_id_of(tuple(coords)))
+        return peers
+
+    # -- misc ---------------------------------------------------------------
+
+    def scaled_last_dim(self, new_size: int, name: str = "") -> "MultiDimNetwork":
+        """Copy of this network with the outermost dimension resized.
+
+        The paper scales network size (512–4,096 NPUs) by adjusting the last
+        dimension (Sec. V-B); this helper mirrors that.
+        """
+        last = self.blocks[-1]
+        new_last = BuildingBlock(last.kind, new_size)
+        return MultiDimNetwork(
+            blocks=self.blocks[:-1] + (new_last,),
+            tiers=self.tiers,
+            name=name,
+        )
+
+    def __str__(self) -> str:
+        label = self.name or self.notation
+        return f"{label} [{self.num_npus} NPUs, {self.num_dims}D]"

@@ -1,0 +1,66 @@
+"""Parser and formatter for the multi-dimensional network notation.
+
+The paper writes network shapes as underscore-joined building blocks, lowest
+dimension first: ``RI(4)_FC(8)_RI(4)_SW(32)`` is a 4D network whose first
+(innermost) dimension is a 4-NPU ring and whose fourth (scale-out) dimension
+is a 32-NPU switch. This module converts between that string form and
+:class:`~repro.topology.building_blocks.BuildingBlock` lists.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.topology.building_blocks import BlockKind, BuildingBlock
+from repro.utils.errors import NotationError
+
+_BLOCK_PATTERN = re.compile(r"^\s*([A-Za-z]{2})\s*\(\s*(\d+)\s*\)\s*$")
+
+
+def parse_block(text: str) -> BuildingBlock:
+    """Parse a single block such as ``"RI(4)"`` into a :class:`BuildingBlock`.
+
+    Raises:
+        NotationError: if the text is not ``TAG(size)`` with a known tag and
+            an integer size of at least 2.
+    """
+    match = _BLOCK_PATTERN.match(text)
+    if match is None:
+        raise NotationError(
+            f"malformed building block {text!r}; expected e.g. 'RI(4)', 'FC(8)', 'SW(32)'"
+        )
+    tag, size_text = match.groups()
+    try:
+        kind = BlockKind.from_tag(tag)
+    except Exception as exc:
+        raise NotationError(str(exc)) from exc
+    size = int(size_text)
+    if size < 2:
+        raise NotationError(f"building block {text!r} must have size >= 2, got {size}")
+    return BuildingBlock(kind, size)
+
+
+def parse_notation(text: str) -> list[BuildingBlock]:
+    """Parse a full shape string such as ``"RI(4)_FC(8)_SW(32)"``.
+
+    Dimensions are listed lowest (Dim 1) first, matching the paper. Returns
+    the block list in the same order.
+
+    Raises:
+        NotationError: for empty input or any malformed block.
+    """
+    if not text or not text.strip():
+        raise NotationError("network notation must not be empty")
+    parts = text.strip().split("_")
+    return [parse_block(part) for part in parts]
+
+
+def format_notation(blocks: list[BuildingBlock]) -> str:
+    """Format blocks back into the canonical notation string.
+
+    Round-trips with :func:`parse_notation`:
+    ``format_notation(parse_notation(s)) == canonical(s)``.
+    """
+    if not blocks:
+        raise NotationError("cannot format an empty block list")
+    return "_".join(str(block) for block in blocks)

@@ -1,0 +1,56 @@
+"""Preset network topologies from the paper.
+
+Two registries are provided:
+
+* :data:`EVALUATION_TOPOLOGIES` — Table III, the shapes used throughout the
+  paper's evaluation (Sec. V-B). The 3D-4K network is the 4D-4K network with
+  its two Ring dimensions merged, exactly as the paper describes.
+* :data:`REAL_SYSTEM_TOPOLOGIES` — Fig. 11, real ML HPC clusters whose
+  fabrics the notation captures.
+"""
+
+from __future__ import annotations
+
+from repro.topology.network import MultiDimNetwork
+from repro.utils.errors import ConfigurationError
+
+#: Table III — multi-dimensional topologies used for analysis.
+EVALUATION_TOPOLOGIES: dict[str, str] = {
+    "4D-4K": "RI(4)_FC(8)_RI(4)_SW(32)",
+    "3D-4K": "RI(16)_FC(8)_SW(32)",
+    "3D-512": "SW(16)_SW(8)_SW(4)",
+    "3D-1K": "FC(8)_RI(16)_SW(8)",
+    "4D-2K": "RI(4)_SW(4)_SW(8)_SW(16)",
+    "3D-Torus": "RI(4)_RI(4)_RI(4)",
+}
+
+#: Fig. 11 — real systems expressed in the same notation.
+REAL_SYSTEM_TOPOLOGIES: dict[str, str] = {
+    "Google TPUv2": "RI(4)_RI(2)",
+    "Google TPUv3": "RI(4)_RI(2)",
+    "Google TPUv4": "RI(4)_RI(2)_RI(2)",
+    "NVIDIA DGX-2": "SW(3)_SW(2)",
+    "NVIDIA DGX-A100": "SW(3)_SW(2)",
+    "Intel Habana HLS-1": "FC(4)_SW(2)",
+    "NVIDIA HGX-H100": "FC(4)_SW(2)",
+    "Meta Zion": "RI(4)_SW(2)",
+    "NVIDIA DGX-1": "RI(4)_SW(2)",
+}
+
+
+def get_topology(name: str) -> MultiDimNetwork:
+    """Look up a preset by name from either registry.
+
+    >>> get_topology("4D-4K").num_npus
+    4096
+    """
+    notation = EVALUATION_TOPOLOGIES.get(name) or REAL_SYSTEM_TOPOLOGIES.get(name)
+    if notation is None:
+        known = sorted(list(EVALUATION_TOPOLOGIES) + list(REAL_SYSTEM_TOPOLOGIES))
+        raise ConfigurationError(f"unknown preset topology {name!r}; known: {known}")
+    return MultiDimNetwork.from_notation(notation, name=name)
+
+
+def evaluation_topology_names() -> list[str]:
+    """Names of the Table III topologies, in paper order."""
+    return list(EVALUATION_TOPOLOGIES)

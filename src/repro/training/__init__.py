@@ -1,0 +1,59 @@
+"""Training-time modeling: compute model, training loops, and estimation.
+
+Public surface:
+
+* :class:`ComputeModel` / :func:`a100_compute_model` — NPU compute rate
+  (Sec. V-B's 234 TFLOPS A100).
+* :class:`NoOverlapLoop` / :class:`TPDPOverlapLoop` / :func:`get_loop` —
+  Fig. 5's training loops.
+* :func:`training_time_expression` — the symbolic end-to-end time in the
+  bandwidth vector (what LIBRA optimizes).
+* :func:`estimate_step_time` / :func:`compute_only_time` — numeric helpers.
+* :func:`resolve_workload_comms` — per-step collective inventory for the
+  simulator.
+"""
+
+from repro.training.compute import ComputeModel, a100_compute_model
+from repro.training.estimator import (
+    ResolvedComm,
+    compute_only_time,
+    estimate_step_time,
+    layer_components,
+    resolve_comm,
+    resolve_workload_comms,
+    training_time_expression,
+)
+from repro.training.pipeline import (
+    PipelineSchedule,
+    estimate_pipeline_step_time,
+    infer_activation_bytes,
+    pipeline_time_expression,
+)
+from repro.training.loops import (
+    LayerComponents,
+    NoOverlapLoop,
+    TPDPOverlapLoop,
+    TrainingLoop,
+    get_loop,
+)
+
+__all__ = [
+    "ComputeModel",
+    "a100_compute_model",
+    "ResolvedComm",
+    "compute_only_time",
+    "estimate_step_time",
+    "layer_components",
+    "resolve_comm",
+    "resolve_workload_comms",
+    "training_time_expression",
+    "PipelineSchedule",
+    "estimate_pipeline_step_time",
+    "infer_activation_bytes",
+    "pipeline_time_expression",
+    "LayerComponents",
+    "NoOverlapLoop",
+    "TPDPOverlapLoop",
+    "TrainingLoop",
+    "get_loop",
+]

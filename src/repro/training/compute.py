@@ -1,0 +1,54 @@
+"""NPU compute-time model (Sec. V-B).
+
+The paper estimates compute times from the measured average efficacy of an
+NVIDIA A100: 75% of the 312 TFLOPS FP16 peak, i.e. 234 TFLOPS effective.
+Compute time is simply FLOPs divided by the effective rate — the modeling
+section explicitly leaves memory-bandwidth and reduction-rate effects out of
+scope, as communication dominates large-model training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import TFLOPS
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """An NPU's sustained compute capability.
+
+    Attributes:
+        peak_flops: Peak throughput in FLOP/s.
+        efficiency: Sustained fraction of peak actually achieved (0–1].
+        name: Label for reports.
+    """
+
+    peak_flops: float
+    efficiency: float = 1.0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ConfigurationError(f"peak_flops must be positive, got {self.peak_flops}")
+        check_probability(self.efficiency, "efficiency")
+        if self.efficiency == 0:
+            raise ConfigurationError("efficiency must be > 0")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s: ``peak × efficiency``."""
+        return self.peak_flops * self.efficiency
+
+    def time_for(self, flops: float) -> float:
+        """Seconds to execute ``flops`` on one NPU."""
+        if flops < 0:
+            raise ConfigurationError(f"flops must be >= 0, got {flops}")
+        return flops / self.effective_flops
+
+
+def a100_compute_model() -> ComputeModel:
+    """The paper's A100 model: 312 TFLOPS FP16 peak at 75% → 234 TFLOPS."""
+    return ComputeModel(peak_flops=312 * TFLOPS, efficiency=0.75, name="A100-75pct")

@@ -1,0 +1,193 @@
+"""Symbolic training-time expressions in the bandwidth vector.
+
+LIBRA's key modeling move (Sec. IV-C) is capturing end-to-end training time
+as a *function of the per-dimension bandwidths* ``B``. This module is that
+function's representation: a small expression tree with four node kinds —
+
+* :class:`Const` — bandwidth-independent time (compute),
+* :class:`CommTerm` — one collective: ``max_j coeff_j / B[dim_j]``,
+* :class:`Sum` — sequential composition (optionally weighted children),
+* :class:`MaxExpr` — overlap composition (Fig. 5(c)'s
+  ``max(TP_Comm, DP_Comp + DP_Comm)``).
+
+The tree supports direct numeric evaluation (for sweeps and baselines) and
+structural compilation into the epigraph form the solver optimizes: every
+``max`` becomes an auxiliary variable with one inequality per operand. That
+reformulation is what makes ``PerfOptBW`` a convex program.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.utils.errors import ConfigurationError
+
+
+class Expr(abc.ABC):
+    """A non-negative time expression over the bandwidth vector."""
+
+    @abc.abstractmethod
+    def evaluate(self, bandwidths: Sequence[float]) -> float:
+        """Numeric value at the given per-dimension bandwidths (bytes/s)."""
+
+    @abc.abstractmethod
+    def max_dim(self) -> int:
+        """Largest dimension index referenced (-1 when bandwidth-free)."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A bandwidth-independent time contribution (compute, fixed latency)."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ConfigurationError(f"Const must be >= 0, got {self.value}")
+
+    def evaluate(self, bandwidths: Sequence[float]) -> float:
+        return self.value
+
+    def max_dim(self) -> int:
+        return -1
+
+
+@dataclass(frozen=True)
+class CommTerm(Expr):
+    """One collective's time: ``max_j coeff_j / B[dim_j]``.
+
+    Attributes:
+        coefficients: ``(dim, traffic_bytes)`` pairs, ascending by dim; the
+            output of :func:`repro.collectives.traffic.traffic_coefficients`.
+        label: Tag for reports. Excluded from equality/hashing so that
+            structurally identical terms from different layers deduplicate
+            under :func:`simplify`.
+    """
+
+    coefficients: tuple[tuple[int, float], ...]
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        dims = [dim for dim, _ in self.coefficients]
+        if dims != sorted(dims) or len(set(dims)) != len(dims):
+            raise ConfigurationError(f"coefficients must have unique ascending dims: {dims}")
+        for dim, coeff in self.coefficients:
+            if dim < 0 or coeff < 0:
+                raise ConfigurationError(f"bad coefficient ({dim}, {coeff})")
+
+    def evaluate(self, bandwidths: Sequence[float]) -> float:
+        worst = 0.0
+        for dim, coeff in self.coefficients:
+            if dim >= len(bandwidths):
+                raise ConfigurationError(
+                    f"CommTerm references dim {dim} but got {len(bandwidths)} bandwidths"
+                )
+            worst = max(worst, coeff / bandwidths[dim])
+        return worst
+
+    def max_dim(self) -> int:
+        return max((dim for dim, _ in self.coefficients), default=-1)
+
+
+@dataclass(frozen=True)
+class Sum(Expr):
+    """Weighted sum of child expressions (sequential composition)."""
+
+    children: tuple[Expr, ...]
+    weights: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        weights = self.weights or tuple(1.0 for _ in self.children)
+        if len(weights) != len(self.children):
+            raise ConfigurationError(
+                f"{len(self.weights)} weights for {len(self.children)} children"
+            )
+        if any(weight < 0 for weight in weights):
+            raise ConfigurationError(f"weights must be >= 0, got {weights}")
+        object.__setattr__(self, "weights", weights)
+
+    def evaluate(self, bandwidths: Sequence[float]) -> float:
+        return sum(
+            weight * child.evaluate(bandwidths)
+            for weight, child in zip(self.weights, self.children)
+        )
+
+    def max_dim(self) -> int:
+        return max((child.max_dim() for child in self.children), default=-1)
+
+
+@dataclass(frozen=True)
+class MaxExpr(Expr):
+    """Maximum of child expressions (overlap composition)."""
+
+    children: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ConfigurationError("MaxExpr needs at least one child")
+
+    def evaluate(self, bandwidths: Sequence[float]) -> float:
+        return max(child.evaluate(bandwidths) for child in self.children)
+
+    def max_dim(self) -> int:
+        return max(child.max_dim() for child in self.children)
+
+
+def simplify(expr: Expr) -> Expr:
+    """Flatten nested sums, merge constants, and deduplicate repeat terms.
+
+    Identical subtrees under a :class:`Sum` are merged by summing their
+    weights (every node is a frozen, hashable dataclass, so structural
+    equality is exact). This matters enormously for real workloads: a
+    96-layer transformer whose layers are identical collapses from hundreds
+    of comm terms to a handful, which is what keeps the solver's compiled
+    program — and hence optimization time — small.
+    """
+    if isinstance(expr, Sum):
+        merged: dict[Expr, float] = {}
+        const_total = 0.0
+
+        def accumulate(child: Expr, weight: float) -> None:
+            nonlocal const_total
+            if weight == 0:
+                return
+            if isinstance(child, Const):
+                const_total += weight * child.value
+            elif isinstance(child, Sum):
+                for inner_weight, inner_child in zip(child.weights, child.children):
+                    accumulate(inner_child, weight * inner_weight)
+            else:
+                merged[child] = merged.get(child, 0.0) + weight
+
+        for weight, child in zip(expr.weights, expr.children):
+            accumulate(simplify(child), weight)
+
+        flat_children = list(merged)
+        flat_weights = [merged[child] for child in flat_children]
+        if const_total > 0 or not flat_children:
+            flat_children.append(Const(const_total))
+            flat_weights.append(1.0)
+        if len(flat_children) == 1 and flat_weights[0] == 1.0:
+            return flat_children[0]
+        return Sum(tuple(flat_children), tuple(flat_weights))
+    if isinstance(expr, MaxExpr):
+        children = tuple(dict.fromkeys(simplify(child) for child in expr.children))
+        if len(children) == 1:
+            return children[0]
+        return MaxExpr(children)
+    if isinstance(expr, CommTerm) and not expr.coefficients:
+        return Const(0.0)
+    return expr
+
+
+def count_nodes(expr: Expr) -> int:
+    """Total node count of the tree (diagnostics and tests)."""
+    if isinstance(expr, (Const, CommTerm)):
+        return 1
+    if isinstance(expr, Sum):
+        return 1 + sum(count_nodes(child) for child in expr.children)
+    if isinstance(expr, MaxExpr):
+        return 1 + sum(count_nodes(child) for child in expr.children)
+    raise ConfigurationError(f"unknown expression node {type(expr).__name__}")

@@ -1,0 +1,107 @@
+"""Training loops: how compute and communication compose (Fig. 5).
+
+A training loop turns one layer's components — forward compute/comm, backward
+TP compute/comm, backward DP compute/comm — into a time expression:
+
+* :class:`NoOverlapLoop` (Fig. 5(b)): strictly sequential; the layer time is
+  the plain sum of all six components.
+* :class:`TPDPOverlapLoop` (Fig. 5(c)): TP compute is exposed, but TP
+  communication overlaps with DP compute + DP communication:
+  ``TP_Comp + max(TP_Comm, DP_Comp + DP_Comm)`` per layer (forward is still
+  sequential).
+
+Loops compose :mod:`repro.training.expr` nodes so the result stays symbolic in
+the bandwidth vector; custom loops can be added by implementing
+:class:`TrainingLoop`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.training.expr import Const, Expr, MaxExpr, Sum
+
+
+@dataclass(frozen=True)
+class LayerComponents:
+    """One layer's time components, comm already symbolic in bandwidth.
+
+    Attributes:
+        fwd_compute: Forward compute seconds.
+        fwd_comm: Forward communication expression.
+        tp_compute: Backward input-gradient compute seconds.
+        tp_comm: Backward TP communication expression.
+        dp_compute: Backward weight-gradient compute seconds.
+        dp_comm: DP gradient-synchronization expression.
+    """
+
+    fwd_compute: float
+    fwd_comm: Expr
+    tp_compute: float
+    tp_comm: Expr
+    dp_compute: float
+    dp_comm: Expr
+
+
+class TrainingLoop(abc.ABC):
+    """Strategy object producing a layer's time expression."""
+
+    name: str = "abstract"
+
+    def layer_time(self, layer: LayerComponents) -> Expr:
+        """Full layer time: forward part + backward part."""
+        return Sum((self.forward_time(layer), self.backward_time(layer)))
+
+    def forward_time(self, layer: LayerComponents) -> Expr:
+        """Forward pass: compute then communication, sequential in all loops."""
+        return Sum((Const(layer.fwd_compute), layer.fwd_comm))
+
+    @abc.abstractmethod
+    def backward_time(self, layer: LayerComponents) -> Expr:
+        """Backward pass composition — where the loops differ."""
+
+
+class NoOverlapLoop(TrainingLoop):
+    """Fig. 5(b): every stage runs exclusively; times simply add."""
+
+    name = "no-overlap"
+
+    def backward_time(self, layer: LayerComponents) -> Expr:
+        return Sum(
+            (
+                Const(layer.tp_compute),
+                layer.tp_comm,
+                Const(layer.dp_compute),
+                layer.dp_comm,
+            )
+        )
+
+
+class TPDPOverlapLoop(TrainingLoop):
+    """Fig. 5(c): TP communication overlaps DP compute + DP communication."""
+
+    name = "tp-dp-overlap"
+
+    def backward_time(self, layer: LayerComponents) -> Expr:
+        overlapped = MaxExpr(
+            (
+                layer.tp_comm,
+                Sum((Const(layer.dp_compute), layer.dp_comm)),
+            )
+        )
+        return Sum((Const(layer.tp_compute), overlapped))
+
+
+_LOOPS = {
+    NoOverlapLoop.name: NoOverlapLoop,
+    TPDPOverlapLoop.name: TPDPOverlapLoop,
+}
+
+
+def get_loop(name: str) -> TrainingLoop:
+    """Look up a loop by name (``"no-overlap"`` / ``"tp-dp-overlap"``)."""
+    loop_class = _LOOPS.get(name)
+    if loop_class is None:
+        raise ValueError(f"unknown training loop {name!r}; known: {sorted(_LOOPS)}")
+    return loop_class()

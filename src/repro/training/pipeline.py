@@ -1,0 +1,238 @@
+"""Pipeline-parallel training-time estimation (Sec. IV-C extension).
+
+The paper notes that pipeline parallelism's point-to-point transfers "could
+still be captured in terms of network BW (e.g. m/B_i)" — this module builds
+that out into a usable estimator. The model is a GPipe-style synchronous
+pipeline:
+
+* the layer stack is divided evenly (in order) into ``pp`` stages;
+* a training step streams ``M`` microbatches through the pipeline, so the
+  per-stage work is paid ``(M + pp − 1)`` times while a non-pipelined stage
+  would pay it ``M`` times — the classic bubble factor ``(M + pp − 1) / M``;
+* each stage boundary moves the activation block forward and its gradient
+  backward, once per microbatch, as point-to-point transfers through the
+  dimensions the boundary physically crosses
+  (:meth:`~repro.workloads.parallelism.GroupMapping.boundary_spans`);
+* within a stage, TP and ZeRO-2 DP communication behave exactly as in the
+  paper's two-degree model (DP gradient sync is paid once per step and is
+  not multiplied by the bubble factor).
+
+Everything composes into the same symbolic expression the optimizer
+consumes, so fabric bandwidth can be co-optimized with HP-(tp, pp, dp)
+strategies — the natural extension of the paper's Fig. 21 study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.traffic import traffic_coefficients
+from repro.collectives.types import CollectiveOp, CollectiveType
+from repro.topology.network import MultiDimNetwork
+from repro.training.compute import ComputeModel, a100_compute_model
+from repro.training.estimator import layer_components, resolve_comm
+from repro.training.expr import CommTerm, Const, Expr, MaxExpr, Sum, simplify
+from repro.training.loops import NoOverlapLoop, TrainingLoop
+from repro.utils.errors import ConfigurationError
+from repro.workloads.parallelism import GroupMapping, map_parallelism
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Static description of one pipelined training step.
+
+    Attributes:
+        num_stages: Pipeline depth ``pp``.
+        num_microbatches: Microbatches ``M`` streamed per step.
+        layers_per_stage: Layer count of each stage (even split).
+    """
+
+    num_stages: int
+    num_microbatches: int
+    layers_per_stage: int
+
+    @property
+    def bubble_factor(self) -> float:
+        """GPipe occupancy penalty: ``(M + pp − 1) / M``."""
+        return (self.num_microbatches + self.num_stages - 1) / self.num_microbatches
+
+
+def stage_boundaries(workload: Workload) -> int:
+    """Number of stage boundaries: ``pp − 1``."""
+    return workload.parallelism.pp - 1
+
+
+def _boundary_ops(
+    workload: Workload,
+    mapping: GroupMapping,
+    activation_bytes: float,
+) -> list[CollectiveOp]:
+    """One forward P2P op per stage boundary (backward mirrors it)."""
+    ops = []
+    for boundary in range(workload.parallelism.pp - 1):
+        spans = mapping.boundary_spans(boundary)
+        ops.append(
+            CollectiveOp(
+                CollectiveType.POINT_TO_POINT,
+                activation_bytes,
+                spans,
+                label=f"{workload.name}/pp-boundary{boundary}",
+            )
+        )
+    return ops
+
+
+def infer_activation_bytes(workload: Workload) -> float:
+    """Activation block size crossing stage boundaries.
+
+    Uses the workload's TP communication payload when present (Megatron's
+    activation All-Reduce moves exactly the boundary-crossing block); falls
+    back to the mean DP payload for TP-free workloads.
+    """
+    for layer in workload.layers:
+        for comm in layer.fwd_comms + layer.tp_comms:
+            if comm.size_bytes > 0:
+                return comm.size_bytes
+    sizes = [
+        comm.size_bytes
+        for layer in workload.layers
+        for comm in layer.dp_comms
+        if comm.size_bytes > 0
+    ]
+    if not sizes:
+        raise ConfigurationError(
+            f"cannot infer an activation size for {workload.name!r}; "
+            "the workload has no communication at all"
+        )
+    return sum(sizes) / len(sizes)
+
+
+def pipeline_time_expression(
+    workload: Workload,
+    network: MultiDimNetwork,
+    num_microbatches: int,
+    compute_model: ComputeModel | None = None,
+    loop: TrainingLoop | None = None,
+    activation_bytes: float | None = None,
+) -> Expr:
+    """Step time of a pipeline-parallel workload as a function of bandwidth.
+
+    Args:
+        workload: Workload whose parallelism has ``pp > 1``. Layers are
+            assigned to stages evenly, in order.
+        network: Target network.
+        num_microbatches: ``M`` microbatches streamed per step.
+        compute_model: Defaults to the paper's A100 model.
+        loop: Intra-stage training loop (Fig. 5); defaults to no-overlap.
+        activation_bytes: Boundary payload; inferred from the workload's TP
+            activity when omitted.
+
+    Returns:
+        A simplified symbolic expression:
+        ``bubble · Σ_stage-layers (layer time) + bubble · M-weighted P2P +
+        Σ DP sync`` — DP gradient synchronization is per-step, the rest is
+        per-microbatch with pipeline occupancy applied.
+    """
+    parallelism = workload.parallelism
+    if parallelism.pp < 2:
+        raise ConfigurationError(
+            f"{workload.name} has pp={parallelism.pp}; use "
+            "training_time_expression for non-pipelined workloads"
+        )
+    if num_microbatches < 1:
+        raise ConfigurationError(
+            f"num_microbatches must be >= 1, got {num_microbatches}"
+        )
+    if workload.num_layers % parallelism.pp != 0:
+        raise ConfigurationError(
+            f"{workload.num_layers} layers do not divide into "
+            f"{parallelism.pp} equal pipeline stages"
+        )
+
+    compute = compute_model or a100_compute_model()
+    loop = loop or NoOverlapLoop()
+    mapping = map_parallelism(network, parallelism)
+    schedule = PipelineSchedule(
+        num_stages=parallelism.pp,
+        num_microbatches=num_microbatches,
+        layers_per_stage=workload.num_layers // parallelism.pp,
+    )
+
+    # Per-microbatch stage work: the critical path is the (identical-stage)
+    # pipeline's per-stage time; with heterogeneous layers we take the most
+    # expensive stage to stay a valid makespan bound.
+    stage_exprs: list[Expr] = []
+    for stage in range(schedule.num_stages):
+        start = stage * schedule.layers_per_stage
+        members = workload.layers[start:start + schedule.layers_per_stage]
+        per_layer = [
+            loop.layer_time(_stage_layer_components(layer, mapping, compute))
+            for layer in members
+        ]
+        stage_exprs.append(simplify(Sum(tuple(per_layer))))
+
+    # All stages run concurrently; the slowest defines the pipeline beat.
+    # For the common homogeneous case every stage expression is identical
+    # and simplify() collapses the bookkeeping.
+    stage_beat = simplify(MaxExpr(tuple(stage_exprs)))
+
+    # Boundary transfers: activation forward + gradient backward per
+    # microbatch. The per-microbatch critical path pays the *slowest*
+    # boundary (transfers of different boundaries pipeline with compute);
+    # we charge the worst boundary twice (fwd + bwd), a makespan bound.
+    payload = activation_bytes or infer_activation_bytes(workload)
+    boundary_terms: list[Expr] = []
+    for op in _boundary_ops(workload, mapping, payload):
+        coefficients = traffic_coefficients(op)
+        if coefficients:
+            boundary_terms.append(CommTerm(coefficients, label=op.label))
+    if boundary_terms:
+        worst_boundary = simplify(MaxExpr(tuple(boundary_terms)))
+        per_microbatch = Sum((stage_beat, worst_boundary, worst_boundary))
+    else:
+        per_microbatch = stage_beat
+
+    # DP gradient synchronization happens once per step, after the flush.
+    dp_terms: list[Expr] = []
+    for layer in workload.layers:
+        for comm in layer.dp_comms:
+            op = resolve_comm(comm, mapping, f"{workload.name}/{layer.name}/dp")
+            coefficients = traffic_coefficients(op)
+            if coefficients:
+                dp_terms.append(CommTerm(coefficients, label=op.label))
+    dp_expr: Expr = simplify(Sum(tuple(dp_terms))) if dp_terms else Const(0.0)
+
+    total_microbatch_work = Sum(
+        (per_microbatch,),
+        (schedule.bubble_factor * schedule.num_microbatches,),
+    )
+    return simplify(Sum((total_microbatch_work, dp_expr)))
+
+
+def _stage_layer_components(layer, mapping, compute):
+    """Layer components without DP communication (charged per step, later)."""
+    components = layer_components(layer, mapping, compute)
+    return type(components)(
+        fwd_compute=components.fwd_compute,
+        fwd_comm=components.fwd_comm,
+        tp_compute=components.tp_compute,
+        tp_comm=components.tp_comm,
+        dp_compute=components.dp_compute,
+        dp_comm=Const(0.0),
+    )
+
+
+def estimate_pipeline_step_time(
+    workload: Workload,
+    network: MultiDimNetwork,
+    bandwidths,
+    num_microbatches: int,
+    compute_model: ComputeModel | None = None,
+    loop: TrainingLoop | None = None,
+) -> float:
+    """Numeric pipeline step time at a concrete bandwidth vector."""
+    expression = pipeline_time_expression(
+        workload, network, num_microbatches, compute_model, loop
+    )
+    return expression.evaluate(bandwidths)

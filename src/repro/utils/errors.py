@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NotationError(ReproError, ValueError):
+    """A multi-dimensional network notation string could not be parsed.
+
+    Raised by :mod:`repro.topology.notation` for malformed strings such as
+    ``"RI(0)_XX(4)"``.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An input object (workload, cost model, topology) is inconsistent."""
+
+
+class MappingError(ReproError, ValueError):
+    """A parallelization strategy cannot be mapped onto a network shape.
+
+    For example, ``HP-(3, 5)`` cannot be placed on a 16-NPU network, and a
+    TP degree that does not factor across dimension sizes cannot be split.
+    """
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """The bandwidth optimizer failed to produce a feasible design point."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""

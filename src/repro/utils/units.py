@@ -1,0 +1,97 @@
+"""Unit conversions used throughout the library.
+
+Internally the library uses a single unit system:
+
+* data sizes are in **bytes**,
+* bandwidths are in **bytes per second**,
+* compute rates are in **FLOP per second**,
+* times are in **seconds**.
+
+The helpers here convert human-friendly magnitudes (GB, GB/s, TFLOPS) into
+those base units and format base-unit values back for reports. The paper
+quotes bandwidths in GB/s and costs in $/GBps, so benchmarks convert at the
+boundary and never mix units internally.
+"""
+
+from __future__ import annotations
+
+KB: float = 1e3
+MB: float = 1e6
+GB: float = 1e9
+TB: float = 1e12
+
+GBPS: float = 1e9
+TFLOPS: float = 1e12
+
+
+def kb(value: float) -> float:
+    """Convert kilobytes to bytes."""
+    return value * KB
+
+
+def mb(value: float) -> float:
+    """Convert megabytes to bytes."""
+    return value * MB
+
+
+def gb(value: float) -> float:
+    """Convert gigabytes to bytes."""
+    return value * GB
+
+
+def tb(value: float) -> float:
+    """Convert terabytes to bytes."""
+    return value * TB
+
+
+def gbps(value: float) -> float:
+    """Convert GB/s to bytes/s."""
+    return value * GBPS
+
+
+def tflops(value: float) -> float:
+    """Convert TFLOPS to FLOP/s."""
+    return value * TFLOPS
+
+
+def bytes_to_mb(value: float) -> float:
+    """Convert bytes to megabytes."""
+    return value / MB
+
+
+def bytes_to_gb(value: float) -> float:
+    """Convert bytes to gigabytes."""
+    return value / GB
+
+
+def format_bytes(value: float) -> str:
+    """Render a byte count with an appropriate SI suffix.
+
+    >>> format_bytes(2.5e9)
+    '2.50 GB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if value < 0:
+        raise ValueError(f"byte count must be non-negative, got {value}")
+    for threshold, suffix in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if value >= threshold:
+            return f"{value / threshold:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an appropriate suffix.
+
+    >>> format_time(0.0042)
+    '4.200 ms'
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.3f} ns"

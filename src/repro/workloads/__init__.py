@@ -1,0 +1,71 @@
+"""Workload modeling: layers, parallelism, and Table II model builders.
+
+Public surface:
+
+* :class:`Layer`, :class:`CommRequirement`, :class:`CommScope` — layer-level
+  compute/communication description (Fig. 5's decomposition).
+* :class:`Workload` — a named layer stack plus its parallelization.
+* :class:`Parallelism`, :func:`map_parallelism`, :class:`GroupMapping` —
+  HP-(tp, dp) and its placement on network dimensions.
+* Builders: :func:`build_transformer` (Turing-NLG / GPT-3 / MSFT-1T),
+  :func:`build_dlrm`, :func:`build_resnet50`; registry via
+  :func:`build_workload` / :func:`workload_names`.
+* :func:`parse_workload` / :func:`serialize_workload` — the text format.
+"""
+
+from repro.workloads.dlrm import DLRMConfig, build_dlrm
+from repro.workloads.layers import CommRequirement, CommScope, Layer
+from repro.workloads.parallelism import (
+    GroupMapping,
+    Parallelism,
+    candidate_strategies,
+    map_parallelism,
+)
+from repro.workloads.parser import (
+    load_workload_file,
+    parse_workload,
+    save_workload_file,
+    serialize_workload,
+)
+from repro.workloads.presets import (
+    TP_SIZES,
+    build_all_workloads,
+    build_workload,
+    workload_names,
+)
+from repro.workloads.resnet import build_resnet50
+from repro.workloads.transformer import (
+    GPT3_CONFIG,
+    MSFT_1T_CONFIG,
+    TURING_NLG_CONFIG,
+    TransformerConfig,
+    build_transformer,
+)
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "DLRMConfig",
+    "build_dlrm",
+    "CommRequirement",
+    "CommScope",
+    "Layer",
+    "GroupMapping",
+    "Parallelism",
+    "candidate_strategies",
+    "map_parallelism",
+    "load_workload_file",
+    "parse_workload",
+    "save_workload_file",
+    "serialize_workload",
+    "TP_SIZES",
+    "build_all_workloads",
+    "build_workload",
+    "workload_names",
+    "build_resnet50",
+    "GPT3_CONFIG",
+    "MSFT_1T_CONFIG",
+    "TURING_NLG_CONFIG",
+    "TransformerConfig",
+    "build_transformer",
+    "Workload",
+]

@@ -1,0 +1,121 @@
+"""DLRM workload builder (Table II's recommendation row).
+
+DLRM [14] mixes two parallelization regimes (the ZionEx setup the paper
+cites):
+
+* **Embedding tables** are model-parallel across *all* NPUs; every step
+  exchanges pooled embedding vectors with an All-to-All in the forward pass
+  and the mirrored All-to-All of gradients in the backward pass.
+* **MLP layers** (bottom + top, 57 M parameters total in Table II) are
+  data-parallel across all NPUs with ZeRO-2 gradient synchronization.
+
+The All-to-All payload per NPU is ``batch · num_tables · emb_dim`` elements
+— each NPU holds a slice of the tables and contributes its lookup results
+for every sample in the global minibatch slice it receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.types import CollectiveType
+from repro.utils.validation import check_positive_int
+from repro.workloads.layers import CommRequirement, CommScope, Layer
+from repro.workloads.parallelism import Parallelism
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class DLRMConfig:
+    """DLRM shape parameters.
+
+    Defaults follow the open-source DLRM Criteo benchmark configuration: 26
+    sparse features with 64-dimensional embeddings, a 13-512-256-64 bottom
+    MLP, and a 512-256-1 top MLP over pairwise feature interactions; MLP
+    widths are scaled up (hidden factor) so the dense side carries the
+    57 M parameters of Table II.
+    """
+
+    num_tables: int = 26
+    emb_dim: int = 64
+    minibatch: int = 32
+    bottom_mlp: tuple[int, ...] = (13, 4096, 4096, 64)
+    top_mlp: tuple[int, ...] = (512, 8192, 4096, 640, 1)
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_tables, "num_tables")
+        check_positive_int(self.emb_dim, "emb_dim")
+        check_positive_int(self.minibatch, "minibatch")
+
+    @property
+    def mlp_layer_shapes(self) -> list[tuple[str, int, int]]:
+        """(name, in, out) per dense layer, bottom then top MLP."""
+        shapes = []
+        for index in range(len(self.bottom_mlp) - 1):
+            shapes.append(
+                (f"bottom-mlp{index}", self.bottom_mlp[index], self.bottom_mlp[index + 1])
+            )
+        for index in range(len(self.top_mlp) - 1):
+            shapes.append(
+                (f"top-mlp{index}", self.top_mlp[index], self.top_mlp[index + 1])
+            )
+        return shapes
+
+    @property
+    def mlp_params(self) -> float:
+        return float(sum(c_in * c_out for _, c_in, c_out in self.mlp_layer_shapes))
+
+
+def build_dlrm(parallelism: Parallelism, config: DLRMConfig | None = None) -> Workload:
+    """DLRM: global embedding All-to-All + data-parallel MLPs.
+
+    The DP degree prices the MLP gradient synchronization; the embedding
+    exchange always spans the whole system (GLOBAL scope), matching
+    Table II's "TP across all NPUs".
+    """
+    cfg = config or DLRMConfig()
+    a2a_bytes = cfg.minibatch * cfg.num_tables * cfg.emb_dim * cfg.dtype_bytes
+
+    layers = [
+        Layer(
+            name="embedding-exchange",
+            fwd_comms=(
+                CommRequirement(CommScope.GLOBAL, CollectiveType.ALL_TO_ALL,
+                                a2a_bytes, label="emb-fwd-a2a"),
+            ),
+            tp_comms=(
+                CommRequirement(CommScope.GLOBAL, CollectiveType.ALL_TO_ALL,
+                                a2a_bytes, label="emb-bwd-a2a"),
+            ),
+            param_count=0.0,
+        )
+    ]
+    for name, c_in, c_out in cfg.mlp_layer_shapes:
+        params = float(c_in * c_out)
+        fwd = 2.0 * params * cfg.minibatch
+        dp_comm: tuple[CommRequirement, ...] = ()
+        if parallelism.dp > 1:
+            grad_bytes = params * cfg.dtype_bytes
+            dp_comm = (
+                CommRequirement(CommScope.DP, CollectiveType.REDUCE_SCATTER,
+                                grad_bytes, label="zero2-grad-rs"),
+                CommRequirement(CommScope.DP, CollectiveType.ALL_GATHER,
+                                grad_bytes, label="zero2-param-ag"),
+            )
+        layers.append(
+            Layer(
+                name=name,
+                fwd_compute_flops=fwd,
+                tp_compute_flops=fwd,
+                dp_compute_flops=fwd,
+                dp_comms=dp_comm,
+                param_count=params,
+            )
+        )
+    return Workload(
+        name="DLRM",
+        layers=tuple(layers),
+        parallelism=parallelism,
+        dtype_bytes=cfg.dtype_bytes,
+    )

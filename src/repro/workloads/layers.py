@@ -1,0 +1,110 @@
+"""Layer-level workload description.
+
+Each layer carries the quantities the training-loop model of Fig. 5 needs:
+
+* ``fwd_compute_flops`` — forward-pass compute.
+* ``fwd_comms`` — forward communication (e.g. Megatron TP All-Reduce of
+  activations, DLRM embedding All-to-All).
+* ``tp_compute_flops`` / ``tp_comms`` — backward input-gradient compute and
+  the TP communication it triggers.
+* ``dp_compute_flops`` / ``dp_comms`` — backward weight-gradient compute and
+  the data-parallel gradient synchronization (ZeRO-2: Reduce-Scatter of
+  gradients + All-Gather of parameters).
+
+Communication is expressed as *scope-tagged requirements* — the payload and
+pattern are fixed by the workload + parallelization degree, but which network
+dimensions the group occupies is resolved later by
+:mod:`repro.workloads.parallelism`, keeping workloads network-independent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.collectives.types import CollectiveType
+from repro.utils.errors import ConfigurationError
+
+
+class CommScope(enum.Enum):
+    """Which parallelization group a communication runs over."""
+
+    TP = "tp"
+    DP = "dp"
+    #: Pipeline-parallel stage boundary (point-to-point transfers).
+    PP = "pp"
+    #: The whole system — used by DLRM's embedding All-to-All, which the
+    #: paper runs "across all NPUs" regardless of the TP/DP split.
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class CommRequirement:
+    """One collective a layer must perform, before network mapping.
+
+    Attributes:
+        scope: The parallelization group (TP / DP / GLOBAL).
+        kind: Collective pattern.
+        size_bytes: Payload in bytes (already reflecting any TP sharding).
+        label: Optional tag for reports. Metadata only — excluded from
+            equality so text-format round trips (which do not carry labels)
+            compare equal.
+    """
+
+    scope: CommScope
+    kind: CollectiveType
+    size_bytes: float
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ConfigurationError(
+                f"communication size must be >= 0, got {self.size_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One workload layer with Fig. 5's compute/communication decomposition.
+
+    All FLOP counts are *per NPU* (TP sharding already applied). Sizes are in
+    bytes of the training datatype.
+    """
+
+    name: str
+    fwd_compute_flops: float = 0.0
+    fwd_comms: tuple[CommRequirement, ...] = ()
+    tp_compute_flops: float = 0.0
+    tp_comms: tuple[CommRequirement, ...] = ()
+    dp_compute_flops: float = 0.0
+    dp_comms: tuple[CommRequirement, ...] = ()
+    #: Parameter count of this layer (whole layer, before TP sharding);
+    #: used for reporting and Fig. 1's communication-size accounting.
+    param_count: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("layer name must not be empty")
+        for label, value in (
+            ("fwd_compute_flops", self.fwd_compute_flops),
+            ("tp_compute_flops", self.tp_compute_flops),
+            ("dp_compute_flops", self.dp_compute_flops),
+            ("param_count", self.param_count),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{label} must be >= 0, got {value}")
+
+    @property
+    def all_comms(self) -> tuple[CommRequirement, ...]:
+        """Every communication requirement of the layer, in phase order."""
+        return self.fwd_comms + self.tp_comms + self.dp_comms
+
+    @property
+    def total_compute_flops(self) -> float:
+        """Forward + backward compute of the layer, per NPU."""
+        return self.fwd_compute_flops + self.tp_compute_flops + self.dp_compute_flops
+
+    @property
+    def total_comm_bytes(self) -> float:
+        """Sum of all communication payloads (pre-mapping, Fig. 1's metric)."""
+        return sum(comm.size_bytes for comm in self.all_comms)

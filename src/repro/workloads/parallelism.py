@@ -1,0 +1,220 @@
+"""Hybrid parallelism and its mapping onto network dimensions (Sec. II-B).
+
+``HP-(m, n)`` combines TP-``m`` (model sharded ``m``-way) with DP-``n``
+(dataset split ``n`` ways) and occupies ``m × n`` NPUs. On a physical
+network, the TP group occupies the *innermost* dimensions — TP communicates
+the most, so it belongs on the cheapest, highest-bandwidth fabric — and DP
+takes the remainder, mirroring how real systems place Megatron TP groups
+inside nodes.
+
+When the TP degree is not an exact product of leading dimension sizes, one
+dimension is *split*: TP takes a slice and DP the complementary factor. That
+partial span is the mechanism behind the paper's GPT-3 + 4D-4K observation
+(TP-16 covers RI(4) fully but only half of FC(8), so the training job can
+never exploit all of Dim 2's optimizer-assigned bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.types import DimSpan
+from repro.topology.network import MultiDimNetwork
+from repro.utils.errors import MappingError
+from repro.utils.validation import check_positive_int, prod
+from repro.workloads.layers import CommScope
+
+
+@dataclass(frozen=True)
+class Parallelism:
+    """A hybrid parallelization strategy HP-(tp, dp) or HP-(tp, pp, dp).
+
+    Pipeline parallelism is the extension the paper sketches in Sec. IV-C:
+    the model is additionally split into ``pp`` stages connected by
+    point-to-point activation/gradient transfers. ``pp = 1`` (the default)
+    recovers the paper's two-degree scheme exactly.
+    """
+
+    tp: int
+    dp: int
+    pp: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.tp, "tp degree")
+        check_positive_int(self.dp, "dp degree")
+        check_positive_int(self.pp, "pp degree")
+
+    @property
+    def total_npus(self) -> int:
+        """NPUs the strategy occupies: ``tp × pp × dp``."""
+        return self.tp * self.pp * self.dp
+
+    def __str__(self) -> str:
+        if self.pp == 1:
+            return f"HP-({self.tp}, {self.dp})"
+        return f"HP-({self.tp}, {self.pp}, {self.dp})"
+
+
+@dataclass(frozen=True)
+class GroupMapping:
+    """Resolved placement of TP / PP / DP / global groups on dimensions.
+
+    Attributes:
+        tp_spans: Dimensions (with effective sizes) the TP group occupies.
+        pp_spans: Dimensions the pipeline group occupies (empty for pp = 1).
+        dp_spans: Dimensions the DP group occupies.
+        global_spans: Full-network spans for GLOBAL-scope collectives.
+    """
+
+    tp_spans: tuple[DimSpan, ...]
+    dp_spans: tuple[DimSpan, ...]
+    global_spans: tuple[DimSpan, ...]
+    pp_spans: tuple[DimSpan, ...] = ()
+
+    def spans_for(self, scope: CommScope) -> tuple[DimSpan, ...]:
+        """Spans of the group serving ``scope``."""
+        if scope is CommScope.TP:
+            return self.tp_spans
+        if scope is CommScope.DP:
+            return self.dp_spans
+        if scope is CommScope.PP:
+            return self.pp_spans
+        return self.global_spans
+
+    def boundary_spans(self, boundary: int) -> tuple[DimSpan, ...]:
+        """Physical dimensions the pipeline boundary ``boundary`` crosses.
+
+        Stages are numbered in mixed radix over the PP spans (innermost span
+        varies fastest). The transfer from stage ``boundary`` to
+        ``boundary + 1`` hops through every dimension whose digit changes on
+        increment — one dimension for most boundaries, more when the
+        increment carries (e.g. stage 3 → 4 on a (4, 2) pipeline group
+        crosses both spans).
+        """
+        if not self.pp_spans:
+            raise MappingError("boundary_spans requires a pipeline-parallel mapping")
+        pp_size = prod(span.size for span in self.pp_spans)
+        if not 0 <= boundary < pp_size - 1:
+            raise MappingError(
+                f"boundary {boundary} out of range for a {pp_size}-stage pipeline"
+            )
+        crossed: list[DimSpan] = []
+        stage = boundary
+        for span in self.pp_spans:
+            crossed.append(span)
+            if (stage % span.size) != span.size - 1:
+                break  # no carry: higher digits unchanged
+            stage //= span.size
+        return tuple(crossed)
+
+
+def map_parallelism(network: MultiDimNetwork, parallelism: Parallelism) -> GroupMapping:
+    """Place ``parallelism`` onto ``network``: TP innermost, then PP, then DP.
+
+    TP communicates the most per byte of model state, so it sits on the
+    cheapest, fattest inner dimensions; pipeline stages sit in the middle;
+    data parallelism takes the scale-out remainder — the same placement
+    real Megatron-style systems use.
+
+    Raises:
+        MappingError: when ``tp × pp × dp`` does not equal the NPU count, or
+            a degree cannot be factored across the dimension sizes (any
+            split must divide the dimension).
+    """
+    if parallelism.total_npus != network.num_npus:
+        raise MappingError(
+            f"{parallelism} needs {parallelism.total_npus} NPUs but network "
+            f"{network.name or network.notation} has {network.num_npus}"
+        )
+
+    tp_spans, pp_spans, dp_spans = _place_degrees(
+        network, (parallelism.tp, parallelism.pp)
+    )
+    global_spans = tuple(
+        DimSpan(dim, size) for dim, size in enumerate(network.dim_sizes) if size > 1
+    )
+    return GroupMapping(
+        tp_spans=tp_spans,
+        pp_spans=pp_spans,
+        dp_spans=dp_spans,
+        global_spans=global_spans,
+    )
+
+
+def _place_degrees(
+    network: MultiDimNetwork,
+    inner_degrees: tuple[int, ...],
+) -> tuple[tuple[DimSpan, ...], ...]:
+    """Pack degrees innermost-first across dimensions; DP gets the rest.
+
+    Each degree consumes whole dimensions while it can and may split one
+    dimension with the next degree (the split factor must divide the
+    remaining dimension capacity). Returns one span tuple per inner degree
+    plus the trailing DP spans.
+    """
+    results: list[list[DimSpan]] = [[] for _ in inner_degrees]
+    dp_spans: list[DimSpan] = []
+    dim = 0
+    # Remaining capacity of the current dimension (supports splitting one
+    # physical dimension between consecutive degrees).
+    capacity = network.dim_sizes[0] if network.num_dims else 1
+
+    def advance() -> None:
+        nonlocal dim, capacity
+        dim += 1
+        capacity = network.dim_sizes[dim] if dim < network.num_dims else 1
+
+    for index, degree in enumerate(inner_degrees):
+        remaining = degree
+        while remaining > 1:
+            if dim >= network.num_dims:
+                raise MappingError(
+                    f"degrees {inner_degrees} exceed network size {network.num_npus}"
+                )
+            if capacity == 1:
+                advance()
+                continue
+            if remaining >= capacity:
+                if remaining % capacity != 0:
+                    raise MappingError(
+                        f"degree {degree} does not factor across dimension sizes "
+                        f"{network.dim_sizes}: stuck at dim {dim} with remainder "
+                        f"{remaining} over capacity {capacity}"
+                    )
+                results[index].append(DimSpan(dim, capacity))
+                remaining //= capacity
+                advance()
+            else:
+                if capacity % remaining != 0:
+                    raise MappingError(
+                        f"cannot split dimension {dim} (remaining capacity "
+                        f"{capacity}) into a slice of {remaining}: not a divisor"
+                    )
+                results[index].append(DimSpan(dim, remaining))
+                capacity //= remaining
+                remaining = 1
+
+    # Everything left belongs to data parallelism.
+    while dim < network.num_dims:
+        if capacity > 1:
+            dp_spans.append(DimSpan(dim, capacity))
+        advance()
+
+    return tuple(tuple(spans) for spans in results) + (tuple(dp_spans),)
+
+
+def candidate_strategies(num_npus: int, min_tp: int = 1, max_tp: int | None = None) -> list[Parallelism]:
+    """All HP-(tp, dp) splits of ``num_npus`` with ``tp`` in the given range.
+
+    Used by the parallelization co-optimization study (Fig. 21), which sweeps
+    TP from 8 to 256 on the 4,096-NPU network.
+    """
+    check_positive_int(num_npus, "num_npus")
+    upper = max_tp if max_tp is not None else num_npus
+    strategies = []
+    tp = 1
+    while tp <= min(upper, num_npus):
+        if num_npus % tp == 0 and tp >= min_tp:
+            strategies.append(Parallelism(tp=tp, dp=num_npus // tp))
+        tp *= 2
+    return strategies

@@ -1,0 +1,211 @@
+"""Text workload format: parser and serializer.
+
+LIBRA's front end (Fig. 3, "Workload Parser") reads workload descriptions
+from text files in the spirit of ASTRA-sim's workload inputs. The format is
+line-oriented:
+
+.. code-block:: text
+
+    # comments and blank lines are ignored
+    WORKLOAD GPT-3
+    DTYPE 2
+    PARALLELISM TP 16 DP 256
+    LAYER block0
+      FWD_COMPUTE_FLOPS 3.9e12
+      FWD_COMM ALL_REDUCE TP 5.03e7
+      TP_COMPUTE_FLOPS 3.9e12
+      TP_COMM ALL_REDUCE TP 5.03e7
+      DP_COMPUTE_FLOPS 3.9e12
+      DP_COMM REDUCE_SCATTER DP 2.26e8
+      DP_COMM ALL_GATHER DP 2.26e8
+      PARAMS 1.81e9
+    END
+
+Collective kinds are the :class:`CollectiveType` names; scopes are
+``TP`` / ``DP`` / ``GLOBAL``. :func:`serialize_workload` emits this format
+and :func:`parse_workload` reads it back; round-tripping is exact up to
+float formatting (property-tested).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.collectives.types import CollectiveType
+from repro.utils.errors import ConfigurationError
+from repro.workloads.layers import CommRequirement, CommScope, Layer
+from repro.workloads.parallelism import Parallelism
+from repro.workloads.workload import Workload
+
+_COMM_FIELDS = {
+    "FWD_COMM": "fwd",
+    "TP_COMM": "tp",
+    "DP_COMM": "dp",
+}
+_FLOP_FIELDS = {
+    "FWD_COMPUTE_FLOPS": "fwd",
+    "TP_COMPUTE_FLOPS": "tp",
+    "DP_COMPUTE_FLOPS": "dp",
+}
+
+
+class _ParseState:
+    """Mutable accumulation state while reading one workload file."""
+
+    def __init__(self) -> None:
+        self.name: str | None = None
+        self.dtype_bytes = 2
+        self.parallelism: Parallelism | None = None
+        self.layers: list[Layer] = []
+        self.layer_name: str | None = None
+        self.flops = {"fwd": 0.0, "tp": 0.0, "dp": 0.0}
+        self.comms: dict[str, list[CommRequirement]] = {"fwd": [], "tp": [], "dp": []}
+        self.params = 0.0
+
+    def begin_layer(self, name: str, line_no: int) -> None:
+        if self.layer_name is not None:
+            raise ConfigurationError(
+                f"line {line_no}: LAYER {name!r} opened before END of {self.layer_name!r}"
+            )
+        self.layer_name = name
+        self.flops = {"fwd": 0.0, "tp": 0.0, "dp": 0.0}
+        self.comms = {"fwd": [], "tp": [], "dp": []}
+        self.params = 0.0
+
+    def end_layer(self, line_no: int) -> None:
+        if self.layer_name is None:
+            raise ConfigurationError(f"line {line_no}: END without an open LAYER")
+        self.layers.append(
+            Layer(
+                name=self.layer_name,
+                fwd_compute_flops=self.flops["fwd"],
+                fwd_comms=tuple(self.comms["fwd"]),
+                tp_compute_flops=self.flops["tp"],
+                tp_comms=tuple(self.comms["tp"]),
+                dp_compute_flops=self.flops["dp"],
+                dp_comms=tuple(self.comms["dp"]),
+                param_count=self.params,
+            )
+        )
+        self.layer_name = None
+
+
+def parse_workload(text: str) -> Workload:
+    """Parse one workload from its text representation.
+
+    Raises:
+        ConfigurationError: on any structural problem, with the line number.
+    """
+    state = _ParseState()
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        keyword = tokens[0].upper()
+        try:
+            _dispatch(state, keyword, tokens, line_no)
+        except (ValueError, KeyError) as exc:
+            raise ConfigurationError(f"line {line_no}: {exc}") from exc
+
+    if state.layer_name is not None:
+        raise ConfigurationError(f"LAYER {state.layer_name!r} is missing its END")
+    if state.name is None:
+        raise ConfigurationError("missing WORKLOAD header")
+    if state.parallelism is None:
+        raise ConfigurationError("missing PARALLELISM line")
+    return Workload(
+        name=state.name,
+        layers=tuple(state.layers),
+        parallelism=state.parallelism,
+        dtype_bytes=state.dtype_bytes,
+    )
+
+
+def _dispatch(state: _ParseState, keyword: str, tokens: list[str], line_no: int) -> None:
+    """Apply one parsed line to the accumulation state."""
+    if keyword == "WORKLOAD":
+        state.name = " ".join(tokens[1:])
+        if not state.name:
+            raise ConfigurationError(f"line {line_no}: WORKLOAD needs a name")
+    elif keyword == "DTYPE":
+        state.dtype_bytes = int(tokens[1])
+    elif keyword == "PARALLELISM":
+        if len(tokens) != 5 or tokens[1].upper() != "TP" or tokens[3].upper() != "DP":
+            raise ConfigurationError(
+                f"line {line_no}: expected 'PARALLELISM TP <m> DP <n>', got {' '.join(tokens)!r}"
+            )
+        state.parallelism = Parallelism(tp=int(tokens[2]), dp=int(tokens[4]))
+    elif keyword == "LAYER":
+        state.begin_layer(" ".join(tokens[1:]), line_no)
+    elif keyword == "END":
+        state.end_layer(line_no)
+    elif keyword in _FLOP_FIELDS:
+        _require_open_layer(state, keyword, line_no)
+        state.flops[_FLOP_FIELDS[keyword]] = float(tokens[1])
+    elif keyword in _COMM_FIELDS:
+        _require_open_layer(state, keyword, line_no)
+        if len(tokens) != 4:
+            raise ConfigurationError(
+                f"line {line_no}: expected '{keyword} <KIND> <SCOPE> <bytes>'"
+            )
+        kind = CollectiveType[tokens[1].upper()]
+        scope = CommScope[tokens[2].upper()]
+        state.comms[_COMM_FIELDS[keyword]].append(
+            CommRequirement(scope, kind, float(tokens[3]))
+        )
+    elif keyword == "PARAMS":
+        _require_open_layer(state, keyword, line_no)
+        state.params = float(tokens[1])
+    else:
+        raise ConfigurationError(f"line {line_no}: unknown keyword {keyword!r}")
+
+
+def _require_open_layer(state: _ParseState, keyword: str, line_no: int) -> None:
+    if state.layer_name is None:
+        raise ConfigurationError(f"line {line_no}: {keyword} outside of a LAYER block")
+
+
+def serialize_workload(workload: Workload) -> str:
+    """Emit the text form of ``workload`` (inverse of :func:`parse_workload`)."""
+    out = io.StringIO()
+    out.write(f"WORKLOAD {workload.name}\n")
+    out.write(f"DTYPE {workload.dtype_bytes}\n")
+    out.write(
+        f"PARALLELISM TP {workload.parallelism.tp} DP {workload.parallelism.dp}\n"
+    )
+    for layer in workload.layers:
+        out.write(f"LAYER {layer.name}\n")
+        _write_flops(out, "FWD_COMPUTE_FLOPS", layer.fwd_compute_flops)
+        _write_comms(out, "FWD_COMM", layer.fwd_comms)
+        _write_flops(out, "TP_COMPUTE_FLOPS", layer.tp_compute_flops)
+        _write_comms(out, "TP_COMM", layer.tp_comms)
+        _write_flops(out, "DP_COMPUTE_FLOPS", layer.dp_compute_flops)
+        _write_comms(out, "DP_COMM", layer.dp_comms)
+        if layer.param_count:
+            out.write(f"  PARAMS {layer.param_count!r}\n")
+        out.write("END\n")
+    return out.getvalue()
+
+
+def _write_flops(out: io.StringIO, keyword: str, value: float) -> None:
+    if value:
+        out.write(f"  {keyword} {value!r}\n")
+
+
+def _write_comms(out: io.StringIO, keyword: str, comms: tuple[CommRequirement, ...]) -> None:
+    for comm in comms:
+        out.write(
+            f"  {keyword} {comm.kind.name} {comm.scope.name} {comm.size_bytes!r}\n"
+        )
+
+
+def load_workload_file(path: str | Path) -> Workload:
+    """Read and parse a workload file from disk."""
+    return parse_workload(Path(path).read_text())
+
+
+def save_workload_file(workload: Workload, path: str | Path) -> None:
+    """Serialize ``workload`` to disk."""
+    Path(path).write_text(serialize_workload(workload))

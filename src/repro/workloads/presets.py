@@ -1,0 +1,90 @@
+"""Workload registry for Table II.
+
+Each preset binds a model architecture to its Table II tensor-parallel
+degree; the data-parallel degree follows from the system size
+(``dp = num_npus / tp``). The registry is what the benchmarks and the
+framework facade consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.utils.errors import ConfigurationError, MappingError
+from repro.workloads.dlrm import build_dlrm
+from repro.workloads.parallelism import Parallelism
+from repro.workloads.resnet import build_resnet50
+from repro.workloads.transformer import (
+    GPT3_CONFIG,
+    MSFT_1T_CONFIG,
+    TURING_NLG_CONFIG,
+    build_transformer,
+)
+from repro.workloads.workload import Workload
+
+#: Table II tensor-parallel degrees. DLRM's embedding exchange spans all
+#: NPUs via GLOBAL-scope collectives, so its tp entry is 1 (the MLP side is
+#: data-parallel across the whole system).
+TP_SIZES: dict[str, int] = {
+    "Turing-NLG": 1,
+    "GPT-3": 16,
+    "MSFT-1T": 128,
+    "DLRM": 1,
+    "ResNet-50": 1,
+}
+
+_BUILDERS: dict[str, Callable[[Parallelism], Workload]] = {
+    "Turing-NLG": lambda p: build_transformer(TURING_NLG_CONFIG, p),
+    "GPT-3": lambda p: build_transformer(GPT3_CONFIG, p),
+    "MSFT-1T": lambda p: build_transformer(MSFT_1T_CONFIG, p),
+    "DLRM": build_dlrm,
+    "ResNet-50": build_resnet50,
+}
+
+
+def workload_names() -> list[str]:
+    """Table II workload names, in paper order."""
+    return list(_BUILDERS)
+
+
+def build_workload(
+    name: str,
+    num_npus: int,
+    parallelism: Parallelism | None = None,
+) -> Workload:
+    """Materialize a Table II workload for a system of ``num_npus`` NPUs.
+
+    Args:
+        name: Table II workload name.
+        num_npus: System size; must be divisible by the workload's TP degree.
+        parallelism: Optional override of the default HP-(tp, dp) split
+            (used by the Fig. 21 co-optimization sweep).
+
+    Raises:
+        ConfigurationError: for unknown names.
+        MappingError: when the default TP degree does not divide
+            ``num_npus``.
+    """
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        )
+    if parallelism is None:
+        tp = TP_SIZES[name]
+        if num_npus % tp != 0:
+            raise MappingError(
+                f"{name} needs TP={tp}, which does not divide {num_npus} NPUs"
+            )
+        parallelism = Parallelism(tp=tp, dp=num_npus // tp)
+    elif parallelism.total_npus != num_npus:
+        raise MappingError(
+            f"{parallelism} occupies {parallelism.total_npus} NPUs, "
+            f"but the system has {num_npus}"
+        )
+    return builder(parallelism)
+
+
+def build_all_workloads(num_npus: int) -> dict[str, Workload]:
+    """Every Table II workload at the given system size."""
+    return {name: build_workload(name, num_npus) for name in workload_names()}

@@ -1,0 +1,114 @@
+"""ResNet-50 workload builder (Table II's vision row).
+
+ResNet-50 is trained pure data-parallel (TP = 1, minibatch 32 per replica).
+The layer stack is generated from the published architecture — a 7×7 stem,
+four bottleneck stages of [3, 4, 6, 3] blocks, and the final classifier —
+with standard parameter and FLOP accounting:
+
+* conv params = ``k² · c_in · c_out``;
+* conv forward FLOPs = ``2 · params · h_out · w_out`` per image;
+* backward = 2× forward, split between input-gradient (TP slot, so the
+  training loops treat it uniformly) and weight-gradient compute.
+
+The generated model lands at ~25.6 M parameters, matching Table II.
+Communication is ZeRO-2 data-parallel only: per-layer gradient
+Reduce-Scatter + parameter All-Gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.types import CollectiveType
+from repro.utils.validation import check_positive_int
+from repro.workloads.layers import CommRequirement, CommScope, Layer
+from repro.workloads.parallelism import Parallelism
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class _ConvSpec:
+    """One convolution (or FC) layer's shape for accounting."""
+
+    name: str
+    kernel: int
+    c_in: int
+    c_out: int
+    spatial: int  # output feature-map side length
+
+    @property
+    def params(self) -> float:
+        return float(self.kernel * self.kernel * self.c_in * self.c_out)
+
+    def fwd_flops(self, batch: int) -> float:
+        return 2.0 * self.params * self.spatial * self.spatial * batch
+
+
+def _resnet50_convs() -> list[_ConvSpec]:
+    """The full ResNet-50 conv/FC stack (bottleneck blocks expanded)."""
+    convs = [_ConvSpec("stem-conv7x7", 7, 3, 64, 112)]
+    stage_blocks = [3, 4, 6, 3]
+    stage_width = [64, 128, 256, 512]
+    stage_spatial = [56, 28, 14, 7]
+    c_in = 64
+    for stage, (blocks, width, spatial) in enumerate(
+        zip(stage_blocks, stage_width, stage_spatial)
+    ):
+        c_out = width * 4
+        for block in range(blocks):
+            prefix = f"stage{stage + 1}-block{block + 1}"
+            convs.append(_ConvSpec(f"{prefix}-conv1x1a", 1, c_in, width, spatial))
+            convs.append(_ConvSpec(f"{prefix}-conv3x3", 3, width, width, spatial))
+            convs.append(_ConvSpec(f"{prefix}-conv1x1b", 1, width, c_out, spatial))
+            if block == 0:
+                convs.append(_ConvSpec(f"{prefix}-downsample", 1, c_in, c_out, spatial))
+            c_in = c_out
+    convs.append(_ConvSpec("fc1000", 1, 2048, 1000, 1))
+    return convs
+
+
+def build_resnet50(
+    parallelism: Parallelism,
+    minibatch: int = 32,
+    dtype_bytes: int = 2,
+) -> Workload:
+    """ResNet-50 under pure data parallelism (ZeRO-2 gradient sync).
+
+    Args:
+        parallelism: Must have ``tp == 1``; ResNet is never tensor-sharded
+            in the paper's setup.
+        minibatch: Images per replica per step (paper: 32).
+        dtype_bytes: Training datatype width (2 = FP16).
+    """
+    check_positive_int(minibatch, "minibatch")
+    if parallelism.tp != 1:
+        raise ValueError(f"ResNet-50 is data-parallel only; got TP={parallelism.tp}")
+
+    layers = []
+    for conv in _resnet50_convs():
+        fwd = conv.fwd_flops(minibatch)
+        dp_comm: tuple[CommRequirement, ...] = ()
+        if parallelism.dp > 1:
+            grad_bytes = conv.params * dtype_bytes
+            dp_comm = (
+                CommRequirement(CommScope.DP, CollectiveType.REDUCE_SCATTER,
+                                grad_bytes, label="zero2-grad-rs"),
+                CommRequirement(CommScope.DP, CollectiveType.ALL_GATHER,
+                                grad_bytes, label="zero2-param-ag"),
+            )
+        layers.append(
+            Layer(
+                name=conv.name,
+                fwd_compute_flops=fwd,
+                tp_compute_flops=fwd,
+                dp_compute_flops=fwd,
+                dp_comms=dp_comm,
+                param_count=conv.params,
+            )
+        )
+    return Workload(
+        name="ResNet-50",
+        layers=tuple(layers),
+        parallelism=parallelism,
+        dtype_bytes=dtype_bytes,
+    )

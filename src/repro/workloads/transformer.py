@@ -1,0 +1,166 @@
+"""Megatron-style transformer workload builder (Sec. II-B, Table II).
+
+Each transformer layer is modeled with the standard parameter and FLOP
+accounting:
+
+* parameters per layer: ``12 h²`` (attention ``4 h²`` + MLP ``8 h²``),
+* forward FLOPs per layer: ``2 · params · tokens`` (dense matmuls),
+* backward FLOPs: 2× forward, split evenly between input-gradient compute
+  (the ``TP_Compute`` of Fig. 5) and weight-gradient compute (``DP_Compute``).
+
+Communication per layer, with TP-``m`` (Megatron) and ZeRO-2 DP:
+
+* forward TP: 2 All-Reduces of the activation block ``b·s·h`` elements,
+* backward TP: 2 All-Reduces of the same size,
+* DP (ZeRO-2): Reduce-Scatter of the layer's gradient shard
+  (``params/m`` elements) plus All-Gather of the parameter shard (same
+  size) — identical total volume to a classic All-Reduce of the gradients.
+
+TP compute and payloads are per-NPU (divided by ``m``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.types import CollectiveType
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_positive_int
+from repro.workloads.layers import CommRequirement, CommScope, Layer
+from repro.workloads.parallelism import Parallelism
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture and batch hyperparameters for a transformer workload.
+
+    Attributes:
+        name: Workload name.
+        num_layers: Transformer block count.
+        hidden: Model width ``h``.
+        seq_len: Sequence length ``s``.
+        microbatch: Per-model-replica microbatch ``b``.
+        dtype_bytes: Bytes per element (2 = FP16, the paper's datatype).
+    """
+
+    name: str
+    num_layers: int
+    hidden: int
+    seq_len: int
+    microbatch: int = 1
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_layers, "num_layers")
+        check_positive_int(self.hidden, "hidden")
+        check_positive_int(self.seq_len, "seq_len")
+        check_positive_int(self.microbatch, "microbatch")
+
+    @property
+    def params_per_layer(self) -> float:
+        """Dense parameter count of one transformer block: ``12 h²``."""
+        return 12.0 * self.hidden * self.hidden
+
+    @property
+    def total_params(self) -> float:
+        return self.params_per_layer * self.num_layers
+
+    @property
+    def tokens_per_microbatch(self) -> int:
+        return self.microbatch * self.seq_len
+
+
+def build_transformer(
+    config: TransformerConfig,
+    parallelism: Parallelism,
+    zero2: bool = True,
+) -> Workload:
+    """Materialize a transformer workload for a given HP strategy.
+
+    Args:
+        zero2: When True (the paper's setting), data-parallel gradient
+            synchronization is ZeRO-2's Reduce-Scatter + All-Gather pair;
+            when False, a classic fused gradient All-Reduce (same total
+            volume, but eligible for in-network reduction offload).
+    """
+    tp = parallelism.tp
+    if config.hidden % tp != 0 and tp > 1:
+        raise ConfigurationError(
+            f"{config.name}: hidden {config.hidden} is not divisible by TP degree {tp}"
+        )
+
+    tokens = config.tokens_per_microbatch
+    params = config.params_per_layer
+    fwd_flops = 2.0 * params * tokens / tp
+    activation_bytes = tokens * config.hidden * config.dtype_bytes
+    grad_shard_bytes = params / tp * config.dtype_bytes
+
+    tp_comm: tuple[CommRequirement, ...] = ()
+    fwd_comm: tuple[CommRequirement, ...] = ()
+    if tp > 1:
+        # Megatron runs one All-Reduce after the attention block and one
+        # after the MLP block, in both forward and backward.
+        fwd_comm = (
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="fwd-attn-ar"),
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="fwd-mlp-ar"),
+        )
+        tp_comm = (
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="bwd-attn-ar"),
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="bwd-mlp-ar"),
+        )
+
+    dp_comm: tuple[CommRequirement, ...] = ()
+    if parallelism.dp > 1:
+        if zero2:
+            # ZeRO-2: gradients reduce-scattered, updated shards all-gathered.
+            dp_comm = (
+                CommRequirement(CommScope.DP, CollectiveType.REDUCE_SCATTER,
+                                grad_shard_bytes, label="zero2-grad-rs"),
+                CommRequirement(CommScope.DP, CollectiveType.ALL_GATHER,
+                                grad_shard_bytes, label="zero2-param-ag"),
+            )
+        else:
+            # Classic data parallelism: one fused gradient All-Reduce.
+            dp_comm = (
+                CommRequirement(CommScope.DP, CollectiveType.ALL_REDUCE,
+                                grad_shard_bytes, label="grad-ar"),
+            )
+
+    layers = tuple(
+        Layer(
+            name=f"{config.name.lower()}-block{index}",
+            fwd_compute_flops=fwd_flops,
+            fwd_comms=fwd_comm,
+            tp_compute_flops=fwd_flops,
+            tp_comms=tp_comm,
+            dp_compute_flops=fwd_flops,
+            dp_comms=dp_comm,
+            param_count=params,
+        )
+        for index in range(config.num_layers)
+    )
+    return Workload(
+        name=config.name,
+        layers=layers,
+        parallelism=parallelism,
+        dtype_bytes=config.dtype_bytes,
+    )
+
+
+#: Architecture configurations behind Table II's transformer rows. The layer
+#: counts / widths are the published model shapes; each yields the Table II
+#: parameter count under the 12h² accounting (checked by tests).
+TURING_NLG_CONFIG = TransformerConfig(
+    name="Turing-NLG", num_layers=78, hidden=4256, seq_len=1024, microbatch=32
+)
+GPT3_CONFIG = TransformerConfig(
+    name="GPT-3", num_layers=96, hidden=12288, seq_len=2048, microbatch=1
+)
+MSFT_1T_CONFIG = TransformerConfig(
+    name="MSFT-1T", num_layers=128, hidden=25600, seq_len=1024, microbatch=1
+)

@@ -1,0 +1,100 @@
+"""Workload container: a named stack of layers plus its parallelization.
+
+A :class:`Workload` is fully concrete — layer FLOP counts and communication
+payloads already reflect the chosen parallelization degrees — but still
+network-independent: communication is scope-tagged (TP / DP / GLOBAL) and is
+bound to physical dimensions only when combined with a network via
+:func:`repro.workloads.parallelism.map_parallelism`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.errors import ConfigurationError
+from repro.workloads.layers import CommRequirement, CommScope, Layer
+from repro.workloads.parallelism import Parallelism
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A training workload: layers, parallelization, and datatype.
+
+    Attributes:
+        name: Workload name (e.g. ``"GPT-3"``).
+        layers: Layer stack in execution order.
+        parallelism: The HP-(tp, dp) strategy the layer statistics assume.
+        dtype_bytes: Bytes per element of the training datatype (2 = FP16).
+    """
+
+    name: str
+    layers: tuple[Layer, ...]
+    parallelism: Parallelism
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("workload name must not be empty")
+        if not self.layers:
+            raise ConfigurationError(f"workload {self.name!r} has no layers")
+        if self.dtype_bytes not in (1, 2, 4, 8):
+            raise ConfigurationError(
+                f"dtype_bytes must be 1, 2, 4, or 8, got {self.dtype_bytes}"
+            )
+
+    # -- aggregate statistics ------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_params(self) -> float:
+        """Total parameter count across layers (whole model)."""
+        return sum(layer.param_count for layer in self.layers)
+
+    @property
+    def total_compute_flops(self) -> float:
+        """Forward + backward FLOPs per NPU per training step."""
+        return sum(layer.total_compute_flops for layer in self.layers)
+
+    @property
+    def total_comm_bytes(self) -> float:
+        """Sum of all collective payloads per step (Fig. 1's metric)."""
+        return sum(layer.total_comm_bytes for layer in self.layers)
+
+    def comm_bytes_by_scope(self) -> dict[CommScope, float]:
+        """Communication payload split by parallelization scope."""
+        totals: dict[CommScope, float] = {}
+        for layer in self.layers:
+            for comm in layer.all_comms:
+                totals[comm.scope] = totals.get(comm.scope, 0.0) + comm.size_bytes
+        return totals
+
+    def comm_requirements(self) -> list[tuple[Layer, CommRequirement]]:
+        """Flat list of (layer, requirement) pairs in execution order."""
+        pairs = []
+        for layer in self.layers:
+            for comm in layer.all_comms:
+                pairs.append((layer, comm))
+        return pairs
+
+    def with_parallelism(self, parallelism: Parallelism) -> "Workload":
+        """Shallow re-tag with a different strategy.
+
+        Only valid when layer statistics do not depend on the degrees being
+        changed — the preset builders regenerate layers instead; this helper
+        exists for synthetic workloads in tests.
+        """
+        return Workload(
+            name=self.name,
+            layers=self.layers,
+            parallelism=parallelism,
+            dtype_bytes=self.dtype_bytes,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} [{self.num_layers} layers, "
+            f"{self.total_params / 1e9:.1f}B params, {self.parallelism}]"
+        )

@@ -1,0 +1,99 @@
+"""Topology-aware unit algorithm schedules (Fig. 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    direct_schedule,
+    halving_doubling_schedule,
+    phase_schedule,
+    phase_volume,
+    ring_schedule,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestRing:
+    def test_step_count(self):
+        assert ring_schedule(4, 1000.0).num_steps == 3
+
+    def test_per_step_volume(self):
+        schedule = ring_schedule(4, 1000.0)
+        for step in schedule.steps:
+            assert step.volume_bytes == pytest.approx(250.0)
+            assert step.peer_count == 1
+
+    def test_total_volume(self):
+        assert ring_schedule(5, 1000.0).total_volume == pytest.approx(800.0)
+
+
+class TestDirect:
+    def test_single_step(self):
+        schedule = direct_schedule(8, 1000.0)
+        assert schedule.num_steps == 1
+        assert schedule.steps[0].peer_count == 7
+
+    def test_total_volume(self):
+        assert direct_schedule(8, 1000.0).total_volume == pytest.approx(875.0)
+
+
+class TestHalvingDoubling:
+    def test_log_steps_for_power_of_two(self):
+        schedule = halving_doubling_schedule(8, 1000.0)
+        assert schedule.num_steps == 3
+        volumes = [step.volume_bytes for step in schedule.steps]
+        assert volumes == pytest.approx([500.0, 250.0, 125.0])
+
+    def test_total_volume(self):
+        assert halving_doubling_schedule(8, 1000.0).total_volume == pytest.approx(875.0)
+
+    def test_non_power_of_two_falls_back_to_direct(self):
+        schedule = halving_doubling_schedule(3, 900.0)
+        assert schedule.algorithm == "halving_doubling"
+        assert schedule.num_steps == 1
+        assert schedule.total_volume == pytest.approx(600.0)
+
+
+class TestDispatch:
+    def test_phase_schedule_lookup(self):
+        assert phase_schedule("ring", 4, 100.0).algorithm == "ring"
+        assert phase_schedule("direct", 4, 100.0).algorithm == "direct"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            phase_schedule("butterfly", 4, 100.0)
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            ring_schedule(1, 100.0)
+
+    def test_negative_payload(self):
+        with pytest.raises(ConfigurationError):
+            direct_schedule(4, -1.0)
+
+
+class TestDuration:
+    def test_bandwidth_only(self):
+        schedule = ring_schedule(4, 1000.0)
+        assert schedule.duration(100.0) == pytest.approx(7.5)
+
+    def test_step_latency_added(self):
+        schedule = ring_schedule(4, 1000.0)
+        assert schedule.duration(100.0, step_latency=0.5) == pytest.approx(7.5 + 1.5)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_schedule(4, 1000.0).duration(0.0)
+
+
+@given(
+    st.sampled_from(["ring", "direct", "halving_doubling"]),
+    st.integers(min_value=2, max_value=64),
+    st.floats(min_value=0.0, max_value=1e9),
+)
+def test_property_all_algorithms_move_same_volume(algorithm, size, payload):
+    """Fig. 7's algorithms are interchangeable at the bandwidth level: every
+    schedule's volume equals the closed-form m·(e−1)/e."""
+    schedule = phase_schedule(algorithm, size, payload)
+    assert schedule.total_volume == pytest.approx(phase_volume(size, payload), rel=1e-9)

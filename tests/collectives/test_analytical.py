@@ -1,0 +1,100 @@
+"""Closed-form collective time model: bottleneck semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    DimSpan,
+    all_reduce,
+    bottleneck_dim,
+    collective_time,
+    dim_utilization,
+    ideal_bandwidth_split,
+)
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+
+
+class TestCollectiveTime:
+    def test_single_dim(self):
+        op = all_reduce(gbps(1), (DimSpan(0, 4),))  # 1 GB payload
+        time = collective_time(op, [gbps(100)])
+        assert time == pytest.approx(2 * 1e9 * 0.75 / 100e9)
+
+    def test_max_over_dims(self):
+        op = all_reduce(1000.0, (DimSpan(0, 4), DimSpan(1, 4)))
+        fast_dim1 = collective_time(op, [10.0, 1000.0])
+        assert fast_dim1 == pytest.approx(2 * 1000 * 0.75 / 10.0)
+
+    def test_trivial_is_free(self):
+        assert collective_time(all_reduce(0.0, (DimSpan(0, 2),)), [1.0]) == 0.0
+        assert collective_time(all_reduce(10.0, ()), [1.0]) == 0.0
+
+    def test_missing_bandwidth_rejected(self):
+        op = all_reduce(10.0, (DimSpan(0, 2), DimSpan(1, 2)))
+        with pytest.raises(ConfigurationError):
+            collective_time(op, [1.0])
+
+    def test_zero_bandwidth_rejected(self):
+        op = all_reduce(10.0, (DimSpan(0, 2),))
+        with pytest.raises(ConfigurationError):
+            collective_time(op, [0.0])
+
+
+class TestBottleneck:
+    def test_underprovisioned_dim_is_bottleneck(self):
+        """Fig. 9(a)/(b): the starved dimension dominates."""
+        op = all_reduce(1000.0, (DimSpan(0, 4), DimSpan(1, 4), DimSpan(2, 4)))
+        assert bottleneck_dim(op, [1.0, 1e6, 1e6]) == 0
+        assert bottleneck_dim(op, [1e6, 1.0, 1e6]) == 1
+        assert bottleneck_dim(op, [1e6, 1e6, 1.0]) == 2
+
+    def test_trivial_none(self):
+        assert bottleneck_dim(all_reduce(10.0, ()), [1.0]) is None
+
+    def test_utilization_bottleneck_is_one(self):
+        op = all_reduce(1000.0, (DimSpan(0, 4), DimSpan(1, 4)))
+        util = dim_utilization(op, [10.0, 1000.0])
+        assert util[0] == pytest.approx(1.0)
+        assert util[1] < 0.05
+
+
+class TestIdealSplit:
+    def test_proportional_to_traffic(self):
+        """Sec. III-C: with a 4-way first dim, Dim 2 deserves 1/4 the BW."""
+        op = all_reduce(1000.0, (DimSpan(0, 4), DimSpan(1, 4)))
+        split = ideal_bandwidth_split(op, 100.0)
+        assert split[1] == pytest.approx(split[0] / 4)
+        assert sum(split.values()) == pytest.approx(100.0)
+
+    def test_equalizes_completion_times(self):
+        op = all_reduce(1000.0, (DimSpan(0, 3), DimSpan(1, 5), DimSpan(2, 2)))
+        split = ideal_bandwidth_split(op, 250.0)
+        util = dim_utilization(op, [split[0], split[1], split[2]])
+        for value in util.values():
+            assert value == pytest.approx(1.0)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            ideal_bandwidth_split(all_reduce(1.0, (DimSpan(0, 2),)), 0.0)
+
+
+@given(
+    st.lists(st.integers(min_value=2, max_value=10), min_size=1, max_size=4),
+    st.floats(min_value=1.0, max_value=1e6),
+)
+def test_property_ideal_split_is_optimal(sizes, size_bytes):
+    """The traffic-proportional split beats any perturbed allocation."""
+    spans = tuple(DimSpan(dim, s) for dim, s in enumerate(sizes))
+    op = all_reduce(size_bytes, spans)
+    budget = 1000.0
+    split = ideal_bandwidth_split(op, budget)
+    ideal_bw = [split[dim] for dim in range(len(sizes))]
+    best = collective_time(op, ideal_bw)
+    if len(sizes) >= 2:
+        perturbed = list(ideal_bw)
+        delta = perturbed[0] * 0.2
+        perturbed[0] -= delta
+        perturbed[1] += delta
+        assert collective_time(op, perturbed) >= best - 1e-12

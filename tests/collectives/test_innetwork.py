@@ -1,0 +1,105 @@
+"""In-network collective offload semantics (Sec. IV-C)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveOp,
+    CollectiveType,
+    DimSpan,
+    all_gather,
+    all_reduce,
+    per_dim_traffic,
+    reduce_scatter,
+)
+
+
+class TestOffloadFormulas:
+    def test_all_reduce_offload_roughly_halves(self):
+        """Fused All-Reduce: 2m(e−1)/(prefix·e) → m/prefix."""
+        m = 1024.0
+        spans = (DimSpan(0, 4), DimSpan(1, 8))
+        plain = per_dim_traffic(all_reduce(m, spans))
+        offloaded = per_dim_traffic(all_reduce(m, spans), in_network_dims={1})
+        assert offloaded[1] == pytest.approx(m / 4)
+        assert plain[1] == pytest.approx(2 * m * 7 / (4 * 8))
+        assert offloaded[1] < plain[1]
+
+    def test_reduce_scatter_offload_never_engaged(self):
+        """m/prefix exceeds RS's m(e−1)/(prefix·e); the min keeps NPU-driven."""
+        m = 1024.0
+        spans = (DimSpan(0, 4), DimSpan(1, 8))
+        plain = per_dim_traffic(reduce_scatter(m, spans))
+        offloaded = per_dim_traffic(reduce_scatter(m, spans), in_network_dims={1})
+        assert offloaded[1] == pytest.approx(plain[1])
+
+    def test_all_gather_offload_never_engaged(self):
+        m = 1024.0
+        spans = (DimSpan(0, 4),)
+        plain = per_dim_traffic(all_gather(m, spans))
+        offloaded = per_dim_traffic(all_gather(m, spans), in_network_dims={0})
+        assert offloaded[0] == pytest.approx(plain[0])
+
+    def test_offload_only_affects_selected_dims(self):
+        m = 1024.0
+        spans = (DimSpan(0, 4), DimSpan(1, 8), DimSpan(2, 4))
+        plain = per_dim_traffic(all_reduce(m, spans))
+        offloaded = per_dim_traffic(all_reduce(m, spans), in_network_dims={2})
+        assert offloaded[0] == plain[0]
+        assert offloaded[1] == plain[1]
+        assert offloaded[2] < plain[2]
+
+    def test_offload_break_even_on_size_two_spans(self):
+        """For e = 2, All-Reduce moves 2m(e−1)/e = m per prefix unit — the
+        offload's m/prefix is exactly break-even, not a win."""
+        m = 1024.0
+        spans = (DimSpan(0, 2),)
+        plain = per_dim_traffic(all_reduce(m, spans))
+        offloaded = per_dim_traffic(all_reduce(m, spans), in_network_dims={0})
+        assert offloaded[0] == pytest.approx(plain[0])
+
+
+@st.composite
+def reducing_ops(draw):
+    num_spans = draw(st.integers(min_value=1, max_value=4))
+    sizes = draw(
+        st.lists(st.integers(min_value=2, max_value=16), min_size=num_spans, max_size=num_spans)
+    )
+    kind = draw(
+        st.sampled_from(
+            [
+                CollectiveType.ALL_REDUCE,
+                CollectiveType.REDUCE_SCATTER,
+                CollectiveType.ALL_GATHER,
+            ]
+        )
+    )
+    size_bytes = draw(st.floats(min_value=1.0, max_value=1e9))
+    spans = tuple(DimSpan(dim, size) for dim, size in enumerate(sizes))
+    return CollectiveOp(kind, size_bytes, spans)
+
+
+@given(reducing_ops(), st.data())
+def test_property_offload_never_increases_traffic(op, data):
+    """Enabling in-network offload on any dimension subset can only reduce
+    (or preserve) every dimension's traffic — the min() contract."""
+    dims = [span.dim for span in op.spans]
+    subset = frozenset(data.draw(st.sets(st.sampled_from(dims))) if dims else ())
+    plain = per_dim_traffic(op)
+    offloaded = per_dim_traffic(op, in_network_dims=subset)
+    for dim in plain:
+        assert offloaded[dim] <= plain[dim] * (1 + 1e-12)
+
+
+@given(reducing_ops())
+def test_property_all_reduce_offload_bounded_by_double(op):
+    """Offloaded All-Reduce traffic is never below half the NPU-driven value
+    (the switch still has to receive the payload once)."""
+    if op.kind is not CollectiveType.ALL_REDUCE:
+        return
+    dims = frozenset(span.dim for span in op.spans)
+    plain = per_dim_traffic(op)
+    offloaded = per_dim_traffic(op, in_network_dims=dims)
+    for dim in plain:
+        assert offloaded[dim] >= plain[dim] / 2 - 1e-9

@@ -1,0 +1,112 @@
+"""Multi-rail stage decomposition (Sec. II-C) vs the closed-form traffic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveOp,
+    CollectiveType,
+    DimSpan,
+    StagePhase,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    decompose,
+    per_dim_traffic,
+    reduce_scatter,
+    stage_volumes_per_dim,
+)
+
+
+class TestStageStructure:
+    def test_all_reduce_has_2n_stages(self):
+        op = all_reduce(100.0, (DimSpan(0, 4), DimSpan(1, 8), DimSpan(2, 2)))
+        stages = decompose(op)
+        assert len(stages) == 6
+        phases = [stage.phase for stage in stages]
+        assert phases[:3] == [StagePhase.REDUCE_SCATTER] * 3
+        assert phases[3:] == [StagePhase.ALL_GATHER] * 3
+
+    def test_rs_ascending_ag_descending(self):
+        op = all_reduce(100.0, (DimSpan(0, 2), DimSpan(1, 2), DimSpan(3, 2)))
+        dims = [stage.dim for stage in decompose(op)]
+        assert dims == [0, 1, 3, 3, 1, 0]
+
+    def test_reduce_scatter_only_rs(self):
+        op = reduce_scatter(100.0, (DimSpan(0, 4), DimSpan(1, 2)))
+        stages = decompose(op)
+        assert [s.phase for s in stages] == [StagePhase.REDUCE_SCATTER] * 2
+
+    def test_all_gather_only_ag(self):
+        op = all_gather(100.0, (DimSpan(0, 4), DimSpan(1, 2)))
+        stages = decompose(op)
+        assert [s.phase for s in stages] == [StagePhase.ALL_GATHER] * 2
+        assert [s.dim for s in stages] == [1, 0]
+
+    def test_all_to_all_single_pass(self):
+        op = all_to_all(100.0, (DimSpan(0, 4), DimSpan(1, 2)))
+        stages = decompose(op)
+        assert [s.phase for s in stages] == [StagePhase.ALL_TO_ALL] * 2
+
+    def test_trivial_empty(self):
+        assert decompose(all_reduce(0.0, (DimSpan(0, 2),))) == []
+        assert decompose(all_reduce(5.0, ())) == []
+
+
+class TestPayloadDecay:
+    def test_rs_payload_shrinks(self):
+        op = all_reduce(960.0, (DimSpan(0, 4), DimSpan(1, 8)))
+        stages = decompose(op)
+        assert stages[0].payload_bytes == pytest.approx(960.0)
+        assert stages[1].payload_bytes == pytest.approx(240.0)
+
+    def test_ag_mirrors_rs_volumes(self):
+        op = all_reduce(960.0, (DimSpan(0, 4), DimSpan(1, 8)))
+        stages = decompose(op)
+        rs_by_dim = {s.dim: s.volume_bytes for s in stages[:2]}
+        ag_by_dim = {s.dim: s.volume_bytes for s in stages[2:]}
+        assert rs_by_dim == pytest.approx(ag_by_dim)
+
+    def test_fig8_example_volumes(self):
+        """Fig. 8: 3×2 network — Dim 1 RS moves 2/3 m, Dim 2 RS moves 1/6 m."""
+        m = 6.0
+        op = all_reduce(m, (DimSpan(0, 3), DimSpan(1, 2)))
+        stages = decompose(op)
+        assert stages[0].volume_bytes == pytest.approx(m * 2 / 3)
+        assert stages[1].volume_bytes == pytest.approx(m / 3 * 1 / 2)
+
+    def test_stage_duration(self):
+        op = all_reduce(1000.0, (DimSpan(0, 2),))
+        stage = decompose(op)[0]
+        assert stage.duration(100.0) == pytest.approx(stage.volume_bytes / 100.0)
+
+
+@st.composite
+def ops(draw):
+    num_spans = draw(st.integers(min_value=1, max_value=4))
+    sizes = draw(
+        st.lists(st.integers(min_value=2, max_value=12), min_size=num_spans, max_size=num_spans)
+    )
+    kind = draw(st.sampled_from(list(CollectiveType)))
+    size_bytes = draw(st.floats(min_value=1.0, max_value=1e8))
+    return CollectiveOp(kind, size_bytes, tuple(DimSpan(d, s) for d, s in enumerate(sizes)))
+
+
+@given(ops())
+def test_property_stages_match_closed_form(op):
+    """The stage decomposition and the Sec. IV-C formulas are two derivations
+    of the same per-dimension volumes — they must agree exactly."""
+    from_stages = stage_volumes_per_dim(op)
+    closed_form = per_dim_traffic(op)
+    assert set(from_stages) == set(closed_form)
+    for dim in closed_form:
+        assert from_stages[dim] == pytest.approx(closed_form[dim], rel=1e-12)
+
+
+@given(ops())
+def test_property_stage_payloads_positive(op):
+    for stage in decompose(op):
+        assert stage.payload_bytes > 0
+        assert stage.volume_bytes > 0
+        assert stage.volume_bytes < stage.payload_bytes * stage.span_size

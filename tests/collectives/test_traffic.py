@@ -1,0 +1,149 @@
+"""Per-dimension traffic formulas (Sec. IV-C) and their invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveOp,
+    CollectiveType,
+    DimSpan,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    per_dim_traffic,
+    reduce_scatter,
+    span_traffic,
+    total_traffic,
+    traffic_coefficients,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestPaperFormulas:
+    """The exact 2D formulas quoted in Sec. IV-C."""
+
+    def test_all_reduce_2d(self):
+        m, n1, n2 = 1000.0, 3, 2
+        op = all_reduce(m, (DimSpan(0, n1), DimSpan(1, n2)))
+        traffic = per_dim_traffic(op)
+        assert traffic[0] == pytest.approx(2 * m * (n1 - 1) / n1)
+        assert traffic[1] == pytest.approx(2 * m * (n2 - 1) / (n1 * n2))
+
+    def test_reduce_scatter_half_of_all_reduce(self):
+        m = 640.0
+        spans = (DimSpan(0, 4), DimSpan(1, 8))
+        ar = per_dim_traffic(all_reduce(m, spans))
+        rs = per_dim_traffic(reduce_scatter(m, spans))
+        for dim in ar:
+            assert rs[dim] == pytest.approx(ar[dim] / 2)
+
+    def test_all_gather_equals_reduce_scatter(self):
+        m = 640.0
+        spans = (DimSpan(0, 4), DimSpan(1, 8))
+        assert per_dim_traffic(all_gather(m, spans)) == per_dim_traffic(
+            reduce_scatter(m, spans)
+        )
+
+    def test_all_to_all_no_decay(self):
+        m, n1, n2 = 1000.0, 4, 8
+        op = all_to_all(m, (DimSpan(0, n1), DimSpan(1, n2)))
+        traffic = per_dim_traffic(op)
+        assert traffic[0] == pytest.approx(m * (n1 - 1) / n1)
+        assert traffic[1] == pytest.approx(m * (n2 - 1) / n2)
+
+    def test_fig8_quarter_payload(self):
+        """Sec. III-C: on a 4×k network Dim 2's requirement is 1/4 of Dim 1's
+        requirement scaled by (e2-1)/(e2) ratios — check the 4x4 case where
+        the paper's 1/4 statement is exact for same-size dims."""
+        op = all_reduce(1000.0, (DimSpan(0, 4), DimSpan(1, 4)))
+        traffic = per_dim_traffic(op)
+        assert traffic[1] == pytest.approx(traffic[0] / 4)
+
+
+class TestInNetwork:
+    def test_offload_reduces_traffic(self):
+        m = 1000.0
+        spans = (DimSpan(0, 4), DimSpan(1, 8))
+        plain = per_dim_traffic(all_reduce(m, spans))
+        offloaded = per_dim_traffic(all_reduce(m, spans), in_network_dims={1})
+        assert offloaded[1] == pytest.approx(m / 4)  # m / (e_1)
+        assert offloaded[1] < plain[1] * 2  # cheaper than 2x RS+AG volume
+        assert offloaded[0] == plain[0]
+
+    def test_offload_dim0(self):
+        m = 1000.0
+        op = all_reduce(m, (DimSpan(0, 4),))
+        assert per_dim_traffic(op, in_network_dims={0})[0] == pytest.approx(m)
+
+    def test_all_to_all_ignores_offload(self):
+        m = 1000.0
+        op = all_to_all(m, (DimSpan(0, 4),))
+        assert per_dim_traffic(op, in_network_dims={0}) == per_dim_traffic(op)
+
+
+class TestEdges:
+    def test_trivial_op_empty(self):
+        assert per_dim_traffic(all_reduce(0.0, (DimSpan(0, 2),))) == {}
+        assert per_dim_traffic(all_reduce(10.0, ())) == {}
+
+    def test_span_traffic_index_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            span_traffic(CollectiveType.ALL_REDUCE, 1.0, (2, 2), 2)
+
+    def test_coefficients_sorted(self):
+        op = all_reduce(10.0, (DimSpan(1, 2), DimSpan(3, 2)))
+        coeffs = traffic_coefficients(op)
+        assert [dim for dim, _ in coeffs] == [1, 3]
+
+    def test_total_traffic_sums(self):
+        op = all_reduce(10.0, (DimSpan(0, 2), DimSpan(1, 2)))
+        assert total_traffic(op) == pytest.approx(sum(per_dim_traffic(op).values()))
+
+
+@st.composite
+def collective_ops(draw):
+    """Random collective ops over up to 4 spans."""
+    num_spans = draw(st.integers(min_value=1, max_value=4))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=2, max_value=16),
+            min_size=num_spans,
+            max_size=num_spans,
+        )
+    )
+    kind = draw(st.sampled_from(list(CollectiveType)))
+    size_bytes = draw(st.floats(min_value=1.0, max_value=1e9))
+    spans = tuple(DimSpan(dim, size) for dim, size in enumerate(sizes))
+    return CollectiveOp(kind, size_bytes, spans)
+
+
+@given(collective_ops())
+def test_property_traffic_positive_and_bounded(op):
+    """Every span's traffic is positive and at most 2m (the All-Reduce cap)."""
+    traffic = per_dim_traffic(op)
+    assert set(traffic) == {span.dim for span in op.spans}
+    for volume in traffic.values():
+        assert 0 < volume <= 2 * op.size_bytes + 1e-9
+
+
+@given(collective_ops())
+def test_property_traffic_decays_with_dim(op):
+    """For reducing collectives, traffic never grows toward outer spans
+    (the multi-rail load-reduction property of Sec. III-B)."""
+    if op.kind is CollectiveType.ALL_TO_ALL:
+        return
+    traffic = per_dim_traffic(op)
+    ordered = [traffic[span.dim] for span in op.spans]
+    for inner, outer in zip(ordered, ordered[1:]):
+        assert outer <= inner * 1.0000001
+
+
+@given(collective_ops())
+def test_property_all_reduce_is_rs_plus_ag(op):
+    """All-Reduce traffic equals Reduce-Scatter + All-Gather per dim."""
+    ar = per_dim_traffic(CollectiveOp(CollectiveType.ALL_REDUCE, op.size_bytes, op.spans))
+    rs = per_dim_traffic(CollectiveOp(CollectiveType.REDUCE_SCATTER, op.size_bytes, op.spans))
+    ag = per_dim_traffic(CollectiveOp(CollectiveType.ALL_GATHER, op.size_bytes, op.spans))
+    for dim in ar:
+        assert ar[dim] == pytest.approx(rs[dim] + ag[dim])

@@ -1,0 +1,76 @@
+"""CollectiveOp and DimSpan semantics."""
+
+import pytest
+
+from repro.collectives import (
+    CollectiveOp,
+    CollectiveType,
+    DimSpan,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    reduce_scatter,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestDimSpan:
+    def test_valid(self):
+        span = DimSpan(2, 8)
+        assert span.dim == 2 and span.size == 8
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DimSpan(-1, 4)
+
+    def test_size_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be >= 2"):
+            DimSpan(0, 1)
+
+
+class TestCollectiveOp:
+    def test_group_size(self):
+        op = all_reduce(100.0, (DimSpan(0, 4), DimSpan(1, 8)))
+        assert op.group_size == 32
+
+    def test_empty_spans_is_trivial(self):
+        op = all_reduce(100.0, ())
+        assert op.is_trivial
+        assert op.group_size == 1
+
+    def test_zero_size_is_trivial(self):
+        assert all_reduce(0.0, (DimSpan(0, 4),)).is_trivial
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            all_reduce(-1.0, (DimSpan(0, 4),))
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            all_reduce(10.0, (DimSpan(1, 4), DimSpan(1, 2)))
+
+    def test_unordered_spans_rejected(self):
+        with pytest.raises(ConfigurationError, match="innermost-first"):
+            all_reduce(10.0, (DimSpan(2, 4), DimSpan(0, 2)))
+
+    def test_scaled(self):
+        op = all_reduce(128.0, (DimSpan(0, 4),), label="x")
+        half = op.scaled(0.5)
+        assert half.size_bytes == 64.0
+        assert half.spans == op.spans
+        assert half.label == "x"
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            all_reduce(128.0, (DimSpan(0, 4),)).scaled(-1.0)
+
+    def test_with_label(self):
+        op = all_reduce(1.0, (DimSpan(0, 2),)).with_label("renamed")
+        assert op.label == "renamed"
+
+    def test_constructor_kinds(self):
+        spans = (DimSpan(0, 2),)
+        assert all_reduce(1.0, spans).kind is CollectiveType.ALL_REDUCE
+        assert reduce_scatter(1.0, spans).kind is CollectiveType.REDUCE_SCATTER
+        assert all_gather(1.0, spans).kind is CollectiveType.ALL_GATHER
+        assert all_to_all(1.0, spans).kind is CollectiveType.ALL_TO_ALL

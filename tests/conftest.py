@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import MultiDimNetwork, get_topology
+from repro.utils import gbps
+
+
+@pytest.fixture
+def net_2d() -> MultiDimNetwork:
+    """A tiny 3×2 network — the Fig. 8 walkthrough shape."""
+    return MultiDimNetwork.from_notation("RI(3)_RI(2)")
+
+
+@pytest.fixture
+def net_3d() -> MultiDimNetwork:
+    """A small 3D mixed-block network (24 NPUs)."""
+    return MultiDimNetwork.from_notation("RI(4)_FC(3)_SW(2)")
+
+
+@pytest.fixture
+def net_4d_4k() -> MultiDimNetwork:
+    """The paper's representative 4D-4K topology (Table III)."""
+    return get_topology("4D-4K")
+
+
+@pytest.fixture
+def net_3d_4k() -> MultiDimNetwork:
+    """The paper's 3D-4K topology (Table III)."""
+    return get_topology("3D-4K")
+
+
+@pytest.fixture
+def equal_bw_500() -> list[float]:
+    """EqualBW split of 500 GB/s over 4 dimensions."""
+    return [gbps(125.0)] * 4

@@ -1,0 +1,134 @@
+"""Designer constraint DSL (Sec. IV-F)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintSet, LinearConstraint
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError, OptimizationError
+
+
+class TestLinearConstraint:
+    def test_violation_zero_when_satisfied(self):
+        row = LinearConstraint((1.0, 1.0), lower=None, upper=10.0)
+        assert row.violation([4.0, 5.0]) == 0.0
+
+    def test_violation_amount(self):
+        row = LinearConstraint((1.0, 1.0), lower=None, upper=10.0)
+        assert row.violation([8.0, 5.0]) == pytest.approx(3.0)
+
+    def test_equality_detection(self):
+        assert LinearConstraint((1.0,), lower=5.0, upper=5.0).is_equality
+        assert not LinearConstraint((1.0,), lower=1.0, upper=5.0).is_equality
+
+    def test_no_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearConstraint((1.0,))
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearConstraint((1.0,), lower=5.0, upper=1.0)
+
+    def test_zero_coeffs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearConstraint((0.0, 0.0), upper=1.0)
+
+
+class TestTotalBandwidth:
+    def test_sum_enforced(self):
+        cons = ConstraintSet(3).with_total_bandwidth(gbps(300))
+        assert cons.is_feasible([gbps(100)] * 3)
+        assert not cons.is_feasible([gbps(100), gbps(100), gbps(50)])
+
+    def test_inequality_variant(self):
+        cons = ConstraintSet(3).with_total_bandwidth(gbps(300), equality=False)
+        assert cons.is_feasible([gbps(50)] * 3)
+
+    def test_budget_below_minimums_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot cover"):
+            ConstraintSet(4, min_bandwidth=gbps(10)).with_total_bandwidth(gbps(20))
+
+    def test_equal_split(self):
+        cons = ConstraintSet(4).with_total_bandwidth(gbps(400))
+        split = cons.equal_split()
+        assert np.allclose(split, gbps(100))
+
+    def test_equal_split_requires_budget(self):
+        with pytest.raises(OptimizationError):
+            ConstraintSet(4).equal_split()
+
+
+class TestDimBounds:
+    def test_cap(self):
+        """Sec. IV-F example: limit inter-Pod BW to 50 GB/s."""
+        cons = ConstraintSet(4).with_dim_cap(3, gbps(50))
+        assert cons.is_feasible([gbps(100)] * 3 + [gbps(50)])
+        assert not cons.is_feasible([gbps(100)] * 3 + [gbps(51)])
+
+    def test_range(self):
+        """Sec. IV-F example: 25 ≤ B_3 ≤ 150 GB/s."""
+        cons = ConstraintSet(4).with_dim_bounds(2, lower=gbps(25), upper=gbps(150))
+        assert cons.is_feasible([gbps(10), gbps(10), gbps(100), gbps(10)])
+        assert not cons.is_feasible([gbps(10), gbps(10), gbps(10), gbps(10)])
+
+    def test_empty_box_rejected(self):
+        cons = ConstraintSet(2)
+        cons.with_dim_bounds(0, lower=gbps(50))
+        with pytest.raises(ConfigurationError, match="empty"):
+            cons.with_dim_bounds(0, upper=gbps(10))
+
+    def test_bad_dim(self):
+        with pytest.raises(ConfigurationError):
+            ConstraintSet(2).with_dim_cap(5, gbps(10))
+
+
+class TestRelations:
+    def test_pairwise_sum(self):
+        """Sec. IV-F example: B_1 + B_2 = 500 GB/s."""
+        cons = ConstraintSet(4).with_linear(
+            [1.0, 1.0, 0.0, 0.0], lower=gbps(500), upper=gbps(500), label="b1+b2"
+        )
+        assert cons.is_feasible([gbps(300), gbps(200), gbps(1), gbps(1)])
+        assert not cons.is_feasible([gbps(300), gbps(100), gbps(1), gbps(1)])
+
+    def test_ordering(self):
+        """Sec. IV-F example: B_1 ≥ B_2 ≥ B_3."""
+        cons = ConstraintSet(3).with_ordering([0, 1, 2])
+        assert cons.is_feasible([gbps(30), gbps(20), gbps(10)])
+        assert not cons.is_feasible([gbps(10), gbps(20), gbps(30)])
+
+    def test_ordering_needs_two(self):
+        with pytest.raises(ConfigurationError):
+            ConstraintSet(3).with_ordering([0])
+
+    def test_violations_messages(self):
+        cons = ConstraintSet(2).with_total_bandwidth(gbps(100))
+        messages = cons.violations([gbps(10), gbps(10)])
+        assert any("total-bandwidth" in message for message in messages)
+
+
+class TestFeasiblePoint:
+    def test_simple_budget(self):
+        cons = ConstraintSet(3).with_total_bandwidth(gbps(300))
+        point = cons.find_feasible_point()
+        assert cons.is_feasible(point, tolerance=1e-4)
+
+    def test_with_caps_and_ordering(self):
+        cons = (
+            ConstraintSet(4)
+            .with_total_bandwidth(gbps(400))
+            .with_dim_cap(3, gbps(50))
+            .with_ordering([0, 1, 2])
+        )
+        point = cons.find_feasible_point()
+        assert cons.is_feasible(point, tolerance=1e-4)
+
+    def test_infeasible_detected(self):
+        cons = (
+            ConstraintSet(2)
+            .with_total_bandwidth(gbps(100))
+            .with_dim_cap(0, gbps(10))
+            .with_dim_cap(1, gbps(10))
+        )
+        with pytest.raises(OptimizationError, match="infeasible"):
+            cons.find_feasible_point()

@@ -1,0 +1,62 @@
+"""Property tests for the constraint DSL's geometric helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConstraintSet
+from repro.utils import gbps
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=10.0, max_value=5000.0),
+)
+def test_property_equal_split_honours_budget(num_dims, total_gbps):
+    cons = ConstraintSet(num_dims).with_total_bandwidth(gbps(total_gbps))
+    point = cons.equal_split()
+    assert point.sum() == pytest.approx(gbps(total_gbps), rel=1e-9)
+    assert np.allclose(point, point[0])
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.floats(min_value=50.0, max_value=120.0),
+    st.floats(min_value=400.0, max_value=1000.0),
+)
+def test_property_equal_split_redistributes_around_caps(cap_gbps, total_gbps):
+    """Capping one dimension must not break the budget: the clipped surplus
+    lands on the free dimensions."""
+    cons = (
+        ConstraintSet(4)
+        .with_total_bandwidth(gbps(total_gbps))
+        .with_dim_cap(3, gbps(cap_gbps))
+    )
+    point = cons.equal_split()
+    assert point.sum() == pytest.approx(gbps(total_gbps), rel=1e-6)
+    assert point[3] <= gbps(cap_gbps) * (1 + 1e-9)
+    # Free dims stay equal among themselves.
+    assert np.allclose(point[:3], point[0])
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.floats(min_value=100.0, max_value=2000.0),
+    st.data(),
+)
+def test_property_feasible_point_is_feasible(num_dims, total_gbps, data):
+    cons = ConstraintSet(num_dims).with_total_bandwidth(gbps(total_gbps))
+    if data.draw(st.booleans()):
+        dim = data.draw(st.integers(min_value=0, max_value=num_dims - 1))
+        cap = total_gbps / num_dims * data.draw(st.floats(min_value=0.5, max_value=1.5))
+        cons.with_dim_cap(dim, gbps(cap))
+    if num_dims >= 2 and data.draw(st.booleans()):
+        cons.with_ordering([0, 1])
+    try:
+        point = cons.find_feasible_point()
+    except Exception:
+        return  # infeasible combinations are allowed to raise
+    assert cons.is_feasible(point, tolerance=1e-4)

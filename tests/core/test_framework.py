@@ -1,0 +1,154 @@
+"""The Libra facade and design-point results."""
+
+import pytest
+
+from repro.core import DesignPoint, Libra, Scheme
+from repro.topology import get_topology
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError, OptimizationError
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def libra_gpt3():
+    libra = Libra(get_topology("4D-4K"))
+    libra.add_workload(build_workload("GPT-3", 4096))
+    return libra
+
+
+class TestConfiguration:
+    def test_workload_size_checked(self):
+        libra = Libra(get_topology("4D-4K"))
+        with pytest.raises(ConfigurationError, match="4096"):
+            libra.add_workload(build_workload("GPT-3", 1024))
+
+    def test_duplicate_workload_rejected(self):
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("GPT-3", 4096))
+        with pytest.raises(ConfigurationError, match="already added"):
+            libra.add_workload(build_workload("GPT-3", 4096))
+
+    def test_zero_weight_rejected(self):
+        libra = Libra(get_topology("4D-4K"))
+        with pytest.raises(ConfigurationError, match="weight"):
+            libra.add_workload(build_workload("GPT-3", 4096), weight=0.0)
+
+    def test_optimize_without_workloads(self):
+        libra = Libra(get_topology("4D-4K"))
+        with pytest.raises(ConfigurationError, match="at least one workload"):
+            libra.optimize(Scheme.PERF_OPT, libra.constraints().with_total_bandwidth(gbps(100)))
+
+    def test_describe_mentions_inputs(self, libra_gpt3):
+        text = libra_gpt3.describe()
+        assert "4D-4K" in text
+        assert "GPT-3" in text
+        assert "234 TFLOPS" in text
+
+
+class TestEqualBW:
+    def test_even_split(self, libra_gpt3):
+        point = libra_gpt3.equal_bw_point(gbps(400))
+        assert point.bandwidths == tuple([gbps(100)] * 4)
+        assert point.scheme is Scheme.EQUAL_BW
+
+    def test_bad_total(self, libra_gpt3):
+        with pytest.raises(ConfigurationError):
+            libra_gpt3.equal_bw_point(0.0)
+
+
+class TestOptimize:
+    def test_perf_opt_beats_equal(self, libra_gpt3):
+        cons = libra_gpt3.constraints().with_total_bandwidth(gbps(500))
+        optimized = libra_gpt3.optimize(Scheme.PERF_OPT, cons)
+        baseline = libra_gpt3.equal_bw_point(gbps(500))
+        assert optimized.speedup_over(baseline) >= 1.0
+        assert optimized.scheme is Scheme.PERF_OPT
+
+    def test_perf_per_cost_wins_its_metric(self, libra_gpt3):
+        cons = libra_gpt3.constraints().with_total_bandwidth(gbps(500))
+        perf = libra_gpt3.optimize(Scheme.PERF_OPT, cons)
+        ppc = libra_gpt3.optimize(Scheme.PERF_PER_COST_OPT, cons)
+        baseline = libra_gpt3.equal_bw_point(gbps(500))
+        assert ppc.perf_per_cost_gain_over(baseline) >= perf.perf_per_cost_gain_over(
+            baseline
+        ) * 0.999
+
+    def test_equal_scheme_via_optimize(self, libra_gpt3):
+        cons = libra_gpt3.constraints().with_total_bandwidth(gbps(500))
+        point = libra_gpt3.optimize(Scheme.EQUAL_BW, cons)
+        assert point.bandwidths == tuple([gbps(125)] * 4)
+
+    def test_equal_scheme_needs_budget(self, libra_gpt3):
+        with pytest.raises(OptimizationError):
+            libra_gpt3.optimize(Scheme.EQUAL_BW, libra_gpt3.constraints())
+
+    def test_budget_respected(self, libra_gpt3):
+        cons = libra_gpt3.constraints().with_total_bandwidth(gbps(500))
+        point = libra_gpt3.optimize(Scheme.PERF_OPT, cons)
+        assert point.total_bandwidth == pytest.approx(gbps(500), rel=1e-3)
+
+    def test_wrong_constraint_dims(self, libra_gpt3):
+        from repro.core import ConstraintSet
+
+        with pytest.raises(ConfigurationError, match="dims"):
+            libra_gpt3.optimize(
+                Scheme.PERF_OPT, ConstraintSet(3).with_total_bandwidth(gbps(100))
+            )
+
+
+class TestDesignPoint:
+    def test_step_time_lookup(self, libra_gpt3):
+        point = libra_gpt3.equal_bw_point(gbps(400))
+        assert point.step_time("GPT-3") == point.step_time()
+
+    def test_unknown_workload_name(self, libra_gpt3):
+        point = libra_gpt3.equal_bw_point(gbps(400))
+        with pytest.raises(ConfigurationError, match="no step time"):
+            point.step_time("BERT")
+
+    def test_bandwidths_gbps(self, libra_gpt3):
+        point = libra_gpt3.equal_bw_point(gbps(400))
+        assert point.bandwidths_gbps() == tuple([100.0] * 4)
+
+    def test_describe(self, libra_gpt3):
+        text = libra_gpt3.equal_bw_point(gbps(400)).describe()
+        assert "EqualBW" in text and "GPT-3" in text
+
+    def test_speedup_identity(self, libra_gpt3):
+        point = libra_gpt3.equal_bw_point(gbps(400))
+        assert point.speedup_over(point) == pytest.approx(1.0)
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DesignPoint(Scheme.EQUAL_BW, (), {}, 0.0)
+        with pytest.raises(ConfigurationError):
+            DesignPoint(Scheme.EQUAL_BW, (-1.0,), {"x": 1.0}, 0.0)
+
+
+class TestMultiWorkload:
+    def test_group_expression_weighted(self):
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("GPT-3", 4096), weight=2.0)
+        libra.add_workload(build_workload("Turing-NLG", 4096), weight=1.0)
+        combined = libra.combined_expression()
+        gpt3 = libra.training_expression(libra.workloads[0])
+        tnlg = libra.training_expression(libra.workloads[1])
+        bw = [gbps(125)] * 4
+        assert combined.evaluate(bw) == pytest.approx(
+            2.0 * gpt3.evaluate(bw) + tnlg.evaluate(bw)
+        )
+
+    def test_evaluate_reports_all_workloads(self):
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("GPT-3", 4096))
+        libra.add_workload(build_workload("MSFT-1T", 4096))
+        point = libra.equal_bw_point(gbps(500))
+        assert set(point.step_times) == {"GPT-3", "MSFT-1T"}
+
+    def test_unnamed_step_time_ambiguous(self):
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("GPT-3", 4096))
+        libra.add_workload(build_workload("MSFT-1T", 4096))
+        point = libra.equal_bw_point(gbps(500))
+        with pytest.raises(ConfigurationError, match="name one"):
+            point.step_time()

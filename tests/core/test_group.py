@@ -1,0 +1,61 @@
+"""Group (multi-workload) optimization protocol (Fig. 17)."""
+
+import pytest
+
+from repro.core import Scheme, run_group_study
+from repro.topology import get_topology
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def study():
+    network = get_topology("4D-4K")
+    workloads = [
+        build_workload("Turing-NLG", 4096),
+        build_workload("GPT-3", 4096),
+        build_workload("MSFT-1T", 4096),
+    ]
+    return run_group_study(network, workloads, total_bandwidth=gbps(1000))
+
+
+class TestGroupStudy:
+    def test_diagonal_slowdowns_are_one(self, study):
+        """A workload on its own optimized network has slowdown 1.0."""
+        for name, row in study.slowdowns.items():
+            if name == "group":
+                continue
+            assert row[name] == pytest.approx(1.0, abs=1e-9)
+
+    def test_off_diagonal_slowdowns_at_least_one(self, study):
+        for design, row in study.slowdowns.items():
+            for value in row.values():
+                assert value >= 1.0 - 1e-6
+
+    def test_group_network_is_near_optimal(self, study):
+        """Fig. 17: the group-optimized network averages ~1.01× slowdown."""
+        assert study.average_group_slowdown < 1.25
+
+    def test_group_never_worse_than_worst_single(self, study):
+        worst_group = max(study.slowdowns["group"].values())
+        assert worst_group <= study.worst_cross_slowdown + 1e-9
+
+    def test_speedups_relative_to_equal(self, study):
+        """Every optimized network must not lose to EqualBW on its target."""
+        for name, row in study.speedups.items():
+            if name == "group":
+                continue
+            assert row[name] >= 1.0 - 1e-6
+
+    def test_points_share_budget(self, study):
+        for point in study.per_target_points.values():
+            assert point.total_bandwidth == pytest.approx(gbps(1000), rel=1e-3)
+        assert study.group_point.total_bandwidth == pytest.approx(gbps(1000), rel=1e-3)
+
+
+class TestValidation:
+    def test_needs_two_workloads(self):
+        network = get_topology("4D-4K")
+        with pytest.raises(ConfigurationError, match="two workloads"):
+            run_group_study(network, [build_workload("GPT-3", 4096)], gbps(100))

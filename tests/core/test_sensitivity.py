@@ -1,0 +1,126 @@
+"""Bandwidth sensitivity analysis at design points."""
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    SensitivityReport,
+    bandwidth_sensitivity,
+    minimize_training_time,
+)
+from repro.training.expr import CommTerm, Const, Sum
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_const_has_zero_marginals(self):
+        report = bandwidth_sensitivity(Const(5.0), [gbps(100), gbps(100)])
+        assert report.marginals == (0.0, 0.0)
+        assert report.binding_dims() == ()
+
+    def test_single_term_derivative(self):
+        """dT/dB of coeff/B is −coeff/B² exactly."""
+        coeff = gbps(100)  # 100 GB payload
+        expr = CommTerm(((0, coeff),))
+        point = gbps(50)
+        report = bandwidth_sensitivity(expr, [point])
+        assert report.marginals[0] == pytest.approx(-coeff / point**2, rel=1e-4)
+
+    def test_bottleneck_dim_dominates(self):
+        """Only the bottleneck dimension of a max-term has nonzero marginal."""
+        expr = CommTerm(((0, gbps(100)), (1, gbps(1))))
+        report = bandwidth_sensitivity(expr, [gbps(10), gbps(10)])
+        assert report.marginals[0] < 0
+        assert report.marginals[1] == pytest.approx(0.0, abs=1e-15)
+        assert report.most_valuable_dim == 0
+        assert report.binding_dims() == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_sensitivity(Const(1.0), [])
+        with pytest.raises(ConfigurationError):
+            bandwidth_sensitivity(Const(1.0), [0.0])
+        with pytest.raises(ConfigurationError):
+            bandwidth_sensitivity(Const(1.0), [1.0], relative_step=0.9)
+
+
+class TestTransferGradient:
+    def test_direction(self):
+        expr = Sum((CommTerm(((0, gbps(100)),)), CommTerm(((1, gbps(10)),))))
+        report = bandwidth_sensitivity(expr, [gbps(20), gbps(20)])
+        # Moving bandwidth from the lightly-loaded dim 1 to dim 0 helps.
+        assert report.transfer_gradient(1, 0) > 0
+        assert report.transfer_gradient(0, 1) < 0
+
+    def test_out_of_range(self):
+        report = bandwidth_sensitivity(Const(1.0), [1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            report.transfer_gradient(0, 5)
+
+
+class TestAtOptimum:
+    def test_no_transfer_helps_at_waterfilling(self):
+        """At the budget-constrained optimum, no pairwise bandwidth transfer
+        reduces the step time (direct evaluation — the objective has a kink
+        at water-filling, so this is the correct first-order optimality
+        statement, not marginal equality)."""
+        expr = CommTerm(((0, gbps(300)), (1, gbps(120)), (2, gbps(30))))
+        constraints = ConstraintSet(3).with_total_bandwidth(gbps(450))
+        solved = minimize_training_time(expr, constraints)
+        base = expr.evaluate(solved.bandwidths)
+        delta = gbps(450) * 0.01
+        for source in range(3):
+            for target in range(3):
+                if source == target:
+                    continue
+                moved = list(solved.bandwidths)
+                moved[source] -= delta
+                moved[target] += delta
+                assert expr.evaluate(moved) >= base * (1 - 1e-9)
+
+    def test_every_dim_binds_at_waterfilling(self):
+        """At water-filling every dimension co-bottlenecks: shrinking any
+        single dimension's bandwidth increases the step time."""
+        expr = CommTerm(((0, gbps(300)), (1, gbps(120)), (2, gbps(30))))
+        constraints = ConstraintSet(3).with_total_bandwidth(gbps(450))
+        solved = minimize_training_time(expr, constraints)
+        base = expr.evaluate(solved.bandwidths)
+        for dim in range(3):
+            shrunk = list(solved.bandwidths)
+            shrunk[dim] *= 0.95
+            assert expr.evaluate(shrunk) > base * 1.01
+
+    def test_seconds_per_extra_gbps(self):
+        expr = CommTerm(((0, gbps(100)),))
+        report = bandwidth_sensitivity(expr, [gbps(10)])
+        per_gbps = report.seconds_per_extra_gbps()
+        assert per_gbps[0] == pytest.approx(gbps(100) / gbps(10) ** 2 * 1e9, rel=1e-3)
+
+
+class TestRealWorkload:
+    def test_gpt3_sensitivity_matches_bottleneck(self):
+        from repro.core import Libra, Scheme
+        from repro.topology import get_topology
+        from repro.workloads import build_workload
+
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("GPT-3", 4096))
+        expr = libra.combined_expression()
+
+        # On the EqualBW point, dim 0 carries the TP bulk — it must be the
+        # most valuable place to add bandwidth.
+        report = bandwidth_sensitivity(expr, [gbps(125)] * 4)
+        assert report.most_valuable_dim == 0
+
+        # At the PerfOpt point the transfer gradients flatten out.
+        cons = libra.constraints().with_total_bandwidth(gbps(500))
+        optimum = libra.optimize(Scheme.PERF_OPT, cons)
+        at_optimum = bandwidth_sensitivity(expr, optimum.bandwidths)
+        equal_spread = max(
+            abs(report.transfer_gradient(i, j)) for i in range(4) for j in range(4)
+        )
+        optimum_spread = max(
+            abs(at_optimum.transfer_gradient(i, j)) for i in range(4) for j in range(4)
+        )
+        assert optimum_spread < equal_spread

@@ -1,0 +1,136 @@
+"""Cost model (Table I) and network cost estimation (Fig. 12)."""
+
+import pytest
+
+from repro.cost import (
+    CostModel,
+    TierCost,
+    cost_breakdown,
+    cost_rates,
+    default_cost_model,
+    max_bandwidth_for_budget,
+    network_cost,
+)
+from repro.topology import MultiDimNetwork, NetworkTier, get_topology, ring, switch
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+
+
+class TestDefaultModel:
+    def test_table1_lowest_values(self):
+        model = default_cost_model()
+        assert model.link_cost(NetworkTier.CHIPLET) == 2.0
+        assert model.link_cost(NetworkTier.PACKAGE) == 4.0
+        assert model.link_cost(NetworkTier.NODE) == 4.0
+        assert model.link_cost(NetworkTier.POD) == 7.8
+        assert model.switch_cost(NetworkTier.POD) == 18.0
+        assert model.nic_cost(NetworkTier.POD) == 31.6
+
+    def test_chiplet_has_no_switch(self):
+        with pytest.raises(ConfigurationError, match="peer-to-peer"):
+            default_cost_model().switch_cost(NetworkTier.CHIPLET)
+
+    def test_non_pod_tiers_have_free_nics(self):
+        model = default_cost_model()
+        assert model.nic_cost(NetworkTier.NODE) == 0.0
+        assert model.nic_cost(NetworkTier.CHIPLET) == 0.0
+
+    def test_missing_tier(self):
+        empty = CostModel(tiers={}, name="empty")
+        with pytest.raises(ConfigurationError, match="no prices"):
+            empty.link_cost(NetworkTier.POD)
+
+    def test_with_link_cost(self):
+        """Fig. 18's sweep knob replaces one tier's link price."""
+        model = default_cost_model().with_link_cost(NetworkTier.PACKAGE, 1.0)
+        assert model.link_cost(NetworkTier.PACKAGE) == 1.0
+        assert model.switch_cost(NetworkTier.PACKAGE) == 13.0  # untouched
+        assert default_cost_model().link_cost(NetworkTier.PACKAGE) == 4.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TierCost(link=-1.0)
+
+
+class TestFig12Example:
+    def test_worked_example(self):
+        """3 NPUs behind one inter-Pod switch at 10 GB/s → $1,722."""
+        net = MultiDimNetwork(blocks=(switch(3),), tiers=(NetworkTier.POD,))
+        total = network_cost(net, [gbps(10)], default_cost_model())
+        assert total == pytest.approx(1722.0)
+
+    def test_breakdown_line_items(self):
+        net = MultiDimNetwork(blocks=(switch(3),), tiers=(NetworkTier.POD,))
+        (entry,) = cost_breakdown(net, [gbps(10)], default_cost_model())
+        assert entry.link == pytest.approx(234.0)
+        assert entry.switch == pytest.approx(540.0)
+        assert entry.nic == pytest.approx(948.0)
+        assert entry.total == pytest.approx(1722.0)
+
+
+class TestNetworkCost:
+    def test_linear_in_bandwidth(self):
+        net = get_topology("4D-4K")
+        model = default_cost_model()
+        base = network_cost(net, [gbps(100)] * 4, model)
+        double = network_cost(net, [gbps(200)] * 4, model)
+        assert double == pytest.approx(2 * base)
+
+    def test_rates_match_cost(self):
+        net = get_topology("4D-4K")
+        model = default_cost_model()
+        rates = cost_rates(net, model)
+        bandwidths = [gbps(80), gbps(120), gbps(60), gbps(40)]
+        via_rates = net.num_npus * sum(r * b for r, b in zip(rates, bandwidths))
+        assert via_rates == pytest.approx(network_cost(net, bandwidths, model))
+
+    def test_ring_dims_have_no_switch_cost(self):
+        net = MultiDimNetwork(blocks=(ring(4),), tiers=(NetworkTier.NODE,))
+        (entry,) = cost_breakdown(net, [gbps(10)], default_cost_model())
+        assert entry.switch == 0.0
+
+    def test_inner_dims_cheaper_than_outer(self):
+        """The default tier assignment makes lower dims cheaper per GB/s —
+        the premise of the paper's perf-per-cost argument (Sec. III-B)."""
+        net = get_topology("4D-4K")
+        rates = cost_rates(net, default_cost_model())
+        assert rates[0] < rates[1] <= rates[2] < rates[3]
+
+    def test_wrong_bandwidth_count(self):
+        net = get_topology("4D-4K")
+        with pytest.raises(ConfigurationError):
+            network_cost(net, [gbps(10)], default_cost_model())
+
+    def test_negative_bandwidth_rejected(self):
+        net = MultiDimNetwork(blocks=(ring(4),), tiers=(NetworkTier.NODE,))
+        with pytest.raises(ConfigurationError):
+            network_cost(net, [-1.0], default_cost_model())
+
+
+class TestBudgetSizing:
+    def test_equal_shares_round_trip(self):
+        """Sizing a budget then pricing the result returns the budget."""
+        net = get_topology("4D-4K")
+        model = default_cost_model()
+        budget = 15e6  # the Fig. 19 iso-cost budget
+        total_bw = max_bandwidth_for_budget(net, [0.25] * 4, budget, model)
+        cost = network_cost(net, [total_bw / 4] * 4, model)
+        assert cost == pytest.approx(budget, rel=1e-9)
+
+    def test_cheap_shape_affords_more(self):
+        """Shifting shares toward cheap inner dims buys more bandwidth."""
+        net = get_topology("4D-4K")
+        model = default_cost_model()
+        equal = max_bandwidth_for_budget(net, [0.25] * 4, 15e6, model)
+        skewed = max_bandwidth_for_budget(net, [0.7, 0.2, 0.08, 0.02], 15e6, model)
+        assert skewed > equal
+
+    def test_bad_budget(self):
+        net = get_topology("4D-4K")
+        with pytest.raises(ConfigurationError):
+            max_bandwidth_for_budget(net, [0.25] * 4, 0.0, default_cost_model())
+
+    def test_bad_shares(self):
+        net = get_topology("4D-4K")
+        with pytest.raises(ConfigurationError):
+            max_bandwidth_for_budget(net, [0.0] * 4, 1e6, default_cost_model())

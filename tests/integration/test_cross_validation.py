@@ -1,0 +1,145 @@
+"""Cross-model validation: the analytical estimator vs the simulator.
+
+The optimizer trusts the closed-form bandwidth model; the simulator is its
+ground truth. These property tests pin their relationship on randomized
+workloads and networks: the closed form is always a lower bound, and the
+two converge under deep chunking.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import CollectiveType
+from repro.simulator import simulate_training_step
+from repro.topology import MultiDimNetwork
+from repro.training import estimate_step_time
+from repro.utils import gbps
+from repro.workloads import (
+    CommRequirement,
+    CommScope,
+    Layer,
+    Parallelism,
+    Workload,
+)
+
+
+@st.composite
+def workload_network_pairs(draw):
+    """A small random network plus a compatible random workload."""
+    num_dims = draw(st.integers(min_value=1, max_value=3))
+    sizes = draw(
+        st.lists(st.sampled_from([2, 4, 8]), min_size=num_dims, max_size=num_dims)
+    )
+    notation = "_".join(f"RI({size})" for size in sizes)
+    network = MultiDimNetwork.from_notation(notation)
+
+    total = network.num_npus
+    divisors = [d for d in (1, 2, 4, 8, 16) if total % d == 0 and d <= total]
+    tp = draw(st.sampled_from(divisors))
+
+    num_layers = draw(st.integers(min_value=1, max_value=3))
+    layers = []
+    comm_kinds = [
+        CollectiveType.ALL_REDUCE,
+        CollectiveType.REDUCE_SCATTER,
+        CollectiveType.ALL_GATHER,
+    ]
+    for index in range(num_layers):
+        tp_comms = ()
+        if tp > 1:
+            tp_comms = (
+                CommRequirement(
+                    CommScope.TP,
+                    draw(st.sampled_from(comm_kinds)),
+                    draw(st.floats(min_value=1e6, max_value=1e9)),
+                ),
+            )
+        dp_comms = ()
+        if total // tp > 1:
+            dp_comms = (
+                CommRequirement(
+                    CommScope.DP,
+                    draw(st.sampled_from(comm_kinds)),
+                    draw(st.floats(min_value=1e6, max_value=1e9)),
+                ),
+            )
+        layers.append(
+            Layer(
+                name=f"layer{index}",
+                fwd_compute_flops=draw(st.floats(min_value=0, max_value=1e12)),
+                tp_compute_flops=draw(st.floats(min_value=0, max_value=1e12)),
+                dp_compute_flops=draw(st.floats(min_value=0, max_value=1e12)),
+                tp_comms=tp_comms,
+                dp_comms=dp_comms,
+            )
+        )
+    workload = Workload(
+        name="prop",
+        layers=tuple(layers),
+        parallelism=Parallelism(tp, total // tp),
+    )
+    bandwidths = [
+        gbps(draw(st.floats(min_value=5.0, max_value=500.0))) for _ in range(num_dims)
+    ]
+    return network, workload, bandwidths
+
+
+@settings(deadline=None, max_examples=25)
+@given(workload_network_pairs())
+def test_property_analytical_is_lower_bound(case):
+    """The bottleneck closed form never exceeds the chunked simulation."""
+    from repro.utils.errors import MappingError
+
+    network, workload, bandwidths = case
+    try:
+        analytical = estimate_step_time(workload, network, bandwidths)
+    except MappingError:
+        return  # unplaceable TP degree; rejection is the contract
+    simulated = simulate_training_step(
+        workload, network, bandwidths, num_chunks=8
+    ).total_time
+    assert analytical <= simulated * (1 + 1e-9)
+
+
+@settings(deadline=None, max_examples=15)
+@given(workload_network_pairs())
+def test_property_convergence_with_chunks(case):
+    """Deeper chunking always moves the simulation toward the closed form."""
+    from repro.utils.errors import MappingError
+
+    network, workload, bandwidths = case
+    try:
+        analytical = estimate_step_time(workload, network, bandwidths)
+    except MappingError:
+        return
+    shallow = simulate_training_step(
+        workload, network, bandwidths, num_chunks=1
+    ).total_time
+    deep = simulate_training_step(
+        workload, network, bandwidths, num_chunks=32
+    ).total_time
+    assert analytical <= deep * (1 + 1e-9)
+    assert deep <= shallow * (1 + 1e-9)
+
+
+@settings(deadline=None, max_examples=15)
+@given(workload_network_pairs())
+def test_property_themis_never_worse_than_fixed_on_step(case):
+    """The Themis planner falls back to the canonical order when reordering
+    cannot help, so a full step is never meaningfully slower."""
+    from repro.runtime import ThemisScheduler
+    from repro.utils.errors import MappingError
+
+    network, workload, bandwidths = case
+    try:
+        fixed = simulate_training_step(
+            workload, network, bandwidths, num_chunks=8
+        ).total_time
+    except MappingError:
+        return
+    themis = simulate_training_step(
+        workload, network, bandwidths, num_chunks=8,
+        scheduler_factory=ThemisScheduler,
+    ).total_time
+    assert themis <= fixed * 1.05

@@ -1,0 +1,110 @@
+"""End-to-end workflows a downstream user would run."""
+
+import pytest
+
+from repro import (
+    Libra,
+    Scheme,
+    build_workload,
+    estimate_step_time,
+    gbps,
+    get_topology,
+    simulate_training_step,
+)
+from repro.runtime import ThemisScheduler, synthesize_all_gather
+from repro.utils import gb
+from repro.workloads import parse_workload, serialize_workload
+
+
+class TestQuickstartFlow:
+    """The README quickstart, verified."""
+
+    def test_quickstart(self):
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("GPT-3", 4096))
+        constraints = libra.constraints().with_total_bandwidth(gbps(500))
+        optimized = libra.optimize(Scheme.PERF_OPT, constraints)
+        baseline = libra.equal_bw_point(gbps(500))
+        assert optimized.speedup_over(baseline) >= 1.0
+
+
+class TestFileDrivenFlow:
+    def test_workload_from_file(self, tmp_path):
+        """Serialize a preset, reload it, and optimize for it — the Fig. 3
+        'Workload Parser' input path."""
+        workload = build_workload("GPT-3", 4096)
+        path = tmp_path / "gpt3.workload"
+        path.write_text(serialize_workload(workload))
+
+        reloaded = parse_workload(path.read_text())
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(reloaded)
+        point = libra.optimize(
+            Scheme.PERF_OPT, libra.constraints().with_total_bandwidth(gbps(400))
+        )
+        direct_time = estimate_step_time(
+            workload, get_topology("4D-4K"), point.bandwidths
+        )
+        assert point.step_time("GPT-3") == pytest.approx(direct_time, rel=1e-9)
+
+
+class TestDesignThenValidateFlow:
+    def test_design_validate_loop(self):
+        """Design with the analytical model, validate on the simulator with
+        Themis, as the paper's Fig. 19 pipeline does."""
+        network = get_topology("3D-4K")
+        workload = build_workload("MSFT-1T", 4096)
+        libra = Libra(network)
+        libra.add_workload(workload)
+        point = libra.optimize(
+            Scheme.PERF_OPT, libra.constraints().with_total_bandwidth(gbps(600))
+        )
+
+        sim = simulate_training_step(
+            workload,
+            network,
+            list(point.bandwidths),
+            num_chunks=8,
+            scheduler_factory=ThemisScheduler,
+        )
+        assert sim.total_time > 0
+        assert sim.comm_report.aggregate_utilization > 0.3
+
+    def test_tacos_composition(self):
+        """LIBRA shapes the torus with the synthesizer in the loop (Fig. 20)."""
+        from repro.cost import default_cost_model, network_cost
+        from repro.runtime import cooptimize_with_tacos
+
+        torus = get_topology("3D-Torus")
+        equal_bw = [gbps(333)] * 3
+        equal_tacos = synthesize_all_gather(torus, equal_bw, gb(1), chunks_per_npu=8)
+        equal_cost = network_cost(torus, equal_bw, default_cost_model())
+
+        codesign = cooptimize_with_tacos(
+            torus, gbps(999), gb(1), chunks_per_npu=8, objective="perf_per_cost"
+        )
+        # Because EqualBW is in the candidate family, the co-design can only
+        # improve the perf-per-cost product.
+        ours = codesign.all_reduce_time * codesign.network_cost
+        theirs = equal_tacos.all_reduce_time * equal_cost
+        assert ours <= theirs * 1.0001
+
+        perf_pick = cooptimize_with_tacos(
+            torus, gbps(999), gb(1), chunks_per_npu=8, objective="perf"
+        )
+        assert perf_pick.all_reduce_time <= equal_tacos.all_reduce_time * 1.0001
+
+
+class TestGroupFlow:
+    def test_two_workload_codesign(self):
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("GPT-3", 4096), weight=2.0)
+        libra.add_workload(build_workload("DLRM", 4096), weight=1.0)
+        point = libra.optimize(
+            Scheme.PERF_OPT, libra.constraints().with_total_bandwidth(gbps(500))
+        )
+        assert set(point.step_times) == {"GPT-3", "DLRM"}
+        baseline = libra.equal_bw_point(gbps(500))
+        combined_new = 2 * point.step_time("GPT-3") + point.step_time("DLRM")
+        combined_old = 2 * baseline.step_time("GPT-3") + baseline.step_time("DLRM")
+        assert combined_new <= combined_old * 1.0001

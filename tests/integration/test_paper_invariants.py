@@ -1,0 +1,179 @@
+"""Cross-module invariants drawn from the paper's evaluation claims.
+
+These tests encode the *qualitative* results LIBRA's evaluation rests on —
+who wins, in which direction, under which conditions — so a regression in
+any substrate that would corrupt a benchmark figure fails here first.
+"""
+
+import pytest
+
+from repro.core import Libra, Scheme
+from repro.topology import get_topology
+from repro.training import compute_only_time
+from repro.utils import gbps
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def points():
+    """PerfOpt / PerfPerCost / EqualBW points for the three LLMs at 500 GB/s."""
+    results = {}
+    for name in ("Turing-NLG", "GPT-3", "MSFT-1T"):
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload(name, 4096))
+        cons = libra.constraints().with_total_bandwidth(gbps(500))
+        results[name] = {
+            "equal": libra.equal_bw_point(gbps(500)),
+            "perf": libra.optimize(Scheme.PERF_OPT, cons),
+            "ppc": libra.optimize(Scheme.PERF_PER_COST_OPT, cons),
+        }
+    return results
+
+
+class TestSchemeOrdering:
+    def test_perf_opt_always_fastest(self, points):
+        """Sec. VI-A: 'PerfOptBW consistently provides the best performance'."""
+        for name, row in points.items():
+            perf_time = row["perf"].step_time(name)
+            assert perf_time <= row["equal"].step_time(name) * 1.0001
+            assert perf_time <= row["ppc"].step_time(name) * 1.0001
+
+    def test_ppc_always_best_perf_per_cost(self, points):
+        """Sec. VI-A: 'PerfPerCostOptBW achieves the highest perf-per-cost'."""
+        for name, row in points.items():
+            base = row["equal"]
+            ppc_gain = row["ppc"].perf_per_cost_gain_over(base, name)
+            perf_gain = row["perf"].perf_per_cost_gain_over(base, name)
+            assert ppc_gain >= perf_gain * 0.999
+            assert ppc_gain >= 1.0
+
+    def test_perf_per_cost_networks_cheaper(self, points):
+        """PerfPerCostOpt trades speed for cost: never pricier than PerfOpt."""
+        for row in points.values():
+            assert row["ppc"].network_cost <= row["perf"].network_cost * 1.0001
+
+
+class TestModelSizeTrends:
+    def test_larger_models_gain_more_speedup(self, points):
+        """Sec. VI-A key insight: 'Larger models exhibit more performance
+        benefits' — MSFT-1T gains more than Turing-NLG."""
+        tnlg = points["Turing-NLG"]["perf"].speedup_over(
+            points["Turing-NLG"]["equal"], "Turing-NLG"
+        )
+        msft = points["MSFT-1T"]["perf"].speedup_over(
+            points["MSFT-1T"]["equal"], "MSFT-1T"
+        )
+        assert msft > tnlg
+
+    def test_smaller_models_gain_more_perf_per_cost(self, points):
+        """Sec. VI-A: 'smaller workloads show higher perf-per-cost'."""
+        tnlg = points["Turing-NLG"]["ppc"].perf_per_cost_gain_over(
+            points["Turing-NLG"]["equal"], "Turing-NLG"
+        )
+        msft = points["MSFT-1T"]["ppc"].perf_per_cost_gain_over(
+            points["MSFT-1T"]["equal"], "MSFT-1T"
+        )
+        assert tnlg > msft
+
+
+class TestAnalyticalVsSimulation:
+    def test_optimized_network_wins_in_simulation_too(self):
+        """The analytical optimizer's design must also win on the chunk-level
+        simulator — the analogue of LIBRA's designs validating on ASTRA-sim."""
+        from repro.simulator import simulate_training_step
+
+        network = get_topology("4D-4K")
+        workload = build_workload("GPT-3", 4096)
+        libra = Libra(network)
+        libra.add_workload(workload)
+        cons = libra.constraints().with_total_bandwidth(gbps(500))
+        optimized = libra.optimize(Scheme.PERF_OPT, cons)
+
+        equal_sim = simulate_training_step(
+            workload, network, [gbps(125)] * 4, num_chunks=16
+        )
+        opt_sim = simulate_training_step(
+            workload, network, list(optimized.bandwidths), num_chunks=16
+        )
+        assert opt_sim.total_time < equal_sim.total_time
+
+    def test_step_time_bounded_below_by_compute(self, points):
+        for name, row in points.items():
+            workload = build_workload(name, 4096)
+            floor = compute_only_time(workload)
+            for point in row.values():
+                assert point.step_time(name) >= floor * 0.999
+
+
+class TestBandwidthSweepMonotonicity:
+    def test_more_budget_never_hurts(self):
+        """Across the Fig. 13 sweep range, more total bandwidth can only
+        reduce the optimized training time."""
+        libra = Libra(get_topology("3D-4K"))
+        libra.add_workload(build_workload("GPT-3", 4096))
+        previous = float("inf")
+        for budget in (100, 300, 500, 1000):
+            cons = libra.constraints().with_total_bandwidth(gbps(budget))
+            point = libra.optimize(Scheme.PERF_OPT, cons)
+            assert point.step_time("GPT-3") <= previous * 1.0001
+            previous = point.step_time("GPT-3")
+
+
+class TestConstraintScenarios:
+    def test_pod_cap_scenario(self):
+        """Sec. IV-F's worked example: budget + inter-Pod cap + ordering."""
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("MSFT-1T", 4096))
+        cons = (
+            libra.constraints()
+            .with_total_bandwidth(gbps(500))
+            .with_dim_cap(3, gbps(50))
+            .with_ordering([0, 1])
+        )
+        point = libra.optimize(Scheme.PERF_OPT, cons)
+        bws = point.bandwidths_gbps()
+        assert bws[3] <= 50.0 * 1.001
+        assert bws[0] >= bws[1] * 0.999
+        # The fair baseline is the equal split *projected into the caps* —
+        # the unconstrained EqualBW point is not a feasible design here.
+        projected_equal = libra.evaluate(cons.equal_split())
+        assert point.step_time("MSFT-1T") <= projected_equal.step_time("MSFT-1T") * 1.0001
+
+    def test_pod_cap_solution_is_waterfilling_on_free_dims(self):
+        """With dim 3 pinned at its cap, the optimum distributes the rest
+        traffic-proportionally over dims 0-2 (KKT check)."""
+        libra = Libra(get_topology("4D-4K"))
+        libra.add_workload(build_workload("MSFT-1T", 4096))
+        cons = (
+            libra.constraints()
+            .with_total_bandwidth(gbps(500))
+            .with_dim_cap(3, gbps(50))
+        )
+        point = libra.optimize(Scheme.PERF_OPT, cons)
+        bws = point.bandwidths_gbps()
+        assert bws[3] == pytest.approx(50.0, rel=0.01)
+        # TP all-reduce traffic ratios over spans (4, 8, 4): 1.5 : 0.4375 : 0.046875.
+        assert bws[0] / bws[1] == pytest.approx(1.5 / 0.4375, rel=0.02)
+        assert bws[1] / bws[2] == pytest.approx(0.4375 / 0.046875, rel=0.02)
+
+    def test_in_network_collective_changes_optimum(self):
+        """With switch offload on the Pod dimension the optimizer can shift
+        bandwidth away from it (traffic there shrinks)."""
+        network = get_topology("4D-4K")
+        workload = build_workload("Turing-NLG", 4096)
+
+        plain = Libra(network)
+        plain.add_workload(workload)
+        offload = Libra(network, in_network_dims=(3,))
+        offload.add_workload(workload)
+
+        budget = gbps(500)
+        plain_point = plain.optimize(
+            Scheme.PERF_OPT, plain.constraints().with_total_bandwidth(budget)
+        )
+        offload_point = offload.optimize(
+            Scheme.PERF_OPT, offload.constraints().with_total_bandwidth(budget)
+        )
+        assert offload_point.step_time("Turing-NLG") <= plain_point.step_time(
+            "Turing-NLG"
+        ) * 1.0001

@@ -1,0 +1,92 @@
+"""TACOS-style collective synthesis (Fig. 20's mechanism)."""
+
+import pytest
+
+from repro.runtime import multirail_all_reduce_time, synthesize_all_gather
+from repro.topology import MultiDimNetwork, get_topology
+from repro.utils import gb, gbps, mb
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return get_topology("3D-Torus")
+
+
+class TestSynthesis:
+    def test_all_npus_receive_everything(self, torus):
+        result = synthesize_all_gather(torus, [gbps(100)] * 3, mb(64), chunks_per_npu=2)
+        # Every chunk must be delivered to the 63 NPUs that lack it.
+        deliveries = {}
+        for transfer in result.transfers:
+            deliveries.setdefault(transfer.chunk, set()).add(transfer.dst)
+        assert len(deliveries) == result.num_chunks_total
+        for chunk, receivers in deliveries.items():
+            origin = chunk // 2
+            assert len(receivers) == 63
+            assert origin not in receivers
+
+    def test_no_duplicate_deliveries(self, torus):
+        result = synthesize_all_gather(torus, [gbps(100)] * 3, mb(64), chunks_per_npu=2)
+        seen = set()
+        for transfer in result.transfers:
+            key = (transfer.chunk, transfer.dst)
+            assert key not in seen, "chunk delivered twice to the same NPU"
+            seen.add(key)
+
+    def test_beats_multirail_on_equal_bw(self, torus):
+        """The whole point: topology-aware synthesis uses all dims at once,
+        the staged multi-rail algorithm cannot (on EqualBW)."""
+        bw = [gbps(333)] * 3
+        synthesized = synthesize_all_gather(torus, bw, gb(1), chunks_per_npu=8)
+        staged = multirail_all_reduce_time(torus, bw, gb(1), num_chunks=8)
+        assert synthesized.all_reduce_time < staged
+
+    def test_all_reduce_is_twice_all_gather(self, torus):
+        result = synthesize_all_gather(torus, [gbps(100)] * 3, mb(64))
+        assert result.all_reduce_time == pytest.approx(2 * result.all_gather_time)
+        assert result.reduce_scatter_time == pytest.approx(result.all_gather_time)
+
+    def test_lower_bound_respected(self, torus):
+        """AG must move (G-1)/G of the payload into every NPU; with 6 ports
+        per NPU the makespan is bounded below by that injection time."""
+        bw = [gbps(100)] * 3
+        payload = gb(1)
+        result = synthesize_all_gather(torus, bw, payload, chunks_per_npu=8)
+        per_npu_bytes = payload * 63 / 64
+        bound = per_npu_bytes / sum(bw)
+        assert result.makespan >= bound * 0.999
+
+    def test_deterministic(self, torus):
+        first = synthesize_all_gather(torus, [gbps(100)] * 3, mb(64))
+        second = synthesize_all_gather(torus, [gbps(100)] * 3, mb(64))
+        assert first.makespan == second.makespan
+        assert first.transfers == second.transfers
+
+
+class TestValidation:
+    def test_switch_topology_rejected(self):
+        net = MultiDimNetwork.from_notation("RI(4)_SW(4)")
+        with pytest.raises(ConfigurationError, match="switchless"):
+            synthesize_all_gather(net, [gbps(10)] * 2, mb(1))
+
+    def test_bad_size(self, torus):
+        with pytest.raises(ConfigurationError):
+            synthesize_all_gather(torus, [gbps(10)] * 3, 0.0)
+
+    def test_bad_chunks(self, torus):
+        with pytest.raises(ConfigurationError):
+            synthesize_all_gather(torus, [gbps(10)] * 3, mb(1), chunks_per_npu=0)
+
+
+class TestSmallRing:
+    def test_ring_all_gather_near_optimal(self):
+        """On a single ring the synthesized AG should approach the classic
+        ring algorithm's time: m·(k−1)/(k·B)."""
+        net = MultiDimNetwork.from_notation("RI(4)")
+        bw = [gbps(100)]
+        payload = mb(400)
+        result = synthesize_all_gather(net, bw, payload, chunks_per_npu=4)
+        ring_time = payload * 3 / 4 / gbps(100)
+        assert result.makespan <= ring_time * 1.5
+        assert result.makespan >= ring_time * 0.999

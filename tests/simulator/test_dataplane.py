@@ -1,0 +1,146 @@
+"""Value-level multi-rail collective execution (Fig. 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import DimSpan, all_reduce, all_to_all
+from repro.simulator import run_all_reduce, run_all_to_all
+from repro.topology import MultiDimNetwork
+from repro.utils.errors import SimulationError
+
+
+class TestFig8Walkthrough:
+    """The exact 3×2 example of Fig. 8."""
+
+    def fig8_inputs(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        # Fig. 8(a): NPUs 1-6 (row-major: NPU1-3 on top row, NPU4-6 bottom).
+        # Each NPU contributes a 6-element vector; the figure's final answer
+        # per element is the column sum.
+        contributions = np.array(
+            [
+                [1, 2, 3, -6, -4, -2],
+                [4, 5, 6, -5, -3, -1],
+                [1, 3, 5, -2, -3, -5],
+                [2, 4, 6, -1, -4, -6],
+                [6, 3, 2, 4, 2, 6],
+                [5, 4, 1, 1, 5, 3],
+            ],
+            dtype=float,
+        )
+        return net, contributions
+
+    def test_all_npus_get_group_sum(self):
+        net, contributions = self.fig8_inputs()
+        op = all_reduce(6.0, (DimSpan(0, 3), DimSpan(1, 2)))
+        result = run_all_reduce(net, op, contributions)
+        expected = contributions.sum(axis=0)
+        for npu in range(6):
+            np.testing.assert_allclose(result[npu], expected)
+
+
+class TestAllReduceGroups:
+    def test_partial_span_groups_are_independent(self):
+        """A TP slice over half a dimension reduces within slices only."""
+        net = MultiDimNetwork.from_notation("RI(4)_RI(2)")
+        # Span covers only 2 of RI(4): slices {coords 0,1} and {coords 2,3}.
+        op = all_reduce(4.0, (DimSpan(0, 2),))
+        contributions = np.arange(8 * 4, dtype=float).reshape(8, 4)
+        result = run_all_reduce(net, op, contributions)
+        for npu in range(8):
+            coords = net.coordinates_of(npu)
+            partner_coord = coords[0] ^ 1  # the other member of the slice
+            partner = net.npu_id_of((partner_coord, coords[1]))
+            np.testing.assert_allclose(
+                result[npu], contributions[npu] + contributions[partner]
+            )
+
+    def test_dp_span_over_outer_dims(self):
+        net = MultiDimNetwork.from_notation("RI(2)_RI(2)_RI(2)")
+        op = all_reduce(8.0, (DimSpan(1, 2), DimSpan(2, 2)))
+        contributions = np.random.default_rng(7).normal(size=(8, 8))
+        result = run_all_reduce(net, op, contributions)
+        for npu in range(8):
+            coords = net.coordinates_of(npu)
+            group = [
+                net.npu_id_of((coords[0], b, c)) for b in range(2) for c in range(2)
+            ]
+            np.testing.assert_allclose(
+                result[npu], contributions[group].sum(axis=0), atol=1e-12
+            )
+
+    def test_wrong_kind_rejected(self):
+        net = MultiDimNetwork.from_notation("RI(2)_RI(2)")
+        op = all_to_all(4.0, (DimSpan(0, 2),))
+        with pytest.raises(SimulationError):
+            run_all_reduce(net, op, np.zeros((4, 4)))
+
+    def test_indivisible_vector_rejected(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        op = all_reduce(6.0, (DimSpan(0, 3), DimSpan(1, 2)))
+        with pytest.raises(SimulationError, match="divisible"):
+            run_all_reduce(net, op, np.zeros((6, 5)))
+
+
+class TestAllToAll:
+    def test_full_network_transpose(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        op = all_to_all(6.0, (DimSpan(0, 3), DimSpan(1, 2)))
+        payloads = np.arange(36, dtype=float).reshape(6, 6)
+        result = run_all_to_all(net, op, payloads)
+        np.testing.assert_allclose(result, payloads.T)
+
+    def test_three_dims(self):
+        net = MultiDimNetwork.from_notation("RI(2)_RI(2)_RI(2)")
+        op = all_to_all(8.0, (DimSpan(0, 2), DimSpan(1, 2), DimSpan(2, 2)))
+        payloads = np.random.default_rng(3).normal(size=(8, 8))
+        result = run_all_to_all(net, op, payloads)
+        np.testing.assert_allclose(result, payloads.T, atol=1e-12)
+
+    def test_grouped_transpose(self):
+        """A2A over dim 0 only: transpose within each ring group."""
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        op = all_to_all(3.0, (DimSpan(0, 3),))
+        payloads = np.arange(36, dtype=float).reshape(6, 6)
+        result = run_all_to_all(net, op, payloads)
+        for group in ([0, 1, 2], [3, 4, 5]):
+            block = payloads[np.ix_(group, group)]
+            np.testing.assert_allclose(result[np.ix_(group, group)], block.T)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=3),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_all_reduce_correct_on_random_networks(sizes, seed):
+    """Multi-rail All-Reduce over the whole network always produces the
+    global sum at every NPU, for any shape."""
+    notation = "_".join(f"RI({size})" for size in sizes)
+    net = MultiDimNetwork.from_notation(notation)
+    spans = tuple(DimSpan(dim, size) for dim, size in enumerate(sizes))
+    group = net.num_npus
+    vector_len = group * 2
+    rng = np.random.default_rng(seed)
+    contributions = rng.integers(-50, 50, size=(group, vector_len)).astype(float)
+    result = run_all_reduce(net, all_reduce(float(vector_len), spans), contributions)
+    expected = contributions.sum(axis=0)
+    for npu in range(group):
+        np.testing.assert_allclose(result[npu], expected)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=3),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_all_to_all_is_transpose(sizes, seed):
+    notation = "_".join(f"RI({size})" for size in sizes)
+    net = MultiDimNetwork.from_notation(notation)
+    spans = tuple(DimSpan(dim, size) for dim, size in enumerate(sizes))
+    rng = np.random.default_rng(seed)
+    payloads = rng.normal(size=(net.num_npus, net.num_npus))
+    result = run_all_to_all(net, all_to_all(1.0, spans), payloads)
+    np.testing.assert_allclose(result, payloads.T, atol=1e-12)

@@ -1,0 +1,60 @@
+"""Discrete-event engine determinism and ordering."""
+
+import pytest
+
+from repro.simulator import EventQueue
+from repro.utils.errors import SimulationError
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(2.0, lambda: log.append("b"))
+        queue.schedule(1.0, lambda: log.append("a"))
+        queue.schedule(3.0, lambda: log.append("c"))
+        assert queue.run() == 3.0
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_on_ties(self):
+        queue = EventQueue()
+        log = []
+        for name in "abc":
+            queue.schedule(1.0, lambda n=name: log.append(n))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_schedule_after(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(1.0, lambda: queue.schedule_after(0.5, lambda: times.append(queue.now)))
+        queue.run()
+        assert times == [1.5]
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule(2.0, lambda: queue.schedule(1.0, lambda: None))
+        with pytest.raises(SimulationError, match="before current time"):
+            queue.run()
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule_after(-1.0, lambda: None)
+
+    def test_event_count(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.schedule(float(index), lambda: None)
+        queue.run()
+        assert queue.events_processed == 5
+
+    def test_runaway_guard(self):
+        queue = EventQueue()
+
+        def reschedule():
+            queue.schedule_after(1.0, reschedule)
+
+        queue.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError, match="exceeded"):
+            queue.run(max_events=100)

@@ -1,0 +1,175 @@
+"""Chunk-level pipelined collective simulation (Fig. 9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveOp,
+    CollectiveType,
+    DimSpan,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    collective_time,
+    reduce_scatter,
+)
+from repro.simulator import FixedOrderScheduler, simulate_collective
+from repro.utils import gb, gbps
+from repro.utils.errors import ConfigurationError
+
+
+class TestAgainstAnalyticalModel:
+    def test_matches_when_dim0_bottlenecks(self):
+        """With the bottleneck on the first stage the pipeline hides all
+        fill/drain time and the simulation equals the closed form."""
+        op = all_reduce(gb(1), (DimSpan(0, 4), DimSpan(1, 8)))
+        bw = [gbps(50), gbps(400)]
+        sim = simulate_collective(op, bw, num_chunks=64)
+        assert sim.finish_time == pytest.approx(collective_time(op, bw), rel=1e-9)
+
+    def test_never_faster_than_analytical(self):
+        """The closed form is a lower bound (it ignores pipeline bubbles)."""
+        op = all_reduce(gb(1), (DimSpan(0, 4), DimSpan(1, 8), DimSpan(2, 4)))
+        for bw in ([gbps(100)] * 3, [gbps(10), gbps(200), gbps(300)]):
+            sim = simulate_collective(op, bw, num_chunks=64)
+            assert sim.finish_time >= collective_time(op, bw) * (1 - 1e-9)
+
+    def test_converges_with_chunk_count(self):
+        """More chunks → finer pipelining → closer to the closed form."""
+        op = all_reduce(gb(1), (DimSpan(0, 4), DimSpan(1, 8)))
+        bw = [gbps(400), gbps(50)]  # bottleneck on dim 1 → bubbles exist
+        ideal = collective_time(op, bw)
+        gaps = []
+        for chunks in (1, 4, 16, 64):
+            sim = simulate_collective(op, bw, num_chunks=chunks)
+            gaps.append(sim.finish_time - ideal)
+        assert gaps[0] > gaps[-1] >= 0
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_single_chunk_is_sum_of_stages(self):
+        """One chunk cannot pipeline: time = sum of stage durations."""
+        from repro.collectives import decompose
+
+        op = all_reduce(gb(1), (DimSpan(0, 4), DimSpan(1, 8)))
+        bw = [gbps(100), gbps(100)]
+        sim = simulate_collective(op, bw, num_chunks=1)
+        expected = sum(stage.duration(bw[stage.dim]) for stage in decompose(op))
+        assert sim.finish_time == pytest.approx(expected, rel=1e-9)
+
+
+class TestBottleneckScenarios:
+    """The three panels of Fig. 9 on a 3D network."""
+
+    OP = all_reduce(gb(1), (DimSpan(0, 4), DimSpan(1, 4), DimSpan(2, 4)))
+
+    def test_underprovisioned_dim1(self):
+        sim = simulate_collective(self.OP, [gbps(10), gbps(500), gbps(500)], num_chunks=4)
+        util = sim.report.per_dim_utilization
+        assert util[0] > 0.95
+        assert util[1] < 0.2 and util[2] < 0.2
+
+    def test_underprovisioned_dim2(self):
+        sim = simulate_collective(self.OP, [gbps(500), gbps(10), gbps(500)], num_chunks=4)
+        util = sim.report.per_dim_utilization
+        assert util[1] > 0.9
+        assert util[0] < 0.3 and util[2] < 0.1
+
+    def test_ideal_distribution(self):
+        """Traffic-proportional bandwidth → near-full utilization everywhere
+        outside of scheduling bubbles (Fig. 9(c))."""
+        from repro.collectives import ideal_bandwidth_split
+
+        split = ideal_bandwidth_split(self.OP, gbps(600))
+        bw = [split[d] for d in range(3)]
+        sim = simulate_collective(self.OP, bw, num_chunks=64)
+        for value in sim.report.per_dim_utilization:
+            assert value > 0.9
+
+
+class TestCollectiveKinds:
+    def test_reduce_scatter_half_of_all_reduce(self):
+        spans = (DimSpan(0, 4), DimSpan(1, 4))
+        bw = [gbps(100), gbps(100)]
+        ar = simulate_collective(all_reduce(gb(1), spans), bw, num_chunks=64)
+        rs = simulate_collective(reduce_scatter(gb(1), spans), bw, num_chunks=64)
+        assert rs.finish_time == pytest.approx(ar.finish_time / 2, rel=0.05)
+
+    def test_all_gather_equals_reduce_scatter(self):
+        spans = (DimSpan(0, 4), DimSpan(1, 4))
+        bw = [gbps(100), gbps(60)]
+        rs = simulate_collective(reduce_scatter(gb(1), spans), bw, num_chunks=16)
+        ag = simulate_collective(all_gather(gb(1), spans), bw, num_chunks=16)
+        assert ag.finish_time == pytest.approx(rs.finish_time, rel=1e-6)
+
+    def test_all_to_all(self):
+        op = all_to_all(gb(1), (DimSpan(0, 4), DimSpan(1, 4)))
+        bw = [gbps(100), gbps(100)]
+        sim = simulate_collective(op, bw, num_chunks=64)
+        assert sim.finish_time >= collective_time(op, bw) * (1 - 1e-9)
+
+    def test_trivial_op(self):
+        sim = simulate_collective(all_reduce(0.0, (DimSpan(0, 2),)), [gbps(1)])
+        assert sim.finish_time == 0.0
+        assert sim.chunk_finish_times == ()
+
+
+class TestValidation:
+    def test_bad_chunks(self):
+        with pytest.raises(ConfigurationError):
+            simulate_collective(all_reduce(1.0, (DimSpan(0, 2),)), [gbps(1)], num_chunks=0)
+
+    def test_missing_dim_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            simulate_collective(all_reduce(1.0, (DimSpan(0, 2), DimSpan(1, 2))), [gbps(1)])
+
+    def test_chunk_finish_times_monotone(self):
+        op = all_reduce(gb(1), (DimSpan(0, 4), DimSpan(1, 4)))
+        sim = simulate_collective(op, [gbps(100), gbps(50)], num_chunks=16)
+        assert list(sim.chunk_finish_times) == sorted(sim.chunk_finish_times)
+        assert sim.chunk_finish_times[-1] == pytest.approx(sim.finish_time)
+
+
+@st.composite
+def sim_cases(draw):
+    num_spans = draw(st.integers(min_value=1, max_value=3))
+    sizes = draw(
+        st.lists(st.integers(min_value=2, max_value=8), min_size=num_spans, max_size=num_spans)
+    )
+    kind = draw(st.sampled_from(list(CollectiveType)))
+    bws = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=500.0),
+            min_size=num_spans,
+            max_size=num_spans,
+        )
+    )
+    chunks = draw(st.sampled_from([1, 2, 8, 32]))
+    op = CollectiveOp(kind, 1e9, tuple(DimSpan(d, s) for d, s in enumerate(sizes)))
+    return op, [gbps(b) for b in bws], chunks
+
+
+@settings(deadline=None, max_examples=30)
+@given(sim_cases())
+def test_property_sim_bounded_by_analytical_model(case):
+    """Closed form ≤ simulation ≤ serial sum of all stage durations."""
+    from repro.collectives import decompose
+
+    op, bw, chunks = case
+    sim = simulate_collective(op, bw, num_chunks=chunks)
+    lower = collective_time(op, bw)
+    upper = sum(stage.duration(bw[stage.dim]) for stage in decompose(op))
+    assert lower * (1 - 1e-9) <= sim.finish_time <= upper * (1 + 1e-9)
+
+
+@settings(deadline=None, max_examples=20)
+@given(sim_cases())
+def test_property_bytes_moved_match_traffic(case):
+    """The simulator moves exactly the closed-form per-dim volumes."""
+    from repro.collectives import per_dim_traffic
+
+    op, bw, chunks = case
+    sim = simulate_collective(op, bw, num_chunks=chunks)
+    expected = per_dim_traffic(op)
+    for dim, volume in expected.items():
+        assert sim.report.bytes_moved[dim] == pytest.approx(volume, rel=1e-9)

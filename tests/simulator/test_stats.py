@@ -1,0 +1,69 @@
+"""Utilization accounting (Fig. 9 idle gaps, Fig. 10 aggregate metric)."""
+
+import pytest
+
+from repro.simulator import BusyTracker, UtilizationReport, merge_reports
+from repro.utils.errors import SimulationError
+
+
+class TestBusyTracker:
+    def test_accumulates(self):
+        tracker = BusyTracker(2)
+        tracker.record(0, 1.0, 100.0)
+        tracker.record(0, 0.5, 50.0)
+        tracker.record(1, 0.2, 10.0)
+        report = tracker.report(2.0, (100.0, 100.0))
+        assert report.busy_seconds == (1.5, 0.2)
+        assert report.bytes_moved == (150.0, 10.0)
+
+    def test_bad_dim(self):
+        with pytest.raises(SimulationError):
+            BusyTracker(2).record(2, 1.0, 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            BusyTracker(1).record(0, -1.0, 1.0)
+
+
+class TestUtilizationReport:
+    def make(self):
+        return UtilizationReport(
+            makespan=2.0,
+            bandwidths=(100.0, 100.0),
+            busy_seconds=(2.0, 0.5),
+            bytes_moved=(200.0, 50.0),
+        )
+
+    def test_per_dim(self):
+        report = self.make()
+        assert report.dim_utilization(0) == pytest.approx(1.0)
+        assert report.dim_utilization(1) == pytest.approx(0.25)
+        assert report.per_dim_utilization == (1.0, 0.25)
+
+    def test_aggregate(self):
+        report = self.make()
+        # 250 bytes moved of 2s * 200 B/s = 400 possible.
+        assert report.aggregate_utilization == pytest.approx(250 / 400)
+
+    def test_bottleneck(self):
+        assert self.make().bottleneck_dim == 0
+
+    def test_zero_makespan(self):
+        report = UtilizationReport(0.0, (1.0,), (0.0,), (0.0,))
+        assert report.aggregate_utilization == 0.0
+        assert report.dim_utilization(0) == 0.0
+
+    def test_merge(self):
+        merged = merge_reports([self.make(), self.make()])
+        assert merged.makespan == 4.0
+        assert merged.busy_seconds == (4.0, 1.0)
+        assert merged.aggregate_utilization == pytest.approx(250 / 400)
+
+    def test_merge_requires_same_bandwidths(self):
+        other = UtilizationReport(1.0, (50.0, 50.0), (0.1, 0.1), (1.0, 1.0))
+        with pytest.raises(SimulationError):
+            self.make().merged_with(other)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            merge_reports([])

@@ -1,0 +1,94 @@
+"""Timeline recording and ASCII rendering (the Fig. 9 picture)."""
+
+import pytest
+
+from repro.collectives import DimSpan, all_reduce
+from repro.simulator import (
+    TimelineEvent,
+    busy_fraction,
+    render_timeline,
+    simulate_collective,
+    timeline_gaps,
+)
+from repro.utils import gb, gbps
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def starved_dim1():
+    op = all_reduce(gb(1), (DimSpan(0, 4), DimSpan(1, 4), DimSpan(2, 4)))
+    return simulate_collective(op, [gbps(20), gbps(290), gbps(290)], num_chunks=4)
+
+
+class TestRecording:
+    def test_event_counts(self, starved_dim1):
+        # 4 chunks × 6 stages (RS×3 + AG×3) = 24 transfers.
+        assert len(starved_dim1.timeline) == 24
+
+    def test_events_cover_busy_time(self, starved_dim1):
+        for dim in range(3):
+            total = sum(
+                event.end - event.start
+                for event in starved_dim1.timeline
+                if event.dim == dim
+            )
+            assert total == pytest.approx(starved_dim1.report.busy_seconds[dim])
+
+    def test_no_overlap_per_dim(self, starved_dim1):
+        for dim in range(3):
+            events = sorted(
+                (e for e in starved_dim1.timeline if e.dim == dim),
+                key=lambda e: e.start,
+            )
+            for first, second in zip(events, events[1:]):
+                assert second.start >= first.end - 1e-12
+
+    def test_phases_labeled(self, starved_dim1):
+        phases = {event.phase for event in starved_dim1.timeline}
+        assert phases == {"RS", "AG"}
+
+
+class TestRendering:
+    def test_saturated_dim_has_no_idle(self, starved_dim1):
+        rows = render_timeline(starved_dim1.timeline, 3, width=40).splitlines()
+        assert "-" not in rows[0].split("|")[1]  # Dim1 fully busy
+        assert "-" in rows[1].split("|")[1]  # Dim2 mostly idle
+
+    def test_phase_markers(self, starved_dim1):
+        rows = render_timeline(
+            starved_dim1.timeline, 3, width=40, phase_markers=True
+        ).splitlines()
+        dim1 = rows[0].split("|")[1]
+        assert any(c in "abcd" for c in dim1)  # RS half
+        assert any(c in "0123" for c in dim1)  # AG half
+
+    def test_empty_timeline(self):
+        text = render_timeline([], 2, width=10)
+        assert text.splitlines() == ["Dim1 |----------|", "Dim2 |----------|"]
+
+    def test_bad_width(self, starved_dim1):
+        with pytest.raises(ConfigurationError):
+            render_timeline(starved_dim1.timeline, 3, width=0)
+
+
+class TestGaps:
+    def test_gaps_complement_busy(self, starved_dim1):
+        makespan = starved_dim1.finish_time
+        for dim in range(3):
+            fraction = busy_fraction(starved_dim1.timeline, dim, makespan)
+            assert fraction == pytest.approx(
+                starved_dim1.report.dim_utilization(dim), rel=1e-6
+            )
+
+    def test_manual_events(self):
+        events = [
+            TimelineEvent(0, 0, "RS", 0.0, 1.0),
+            TimelineEvent(0, 1, "RS", 2.0, 3.0),
+        ]
+        assert timeline_gaps(events, 0, horizon=4.0) == [(1.0, 2.0), (3.0, 4.0)]
+        assert busy_fraction(events, 0, horizon=4.0) == pytest.approx(0.5)
+
+    def test_idle_dim_is_one_gap(self):
+        events = [TimelineEvent(0, 0, "RS", 0.0, 2.0)]
+        assert timeline_gaps(events, 1) == [(0.0, 2.0)]
+        assert busy_fraction(events, 1) == 0.0

@@ -1,0 +1,95 @@
+"""Full training-step simulation and utilization metrics (Fig. 10)."""
+
+import pytest
+
+from repro.simulator import (
+    ideal_comm_time,
+    simulate_training_step,
+    utilization_speedup_potential,
+)
+from repro.topology import get_topology
+from repro.training import estimate_step_time, NoOverlapLoop, TPDPOverlapLoop
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def gpt3():
+    return build_workload("GPT-3", 4096)
+
+
+@pytest.fixture(scope="module")
+def net4k():
+    return get_topology("4D-4K")
+
+
+class TestStepSimulation:
+    def test_total_is_compute_plus_comm(self, gpt3, net4k):
+        step = simulate_training_step(gpt3, net4k, [gbps(125)] * 4, num_chunks=8)
+        assert step.total_time == pytest.approx(step.compute_time + step.comm_time)
+
+    def test_matches_analytical_estimator(self, gpt3, net4k):
+        """With many chunks, simulation ≈ the closed-form estimator (the
+        closed form is the infinite-chunk pipelining limit)."""
+        bw = [gbps(125)] * 4
+        step = simulate_training_step(gpt3, net4k, bw, num_chunks=64)
+        analytical = estimate_step_time(gpt3, net4k, bw, loop=NoOverlapLoop())
+        assert step.total_time == pytest.approx(analytical, rel=0.05)
+        assert step.total_time >= analytical * (1 - 1e-9)
+
+    def test_overlap_loop_not_slower(self, gpt3, net4k):
+        bw = [gbps(125)] * 4
+        sequential = simulate_training_step(gpt3, net4k, bw, num_chunks=8)
+        overlapped = simulate_training_step(
+            gpt3, net4k, bw, num_chunks=8, loop_name="tp-dp-overlap"
+        )
+        assert overlapped.total_time <= sequential.total_time
+
+    def test_collective_times_recorded(self, gpt3, net4k):
+        step = simulate_training_step(gpt3, net4k, [gbps(125)] * 4, num_chunks=4)
+        assert len(step.collective_times) == 96 * 6
+        assert all(time > 0 for time in step.collective_times.values())
+
+    def test_unknown_loop_rejected(self, gpt3, net4k):
+        with pytest.raises(ConfigurationError):
+            simulate_training_step(gpt3, net4k, [gbps(125)] * 4, loop_name="magic")
+
+    def test_comm_fraction(self, gpt3, net4k):
+        step = simulate_training_step(gpt3, net4k, [gbps(125)] * 4, num_chunks=4)
+        assert 0.0 < step.comm_fraction < 1.0
+
+
+class TestUtilizationMetrics:
+    def test_optimized_bw_beats_equal_on_utilization(self, gpt3, net4k):
+        """LIBRA's allocation must raise aggregate utilization vs EqualBW."""
+        from repro.core import Libra, Scheme
+        from repro.utils import gbps as to_bps
+
+        libra = Libra(net4k)
+        libra.add_workload(gpt3)
+        cons = libra.constraints().with_total_bandwidth(to_bps(500))
+        optimized = libra.optimize(Scheme.PERF_OPT, cons)
+
+        equal_step = simulate_training_step(gpt3, net4k, [to_bps(125)] * 4, num_chunks=8)
+        opt_step = simulate_training_step(
+            gpt3, net4k, list(optimized.bandwidths), num_chunks=8
+        )
+        assert (
+            opt_step.comm_report.aggregate_utilization
+            > equal_step.comm_report.aggregate_utilization
+        )
+
+    def test_ideal_comm_time_is_lower_bound(self, gpt3, net4k):
+        step = simulate_training_step(gpt3, net4k, [gbps(125)] * 4, num_chunks=8)
+        assert ideal_comm_time(step) <= step.comm_time
+
+    def test_speedup_potential_at_least_one(self, gpt3, net4k):
+        step = simulate_training_step(gpt3, net4k, [gbps(125)] * 4, num_chunks=8)
+        assert utilization_speedup_potential(step) >= 1.0
+
+    def test_dp_only_workload(self, net4k):
+        tnlg = build_workload("Turing-NLG", 4096)
+        step = simulate_training_step(tnlg, net4k, [gbps(125)] * 4, num_chunks=4)
+        assert step.comm_time > 0
+        assert step.comm_report.aggregate_utilization > 0

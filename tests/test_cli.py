@@ -1,0 +1,169 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import build_workload, serialize_workload
+
+
+class TestListing:
+    def test_topologies(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "4D-4K" in out and "RI(4)_FC(8)_RI(4)_SW(32)" in out
+        assert "Google TPUv4" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "GPT-3" in out and "MSFT-1T" in out
+
+
+class TestOptimize:
+    def test_perf_opt(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--topology", "4D-4K",
+                "--workload", "GPT-3",
+                "--total-bw", "500",
+                "--scheme", "perf",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PerfOptBW" in out
+        assert "speedup over EqualBW" in out
+
+    def test_with_cap(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--topology", "4D-4K",
+                "--workload", "MSFT-1T",
+                "--total-bw", "500",
+                "--cap", "3:50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The capped dimension shows up at (or under) 50 GB/s.
+        first_line = out.splitlines()[0]
+        last_bw = float(first_line.split("[")[1].split("]")[0].split(",")[-1])
+        assert last_bw <= 50.0 * 1.001
+
+    def test_custom_notation_topology(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--topology", "RI(8)_SW(8)",
+                "--workload", "Turing-NLG",
+                "--total-bw", "300",
+            ]
+        )
+        assert code == 0
+
+    def test_workload_file(self, tmp_path, capsys):
+        workload = build_workload("GPT-3", 4096)
+        path = tmp_path / "w.workload"
+        path.write_text(serialize_workload(workload))
+        code = main(
+            [
+                "optimize",
+                "--topology", "4D-4K",
+                "--workload-file", str(path),
+                "--total-bw", "400",
+            ]
+        )
+        assert code == 0
+
+    def test_size_mismatch_is_clean_error(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--topology", "3D-512",
+                "--workload", "MSFT-1T",  # TP-128 does not divide 512... it does; use wrong NPUs
+                "--total-bw", "400",
+            ]
+        )
+        # MSFT-1T TP=128 divides 512, so this actually optimizes fine; use
+        # a genuinely impossible combination instead:
+        code = main(
+            [
+                "optimize",
+                "--topology", "RI(6)_SW(6)",
+                "--workload", "GPT-3",
+                "--total-bw", "400",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_rows(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--topology", "3D-4K",
+                "--workload", "GPT-3",
+                "--bw", "200",
+                "--bw", "600",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "200" in out and "600" in out
+
+
+class TestSimulate:
+    def test_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--topology", "4D-4K",
+                "--workload", "GPT-3",
+                "--bandwidths", "225,138,104,33",
+                "--chunks", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "step time" in out and "aggregate BW utilization" in out
+
+    def test_themis_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--topology", "4D-4K",
+                "--workload", "GPT-3",
+                "--bandwidths", "125,125,125,125",
+                "--chunks", "4",
+                "--themis",
+            ]
+        )
+        assert code == 0
+
+    def test_wrong_bandwidth_count(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--topology", "4D-4K",
+                "--workload", "GPT-3",
+                "--bandwidths", "125,125",
+            ]
+        )
+        assert code == 2
+
+
+class TestCost:
+    def test_fig12_example_via_cli(self, capsys):
+        code = main(["cost", "--topology", "4D-4K", "--bandwidths", "125,125,125,125"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total network cost" in out
+        assert "pod" in out
+
+    def test_bad_topology(self, capsys):
+        code = main(["cost", "--topology", "XX(2)", "--bandwidths", "1"])
+        assert code == 2

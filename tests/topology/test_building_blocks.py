@@ -1,0 +1,76 @@
+"""Unit topologies: Ring, FullyConnected, Switch."""
+
+import pytest
+
+from repro.topology import BlockKind, BuildingBlock, fully_connected, ring, switch
+from repro.utils.errors import ConfigurationError
+
+
+class TestBlockKind:
+    def test_from_tag(self):
+        assert BlockKind.from_tag("RI") is BlockKind.RING
+        assert BlockKind.from_tag("FC") is BlockKind.FULLY_CONNECTED
+        assert BlockKind.from_tag("SW") is BlockKind.SWITCH
+
+    def test_from_tag_case_insensitive(self):
+        assert BlockKind.from_tag("ri") is BlockKind.RING
+        assert BlockKind.from_tag(" sw ") is BlockKind.SWITCH
+
+    def test_unknown_tag(self):
+        with pytest.raises(ConfigurationError, match="unknown building block"):
+            BlockKind.from_tag("XX")
+
+
+class TestBuildingBlock:
+    def test_constructors(self):
+        assert ring(4).kind is BlockKind.RING
+        assert fully_connected(8).kind is BlockKind.FULLY_CONNECTED
+        assert switch(32).kind is BlockKind.SWITCH
+
+    def test_size_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="size >= 2"):
+            ring(1)
+
+    def test_size_zero_rejected(self):
+        with pytest.raises(Exception):
+            switch(0)
+
+    def test_str(self):
+        assert str(ring(4)) == "RI(4)"
+        assert str(switch(32)) == "SW(32)"
+
+    def test_algorithm_mapping_fig7(self):
+        """Fig. 7(b): Ring→ring, FC→direct, SW→halving-doubling."""
+        assert ring(4).algorithm == "ring"
+        assert fully_connected(8).algorithm == "direct"
+        assert switch(16).algorithm == "halving_doubling"
+
+    def test_uses_switch(self):
+        assert switch(4).uses_switch
+        assert not ring(4).uses_switch
+        assert not fully_connected(4).uses_switch
+
+
+class TestLinks:
+    def test_ring_links(self):
+        links = ring(4).links()
+        assert len(links) == 4
+        assert (0, 1) in links and (3, 0) in links
+
+    def test_ring_of_two_single_link(self):
+        assert ring(2).links() == [(0, 1)]
+
+    def test_fully_connected_links(self):
+        links = fully_connected(4).links()
+        assert len(links) == 6  # C(4,2)
+        assert (0, 3) in links
+
+    def test_switch_links_use_hub(self):
+        links = switch(3).links()
+        assert links == [(0, -1), (1, -1), (2, -1)]
+
+    def test_npu_link_count(self):
+        assert ring(4).npu_link_count == 2
+        assert ring(2).npu_link_count == 1
+        assert fully_connected(5).npu_link_count == 4
+        assert switch(32).npu_link_count == 1

@@ -1,0 +1,98 @@
+"""Physical link-graph expansion."""
+
+import pytest
+
+from repro.topology import (
+    BlockKind,
+    MultiDimNetwork,
+    build_graph,
+    count_physical_links,
+    per_link_bandwidth,
+)
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+
+
+class TestPerLinkBandwidth:
+    def test_ring_splits_over_two_ports(self):
+        assert per_link_bandwidth(BlockKind.RING, 4, gbps(100)) == gbps(50)
+
+    def test_ring_of_two_single_port(self):
+        assert per_link_bandwidth(BlockKind.RING, 2, gbps(100)) == gbps(100)
+
+    def test_fully_connected_splits_over_peers(self):
+        assert per_link_bandwidth(BlockKind.FULLY_CONNECTED, 5, gbps(100)) == gbps(25)
+
+    def test_switch_uplink_full(self):
+        assert per_link_bandwidth(BlockKind.SWITCH, 32, gbps(100)) == gbps(100)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_link_bandwidth(BlockKind.RING, 4, 0.0)
+
+
+class TestBuildGraph:
+    def test_torus_has_all_npus(self):
+        net = MultiDimNetwork.from_notation("RI(4)_RI(4)_RI(4)")
+        graph = build_graph(net, [gbps(100)] * 3)
+        npu_nodes = [n for n, d in graph.nodes(data=True) if d.get("kind") == "npu"]
+        assert len(npu_nodes) == 64
+
+    def test_torus_link_count(self):
+        """RI(4)^3: 3 dims × 16 rings × 4 links × 2 directions."""
+        net = MultiDimNetwork.from_notation("RI(4)_RI(4)_RI(4)")
+        graph = build_graph(net, [gbps(100)] * 3)
+        assert graph.number_of_edges() == 3 * 16 * 4 * 2
+
+    def test_switch_dims_add_hub_nodes(self):
+        net = MultiDimNetwork.from_notation("RI(2)_SW(3)")
+        graph = build_graph(net, [gbps(100), gbps(100)])
+        hubs = [n for n, d in graph.nodes(data=True) if d.get("kind") == "switch"]
+        assert len(hubs) == 2  # one switch per group of 3 NPUs
+
+    def test_edge_attributes(self):
+        net = MultiDimNetwork.from_notation("RI(4)_RI(2)")
+        graph = build_graph(net, [gbps(100), gbps(60)])
+        dims = {data["dim"] for _, _, data in graph.edges(data=True)}
+        assert dims == {0, 1}
+        for _, _, data in graph.edges(data=True):
+            if data["dim"] == 0:
+                assert data["bandwidth"] == gbps(50)  # ring, 2 ports
+            else:
+                assert data["bandwidth"] == gbps(60)  # ring of 2, 1 port
+
+    def test_injection_bandwidth_preserved(self):
+        """Sum of a node's outgoing link BW per dim equals the dim BW."""
+        net = MultiDimNetwork.from_notation("FC(4)_RI(3)")
+        bws = [gbps(90), gbps(40)]
+        graph = build_graph(net, bws)
+        for npu in range(net.num_npus):
+            per_dim = {0: 0.0, 1: 0.0}
+            for _, _, data in graph.out_edges(npu, data=True):
+                per_dim[data["dim"]] += data["bandwidth"]
+            assert per_dim[0] == pytest.approx(bws[0])
+            assert per_dim[1] == pytest.approx(bws[1])
+
+    def test_wrong_bandwidth_count(self):
+        net = MultiDimNetwork.from_notation("RI(4)_RI(2)")
+        with pytest.raises(ConfigurationError):
+            build_graph(net, [gbps(100)])
+
+    def test_graph_is_strongly_connected(self):
+        import networkx as nx
+
+        net = MultiDimNetwork.from_notation("RI(3)_FC(3)_RI(2)")
+        graph = build_graph(net, [gbps(10)] * 3)
+        assert nx.is_strongly_connected(graph)
+
+
+class TestCountPhysicalLinks:
+    def test_torus(self):
+        net = MultiDimNetwork.from_notation("RI(4)_RI(4)_RI(4)")
+        assert count_physical_links(net) == {0: 64, 1: 64, 2: 64}
+
+    def test_mixed(self):
+        net = MultiDimNetwork.from_notation("FC(4)_SW(2)")
+        counts = count_physical_links(net)
+        assert counts[0] == 2 * 6  # two FC(4) groups of C(4,2) links
+        assert counts[1] == 4 * 2  # four SW groups, 2 uplinks each

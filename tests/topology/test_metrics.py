@@ -1,0 +1,86 @@
+"""Structural network metrics: diameter, bisection, injection."""
+
+import pytest
+
+from repro.topology import (
+    MultiDimNetwork,
+    bisection_report,
+    block_diameter,
+    describe_structure,
+    fully_connected,
+    get_topology,
+    injection_bandwidth,
+    network_diameter,
+    ring,
+    switch,
+)
+from repro.topology.metrics import block_bisection_links
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+
+
+class TestDiameter:
+    def test_ring(self):
+        assert block_diameter(ring(4)) == 2
+        assert block_diameter(ring(5)) == 2
+        assert block_diameter(ring(2)) == 1
+
+    def test_fully_connected(self):
+        assert block_diameter(fully_connected(8)) == 1
+
+    def test_switch(self):
+        assert block_diameter(switch(32)) == 2
+
+    def test_network_diameter_sums(self):
+        net = get_topology("4D-4K")  # RI(4)_FC(8)_RI(4)_SW(32)
+        assert network_diameter(net) == 2 + 1 + 2 + 2
+
+    def test_torus(self):
+        assert network_diameter(get_topology("3D-Torus")) == 6
+
+
+class TestBisectionLinks:
+    def test_ring(self):
+        assert block_bisection_links(ring(4)) == 2
+        assert block_bisection_links(ring(2)) == 1
+
+    def test_fully_connected(self):
+        assert block_bisection_links(fully_connected(4)) == 4  # 2 × 2
+        assert block_bisection_links(fully_connected(5)) == 6  # 2 × 3
+
+    def test_switch(self):
+        assert block_bisection_links(switch(32)) == 16
+
+
+class TestBisectionReport:
+    def test_symmetric_torus(self):
+        """RI(4)^3 at equal BW: every cut is identical."""
+        net = get_topology("3D-Torus")
+        report = bisection_report(net, [gbps(300)] * 3)
+        assert report.per_dim[0] == report.per_dim[1] == report.per_dim[2]
+        # 16 rings × 2 links × (300/2 per link) = 4.8 TB/s
+        assert report.per_dim[0] == pytest.approx(16 * 2 * gbps(150))
+
+    def test_weakest_dim(self):
+        net = MultiDimNetwork.from_notation("RI(4)_SW(4)")
+        report = bisection_report(net, [gbps(100), gbps(10)])
+        assert report.weakest_dim == 1
+        assert report.bandwidth == report.per_dim[1]
+
+    def test_wrong_bandwidth_count(self):
+        with pytest.raises(ConfigurationError):
+            bisection_report(get_topology("3D-Torus"), [gbps(10)])
+
+
+class TestInjection:
+    def test_aggregate(self):
+        net = get_topology("3D-Torus")
+        assert injection_bandwidth(net, [gbps(100)] * 3) == pytest.approx(
+            64 * gbps(300)
+        )
+
+    def test_describe(self):
+        net = get_topology("3D-Torus")
+        text = describe_structure(net, [gbps(100)] * 3)
+        assert "diameter: 6 hops" in text
+        assert "weakest cut" in text

@@ -1,0 +1,138 @@
+"""MultiDimNetwork: shapes, tiers, and coordinate math."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import MultiDimNetwork, NetworkTier, default_tiers, ring
+from repro.utils.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_from_notation(self):
+        net = MultiDimNetwork.from_notation("RI(4)_FC(8)_SW(32)")
+        assert net.num_dims == 3
+        assert net.dim_sizes == (4, 8, 32)
+        assert net.num_npus == 1024
+
+    def test_notation_round_trip(self):
+        net = MultiDimNetwork.from_notation("RI(16)_FC(8)_SW(32)")
+        assert net.notation == "RI(16)_FC(8)_SW(32)"
+
+    def test_name_defaults_to_notation(self):
+        net = MultiDimNetwork.from_notation("RI(4)_RI(2)")
+        assert net.name == "RI(4)_RI(2)"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiDimNetwork(blocks=())
+
+    def test_tier_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="tiers"):
+            MultiDimNetwork(blocks=(ring(4), ring(2)), tiers=(NetworkTier.POD,))
+
+
+class TestDefaultTiers:
+    def test_2d(self):
+        assert default_tiers(2) == [NetworkTier.NODE, NetworkTier.POD]
+
+    def test_3d(self):
+        assert default_tiers(3) == [
+            NetworkTier.PACKAGE,
+            NetworkTier.NODE,
+            NetworkTier.POD,
+        ]
+
+    def test_4d_matches_fig2(self):
+        assert default_tiers(4) == [
+            NetworkTier.CHIPLET,
+            NetworkTier.PACKAGE,
+            NetworkTier.NODE,
+            NetworkTier.POD,
+        ]
+
+    def test_5d_repeats_chiplet(self):
+        tiers = default_tiers(5)
+        assert tiers[0] is NetworkTier.CHIPLET
+        assert tiers[1] is NetworkTier.CHIPLET
+        assert tiers[-1] is NetworkTier.POD
+
+    def test_last_dim_is_always_pod(self):
+        for dims in range(1, 7):
+            assert default_tiers(dims)[-1] is NetworkTier.POD
+
+
+class TestCoordinates:
+    def test_dim1_varies_fastest(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        assert net.coordinates_of(0) == (0, 0)
+        assert net.coordinates_of(1) == (1, 0)
+        assert net.coordinates_of(3) == (0, 1)
+        assert net.coordinates_of(5) == (2, 1)
+
+    def test_npu_id_inverse(self):
+        net = MultiDimNetwork.from_notation("RI(4)_FC(3)_SW(2)")
+        for npu in range(net.num_npus):
+            assert net.npu_id_of(net.coordinates_of(npu)) == npu
+
+    def test_out_of_range_npu(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        with pytest.raises(ConfigurationError):
+            net.coordinates_of(6)
+        with pytest.raises(ConfigurationError):
+            net.coordinates_of(-1)
+
+    def test_bad_coordinates(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        with pytest.raises(ConfigurationError):
+            net.npu_id_of((3, 0))
+        with pytest.raises(ConfigurationError):
+            net.npu_id_of((0,))
+
+
+class TestPeers:
+    def test_peers_along_dim0(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        assert net.peers_along_dim(0, 0) == [0, 1, 2]
+        assert net.peers_along_dim(4, 0) == [3, 4, 5]
+
+    def test_peers_along_dim1(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        assert net.peers_along_dim(1, 1) == [1, 4]
+
+    def test_peer_groups_partition_network(self):
+        net = MultiDimNetwork.from_notation("RI(4)_FC(3)_SW(2)")
+        for dim in range(net.num_dims):
+            groups = {tuple(net.peers_along_dim(npu, dim)) for npu in range(net.num_npus)}
+            members = [npu for group in groups for npu in group]
+            assert sorted(members) == list(range(net.num_npus))
+
+    def test_bad_dim(self):
+        net = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+        with pytest.raises(ConfigurationError):
+            net.peers_along_dim(0, 2)
+
+
+class TestScaledLastDim:
+    def test_scaling(self):
+        net = MultiDimNetwork.from_notation("RI(4)_SW(32)")
+        scaled = net.scaled_last_dim(16)
+        assert scaled.dim_sizes == (4, 16)
+        assert scaled.blocks[1].kind == net.blocks[1].kind
+
+    def test_original_unchanged(self):
+        net = MultiDimNetwork.from_notation("RI(4)_SW(32)")
+        net.scaled_last_dim(8)
+        assert net.dim_sizes == (4, 32)
+
+
+@given(
+    st.lists(st.integers(min_value=2, max_value=5), min_size=1, max_size=4),
+    st.data(),
+)
+def test_property_coordinate_bijection(sizes, data):
+    """coordinates_of and npu_id_of are exact inverses on random shapes."""
+    notation = "_".join(f"RI({size})" for size in sizes)
+    net = MultiDimNetwork.from_notation(notation)
+    npu = data.draw(st.integers(min_value=0, max_value=net.num_npus - 1))
+    assert net.npu_id_of(net.coordinates_of(npu)) == npu

@@ -1,0 +1,83 @@
+"""The RI(4)_FC(8)_SW(32) notation parser/formatter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import BlockKind, format_notation, parse_block, parse_notation
+from repro.utils.errors import NotationError
+
+
+class TestParseBlock:
+    def test_simple(self):
+        block = parse_block("RI(4)")
+        assert block.kind is BlockKind.RING
+        assert block.size == 4
+
+    def test_whitespace_tolerated(self):
+        block = parse_block("  SW ( 32 ) ")
+        assert block.kind is BlockKind.SWITCH
+        assert block.size == 32
+
+    def test_lowercase(self):
+        assert parse_block("fc(8)").kind is BlockKind.FULLY_CONNECTED
+
+    @pytest.mark.parametrize(
+        "bad", ["RI", "RI()", "RI(4", "RI 4", "(4)", "RI(-4)", "RI(4.5)", ""]
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(NotationError):
+            parse_block(bad)
+
+    def test_unknown_tag(self):
+        with pytest.raises(NotationError, match="unknown"):
+            parse_block("XX(4)")
+
+    def test_size_one_rejected(self):
+        with pytest.raises(NotationError, match="size >= 2"):
+            parse_block("RI(1)")
+
+
+class TestParseNotation:
+    def test_table3_shapes(self):
+        blocks = parse_notation("RI(4)_FC(8)_RI(4)_SW(32)")
+        assert [str(b) for b in blocks] == ["RI(4)", "FC(8)", "RI(4)", "SW(32)"]
+
+    def test_single_dimension(self):
+        assert len(parse_notation("SW(8)")) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(NotationError):
+            parse_notation("")
+        with pytest.raises(NotationError):
+            parse_notation("   ")
+
+    def test_trailing_underscore_rejected(self):
+        with pytest.raises(NotationError):
+            parse_notation("RI(4)_")
+
+
+class TestFormatNotation:
+    def test_round_trip(self):
+        text = "RI(16)_FC(8)_SW(32)"
+        assert format_notation(parse_notation(text)) == text
+
+    def test_empty_rejected(self):
+        with pytest.raises(NotationError):
+            format_notation([])
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["RI", "FC", "SW"]),
+            st.integers(min_value=2, max_value=64),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_round_trip(spec):
+    """format(parse(s)) == s for every canonical shape string."""
+    text = "_".join(f"{tag}({size})" for tag, size in spec)
+    assert format_notation(parse_notation(text)) == text

@@ -1,0 +1,61 @@
+"""Table III and Fig. 11 preset registries."""
+
+import pytest
+
+from repro.topology import (
+    EVALUATION_TOPOLOGIES,
+    REAL_SYSTEM_TOPOLOGIES,
+    evaluation_topology_names,
+    get_topology,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestTable3:
+    @pytest.mark.parametrize(
+        "name, npus",
+        [
+            ("4D-4K", 4096),
+            ("3D-4K", 4096),
+            ("3D-512", 512),
+            ("3D-1K", 1024),
+            ("4D-2K", 2048),
+            ("3D-Torus", 64),
+        ],
+    )
+    def test_sizes(self, name, npus):
+        assert get_topology(name).num_npus == npus
+
+    def test_4d_4k_shape(self):
+        net = get_topology("4D-4K")
+        assert net.notation == "RI(4)_FC(8)_RI(4)_SW(32)"
+        assert net.name == "4D-4K"
+
+    def test_3d_4k_merges_ring_dims(self):
+        """The paper builds 3D-4K by combining 4D-4K's two ring dimensions."""
+        net4 = get_topology("4D-4K")
+        net3 = get_topology("3D-4K")
+        assert net3.dim_sizes[0] == net4.dim_sizes[0] * net4.dim_sizes[2]
+        assert net3.num_npus == net4.num_npus
+
+    def test_registry_names(self):
+        assert evaluation_topology_names() == list(EVALUATION_TOPOLOGIES)
+
+
+class TestFig11:
+    def test_real_systems_parse(self):
+        for name in REAL_SYSTEM_TOPOLOGIES:
+            net = get_topology(name)
+            assert net.num_npus >= 4
+
+    def test_tpuv4_is_3d(self):
+        assert get_topology("Google TPUv4").num_dims == 3
+
+    def test_dgx1_shape(self):
+        assert get_topology("NVIDIA DGX-1").notation == "RI(4)_SW(2)"
+
+
+class TestLookupErrors:
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown preset"):
+            get_topology("5D-32K")

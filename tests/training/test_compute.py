@@ -1,0 +1,42 @@
+"""NPU compute model."""
+
+import pytest
+
+from repro.training import ComputeModel, a100_compute_model
+from repro.utils import tflops
+from repro.utils.errors import ConfigurationError
+
+
+class TestComputeModel:
+    def test_effective_flops(self):
+        model = ComputeModel(peak_flops=tflops(100), efficiency=0.5)
+        assert model.effective_flops == tflops(50)
+
+    def test_time_for(self):
+        model = ComputeModel(peak_flops=tflops(100), efficiency=1.0)
+        assert model.time_for(tflops(50)) == pytest.approx(0.5)
+
+    def test_zero_flops_is_free(self):
+        assert a100_compute_model().time_for(0.0) == 0.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            a100_compute_model().time_for(-1.0)
+
+    def test_bad_peak(self):
+        with pytest.raises(ConfigurationError):
+            ComputeModel(peak_flops=0.0)
+
+    def test_bad_efficiency(self):
+        with pytest.raises(Exception):
+            ComputeModel(peak_flops=1.0, efficiency=1.5)
+        with pytest.raises(Exception):
+            ComputeModel(peak_flops=1.0, efficiency=0.0)
+
+
+class TestA100:
+    def test_paper_numbers(self):
+        """Sec. V-B: 75% of peak = 234 TFLOPS effective."""
+        model = a100_compute_model()
+        assert model.efficiency == 0.75
+        assert model.effective_flops == pytest.approx(tflops(234))

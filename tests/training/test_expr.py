@@ -1,0 +1,171 @@
+"""Symbolic time expressions: evaluation, simplification, invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.training.expr import (
+    CommTerm,
+    Const,
+    MaxExpr,
+    Sum,
+    count_nodes,
+    simplify,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestConst:
+    def test_evaluate(self):
+        assert Const(2.5).evaluate([1.0]) == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Const(-1.0)
+
+    def test_max_dim(self):
+        assert Const(1.0).max_dim() == -1
+
+
+class TestCommTerm:
+    def test_evaluate_is_max(self):
+        term = CommTerm(((0, 100.0), (1, 10.0)))
+        assert term.evaluate([10.0, 10.0]) == pytest.approx(10.0)
+        assert term.evaluate([100.0, 1.0]) == pytest.approx(10.0)
+
+    def test_max_dim(self):
+        assert CommTerm(((0, 1.0), (3, 1.0))).max_dim() == 3
+
+    def test_unsorted_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommTerm(((1, 1.0), (0, 1.0)))
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommTerm(((0, 1.0), (0, 2.0)))
+
+    def test_missing_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommTerm(((2, 1.0),)).evaluate([1.0])
+
+    def test_label_excluded_from_equality(self):
+        assert CommTerm(((0, 1.0),), label="a") == CommTerm(((0, 1.0),), label="b")
+        assert hash(CommTerm(((0, 1.0),), label="a")) == hash(
+            CommTerm(((0, 1.0),), label="b")
+        )
+
+
+class TestSum:
+    def test_unweighted(self):
+        expr = Sum((Const(1.0), Const(2.0)))
+        assert expr.evaluate([]) == 3.0
+
+    def test_weighted(self):
+        expr = Sum((Const(1.0), Const(2.0)), (10.0, 0.5))
+        assert expr.evaluate([]) == 11.0
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Sum((Const(1.0),), (1.0, 2.0))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sum((Const(1.0),), (-1.0,))
+
+
+class TestMaxExpr:
+    def test_evaluate(self):
+        expr = MaxExpr((Const(1.0), Const(5.0), Const(3.0)))
+        assert expr.evaluate([]) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MaxExpr(())
+
+
+class TestSimplify:
+    def test_merges_constants(self):
+        expr = Sum((Const(1.0), Const(2.0), Const(3.0)))
+        assert simplify(expr) == Const(6.0)
+
+    def test_flattens_nested_sums(self):
+        inner = Sum((Const(1.0), CommTerm(((0, 5.0),))))
+        outer = Sum((inner, Const(2.0)))
+        simplified = simplify(outer)
+        assert isinstance(simplified, Sum)
+        assert count_nodes(simplified) == 3  # Sum(CommTerm, Const)
+
+    def test_deduplicates_identical_terms(self):
+        """96 identical layers must collapse to one weighted term."""
+        term = CommTerm(((0, 5.0),))
+        expr = Sum(tuple(term for _ in range(96)))
+        simplified = simplify(expr)
+        assert isinstance(simplified, Sum)
+        comm_children = [c for c in simplified.children if isinstance(c, CommTerm)]
+        assert len(comm_children) == 1
+        index = simplified.children.index(comm_children[0])
+        assert simplified.weights[index] == 96.0
+
+    def test_empty_comm_term_becomes_zero(self):
+        assert simplify(CommTerm(())) == Const(0.0)
+
+    def test_single_child_max_unwrapped(self):
+        assert simplify(MaxExpr((Const(3.0),))) == Const(3.0)
+
+    def test_zero_weight_dropped(self):
+        expr = Sum((CommTerm(((0, 5.0),)), Const(1.0)), (0.0, 1.0))
+        assert simplify(expr) == Const(1.0)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random expression trees up to depth 3."""
+    if depth >= 3:
+        node_kind = draw(st.sampled_from(["const", "comm"]))
+    else:
+        node_kind = draw(st.sampled_from(["const", "comm", "sum", "max"]))
+    if node_kind == "const":
+        return Const(draw(st.floats(min_value=0.0, max_value=100.0)))
+    if node_kind == "comm":
+        num_dims = draw(st.integers(min_value=1, max_value=3))
+        coeffs = tuple(
+            (dim, draw(st.floats(min_value=0.1, max_value=1e4)))
+            for dim in range(num_dims)
+        )
+        return CommTerm(coeffs)
+    children = tuple(
+        draw(expressions(depth=depth + 1))
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    )
+    if node_kind == "sum":
+        return Sum(children)
+    return MaxExpr(children)
+
+
+@given(expressions(), st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=3, max_size=3))
+def test_property_simplify_preserves_value(expr, bandwidths):
+    """simplify() must be semantics-preserving at every bandwidth point."""
+    assert simplify(expr).evaluate(bandwidths) == pytest.approx(
+        expr.evaluate(bandwidths), rel=1e-9, abs=1e-12
+    )
+
+
+@given(expressions(), st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=3, max_size=3))
+def test_property_expressions_nonnegative(expr, bandwidths):
+    assert expr.evaluate(bandwidths) >= 0.0
+
+
+@given(expressions())
+def test_property_simplify_never_grows(expr):
+    assert count_nodes(simplify(expr)) <= count_nodes(expr)
+
+
+@given(
+    expressions(),
+    st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=3, max_size=3),
+    st.floats(min_value=1.1, max_value=4.0),
+)
+def test_property_monotone_in_bandwidth(expr, bandwidths, factor):
+    """More bandwidth never makes training slower."""
+    faster = [b * factor for b in bandwidths]
+    assert expr.evaluate(faster) <= expr.evaluate(bandwidths) + 1e-12

@@ -1,0 +1,75 @@
+"""Training loops compose layer components per Fig. 5."""
+
+import pytest
+
+from repro.training.expr import CommTerm, Const
+from repro.training import LayerComponents, NoOverlapLoop, TPDPOverlapLoop, get_loop
+
+
+def components(
+    fwd_compute=1.0,
+    fwd_coeff=10.0,
+    tp_compute=2.0,
+    tp_coeff=20.0,
+    dp_compute=3.0,
+    dp_coeff=30.0,
+) -> LayerComponents:
+    return LayerComponents(
+        fwd_compute=fwd_compute,
+        fwd_comm=CommTerm(((0, fwd_coeff),)),
+        tp_compute=tp_compute,
+        tp_comm=CommTerm(((0, tp_coeff),)),
+        dp_compute=dp_compute,
+        dp_comm=CommTerm(((1, dp_coeff),)),
+    )
+
+
+class TestNoOverlap:
+    def test_everything_adds(self):
+        """Fig. 5(b): plain sum of all six components."""
+        layer = components()
+        time = NoOverlapLoop().layer_time(layer).evaluate([10.0, 10.0])
+        expected = 1.0 + 1.0 + 2.0 + 2.0 + 3.0 + 3.0
+        assert time == pytest.approx(expected)
+
+    def test_forward_part(self):
+        layer = components()
+        fwd = NoOverlapLoop().forward_time(layer).evaluate([10.0, 10.0])
+        assert fwd == pytest.approx(2.0)
+
+
+class TestTPDPOverlap:
+    def test_tp_comm_dominates(self):
+        """Fig. 5(c): backward = TP_Comp + max(TP_Comm, DP_Comp + DP_Comm)."""
+        layer = components(tp_coeff=100.0)  # TP comm = 10s at BW 10
+        time = TPDPOverlapLoop().backward_time(layer).evaluate([10.0, 10.0])
+        assert time == pytest.approx(2.0 + max(10.0, 3.0 + 3.0))
+
+    def test_dp_side_dominates(self):
+        layer = components(tp_coeff=1.0, dp_coeff=300.0)
+        time = TPDPOverlapLoop().backward_time(layer).evaluate([10.0, 10.0])
+        assert time == pytest.approx(2.0 + max(0.1, 3.0 + 30.0))
+
+    def test_never_slower_than_no_overlap(self):
+        layer = components()
+        for bw in ([1.0, 1.0], [5.0, 50.0], [100.0, 2.0]):
+            overlap = TPDPOverlapLoop().layer_time(layer).evaluate(bw)
+            sequential = NoOverlapLoop().layer_time(layer).evaluate(bw)
+            assert overlap <= sequential + 1e-12
+
+    def test_overlap_saves_when_balanced(self):
+        layer = components(tp_coeff=60.0, dp_coeff=60.0)
+        bw = [10.0, 10.0]
+        overlap = TPDPOverlapLoop().layer_time(layer).evaluate(bw)
+        sequential = NoOverlapLoop().layer_time(layer).evaluate(bw)
+        assert overlap < sequential
+
+
+class TestGetLoop:
+    def test_lookup(self):
+        assert isinstance(get_loop("no-overlap"), NoOverlapLoop)
+        assert isinstance(get_loop("tp-dp-overlap"), TPDPOverlapLoop)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown training loop"):
+            get_loop("pipeline")

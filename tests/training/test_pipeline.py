@@ -1,0 +1,159 @@
+"""Pipeline-parallel estimation (the paper's Sec. IV-C P2P extension)."""
+
+import pytest
+
+from repro.collectives import CollectiveType, DimSpan, per_dim_traffic
+from repro.collectives.types import CollectiveOp
+from repro.topology import get_topology
+from repro.training import (
+    PipelineSchedule,
+    estimate_pipeline_step_time,
+    infer_activation_bytes,
+    pipeline_time_expression,
+    training_time_expression,
+)
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError, MappingError
+from repro.workloads import (
+    GPT3_CONFIG,
+    Parallelism,
+    build_transformer,
+    map_parallelism,
+)
+
+
+@pytest.fixture(scope="module")
+def net4k():
+    return get_topology("4D-4K")
+
+
+@pytest.fixture(scope="module")
+def gpt3_pp4():
+    # 96 layers / 4 stages; TP-8 × PP-4 × DP-128 = 4,096 NPUs.
+    return build_transformer(GPT3_CONFIG, Parallelism(8, 128, pp=4))
+
+
+class TestPointToPointTraffic:
+    def test_full_payload_per_span(self):
+        op = CollectiveOp(
+            CollectiveType.POINT_TO_POINT, 1000.0, (DimSpan(1, 4), DimSpan(2, 2))
+        )
+        traffic = per_dim_traffic(op)
+        assert traffic == {1: 1000.0, 2: 1000.0}
+
+    def test_simulator_handles_p2p(self):
+        from repro.simulator import simulate_collective
+
+        op = CollectiveOp(CollectiveType.POINT_TO_POINT, 1e9, (DimSpan(0, 4),))
+        sim = simulate_collective(op, [gbps(100)], num_chunks=8)
+        assert sim.finish_time == pytest.approx(1e9 / gbps(100))
+
+
+class TestPipelineMapping:
+    def test_pp_spans_between_tp_and_dp(self, net4k):
+        mapping = map_parallelism(net4k, Parallelism(8, 64, pp=8))
+        tp_dims = [span.dim for span in mapping.tp_spans]
+        pp_dims = [span.dim for span in mapping.pp_spans]
+        dp_dims = [span.dim for span in mapping.dp_spans]
+        assert max(tp_dims) <= min(pp_dims)
+        assert max(pp_dims) <= min(dp_dims)
+
+    def test_boundary_spans_mixed_radix(self, net4k):
+        """PP-8 over spans (4, 2): boundaries 0-2 cross only the first span;
+        boundary 3 carries into the second."""
+        mapping = map_parallelism(net4k, Parallelism(8, 64, pp=8))
+        assert len(mapping.boundary_spans(0)) == 1
+        assert len(mapping.boundary_spans(2)) == 1
+        assert len(mapping.boundary_spans(3)) == 2
+        assert len(mapping.boundary_spans(4)) == 1
+
+    def test_boundary_out_of_range(self, net4k):
+        mapping = map_parallelism(net4k, Parallelism(8, 64, pp=8))
+        with pytest.raises(MappingError):
+            mapping.boundary_spans(7)
+
+    def test_boundary_without_pp(self, net4k):
+        mapping = map_parallelism(net4k, Parallelism(16, 256))
+        with pytest.raises(MappingError):
+            mapping.boundary_spans(0)
+
+    def test_pp1_unchanged(self, net4k):
+        """The pp=1 default reproduces the original two-degree mapping."""
+        two = map_parallelism(net4k, Parallelism(16, 256))
+        three = map_parallelism(net4k, Parallelism(16, 256, pp=1))
+        assert two.tp_spans == three.tp_spans
+        assert two.dp_spans == three.dp_spans
+        assert three.pp_spans == ()
+
+
+class TestPipelineSchedule:
+    def test_bubble_factor(self):
+        schedule = PipelineSchedule(num_stages=4, num_microbatches=12, layers_per_stage=24)
+        assert schedule.bubble_factor == pytest.approx(15 / 12)
+
+    def test_deep_pipeline_costs_more_bubble(self):
+        shallow = PipelineSchedule(2, 8, 48).bubble_factor
+        deep = PipelineSchedule(16, 8, 6).bubble_factor
+        assert deep > shallow
+
+
+class TestPipelineExpression:
+    def test_rejects_non_pipelined(self, net4k):
+        workload = build_transformer(GPT3_CONFIG, Parallelism(16, 256))
+        with pytest.raises(ConfigurationError, match="pp=1"):
+            pipeline_time_expression(workload, net4k, num_microbatches=8)
+
+    def test_rejects_uneven_stages(self, net4k):
+        # 96 layers cannot split into 64 stages... use pp=64 via a valid NPU
+        # count first: TP-1, PP-64, DP-64 on 4,096 NPUs.
+        workload = build_transformer(GPT3_CONFIG, Parallelism(1, 64, pp=64))
+        with pytest.raises(ConfigurationError, match="equal pipeline stages"):
+            pipeline_time_expression(workload, net4k, num_microbatches=8)
+
+    def test_more_microbatches_amortize_bubble(self, net4k, gpt3_pp4):
+        bw = [gbps(125)] * 4
+        few = estimate_pipeline_step_time(gpt3_pp4, net4k, bw, num_microbatches=4)
+        many = estimate_pipeline_step_time(gpt3_pp4, net4k, bw, num_microbatches=32)
+        # Per-microbatch cost shrinks as the bubble amortizes.
+        assert many / 32 < few / 4
+
+    def test_monotone_in_bandwidth(self, net4k, gpt3_pp4):
+        slow = estimate_pipeline_step_time(
+            gpt3_pp4, net4k, [gbps(50)] * 4, num_microbatches=8
+        )
+        fast = estimate_pipeline_step_time(
+            gpt3_pp4, net4k, [gbps(500)] * 4, num_microbatches=8
+        )
+        assert fast < slow
+
+    def test_activation_inference_matches_config(self, gpt3_pp4):
+        expected = GPT3_CONFIG.microbatch * GPT3_CONFIG.seq_len * GPT3_CONFIG.hidden * 2
+        assert infer_activation_bytes(gpt3_pp4) == pytest.approx(expected)
+
+    def test_optimizer_consumes_pipeline_expression(self, net4k, gpt3_pp4):
+        """The PP expression plugs into the same solver as everything else."""
+        from repro.core import ConstraintSet, minimize_training_time
+
+        expr = pipeline_time_expression(gpt3_pp4, net4k, num_microbatches=8)
+        constraints = ConstraintSet(4).with_total_bandwidth(gbps(500))
+        result = minimize_training_time(expr, constraints)
+        equal = expr.evaluate([gbps(125)] * 4)
+        assert result.objective <= equal * 1.0001
+        assert constraints.is_feasible(result.bandwidths, tolerance=1e-3)
+
+    def test_dp_sync_charged_once(self, net4k):
+        """Doubling the microbatch count must not double the DP-sync share:
+        the gap between the full expression and (bubble × per-microbatch)
+        stays constant in M."""
+        workload = build_transformer(GPT3_CONFIG, Parallelism(8, 128, pp=4))
+        bw = [gbps(125)] * 4
+        times = {}
+        for m in (8, 16):
+            times[m] = estimate_pipeline_step_time(workload, net4k, bw, m)
+        # Per-microbatch marginal cost: (T(16) - T(8)) / 8 should be close to
+        # the per-beat cost, i.e. the step time is affine in M with the DP
+        # sync as intercept.
+        marginal = (times[16] - times[8]) / 8
+        assert marginal > 0
+        intercept = times[8] - marginal * (8 + 3)  # M + pp - 1 beats at M=8
+        assert intercept >= -1e-9

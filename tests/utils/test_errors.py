@@ -1,0 +1,38 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.utils.errors import (
+    ConfigurationError,
+    MappingError,
+    NotationError,
+    OptimizationError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigurationError, MappingError, NotationError, OptimizationError, SimulationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors(self):
+        """Input-shaped problems are also ValueErrors for generic callers."""
+        for exc in (ConfigurationError, MappingError, NotationError):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_errors(self):
+        for exc in (OptimizationError, SimulationError):
+            assert issubclass(exc, RuntimeError)
+
+    def test_one_base_catch_suffices(self):
+        """The API-boundary contract: catching ReproError catches everything
+        the library raises intentionally."""
+        from repro.topology import parse_notation
+
+        with pytest.raises(ReproError):
+            parse_notation("garbage")

@@ -1,0 +1,78 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+class TestConversions:
+    def test_gb_to_bytes(self):
+        assert units.gb(1) == 1e9
+        assert units.gb(2.5) == 2.5e9
+
+    def test_mb_to_bytes(self):
+        assert units.mb(1) == 1e6
+
+    def test_kb_to_bytes(self):
+        assert units.kb(3) == 3e3
+
+    def test_tb_to_bytes(self):
+        assert units.tb(1) == 1e12
+
+    def test_gbps_to_bytes_per_second(self):
+        assert units.gbps(450) == 450e9
+
+    def test_tflops(self):
+        assert units.tflops(234) == 234e12
+
+    def test_bytes_to_gb_roundtrip(self):
+        assert units.bytes_to_gb(units.gb(7.25)) == pytest.approx(7.25)
+
+    def test_bytes_to_mb_roundtrip(self):
+        assert units.bytes_to_mb(units.mb(0.125)) == pytest.approx(0.125)
+
+    def test_zero_is_zero(self):
+        assert units.gb(0) == 0.0
+        assert units.gbps(0) == 0.0
+
+
+class TestFormatBytes:
+    def test_gigabytes(self):
+        assert units.format_bytes(2.5e9) == "2.50 GB"
+
+    def test_terabytes(self):
+        assert units.format_bytes(3.2e12) == "3.20 TB"
+
+    def test_megabytes(self):
+        assert units.format_bytes(1.5e6) == "1.50 MB"
+
+    def test_kilobytes(self):
+        assert units.format_bytes(2_000) == "2.00 KB"
+
+    def test_plain_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_boundary_exactly_one_gb(self):
+        assert units.format_bytes(1e9) == "1.00 GB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_bytes(-1)
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert units.format_time(1.5) == "1.500 s"
+
+    def test_milliseconds(self):
+        assert units.format_time(0.0042) == "4.200 ms"
+
+    def test_microseconds(self):
+        assert units.format_time(3.5e-5) == "35.000 us"
+
+    def test_nanoseconds(self):
+        assert units.format_time(2e-8) == "20.000 ns"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_time(-0.1)

@@ -1,0 +1,140 @@
+"""ResNet-50, DLRM, the preset registry, and workload aggregates."""
+
+import pytest
+
+from repro.collectives import CollectiveType
+from repro.utils.errors import ConfigurationError, MappingError
+from repro.workloads import (
+    CommScope,
+    DLRMConfig,
+    Parallelism,
+    build_all_workloads,
+    build_dlrm,
+    build_resnet50,
+    build_workload,
+    workload_names,
+)
+
+
+class TestResNet50:
+    def test_param_count_matches_table2(self):
+        workload = build_resnet50(Parallelism(1, 1024))
+        assert workload.total_params == pytest.approx(25.6e6, rel=0.02)
+
+    def test_dp_only(self):
+        workload = build_resnet50(Parallelism(1, 1024))
+        for layer in workload.layers:
+            assert layer.fwd_comms == ()
+            assert layer.tp_comms == ()
+
+    def test_zero2_per_layer(self):
+        workload = build_resnet50(Parallelism(1, 64))
+        kinds = [c.kind for c in workload.layers[0].dp_comms]
+        assert kinds == [CollectiveType.REDUCE_SCATTER, CollectiveType.ALL_GATHER]
+
+    def test_tp_rejected(self):
+        with pytest.raises(ValueError, match="data-parallel only"):
+            build_resnet50(Parallelism(2, 32))
+
+    def test_layer_structure(self):
+        workload = build_resnet50(Parallelism(1, 8))
+        names = [layer.name for layer in workload.layers]
+        assert names[0] == "stem-conv7x7"
+        assert names[-1] == "fc1000"
+        # 1 stem + (3+4+6+3)*3 convs + 4 downsamples + 1 fc = 54 layers
+        assert len(names) == 54
+
+    def test_flops_scale_with_batch(self):
+        small = build_resnet50(Parallelism(1, 8), minibatch=16)
+        large = build_resnet50(Parallelism(1, 8), minibatch=32)
+        assert large.total_compute_flops == pytest.approx(2 * small.total_compute_flops)
+
+
+class TestDLRM:
+    def test_mlp_params_match_table2(self):
+        assert DLRMConfig().mlp_params == pytest.approx(57e6, rel=0.05)
+
+    def test_embedding_all_to_all_global(self):
+        workload = build_dlrm(Parallelism(1, 1024))
+        emb = workload.layers[0]
+        assert emb.name == "embedding-exchange"
+        fwd = emb.fwd_comms[0]
+        assert fwd.kind is CollectiveType.ALL_TO_ALL
+        assert fwd.scope is CommScope.GLOBAL
+        bwd = emb.tp_comms[0]
+        assert bwd.kind is CollectiveType.ALL_TO_ALL
+
+    def test_a2a_payload(self):
+        cfg = DLRMConfig()
+        workload = build_dlrm(Parallelism(1, 1024), cfg)
+        expected = cfg.minibatch * cfg.num_tables * cfg.emb_dim * cfg.dtype_bytes
+        assert workload.layers[0].fwd_comms[0].size_bytes == pytest.approx(expected)
+
+    def test_mlp_layers_are_dp(self):
+        workload = build_dlrm(Parallelism(1, 64))
+        for layer in workload.layers[1:]:
+            assert all(c.scope is CommScope.DP for c in layer.dp_comms)
+
+
+class TestRegistry:
+    def test_names_match_table2(self):
+        assert workload_names() == [
+            "Turing-NLG",
+            "GPT-3",
+            "MSFT-1T",
+            "DLRM",
+            "ResNet-50",
+        ]
+
+    @pytest.mark.parametrize("name", ["Turing-NLG", "GPT-3", "MSFT-1T", "DLRM", "ResNet-50"])
+    def test_build_at_4k(self, name):
+        workload = build_workload(name, 4096)
+        assert workload.parallelism.total_npus == 4096
+
+    def test_table2_tp_sizes(self):
+        assert build_workload("GPT-3", 4096).parallelism.tp == 16
+        assert build_workload("MSFT-1T", 4096).parallelism.tp == 128
+        assert build_workload("Turing-NLG", 4096).parallelism.tp == 1
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            build_workload("BERT", 1024)
+
+    def test_indivisible_npus(self):
+        with pytest.raises(MappingError):
+            build_workload("MSFT-1T", 64)  # TP=128 > 64
+
+    def test_parallelism_override(self):
+        workload = build_workload("MSFT-1T", 4096, Parallelism(64, 64))
+        assert workload.parallelism.tp == 64
+
+    def test_override_wrong_total(self):
+        with pytest.raises(MappingError):
+            build_workload("GPT-3", 4096, Parallelism(16, 16))
+
+    def test_build_all(self):
+        workloads = build_all_workloads(4096)
+        assert set(workloads) == set(workload_names())
+
+
+class TestWorkloadAggregates:
+    def test_comm_bytes_by_scope(self):
+        workload = build_workload("GPT-3", 4096)
+        by_scope = workload.comm_bytes_by_scope()
+        assert by_scope[CommScope.TP] > 0
+        assert by_scope[CommScope.DP] > 0
+
+    def test_total_comm_positive_and_consistent(self):
+        workload = build_workload("GPT-3", 4096)
+        assert workload.total_comm_bytes == pytest.approx(
+            sum(workload.comm_bytes_by_scope().values())
+        )
+
+    def test_str(self):
+        text = str(build_workload("GPT-3", 4096))
+        assert "GPT-3" in text and "96 layers" in text
+
+    def test_comm_requirements_order(self):
+        workload = build_workload("GPT-3", 4096)
+        pairs = workload.comm_requirements()
+        assert len(pairs) == 96 * 6  # 2 fwd + 2 tp + 2 dp per layer

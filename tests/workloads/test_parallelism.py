@@ -1,0 +1,120 @@
+"""HP-(tp, dp) mapping onto network dimensions, including partial spans."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import DimSpan
+from repro.topology import MultiDimNetwork, get_topology
+from repro.utils.errors import MappingError
+from repro.utils.validation import prod
+from repro.workloads import CommScope, Parallelism, candidate_strategies, map_parallelism
+
+
+class TestParallelism:
+    def test_total(self):
+        assert Parallelism(16, 256).total_npus == 4096
+
+    def test_str(self):
+        assert str(Parallelism(8, 4)) == "HP-(8, 4)"
+
+    def test_bad_degrees(self):
+        with pytest.raises(ValueError):
+            Parallelism(0, 4)
+        with pytest.raises(ValueError):
+            Parallelism(4, -1)
+
+
+class TestMapping:
+    def test_tp_one_all_dp(self):
+        net = get_topology("4D-4K")
+        mapping = map_parallelism(net, Parallelism(1, 4096))
+        assert mapping.tp_spans == ()
+        assert mapping.dp_spans == tuple(
+            DimSpan(dim, size) for dim, size in enumerate(net.dim_sizes)
+        )
+
+    def test_tp_covers_whole_dims(self):
+        """MSFT-1T TP-128 on 4D-4K: dims 1–3 exactly (4·8·4 = 128)."""
+        net = get_topology("4D-4K")
+        mapping = map_parallelism(net, Parallelism(128, 32))
+        assert mapping.tp_spans == (DimSpan(0, 4), DimSpan(1, 8), DimSpan(2, 4))
+        assert mapping.dp_spans == (DimSpan(3, 32),)
+
+    def test_partial_dim_split_gpt3(self):
+        """GPT-3 TP-16 on 4D-4K: RI(4) fully + half of FC(8) — the paper's
+        'mismatching TP size' case. DP takes the other half of Dim 2."""
+        net = get_topology("4D-4K")
+        mapping = map_parallelism(net, Parallelism(16, 256))
+        assert mapping.tp_spans == (DimSpan(0, 4), DimSpan(1, 4))
+        assert mapping.dp_spans == (DimSpan(1, 2), DimSpan(2, 4), DimSpan(3, 32))
+
+    def test_global_spans_cover_everything(self):
+        net = get_topology("3D-4K")
+        mapping = map_parallelism(net, Parallelism(16, 256))
+        assert mapping.global_spans == tuple(
+            DimSpan(dim, size) for dim, size in enumerate(net.dim_sizes)
+        )
+
+    def test_spans_for_scope(self):
+        net = get_topology("3D-4K")
+        mapping = map_parallelism(net, Parallelism(16, 256))
+        assert mapping.spans_for(CommScope.TP) == mapping.tp_spans
+        assert mapping.spans_for(CommScope.DP) == mapping.dp_spans
+        assert mapping.spans_for(CommScope.GLOBAL) == mapping.global_spans
+
+    def test_wrong_total_rejected(self):
+        net = get_topology("4D-4K")
+        with pytest.raises(MappingError, match="needs"):
+            map_parallelism(net, Parallelism(16, 16))
+
+    def test_indivisible_split_rejected(self):
+        """TP-4 cannot slice a RI(6) dimension (6 % 4 != 0)."""
+        net = MultiDimNetwork.from_notation("RI(6)_RI(4)")
+        with pytest.raises(MappingError, match="not a divisor"):
+            map_parallelism(net, Parallelism(4, 6))
+
+    def test_non_factoring_tp_rejected(self):
+        """TP-8 over RI(6)_RI(4): 8 > 6 but 8 % 6 != 0."""
+        net = MultiDimNetwork.from_notation("RI(6)_RI(4)")
+        with pytest.raises(MappingError, match="does not factor"):
+            map_parallelism(net, Parallelism(8, 3))
+
+    def test_tp_spans_whole_network(self):
+        net = MultiDimNetwork.from_notation("RI(4)_RI(4)")
+        mapping = map_parallelism(net, Parallelism(16, 1))
+        assert mapping.tp_spans == (DimSpan(0, 4), DimSpan(1, 4))
+        assert mapping.dp_spans == ()
+
+
+class TestCandidateStrategies:
+    def test_power_of_two_splits(self):
+        strategies = candidate_strategies(64)
+        assert [s.tp for s in strategies] == [1, 2, 4, 8, 16, 32, 64]
+        assert all(s.total_npus == 64 for s in strategies)
+
+    def test_range_limits(self):
+        strategies = candidate_strategies(4096, min_tp=8, max_tp=256)
+        assert [s.tp for s in strategies] == [8, 16, 32, 64, 128, 256]
+
+
+@given(
+    st.lists(st.sampled_from([2, 4, 8]), min_size=1, max_size=4),
+    st.data(),
+)
+def test_property_mapping_partitions_npus(sizes, data):
+    """TP spans × DP spans always multiply back to the full NPU count."""
+    notation = "_".join(f"RI({size})" for size in sizes)
+    net = MultiDimNetwork.from_notation(notation)
+    total = net.num_npus
+    divisors = [d for d in range(1, total + 1) if total % d == 0]
+    tp = data.draw(st.sampled_from(divisors))
+    try:
+        mapping = map_parallelism(net, Parallelism(tp, total // tp))
+    except MappingError:
+        return  # non-factorable split; rejection is the contract
+    tp_product = prod(span.size for span in mapping.tp_spans)
+    dp_product = prod(span.size for span in mapping.dp_spans)
+    assert tp_product == tp
+    assert dp_product == total // tp
+    assert tp_product * dp_product == total

@@ -1,0 +1,176 @@
+"""Workload text format: parsing, errors, and round-trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import CollectiveType
+from repro.utils.errors import ConfigurationError
+from repro.workloads import (
+    CommRequirement,
+    CommScope,
+    Layer,
+    Parallelism,
+    Workload,
+    build_workload,
+    parse_workload,
+    serialize_workload,
+)
+
+SAMPLE = """
+# sample workload
+WORKLOAD Tiny-Net
+DTYPE 2
+PARALLELISM TP 2 DP 4
+
+LAYER block0
+  FWD_COMPUTE_FLOPS 1.5e12
+  FWD_COMM ALL_REDUCE TP 2.0e8
+  TP_COMPUTE_FLOPS 1.5e12
+  TP_COMM ALL_REDUCE TP 2.0e8
+  DP_COMPUTE_FLOPS 1.5e12
+  DP_COMM REDUCE_SCATTER DP 4.0e8
+  DP_COMM ALL_GATHER DP 4.0e8
+  PARAMS 2.0e9
+END
+
+LAYER block1
+  FWD_COMPUTE_FLOPS 3.0e11
+END
+"""
+
+
+class TestParse:
+    def test_header(self):
+        workload = parse_workload(SAMPLE)
+        assert workload.name == "Tiny-Net"
+        assert workload.dtype_bytes == 2
+        assert workload.parallelism == Parallelism(2, 4)
+
+    def test_layers(self):
+        workload = parse_workload(SAMPLE)
+        assert workload.num_layers == 2
+        block0 = workload.layers[0]
+        assert block0.fwd_compute_flops == 1.5e12
+        assert block0.param_count == 2.0e9
+        assert len(block0.dp_comms) == 2
+        assert block0.dp_comms[0].kind is CollectiveType.REDUCE_SCATTER
+        assert block0.dp_comms[1].scope is CommScope.DP
+
+    def test_sparse_layer(self):
+        workload = parse_workload(SAMPLE)
+        block1 = workload.layers[1]
+        assert block1.fwd_comms == ()
+        assert block1.dp_comms == ()
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# hi\n\nWORKLOAD X\nPARALLELISM TP 1 DP 2\nLAYER a\nEND\n"
+        assert parse_workload(text).name == "X"
+
+
+class TestParseErrors:
+    def test_missing_workload_header(self):
+        with pytest.raises(ConfigurationError, match="WORKLOAD"):
+            parse_workload("PARALLELISM TP 1 DP 2\nLAYER a\nEND")
+
+    def test_missing_parallelism(self):
+        with pytest.raises(ConfigurationError, match="PARALLELISM"):
+            parse_workload("WORKLOAD X\nLAYER a\nEND")
+
+    def test_unterminated_layer(self):
+        with pytest.raises(ConfigurationError, match="missing its END"):
+            parse_workload("WORKLOAD X\nPARALLELISM TP 1 DP 2\nLAYER a\n")
+
+    def test_nested_layer(self):
+        text = "WORKLOAD X\nPARALLELISM TP 1 DP 2\nLAYER a\nLAYER b\nEND"
+        with pytest.raises(ConfigurationError, match="before END"):
+            parse_workload(text)
+
+    def test_end_without_layer(self):
+        with pytest.raises(ConfigurationError, match="END without"):
+            parse_workload("WORKLOAD X\nPARALLELISM TP 1 DP 2\nEND")
+
+    def test_field_outside_layer(self):
+        text = "WORKLOAD X\nPARALLELISM TP 1 DP 2\nFWD_COMPUTE_FLOPS 1\n"
+        with pytest.raises(ConfigurationError, match="outside"):
+            parse_workload(text)
+
+    def test_unknown_keyword_with_line_number(self):
+        text = "WORKLOAD X\nPARALLELISM TP 1 DP 2\nBOGUS 1\n"
+        with pytest.raises(ConfigurationError, match="line 3"):
+            parse_workload(text)
+
+    def test_malformed_parallelism(self):
+        with pytest.raises(ConfigurationError, match="PARALLELISM"):
+            parse_workload("WORKLOAD X\nPARALLELISM 1 2\n")
+
+    def test_bad_collective_kind(self):
+        text = (
+            "WORKLOAD X\nPARALLELISM TP 1 DP 2\nLAYER a\n"
+            "  DP_COMM BROADCAST DP 1.0\nEND"
+        )
+        with pytest.raises(ConfigurationError, match="line 4"):
+            parse_workload(text)
+
+
+class TestRoundTrip:
+    def test_sample_round_trip(self):
+        workload = parse_workload(SAMPLE)
+        again = parse_workload(serialize_workload(workload))
+        assert again == workload
+
+    def test_preset_round_trip(self):
+        workload = build_workload("GPT-3", 4096)
+        again = parse_workload(serialize_workload(workload))
+        assert again.name == workload.name
+        assert again.num_layers == workload.num_layers
+        assert again.total_params == pytest.approx(workload.total_params)
+        assert again.layers[0] == workload.layers[0]
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.workloads import load_workload_file, save_workload_file
+
+        workload = build_workload("ResNet-50", 64)
+        path = tmp_path / "resnet.wl"
+        save_workload_file(workload, path)
+        assert load_workload_file(path) == workload
+
+
+@st.composite
+def workloads(draw):
+    """Small random workloads exercising every field combination."""
+    num_layers = draw(st.integers(min_value=1, max_value=4))
+    layers = []
+    floats = st.floats(min_value=0.0, max_value=1e12)
+    sizes = st.floats(min_value=0.0, max_value=1e9)
+    for index in range(num_layers):
+        comms = []
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            comms.append(
+                CommRequirement(
+                    draw(st.sampled_from(list(CommScope))),
+                    draw(st.sampled_from(list(CollectiveType))),
+                    draw(sizes),
+                )
+            )
+        layers.append(
+            Layer(
+                name=f"layer{index}",
+                fwd_compute_flops=draw(floats),
+                fwd_comms=tuple(comms),
+                tp_compute_flops=draw(floats),
+                dp_compute_flops=draw(floats),
+                param_count=draw(floats),
+            )
+        )
+    return Workload(
+        name="prop-workload",
+        layers=tuple(layers),
+        parallelism=Parallelism(draw(st.integers(1, 8)), draw(st.integers(1, 8))),
+        dtype_bytes=draw(st.sampled_from([1, 2, 4, 8])),
+    )
+
+
+@given(workloads())
+def test_property_serialize_parse_round_trip(workload):
+    assert parse_workload(serialize_workload(workload)) == workload

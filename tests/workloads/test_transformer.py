@@ -1,0 +1,96 @@
+"""Megatron-style transformer workload builder and Table II configs."""
+
+import pytest
+
+from repro.collectives import CollectiveType
+from repro.workloads import (
+    GPT3_CONFIG,
+    MSFT_1T_CONFIG,
+    TURING_NLG_CONFIG,
+    CommScope,
+    Parallelism,
+    TransformerConfig,
+    build_transformer,
+)
+
+
+class TestTable2ParamCounts:
+    """The architecture configs must land on Table II's parameter counts."""
+
+    def test_gpt3_175b(self):
+        assert GPT3_CONFIG.total_params == pytest.approx(175e9, rel=0.02)
+
+    def test_turing_nlg_17b(self):
+        assert TURING_NLG_CONFIG.total_params == pytest.approx(17e9, rel=0.02)
+
+    def test_msft_1t(self):
+        assert MSFT_1T_CONFIG.total_params == pytest.approx(1e12, rel=0.01)
+
+
+class TestBuildTransformer:
+    def test_layer_count(self):
+        workload = build_transformer(GPT3_CONFIG, Parallelism(16, 256))
+        assert workload.num_layers == 96
+
+    def test_workload_params_match_config(self):
+        workload = build_transformer(GPT3_CONFIG, Parallelism(16, 256))
+        assert workload.total_params == pytest.approx(GPT3_CONFIG.total_params)
+
+    def test_tp_comm_is_four_all_reduces(self):
+        """Megatron: 2 fwd + 2 bwd activation All-Reduces per layer."""
+        workload = build_transformer(GPT3_CONFIG, Parallelism(16, 256))
+        layer = workload.layers[0]
+        assert len(layer.fwd_comms) == 2
+        assert len(layer.tp_comms) == 2
+        for comm in layer.fwd_comms + layer.tp_comms:
+            assert comm.scope is CommScope.TP
+            assert comm.kind is CollectiveType.ALL_REDUCE
+
+    def test_activation_payload(self):
+        workload = build_transformer(GPT3_CONFIG, Parallelism(16, 256))
+        comm = workload.layers[0].fwd_comms[0]
+        expected = GPT3_CONFIG.microbatch * GPT3_CONFIG.seq_len * GPT3_CONFIG.hidden * 2
+        assert comm.size_bytes == pytest.approx(expected)
+
+    def test_zero2_dp_comm(self):
+        """ZeRO-2: per-layer grad Reduce-Scatter + param All-Gather."""
+        workload = build_transformer(GPT3_CONFIG, Parallelism(16, 256))
+        dp = workload.layers[0].dp_comms
+        assert [c.kind for c in dp] == [
+            CollectiveType.REDUCE_SCATTER,
+            CollectiveType.ALL_GATHER,
+        ]
+        shard = GPT3_CONFIG.params_per_layer / 16 * 2
+        for comm in dp:
+            assert comm.size_bytes == pytest.approx(shard)
+            assert comm.scope is CommScope.DP
+
+    def test_no_tp_comm_when_tp_is_one(self):
+        workload = build_transformer(TURING_NLG_CONFIG, Parallelism(1, 1024))
+        layer = workload.layers[0]
+        assert layer.fwd_comms == ()
+        assert layer.tp_comms == ()
+        assert len(layer.dp_comms) == 2
+
+    def test_no_dp_comm_when_dp_is_one(self):
+        config = TransformerConfig("tiny", num_layers=2, hidden=64, seq_len=8)
+        workload = build_transformer(config, Parallelism(16, 1))
+        assert workload.layers[0].dp_comms == ()
+
+    def test_compute_sharded_by_tp(self):
+        tp16 = build_transformer(GPT3_CONFIG, Parallelism(16, 256))
+        tp8 = build_transformer(GPT3_CONFIG, Parallelism(8, 512))
+        ratio = tp8.layers[0].fwd_compute_flops / tp16.layers[0].fwd_compute_flops
+        assert ratio == pytest.approx(2.0)
+
+    def test_backward_is_twice_forward(self):
+        workload = build_transformer(GPT3_CONFIG, Parallelism(16, 256))
+        layer = workload.layers[0]
+        assert layer.tp_compute_flops + layer.dp_compute_flops == pytest.approx(
+            2 * layer.fwd_compute_flops
+        )
+
+    def test_indivisible_hidden_rejected(self):
+        config = TransformerConfig("odd", num_layers=1, hidden=100, seq_len=8)
+        with pytest.raises(Exception, match="divisible"):
+            build_transformer(config, Parallelism(3, 1))
