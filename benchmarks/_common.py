@@ -16,12 +16,18 @@ from collections.abc import Iterable, Sequence
 
 from repro.core import Libra, Scheme
 from repro.core.results import DesignPoint
+from repro.explore import ResultCache, SweepResult, SweepSpec, run_sweep
 from repro.topology import MultiDimNetwork, get_topology
 from repro.utils import gbps
 from repro.workloads import build_workload
 
 #: The Fig. 13/14 sweep range: 100–1,000 GB/s per NPU (Sec. VI-A).
 BW_SWEEP_GBPS: tuple[int, ...] = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+
+#: Session-wide in-memory exploration cache. Figs. 13 and 14 sweep the
+#: identical grid (they report different metrics of the same design points),
+#: so whichever benchmark runs second gets its panels as pure cache hits.
+EXPLORE_CACHE = ResultCache()
 
 
 def print_header(title: str) -> None:
@@ -67,6 +73,29 @@ def optimize_workload(
     return optimized, baseline
 
 
+def sweep_panel(
+    workload_name: str,
+    topology_name: str,
+    schemes: Sequence[Scheme],
+    bw_points: Sequence[int] = BW_SWEEP_GBPS,
+) -> SweepResult:
+    """One figure panel as an exploration sweep, served via the shared cache.
+
+    Every cell must solve — a panel with a failed design point would print a
+    silently incomplete figure, so errors surface immediately.
+    """
+    spec = SweepSpec(
+        workloads=(workload_name,),
+        topologies=(topology_name,),
+        bandwidths_gbps=tuple(float(bw) for bw in bw_points),
+        schemes=tuple(schemes),
+    )
+    sweep = run_sweep(spec, cache=EXPLORE_CACHE)
+    failed = [result for result in sweep.results if not result.ok]
+    assert not failed, f"panel cell failed: {failed[0].point.label()}: {failed[0].error}"
+    return sweep
+
+
 def sweep_speedups(
     workload_name: str,
     topology_name: str,
@@ -74,17 +103,11 @@ def sweep_speedups(
     bw_points: Sequence[int] = BW_SWEEP_GBPS,
 ) -> list[tuple[int, float, float]]:
     """Rows of (BW GB/s, speedup over EqualBW, perf-per-cost over EqualBW)."""
-    rows = []
-    for bw in bw_points:
-        optimized, baseline = optimize_workload(workload_name, topology_name, bw, scheme)
-        rows.append(
-            (
-                bw,
-                optimized.speedup_over(baseline),
-                optimized.perf_per_cost_gain_over(baseline),
-            )
-        )
-    return rows
+    sweep = sweep_panel(workload_name, topology_name, (scheme,), bw_points)
+    return [
+        (bw, result.speedup_over_equal, result.ppc_gain_over_equal)
+        for bw, result in zip(bw_points, sweep.results)
+    ]
 
 
 def merged_2d_topology() -> MultiDimNetwork:

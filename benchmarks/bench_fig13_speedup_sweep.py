@@ -11,7 +11,7 @@ import statistics
 
 import pytest
 
-from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table
+from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table, sweep_panel
 from repro.core import Scheme
 
 PANELS = [
@@ -23,14 +23,19 @@ PANELS = [
 
 def run_panel(workload: str, topology: str) -> list[tuple[int, float, float]]:
     """Rows of (BW, PerfOpt speedup, PerfPerCostOpt speedup)."""
-    rows = []
-    for bw in BW_SWEEP_GBPS:
-        perf, baseline = optimize_workload(workload, topology, bw, Scheme.PERF_OPT)
-        ppc, _ = optimize_workload(workload, topology, bw, Scheme.PERF_PER_COST_OPT)
-        rows.append(
-            (bw, perf.speedup_over(baseline), ppc.speedup_over(baseline))
+    sweep = sweep_panel(
+        workload, topology, (Scheme.PERF_OPT, Scheme.PERF_PER_COST_OPT)
+    )
+    return [
+        (
+            bw,
+            sweep.get(total_bw_gbps=bw, scheme=Scheme.PERF_OPT).speedup_over_equal,
+            sweep.get(
+                total_bw_gbps=bw, scheme=Scheme.PERF_PER_COST_OPT
+            ).speedup_over_equal,
         )
-    return rows
+        for bw in BW_SWEEP_GBPS
+    ]
 
 
 def test_fig13_speedup_sweep(benchmark):

@@ -10,7 +10,7 @@ import statistics
 
 import pytest
 
-from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table
+from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table, sweep_panel
 from repro.core import Scheme
 
 PANELS = [
@@ -21,18 +21,19 @@ PANELS = [
 
 
 def run_panel(workload: str, topology: str) -> list[tuple[int, float, float]]:
-    rows = []
-    for bw in BW_SWEEP_GBPS:
-        perf, baseline = optimize_workload(workload, topology, bw, Scheme.PERF_OPT)
-        ppc, _ = optimize_workload(workload, topology, bw, Scheme.PERF_PER_COST_OPT)
-        rows.append(
-            (
-                bw,
-                perf.perf_per_cost_gain_over(baseline),
-                ppc.perf_per_cost_gain_over(baseline),
-            )
+    sweep = sweep_panel(
+        workload, topology, (Scheme.PERF_OPT, Scheme.PERF_PER_COST_OPT)
+    )
+    return [
+        (
+            bw,
+            sweep.get(total_bw_gbps=bw, scheme=Scheme.PERF_OPT).ppc_gain_over_equal,
+            sweep.get(
+                total_bw_gbps=bw, scheme=Scheme.PERF_PER_COST_OPT
+            ).ppc_gain_over_equal,
         )
-    return rows
+        for bw in BW_SWEEP_GBPS
+    ]
 
 
 def test_fig14_perf_per_cost(benchmark):

@@ -7,24 +7,27 @@ network's own EqualBW baseline.
 
 import pytest
 
-from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table
+from _common import BW_SWEEP_GBPS, optimize_workload, print_header, print_table, sweep_panel
 from repro.core import Scheme
 
 TOPOLOGIES = ("3D-512", "3D-1K", "4D-2K")
 
 
 def run_panel(topology: str):
+    sweep = sweep_panel(
+        "MSFT-1T", topology, (Scheme.PERF_OPT, Scheme.PERF_PER_COST_OPT)
+    )
     rows = []
     for bw in BW_SWEEP_GBPS:
-        perf, baseline = optimize_workload("MSFT-1T", topology, bw, Scheme.PERF_OPT)
-        ppc, _ = optimize_workload("MSFT-1T", topology, bw, Scheme.PERF_PER_COST_OPT)
+        perf = sweep.get(total_bw_gbps=bw, scheme=Scheme.PERF_OPT)
+        ppc = sweep.get(total_bw_gbps=bw, scheme=Scheme.PERF_PER_COST_OPT)
         rows.append(
             (
                 bw,
-                perf.speedup_over(baseline),
-                ppc.speedup_over(baseline),
-                perf.perf_per_cost_gain_over(baseline),
-                ppc.perf_per_cost_gain_over(baseline),
+                perf.speedup_over_equal,
+                ppc.speedup_over_equal,
+                perf.ppc_gain_over_equal,
+                ppc.ppc_gain_over_equal,
             )
         )
     return rows

@@ -1,9 +1,11 @@
 """Design-space exploration: sweep bandwidth budgets and constraint shapes.
 
 Reproduces the flavour of the paper's Sec. VI-A study interactively: for a
-target workload, sweep the per-NPU bandwidth budget, then show how designer
-constraints (a capped scale-out dimension, an ordering requirement, a
-two-dimension budget split) reshape the optimal allocation.
+target workload, the exploration engine sweeps the per-NPU bandwidth budget
+under both optimization schemes and extracts the cost-vs-time Pareto
+frontier; then a second study shows how designer constraints (a capped
+scale-out dimension, an ordering requirement, a two-dimension budget split)
+reshape the optimal allocation.
 
 Run:
     python examples/design_space_exploration.py [workload] [topology]
@@ -11,24 +13,51 @@ Run:
 
 import sys
 
-from repro import Libra, Scheme, build_workload, gbps, get_topology
+from repro import (
+    Libra,
+    Scheme,
+    SweepSpec,
+    build_workload,
+    gbps,
+    get_topology,
+    pareto_frontier,
+    run_sweep,
+)
 
 
 def sweep_budgets(workload_name: str, topology_name: str) -> None:
-    network = get_topology(topology_name)
-    libra = Libra(network)
-    libra.add_workload(build_workload(workload_name, network.num_npus))
+    spec = SweepSpec(
+        workloads=(workload_name,),
+        topologies=(topology_name,),
+        bandwidths_gbps=(100, 250, 500, 750, 1000),
+        schemes=("perf", "perf-per-cost"),
+    )
+    sweep = run_sweep(spec)
 
     print(f"--- {workload_name} on {topology_name}: budget sweep ---")
-    print(f"{'BW/NPU':>8}  {'speedup':>8}  {'ppc gain':>8}  optimal split (GB/s)")
-    for budget in (100, 250, 500, 750, 1000):
-        constraints = libra.constraints().with_total_bandwidth(gbps(budget))
-        optimized = libra.optimize(Scheme.PERF_OPT, constraints)
-        baseline = libra.equal_bw_point(gbps(budget))
-        split = ", ".join(f"{bw:.0f}" for bw in optimized.bandwidths_gbps())
+    print(f"{'BW/NPU':>8}  {'scheme':<17} {'speedup':>8}  {'ppc gain':>8}  "
+          f"optimal split (GB/s)")
+    for result in sweep.results:
+        if not result.ok:
+            print(f"{result.point.total_bw_gbps:>8.0f}  ERROR: {result.error}")
+            continue
+        split = ", ".join(f"{bw:.0f}" for bw in result.bandwidths_gbps)
         print(
-            f"{budget:>8}  {optimized.speedup_over(baseline):>7.2f}x "
-            f"{optimized.perf_per_cost_gain_over(baseline):>8.2f}x  [{split}]"
+            f"{result.point.total_bw_gbps:>8.0f}  "
+            f"{result.point.scheme.value:<17} "
+            f"{result.speedup_over_equal:>7.2f}x "
+            f"{result.ppc_gain_over_equal:>8.2f}x  [{split}]"
+        )
+
+    frontier = pareto_frontier(
+        sweep.results, x="network_cost", y="step_time_ms"
+    )
+    print(f"\ncost-vs-time Pareto frontier ({len(frontier)} of "
+          f"{len(sweep.ok_results())} design points):")
+    for result in frontier:
+        print(
+            f"  ${result.network_cost:>14,.0f}  {result.step_time_ms:>9.2f} ms  "
+            f"{result.point.scheme.value} @ {result.point.total_bw_gbps:.0f} GB/s"
         )
 
 

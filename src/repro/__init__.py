@@ -26,6 +26,8 @@ Subpackage map (see DESIGN.md for the full inventory):
 * :mod:`repro.training` — compute model, training loops, symbolic estimator.
 * :mod:`repro.cost` — the Table I dollar-cost model.
 * :mod:`repro.core` — constraints, solver, the :class:`Libra` facade.
+* :mod:`repro.explore` — design-space exploration: cached, parallel sweeps
+  over workloads × topologies × budgets × schemes with Pareto analysis.
 * :mod:`repro.simulator` — chunk-level network simulation (ASTRA-sim role).
 * :mod:`repro.runtime` — Themis scheduler and TACOS synthesizer analogues.
 """
@@ -38,6 +40,16 @@ from repro.core import (
     run_group_study,
 )
 from repro.cost import CostModel, default_cost_model, network_cost
+from repro.explore import (
+    ExplorationPoint,
+    ExplorationResult,
+    ResultCache,
+    SweepResult,
+    SweepSpec,
+    load_sweep_spec,
+    pareto_frontier,
+    run_sweep,
+)
 from repro.simulator import simulate_collective, simulate_training_step
 from repro.topology import MultiDimNetwork, get_topology, parse_notation
 from repro.training import a100_compute_model, estimate_step_time
@@ -55,6 +67,14 @@ __all__ = [
     "CostModel",
     "default_cost_model",
     "network_cost",
+    "ExplorationPoint",
+    "ExplorationResult",
+    "ResultCache",
+    "SweepResult",
+    "SweepSpec",
+    "load_sweep_spec",
+    "pareto_frontier",
+    "run_sweep",
     "simulate_collective",
     "simulate_training_step",
     "MultiDimNetwork",

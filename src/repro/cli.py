@@ -10,6 +10,11 @@ Drives the Fig. 3 pipeline from the shell::
         --total-bw 600 --scheme perf-per-cost --cap 2:50
     repro-libra sweep --topology 4D-4K --workload MSFT-1T \\
         --bw 100 --bw 500 --bw 1000
+    repro-libra explore --workload GPT-3 --workload Turing-NLG \\
+        --topology 3D-4K --topology 4D-4K --bw 100 --bw 300 --bw 500 \\
+        --bw 1000 --scheme perf --scheme perf-per-cost \\
+        --workers 4 --cache-dir .repro-cache --output results.json
+    repro-libra explore --spec sweep.json --cache-dir .repro-cache
     repro-libra simulate --topology 4D-4K --workload GPT-3 \\
         --bandwidths 225,138,104,33 --themis
     repro-libra cost --topology 4D-4K --bandwidths 125,125,125,125
@@ -26,6 +31,7 @@ from collections.abc import Sequence
 
 from repro.core import Libra, Scheme
 from repro.cost import cost_breakdown, default_cost_model
+from repro.explore.spec import SCHEME_ALIASES as _SCHEMES
 from repro.topology import (
     EVALUATION_TOPOLOGIES,
     REAL_SYSTEM_TOPOLOGIES,
@@ -35,12 +41,6 @@ from repro.topology import (
 from repro.utils import gbps
 from repro.utils.errors import ReproError
 from repro.workloads import build_workload, load_workload_file, workload_names
-
-_SCHEMES = {
-    "perf": Scheme.PERF_OPT,
-    "perf-per-cost": Scheme.PERF_PER_COST_OPT,
-    "equal": Scheme.EQUAL_BW,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +73,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--bw", action="append", type=float, required=True, metavar="GBPS",
         help="budget point in GB/s (repeatable)",
+    )
+
+    explore = sub.add_parser(
+        "explore",
+        help="design-space exploration: parallel, cached grid sweeps "
+             "with Pareto analysis",
+    )
+    explore.add_argument(
+        "--spec", help="JSON sweep-spec file (replaces the axis flags)"
+    )
+    explore.add_argument(
+        "--workload", action="append", default=[], metavar="NAME",
+        help="workload axis entry (repeatable)",
+    )
+    explore.add_argument(
+        "--topology", action="append", default=[], metavar="NAME",
+        help="topology axis entry: preset name or notation (repeatable)",
+    )
+    explore.add_argument(
+        "--bw", action="append", type=float, default=[], metavar="GBPS",
+        help="bandwidth-budget axis entry in GB/s (repeatable)",
+    )
+    explore.add_argument(
+        "--scheme", action="append", choices=sorted(_SCHEMES), default=[],
+        help="scheme axis entry (repeatable; default: perf)",
+    )
+    explore.add_argument(
+        "--cap", action="append", default=[], metavar="DIM:GBPS",
+        help="cap one dimension's bandwidth at every grid cell (repeatable)",
+    )
+    explore.add_argument(
+        "--workers", type=int, default=1,
+        help="solve cells across N worker processes (default 1 = inline)",
+    )
+    explore.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed result cache; re-runs only solve new cells",
+    )
+    explore.add_argument(
+        "--output", metavar="FILE",
+        help="write the JSON results artifact here",
+    )
+    explore.add_argument(
+        "--pareto", default="network_cost:step_time_ms", metavar="X:Y",
+        help="frontier metrics (default network_cost:step_time_ms); "
+             "metrics: total_bw_gbps, step_time_ms, network_cost, speedup, ppc_gain",
+    )
+    explore.add_argument(
+        "--progress", action="store_true",
+        help="print one line per resolved grid cell",
     )
 
     simulate = sub.add_parser(
@@ -189,6 +239,133 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_caps(caps: Sequence[str]) -> tuple[tuple[int, float], ...]:
+    parsed = []
+    for cap in caps:
+        dim_text, _, cap_text = cap.partition(":")
+        try:
+            parsed.append((int(dim_text), float(cap_text)))
+        except ValueError:
+            raise ReproError(
+                f"malformed cap {cap!r}; expected DIM:GBPS, e.g. 3:50"
+            ) from None
+    return tuple(parsed)
+
+
+def _explore_spec(args: argparse.Namespace):
+    from repro.explore import SweepSpec, load_sweep_spec
+
+    if args.spec:
+        if args.workload or args.topology or args.bw or args.scheme or args.cap:
+            raise ReproError(
+                "--spec replaces the axis flags; drop "
+                "--workload/--topology/--bw/--scheme/--cap or edit the spec file"
+            )
+        return load_sweep_spec(args.spec)
+    if not (args.workload and args.topology and args.bw):
+        raise ReproError(
+            "explore needs either --spec or at least one --workload, "
+            "--topology, and --bw"
+        )
+    return SweepSpec(
+        workloads=tuple(args.workload),
+        topologies=tuple(args.topology),
+        bandwidths_gbps=tuple(args.bw),
+        schemes=tuple(args.scheme) or ("perf",),
+        dim_caps_gbps=_parse_caps(args.cap),
+    )
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.explore import (
+        ENGINE_VERSION,
+        ResultCache,
+        pareto_frontier,
+        run_sweep,
+        summary_rows,
+    )
+
+    from repro.explore.records import METRICS
+
+    spec = _explore_spec(args)
+    x_metric, _, y_metric = args.pareto.partition(":")
+    if not x_metric or not y_metric:
+        raise ReproError(f"malformed --pareto {args.pareto!r}; expected X:Y")
+    for metric in (x_metric, y_metric):
+        if metric not in METRICS:
+            # Reject before solving — a bad axis should not cost a sweep.
+            raise ReproError(
+                f"unknown Pareto metric {metric!r}; known: {sorted(METRICS)}"
+            )
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int, result) -> None:
+            status = "cached" if result.from_cache else (
+                "error" if not result.ok else "solved"
+            )
+            print(f"[{done}/{total}] {result.point.label()}: {status}")
+
+    sweep = run_sweep(spec, cache=cache, workers=args.workers, progress=progress)
+
+    print(
+        f"{'workload':<12} {'topology':<10} {'scheme':<17} {'BW':>6}  "
+        f"{'step (ms)':>10}  {'cost ($)':>14}  {'speedup':>8}  {'ppc gain':>8}"
+    )
+    for result in sweep.results:
+        point = result.point
+        prefix = (
+            f"{point.workload_name:<12} {point.topology:<10} "
+            f"{point.scheme.value:<17} {point.total_bw_gbps:>6.0f}"
+        )
+        if not result.ok:
+            print(f"{prefix}  ERROR: {result.error}")
+            continue
+        suffix = " (cached)" if result.from_cache else ""
+        print(
+            f"{prefix}  {result.step_time_ms:>10.3f}  "
+            f"{result.network_cost:>14,.0f}  {result.speedup_over_equal:>7.3f}x "
+            f"{result.ppc_gain_over_equal:>7.3f}x{suffix}"
+        )
+
+    frontier = pareto_frontier(sweep.results, x=x_metric, y=y_metric)
+    print(f"\nPareto frontier ({x_metric} vs {y_metric}): "
+          f"{len(frontier)} of {len(sweep.ok_results())} points")
+    for result in frontier:
+        print(
+            f"  {result.point.label():<50} "
+            f"{x_metric}={result.metric(x_metric):,.3f} "
+            f"{y_metric}={result.metric(y_metric):,.3f}"
+        )
+
+    print(
+        f"\ncache: {sweep.cache_hits} hits / {sweep.cache_misses} misses "
+        f"({sweep.hit_rate:.1%} hit rate), solver calls: {sweep.solver_calls}, "
+        f"errors: {sweep.num_errors}"
+    )
+
+    if args.output:
+        artifact = {
+            "engine_version": ENGINE_VERSION,
+            "spec": spec.to_dict(),
+            "sweep": sweep.to_dict(),
+            "pareto": {
+                "x": x_metric,
+                "y": y_metric,
+                "points": [result.to_dict() for result in frontier],
+            },
+            "summary": [list(row) for row in summary_rows(sweep.results)],
+        }
+        with open(args.output, "w") as handle:
+            json.dump(artifact, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.output}")
+
+    return 2 if sweep.results and sweep.num_errors == len(sweep.results) else 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.runtime import ThemisScheduler
     from repro.simulator import simulate_training_step
@@ -233,6 +410,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "optimize": _cmd_optimize,
     "sweep": _cmd_sweep,
+    "explore": _cmd_explore,
     "simulate": _cmd_simulate,
     "cost": _cmd_cost,
 }

@@ -211,6 +211,36 @@ class ConstraintSet:
     def is_feasible(self, bandwidths: Sequence[float], tolerance: float = 1e-6) -> bool:
         return not self.violations(bandwidths, tolerance)
 
+    def canonical(self) -> dict:
+        """Content-identity payload for hashing and result caching.
+
+        Covers every input the solver reads: box bounds, the linear rows
+        (order-normalized, labels excluded), and the budget. Two constraint
+        sets built through different chains of builder calls hash equally
+        when they describe the same feasible region rows.
+        """
+        rows = sorted(
+            ((list(row.coeffs), row.lower, row.upper) for row in self.rows),
+            key=lambda row: (
+                row[0],
+                row[1] is not None,
+                row[1] or 0.0,
+                row[2] is not None,
+                row[2] or 0.0,
+            ),
+        )
+        return {
+            "num_dims": self.num_dims,
+            "min_bandwidth": self.min_bandwidth,
+            "lower_bounds": [float(b) for b in self._lower_bounds],
+            "upper_bounds": [float(b) for b in self._upper_bounds],
+            "rows": [
+                {"coeffs": coeffs, "lower": lower, "upper": upper}
+                for coeffs, lower, upper in rows
+            ],
+            "total_bandwidth": self.total_bandwidth,
+        }
+
     def equal_split(self) -> np.ndarray:
         """The EqualBW baseline point: the total budget divided evenly.
 

@@ -91,6 +91,37 @@ class DesignPoint:
         """Bandwidths in GB/s for reports."""
         return tuple(b / GBPS for b in self.bandwidths)
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "scheme": self.scheme.value,
+            "bandwidths": list(self.bandwidths),
+            "step_times": dict(self.step_times),
+            "network_cost": self.network_cost,
+            "solver_message": self.solver_message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DesignPoint":
+        """Rebuild a design point from :meth:`to_dict` output."""
+        try:
+            return cls(
+                scheme=Scheme(payload["scheme"]),
+                bandwidths=tuple(float(b) for b in payload["bandwidths"]),
+                step_times={
+                    str(name): float(t)
+                    for name, t in payload["step_times"].items()
+                },
+                network_cost=float(payload["network_cost"]),
+                solver_message=str(payload.get("solver_message", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed design-point payload: {exc}"
+            ) from exc
+
     def describe(self) -> str:
         """One-line summary for logs and benchmark output."""
         bws = ", ".join(f"{b:.1f}" for b in self.bandwidths_gbps())

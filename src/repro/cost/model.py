@@ -81,6 +81,21 @@ class CostModel:
         cost = self.tier_cost(tier).nic
         return 0.0 if cost is None else cost
 
+    def canonical(self) -> dict:
+        """Content-identity payload for hashing and result caching.
+
+        The display ``name`` is excluded: a renamed table with identical
+        prices is the same cost model.
+        """
+        return {
+            "tiers": {
+                tier.value: [cost.link, cost.switch, cost.nic]
+                for tier, cost in sorted(
+                    self.tiers.items(), key=lambda item: item[0].value
+                )
+            }
+        }
+
     def with_link_cost(self, tier: NetworkTier, link: float) -> "CostModel":
         """Copy with one tier's link price replaced (Fig. 18's sweep knob)."""
         if link < 0:

@@ -1,0 +1,119 @@
+"""Content-addressed result cache for design-space exploration.
+
+Results are keyed by :func:`repro.explore.keys.point_key` — a canonical hash
+of everything a solve reads — so a cache entry is valid wherever the same
+question is asked again: re-running a sweep, widening one axis, or two
+different studies sharing cells. The cache is an in-memory map with an
+optional on-disk JSON store (one file per key), so exploration survives
+process restarts and can be shared between CLI invocations.
+
+Only successful solves are cached; error rows are recomputed on the next
+run so transient failures do not get pinned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.utils.errors import ConfigurationError, ReproError
+
+from repro.explore.records import ExplorationResult
+
+#: On-disk wrapper schema version (the solve semantics are versioned in the
+#: key itself via ``keys.ENGINE_VERSION``; this guards the record format).
+STORE_VERSION = 1
+
+
+class ResultCache:
+    """In-memory, optionally disk-backed store of exploration results.
+
+    Args:
+        directory: Where to persist entries as ``<key>.json`` files;
+            ``None`` keeps the cache purely in memory.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self._memory: dict[str, ExplorationResult] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            try:
+                self._directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot create cache directory {self._directory}: {exc}"
+                ) from exc
+
+    @property
+    def directory(self) -> Path | None:
+        return self._directory
+
+    def __len__(self) -> int:
+        if self._directory is None:
+            return len(self._memory)
+        return sum(1 for _ in self._directory.glob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def get(self, key: str) -> ExplorationResult | None:
+        """The cached result for ``key``, or ``None``.
+
+        Unreadable or schema-incompatible disk entries are treated as
+        misses, not errors — a corrupted cache degrades to re-solving.
+        """
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        if self._directory is None:
+            return None
+        path = self._entry_path(key)
+        try:
+            wrapper = json.loads(path.read_text())
+            if not isinstance(wrapper, dict):
+                return None
+            if wrapper.get("store_version") != STORE_VERSION:
+                return None
+            result = ExplorationResult.from_dict(wrapper["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ReproError):
+            return None
+        self._memory[key] = result
+        return result
+
+    def put(self, key: str, result: ExplorationResult) -> None:
+        """Store a successful result under its content address."""
+        if not result.ok:
+            return
+        stored = replace(result, key=key, from_cache=False)
+        self._memory[key] = stored
+        if self._directory is None:
+            return
+        path = self._entry_path(key)
+        wrapper = {"store_version": STORE_VERSION, "result": stored.to_dict()}
+        tmp_path = path.with_suffix(".json.tmp")
+        try:
+            tmp_path.write_text(json.dumps(wrapper, sort_keys=True, indent=1))
+            os.replace(tmp_path, path)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write cache entry {path}: {exc}"
+            ) from exc
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk."""
+        self._memory.clear()
+        if self._directory is None:
+            return
+        for path in self._directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _entry_path(self, key: str) -> Path:
+        assert self._directory is not None
+        return self._directory / f"{key}.json"

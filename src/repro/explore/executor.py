@@ -1,0 +1,166 @@
+"""Sweep execution: cache lookup, parallel solving, deterministic assembly.
+
+:func:`run_sweep` is the engine's entry point. It expands a spec (or takes
+an explicit point list), serves every cell it can from the cache, solves the
+remainder — inline, or fanned out over a ``ProcessPoolExecutor`` — and
+assembles the rows back in grid order, so serial, parallel, and cached runs
+of the same spec are indistinguishable except for wall-clock time.
+
+Failure containment: a cell that cannot be built or solved becomes an error
+row (``ExplorationResult.error`` set), never a sweep abort. Identical cells
+appearing more than once in a grid are solved once and fanned back out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import replace
+
+from repro.core.framework import Libra
+from repro.core.results import Scheme
+from repro.utils.units import gbps
+from repro.workloads.presets import build_workload
+from repro.workloads.workload import Workload
+
+from repro.explore.cache import ResultCache
+from repro.explore.keys import point_constraints, point_key, resolve_topology
+from repro.explore.records import ExplorationResult, SweepResult
+from repro.explore.spec import ExplorationPoint, SweepSpec
+
+#: Called after each resolved cell with (done, total, result).
+ProgressCallback = Callable[[int, int, ExplorationResult], None]
+
+
+def solve_point(point: ExplorationPoint, key: str = "") -> ExplorationResult:
+    """Solve one exploration cell, capturing any failure as an error row."""
+    try:
+        network = resolve_topology(point.topology)
+        if isinstance(point.workload, Workload):
+            workload = point.workload
+        else:
+            workload = build_workload(point.workload, network.num_npus)
+        libra = Libra(network, cost_model=point.cost_model)
+        libra.add_workload(workload)
+        baseline = libra.equal_bw_point(gbps(point.total_bw_gbps))
+        if point.scheme is Scheme.EQUAL_BW:
+            optimized = baseline
+        else:
+            optimized = libra.optimize(
+                point.scheme, point_constraints(point, network.num_dims)
+            )
+        time_cost = optimized.weighted_step_time * optimized.network_cost
+        baseline_time_cost = baseline.weighted_step_time * baseline.network_cost
+        return ExplorationResult(
+            point=point,
+            key=key,
+            bandwidths_gbps=optimized.bandwidths_gbps(),
+            step_times_ms={
+                name: time * 1e3 for name, time in optimized.step_times.items()
+            },
+            network_cost=optimized.network_cost,
+            speedup_over_equal=(
+                baseline.weighted_step_time / optimized.weighted_step_time
+            ),
+            ppc_gain_over_equal=(
+                baseline_time_cost / time_cost if time_cost > 0 else 0.0
+            ),
+            solver_message=optimized.solver_message,
+        )
+    except Exception as exc:  # noqa: BLE001 — error containment is the contract
+        return ExplorationResult(
+            point=point,
+            key=key,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _solve_indexed(key: str, point: ExplorationPoint) -> ExplorationResult:
+    """Top-level worker entry (must be picklable for the process pool)."""
+    return solve_point(point, key=key)
+
+
+def run_sweep(
+    spec: SweepSpec | Iterable[ExplorationPoint],
+    *,
+    cache: ResultCache | None = None,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
+) -> SweepResult:
+    """Run a sweep: cache-serve, solve the rest, return rows in grid order.
+
+    Args:
+        spec: A :class:`SweepSpec` (expanded deterministically) or an
+            explicit sequence of points.
+        cache: Optional result cache; hits skip the solver entirely and
+            fresh solves are stored back.
+        workers: Process-pool width; ``1`` solves inline in this process.
+        progress: Optional callback invoked after each resolved cell with
+            ``(done, total, result)`` — cache hits first, then solves in
+            completion order.
+    """
+    points = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+    total = len(points)
+    results: list[ExplorationResult | None] = [None] * total
+    done = 0
+
+    def resolved(index: int, result: ExplorationResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    # Phase 1 — content-address every cell and serve what the cache knows.
+    # A key failure (bad topology notation, malformed point) is itself an
+    # error row: it would fail identically inside the solver.
+    keys: list[str] = [""] * total
+    pending: dict[str, list[int]] = {}
+    cache_hits = 0
+    for index, point in enumerate(points):
+        try:
+            keys[index] = point_key(point)
+        except Exception as exc:  # noqa: BLE001 — error containment
+            resolved(
+                index,
+                ExplorationResult(
+                    point=point, error=f"{type(exc).__name__}: {exc}"
+                ),
+            )
+            continue
+        cached = cache.get(keys[index]) if cache is not None else None
+        if cached is not None:
+            cache_hits += 1
+            resolved(index, replace(cached, point=point, from_cache=True))
+        else:
+            pending.setdefault(keys[index], []).append(index)
+
+    # Phase 2 — solve each distinct uncached cell once.
+    def install(key: str, result: ExplorationResult) -> None:
+        if cache is not None:
+            cache.put(key, result)
+        for index in pending[key]:
+            resolved(index, replace(result, point=points[index]))
+
+    solver_calls = len(pending)
+    if workers <= 1 or solver_calls <= 1:
+        for key, indices in pending.items():
+            install(key, solve_point(points[indices[0]], key=key))
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, solver_calls)) as pool:
+            futures = {
+                pool.submit(_solve_indexed, key, points[indices[0]]): key
+                for key, indices in pending.items()
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    install(futures[future], future.result())
+
+    assert all(result is not None for result in results)
+    return SweepResult(
+        results=list(results),  # type: ignore[arg-type]
+        cache_hits=cache_hits,
+        solver_calls=solver_calls,
+    )

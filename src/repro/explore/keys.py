@@ -1,0 +1,93 @@
+"""Content-addressed keys for exploration points.
+
+A point's cache key is the SHA-256 digest of a canonical JSON payload
+assembled from the ``canonical()`` hooks of every model object the solve
+reads: the workload, the network (notation + tiers), the constraint set the
+point induces, the cost model, and the scheme. Anything that changes the
+answer changes the key; anything cosmetic (names, labels, axis ordering)
+does not. A version salt invalidates all cached entries when the engine's
+result schema or solve semantics change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.constraints import ConstraintSet
+from repro.cost.model import default_cost_model
+from repro.topology.network import MultiDimNetwork
+from repro.topology.presets import (
+    EVALUATION_TOPOLOGIES,
+    REAL_SYSTEM_TOPOLOGIES,
+    get_topology,
+)
+from repro.utils.units import gbps
+from repro.workloads.workload import Workload
+
+from repro.explore.spec import ExplorationPoint
+
+#: Bump to invalidate every cached exploration result (schema / semantics).
+ENGINE_VERSION = 1
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def digest(payload: object) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON encoding."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def resolve_topology(name_or_notation: str) -> MultiDimNetwork:
+    """A network from a preset name (either registry) or raw notation."""
+    if name_or_notation in EVALUATION_TOPOLOGIES or name_or_notation in REAL_SYSTEM_TOPOLOGIES:
+        return get_topology(name_or_notation)
+    return MultiDimNetwork.from_notation(name_or_notation)
+
+
+def point_constraints(point: ExplorationPoint, num_dims: int) -> ConstraintSet:
+    """The constraint set an exploration point induces on an ``num_dims``-D net.
+
+    Single source of truth: the executor solves under exactly this set and
+    :func:`point_payload` hashes exactly this set, so the cache key can
+    never drift from the problem actually solved.
+    """
+    constraints = ConstraintSet(num_dims).with_total_bandwidth(
+        gbps(point.total_bw_gbps)
+    )
+    for dim, cap in point.dim_caps_gbps:
+        constraints.with_dim_cap(dim, gbps(cap))
+    return constraints
+
+
+def point_payload(point: ExplorationPoint) -> dict:
+    """Canonical content payload of one exploration point.
+
+    Preset workloads hash as ``(preset name, NPU count)`` — the builders are
+    pure functions of that pair — while concrete :class:`Workload` objects
+    hash their full layer-level fingerprint, so custom workloads from files
+    participate in caching too.
+    """
+    network = resolve_topology(point.topology)
+    if isinstance(point.workload, Workload):
+        workload_payload = point.workload.canonical()
+    else:
+        workload_payload = {"preset": point.workload, "num_npus": network.num_npus}
+    cost_model = point.cost_model or default_cost_model()
+    constraints = point_constraints(point, network.num_dims)
+    return {
+        "engine_version": ENGINE_VERSION,
+        "workload": workload_payload,
+        "network": network.canonical(),
+        "constraints": constraints.canonical(),
+        "cost_model": cost_model.canonical(),
+        "scheme": point.scheme.value,
+    }
+
+
+def point_key(point: ExplorationPoint) -> str:
+    """Content address of one exploration point (SHA-256 hex)."""
+    return digest(point_payload(point))

@@ -1,0 +1,142 @@
+"""Pareto-frontier extraction and summary tables over sweep results.
+
+The headline artifacts of a design-space study (paper Figs. 13–18, TopoOpt's
+topology × parallelization frontiers) are two-metric trade-off curves:
+dollar cost vs step time, budget vs speedup, and so on. This module extracts
+non-dominated frontiers over any two named result metrics and builds the
+speedup / perf-per-cost summary rows the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from statistics import mean
+
+from repro.utils.errors import ConfigurationError
+
+from repro.explore.records import METRICS, ExplorationResult
+
+
+def frontier_indices(
+    points: Sequence[tuple[float, float]],
+    minimize_x: bool = True,
+    minimize_y: bool = True,
+) -> list[int]:
+    """Indices of the non-dominated points, sorted by the x metric.
+
+    A point is dominated when another point is at least as good on both
+    metrics and strictly better on one; coincident points survive together.
+
+    >>> frontier_indices([(1.0, 3.0), (2.0, 1.0), (2.0, 4.0), (3.0, 2.0)])
+    [0, 1]
+    """
+
+    def oriented(value: float, minimize: bool) -> float:
+        return value if minimize else -value
+
+    normalized = [
+        (oriented(x, minimize_x), oriented(y, minimize_y)) for x, y in points
+    ]
+    keep = []
+    for index, (x, y) in enumerate(normalized):
+        dominated = any(
+            (ox <= x and oy < y) or (ox < x and oy <= y)
+            for ox, oy in normalized
+        )
+        if not dominated:
+            keep.append(index)
+    keep.sort(key=lambda i: (normalized[i][0], normalized[i][1]))
+    return keep
+
+
+def pareto_frontier(
+    results: Iterable[ExplorationResult],
+    x: str = "network_cost",
+    y: str = "step_time_ms",
+    minimize_x: bool = True,
+    minimize_y: bool = True,
+) -> list[ExplorationResult]:
+    """The non-dominated sweep rows over two named metrics.
+
+    Error rows are excluded — a failed solve has no coordinates. Metric
+    names come from :data:`repro.explore.records.METRICS`.
+    """
+    if x not in METRICS or y not in METRICS:
+        raise ConfigurationError(
+            f"unknown Pareto metrics ({x!r}, {y!r}); known: {sorted(METRICS)}"
+        )
+    candidates = [result for result in results if result.ok]
+    coordinates = [(r.metric(x), r.metric(y)) for r in candidates]
+    return [
+        candidates[i] for i in frontier_indices(coordinates, minimize_x, minimize_y)
+    ]
+
+
+def summary_rows(
+    results: Iterable[ExplorationResult],
+) -> list[tuple[str, str, str, float, float, float, float]]:
+    """Per-(workload, topology, scheme) aggregate rows across budgets.
+
+    Each row is ``(workload, topology, scheme, mean speedup, max speedup,
+    mean ppc gain, max ppc gain)`` over the EqualBW baseline — the numbers
+    the paper quotes as panel headlines.
+    """
+    groups: dict[tuple[str, str, str], list[ExplorationResult]] = {}
+    for result in results:
+        if not result.ok:
+            continue
+        key = (
+            result.point.workload_name,
+            result.point.topology,
+            result.point.scheme.value,
+        )
+        groups.setdefault(key, []).append(result)
+    rows = []
+    for (workload, topology, scheme), members in groups.items():
+        speedups = [r.speedup_over_equal for r in members]
+        gains = [r.ppc_gain_over_equal for r in members]
+        rows.append(
+            (
+                workload,
+                topology,
+                scheme,
+                mean(speedups),
+                max(speedups),
+                mean(gains),
+                max(gains),
+            )
+        )
+    return rows
+
+
+def best_per_budget(
+    results: Iterable[ExplorationResult],
+    metric: str = "step_time_ms",
+    minimize: bool = True,
+) -> dict[float, ExplorationResult]:
+    """The winning row at each bandwidth budget, by a named metric.
+
+    Useful for "which (workload, topology, scheme) wins at 500 GB/s"
+    questions across a heterogeneous sweep.
+    """
+    if metric not in METRICS:
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; known: {sorted(METRICS)}"
+        )
+    winners: dict[float, ExplorationResult] = {}
+    for result in results:
+        if not result.ok:
+            continue
+        budget = result.point.total_bw_gbps
+        incumbent = winners.get(budget)
+        if incumbent is None:
+            winners[budget] = result
+            continue
+        better = (
+            result.metric(metric) < incumbent.metric(metric)
+            if minimize
+            else result.metric(metric) > incumbent.metric(metric)
+        )
+        if better:
+            winners[budget] = result
+    return dict(sorted(winners.items()))

@@ -175,6 +175,20 @@ class MultiDimNetwork:
             peers.append(self.npu_id_of(tuple(coords)))
         return peers
 
+    # -- serialization -------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """Content-identity payload for hashing and result caching.
+
+        Two networks with the same shape and tier assignment produce the same
+        payload regardless of their display ``name``, so cached exploration
+        results survive renames but never collide across distinct fabrics.
+        """
+        return {
+            "notation": self.notation,
+            "tiers": [tier.value for tier in self.tiers],
+        }
+
     # -- misc ---------------------------------------------------------------
 
     def scaled_last_dim(self, new_size: int, name: str = "") -> "MultiDimNetwork":

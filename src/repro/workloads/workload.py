@@ -79,6 +79,49 @@ class Workload:
                 pairs.append((layer, comm))
         return pairs
 
+    def canonical(self) -> dict:
+        """Content-identity payload for hashing and result caching.
+
+        Captures everything the training-time model reads — layer compute,
+        per-collective payloads, the parallelization degrees, and the
+        datatype — as a JSON-stable dict. Display-only metadata (comm
+        labels) is excluded so round-tripping the text format preserves
+        identity.
+        """
+        return {
+            "name": self.name,
+            "parallelism": {
+                "tp": self.parallelism.tp,
+                "dp": self.parallelism.dp,
+                "pp": self.parallelism.pp,
+            },
+            "dtype_bytes": self.dtype_bytes,
+            "layers": [
+                {
+                    "name": layer.name,
+                    "fwd_compute_flops": layer.fwd_compute_flops,
+                    "tp_compute_flops": layer.tp_compute_flops,
+                    "dp_compute_flops": layer.dp_compute_flops,
+                    "param_count": layer.param_count,
+                    "comms": [
+                        [
+                            phase,
+                            comm.scope.value,
+                            comm.kind.value,
+                            comm.size_bytes,
+                        ]
+                        for phase, comms in (
+                            ("fwd", layer.fwd_comms),
+                            ("tp", layer.tp_comms),
+                            ("dp", layer.dp_comms),
+                        )
+                        for comm in comms
+                    ],
+                }
+                for layer in self.layers
+            ],
+        }
+
     def with_parallelism(self, parallelism: Parallelism) -> "Workload":
         """Shallow re-tag with a different strategy.
 

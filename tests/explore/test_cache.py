@@ -1,0 +1,100 @@
+"""Result cache: memory/disk round trips, corruption tolerance."""
+
+import json
+
+import pytest
+
+from repro.core import Scheme
+from repro.explore import ExplorationPoint, ExplorationResult, ResultCache
+from repro.explore.cache import STORE_VERSION
+
+
+def _result(error: str = "", key: str = "k" * 64) -> ExplorationResult:
+    return ExplorationResult(
+        point=ExplorationPoint("Turing-NLG", "RI(3)_RI(2)", 100.0, Scheme.PERF_OPT),
+        key=key,
+        bandwidths_gbps=(80.0, 20.0),
+        step_times_ms={"Turing-NLG": 1480.5},
+        network_cost=6648.0,
+        speedup_over_equal=1.023,
+        ppc_gain_over_equal=2.003,
+        error=error,
+    )
+
+
+class TestMemoryCache:
+    def test_put_get_roundtrip(self):
+        cache = ResultCache()
+        result = _result()
+        cache.put(result.key, result)
+        hit = cache.get(result.key)
+        assert hit is not None
+        assert hit.to_dict() == result.to_dict()
+        assert len(cache) == 1
+        assert result.key in cache
+
+    def test_miss(self):
+        assert ResultCache().get("0" * 64) is None
+
+    def test_error_rows_not_cached(self):
+        cache = ResultCache()
+        failed = _result(error="MappingError: nope")
+        cache.put(failed.key, failed)
+        assert cache.get(failed.key) is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("a" * 64, _result(key="a" * 64))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestDiskCache:
+    def test_survives_process_boundary(self, tmp_path):
+        result = _result()
+        ResultCache(tmp_path / "cache").put(result.key, result)
+        # Fresh instance = fresh process in miniature.
+        reopened = ResultCache(tmp_path / "cache")
+        hit = reopened.get(result.key)
+        assert hit is not None
+        assert hit.to_dict() == result.to_dict()
+        assert len(reopened) == 1
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = _result()
+        cache.put(result.key, result)
+        (tmp_path / "cache" / f"{result.key}.json").write_text("{broken")
+        assert ResultCache(tmp_path / "cache").get(result.key) is None
+
+    @pytest.mark.parametrize("content", ["null", "[]", '"a string"', "42"])
+    def test_non_object_json_entry_is_a_miss(self, tmp_path, content):
+        cache = ResultCache(tmp_path / "cache")
+        result = _result()
+        cache.put(result.key, result)
+        (tmp_path / "cache" / f"{result.key}.json").write_text(content)
+        assert ResultCache(tmp_path / "cache").get(result.key) is None
+
+    def test_store_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = _result()
+        cache.put(result.key, result)
+        path = tmp_path / "cache" / f"{result.key}.json"
+        wrapper = json.loads(path.read_text())
+        assert wrapper["store_version"] == STORE_VERSION
+        wrapper["store_version"] = STORE_VERSION + 1
+        path.write_text(json.dumps(wrapper))
+        assert ResultCache(tmp_path / "cache").get(result.key) is None
+
+    def test_clear_removes_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = _result()
+        cache.put(result.key, result)
+        cache.clear()
+        assert list((tmp_path / "cache").glob("*.json")) == []
+        assert ResultCache(tmp_path / "cache").get(result.key) is None
+
+    def test_creates_directory(self, tmp_path):
+        ResultCache(tmp_path / "deep" / "cache")
+        assert (tmp_path / "deep" / "cache").is_dir()

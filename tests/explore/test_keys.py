@@ -1,0 +1,125 @@
+"""Content addressing: canonical hooks and point keys."""
+
+import pytest
+
+from repro.core import ConstraintSet, Scheme
+from repro.cost import default_cost_model
+from repro.explore import ExplorationPoint, canonical_json, point_key, point_payload
+from repro.topology import MultiDimNetwork, get_topology
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+from repro.workloads import build_workload
+
+
+def _point(**overrides):
+    base = dict(
+        workload="Turing-NLG",
+        topology="RI(3)_RI(2)",
+        total_bw_gbps=100.0,
+        scheme=Scheme.PERF_OPT,
+    )
+    base.update(overrides)
+    return ExplorationPoint(**base)
+
+
+class TestCanonicalHooks:
+    def test_network_canonical_ignores_name(self):
+        named = MultiDimNetwork.from_notation("RI(4)_RI(4)_RI(4)", name="my-torus")
+        preset = get_topology("3D-Torus")
+        assert named.canonical() == preset.canonical()
+
+    def test_network_canonical_carries_tiers(self):
+        payload = get_topology("4D-4K").canonical()
+        assert payload["notation"] == "RI(4)_FC(8)_RI(4)_SW(32)"
+        assert payload["tiers"] == ["chiplet", "package", "node", "pod"]
+
+    def test_constraints_canonical_order_normalized(self):
+        a = (
+            ConstraintSet(3)
+            .with_total_bandwidth(gbps(100))
+            .with_linear([1.0, 1.0, 0.0], upper=gbps(80), label="x")
+        )
+        b = (
+            ConstraintSet(3)
+            .with_linear([1.0, 1.0, 0.0], upper=gbps(80), label="y")
+            .with_total_bandwidth(gbps(100))
+        )
+        assert a.canonical() == b.canonical()
+
+    def test_cost_model_canonical_ignores_name(self):
+        model = default_cost_model()
+        renamed = type(model)(tiers=model.tiers, name="renamed")
+        assert model.canonical() == renamed.canonical()
+
+    def test_workload_canonical_is_stable_and_sensitive(self):
+        a = build_workload("Turing-NLG", 6)
+        b = build_workload("Turing-NLG", 6)
+        assert canonical_json(a.canonical()) == canonical_json(b.canonical())
+        bigger = build_workload("Turing-NLG", 12)
+        assert canonical_json(a.canonical()) != canonical_json(bigger.canonical())
+
+
+class TestPointKey:
+    def test_deterministic(self):
+        assert point_key(_point()) == point_key(_point())
+
+    def test_preset_and_notation_agree(self):
+        # A preset topology and its raw notation are the same question.
+        assert point_key(
+            _point(topology="3D-Torus", workload="Turing-NLG")
+        ) == point_key(
+            _point(topology="RI(4)_RI(4)_RI(4)", workload="Turing-NLG")
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"total_bw_gbps": 200.0},
+            {"scheme": Scheme.PERF_PER_COST_OPT},
+            {"topology": "RI(2)_RI(3)"},
+            {"workload": "DLRM"},
+            {"dim_caps_gbps": ((1, 40),)},
+        ],
+    )
+    def test_every_axis_changes_the_key(self, override):
+        assert point_key(_point()) != point_key(_point(**override))
+
+    def test_cost_model_changes_the_key(self):
+        from repro.topology.network import NetworkTier
+
+        pricier = default_cost_model().with_link_cost(NetworkTier.POD, 99.0)
+        assert point_key(_point()) != point_key(_point(cost_model=pricier))
+
+    def test_workload_object_key_stable(self):
+        workload = build_workload("Turing-NLG", 6)
+        point = _point(workload=workload)
+        assert point_key(point) == point_key(_point(workload=build_workload("Turing-NLG", 6)))
+
+    def test_payload_shape(self):
+        payload = point_payload(_point())
+        assert set(payload) == {
+            "engine_version", "workload", "network", "constraints",
+            "cost_model", "scheme",
+        }
+        # The payload must be JSON-stable (the key is its digest).
+        assert canonical_json(payload) == canonical_json(payload)
+
+
+class TestDesignPointSerialization:
+    def test_roundtrip(self):
+        from repro.core import DesignPoint
+
+        point = DesignPoint(
+            scheme=Scheme.PERF_OPT,
+            bandwidths=(gbps(80.0), gbps(20.0)),
+            step_times={"Turing-NLG": 1.5},
+            network_cost=6648.0,
+            solver_message="ok",
+        )
+        assert DesignPoint.from_dict(point.to_dict()) == point
+
+    def test_malformed_payload(self):
+        from repro.core import DesignPoint
+
+        with pytest.raises(ConfigurationError, match="malformed design-point"):
+            DesignPoint.from_dict({"scheme": "PerfOptBW"})

@@ -1,0 +1,136 @@
+"""Pareto extraction and summary tables on hand-checked fixtures."""
+
+import pytest
+
+from repro.core import Scheme
+from repro.explore import (
+    ExplorationPoint,
+    ExplorationResult,
+    best_per_budget,
+    frontier_indices,
+    pareto_frontier,
+    summary_rows,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def _row(
+    bw: float,
+    cost: float,
+    step_ms: float,
+    speedup: float = 1.0,
+    ppc: float = 1.0,
+    workload: str = "W",
+    topology: str = "T",
+    scheme: Scheme = Scheme.PERF_OPT,
+    error: str = "",
+) -> ExplorationResult:
+    return ExplorationResult(
+        point=ExplorationPoint(workload, topology, bw, scheme),
+        key="k",
+        bandwidths_gbps=(bw / 2, bw / 2),
+        step_times_ms={workload: step_ms},
+        network_cost=cost,
+        speedup_over_equal=speedup,
+        ppc_gain_over_equal=ppc,
+        error=error,
+    )
+
+
+class TestFrontierIndices:
+    def test_hand_checked_min_min(self):
+        #   y
+        #   4 |     c
+        #   3 | a
+        #   2 |        d
+        #   1 |    b
+        #     +-1--2--3--- x
+        # Frontier: a (cheapest x) and b (dominates c and d on y at x=2).
+        points = [(1.0, 3.0), (2.0, 1.0), (2.0, 4.0), (3.0, 2.0)]
+        assert frontier_indices(points) == [0, 1]
+
+    def test_single_point(self):
+        assert frontier_indices([(5.0, 5.0)]) == [0]
+
+    def test_empty(self):
+        assert frontier_indices([]) == []
+
+    def test_coincident_points_both_survive(self):
+        assert frontier_indices([(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]) == [0, 1]
+
+    def test_maximize_orientation(self):
+        # Maximizing y: the frontier flips to the high-y points.
+        points = [(1.0, 3.0), (2.0, 1.0), (2.0, 4.0), (3.0, 2.0)]
+        assert frontier_indices(points, minimize_y=False) == [0, 2]
+
+    def test_monotone_chain_is_fully_kept(self):
+        points = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        assert frontier_indices(points) == [0, 1, 2, 3]
+
+
+class TestParetoFrontier:
+    def test_cost_vs_time(self):
+        rows = [
+            _row(100, cost=1000, step_ms=30.0),
+            _row(200, cost=2000, step_ms=20.0),
+            _row(300, cost=3000, step_ms=25.0),  # dominated by the 200 row
+            _row(400, cost=4000, step_ms=10.0),
+        ]
+        frontier = pareto_frontier(rows, x="network_cost", y="step_time_ms")
+        assert [r.point.total_bw_gbps for r in frontier] == [100, 200, 400]
+
+    def test_error_rows_excluded(self):
+        rows = [
+            _row(100, cost=1000, step_ms=30.0),
+            _row(200, cost=1.0, step_ms=1.0, error="boom"),
+        ]
+        frontier = pareto_frontier(rows)
+        assert len(frontier) == 1 and frontier[0].ok
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError, match="unknown Pareto metrics"):
+            pareto_frontier([_row(100, 1000, 30.0)], x="latency", y="step_time_ms")
+
+    def test_metric_lookup_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            _row(100, 1000, 30.0).metric("latency")
+
+
+class TestSummaries:
+    def test_summary_rows(self):
+        rows = [
+            _row(100, 1000, 30.0, speedup=1.2, ppc=2.0),
+            _row(200, 2000, 20.0, speedup=1.4, ppc=4.0),
+            _row(100, 1000, 40.0, speedup=1.1, ppc=3.0, scheme=Scheme.PERF_PER_COST_OPT),
+            _row(100, 1000, 10.0, error="boom"),
+        ]
+        summary = {(w, t, s): stats for w, t, s, *stats in summary_rows(rows)}
+        assert summary[("W", "T", "PerfOptBW")] == pytest.approx([1.3, 1.4, 3.0, 4.0])
+        assert summary[("W", "T", "PerfPerCostOptBW")] == pytest.approx(
+            [1.1, 1.1, 3.0, 3.0]
+        )
+
+    def test_best_per_budget(self):
+        rows = [
+            _row(100, 1000, 30.0, topology="T1"),
+            _row(100, 1000, 25.0, topology="T2"),
+            _row(200, 2000, 20.0, topology="T1"),
+            _row(200, 2000, 22.0, topology="T2"),
+            _row(200, 1.0, 1.0, topology="T3", error="boom"),
+        ]
+        winners = best_per_budget(rows, metric="step_time_ms")
+        assert list(winners) == [100.0, 200.0]
+        assert winners[100.0].point.topology == "T2"
+        assert winners[200.0].point.topology == "T1"
+
+    def test_best_per_budget_maximize(self):
+        rows = [
+            _row(100, 1000, 30.0, speedup=1.2, topology="T1"),
+            _row(100, 1000, 25.0, speedup=1.5, topology="T2"),
+        ]
+        winners = best_per_budget(rows, metric="speedup", minimize=False)
+        assert winners[100.0].point.topology == "T2"
+
+    def test_best_per_budget_unknown_metric(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            best_per_budget([_row(100, 1000, 30.0)], metric="latency")

@@ -1,0 +1,97 @@
+"""Result records: serialization round trips and sweep lookups."""
+
+import pytest
+
+from repro.core import Scheme
+from repro.explore import ExplorationPoint, ExplorationResult, SweepResult
+from repro.utils.errors import ConfigurationError
+
+
+def _result(workload="W", topology="T", bw=100.0, scheme=Scheme.PERF_OPT):
+    return ExplorationResult(
+        point=ExplorationPoint(workload, topology, bw, scheme),
+        key="abc123",
+        bandwidths_gbps=(60.0, 40.0),
+        step_times_ms={workload: 12.5},
+        network_cost=5000.0,
+        speedup_over_equal=1.25,
+        ppc_gain_over_equal=2.5,
+        solver_message="converged",
+    )
+
+
+class TestExplorationResult:
+    def test_dict_roundtrip(self):
+        result = _result()
+        rebuilt = ExplorationResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_error_row_roundtrip(self):
+        failed = ExplorationResult(
+            point=ExplorationPoint("W", "T", 100.0, Scheme.PERF_OPT),
+            error="MappingError: nope",
+        )
+        rebuilt = ExplorationResult.from_dict(failed.to_dict())
+        assert not rebuilt.ok
+        assert rebuilt.error == failed.error
+
+    def test_malformed_payload(self):
+        with pytest.raises(ConfigurationError, match="malformed exploration-result"):
+            ExplorationResult.from_dict({"key": "x"})
+
+    def test_metrics(self):
+        result = _result()
+        assert result.metric("total_bw_gbps") == 100.0
+        assert result.metric("step_time_ms") == pytest.approx(12.5)
+        assert result.metric("network_cost") == 5000.0
+        assert result.metric("speedup") == 1.25
+        assert result.metric("ppc_gain") == 2.5
+
+
+class TestSweepResult:
+    def _sweep(self) -> SweepResult:
+        return SweepResult(
+            results=[
+                _result("A", "T1", 100.0),
+                _result("A", "T1", 200.0),
+                _result("B", "T1", 100.0, scheme=Scheme.PERF_PER_COST_OPT),
+            ],
+            cache_hits=1,
+            solver_calls=2,
+        )
+
+    def test_counters(self):
+        sweep = self._sweep()
+        assert sweep.cache_misses == 2
+        assert sweep.hit_rate == pytest.approx(1 / 3)
+        assert sweep.num_errors == 0
+        assert len(sweep.ok_results()) == 3
+
+    def test_get_by_coordinates(self):
+        sweep = self._sweep()
+        row = sweep.get(workload="A", total_bw_gbps=200)
+        assert row.point.total_bw_gbps == 200.0
+        row = sweep.get(scheme="perf-per-cost")
+        assert row.point.workload_name == "B"
+
+    def test_get_requires_uniqueness(self):
+        sweep = self._sweep()
+        with pytest.raises(ConfigurationError, match="found 2"):
+            sweep.get(workload="A")
+        with pytest.raises(ConfigurationError, match="found 0"):
+            sweep.get(workload="C")
+
+    def test_filter(self):
+        sweep = self._sweep()
+        assert len(sweep.filter(topology="T1")) == 3
+        assert len(sweep.filter(workload="A", scheme=Scheme.PERF_OPT)) == 2
+        assert sweep.filter(workload="C") == []
+
+    def test_empty_sweep_hit_rate(self):
+        assert SweepResult(results=[]).hit_rate == 0.0
+
+    def test_to_dict(self):
+        payload = self._sweep().to_dict()
+        assert payload["cache_hits"] == 1
+        assert payload["solver_calls"] == 2
+        assert len(payload["results"]) == 3

@@ -1,0 +1,144 @@
+"""Sweep specification: grid expansion, validation, spec files."""
+
+import json
+
+import pytest
+
+from repro.core import Scheme
+from repro.explore import ExplorationPoint, SweepSpec, load_sweep_spec, resolve_scheme
+from repro.utils.errors import ConfigurationError
+from repro.workloads import build_workload
+
+
+class TestResolveScheme:
+    def test_aliases(self):
+        assert resolve_scheme("perf") is Scheme.PERF_OPT
+        assert resolve_scheme("perf-per-cost") is Scheme.PERF_PER_COST_OPT
+        assert resolve_scheme("equal") is Scheme.EQUAL_BW
+
+    def test_enum_passthrough_and_value(self):
+        assert resolve_scheme(Scheme.PERF_OPT) is Scheme.PERF_OPT
+        assert resolve_scheme("PerfOptBW") is Scheme.PERF_OPT
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            resolve_scheme("fastest")
+
+
+class TestExplorationPoint:
+    def test_normalizes_numbers(self):
+        point = ExplorationPoint(
+            workload="GPT-3",
+            topology="4D-4K",
+            total_bw_gbps=500,
+            scheme=Scheme.PERF_OPT,
+            dim_caps_gbps=((3, 50),),
+        )
+        assert point.total_bw_gbps == 500.0
+        assert point.dim_caps_gbps == ((3, 50.0),)
+        assert point.workload_name == "GPT-3"
+        assert "GPT-3" in point.label() and "PerfOptBW" in point.label()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            ExplorationPoint("GPT-3", "4D-4K", 0.0, Scheme.PERF_OPT)
+
+    def test_dict_roundtrip(self):
+        point = ExplorationPoint(
+            "GPT-3", "4D-4K", 500.0, Scheme.PERF_PER_COST_OPT,
+            dim_caps_gbps=((3, 50.0),),
+        )
+        assert ExplorationPoint.from_dict(point.to_dict()) == point
+
+    def test_workload_object(self):
+        workload = build_workload("Turing-NLG", 6)
+        point = ExplorationPoint(workload, "RI(3)_RI(2)", 100.0, Scheme.PERF_OPT)
+        assert point.workload_name == "Turing-NLG"
+        assert point.to_dict()["workload"] == "Turing-NLG"
+
+
+class TestSweepSpec:
+    def test_grid_size_and_order(self):
+        spec = SweepSpec(
+            workloads=("A", "B"),
+            topologies=("T1", "T2"),
+            bandwidths_gbps=(100, 200),
+            schemes=("perf", "equal"),
+        )
+        points = spec.expand()
+        assert spec.num_points == len(points) == 16
+        # Workload-major, scheme varying fastest.
+        assert [p.workload for p in points[:4]] == ["A"] * 4
+        assert [p.scheme for p in points[:2]] == [Scheme.PERF_OPT, Scheme.EQUAL_BW]
+        assert points[0].total_bw_gbps == 100.0 and points[2].total_bw_gbps == 200.0
+        # Expansion is deterministic.
+        assert points == spec.expand()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="workloads"):
+            SweepSpec(workloads=(), topologies=("T",), bandwidths_gbps=(100,))
+        with pytest.raises(ConfigurationError, match="bandwidths"):
+            SweepSpec(workloads=("A",), topologies=("T",), bandwidths_gbps=())
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            SweepSpec(workloads=("A",), topologies=("T",), bandwidths_gbps=(100, -5))
+
+    def test_caps_propagate_to_points(self):
+        spec = SweepSpec(
+            workloads=("A",),
+            topologies=("T",),
+            bandwidths_gbps=(100,),
+            dim_caps_gbps=((2, 50),),
+        )
+        assert spec.expand()[0].dim_caps_gbps == ((2, 50.0),)
+
+    def test_dict_roundtrip(self):
+        spec = SweepSpec(
+            workloads=("GPT-3", "Turing-NLG"),
+            topologies=("3D-4K",),
+            bandwidths_gbps=(100.0, 500.0),
+            schemes=(Scheme.PERF_OPT,),
+            dim_caps_gbps=((1, 25.0),),
+        )
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestSpecFile:
+    def test_load(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "workloads": ["GPT-3"],
+            "topologies": ["4D-4K", "3D-4K"],
+            "bandwidths_gbps": [100, 500],
+            "schemes": ["perf", "perf-per-cost"],
+            "dim_caps_gbps": {"3": 50},
+        }))
+        spec = load_sweep_spec(path)
+        assert spec.num_points == 8
+        assert spec.dim_caps_gbps == ((3, 50.0),)
+
+    def test_missing_required_field(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"workloads": ["GPT-3"]}))
+        with pytest.raises(ConfigurationError, match="missing 'topologies'"):
+            load_sweep_spec(path)
+
+    def test_unknown_field(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "workloads": ["GPT-3"], "topologies": ["4D-4K"],
+            "bandwidths_gbps": [100], "bandwidth": [1],
+        }))
+        with pytest.raises(ConfigurationError, match="unknown sweep-spec fields"):
+            load_sweep_spec(path)
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_sweep_spec(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_sweep_spec(tmp_path / "nope.json")

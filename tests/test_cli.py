@@ -116,6 +116,97 @@ class TestSweep:
         assert "200" in out and "600" in out
 
 
+class TestExplore:
+    ARGS = [
+        "explore",
+        "--workload", "Turing-NLG",
+        "--topology", "RI(3)_RI(2)",
+        "--bw", "100",
+        "--bw", "300",
+        "--scheme", "perf",
+    ]
+
+    def test_grid_runs_and_writes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(self.ARGS + ["--output", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "solver calls: 2" in out
+        import json
+
+        artifact = json.loads(out_path.read_text())
+        assert len(artifact["sweep"]["results"]) == 2
+        assert artifact["pareto"]["x"] == "network_cost"
+        assert artifact["sweep"]["num_errors"] == 0
+
+    def test_cached_rerun_reports_all_hits(self, tmp_path, capsys):
+        cache_args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(cache_args) == 0
+        capsys.readouterr()
+        assert main(cache_args) == 0
+        out = capsys.readouterr().out
+        assert "100.0% hit rate" in out
+        assert "solver calls: 0" in out
+        assert "(cached)" in out
+
+    def test_spec_file(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps({
+            "workloads": ["Turing-NLG"],
+            "topologies": ["RI(3)_RI(2)"],
+            "bandwidths_gbps": [100],
+        }))
+        code = main(["explore", "--spec", str(spec_path), "--progress"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[1/1]" in out and "solved" in out
+
+    def test_parallel_workers(self, capsys):
+        assert main(self.ARGS + ["--workers", "2"]) == 0
+        assert "solver calls: 2" in capsys.readouterr().out
+
+    def test_error_rows_do_not_abort(self, capsys):
+        # GPT-3 cannot map onto 6 NPUs: its rows error, the sweep continues.
+        code = main(self.ARGS + ["--workload", "GPT-3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ERROR: MappingError" in out
+        assert "errors: 2" in out
+
+    def test_all_errors_exit_nonzero(self, capsys):
+        code = main([
+            "explore",
+            "--workload", "GPT-3",
+            "--topology", "RI(3)_RI(2)",
+            "--bw", "100",
+        ])
+        assert code == 2
+
+    def test_missing_axes_is_clean_error(self, capsys):
+        assert main(["explore", "--workload", "GPT-3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_spec_plus_axis_flags_is_clean_error(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps({
+            "workloads": ["Turing-NLG"],
+            "topologies": ["RI(3)_RI(2)"],
+            "bandwidths_gbps": [100],
+        }))
+        # Flags alongside --spec would be silently ignored; reject instead.
+        assert main(["explore", "--spec", str(spec_path), "--bw", "999"]) == 2
+        assert "replaces the axis flags" in capsys.readouterr().err
+
+    def test_malformed_pareto_is_clean_error(self, capsys):
+        assert main(self.ARGS + ["--pareto", "network_cost"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSimulate:
     def test_simulation(self, capsys):
         code = main(
