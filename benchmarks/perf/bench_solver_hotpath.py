@@ -1,0 +1,90 @@
+"""Solver hot-path microbenchmark: vectorized kernel vs closure path.
+
+Times one end-to-end ``PerfOptBW`` and ``PerfPerCostOptBW`` solve at
+GPT-3 scale (GPT-3 on 4D-4K, 4,096 NPUs, 500 GB/s budget by default)
+through both solver kernels, verifies they return the same design points,
+and writes a ``BENCH_solver.json`` artifact. The PerfPerCost row is the
+headline number: the vectorized kernel's target is ≥ 3× over the
+pre-vectorization closure path.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_solver_hotpath.py
+    PYTHONPATH=src python benchmarks/perf/bench_solver_hotpath.py --group
+    PYTHONPATH=src python benchmarks/perf/bench_solver_hotpath.py \
+        --min-speedup 3.0
+
+Exit status: 1 on solver-equivalence drift or an unmet ``--min-speedup``
+floor, 0 otherwise. (``repro bench`` is the packaged equivalent; this
+script exists so the perf trajectory can be measured without installing.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perfbench.harness import (
+    BenchConfig,
+    BenchEquivalenceError,
+    format_report,
+    run_benchmarks,
+    write_artifact,
+)
+from repro.workloads.presets import workload_names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", action="append", default=[],
+                        help="workload(s); repeat for a group (default GPT-3)")
+    parser.add_argument("--topology", default="4D-4K")
+    parser.add_argument("--total-bw", type=float, default=500.0,
+                        help="budget in GB/s (default 500)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N repetitions (default 5)")
+    parser.add_argument("--group", action="store_true",
+                        help="benchmark the full Table-II group objective "
+                             "(hundreds of epigraph constraints)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail if the PerfPerCost cold speedup is below "
+                             "this (default 0 = report only)")
+    parser.add_argument("--output", default="BENCH_solver.json")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(args.workload) or (
+        tuple(workload_names()) if args.group else ("GPT-3",)
+    )
+    config = BenchConfig(
+        workloads=workloads,
+        topology=args.topology,
+        total_bw_gbps=args.total_bw,
+        repeats=args.repeats,
+        label="group" if args.group else "hotpath",
+    )
+    try:
+        artifact = run_benchmarks(config)
+    except BenchEquivalenceError as exc:
+        print(f"EQUIVALENCE DRIFT: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(artifact))
+    write_artifact(args.output, artifact)
+    print(f"wrote {args.output}")
+
+    if args.min_speedup > 0:
+        ppc = next(
+            bench for bench in artifact["benchmarks"]
+            if bench["name"] == "solver_perf_per_cost"
+        )
+        if ppc["speedup_cold"] < args.min_speedup:
+            print(
+                f"FAIL: PerfPerCost speedup {ppc['speedup_cold']:.2f}x "
+                f"< floor {args.min_speedup:g}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ Drives the Fig. 3 pipeline from the shell::
     repro-libra simulate --topology 4D-4K --workload GPT-3 \\
         --bandwidths 225,138,104,33 --themis
     repro-libra cost --topology 4D-4K --bandwidths 125,125,125,125
+    repro-libra bench --workload GPT-3 --topology 4D-4K --total-bw 500 \\
+        --output BENCH_solver.json
+    repro-libra bench --quick
 
 Bandwidths are GB/s on the command line (converted at the boundary; the
 library itself is bytes/s throughout).
@@ -145,6 +148,37 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument(
         "--bandwidths", required=True,
         help="comma-separated per-dimension bandwidths, GB/s",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="performance microbenchmarks: solver kernels, memoization, "
+             "sweep engine (writes BENCH_solver.json)",
+    )
+    bench.add_argument(
+        "--workload", action="append", default=[], metavar="NAME",
+        help="workload(s) for the solver hot path (default: GPT-3; "
+             "repeat for a group objective)",
+    )
+    bench.add_argument(
+        "--topology", default="4D-4K", help="target topology (default 4D-4K)"
+    )
+    bench.add_argument(
+        "--total-bw", type=float, default=500.0,
+        help="bandwidth budget in GB/s (default 500)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N timing repetitions (default 3)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="seconds-scale smoke configuration (Turing-NLG on 3D-512), "
+             "overrides the other target flags",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_solver.json", metavar="FILE",
+        help="artifact path (default BENCH_solver.json)",
     )
     return parser
 
@@ -405,6 +439,38 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perfbench import (
+        BenchConfig,
+        format_report,
+        quick_config,
+        run_benchmarks,
+        write_artifact,
+    )
+    from repro.perfbench.harness import BenchEquivalenceError
+
+    if args.quick:
+        config = quick_config()
+    else:
+        config = BenchConfig(
+            workloads=tuple(args.workload) or ("GPT-3",),
+            topology=args.topology,
+            total_bw_gbps=args.total_bw,
+            repeats=args.repeats,
+        )
+    try:
+        artifact = run_benchmarks(config)
+    except BenchEquivalenceError as exc:
+        # Equivalence drift is the one failure CI must catch; no artifact
+        # is written because the numbers cannot be trusted.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    print(format_report(artifact))
+    write_artifact(args.output, artifact)
+    print(f"wrote {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "topologies": _cmd_topologies,
     "workloads": _cmd_workloads,
@@ -413,6 +479,7 @@ _COMMANDS = {
     "explore": _cmd_explore,
     "simulate": _cmd_simulate,
     "cost": _cmd_cost,
+    "bench": _cmd_bench,
 }
 
 

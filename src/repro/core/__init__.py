@@ -15,15 +15,29 @@ from repro.core.constraints import (
     ConstraintSet,
     LinearConstraint,
 )
-from repro.training.expr import CommTerm, Const, Expr, MaxExpr, Sum, count_nodes, simplify
+from repro.training.expr import (
+    CommTerm,
+    Const,
+    Expr,
+    MaxExpr,
+    Sum,
+    VectorEvaluator,
+    count_nodes,
+    simplify,
+    vector_evaluator,
+)
 from repro.core.framework import Libra
 from repro.core.group import GroupStudyResult, run_group_study
+from repro.core.kernel import HAS_FAST_SLSQP, ConstraintBlocks, KernelResult
 from repro.core.results import DesignPoint, Scheme
 from repro.core.sensitivity import SensitivityReport, bandwidth_sensitivity
 from repro.core.solver import (
+    KERNELS,
     CompiledProgram,
     SolverResult,
+    build_constraint_blocks,
     build_seeds,
+    clear_solver_caches,
     compile_expression,
     minimize_time_cost_product,
     minimize_training_time,
@@ -49,10 +63,18 @@ __all__ = [
     "bandwidth_sensitivity",
     "Scheme",
     "CompiledProgram",
+    "ConstraintBlocks",
+    "HAS_FAST_SLSQP",
+    "KERNELS",
+    "KernelResult",
     "SolverResult",
+    "VectorEvaluator",
+    "build_constraint_blocks",
     "build_seeds",
+    "clear_solver_caches",
     "compile_expression",
     "minimize_time_cost_product",
     "minimize_training_time",
     "traffic_totals",
+    "vector_evaluator",
 ]

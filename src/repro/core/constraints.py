@@ -88,6 +88,8 @@ class ConstraintSet:
         self._lower_bounds = np.full(num_dims, min_bandwidth)
         self._upper_bounds = np.full(num_dims, DEFAULT_MAX_BANDWIDTH)
         self.total_bandwidth: float | None = None
+        self._feasible_point: np.ndarray | None = None
+        self._feasible_key: tuple | None = None
 
     # -- builders ------------------------------------------------------------
 
@@ -279,8 +281,18 @@ class ConstraintSet:
         """A strictly feasible bandwidth vector, via linear programming.
 
         Used to seed the nonlinear solver when the constraint set is more
-        intricate than a single budget row.
+        intricate than a single budget row. The LP result is cached on the
+        instance (invalidated by builder calls), so back-to-back solves
+        over one constraint set — e.g. the PerfPerCost warm start — pay for
+        it once.
         """
+        key = (
+            len(self.rows),
+            self._lower_bounds.tobytes(),
+            self._upper_bounds.tobytes(),
+        )
+        if self._feasible_point is not None and key == self._feasible_key:
+            return self._feasible_point.copy()
         from scipy.optimize import linprog
 
         num = self.num_dims
@@ -324,7 +336,9 @@ class ConstraintSet:
             raise OptimizationError(
                 f"constraint set is infeasible: {result.message}"
             )
-        return np.asarray(result.x[:num], dtype=float)
+        self._feasible_point = np.asarray(result.x[:num], dtype=float)
+        self._feasible_key = key
+        return self._feasible_point.copy()
 
     def _check_dim(self, dim: int) -> None:
         if not 0 <= dim < self.num_dims:

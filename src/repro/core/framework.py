@@ -20,7 +20,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.constraints import ConstraintSet
-from repro.training.expr import Expr, Sum, simplify
+from repro.training.expr import Expr, Sum, simplify, vector_evaluator
 from repro.core.results import DesignPoint, Scheme
 from repro.core.solver import (
     SolverResult,
@@ -131,8 +131,12 @@ class Libra:
             raise ConfigurationError(
                 f"expected {self.network.num_dims} bandwidths, got {len(bandwidths)}"
             )
+        # vector_evaluator flattens each expression once per process; sweep
+        # baselines evaluating thousands of points hit the memoized arrays.
         step_times = {
-            workload.name: self.training_expression(workload).evaluate(bandwidths)
+            workload.name: vector_evaluator(self.training_expression(workload))(
+                bandwidths
+            )
             for workload, _ in self._workloads
         }
         return DesignPoint(
@@ -160,8 +164,15 @@ class Libra:
         self,
         scheme: Scheme,
         constraints: ConstraintSet,
+        kernel: str = "vectorized",
     ) -> DesignPoint:
-        """Run one optimization scheme under the given constraints."""
+        """Run one optimization scheme under the given constraints.
+
+        ``kernel`` selects the solver's inner loop: ``"vectorized"``
+        (matrix-form constraint blocks, default) or ``"closures"`` (the
+        per-constraint reference path kept for equivalence checks and
+        benchmarking).
+        """
         self._require_workloads()
         if constraints.num_dims != self.network.num_dims:
             raise ConfigurationError(
@@ -175,12 +186,12 @@ class Libra:
 
         expression = self.combined_expression()
         if scheme is Scheme.PERF_OPT:
-            result = minimize_training_time(expression, constraints)
+            result = minimize_training_time(expression, constraints, kernel=kernel)
         elif scheme is Scheme.PERF_PER_COST_OPT:
             rates = np.asarray(cost_rates(self.network, self.cost_model))
             rates_total = rates * self.network.num_npus
             result = minimize_time_cost_product(
-                expression, constraints, rates_total
+                expression, constraints, rates_total, kernel=kernel
             )
         else:
             raise ConfigurationError(f"unknown scheme {scheme!r}")

@@ -21,23 +21,54 @@ same optimization with scipy, in three layers:
    nonconvexity Gurobi's QP handles); deterministic multi-start from the
    seed family recovers the global design point in practice, and the result
    records which start won.
+
+Two interchangeable kernels execute the per-seed SLSQP runs:
+
+* ``"vectorized"`` (default) — the compiled program becomes stacked
+  matrix-form constraint blocks (:mod:`repro.core.kernel`) built once and
+  shared across every seed and both schemes, driven through a slim
+  reverse-communication loop around scipy's compiled SLSQP core.
+* ``"closures"`` — the original one-Python-closure-per-constraint path,
+  rebuilt per seed. Kept as the reference implementation: the equivalence
+  suite and the perf harness (``repro bench``) assert both kernels return
+  the same design points.
+
+A memoization tier keyed on the frozen expression —
+:func:`compile_expression`, :func:`traffic_totals`, and (in
+:mod:`repro.training.expr`) ``simplify`` / ``vector_evaluator`` — makes
+repeat solves over one workload (warm starts, budget sweeps) skip all tree
+work. :func:`clear_solver_caches` resets every tier (used by benchmarks for
+cold-path timing).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 from scipy.optimize import NonlinearConstraint, minimize
 
 from repro.core.constraints import ConstraintSet
-from repro.training.expr import CommTerm, Const, Expr, MaxExpr, Sum, simplify
+from repro.core.kernel import ConstraintBlocks, minimize_slsqp
+from repro.training.expr import (
+    CommTerm,
+    Const,
+    Expr,
+    MaxExpr,
+    Sum,
+    simplify,
+    vector_evaluator,
+)
 from repro.utils.errors import OptimizationError
 from repro.utils.units import GBPS
 
 #: Internal bandwidth unit (GB/s) — keeps decision variables O(1)–O(1000).
 _SCALE = GBPS
+
+#: Solver kernel names accepted by the ``kernel=`` arguments below.
+KERNELS = ("vectorized", "closures")
 
 
 # ---------------------------------------------------------------------------
@@ -76,6 +107,24 @@ class MaxConstraint:
     aux_weights: tuple[tuple[int, float], ...]
 
 
+@dataclass(frozen=True)
+class _AuxPlan:
+    """Flat arrays for vectorized tight-aux evaluation (see ``initial_aux``).
+
+    Comm aux values come from one gathered division plus a segment-max;
+    max aux values are folded in descending aux order — compilation
+    allocates every max aux *before* visiting its children, so a max row
+    only ever references strictly larger aux indices.
+    """
+
+    comm_aux: np.ndarray  # (num_comm_aux,) aux index per segment
+    comm_dims: np.ndarray  # (num_comm_rows,)
+    comm_coeffs: np.ndarray  # (num_comm_rows,) scaled coefficients
+    comm_starts: np.ndarray  # (num_comm_aux,) reduceat segment offsets
+    max_rows: tuple[tuple[int, float, np.ndarray, np.ndarray], ...]
+    max_aux_ids: np.ndarray  # aux indices that are max nodes
+
+
 @dataclass
 class CompiledProgram:
     """The epigraph form of one training-time expression.
@@ -83,6 +132,9 @@ class CompiledProgram:
     Variables are ``x = [B_scaled (num_dims), aux (num_aux)]`` with
     bandwidths in GB/s. ``objective(x) = objective_const + w · aux`` equals
     the expression value at any point where every aux is tight.
+
+    Instances returned by :func:`compile_expression` are memoized and shared
+    across solves — treat them as immutable.
     """
 
     num_dims: int
@@ -91,23 +143,78 @@ class CompiledProgram:
     objective_weights: np.ndarray  # length num_aux
     comm_constraints: list[CommConstraint]
     max_constraints: list[MaxConstraint]
-    aux_expressions: list[Expr]  # defining subtree per aux, for seeding
+    aux_expressions: list[Expr]  # defining subtree per aux, for reference
+    _aux_plan: _AuxPlan | None = field(default=None, repr=False, compare=False)
 
     def objective_value(self, x: np.ndarray) -> float:
         return self.objective_const + float(
             self.objective_weights @ x[self.num_dims:]
         )
 
+    def _ensure_aux_plan(self) -> _AuxPlan:
+        if self._aux_plan is None:
+            comm_aux: list[int] = []
+            starts: list[int] = []
+            for index, row in enumerate(self.comm_constraints):
+                if not comm_aux or comm_aux[-1] != row.aux:
+                    comm_aux.append(row.aux)  # rows are grouped per aux
+                    starts.append(index)
+            max_rows = tuple(
+                (
+                    row.aux,
+                    row.const,
+                    np.asarray([aux for aux, _ in row.aux_weights], dtype=np.intp),
+                    np.asarray([w for _, w in row.aux_weights], dtype=float),
+                )
+                for row in sorted(
+                    self.max_constraints, key=lambda row: -row.aux
+                )
+            )
+            self._aux_plan = _AuxPlan(
+                comm_aux=np.asarray(comm_aux, dtype=np.intp),
+                comm_dims=np.asarray(
+                    [row.dim for row in self.comm_constraints], dtype=np.intp
+                ),
+                comm_coeffs=np.asarray(
+                    [row.coeff for row in self.comm_constraints], dtype=float
+                ),
+                comm_starts=np.asarray(starts, dtype=np.intp),
+                max_rows=max_rows,
+                max_aux_ids=np.asarray(
+                    sorted({row.aux for row in self.max_constraints}),
+                    dtype=np.intp,
+                ),
+            )
+        return self._aux_plan
+
     def initial_aux(self, bandwidths_scaled: np.ndarray) -> np.ndarray:
         """Tight aux values at a bandwidth point (feasible by construction)."""
-        bandwidths = bandwidths_scaled * _SCALE
-        return np.array(
-            [expr.evaluate(bandwidths) for expr in self.aux_expressions], dtype=float
-        )
+        if self.num_aux == 0:
+            return np.zeros(0)
+        plan = self._ensure_aux_plan()
+        aux = np.zeros(self.num_aux)
+        if plan.comm_aux.size:
+            ratios = plan.comm_coeffs / np.asarray(bandwidths_scaled, dtype=float)[
+                plan.comm_dims
+            ]
+            aux[plan.comm_aux] = np.maximum.reduceat(ratios, plan.comm_starts)
+        if plan.max_aux_ids.size:
+            aux[plan.max_aux_ids] = -np.inf
+            for aux_id, const, children, weights in plan.max_rows:
+                value = const + (weights @ aux[children] if children.size else 0.0)
+                if value > aux[aux_id]:
+                    aux[aux_id] = value
+        return aux
 
 
+@lru_cache(maxsize=128)
 def compile_expression(expr: Expr, num_dims: int) -> CompiledProgram:
-    """Compile ``expr`` into epigraph form over ``num_dims`` bandwidths."""
+    """Compile ``expr`` into epigraph form over ``num_dims`` bandwidths.
+
+    Memoized on ``(expr, num_dims)``: ``PerfPerCostOptBW`` warm-starting
+    through ``PerfOptBW`` and sweeps revisiting one workload reuse the
+    compiled program instead of re-walking the tree.
+    """
     expr = simplify(expr)
     if expr.max_dim() >= num_dims:
         raise OptimizationError(
@@ -174,12 +281,16 @@ def compile_expression(expr: Expr, num_dims: int) -> CompiledProgram:
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=128)
 def traffic_totals(expr: Expr, num_dims: int) -> np.ndarray:
     """Aggregate collective traffic per dimension (bytes), tree-wide.
 
     The water-filling seed allocates bandwidth proportionally to this — the
     exact optimum for a single collective under a pure budget constraint,
     and an excellent starting point otherwise.
+
+    Memoized on ``(expr, num_dims)``; the returned array is marked
+    read-only because it is shared between callers.
     """
     totals = np.zeros(num_dims)
 
@@ -196,6 +307,7 @@ def traffic_totals(expr: Expr, num_dims: int) -> np.ndarray:
                 visit(child, weight)
 
     visit(simplify(expr), 1.0)
+    totals.flags.writeable = False
     return totals
 
 
@@ -246,16 +358,16 @@ def build_seeds(
     totals = traffic_totals(expr, constraints.num_dims)
     if constraints.total_bandwidth is not None:
         push(constraints.equal_split())
-        push(_proportional_split(totals, constraints))
+        proportional = _proportional_split(totals, constraints)
+        push(proportional)
         if cost_rates is not None and np.any(totals > 0):
             rates = np.asarray(cost_rates, dtype=float)
             value_density = np.divide(
-                totals, np.maximum(rates, 1e-30), out=np.zeros_like(totals),
+                totals, np.maximum(rates, 1e-30), out=np.zeros(totals.shape),
                 where=rates > 0,
             )
             push(_proportional_split(value_density, constraints))
         # Mild skews of the proportional seed to escape flat regions.
-        proportional = _proportional_split(totals, constraints)
         if proportional is not None:
             for exponent in (0.5, 2.0):
                 push(_proportional_split(proportional ** exponent, constraints))
@@ -281,8 +393,9 @@ class SolverResult:
         bandwidths: Optimal per-dimension bandwidths, bytes/s.
         objective: Final objective value (seconds for PerfOpt; seconds ×
             dollars for PerfPerCost).
-        success: Whether a solver run converged; when False the best seed
-            evaluation is returned instead.
+        success: Whether a solver run converged; when False the best
+            feasible iterate (a line-search stall point or a seed
+            evaluation) is returned instead.
         message: Solver diagnostics (which start won, fallbacks used).
         starts: Number of seed points tried.
     """
@@ -396,16 +509,114 @@ def _variable_bounds(
     return bounds
 
 
+def build_constraint_blocks(
+    program: CompiledProgram, constraints: ConstraintSet
+) -> ConstraintBlocks:
+    """Stack the program + designer rows into vectorized constraint blocks.
+
+    Built **once** per compiled program and shared by every multi-start
+    seed and both optimization schemes — this replaces the per-seed
+    closure rebuild of :func:`_scipy_constraints`. Row semantics match the
+    closure path exactly: designer rows are scaled to GB/s, max-epigraph
+    rows join the linear inequality block, and comm rows stay hyperbolic.
+    """
+    num_dims = program.num_dims
+    num_vars = num_dims + program.num_aux
+
+    eq_rows: list[np.ndarray] = []
+    eq_shift: list[float] = []
+    lin_rows: list[np.ndarray] = []
+    lin_shift: list[float] = []
+    for row in constraints.rows:
+        coeffs = np.zeros(num_vars)
+        coeffs[:num_dims] = row.coeffs
+        if row.is_equality:
+            eq_rows.append(coeffs)
+            eq_shift.append(float(row.lower) / _SCALE)  # type: ignore[arg-type]
+            continue
+        if row.upper is not None:
+            lin_rows.append(-coeffs)
+            lin_shift.append(-row.upper / _SCALE)
+        if row.lower is not None:
+            lin_rows.append(coeffs)
+            lin_shift.append(row.lower / _SCALE)
+    for max_row in program.max_constraints:
+        coeffs = np.zeros(num_vars)
+        coeffs[num_dims + max_row.aux] = 1.0
+        for aux, weight in max_row.aux_weights:
+            coeffs[num_dims + aux] -= weight
+        lin_rows.append(coeffs)
+        lin_shift.append(max_row.const)
+
+    lower = np.concatenate(
+        [constraints.lower_bounds / _SCALE, np.zeros(program.num_aux)]
+    )
+    upper = np.concatenate(
+        [constraints.upper_bounds / _SCALE, np.full(program.num_aux, np.inf)]
+    )
+    return ConstraintBlocks(
+        num_vars=num_vars,
+        a_eq=(
+            np.asarray(eq_rows) if eq_rows else np.zeros((0, num_vars))
+        ),
+        b_eq=np.asarray(eq_shift, dtype=float),
+        a_in=(
+            np.asarray(lin_rows) if lin_rows else np.zeros((0, num_vars))
+        ),
+        b_in=np.asarray(lin_shift, dtype=float),
+        comm_aux=np.asarray(
+            [num_dims + row.aux for row in program.comm_constraints],
+            dtype=np.intp,
+        ),
+        comm_dim=np.asarray(
+            [row.dim for row in program.comm_constraints], dtype=np.intp
+        ),
+        comm_coeff=np.asarray(
+            [row.coeff for row in program.comm_constraints], dtype=float
+        ),
+        lower=lower,
+        upper=upper,
+    )
+
+
 def _solve_from_seed(
     program: CompiledProgram,
     constraints: ConstraintSet,
     objective: Callable[[np.ndarray], float],
     objective_grad: Callable[[np.ndarray], np.ndarray],
     seed: np.ndarray,
+    blocks: ConstraintBlocks | None = None,
 ) -> tuple[np.ndarray, float, bool, str]:
-    """One SLSQP run (trust-constr fallback) from one bandwidth seed."""
+    """One SLSQP run (long-retry fallback) from one bandwidth seed.
+
+    With ``blocks`` the run goes through the vectorized kernel; without,
+    it rebuilds the per-constraint closures (the reference path).
+    """
     seed_scaled = seed / _SCALE
     x0 = np.concatenate([seed_scaled, program.initial_aux(seed_scaled) * 1.0001])
+
+    if blocks is not None:
+        result = minimize_slsqp(
+            objective, objective_grad, x0, blocks, maxiter=400, ftol=1e-12
+        )
+        if result.success:
+            return result.x, result.fun, True, "slsqp"
+        if result.status == 8:
+            # "Positive directional derivative for linesearch": the line
+            # search hit machine precision. SLSQP's iterate path does not
+            # depend on ftol (it only gates the stopping tests), so the
+            # closure path's looser re-solve from the same start stops at
+            # an *earlier* point of this same trajectory — the stall
+            # iterate is already at least as optimized. Keep it as a
+            # candidate; `_finish` re-checks feasibility and true value.
+            return result.x, result.fun, False, f"stalled: {result.message}"
+        fallback = minimize_slsqp(
+            objective, objective_grad, x0, blocks, maxiter=1500, ftol=1e-10
+        )
+        if fallback.success:
+            return fallback.x, fallback.fun, True, "slsqp-long"
+        return result.x, result.fun, False, f"failed: {result.message}"
+
     scipy_rows = _scipy_constraints(program, constraints)
     bounds = _variable_bounds(program, constraints)
 
@@ -466,11 +677,39 @@ def _finish(
     )
 
 
+def _check_kernel(kernel: str) -> None:
+    if kernel not in KERNELS:
+        raise OptimizationError(
+            f"unknown solver kernel {kernel!r}; choose from {KERNELS}"
+        )
+
+
+def clear_solver_caches() -> None:
+    """Reset every memoization tier (cold-path timing, test isolation)."""
+    from repro.training.expr import simplify as _simplify
+    from repro.training.expr import vector_evaluator as _vector_evaluator
+
+    compile_expression.cache_clear()
+    traffic_totals.cache_clear()
+    _simplify.cache_clear()
+    _vector_evaluator.cache_clear()
+
+
 def minimize_training_time(
     expr: Expr,
     constraints: ConstraintSet,
+    kernel: str = "vectorized",
+    _blocks: ConstraintBlocks | None = None,
+    _max_starts: int | None = None,
 ) -> SolverResult:
-    """PerfOptBW: minimize the training-time expression (convex program)."""
+    """PerfOptBW: minimize the training-time expression (convex program).
+
+    ``_max_starts`` truncates the multi-start family (internal: the
+    PerfPerCost warm start needs only the convex optimum, which any
+    converging seed reaches; the public entry point keeps every seed as a
+    numerical safety net).
+    """
+    _check_kernel(kernel)
     program = compile_expression(expr, constraints.num_dims)
     if program.num_aux == 0:
         # Pure-compute workload: any feasible point is optimal.
@@ -483,17 +722,29 @@ def minimize_training_time(
             starts=1,
         )
 
+    blocks = _blocks
+    if blocks is None and kernel == "vectorized":
+        blocks = build_constraint_blocks(program, constraints)
+
     gradient = np.concatenate([np.zeros(program.num_dims), program.objective_weights])
 
+    num_dims = program.num_dims
+    objective_const = program.objective_const
+    objective_weights = program.objective_weights
+
     def objective(x: np.ndarray) -> float:
-        return program.objective_value(x)
+        return objective_const + objective_weights @ x[num_dims:]
 
     def objective_grad(x: np.ndarray) -> np.ndarray:
         return gradient
 
     seeds = build_seeds(expr, constraints)
+    if _max_starts is not None:
+        seeds = seeds[:_max_starts]
     candidates = [
-        _solve_from_seed(program, constraints, objective, objective_grad, seed)
+        _solve_from_seed(
+            program, constraints, objective, objective_grad, seed, blocks=blocks
+        )
         for seed in seeds
     ]
     # The seeds themselves are feasible fallbacks (aux tight = true value).
@@ -501,7 +752,9 @@ def minimize_training_time(
         scaled = seed / _SCALE
         x = np.concatenate([scaled, program.initial_aux(scaled)])
         candidates.append((x, program.objective_value(x), False, "seed"))
-    return _finish(program, constraints, expr.evaluate, candidates, len(seeds))
+    return _finish(
+        program, constraints, vector_evaluator(simplify(expr)), candidates, len(seeds)
+    )
 
 
 def minimize_time_cost_product(
@@ -509,6 +762,7 @@ def minimize_time_cost_product(
     constraints: ConstraintSet,
     cost_rates: Sequence[float],
     fixed_cost: float = 0.0,
+    kernel: str = "vectorized",
 ) -> SolverResult:
     """PerfPerCostOptBW: minimize time × dollar-cost (bilinear objective).
 
@@ -519,7 +773,10 @@ def minimize_time_cost_product(
             *already multiplied by the NPU count* (see
             :func:`repro.cost.estimator.cost_rates`).
         fixed_cost: Bandwidth-independent cost offset in dollars.
+        kernel: ``"vectorized"`` (matrix-form blocks, default) or
+            ``"closures"`` (the per-constraint reference path).
     """
+    _check_kernel(kernel)
     program = compile_expression(expr, constraints.num_dims)
     rates = np.asarray(cost_rates, dtype=float)
     if rates.shape != (constraints.num_dims,):
@@ -528,11 +785,16 @@ def minimize_time_cost_product(
         )
     rates_scaled = rates * _SCALE  # $ per GB/s
 
-    def cost_of(x: np.ndarray) -> float:
-        return fixed_cost + float(rates_scaled @ x[: program.num_dims])
+    blocks: ConstraintBlocks | None = None
+    if kernel == "vectorized" and program.num_aux > 0:
+        blocks = build_constraint_blocks(program, constraints)
+
+    time_evaluator = vector_evaluator(simplify(expr))
 
     def evaluate_true(bandwidths: np.ndarray) -> float:
-        return expr.evaluate(bandwidths) * (fixed_cost + float(rates @ bandwidths))
+        return time_evaluator(bandwidths) * (
+            fixed_cost + float(rates @ bandwidths)
+        )
 
     seeds = build_seeds(expr, constraints, cost_rates=rates)
 
@@ -540,22 +802,44 @@ def minimize_time_cost_product(
     # 1e7+, which defeats SLSQP's convergence tests and line search.
     scale = max(evaluate_true(seeds[0]), 1e-30)
 
+    num_dims = program.num_dims
+    objective_const = program.objective_const
+    objective_weights = program.objective_weights
+
     def objective(x: np.ndarray) -> float:
-        return program.objective_value(x) * cost_of(x) / scale
+        return (
+            (objective_const + objective_weights @ x[num_dims:])
+            * (fixed_cost + rates_scaled @ x[:num_dims])
+            / scale
+        )
+
+    # One reusable gradient buffer: SLSQP consumes the values before the
+    # next gradient evaluation, so in-place rewrites are safe and avoid a
+    # per-iteration allocation.
+    gradient_buffer = np.zeros(num_dims + program.num_aux)
 
     def objective_grad(x: np.ndarray) -> np.ndarray:
-        time_value = program.objective_value(x)
-        cost_value = cost_of(x)
-        gradient = np.zeros_like(x)
-        gradient[: program.num_dims] = time_value * rates_scaled / scale
-        gradient[program.num_dims:] = cost_value * program.objective_weights / scale
-        return gradient
+        time_value = objective_const + objective_weights @ x[num_dims:]
+        cost_value = fixed_cost + rates_scaled @ x[:num_dims]
+        gradient_buffer[:num_dims] = time_value * rates_scaled / scale
+        gradient_buffer[num_dims:] = cost_value * objective_weights / scale
+        return gradient_buffer
     # Warm-start from the PerfOpt solution: the time-cost product is
     # bilinear, and the pure-performance optimum is both a strong basin and
     # a guarantee that PerfPerCostOpt never reports a worse perf-per-cost
-    # than PerfOpt (its evaluation joins the candidate pool below).
+    # than PerfOpt (its evaluation joins the candidate pool below). The
+    # compiled program and constraint blocks are shared with that inner
+    # solve, so the warm start never recompiles anything — and since
+    # PerfOpt is convex (every converging seed reaches the same optimum),
+    # the vectorized kernel runs it from the two strongest seeds only.
     try:
-        perf_result = minimize_training_time(expr, constraints)
+        perf_result = minimize_training_time(
+            expr,
+            constraints,
+            kernel=kernel,
+            _blocks=blocks,
+            _max_starts=2 if kernel == "vectorized" else None,
+        )
         seeds.append(np.asarray(perf_result.bandwidths, dtype=float))
     except OptimizationError:
         pass
@@ -569,7 +853,9 @@ def minimize_time_cost_product(
         return _finish(program, constraints, evaluate_true, candidates, len(seeds))
 
     candidates = [
-        _solve_from_seed(program, constraints, objective, objective_grad, seed)
+        _solve_from_seed(
+            program, constraints, objective, objective_grad, seed, blocks=blocks
+        )
         for seed in seeds
     ]
     for seed in seeds:

@@ -16,9 +16,11 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
+from functools import lru_cache
 
 from repro.core.framework import Libra
 from repro.core.results import Scheme
+from repro.utils.errors import ReproError
 from repro.utils.units import gbps
 from repro.workloads.presets import build_workload
 from repro.workloads.workload import Workload
@@ -32,14 +34,33 @@ from repro.explore.spec import ExplorationPoint, SweepSpec
 ProgressCallback = Callable[[int, int, ExplorationResult], None]
 
 
+@lru_cache(maxsize=64)
+def _resolve_topology_cached(name_or_notation: str):
+    """Per-worker LRU over topology resolution.
+
+    A budget sweep hands every cell of one grid column the same topology
+    string; without this, each process-pool worker rebuilds the network
+    graph for every cell it solves. Networks are treated as immutable
+    downstream, so sharing one instance per worker is safe. Failures
+    propagate uncached, preserving per-point error capture.
+    """
+    return resolve_topology(name_or_notation)
+
+
+@lru_cache(maxsize=64)
+def _build_workload_cached(preset: str, num_npus: int) -> Workload:
+    """Per-worker LRU over preset workload construction (same rationale)."""
+    return build_workload(preset, num_npus)
+
+
 def solve_point(point: ExplorationPoint, key: str = "") -> ExplorationResult:
     """Solve one exploration cell, capturing any failure as an error row."""
     try:
-        network = resolve_topology(point.topology)
+        network = _resolve_topology_cached(point.topology)
         if isinstance(point.workload, Workload):
             workload = point.workload
         else:
-            workload = build_workload(point.workload, network.num_npus)
+            workload = _build_workload_cached(point.workload, network.num_npus)
         libra = Libra(network, cost_model=point.cost_model)
         libra.add_workload(workload)
         baseline = libra.equal_bw_point(gbps(point.total_bw_gbps))
@@ -158,9 +179,29 @@ def run_sweep(
                 for future in finished:
                     install(futures[future], future.result())
 
-    assert all(result is not None for result in results)
+    _require_complete(results, total)
     return SweepResult(
         results=list(results),  # type: ignore[arg-type]
         cache_hits=cache_hits,
         solver_calls=solver_calls,
     )
+
+
+def _require_complete(
+    results: list[ExplorationResult | None], total: int
+) -> None:
+    """Fail loudly if any grid cell was left unresolved.
+
+    Must never trigger (every index is either cache-served, errored at
+    keying, or installed by a solve) — but if the accounting ever breaks,
+    an explicit :class:`ReproError` beats silently returning partial rows.
+    A bare ``assert`` would vanish under ``python -O``.
+    """
+    missing = [index for index, result in enumerate(results) if result is None]
+    if missing:
+        shown = ", ".join(str(index) for index in missing[:10])
+        suffix = "…" if len(missing) > 10 else ""
+        raise ReproError(
+            f"sweep accounting bug: {len(missing)} of {total} cells "
+            f"unresolved (grid indices {shown}{suffix})"
+        )

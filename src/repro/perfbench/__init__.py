@@ -1,0 +1,25 @@
+"""Performance microbenchmark harness (``repro bench``).
+
+Times the solver/compile/sweep hot paths on Table-II-scale workloads,
+checks vectorized-vs-closure solver equivalence, and writes the
+``BENCH_solver.json`` artifact that records the perf trajectory across PRs.
+See ``benchmarks/perf/README.md`` for the artifact schema.
+"""
+
+from repro.perfbench.harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    format_report,
+    quick_config,
+    run_benchmarks,
+    write_artifact,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchConfig",
+    "format_report",
+    "quick_config",
+    "run_benchmarks",
+    "write_artifact",
+]

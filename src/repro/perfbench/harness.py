@@ -1,0 +1,323 @@
+"""Microbenchmarks for the solver, memoization, and sweep hot paths.
+
+Every benchmark here is an *end-to-end* timing of a public code path at
+Table-II scale, never a synthetic kernel:
+
+* ``solver_perf`` / ``solver_perf_per_cost`` — one full
+  ``minimize_training_time`` / ``minimize_time_cost_product`` call per
+  kernel, caches cleared before each repetition so both kernels pay the
+  cold path. The closure kernel is the pre-vectorization reference; the
+  reported ``speedup`` is the headline number.
+* ``compile_memo`` — cold vs. warm ``simplify`` + ``compile_expression`` +
+  ``traffic_totals``, demonstrating the memoization tier.
+* ``sweep`` — a small cached ``run_sweep`` grid through the explore engine.
+
+Solver benchmarks double as an equivalence gate: when both kernels
+converge, bandwidths must agree within ``tolerance`` (rtol); when either
+stalls, the returned objectives must agree within ``value_tolerance`` —
+line-search stall iterates sit on flat ridges where the bandwidth vector is
+not unique, but the achieved objective is. ``repro bench`` fails the run on
+any drift, which is what the CI smoke job enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.framework import Libra
+from repro.core.solver import (
+    clear_solver_caches,
+    compile_expression,
+    minimize_time_cost_product,
+    minimize_training_time,
+    traffic_totals,
+)
+from repro.cost.estimator import cost_rates
+from repro.explore.keys import resolve_topology
+from repro.training.expr import simplify
+from repro.utils.errors import ReproError
+from repro.utils.units import gbps
+from repro.workloads.presets import build_workload
+
+#: Bump when the BENCH_solver.json layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+
+class BenchEquivalenceError(ReproError):
+    """The vectorized and closure kernels disagreed on a design point."""
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One harness invocation (defaults are the GPT-3-scale hot path)."""
+
+    workloads: tuple[str, ...] = ("GPT-3",)
+    topology: str = "4D-4K"
+    total_bw_gbps: float = 500.0
+    repeats: int = 3
+    tolerance: float = 1e-6  # bandwidth rtol when both kernels converge
+    value_tolerance: float = 1e-2  # objective rtol when either kernel stalls
+    sweep_budgets_gbps: tuple[float, ...] = (300.0, 500.0, 1000.0)
+    quick: bool = False
+    label: str = ""
+
+
+def quick_config() -> BenchConfig:
+    """A seconds-scale configuration for CI smoke runs."""
+    return BenchConfig(
+        workloads=("Turing-NLG",),
+        topology="3D-512",
+        total_bw_gbps=300.0,
+        repeats=1,
+        sweep_budgets_gbps=(200.0, 300.0),
+        quick=True,
+        label="quick",
+    )
+
+
+def _build_problem(config: BenchConfig):
+    """Expression + constraint factory + cost rates for one configuration."""
+    network = resolve_topology(config.topology)
+    libra = Libra(network)
+    for name in config.workloads:
+        libra.add_workload(build_workload(name, network.num_npus))
+    expression = libra.combined_expression()
+    rates = np.asarray(cost_rates(network, libra.cost_model)) * network.num_npus
+
+    def make_constraints():
+        return libra.constraints().with_total_bandwidth(gbps(config.total_bw_gbps))
+
+    return expression, make_constraints, rates
+
+
+def _time_solves(solve, repeats: int, cold: bool) -> tuple[float, Any]:
+    """Best-of-N wall time of one end-to-end solve.
+
+    ``cold=True`` clears the memoization tier before every repetition (the
+    pre-PR closure path had no caches, so this is its faithful cost, and
+    the first-ever solve of the vectorized path). ``cold=False`` measures
+    the steady state — what every sweep cell after the first pays, with
+    ``simplify``/``compile_expression``/``traffic_totals`` warm.
+    """
+    best = float("inf")
+    result = None
+    if not cold:
+        clear_solver_caches()
+        solve()  # untimed warm-up populates the memo tier
+    for _ in range(max(1, repeats)):
+        if cold:
+            clear_solver_caches()
+        start = time.perf_counter()
+        result = solve()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _equivalence(reference, candidate, config: BenchConfig) -> dict:
+    """Compare two SolverResults; raises on drift past the tolerances."""
+    ref_bw = np.asarray(reference.bandwidths)
+    cand_bw = np.asarray(candidate.bandwidths)
+    bw_rel = float(
+        np.max(np.abs(ref_bw - cand_bw) / np.maximum(np.abs(ref_bw), 1e-9))
+    )
+    obj_rel = float(
+        abs(reference.objective - candidate.objective)
+        / max(abs(reference.objective), 1e-30)
+    )
+    converged = reference.success and candidate.success
+    ok = (bw_rel <= config.tolerance) if converged else (
+        obj_rel <= config.value_tolerance
+    )
+    report = {
+        "both_converged": converged,
+        "max_bandwidth_rel_diff": bw_rel,
+        "objective_rel_diff": obj_rel,
+        "ok": ok,
+    }
+    if not ok:
+        raise BenchEquivalenceError(
+            "solver kernels disagree: "
+            f"bandwidth rel diff {bw_rel:.3e}, objective rel diff {obj_rel:.3e} "
+            f"(converged={converged}, tolerance={config.tolerance:g}/"
+            f"{config.value_tolerance:g})"
+        )
+    return report
+
+
+def bench_solver(config: BenchConfig) -> list[dict]:
+    """Closure-vs-vectorized end-to-end timings for both schemes."""
+    expression, make_constraints, rates = _build_problem(config)
+    records = []
+    schemes = [
+        (
+            "solver_perf",
+            lambda kernel: minimize_training_time(
+                expression, make_constraints(), kernel=kernel
+            ),
+        ),
+        (
+            "solver_perf_per_cost",
+            lambda kernel: minimize_time_cost_product(
+                expression, make_constraints(), rates, kernel=kernel
+            ),
+        ),
+    ]
+    for name, solve in schemes:
+        closures_s, closures_result = _time_solves(
+            lambda: solve("closures"), config.repeats, cold=True
+        )
+        vectorized_cold_s, vectorized_result = _time_solves(
+            lambda: solve("vectorized"), config.repeats, cold=True
+        )
+        vectorized_warm_s, _ = _time_solves(
+            lambda: solve("vectorized"), config.repeats, cold=False
+        )
+        records.append(
+            {
+                "name": name,
+                "closures_s": closures_s,
+                "vectorized_cold_s": vectorized_cold_s,
+                "vectorized_warm_s": vectorized_warm_s,
+                "speedup_cold": closures_s / max(vectorized_cold_s, 1e-12),
+                "speedup_warm": closures_s / max(vectorized_warm_s, 1e-12),
+                "equivalence": _equivalence(
+                    closures_result, vectorized_result, config
+                ),
+            }
+        )
+    return records
+
+
+def bench_compile_memo(config: BenchConfig) -> dict:
+    """Cold vs. warm tree pipeline (simplify → compile → traffic totals)."""
+    expression, make_constraints, _ = _build_problem(config)
+    num_dims = make_constraints().num_dims
+
+    def pipeline() -> None:
+        simplify(expression)
+        compile_expression(expression, num_dims)
+        traffic_totals(expression, num_dims)
+
+    clear_solver_caches()
+    start = time.perf_counter()
+    pipeline()
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    pipeline()
+    warm_s = time.perf_counter() - start
+    hits_after = compile_expression.cache_info().hits
+    return {
+        "name": "compile_memo",
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / max(warm_s, 1e-12),
+        "warm_hits": hits_after,
+    }
+
+
+def bench_sweep(config: BenchConfig) -> dict:
+    """A small cached exploration grid through the real sweep engine."""
+    from repro.explore import ResultCache, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        workloads=tuple(config.workloads[:1]),
+        topologies=(config.topology,),
+        bandwidths_gbps=tuple(config.sweep_budgets_gbps),
+        schemes=("perf",),
+    )
+    cache = ResultCache()
+    clear_solver_caches()
+    start = time.perf_counter()
+    cold = run_sweep(spec, cache=cache)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_sweep(spec, cache=cache)
+    warm_s = time.perf_counter() - start
+    return {
+        "name": "sweep",
+        "cells": len(cold.results),
+        "cold_s": cold_s,
+        "warm_cached_s": warm_s,
+        "cold_errors": cold.num_errors,
+        "warm_cache_hits": warm.cache_hits,
+    }
+
+
+def run_benchmarks(config: BenchConfig) -> dict:
+    """Run every benchmark; returns the ``BENCH_solver.json`` payload.
+
+    Equivalence drift raises :class:`BenchEquivalenceError` and the
+    in-progress payload is discarded — drifted timings cannot be trusted,
+    so no artifact escapes (the CLI maps this to exit code 3).
+    """
+    artifact: dict = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "unix_time": time.time(),
+        "config": {
+            "workloads": list(config.workloads),
+            "topology": config.topology,
+            "total_bw_gbps": config.total_bw_gbps,
+            "repeats": config.repeats,
+            "tolerance": config.tolerance,
+            "value_tolerance": config.value_tolerance,
+            "quick": config.quick,
+            "label": config.label,
+        },
+        "benchmarks": [],
+    }
+    artifact["benchmarks"].extend(bench_solver(config))
+    artifact["benchmarks"].append(bench_compile_memo(config))
+    artifact["benchmarks"].append(bench_sweep(config))
+    return artifact
+
+
+def write_artifact(path: str, artifact: dict) -> None:
+    """Write the payload as deterministic, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(artifact: dict) -> str:
+    """Human-readable table of one artifact (CLI / script output)."""
+    lines = [
+        f"perf bench — {'+'.join(artifact['config']['workloads'])} on "
+        f"{artifact['config']['topology']} @ "
+        f"{artifact['config']['total_bw_gbps']:.0f} GB/s "
+        f"(repeats={artifact['config']['repeats']})",
+        f"{'benchmark':<22} {'closures':>10} {'vec cold':>9} {'vec warm':>9} "
+        f"{'cold':>6} {'warm':>6}",
+    ]
+    for bench in artifact["benchmarks"]:
+        name = bench["name"]
+        if name.startswith("solver_"):
+            eq = bench["equivalence"]
+            tag = "ok" if eq["ok"] else "DRIFT"
+            lines.append(
+                f"{name:<22} {bench['closures_s'] * 1e3:>8.1f}ms "
+                f"{bench['vectorized_cold_s'] * 1e3:>7.1f}ms "
+                f"{bench['vectorized_warm_s'] * 1e3:>7.1f}ms "
+                f"{bench['speedup_cold']:>5.2f}x {bench['speedup_warm']:>5.2f}x"
+                f"  equivalence {tag} "
+                f"(bw {eq['max_bandwidth_rel_diff']:.1e}, "
+                f"obj {eq['objective_rel_diff']:.1e})"
+            )
+        elif name == "compile_memo":
+            lines.append(
+                f"{name:<22} {bench['cold_s'] * 1e3:>8.2f}ms "
+                f"{bench['warm_s'] * 1e3:>9.3f}ms {bench['speedup']:>7.0f}x  "
+                f"(cold vs memoized)"
+            )
+        elif name == "sweep":
+            lines.append(
+                f"{name:<22} {bench['cold_s'] * 1e3:>8.1f}ms "
+                f"{bench['warm_cached_s'] * 1e3:>9.1f}ms {'':>8}  "
+                f"({bench['cells']} cells, warm = {bench['warm_cache_hits']} "
+                f"cache hits)"
+            )
+    return "\n".join(lines)

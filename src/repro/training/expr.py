@@ -14,6 +14,14 @@ The tree supports direct numeric evaluation (for sweeps and baselines) and
 structural compilation into the epigraph form the solver optimizes: every
 ``max`` becomes an auxiliary variable with one inequality per operand. That
 reformulation is what makes ``PerfOptBW`` a convex program.
+
+Every node is a frozen, hashable dataclass, which buys two things: exact
+structural deduplication in :func:`simplify`, and cheap memoization —
+:func:`simplify` and :func:`vector_evaluator` are LRU-cached on the
+expression itself, so repeat solves over the same workload never redo the
+tree work. For hot numeric paths, :class:`VectorEvaluator` flattens a tree
+once into coefficient arrays evaluated with a segment-max, replacing the
+per-node Python recursion of :meth:`Expr.evaluate`.
 """
 
 from __future__ import annotations
@@ -21,6 +29,9 @@ from __future__ import annotations
 import abc
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
 
 from repro.utils.errors import ConfigurationError
 
@@ -135,6 +146,7 @@ class MaxExpr(Expr):
         return max(child.max_dim() for child in self.children)
 
 
+@lru_cache(maxsize=1024)
 def simplify(expr: Expr) -> Expr:
     """Flatten nested sums, merge constants, and deduplicate repeat terms.
 
@@ -144,6 +156,11 @@ def simplify(expr: Expr) -> Expr:
     96-layer transformer whose layers are identical collapses from hundreds
     of comm terms to a handful, which is what keeps the solver's compiled
     program — and hence optimization time — small.
+
+    Memoized on the expression: the recursion flows through the cache, so
+    shared subtrees simplify once and repeat solves of the same workload
+    (e.g. ``PerfPerCostOptBW`` warm-starting through ``PerfOptBW``, or a
+    budget sweep revisiting one expression) skip the tree walk entirely.
     """
     if isinstance(expr, Sum):
         merged: dict[Expr, float] = {}
@@ -180,6 +197,126 @@ def simplify(expr: Expr) -> Expr:
     if isinstance(expr, CommTerm) and not expr.coefficients:
         return Const(0.0)
     return expr
+
+
+#: Op kinds of the flat evaluator's combine stage.
+_OP_SUM = 0
+_OP_MAX = 1
+
+
+class VectorEvaluator:
+    """Flat, vectorized evaluator for one expression tree.
+
+    Compiles the tree once into coefficient arrays: every collective's
+    ``coeff / B[dim]`` ratios are computed in one vectorized division and
+    reduced per term with a segment-max (``np.maximum.reduceat``), so the
+    Python-level work per evaluation is one pass over the handful of
+    ``Sum``/``MaxExpr`` combine ops that survive :func:`simplify` — not one
+    call per tree node. Numerically identical to :meth:`Expr.evaluate`.
+
+    Instances reuse an internal value buffer between calls and are therefore
+    not thread-safe; build one per thread (or go through the memoized
+    :func:`vector_evaluator`, which is fine under the solver's single-thread
+    / process-pool execution model).
+    """
+
+    __slots__ = (
+        "_comm_coeffs",
+        "_comm_dims",
+        "_comm_slots",
+        "_comm_starts",
+        "_max_dim",
+        "_ops",
+        "_root",
+        "_values",
+    )
+
+    def __init__(self, expr: Expr):
+        comm_dims: list[int] = []
+        comm_coeffs: list[float] = []
+        comm_starts: list[int] = []
+        comm_slots: list[int] = []
+        const_slots: list[int] = []
+        const_values: list[float] = []
+        ops: list[tuple[int, int, np.ndarray, np.ndarray | None]] = []
+        num_slots = 0
+
+        def visit(node: Expr) -> int:
+            nonlocal num_slots
+            slot = num_slots
+            num_slots += 1
+            if isinstance(node, Const):
+                const_slots.append(slot)
+                const_values.append(node.value)
+            elif isinstance(node, CommTerm):
+                if node.coefficients:
+                    comm_starts.append(len(comm_dims))
+                    comm_slots.append(slot)
+                    for dim, coeff in node.coefficients:
+                        comm_dims.append(dim)
+                        comm_coeffs.append(coeff)
+                else:
+                    const_slots.append(slot)
+                    const_values.append(0.0)
+            elif isinstance(node, Sum):
+                children = np.array(
+                    [visit(child) for child in node.children], dtype=np.intp
+                )
+                ops.append(
+                    (_OP_SUM, slot, children, np.asarray(node.weights, dtype=float))
+                )
+            elif isinstance(node, MaxExpr):
+                children = np.array(
+                    [visit(child) for child in node.children], dtype=np.intp
+                )
+                ops.append((_OP_MAX, slot, children, None))
+            else:
+                raise ConfigurationError(
+                    f"unknown expression node {type(node).__name__}"
+                )
+            return slot
+
+        self._root = visit(expr)
+        self._max_dim = expr.max_dim()
+        self._values = np.zeros(num_slots)
+        self._values[const_slots] = const_values
+        self._comm_dims = np.asarray(comm_dims, dtype=np.intp)
+        self._comm_coeffs = np.asarray(comm_coeffs, dtype=float)
+        self._comm_starts = np.asarray(comm_starts, dtype=np.intp)
+        self._comm_slots = np.asarray(comm_slots, dtype=np.intp)
+        self._ops = ops
+
+    def __call__(self, bandwidths: Sequence[float]) -> float:
+        """Numeric value at the given per-dimension bandwidths (bytes/s)."""
+        values = np.asarray(bandwidths, dtype=float)
+        if self._max_dim >= values.shape[0]:
+            raise ConfigurationError(
+                f"expression references dim {self._max_dim} "
+                f"but got {values.shape[0]} bandwidths"
+            )
+        buffer = self._values
+        if self._comm_dims.size:
+            ratios = self._comm_coeffs / values[self._comm_dims]
+            buffer[self._comm_slots] = np.maximum.reduceat(
+                ratios, self._comm_starts
+            )
+        for kind, out, children, weights in self._ops:
+            if kind == _OP_SUM:
+                buffer[out] = weights @ buffer[children]
+            else:
+                buffer[out] = buffer[children].max()
+        return float(buffer[self._root])
+
+
+@lru_cache(maxsize=256)
+def vector_evaluator(expr: Expr) -> VectorEvaluator:
+    """A memoized :class:`VectorEvaluator` for ``expr``.
+
+    Sweeps and the solver's candidate re-evaluation call this with the same
+    expression over and over; the flattening cost is paid once per
+    expression per process.
+    """
+    return VectorEvaluator(expr)
 
 
 def count_nodes(expr: Expr) -> int:

@@ -1,0 +1,271 @@
+"""Vectorized solver kernel: equivalence with the closure path, memoization.
+
+The vectorized kernel (matrix-form constraint blocks + the slim SLSQP
+driver) must return the same design points as the closure-based reference
+across real Table-II workloads, both schemes, and every constraint-row
+type. "Same" is two-tiered, matching how SLSQP terminates:
+
+* both kernels converged → bandwidths within 1e-6 rtol;
+* either stalled (line-search at machine precision, flat ridge) → the
+  achieved objectives within 1e-2 rtol and both points feasible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    Libra,
+    build_constraint_blocks,
+    clear_solver_caches,
+    compile_expression,
+    minimize_time_cost_product,
+    minimize_training_time,
+    traffic_totals,
+)
+from repro.core.kernel import minimize_slsqp
+from repro.cost.estimator import cost_rates
+from repro.topology import get_topology
+from repro.training.expr import CommTerm, Const, MaxExpr, Sum, simplify
+from repro.utils import gbps
+from repro.utils.errors import OptimizationError
+from repro.workloads import build_workload, workload_names
+
+TOPOLOGY = "3D-512"
+
+
+@pytest.fixture(scope="module")
+def problem_factory():
+    """(expr, rates) per workload name, shared across the equivalence grid."""
+    network = get_topology(TOPOLOGY)
+    cache: dict[str, tuple] = {}
+
+    def build(name: str):
+        if name not in cache:
+            libra = Libra(network)
+            libra.add_workload(build_workload(name, network.num_npus))
+            rates = (
+                np.asarray(cost_rates(network, libra.cost_model))
+                * network.num_npus
+            )
+            cache[name] = (libra.combined_expression(), rates, network.num_dims)
+        return cache[name]
+
+    return build
+
+
+def make_constraints(variant: str, num_dims: int) -> ConstraintSet:
+    constraints = ConstraintSet(num_dims).with_total_bandwidth(gbps(400))
+    if variant == "cap":
+        constraints.with_dim_cap(num_dims - 1, gbps(60))
+    elif variant == "ordering":
+        constraints.with_ordering(list(range(num_dims)))
+    return constraints
+
+
+def assert_equivalent(reference, candidate, constraints):
+    if reference.success and candidate.success:
+        np.testing.assert_allclose(
+            candidate.bandwidths, reference.bandwidths, rtol=1e-6,
+            err_msg="converged kernels disagree on the design point",
+        )
+        assert candidate.objective == pytest.approx(
+            reference.objective, rel=1e-8
+        )
+    else:
+        # Stall iterates sit on flat ridges: the bandwidth vector is not
+        # unique but the achieved objective is (to solver precision).
+        assert candidate.objective == pytest.approx(
+            reference.objective, rel=1e-2
+        )
+        assert constraints.is_feasible(candidate.bandwidths, tolerance=1e-4)
+        assert constraints.is_feasible(reference.bandwidths, tolerance=1e-4)
+
+
+@pytest.mark.parametrize("workload", workload_names())
+@pytest.mark.parametrize("variant", ["budget", "cap", "ordering"])
+class TestKernelEquivalence:
+    def test_perf_opt(self, problem_factory, workload, variant):
+        expr, _, num_dims = problem_factory(workload)
+        reference = minimize_training_time(
+            expr, make_constraints(variant, num_dims), kernel="closures"
+        )
+        candidate = minimize_training_time(
+            expr, make_constraints(variant, num_dims), kernel="vectorized"
+        )
+        assert_equivalent(
+            reference, candidate, make_constraints(variant, num_dims)
+        )
+
+    def test_perf_per_cost(self, problem_factory, workload, variant):
+        expr, rates, num_dims = problem_factory(workload)
+        reference = minimize_time_cost_product(
+            expr, make_constraints(variant, num_dims), rates, kernel="closures"
+        )
+        candidate = minimize_time_cost_product(
+            expr, make_constraints(variant, num_dims), rates, kernel="vectorized"
+        )
+        assert_equivalent(
+            reference, candidate, make_constraints(variant, num_dims)
+        )
+
+
+class TestKernelValidation:
+    def test_unknown_kernel_rejected(self):
+        expr = CommTerm(((0, gbps(10)),))
+        cons = ConstraintSet(1).with_total_bandwidth(gbps(100))
+        with pytest.raises(OptimizationError):
+            minimize_training_time(expr, cons, kernel="magic")
+        with pytest.raises(OptimizationError):
+            minimize_time_cost_product(expr, cons, [1.0], kernel="magic")
+
+
+class TestConstraintBlocks:
+    def test_row_layout(self):
+        expr = Sum(
+            (
+                MaxExpr((Const(0.5), CommTerm(((0, gbps(10)), (1, gbps(4)))))),
+                CommTerm(((1, gbps(3)),)),
+            )
+        )
+        cons = (
+            ConstraintSet(2)
+            .with_total_bandwidth(gbps(100))
+            .with_ordering([0, 1])
+        )
+        program = compile_expression(expr, 2)
+        blocks = build_constraint_blocks(program, cons)
+        assert blocks.num_vars == 2 + program.num_aux
+        assert blocks.num_eq == 1  # the budget row
+        # ordering row + the max node's epigraph rows in the linear block
+        assert len(blocks.b_in) == 1 + len(program.max_constraints)
+        assert len(blocks.comm_aux) == len(program.comm_constraints)
+        assert blocks.num_rows == blocks.num_eq + len(blocks.b_in) + len(
+            blocks.comm_aux
+        )
+
+    def test_block_values_match_closures(self):
+        """Block evaluation equals the closure constraint functions."""
+        from repro.core.solver import _scipy_constraints
+
+        expr = Sum(
+            (
+                MaxExpr((Const(0.2), CommTerm(((0, gbps(8)),)))),
+                CommTerm(((1, gbps(5)), (2, gbps(2)))),
+            )
+        )
+        cons = (
+            ConstraintSet(3)
+            .with_total_bandwidth(gbps(300))
+            .with_dim_cap(2, gbps(40))
+        )
+        program = compile_expression(expr, 3)
+        blocks = build_constraint_blocks(program, cons)
+        rng = np.random.default_rng(7)
+        x = rng.uniform(1.0, 120.0, blocks.num_vars)
+
+        closure_values = []
+        for row in _scipy_constraints(program, cons):
+            closure_values.append((row["type"], float(row["fun"](x))))
+        d = np.zeros(blocks.num_rows)
+        blocks.values_into(d, x)
+        block_values = sorted(
+            [("eq", v) for v in d[: blocks.num_eq]]
+            + [("ineq", v) for v in d[blocks.num_eq:]],
+            key=lambda item: (item[0], round(item[1], 9)),
+        )
+        closure_values.sort(key=lambda item: (item[0], round(item[1], 9)))
+        assert len(block_values) == len(closure_values)
+        for (kind_a, val_a), (kind_b, val_b) in zip(
+            block_values, closure_values
+        ):
+            assert kind_a == kind_b
+            assert val_a == pytest.approx(val_b, rel=1e-12, abs=1e-12)
+
+    def test_driver_matches_scipy_fallback(self):
+        """The slim driver reproduces scipy.optimize.minimize on the blocks."""
+        from repro.core.kernel import _minimize_slsqp_fallback
+
+        expr = CommTerm(((0, gbps(120)), (1, gbps(60)), (2, gbps(15))))
+        cons = ConstraintSet(3).with_total_bandwidth(gbps(300))
+        program = compile_expression(expr, 3)
+        blocks = build_constraint_blocks(program, cons)
+        gradient = np.concatenate([np.zeros(3), program.objective_weights])
+        x0 = np.concatenate([np.full(3, 100.0), [2.0]])
+
+        fast = minimize_slsqp(
+            program.objective_value, lambda x: gradient, x0, blocks,
+            maxiter=400, ftol=1e-10,
+        )
+        slow = _minimize_slsqp_fallback(
+            program.objective_value, lambda x: gradient, x0, blocks,
+            maxiter=400, ftol=1e-10,
+        )
+        assert fast.success and slow.success
+        np.testing.assert_allclose(fast.x, slow.x, rtol=1e-7)
+
+
+class TestInitialAux:
+    def test_matches_reference_tree_evaluation(self):
+        """Vectorized tight-aux values equal per-aux subtree evaluation."""
+        from repro.core.solver import _SCALE
+
+        expr = Sum(
+            (
+                MaxExpr(
+                    (
+                        Sum((Const(0.1), CommTerm(((0, gbps(20)),)))),
+                        CommTerm(((1, gbps(30)), (2, gbps(5)))),
+                    )
+                ),
+                CommTerm(((2, gbps(9)),)),
+                Const(0.4),
+            ),
+            (2.0, 1.0, 1.0),
+        )
+        program = compile_expression(expr, 3)
+        scaled = np.array([12.0, 88.0, 41.0])
+        vectorized = program.initial_aux(scaled)
+        reference = np.array(
+            [node.evaluate(scaled * _SCALE) for node in program.aux_expressions]
+        )
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-12)
+
+
+class TestMemoization:
+    def test_compile_memo_hit_on_warm_start(self):
+        """One PerfPerCost solve compiles once; the warm start is a hit."""
+        clear_solver_caches()
+        expr = Sum(
+            (CommTerm(((0, gbps(200)), (1, gbps(40)))), Const(0.01))
+        )
+        cons = ConstraintSet(2).with_total_bandwidth(gbps(200))
+        minimize_time_cost_product(expr, cons, [1e-9, 5e-9])
+        info = compile_expression.cache_info()
+        assert info.misses == 1
+        assert info.hits >= 1  # the inner PerfOpt warm start reused it
+
+    def test_repeat_solve_fully_cached(self):
+        """A second identical solve re-runs SLSQP but recompiles nothing."""
+        clear_solver_caches()
+        expr = CommTerm(((0, gbps(100)), (1, gbps(25))))
+        cons = ConstraintSet(2).with_total_bandwidth(gbps(150))
+        minimize_training_time(expr, cons)
+        compile_misses = compile_expression.cache_info().misses
+        traffic_misses = traffic_totals.cache_info().misses
+        cons2 = ConstraintSet(2).with_total_bandwidth(gbps(150))
+        minimize_training_time(expr, cons2)
+        assert compile_expression.cache_info().misses == compile_misses
+        assert traffic_totals.cache_info().misses == traffic_misses
+
+    def test_traffic_totals_shared_array_is_read_only(self):
+        clear_solver_caches()
+        totals = traffic_totals(CommTerm(((0, 10.0),)), 2)
+        with pytest.raises(ValueError):
+            totals[0] = 99.0
+
+    def test_simplify_memoized(self):
+        clear_solver_caches()
+        expr = Sum((CommTerm(((0, 5.0),)), CommTerm(((0, 5.0),))))
+        first = simplify(expr)
+        assert simplify(expr) is first

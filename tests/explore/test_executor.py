@@ -129,6 +129,55 @@ class TestCaching:
         assert warm.hit_rate == 1.0 and warm.solver_calls == 0
 
 
+class TestCompletenessGuard:
+    def test_unresolved_cell_raises_explicitly(self):
+        """Partial sweeps must raise ReproError, never return silently
+        (a bare assert would be stripped under ``python -O``)."""
+        from repro.explore.executor import _require_complete
+        from repro.utils.errors import ReproError
+
+        point = ExplorationPoint("Turing-NLG", TINY, 100.0, Scheme.PERF_OPT)
+        resolved = run_sweep([point]).results[0]
+        with pytest.raises(ReproError, match="1 of 2 cells unresolved"):
+            _require_complete([resolved, None], 2)
+
+    def test_complete_results_pass(self):
+        from repro.explore.executor import _require_complete
+
+        point = ExplorationPoint("Turing-NLG", TINY, 100.0, Scheme.PERF_OPT)
+        resolved = run_sweep([point]).results[0]
+        _require_complete([resolved], 1)  # no raise
+
+
+class TestPerWorkerLRU:
+    def test_topology_and_workload_resolved_once(self):
+        """Cells sharing a topology/workload reuse one cached instance."""
+        from repro.explore.executor import (
+            _build_workload_cached,
+            _resolve_topology_cached,
+        )
+
+        _resolve_topology_cached.cache_clear()
+        _build_workload_cached.cache_clear()
+        run_sweep(tiny_spec(bandwidths_gbps=(100.0, 200.0, 300.0)))
+        topo_info = _resolve_topology_cached.cache_info()
+        workload_info = _build_workload_cached.cache_info()
+        assert topo_info.misses == 1
+        assert topo_info.hits == 2
+        assert workload_info.misses == 1
+        assert workload_info.hits == 2
+
+    def test_lru_failures_propagate_uncached(self):
+        from repro.explore.executor import _resolve_topology_cached
+
+        _resolve_topology_cached.cache_clear()
+        with pytest.raises(Exception):
+            _resolve_topology_cached("XX(4)")
+        with pytest.raises(Exception):
+            _resolve_topology_cached("XX(4)")
+        assert _resolve_topology_cached.cache_info().currsize == 0
+
+
 class TestParallelExecution:
     def test_parallel_equals_serial(self):
         spec = tiny_spec(

@@ -1,0 +1,99 @@
+"""The flat vectorized evaluator must match Expr.evaluate exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training.expr import (
+    CommTerm,
+    Const,
+    MaxExpr,
+    Sum,
+    VectorEvaluator,
+    vector_evaluator,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def nested_expression() -> Sum:
+    return Sum(
+        (
+            MaxExpr(
+                (
+                    Sum((Const(0.25), CommTerm(((0, 40.0), (2, 10.0))))),
+                    CommTerm(((1, 80.0),)),
+                )
+            ),
+            CommTerm(((2, 12.0),)),
+            Const(1.5),
+            CommTerm(()),  # empty collective contributes zero
+        ),
+        (3.0, 1.0, 1.0, 2.0),
+    )
+
+
+class TestVectorEvaluator:
+    def test_matches_tree_evaluation(self):
+        expr = nested_expression()
+        evaluator = VectorEvaluator(expr)
+        for bandwidths in ([10.0, 20.0, 5.0], [100.0, 1.0, 50.0], [3.0, 3.0, 3.0]):
+            assert evaluator(bandwidths) == pytest.approx(
+                expr.evaluate(bandwidths), rel=1e-12
+            )
+
+    def test_const_only(self):
+        assert VectorEvaluator(Const(4.25))([1.0]) == 4.25
+
+    def test_repeat_calls_do_not_accumulate(self):
+        """The internal buffer must be overwritten, never accumulated."""
+        expr = nested_expression()
+        evaluator = VectorEvaluator(expr)
+        first = evaluator([10.0, 20.0, 5.0])
+        evaluator([99.0, 99.0, 99.0])
+        assert evaluator([10.0, 20.0, 5.0]) == pytest.approx(first, rel=1e-12)
+
+    def test_dimension_check(self):
+        evaluator = VectorEvaluator(CommTerm(((2, 5.0),)))
+        with pytest.raises(ConfigurationError):
+            evaluator([100.0, 100.0])
+
+    def test_factory_is_memoized(self):
+        expr = nested_expression()
+        assert vector_evaluator(expr) is vector_evaluator(expr)
+
+    def test_numpy_input(self):
+        expr = nested_expression()
+        bandwidths = np.array([7.0, 11.0, 13.0])
+        assert VectorEvaluator(expr)(bandwidths) == pytest.approx(
+            expr.evaluate(bandwidths), rel=1e-12
+        )
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=1e4), min_size=2, max_size=4
+    ),
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=5
+    ),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_property_random_sums_of_collectives(bandwidths, coeffs, const):
+    """Random Sum(Max(comm, const), comm...) trees agree with the tree walk."""
+    num_dims = len(bandwidths)
+    terms = [
+        CommTerm(
+            tuple(
+                (dim, coeff)
+                for dim, coeff in enumerate(coeffs[: num_dims])
+            )
+        )
+    ]
+    expr = Sum(
+        (MaxExpr((terms[0], Const(const))), Const(const)), (1.0, 2.0)
+    )
+    assert VectorEvaluator(expr)(bandwidths) == pytest.approx(
+        expr.evaluate(bandwidths), rel=1e-12, abs=1e-12
+    )
