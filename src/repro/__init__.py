@@ -7,7 +7,17 @@ its evaluation depends on: the network/collective/workload/cost models, the
 constrained optimizer, a chunk-level network simulator, and the Themis/TACOS
 runtime companions.
 
-Quick start::
+Quick start — state the problem as a :class:`Scenario`, submit it to the
+service::
+
+    from repro import LibraService, OptimizeRequest, build_scenario
+
+    scenario = build_scenario("4D-4K", ["GPT-3"], total_bw_gbps=500)
+    response = LibraService().submit(OptimizeRequest(scenario=scenario))
+    print(response.point.describe())
+    print(f"{response.speedup_over_baseline:.2f}x over EqualBW")
+
+The imperative facade remains available for step-by-step sessions::
 
     from repro import Libra, Scheme, build_workload, get_topology, gbps
 
@@ -20,6 +30,8 @@ Quick start::
 
 Subpackage map (see DESIGN.md for the full inventory):
 
+* :mod:`repro.api` — the declarative Scenario/Service request API and the
+  name registries (topologies, workloads, cost models, loops, schemes).
 * :mod:`repro.topology` — network shapes, notation, presets, link graphs.
 * :mod:`repro.collectives` — collective patterns, traffic, analytical times.
 * :mod:`repro.workloads` — Table II model builders, parallelism, parser.
@@ -32,6 +44,18 @@ Subpackage map (see DESIGN.md for the full inventory):
 * :mod:`repro.runtime` — Themis scheduler and TACOS synthesizer analogues.
 """
 
+from repro.api import (
+    BatchRequest,
+    BatchResponse,
+    LibraService,
+    OptimizeRequest,
+    OptimizeResponse,
+    Scenario,
+    build_scenario,
+    get_service,
+    load_scenario,
+    save_scenario,
+)
 from repro.core import (
     ConstraintSet,
     DesignPoint,
@@ -59,6 +83,16 @@ from repro.workloads import Parallelism, Workload, build_workload, workload_name
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchRequest",
+    "BatchResponse",
+    "LibraService",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "Scenario",
+    "build_scenario",
+    "get_service",
+    "load_scenario",
+    "save_scenario",
     "ConstraintSet",
     "DesignPoint",
     "Libra",

@@ -1,0 +1,211 @@
+"""Request and response value types for :class:`~repro.api.service.LibraService`.
+
+Every interaction with the service is a frozen request value and a frozen
+response value, both JSON round-trippable:
+
+* :class:`OptimizeRequest` — one scenario plus a scheme. Three shapes:
+  a *solve* (``scheme`` is ``PerfOptBW``/``PerfPerCostOptBW``), an
+  *EqualBW baseline* (``scheme`` is ``EqualBW``), or an *explicit
+  evaluation* (``bandwidths_gbps`` set — no solver involved).
+* :class:`OptimizeResponse` — the resulting design point, the EqualBW
+  baseline when a budget exists, and the two headline comparison metrics.
+* :class:`BatchRequest` — a whole :class:`~repro.explore.spec.SweepSpec`
+  grid routed through the explore engine and its content-addressed cache.
+
+Responses carry :data:`RESPONSE_SCHEMA_VERSION` so downstream consumers
+(CI validation, future HTTP front ends) can detect layout drift.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.api.registry import resolve_scheme
+from repro.api.scenario import Scenario
+from repro.core.results import DesignPoint, Scheme
+from repro.utils.errors import ConfigurationError
+
+if TYPE_CHECKING:  # explore sits above the api layer; never import it here
+    from repro.explore.records import SweepResult
+    from repro.explore.spec import SweepSpec
+
+#: Bump when the OptimizeResponse payload layout changes incompatibly.
+RESPONSE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class OptimizeRequest:
+    """One optimization (or evaluation) of a scenario.
+
+    Attributes:
+        scenario: The problem statement.
+        scheme: Allocation scheme to run; ignored as a solver choice when
+            ``bandwidths_gbps`` is given (it then only tags the point).
+        bandwidths_gbps: Explicit per-dimension bandwidths to evaluate
+            instead of solving, GB/s.
+        include_baseline: Attach the EqualBW baseline and comparison
+            metrics when the scenario carries a total-bandwidth budget.
+        kernel: Solver kernel (``"vectorized"`` or ``"closures"``).
+    """
+
+    scenario: Scenario
+    scheme: Scheme = Scheme.PERF_OPT
+    bandwidths_gbps: tuple[float, ...] | None = None
+    include_baseline: bool = True
+    kernel: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheme", resolve_scheme(self.scheme))
+        if self.bandwidths_gbps is not None:
+            values = tuple(float(b) for b in self.bandwidths_gbps)
+            if len(values) != self.scenario.network.num_dims:
+                raise ConfigurationError(
+                    f"expected {self.scenario.network.num_dims} bandwidths, "
+                    f"got {len(values)}"
+                )
+            if any(b <= 0 for b in values):
+                raise ConfigurationError(
+                    f"bandwidths must be positive, got {values}"
+                )
+            object.__setattr__(self, "bandwidths_gbps", values)
+        elif self.scenario.constraints is None:
+            raise ConfigurationError(
+                "scenario has no constraints; either give the scenario a "
+                "constraint set or pass explicit bandwidths_gbps"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "scheme": self.scheme.value,
+            "bandwidths_gbps": (
+                None if self.bandwidths_gbps is None else list(self.bandwidths_gbps)
+            ),
+            "include_baseline": self.include_baseline,
+            "kernel": self.kernel,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "OptimizeRequest":
+        """Rebuild a request from :meth:`to_dict` output."""
+        try:
+            bandwidths = payload.get("bandwidths_gbps")
+            return cls(
+                scenario=Scenario.from_dict(payload["scenario"]),
+                scheme=resolve_scheme(payload.get("scheme", "perf")),
+                bandwidths_gbps=(
+                    None if bandwidths is None
+                    else tuple(float(b) for b in bandwidths)
+                ),
+                include_baseline=bool(payload.get("include_baseline", True)),
+                kernel=str(payload.get("kernel", "vectorized")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed optimize-request payload: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class OptimizeResponse:
+    """The answer to one :class:`OptimizeRequest`.
+
+    Attributes:
+        scenario_key: Content address of the scenario that was solved.
+        scheme: Scheme the point was produced under.
+        point: The resulting design point.
+        baseline: The scenario's EqualBW baseline (``None`` when the
+            scenario has no budget or the request declined it).
+        speedup_over_baseline: ``T_base / T_point`` on the weighted group
+            objective; ``None`` without a baseline.
+        ppc_gain_over_baseline: ``(T·C)_base / (T·C)_point``; ``None``
+            without a baseline.
+    """
+
+    scenario_key: str
+    scheme: Scheme
+    point: DesignPoint
+    baseline: DesignPoint | None = None
+    speedup_over_baseline: float | None = None
+    ppc_gain_over_baseline: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (``json.dumps``-able without custom encoders)."""
+        return {
+            "schema_version": RESPONSE_SCHEMA_VERSION,
+            "scenario_key": self.scenario_key,
+            "scheme": self.scheme.value,
+            "point": self.point.to_dict(),
+            "baseline": None if self.baseline is None else self.baseline.to_dict(),
+            "speedup_over_baseline": self.speedup_over_baseline,
+            "ppc_gain_over_baseline": self.ppc_gain_over_baseline,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "OptimizeResponse":
+        """Rebuild a response from :meth:`to_dict` output."""
+        version = payload.get("schema_version")
+        if version != RESPONSE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported response schema version {version!r}; "
+                f"this library reads version {RESPONSE_SCHEMA_VERSION}"
+            )
+        try:
+            baseline = payload.get("baseline")
+            speedup = payload.get("speedup_over_baseline")
+            ppc = payload.get("ppc_gain_over_baseline")
+            return cls(
+                scenario_key=str(payload["scenario_key"]),
+                scheme=resolve_scheme(payload["scheme"]),
+                point=DesignPoint.from_dict(payload["point"]),
+                baseline=(
+                    None if baseline is None else DesignPoint.from_dict(baseline)
+                ),
+                speedup_over_baseline=None if speedup is None else float(speedup),
+                ppc_gain_over_baseline=None if ppc is None else float(ppc),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed optimize-response payload: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A whole exploration grid as one request.
+
+    Routed through :func:`repro.explore.executor.run_sweep`, so batch
+    submissions get the parallel executor, per-cell failure containment,
+    and the content-addressed result cache for free.
+
+    Attributes:
+        spec: The sweep grid (workloads × topologies × budgets × schemes).
+        workers: Process-pool width; 1 solves inline.
+        cache_dir: Content-addressed on-disk result cache directory;
+            ``None`` uses a per-service in-memory cache.
+    """
+
+    spec: "SweepSpec"
+    workers: int = 1
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """The answer to one :class:`BatchRequest`: the assembled sweep rows."""
+
+    sweep: "SweepResult"
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (row schema is the explore artifact format)."""
+        return {
+            "schema_version": RESPONSE_SCHEMA_VERSION,
+            "sweep": self.sweep.to_dict(),
+        }

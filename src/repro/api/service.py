@@ -1,0 +1,201 @@
+"""The stateless request/response front end: :class:`LibraService`.
+
+The service is the one true entry point for answering LIBRA questions. It
+owns no problem state — every request carries its complete problem
+statement as a :class:`~repro.api.scenario.Scenario` — so a single service
+instance can serve arbitrarily many interleaved scenarios, and any future
+HTTP/queue front end is a thin codec over :meth:`LibraService.submit`.
+
+The only thing the service keeps is a bounded memo of *compiled engines*:
+building a :class:`~repro.core.framework.Libra` from a scenario (workload
+construction, symbolic step-time expressions) dominates repeat-request
+latency, so engines are cached on the scenario's canonical key. Two
+structurally identical scenarios — whatever their display names or payload
+field order — share one engine.
+
+Typical session::
+
+    from repro.api import LibraService, OptimizeRequest, build_scenario
+
+    service = LibraService()
+    scenario = build_scenario("4D-4K", ["GPT-3"], total_bw_gbps=500)
+    response = service.submit(OptimizeRequest(scenario=scenario))
+    print(response.point.describe(), response.speedup_over_baseline)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.api.requests import (
+    BatchRequest,
+    BatchResponse,
+    OptimizeRequest,
+    OptimizeResponse,
+)
+from repro.api.scenario import Scenario
+from repro.core.framework import Libra
+from repro.core.results import DesignPoint, Scheme
+from repro.utils.errors import ConfigurationError, OptimizationError
+from repro.utils.units import gbps
+
+
+class LibraService:
+    """Stateless scenario optimizer with a bounded compiled-engine memo.
+
+    Args:
+        max_compiled: Engine-memo capacity (LRU eviction). Compiled engines
+            hold symbolic expression trees, so the bound keeps a
+            long-running service's footprint flat.
+    """
+
+    def __init__(self, max_compiled: int = 128):
+        if max_compiled < 1:
+            raise ConfigurationError(
+                f"max_compiled must be >= 1, got {max_compiled}"
+            )
+        self._max_compiled = max_compiled
+        self._engines: OrderedDict[str, Libra] = OrderedDict()
+        self._batch_cache = None  # lazy per-service in-memory ResultCache
+
+    # -- compilation ---------------------------------------------------------
+
+    def engine(self, scenario: Scenario) -> Libra:
+        """The compiled engine for a scenario.
+
+        Memoized on :meth:`Scenario.engine_key` — the canonical payload
+        *minus constraints*, which compilation never reads — so scenarios
+        differing only in budget or caps share one engine.
+        """
+        key = scenario.engine_key()
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = scenario.compile()
+            self._engines[key] = engine
+            if len(self._engines) > self._max_compiled:
+                self._engines.popitem(last=False)
+        else:
+            self._engines.move_to_end(key)
+        return engine
+
+    @property
+    def compiled_count(self) -> int:
+        """How many engines the memo currently holds."""
+        return len(self._engines)
+
+    def clear(self) -> None:
+        """Drop every memoized engine and the in-memory batch cache."""
+        self._engines.clear()
+        self._batch_cache = None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def submit(
+        self, request: OptimizeRequest | BatchRequest
+    ) -> OptimizeResponse | BatchResponse:
+        """Answer one request.
+
+        Dispatches on the request type: single solves, explicit-bandwidth
+        evaluations, and EqualBW baselines run through the compiled engine;
+        batch requests route through the explore engine and its
+        content-addressed cache.
+        """
+        if isinstance(request, BatchRequest):
+            return self._submit_batch(request)
+        if isinstance(request, OptimizeRequest):
+            return self._submit_optimize(request)
+        raise ConfigurationError(
+            f"unknown request type {type(request).__name__}; expected "
+            "OptimizeRequest or BatchRequest"
+        )
+
+    # -- single requests -----------------------------------------------------
+
+    def _submit_optimize(self, request: OptimizeRequest) -> OptimizeResponse:
+        scenario = request.scenario
+        engine = self.engine(scenario)
+
+        if request.bandwidths_gbps is not None:
+            point = engine.evaluate(
+                [gbps(b) for b in request.bandwidths_gbps], scheme=request.scheme
+            )
+        elif request.scheme is Scheme.EQUAL_BW:
+            point = engine.equal_bw_point(self._budget(scenario))
+        else:
+            point = engine.optimize(
+                request.scheme, scenario.constraints, kernel=request.kernel
+            )
+
+        baseline = None
+        if (
+            request.include_baseline
+            and scenario.constraints is not None
+            and scenario.constraints.total_bandwidth is not None
+        ):
+            baseline = engine.equal_bw_point(scenario.constraints.total_bandwidth)
+
+        return OptimizeResponse(
+            scenario_key=scenario.key(),
+            scheme=request.scheme,
+            point=point,
+            baseline=baseline,
+            speedup_over_baseline=(
+                None if baseline is None
+                else baseline.weighted_step_time / point.weighted_step_time
+            ),
+            ppc_gain_over_baseline=(
+                None if baseline is None else _ppc_gain(point, baseline)
+            ),
+        )
+
+    @staticmethod
+    def _budget(scenario: Scenario) -> float:
+        if (
+            scenario.constraints is None
+            or scenario.constraints.total_bandwidth is None
+        ):
+            raise OptimizationError(
+                "EqualBW needs a total-bandwidth budget in the scenario's "
+                "constraint set"
+            )
+        return scenario.constraints.total_bandwidth
+
+    # -- batch requests --------------------------------------------------------
+
+    def _submit_batch(self, request: BatchRequest) -> BatchResponse:
+        # Imported lazily: the explore engine sits *above* the api layer
+        # (its spec module pulls scheme aliases from the registry), so a
+        # module-level import here would be circular.
+        from repro.explore.cache import ResultCache
+        from repro.explore.executor import run_sweep
+
+        if request.cache_dir is not None:
+            cache = ResultCache(request.cache_dir)
+        else:
+            # The documented per-service in-memory cache: repeat batch
+            # submissions against one service reuse solved cells.
+            if self._batch_cache is None:
+                self._batch_cache = ResultCache()
+            cache = self._batch_cache
+        sweep = run_sweep(request.spec, cache=cache, workers=request.workers)
+        return BatchResponse(sweep=sweep)
+
+
+def _ppc_gain(point: DesignPoint, baseline: DesignPoint) -> float:
+    """Perf-per-cost gain on the weighted group objective."""
+    ours = point.weighted_step_time * point.network_cost
+    theirs = baseline.weighted_step_time * baseline.network_cost
+    return theirs / ours if ours > 0 else 0.0
+
+
+#: Per-process default service. Worker processes, benchmarks, and the CLI
+#: share it so repeated requests against one scenario compile it once.
+_DEFAULT_SERVICE: LibraService | None = None
+
+
+def get_service() -> LibraService:
+    """The process-wide default :class:`LibraService` (created on demand)."""
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = LibraService()
+    return _DEFAULT_SERVICE

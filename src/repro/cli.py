@@ -1,13 +1,15 @@
 """Command-line interface for the LIBRA reproduction.
 
-Drives the Fig. 3 pipeline from the shell::
+Every subcommand is a thin request builder over the
+:mod:`repro.api` Scenario/Service layer::
 
     repro-libra topologies
     repro-libra workloads
     repro-libra optimize --topology 4D-4K --workload GPT-3 \\
         --total-bw 500 --scheme perf
-    repro-libra optimize --topology 3D-4K --workload-file my.workload \\
-        --total-bw 600 --scheme perf-per-cost --cap 2:50
+    repro-libra optimize --scenario gpt3.json --scheme perf-per-cost --json
+    repro-libra scenario --topology 4D-4K --workload GPT-3 \\
+        --total-bw 500 --output gpt3.json
     repro-libra sweep --topology 4D-4K --workload MSFT-1T \\
         --bw 100 --bw 500 --bw 1000
     repro-libra explore --workload GPT-3 --workload Turing-NLG \\
@@ -22,19 +24,30 @@ Drives the Fig. 3 pipeline from the shell::
         --output BENCH_solver.json
     repro-libra bench --quick
 
-Bandwidths are GB/s on the command line (converted at the boundary; the
-library itself is bytes/s throughout).
+``--json`` on optimize / sweep / cost / simulate emits the machine-readable
+response payload instead of the human report. Bandwidths are GB/s on the
+command line (converted at the boundary; the library itself is bytes/s
+throughout).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
-from repro.core import Libra, Scheme
+from repro.api.registry import SCHEME_ALIASES as _SCHEMES
+from repro.api.requests import OptimizeRequest
+from repro.api.scenario import (
+    Scenario,
+    build_scenario,
+    load_scenario,
+    save_scenario,
+)
+from repro.api.service import get_service
+from repro.core import ConstraintSet, Scheme
 from repro.cost import cost_breakdown, default_cost_model
-from repro.explore.spec import SCHEME_ALIASES as _SCHEMES
 from repro.topology import (
     EVALUATION_TOPOLOGIES,
     REAL_SYSTEM_TOPOLOGIES,
@@ -57,10 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("workloads", help="list preset workloads (Table II)")
 
     optimize = sub.add_parser("optimize", help="optimize one design point")
-    _add_target_args(optimize)
     optimize.add_argument(
-        "--total-bw", type=float, required=True,
-        help="aggregate bandwidth budget per NPU, GB/s",
+        "--scenario", metavar="FILE",
+        help="scenario JSON file (replaces --topology/--workload/--total-bw)",
+    )
+    _add_target_args(optimize, required=False)
+    optimize.add_argument(
+        "--total-bw", type=float,
+        help="aggregate bandwidth budget per NPU, GB/s "
+             "(required without --scenario)",
     )
     optimize.add_argument(
         "--scheme", choices=sorted(_SCHEMES), default="perf",
@@ -70,12 +88,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--cap", action="append", default=[], metavar="DIM:GBPS",
         help="cap one dimension's bandwidth, e.g. --cap 3:50 (repeatable)",
     )
+    optimize.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the OptimizeResponse payload as JSON",
+    )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="build a scenario JSON file from flags (input to optimize --scenario)",
+    )
+    _add_target_args(scenario)
+    scenario.add_argument(
+        "--total-bw", type=float,
+        help="aggregate bandwidth budget per NPU, GB/s",
+    )
+    scenario.add_argument(
+        "--cap", action="append", default=[], metavar="DIM:GBPS",
+        help="cap one dimension's bandwidth (repeatable)",
+    )
+    scenario.add_argument(
+        "--loop", default="no-overlap",
+        help="training loop registry name (default: no-overlap)",
+    )
+    scenario.add_argument(
+        "--output", metavar="FILE",
+        help="write the scenario here (default: stdout)",
+    )
 
     sweep = sub.add_parser("sweep", help="sweep bandwidth budgets")
     _add_target_args(sweep)
     sweep.add_argument(
         "--bw", action="append", type=float, required=True, metavar="GBPS",
         help="budget point in GB/s (repeatable)",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the sweep rows as JSON",
     )
 
     explore = sub.add_parser(
@@ -142,12 +190,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--themis", action="store_true", help="enable the Themis chunk scheduler"
     )
+    simulate.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the simulation report as JSON",
+    )
 
     cost = sub.add_parser("cost", help="price a bandwidth configuration")
     cost.add_argument("--topology", required=True)
     cost.add_argument(
         "--bandwidths", required=True,
         help="comma-separated per-dimension bandwidths, GB/s",
+    )
+    cost.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the cost breakdown as JSON",
     )
 
     bench = sub.add_parser(
@@ -183,9 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_target_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--topology", required=True, help="preset name or notation")
-    target = parser.add_mutually_exclusive_group(required=True)
+def _add_target_args(
+    parser: argparse.ArgumentParser, required: bool = True
+) -> None:
+    parser.add_argument(
+        "--topology", required=required, help="preset name or notation"
+    )
+    target = parser.add_mutually_exclusive_group(required=required)
     target.add_argument("--workload", help="preset workload name (Table II)")
     target.add_argument("--workload-file", help="path to a text workload file")
 
@@ -200,6 +260,23 @@ def _resolve_workload(args: argparse.Namespace, network: MultiDimNetwork):
     if args.workload_file:
         return load_workload_file(args.workload_file)
     return build_workload(args.workload, network.num_npus)
+
+
+def _target_scenario(
+    args: argparse.Namespace, total_bw_gbps: float | None
+) -> Scenario:
+    """Build the scenario the --topology/--workload[-file] flags describe."""
+    if args.workload_file:
+        workloads = [load_workload_file(args.workload_file)]
+    else:
+        workloads = [args.workload]
+    return build_scenario(
+        topology=args.topology,
+        workloads=workloads,
+        total_bw_gbps=total_bw_gbps,
+        dim_caps_gbps=_parse_caps(getattr(args, "cap", [])),
+        loop=getattr(args, "loop", "no-overlap"),
+    )
 
 
 def _parse_bandwidths(text: str, num_dims: int) -> list[float]:
@@ -235,40 +312,106 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _optimize_scenario(args: argparse.Namespace) -> Scenario:
+    """Resolve the optimize subcommand's flags into one scenario."""
+    if args.scenario:
+        if args.topology or args.workload or args.workload_file or args.cap:
+            raise ReproError(
+                "--scenario replaces the target flags; drop "
+                "--topology/--workload/--workload-file/--cap or edit the file"
+            )
+        scenario = load_scenario(args.scenario)
+        has_budget = (
+            scenario.constraints is not None
+            and scenario.constraints.total_bandwidth is not None
+        )
+        if args.total_bw is not None:
+            if has_budget:
+                raise ReproError(
+                    "the scenario file already carries a total-bandwidth "
+                    "budget; drop --total-bw or edit the file"
+                )
+            # Augment in place so caps/orderings the file carries survive.
+            constraints = scenario.constraints or ConstraintSet(
+                scenario.network.num_dims
+            )
+            constraints.with_total_bandwidth(gbps(args.total_bw))
+            scenario = scenario.with_constraints(constraints)
+        elif not has_budget:
+            raise ReproError(
+                "the scenario has no total-bandwidth budget; pass --total-bw"
+            )
+        return scenario
+    if not (args.topology and (args.workload or args.workload_file)):
+        raise ReproError(
+            "optimize needs either --scenario or --topology plus "
+            "--workload/--workload-file"
+        )
+    if args.total_bw is None:
+        raise ReproError("--total-bw is required without --scenario")
+    return _target_scenario(args, args.total_bw)
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    network = _resolve_network(args.topology)
-    workload = _resolve_workload(args, network)
-    libra = Libra(network)
-    libra.add_workload(workload)
+    scenario = _optimize_scenario(args)
+    response = get_service().submit(
+        OptimizeRequest(scenario=scenario, scheme=_SCHEMES[args.scheme])
+    )
+    if args.as_json:
+        print(json.dumps(response.to_dict(), indent=1, sort_keys=True))
+        return 0
+    print(response.point.describe())
+    if response.baseline is not None:
+        print(response.baseline.describe())
+        print(
+            f"speedup over EqualBW:       "
+            f"{response.speedup_over_baseline:.3f}x"
+        )
+        print(
+            f"perf-per-cost over EqualBW: "
+            f"{response.ppc_gain_over_baseline:.3f}x"
+        )
+    return 0
 
-    constraints = libra.constraints().with_total_bandwidth(gbps(args.total_bw))
-    for cap in args.cap:
-        dim_text, _, cap_text = cap.partition(":")
-        constraints.with_dim_cap(int(dim_text), gbps(float(cap_text)))
 
-    point = libra.optimize(_SCHEMES[args.scheme], constraints)
-    baseline = libra.equal_bw_point(gbps(args.total_bw))
-    print(point.describe())
-    print(baseline.describe())
-    print(f"speedup over EqualBW:       {point.speedup_over(baseline):.3f}x")
-    print(f"perf-per-cost over EqualBW: {point.perf_per_cost_gain_over(baseline):.3f}x")
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = _target_scenario(args, args.total_bw)
+    if args.output:
+        save_scenario(scenario, args.output)
+        print(f"wrote {args.output} (key {scenario.key()[:12]}…)")
+    else:
+        print(json.dumps(scenario.to_dict(), indent=1, sort_keys=True))
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    network = _resolve_network(args.topology)
-    workload = _resolve_workload(args, network)
-    libra = Libra(network)
-    libra.add_workload(workload)
-    print(f"{'BW (GB/s)':>10}  {'PerfOpt speedup':>16}  {'PerfPerCost ppc':>16}")
+    service = get_service()
+    rows = []
     for budget in args.bw:
-        constraints = libra.constraints().with_total_bandwidth(gbps(budget))
-        perf = libra.optimize(Scheme.PERF_OPT, constraints)
-        ppc = libra.optimize(Scheme.PERF_PER_COST_OPT, constraints)
-        baseline = libra.equal_bw_point(gbps(budget))
+        scenario = _target_scenario(args, budget)
+        perf = service.submit(
+            OptimizeRequest(scenario=scenario, scheme=Scheme.PERF_OPT)
+        )
+        ppc = service.submit(
+            OptimizeRequest(scenario=scenario, scheme=Scheme.PERF_PER_COST_OPT)
+        )
+        rows.append((budget, perf, ppc))
+    if args.as_json:
+        payload = [
+            {
+                "total_bw_gbps": budget,
+                "perf": perf.to_dict(),
+                "perf_per_cost": ppc.to_dict(),
+            }
+            for budget, perf, ppc in rows
+        ]
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    print(f"{'BW (GB/s)':>10}  {'PerfOpt speedup':>16}  {'PerfPerCost ppc':>16}")
+    for budget, perf, ppc in rows:
         print(
-            f"{budget:>10.0f}  {perf.speedup_over(baseline):>15.3f}x "
-            f"{ppc.perf_per_cost_gain_over(baseline):>15.3f}x"
+            f"{budget:>10.0f}  {perf.speedup_over_baseline:>15.3f}x "
+            f"{ppc.ppc_gain_over_baseline:>15.3f}x"
         )
     return 0
 
@@ -311,8 +454,6 @@ def _explore_spec(args: argparse.Namespace):
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    import json
-
     from repro.explore import (
         ENGINE_VERSION,
         ResultCache,
@@ -412,6 +553,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         workload, network, bandwidths, num_chunks=args.chunks,
         scheduler_factory=factory,
     )
+    if args.as_json:
+        payload = {
+            "step_time_s": float(step.total_time),
+            "compute_time_s": float(step.compute_time),
+            "comm_time_s": float(step.comm_time),
+            "per_dim_utilization": [
+                float(u) for u in step.comm_report.per_dim_utilization
+            ],
+            "aggregate_utilization": float(
+                step.comm_report.aggregate_utilization
+            ),
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
     utils = ", ".join(f"{u:.2f}" for u in step.comm_report.per_dim_utilization)
     print(f"step time:    {step.total_time * 1e3:.3f} ms")
     print(f"compute time: {step.compute_time * 1e3:.3f} ms")
@@ -426,6 +581,23 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     bandwidths = _parse_bandwidths(args.bandwidths, network.num_dims)
     model = default_cost_model()
     entries = cost_breakdown(network, bandwidths, model)
+    if args.as_json:
+        payload = {
+            "dims": [
+                {
+                    "dim": entry.dim,
+                    "tier": network.tiers[entry.dim].value,
+                    "link": float(entry.link),
+                    "switch": float(entry.switch),
+                    "nic": float(entry.nic),
+                    "total": float(entry.total),
+                }
+                for entry in entries
+            ],
+            "total": float(sum(entry.total for entry in entries)),
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
     total = 0.0
     for entry in entries:
         tier = network.tiers[entry.dim].value
@@ -475,6 +647,7 @@ _COMMANDS = {
     "topologies": _cmd_topologies,
     "workloads": _cmd_workloads,
     "optimize": _cmd_optimize,
+    "scenario": _cmd_scenario,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,
     "simulate": _cmd_simulate,

@@ -243,6 +243,77 @@ class ConstraintSet:
             "total_bandwidth": self.total_bandwidth,
         }
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        Unlike :meth:`canonical`, this keeps row labels and row order so a
+        round-tripped set reports the same diagnostics — but the two sets
+        still hash identically under :meth:`canonical`.
+        """
+        return {
+            "num_dims": self.num_dims,
+            "min_bandwidth": self.min_bandwidth,
+            "lower_bounds": [float(b) for b in self._lower_bounds],
+            "upper_bounds": [float(b) for b in self._upper_bounds],
+            "rows": [
+                {
+                    "coeffs": [float(c) for c in row.coeffs],
+                    "lower": row.lower,
+                    "upper": row.upper,
+                    "label": row.label,
+                }
+                for row in self.rows
+            ],
+            "total_bandwidth": self.total_bandwidth,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConstraintSet":
+        """Rebuild a constraint set from :meth:`to_dict` output."""
+        try:
+            built = cls(
+                num_dims=int(payload["num_dims"]),
+                min_bandwidth=float(payload.get("min_bandwidth", DEFAULT_MIN_BANDWIDTH)),
+            )
+            lower = payload.get("lower_bounds")
+            upper = payload.get("upper_bounds")
+            if lower is not None:
+                if len(lower) != built.num_dims:
+                    raise ConfigurationError(
+                        f"expected {built.num_dims} lower bounds, got {len(lower)}"
+                    )
+                built._lower_bounds = np.asarray([float(b) for b in lower])
+            if upper is not None:
+                if len(upper) != built.num_dims:
+                    raise ConfigurationError(
+                        f"expected {built.num_dims} upper bounds, got {len(upper)}"
+                    )
+                built._upper_bounds = np.asarray([float(b) for b in upper])
+            if np.any(built._lower_bounds > built._upper_bounds):
+                raise ConfigurationError("constraint payload has empty box bounds")
+            for row in payload.get("rows", ()):
+                if len(row["coeffs"]) != built.num_dims:
+                    raise ConfigurationError(
+                        f"constraint row {row.get('label') or ''!r} has "
+                        f"{len(row['coeffs'])} coefficients for "
+                        f"{built.num_dims} dims"
+                    )
+                built.rows.append(
+                    LinearConstraint(
+                        coeffs=tuple(float(c) for c in row["coeffs"]),
+                        lower=None if row.get("lower") is None else float(row["lower"]),
+                        upper=None if row.get("upper") is None else float(row["upper"]),
+                        label=str(row.get("label", "")),
+                    )
+                )
+            total = payload.get("total_bandwidth")
+            built.total_bandwidth = None if total is None else float(total)
+            return built
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed constraint-set payload: {exc}"
+            ) from exc
+
     def equal_split(self) -> np.ndarray:
         """The EqualBW baseline point: the total budget divided evenly.
 

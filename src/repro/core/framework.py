@@ -3,7 +3,14 @@
 :class:`Libra` binds together every input of the paper's block diagram —
 target workloads, network shape, training loop, compute model, and network
 cost model — and exposes the two optimization schemes plus the EqualBW
-baseline. A typical session::
+baseline.
+
+Since the :mod:`repro.api` layer landed, ``Libra`` doubles as the *compiled
+engine* behind the declarative API: :meth:`repro.api.Scenario.compile`
+produces one, and :class:`repro.api.LibraService` memoizes them on the
+scenario's canonical key. New consumers should prefer stating problems as
+scenarios; the imperative facade below remains fully supported for
+step-by-step sessions. A typical session::
 
     libra = Libra(network=get_topology("4D-4K"))
     libra.add_workload(build_workload("GPT-3", 4096))
@@ -133,9 +140,11 @@ class Libra:
             )
         # vector_evaluator flattens each expression once per process; sweep
         # baselines evaluating thousands of points hit the memoized arrays.
+        # Its np.float64 results are coerced to native floats so design
+        # points stay json.dumps-able without a custom encoder.
         step_times = {
-            workload.name: vector_evaluator(self.training_expression(workload))(
-                bandwidths
+            workload.name: float(
+                vector_evaluator(self.training_expression(workload))(bandwidths)
             )
             for workload, _ in self._workloads
         }
@@ -143,7 +152,9 @@ class Libra:
             scheme=scheme,
             bandwidths=tuple(float(b) for b in bandwidths),
             step_times=step_times,
-            network_cost=network_cost(self.network, bandwidths, self.cost_model),
+            network_cost=float(
+                network_cost(self.network, bandwidths, self.cost_model)
+            ),
             solver_message=solver_message,
         )
 

@@ -94,12 +94,18 @@ class DesignPoint:
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        Every number is coerced to a native float: solver paths hand design
+        points numpy scalars, which ``json.dumps`` refuses to encode.
+        """
         return {
             "scheme": self.scheme.value,
-            "bandwidths": list(self.bandwidths),
-            "step_times": dict(self.step_times),
-            "network_cost": self.network_cost,
+            "bandwidths": [float(b) for b in self.bandwidths],
+            "step_times": {
+                name: float(time) for name, time in self.step_times.items()
+            },
+            "network_cost": float(self.network_cost),
             "solver_message": self.solver_message,
         }
 

@@ -96,6 +96,45 @@ class CostModel:
             }
         }
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        Unlike :meth:`canonical` this keeps the display ``name``, so a
+        round-tripped model reports identically.
+        """
+        return {
+            "name": self.name,
+            "tiers": {
+                tier.value: {
+                    "link": cost.link,
+                    "switch": cost.switch,
+                    "nic": cost.nic,
+                }
+                for tier, cost in sorted(
+                    self.tiers.items(), key=lambda item: item[0].value
+                )
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostModel":
+        """Rebuild a cost model from :meth:`to_dict` output."""
+        try:
+            tiers = {}
+            for tier_name, prices in payload["tiers"].items():
+                tier = NetworkTier(tier_name)
+                tiers[tier] = TierCost(
+                    link=float(prices["link"]),
+                    switch=(
+                        None if prices.get("switch") is None
+                        else float(prices["switch"])
+                    ),
+                    nic=None if prices.get("nic") is None else float(prices["nic"]),
+                )
+            return cls(tiers=tiers, name=str(payload.get("name", "custom")))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed cost-model payload: {exc}") from exc
+
     def with_link_cost(self, tier: NetworkTier, link: float) -> "CostModel":
         """Copy with one tier's link price replaced (Fig. 18's sweep knob)."""
         if link < 0:

@@ -18,11 +18,11 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
 from functools import lru_cache
 
-from repro.core.framework import Libra
-from repro.core.results import Scheme
+from repro.api.registry import resolve_workload
+from repro.api.requests import OptimizeRequest
+from repro.api.scenario import Scenario, ScenarioWorkload
+from repro.api.service import get_service
 from repro.utils.errors import ReproError
-from repro.utils.units import gbps
-from repro.workloads.presets import build_workload
 from repro.workloads.workload import Workload
 
 from repro.explore.cache import ResultCache
@@ -50,28 +50,41 @@ def _resolve_topology_cached(name_or_notation: str):
 @lru_cache(maxsize=64)
 def _build_workload_cached(preset: str, num_npus: int) -> Workload:
     """Per-worker LRU over preset workload construction (same rationale)."""
-    return build_workload(preset, num_npus)
+    return resolve_workload(preset, num_npus)
+
+
+def point_scenario(point: ExplorationPoint) -> Scenario:
+    """The :class:`Scenario` one exploration cell describes.
+
+    This is the payload actually shipped through the service — the worker
+    no longer hand-assembles a ``Libra``; it states the problem and lets
+    the per-process service compile it (memoized on the canonical key, so
+    every cell of a grid column sharing one workload × topology reuses one
+    compiled engine).
+    """
+    network = _resolve_topology_cached(point.topology)
+    if isinstance(point.workload, Workload):
+        entry = ScenarioWorkload(workload=point.workload)
+    else:
+        entry = ScenarioWorkload(
+            workload=_build_workload_cached(point.workload, network.num_npus),
+            preset=point.workload,
+        )
+    return Scenario(
+        network=network,
+        workloads=(entry,),
+        constraints=point_constraints(point, network.num_dims),
+        cost_model=point.cost_model,
+    )
 
 
 def solve_point(point: ExplorationPoint, key: str = "") -> ExplorationResult:
     """Solve one exploration cell, capturing any failure as an error row."""
     try:
-        network = _resolve_topology_cached(point.topology)
-        if isinstance(point.workload, Workload):
-            workload = point.workload
-        else:
-            workload = _build_workload_cached(point.workload, network.num_npus)
-        libra = Libra(network, cost_model=point.cost_model)
-        libra.add_workload(workload)
-        baseline = libra.equal_bw_point(gbps(point.total_bw_gbps))
-        if point.scheme is Scheme.EQUAL_BW:
-            optimized = baseline
-        else:
-            optimized = libra.optimize(
-                point.scheme, point_constraints(point, network.num_dims)
-            )
-        time_cost = optimized.weighted_step_time * optimized.network_cost
-        baseline_time_cost = baseline.weighted_step_time * baseline.network_cost
+        response = get_service().submit(
+            OptimizeRequest(scenario=point_scenario(point), scheme=point.scheme)
+        )
+        optimized = response.point
         return ExplorationResult(
             point=point,
             key=key,
@@ -80,12 +93,8 @@ def solve_point(point: ExplorationPoint, key: str = "") -> ExplorationResult:
                 name: time * 1e3 for name, time in optimized.step_times.items()
             },
             network_cost=optimized.network_cost,
-            speedup_over_equal=(
-                baseline.weighted_step_time / optimized.weighted_step_time
-            ),
-            ppc_gain_over_equal=(
-                baseline_time_cost / time_cost if time_cost > 0 else 0.0
-            ),
+            speedup_over_equal=response.speedup_over_baseline or 0.0,
+            ppc_gain_over_equal=response.ppc_gain_over_baseline or 0.0,
             solver_message=optimized.solver_message,
         )
     except Exception as exc:  # noqa: BLE001 — error containment is the contract

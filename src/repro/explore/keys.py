@@ -11,41 +11,21 @@ result schema or solve semantics change.
 
 from __future__ import annotations
 
-import hashlib
-import json
-
+from repro.api.registry import resolve_topology  # noqa: F401
 from repro.core.constraints import ConstraintSet
 from repro.cost.model import default_cost_model
-from repro.topology.network import MultiDimNetwork
-from repro.topology.presets import (
-    EVALUATION_TOPOLOGIES,
-    REAL_SYSTEM_TOPOLOGIES,
-    get_topology,
-)
+from repro.utils.canonical import canonical_json, digest  # noqa: F401
 from repro.utils.units import gbps
 from repro.workloads.workload import Workload
 
 from repro.explore.spec import ExplorationPoint
 
+# resolve_topology now lives in repro.api.registry (so user-registered
+# topology presets are sweepable) and canonical_json/digest in
+# repro.utils.canonical; both are re-exported here for compatibility.
+
 #: Bump to invalidate every cached exploration result (schema / semantics).
 ENGINE_VERSION = 1
-
-
-def canonical_json(payload: object) -> str:
-    """Deterministic JSON encoding: sorted keys, no whitespace drift."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def digest(payload: object) -> str:
-    """SHA-256 hex digest of a payload's canonical JSON encoding."""
-    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
-
-
-def resolve_topology(name_or_notation: str) -> MultiDimNetwork:
-    """A network from a preset name (either registry) or raw notation."""
-    if name_or_notation in EVALUATION_TOPOLOGIES or name_or_notation in REAL_SYSTEM_TOPOLOGIES:
-        return get_topology(name_or_notation)
-    return MultiDimNetwork.from_notation(name_or_notation)
 
 
 def point_constraints(point: ExplorationPoint, num_dims: int) -> ConstraintSet:

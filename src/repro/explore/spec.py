@@ -26,32 +26,15 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.api.registry import SCHEME_ALIASES, resolve_scheme  # noqa: F401
 from repro.core.results import Scheme
 from repro.cost.model import CostModel
 from repro.utils.errors import ConfigurationError
 from repro.workloads.workload import Workload
 
-#: CLI / spec-file aliases for the optimization schemes.
-SCHEME_ALIASES: dict[str, Scheme] = {
-    "perf": Scheme.PERF_OPT,
-    "perf-per-cost": Scheme.PERF_PER_COST_OPT,
-    "equal": Scheme.EQUAL_BW,
-}
-
-
-def resolve_scheme(value: str | Scheme) -> Scheme:
-    """Accept a :class:`Scheme`, an alias (``"perf"``), or an enum value."""
-    if isinstance(value, Scheme):
-        return value
-    alias = SCHEME_ALIASES.get(str(value).lower())
-    if alias is not None:
-        return alias
-    for scheme in Scheme:
-        if scheme.value == value:
-            return scheme
-    raise ConfigurationError(
-        f"unknown scheme {value!r}; expected one of {sorted(SCHEME_ALIASES)}"
-    )
+# SCHEME_ALIASES / resolve_scheme moved to repro.api.registry (the one
+# registry for every name the API accepts); re-exported here so existing
+# `from repro.explore.spec import SCHEME_ALIASES` imports keep working.
 
 
 @dataclass(frozen=True)

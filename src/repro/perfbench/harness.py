@@ -29,7 +29,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.framework import Libra
+from repro.api.scenario import build_scenario
+from repro.api.service import get_service
 from repro.core.solver import (
     clear_solver_caches,
     compile_expression,
@@ -38,11 +39,9 @@ from repro.core.solver import (
     traffic_totals,
 )
 from repro.cost.estimator import cost_rates
-from repro.explore.keys import resolve_topology
 from repro.training.expr import simplify
 from repro.utils.errors import ReproError
 from repro.utils.units import gbps
-from repro.workloads.presets import build_workload
 
 #: Bump when the BENCH_solver.json layout changes.
 BENCH_SCHEMA_VERSION = 1
@@ -81,16 +80,26 @@ def quick_config() -> BenchConfig:
 
 
 def _build_problem(config: BenchConfig):
-    """Expression + constraint factory + cost rates for one configuration."""
-    network = resolve_topology(config.topology)
-    libra = Libra(network)
-    for name in config.workloads:
-        libra.add_workload(build_workload(name, network.num_npus))
-    expression = libra.combined_expression()
-    rates = np.asarray(cost_rates(network, libra.cost_model)) * network.num_npus
+    """Expression + constraint factory + cost rates for one configuration.
+
+    The benchmark states its problem as a :class:`~repro.api.scenario
+    .Scenario` and pulls the compiled engine from the service, exactly as
+    production requests do; only the solver kernels below are hand-timed.
+    """
+    scenario = build_scenario(
+        topology=config.topology,
+        workloads=config.workloads,
+        total_bw_gbps=config.total_bw_gbps,
+    )
+    engine = get_service().engine(scenario)
+    network = scenario.network
+    expression = engine.combined_expression()
+    rates = np.asarray(cost_rates(network, engine.cost_model)) * network.num_npus
 
     def make_constraints():
-        return libra.constraints().with_total_bandwidth(gbps(config.total_bw_gbps))
+        # Fresh per solve so every repetition pays the feasibility LP, as
+        # the pre-API harness did (timings stay comparable across PRs).
+        return engine.constraints().with_total_bandwidth(gbps(config.total_bw_gbps))
 
     return expression, make_constraints, rates
 

@@ -94,6 +94,15 @@ def simulate_training_step(
             result: CollectiveResult = simulate_collective(
                 op, bw, num_chunks=num_chunks, scheduler=scheduler
             )
+            if scheduler is not None:
+                # A planning scheduler's projection ignores intra-chunk
+                # serialization, so its plan can lose to the canonical
+                # order. Honour the documented fallback contract — never
+                # meaningfully slower — by keeping whichever simulates
+                # faster.
+                canonical = simulate_collective(op, bw, num_chunks=num_chunks)
+                if canonical.finish_time < result.finish_time:
+                    result = canonical
             collective_times[op.label] = result.finish_time
             reports.append(result.report)
             total += result.finish_time

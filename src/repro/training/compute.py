@@ -48,6 +48,28 @@ class ComputeModel:
             raise ConfigurationError(f"flops must be >= 0, got {flops}")
         return flops / self.effective_flops
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "peak_flops": self.peak_flops,
+            "efficiency": self.efficiency,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComputeModel":
+        """Rebuild a compute model from :meth:`to_dict` output."""
+        try:
+            return cls(
+                peak_flops=float(payload["peak_flops"]),
+                efficiency=float(payload.get("efficiency", 1.0)),
+                name=str(payload.get("name", "custom")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed compute-model payload: {exc}"
+            ) from exc
+
 
 def a100_compute_model() -> ComputeModel:
     """The paper's A100 model: 312 TFLOPS FP16 peak at 75% → 234 TFLOPS."""

@@ -1,5 +1,6 @@
-"""Shared helpers: unit conversions, validation, and library exceptions."""
+"""Shared helpers: unit conversions, validation, canonical JSON, errors."""
 
+from repro.utils.canonical import canonical_json, digest
 from repro.utils.errors import (
     ConfigurationError,
     MappingError,
@@ -33,6 +34,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "canonical_json",
+    "digest",
     "ConfigurationError",
     "MappingError",
     "NotationError",

@@ -1,0 +1,25 @@
+"""Canonical JSON encoding and content addressing.
+
+Every cacheable object in the library exposes a ``canonical()`` dict; this
+module turns those payloads into stable content addresses. The encoding is
+deterministic — sorted keys, no whitespace drift — so two structurally
+identical payloads digest identically on any platform and Python version.
+
+Shared by :mod:`repro.explore.keys` (sweep-cell cache keys) and
+:mod:`repro.api.scenario` (scenario identity for service-level memoization).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def digest(payload: object) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON encoding."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

@@ -1,0 +1,237 @@
+"""Scenario round-trips, validation, and facade equivalence."""
+
+import json
+
+import pytest
+
+from repro.api.scenario import (
+    SCENARIO_SCHEMA_VERSION,
+    Scenario,
+    ScenarioValidationError,
+    ScenarioWorkload,
+    build_scenario,
+    load_scenario,
+    save_scenario,
+)
+from repro.core import Libra
+from repro.core.constraints import ConstraintSet
+from repro.core.results import Scheme
+from repro.topology.presets import (
+    EVALUATION_TOPOLOGIES,
+    REAL_SYSTEM_TOPOLOGIES,
+    get_topology,
+)
+from repro.training.compute import ComputeModel
+from repro.training.loops import TPDPOverlapLoop
+from repro.utils import gbps
+from repro.utils.errors import ConfigurationError
+from repro.workloads import TP_SIZES, build_workload, workload_names
+
+
+def _valid_combos():
+    """Every preset topology × Table II workload whose TP degree fits."""
+    combos = []
+    for topology in list(EVALUATION_TOPOLOGIES) + list(REAL_SYSTEM_TOPOLOGIES):
+        num_npus = get_topology(topology).num_npus
+        for workload in workload_names():
+            if num_npus % TP_SIZES[workload] == 0 and num_npus > TP_SIZES[workload]:
+                combos.append((topology, workload))
+    return combos
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("topology,workload", _valid_combos())
+    def test_every_preset_combo_round_trips(self, topology, workload):
+        scenario = build_scenario(topology, [workload], total_bw_gbps=500)
+        payload = scenario.to_dict()
+        # The payload must be plain JSON, not merely dict-shaped.
+        rebuilt = Scenario.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.key() == scenario.key()
+        # Identical design point through the facade path at the same split.
+        split = [gbps(500) / scenario.network.num_dims] * scenario.network.num_dims
+        facade = Libra(scenario.network)
+        facade.add_workload(build_workload(workload, scenario.network.num_npus))
+        assert rebuilt.compile().evaluate(split) == facade.evaluate(split)
+
+    def test_inline_workload_round_trips(self):
+        from repro.topology.network import MultiDimNetwork
+
+        concrete = build_workload("Turing-NLG", 6)
+        scenario = Scenario(
+            network=MultiDimNetwork.from_notation("RI(3)_RI(2)"),
+            workloads=(ScenarioWorkload(workload=concrete, weight=2.0),),
+        )
+        payload = scenario.to_dict()
+        assert "inline" in payload["workloads"][0]
+        rebuilt = Scenario.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.key() == scenario.key()
+        assert rebuilt.workloads[0].weight == 2.0
+
+    def test_constraints_and_models_round_trip(self):
+        constraints = (
+            ConstraintSet(2)
+            .with_total_bandwidth(gbps(300))
+            .with_dim_cap(1, gbps(100))
+            .with_ordering([0, 1])
+        )
+        scenario = build_scenario(
+            "RI(3)_RI(2)",
+            ["Turing-NLG"],
+            constraints=constraints,
+            compute_model=ComputeModel(peak_flops=1e15, efficiency=0.5, name="X"),
+            loop=TPDPOverlapLoop.name,
+            in_network_dims=(0,),
+        )
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt.key() == scenario.key()
+        assert rebuilt.constraints.canonical() == constraints.canonical()
+        assert rebuilt.compute_model.name == "X"
+        assert rebuilt.loop == TPDPOverlapLoop.name
+        assert rebuilt.in_network_dims == (0,)
+
+    def test_registry_name_shorthand(self):
+        """Hand-written files may name cost/compute models instead of
+        embedding them."""
+        payload = build_scenario(
+            "RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300
+        ).to_dict()
+        payload["cost_model"] = "table1-default"
+        payload["compute_model"] = "A100-75pct"
+        scenario = Scenario.from_dict(payload)
+        assert scenario.cost_model.name == "table1-default"
+        assert scenario.compute_model.name == "A100-75pct"
+
+    def test_file_round_trip(self, tmp_path):
+        scenario = build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300)
+        path = tmp_path / "s.json"
+        save_scenario(scenario, path)
+        assert load_scenario(path).key() == scenario.key()
+
+
+class TestIdentity:
+    def test_key_ignores_display_names(self):
+        from repro.topology.network import MultiDimNetwork
+
+        a = build_scenario("3D-512", ["Turing-NLG"], total_bw_gbps=300)
+        renamed = MultiDimNetwork.from_notation(
+            "SW(16)_SW(8)_SW(4)", name="something-else"
+        )
+        b = build_scenario(renamed, ["Turing-NLG"], total_bw_gbps=300)
+        assert a.key() == b.key()
+
+    def test_key_tracks_problem_changes(self):
+        base = build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300)
+        keys = {
+            base.key(),
+            build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=400).key(),
+            build_scenario(
+                "RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300,
+                loop="tp-dp-overlap",
+            ).key(),
+            build_scenario(
+                "RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300,
+                in_network_dims=(0,),
+            ).key(),
+            build_scenario(
+                "RI(3)_RI(2)", [("Turing-NLG", 2.0)], total_bw_gbps=300
+            ).key(),
+        }
+        assert len(keys) == 5
+
+    def test_preset_and_inline_share_identity(self):
+        """How a workload was specified must not change the key."""
+        preset = build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300)
+        inline = build_scenario(
+            "RI(3)_RI(2)", [build_workload("Turing-NLG", 6)], total_bw_gbps=300
+        )
+        assert preset.key() == inline.key()
+
+
+class TestValidation:
+    def _payload(self):
+        return build_scenario(
+            "RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300
+        ).to_dict()
+
+    def test_missing_schema_version(self):
+        payload = self._payload()
+        del payload["schema_version"]
+        with pytest.raises(ScenarioValidationError, match="schema_version"):
+            Scenario.from_dict(payload)
+
+    def test_newer_schema_version_rejected(self):
+        payload = self._payload()
+        payload["schema_version"] = SCENARIO_SCHEMA_VERSION + 1
+        with pytest.raises(ScenarioValidationError, match="unsupported version"):
+            Scenario.from_dict(payload)
+
+    def test_error_paths_locate_the_field(self):
+        payload = self._payload()
+        payload["workloads"][0] = {"weight": -1, "preset": "Turing-NLG"}
+        with pytest.raises(ScenarioValidationError, match=r"workloads\[0\].weight"):
+            Scenario.from_dict(payload)
+
+    def test_bad_network_notation(self):
+        payload = self._payload()
+        payload["network"]["notation"] = "XX(3)"
+        with pytest.raises(ScenarioValidationError, match="network"):
+            Scenario.from_dict(payload)
+
+    def test_bad_tier_name(self):
+        payload = self._payload()
+        payload["network"]["tiers"] = ["node", "warehouse"]
+        with pytest.raises(ScenarioValidationError, match="network.tiers"):
+            Scenario.from_dict(payload)
+
+    def test_workload_entry_needs_preset_or_inline(self):
+        payload = self._payload()
+        payload["workloads"][0] = {"weight": 1.0}
+        with pytest.raises(ScenarioValidationError, match="preset.*or.*inline"):
+            Scenario.from_dict(payload)
+
+    def test_npu_mismatch_is_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="NPUs"):
+            Scenario(
+                network=get_topology("3D-512"),
+                workloads=(
+                    ScenarioWorkload(workload=build_workload("Turing-NLG", 6)),
+                ),
+            )
+
+    def test_unknown_loop(self):
+        with pytest.raises(ConfigurationError, match="training loop"):
+            build_scenario(
+                "RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300, loop="warp"
+            )
+
+    def test_constraint_dims_must_match(self):
+        with pytest.raises(ConfigurationError, match="dims"):
+            build_scenario(
+                "RI(3)_RI(2)",
+                ["Turing-NLG"],
+                constraints=ConstraintSet(3).with_total_bandwidth(gbps(300)),
+            )
+
+    def test_in_network_dim_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="in-network dim"):
+            build_scenario(
+                "RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300,
+                in_network_dims=(5,),
+            )
+
+    def test_needs_at_least_one_workload(self):
+        with pytest.raises(ConfigurationError, match="at least one workload"):
+            build_scenario("RI(3)_RI(2)", [], total_bw_gbps=300)
+
+    def test_caps_require_budget(self):
+        with pytest.raises(ConfigurationError, match="requires total_bw_gbps"):
+            build_scenario("RI(3)_RI(2)", ["Turing-NLG"], dim_caps_gbps=[(0, 50)])
+
+
+class TestEqualBwScheme:
+    def test_scheme_enum_unchanged(self):
+        # The API reuses the paper's scheme enum; guard its spellings since
+        # scenario files and response payloads embed them.
+        assert {s.value for s in Scheme} == {
+            "EqualBW", "PerfOptBW", "PerfPerCostOptBW",
+        }

@@ -59,3 +59,43 @@ class TestThemisScheduler:
         fixed = simulate_collective(op, bw, num_chunks=16)
         themis = simulate_collective(op, bw, num_chunks=16, scheduler=ThemisScheduler())
         assert themis.finish_time == pytest.approx(fixed.finish_time)
+
+
+class TestStepLevelFallback:
+    def test_step_never_meaningfully_slower_than_canonical(self):
+        """Regression (hypothesis-found): on RI(2)_RI(2)_RI(2) with skewed
+        bandwidths, the greedy plan's load projection ignores intra-chunk
+        serialization and used to simulate ~18% slower than the canonical
+        order. The step simulator now keeps whichever order simulates
+        faster, honouring the documented fallback contract."""
+        from repro.collectives.types import CollectiveType
+        from repro.simulator import simulate_training_step
+        from repro.topology.network import MultiDimNetwork
+        from repro.workloads.layers import CommRequirement, CommScope, Layer
+        from repro.workloads.parallelism import Parallelism
+        from repro.workloads.workload import Workload
+
+        network = MultiDimNetwork.from_notation("RI(2)_RI(2)_RI(2)")
+        workload = Workload(
+            name="prop",
+            layers=(
+                Layer(
+                    name="layer0",
+                    dp_comms=(
+                        CommRequirement(
+                            CommScope.DP, CollectiveType.ALL_REDUCE, 1e6
+                        ),
+                    ),
+                ),
+            ),
+            parallelism=Parallelism(tp=1, dp=8),
+        )
+        bandwidths = [13e9, 9e9, 5e9]
+        fixed = simulate_training_step(
+            workload, network, bandwidths, num_chunks=8
+        ).total_time
+        themis = simulate_training_step(
+            workload, network, bandwidths, num_chunks=8,
+            scheduler_factory=ThemisScheduler,
+        ).total_time
+        assert themis <= fixed * (1 + 1e-9)

@@ -100,6 +100,207 @@ class TestOptimize:
         assert "error:" in capsys.readouterr().err
 
 
+class TestOptimizeApi:
+    def test_json_output_is_valid_response(self, capsys):
+        import json
+
+        from repro.api.requests import RESPONSE_SCHEMA_VERSION, OptimizeResponse
+
+        code = main(
+            [
+                "optimize",
+                "--topology", "RI(3)_RI(2)",
+                "--workload", "Turing-NLG",
+                "--total-bw", "300",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == RESPONSE_SCHEMA_VERSION
+        response = OptimizeResponse.from_dict(payload)
+        assert response.speedup_over_baseline >= 1.0
+
+    def test_scenario_file_input(self, tmp_path, capsys):
+        from repro.api import build_scenario, save_scenario
+
+        path = tmp_path / "s.json"
+        save_scenario(
+            build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300), path
+        )
+        code = main(["optimize", "--scenario", str(path)])
+        assert code == 0
+        assert "PerfOptBW" in capsys.readouterr().out
+
+    def test_scenario_without_budget_takes_total_bw(self, tmp_path, capsys):
+        from repro.api import build_scenario, save_scenario
+
+        path = tmp_path / "s.json"
+        save_scenario(build_scenario("RI(3)_RI(2)", ["Turing-NLG"]), path)
+        assert main(["optimize", "--scenario", str(path)]) == 2
+        assert "no total-bandwidth budget" in capsys.readouterr().err
+        assert main(["optimize", "--scenario", str(path), "--total-bw", "300"]) == 0
+
+    def test_budget_flag_keeps_scenario_caps(self, tmp_path, capsys):
+        """A caps-only scenario plus --total-bw must honour both."""
+        import json
+
+        from repro.api import build_scenario, save_scenario
+        from repro.core import ConstraintSet
+        from repro.utils import gbps
+
+        path = tmp_path / "s.json"
+        save_scenario(
+            build_scenario(
+                "RI(3)_RI(2)", ["Turing-NLG"],
+                constraints=ConstraintSet(2).with_dim_cap(0, gbps(40)),
+            ),
+            path,
+        )
+        code = main(
+            ["optimize", "--scenario", str(path), "--total-bw", "300", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        bandwidths = payload["point"]["bandwidths"]
+        assert bandwidths[0] <= 40e9 * 1.001
+        assert sum(bandwidths) == pytest.approx(300e9)
+
+    def test_budget_flag_on_budgeted_scenario_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        from repro.api import build_scenario, save_scenario
+
+        path = tmp_path / "s.json"
+        save_scenario(
+            build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300), path
+        )
+        assert main(
+            ["optimize", "--scenario", str(path), "--total-bw", "400"]
+        ) == 2
+        assert "already carries a total-bandwidth budget" in (
+            capsys.readouterr().err
+        )
+
+    def test_wrong_length_constraint_row_is_clean_error(self, tmp_path, capsys):
+        import json
+
+        from repro.api import build_scenario, save_scenario
+
+        path = tmp_path / "s.json"
+        save_scenario(
+            build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300), path
+        )
+        payload = json.loads(path.read_text())
+        payload["constraints"]["rows"][0]["coeffs"] = [1.0]
+        path.write_text(json.dumps(payload))
+        assert main(["optimize", "--scenario", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "coefficients" in err and "Traceback" not in err
+
+    def test_scenario_plus_target_flags_is_clean_error(self, tmp_path, capsys):
+        from repro.api import build_scenario, save_scenario
+
+        path = tmp_path / "s.json"
+        save_scenario(
+            build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300), path
+        )
+        code = main(
+            ["optimize", "--scenario", str(path), "--topology", "4D-4K"]
+        )
+        assert code == 2
+        assert "replaces the target flags" in capsys.readouterr().err
+
+    def test_malformed_scenario_file_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 1}')
+        assert main(["optimize", "--scenario", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_cap_is_clean_error(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--topology", "RI(3)_RI(2)",
+                "--workload", "Turing-NLG",
+                "--total-bw", "300",
+                "--cap", "one:fifty",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "malformed cap" in err and "Traceback" not in err
+
+    def test_unknown_workload_is_clean_error(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--topology", "RI(3)_RI(2)",
+                "--workload", "GPT-9000",
+                "--total-bw", "300",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "Traceback" not in err
+
+    def test_unknown_topology_is_clean_error(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--topology", "XX(8)",
+                "--workload", "Turing-NLG",
+                "--total-bw", "300",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_missing_target_is_clean_error(self, capsys):
+        assert main(["optimize", "--total-bw", "300"]) == 2
+        assert "either --scenario or --topology" in capsys.readouterr().err
+
+    def test_missing_budget_is_clean_error(self, capsys):
+        code = main(
+            ["optimize", "--topology", "RI(3)_RI(2)", "--workload", "Turing-NLG"]
+        )
+        assert code == 2
+        assert "--total-bw is required" in capsys.readouterr().err
+
+
+class TestScenarioCommand:
+    def test_writes_loadable_scenario(self, tmp_path, capsys):
+        from repro.api import load_scenario
+
+        path = tmp_path / "out.json"
+        code = main(
+            [
+                "scenario",
+                "--topology", "RI(3)_RI(2)",
+                "--workload", "Turing-NLG",
+                "--total-bw", "300",
+                "--cap", "1:60",
+                "--output", str(path),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        scenario = load_scenario(path)
+        assert scenario.constraints.total_bandwidth == 300e9
+        assert main(["optimize", "--scenario", str(path)]) == 0
+
+    def test_stdout_json(self, capsys):
+        import json
+
+        code = main(
+            ["scenario", "--topology", "RI(3)_RI(2)", "--workload", "Turing-NLG"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+
+
 class TestSweep:
     def test_sweep_rows(self, capsys):
         code = main(
@@ -114,6 +315,24 @@ class TestSweep:
         assert code == 0
         out = capsys.readouterr().out
         assert "200" in out and "600" in out
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "sweep",
+                "--topology", "RI(3)_RI(2)",
+                "--workload", "Turing-NLG",
+                "--bw", "200",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["total_bw_gbps"] == 200
+        assert payload[0]["perf"]["point"]["scheme"] == "PerfOptBW"
+        assert payload[0]["perf_per_cost"]["point"]["scheme"] == "PerfPerCostOptBW"
 
 
 class TestExplore:
@@ -254,6 +473,20 @@ class TestCost:
         out = capsys.readouterr().out
         assert "total network cost" in out
         assert "pod" in out
+
+    def test_cost_json(self, capsys):
+        import json
+
+        code = main(
+            ["cost", "--topology", "4D-4K", "--bandwidths", "125,125,125,125",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["dims"]) == 4
+        assert payload["total"] == pytest.approx(
+            sum(entry["total"] for entry in payload["dims"])
+        )
 
     def test_bad_topology(self, capsys):
         code = main(["cost", "--topology", "XX(2)", "--bandwidths", "1"])
