@@ -50,7 +50,9 @@ from repro.api.registry import (
     resolve_workload,
 )
 from repro.api.requests import (
+    REQUEST_SCHEMA_VERSION,
     RESPONSE_SCHEMA_VERSION,
+    WARM_START_AUTO,
     BatchRequest,
     BatchResponse,
     OptimizeRequest,
@@ -65,7 +67,7 @@ from repro.api.scenario import (
     load_scenario,
     save_scenario,
 )
-from repro.api.service import LibraService, get_service
+from repro.api.service import LibraService, get_service, reset_service
 
 __all__ = [
     "COMPUTE_MODELS",
@@ -81,7 +83,9 @@ __all__ = [
     "resolve_scheme",
     "resolve_topology",
     "resolve_workload",
+    "REQUEST_SCHEMA_VERSION",
     "RESPONSE_SCHEMA_VERSION",
+    "WARM_START_AUTO",
     "BatchRequest",
     "BatchResponse",
     "OptimizeRequest",
@@ -95,4 +99,5 @@ __all__ = [
     "save_scenario",
     "LibraService",
     "get_service",
+    "reset_service",
 ]

@@ -12,8 +12,9 @@ response value, both JSON round-trippable:
 * :class:`BatchRequest` — a whole :class:`~repro.explore.spec.SweepSpec`
   grid routed through the explore engine and its content-addressed cache.
 
-Responses carry :data:`RESPONSE_SCHEMA_VERSION` so downstream consumers
-(CI validation, future HTTP front ends) can detect layout drift.
+Requests and responses carry :data:`REQUEST_SCHEMA_VERSION` /
+:data:`RESPONSE_SCHEMA_VERSION` so downstream consumers (CI validation,
+future HTTP front ends) can detect layout drift.
 """
 
 from __future__ import annotations
@@ -32,7 +33,17 @@ if TYPE_CHECKING:  # explore sits above the api layer; never import it here
     from repro.explore.spec import SweepSpec
 
 #: Bump when the OptimizeResponse payload layout changes incompatibly.
-RESPONSE_SCHEMA_VERSION = 1
+#: v2: added the ``diagnostics`` object (multi-start / warm-start telemetry).
+RESPONSE_SCHEMA_VERSION = 2
+
+#: Bump when the OptimizeRequest payload layout changes incompatibly.
+#: v1 payloads (no ``schema_version`` field) predate continuation solving
+#: and are still readable — the warm-start fields simply default to cold.
+REQUEST_SCHEMA_VERSION = 2
+
+#: The ``warm_start`` sentinel asking the service to consult its own
+#: per-engine solution memo instead of an explicitly provided point.
+WARM_START_AUTO = "auto"
 
 
 @dataclass(frozen=True)
@@ -48,6 +59,14 @@ class OptimizeRequest:
         include_baseline: Attach the EqualBW baseline and comparison
             metrics when the scenario carries a total-bandwidth budget.
         kernel: Solver kernel (``"vectorized"`` or ``"closures"``).
+        warm_start: Continuation seed for the solver. ``None`` (default) is
+            the cold path; a bandwidth tuple (GB/s) is an explicit prior
+            optimum (e.g. the neighboring sweep cell); the string
+            :data:`WARM_START_AUTO` asks the service to look up its
+            solution memo for this engine × scheme × constraint family.
+            Ignored for EqualBW and explicit evaluations.
+        max_starts: Cap on the solver's multi-start seed family; ``None``
+            keeps the full family (the historical default).
     """
 
     scenario: Scenario
@@ -55,9 +74,33 @@ class OptimizeRequest:
     bandwidths_gbps: tuple[float, ...] | None = None
     include_baseline: bool = True
     kernel: str = "vectorized"
+    warm_start: tuple[float, ...] | str | None = None
+    max_starts: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scheme", resolve_scheme(self.scheme))
+        if isinstance(self.warm_start, str):
+            if self.warm_start != WARM_START_AUTO:
+                raise ConfigurationError(
+                    f"warm_start must be a bandwidth tuple, None, or "
+                    f"{WARM_START_AUTO!r}; got {self.warm_start!r}"
+                )
+        elif self.warm_start is not None:
+            values = tuple(float(b) for b in self.warm_start)
+            if len(values) != self.scenario.network.num_dims:
+                raise ConfigurationError(
+                    f"warm_start needs {self.scenario.network.num_dims} "
+                    f"bandwidths, got {len(values)}"
+                )
+            if any(b <= 0 for b in values):
+                raise ConfigurationError(
+                    f"warm_start bandwidths must be positive, got {values}"
+                )
+            object.__setattr__(self, "warm_start", values)
+        if self.max_starts is not None and self.max_starts < 1:
+            raise ConfigurationError(
+                f"max_starts must be >= 1, got {self.max_starts}"
+            )
         if self.bandwidths_gbps is not None:
             values = tuple(float(b) for b in self.bandwidths_gbps)
             if len(values) != self.scenario.network.num_dims:
@@ -78,7 +121,9 @@ class OptimizeRequest:
 
     def to_dict(self) -> dict:
         """JSON-ready payload; inverse of :meth:`from_dict`."""
+        warm = self.warm_start
         return {
+            "schema_version": REQUEST_SCHEMA_VERSION,
             "scenario": self.scenario.to_dict(),
             "scheme": self.scheme.value,
             "bandwidths_gbps": (
@@ -86,13 +131,27 @@ class OptimizeRequest:
             ),
             "include_baseline": self.include_baseline,
             "kernel": self.kernel,
+            "warm_start": list(warm) if isinstance(warm, tuple) else warm,
+            "max_starts": self.max_starts,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "OptimizeRequest":
-        """Rebuild a request from :meth:`to_dict` output."""
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Accepts version-1 payloads (no ``schema_version`` field), which
+        predate the continuation fields and parse as cold requests.
+        """
+        version = payload.get("schema_version", 1)
+        if version not in (1, REQUEST_SCHEMA_VERSION):
+            raise ConfigurationError(
+                f"unsupported request schema version {version!r}; this "
+                f"library reads versions 1 and {REQUEST_SCHEMA_VERSION}"
+            )
         try:
             bandwidths = payload.get("bandwidths_gbps")
+            warm = payload.get("warm_start")
+            max_starts = payload.get("max_starts")
             return cls(
                 scenario=Scenario.from_dict(payload["scenario"]),
                 scheme=resolve_scheme(payload.get("scheme", "perf")),
@@ -102,6 +161,11 @@ class OptimizeRequest:
                 ),
                 include_baseline=bool(payload.get("include_baseline", True)),
                 kernel=str(payload.get("kernel", "vectorized")),
+                warm_start=(
+                    warm if warm is None or isinstance(warm, str)
+                    else tuple(float(b) for b in warm)
+                ),
+                max_starts=None if max_starts is None else int(max_starts),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(
@@ -123,6 +187,13 @@ class OptimizeResponse:
             objective; ``None`` without a baseline.
         ppc_gain_over_baseline: ``(T·C)_base / (T·C)_point``; ``None``
             without a baseline.
+        diagnostics: Solver telemetry for solve requests (``None`` for
+            EqualBW and explicit evaluations): ``starts`` — seeds the
+            multi-start actually ran; ``max_starts`` — the requested cap;
+            ``warm_start`` — ``"cold"``, ``"accepted"``, or
+            ``"rejected:<reason>"``; ``warm_source`` — where the warm seed
+            came from (``"none"``, ``"explicit"``, ``"memo-hit"``,
+            ``"memo-miss"``).
     """
 
     scenario_key: str
@@ -131,6 +202,7 @@ class OptimizeResponse:
     baseline: DesignPoint | None = None
     speedup_over_baseline: float | None = None
     ppc_gain_over_baseline: float | None = None
+    diagnostics: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready payload (``json.dumps``-able without custom encoders)."""
@@ -142,6 +214,9 @@ class OptimizeResponse:
             "baseline": None if self.baseline is None else self.baseline.to_dict(),
             "speedup_over_baseline": self.speedup_over_baseline,
             "ppc_gain_over_baseline": self.ppc_gain_over_baseline,
+            "diagnostics": (
+                None if self.diagnostics is None else dict(self.diagnostics)
+            ),
         }
 
     @classmethod
@@ -157,6 +232,7 @@ class OptimizeResponse:
             baseline = payload.get("baseline")
             speedup = payload.get("speedup_over_baseline")
             ppc = payload.get("ppc_gain_over_baseline")
+            diagnostics = payload.get("diagnostics")
             return cls(
                 scenario_key=str(payload["scenario_key"]),
                 scheme=resolve_scheme(payload["scheme"]),
@@ -166,6 +242,7 @@ class OptimizeResponse:
                 ),
                 speedup_over_baseline=None if speedup is None else float(speedup),
                 ppc_gain_over_baseline=None if ppc is None else float(ppc),
+                diagnostics=None if diagnostics is None else dict(diagnostics),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(

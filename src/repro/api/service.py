@@ -6,12 +6,19 @@ statement as a :class:`~repro.api.scenario.Scenario` — so a single service
 instance can serve arbitrarily many interleaved scenarios, and any future
 HTTP/queue front end is a thin codec over :meth:`LibraService.submit`.
 
-The only thing the service keeps is a bounded memo of *compiled engines*:
-building a :class:`~repro.core.framework.Libra` from a scenario (workload
-construction, symbolic step-time expressions) dominates repeat-request
-latency, so engines are cached on the scenario's canonical key. Two
-structurally identical scenarios — whatever their display names or payload
-field order — share one engine.
+The service keeps two bounded memos, both keyed on canonical content:
+
+* *compiled engines* — building a :class:`~repro.core.framework.Libra`
+  from a scenario (workload construction, symbolic step-time expressions)
+  dominates repeat-request latency, so engines are cached on the
+  scenario's canonical key. Two structurally identical scenarios —
+  whatever their display names or payload field order — share one engine.
+* *prior solutions* — the optimum of every successful solve, keyed by
+  ``engine × scheme × constraint family`` (the constraint set's canonical
+  payload minus the budget scalar). Every solve *writes* its optimum (so
+  cold requests seed later continuations), but only a request with
+  ``warm_start="auto"`` ever *reads* the memo — with ``warm_start=None``
+  (the default) single solves stay cold and bit-reproducible.
 
 Typical session::
 
@@ -28,34 +35,64 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.api.requests import (
+    WARM_START_AUTO,
     BatchRequest,
     BatchResponse,
     OptimizeRequest,
     OptimizeResponse,
 )
 from repro.api.scenario import Scenario
+from repro.core.constraints import ConstraintSet
 from repro.core.framework import Libra
 from repro.core.results import DesignPoint, Scheme
+from repro.utils.canonical import digest
 from repro.utils.errors import ConfigurationError, OptimizationError
 from repro.utils.units import gbps
 
 
+def constraint_family_key(constraints: ConstraintSet) -> str:
+    """Content address of a constraint set *minus* its budget scalar.
+
+    Cells of one sweep column differ only in ``total_bandwidth`` (and the
+    budget row it implies); everything else — box bounds, caps, orderings,
+    extra linear rows — is the *family*. Prior optima are memoized per
+    family so a new budget in the same family can warm-start from them.
+    """
+    payload = constraints.canonical()
+    total = payload.pop("total_bandwidth")
+    if total is not None:
+        ones = [1.0] * constraints.num_dims
+        payload["rows"] = [
+            row for row in payload["rows"]
+            if not (row["coeffs"] == ones and row["upper"] == total)
+        ]
+    return digest(payload)
+
+
 class LibraService:
-    """Stateless scenario optimizer with a bounded compiled-engine memo.
+    """Stateless scenario optimizer with bounded engine and solution memos.
 
     Args:
         max_compiled: Engine-memo capacity (LRU eviction). Compiled engines
             hold symbolic expression trees, so the bound keeps a
             long-running service's footprint flat.
+        max_solutions: Solution-memo capacity (LRU eviction); each entry is
+            one bandwidth tuple, so the default is generous.
     """
 
-    def __init__(self, max_compiled: int = 128):
+    def __init__(self, max_compiled: int = 128, max_solutions: int = 1024):
         if max_compiled < 1:
             raise ConfigurationError(
                 f"max_compiled must be >= 1, got {max_compiled}"
             )
+        if max_solutions < 1:
+            raise ConfigurationError(
+                f"max_solutions must be >= 1, got {max_solutions}"
+            )
         self._max_compiled = max_compiled
+        self._max_solutions = max_solutions
         self._engines: OrderedDict[str, Libra] = OrderedDict()
+        self._solutions: OrderedDict[tuple, tuple[float, ...]] = OrderedDict()
         self._batch_cache = None  # lazy per-service in-memory ResultCache
 
     # -- compilation ---------------------------------------------------------
@@ -83,10 +120,47 @@ class LibraService:
         """How many engines the memo currently holds."""
         return len(self._engines)
 
+    @property
+    def solution_count(self) -> int:
+        """How many prior optima the solution memo currently holds."""
+        return len(self._solutions)
+
     def clear(self) -> None:
-        """Drop every memoized engine and the in-memory batch cache."""
+        """Drop every memo: engines, prior solutions, the batch cache."""
         self._engines.clear()
+        self._solutions.clear()
         self._batch_cache = None
+
+    # -- solution memo -------------------------------------------------------
+
+    def _solution_key(
+        self, scenario: Scenario, scheme: Scheme
+    ) -> tuple | None:
+        if scenario.constraints is None:
+            return None
+        return (
+            scenario.engine_key(),
+            scheme.value,
+            constraint_family_key(scenario.constraints),
+        )
+
+    def _recall_solution(self, key: tuple | None) -> tuple[float, ...] | None:
+        if key is None:
+            return None
+        solution = self._solutions.get(key)
+        if solution is not None:
+            self._solutions.move_to_end(key)
+        return solution
+
+    def _store_solution(
+        self, key: tuple | None, bandwidths: tuple[float, ...]
+    ) -> None:
+        if key is None:
+            return
+        self._solutions[key] = bandwidths
+        self._solutions.move_to_end(key)
+        if len(self._solutions) > self._max_solutions:
+            self._solutions.popitem(last=False)
 
     # -- dispatch ------------------------------------------------------------
 
@@ -114,6 +188,7 @@ class LibraService:
     def _submit_optimize(self, request: OptimizeRequest) -> OptimizeResponse:
         scenario = request.scenario
         engine = self.engine(scenario)
+        diagnostics = None
 
         if request.bandwidths_gbps is not None:
             point = engine.evaluate(
@@ -122,9 +197,23 @@ class LibraService:
         elif request.scheme is Scheme.EQUAL_BW:
             point = engine.equal_bw_point(self._budget(scenario))
         else:
-            point = engine.optimize(
-                request.scheme, scenario.constraints, kernel=request.kernel
+            memo_key = self._solution_key(scenario, request.scheme)
+            warm, warm_source = self._resolve_warm_start(request, memo_key)
+            point, solver_result = engine.optimize_result(
+                request.scheme,
+                scenario.constraints,
+                kernel=request.kernel,
+                warm_start=warm,
+                max_starts=request.max_starts,
             )
+            self._store_solution(memo_key, point.bandwidths)
+            if solver_result is not None:
+                diagnostics = {
+                    "starts": solver_result.starts,
+                    "max_starts": request.max_starts,
+                    "warm_start": solver_result.warm_start or "cold",
+                    "warm_source": warm_source,
+                }
 
         baseline = None
         if (
@@ -146,7 +235,21 @@ class LibraService:
             ppc_gain_over_baseline=(
                 None if baseline is None else _ppc_gain(point, baseline)
             ),
+            diagnostics=diagnostics,
         )
+
+    def _resolve_warm_start(
+        self, request: OptimizeRequest, memo_key: tuple | None
+    ) -> tuple[tuple[float, ...] | None, str]:
+        """The warm seed (bytes/s) a solve request asked for, plus its origin."""
+        if request.warm_start is None:
+            return None, "none"
+        if request.warm_start == WARM_START_AUTO:
+            recalled = self._recall_solution(memo_key)
+            if recalled is None:
+                return None, "memo-miss"
+            return recalled, "memo-hit"
+        return tuple(gbps(b) for b in request.warm_start), "explicit"
 
     @staticmethod
     def _budget(scenario: Scenario) -> float:
@@ -199,3 +302,13 @@ def get_service() -> LibraService:
     if _DEFAULT_SERVICE is None:
         _DEFAULT_SERVICE = LibraService()
     return _DEFAULT_SERVICE
+
+
+def reset_service() -> None:
+    """Replace the process-wide default service with a fresh one.
+
+    Benchmarks and tests use this to measure (or assert) genuinely cold
+    paths — the next :func:`get_service` call builds empty memos.
+    """
+    global _DEFAULT_SERVICE
+    _DEFAULT_SERVICE = None

@@ -17,12 +17,14 @@ Every subcommand is a thin request builder over the
         --bw 1000 --scheme perf --scheme perf-per-cost \\
         --workers 4 --cache-dir .repro-cache --output results.json
     repro-libra explore --spec sweep.json --cache-dir .repro-cache
+    repro-libra explore --spec sweep.json --profile --no-continuation
     repro-libra simulate --topology 4D-4K --workload GPT-3 \\
         --bandwidths 225,138,104,33 --themis
     repro-libra cost --topology 4D-4K --bandwidths 125,125,125,125
     repro-libra bench --workload GPT-3 --topology 4D-4K --total-bw 500 \\
         --output BENCH_solver.json
     repro-libra bench --quick
+    repro-libra bench --sweep --min-speedup 2.0
 
 ``--json`` on optimize / sweep / cost / simulate emits the machine-readable
 response payload instead of the human report. Bandwidths are GB/s on the
@@ -175,6 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print one line per resolved grid cell",
     )
+    explore.add_argument(
+        "--profile", action="store_true",
+        help="print a per-stage timing summary (cache lookup / solve / "
+             "assembly) and the warm-start hit rate",
+    )
+    explore.add_argument(
+        "--no-continuation", action="store_true",
+        help="solve every cell from cold seeds instead of propagating "
+             "warm starts through budget chains (the reference path)",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="chunk-level simulation of one training step"
@@ -233,8 +245,23 @@ def build_parser() -> argparse.ArgumentParser:
              "overrides the other target flags",
     )
     bench.add_argument(
-        "--output", default="BENCH_solver.json", metavar="FILE",
-        help="artifact path (default BENCH_solver.json)",
+        "--sweep", action="store_true",
+        help="benchmark whole sweep grids instead of single solves: "
+             "continuation (warm) vs cold, writes BENCH_sweep.json",
+    )
+    bench.add_argument(
+        "--bw", action="append", type=float, default=[], metavar="GBPS",
+        help="budget axis entry for --sweep, GB/s (repeatable)",
+    )
+    bench.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="with --sweep: fail (exit 3) if warm/cold speedup is below "
+             "this floor (default 0 = report only)",
+    )
+    bench.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="artifact path (default BENCH_solver.json, or "
+             "BENCH_sweep.json with --sweep)",
     )
     return parser
 
@@ -484,7 +511,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             )
             print(f"[{done}/{total}] {result.point.label()}: {status}")
 
-    sweep = run_sweep(spec, cache=cache, workers=args.workers, progress=progress)
+    sweep = run_sweep(
+        spec,
+        cache=cache,
+        workers=args.workers,
+        progress=progress,
+        continuation=not args.no_continuation,
+    )
 
     print(
         f"{'workload':<12} {'topology':<10} {'scheme':<17} {'BW':>6}  "
@@ -519,8 +552,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     print(
         f"\ncache: {sweep.cache_hits} hits / {sweep.cache_misses} misses "
         f"({sweep.hit_rate:.1%} hit rate), solver calls: {sweep.solver_calls}, "
-        f"errors: {sweep.num_errors}"
+        f"duplicate fan-out: {sweep.fanout_cells}, errors: {sweep.num_errors}"
     )
+    if args.profile and sweep.profile is not None:
+        print()
+        print(sweep.profile.format())
 
     if args.output:
         artifact = {
@@ -614,12 +650,48 @@ def _cmd_cost(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perfbench import (
         BenchConfig,
+        SweepBenchConfig,
         format_report,
+        format_sweep_report,
         quick_config,
+        quick_sweep_config,
         run_benchmarks,
+        run_sweep_benchmark,
         write_artifact,
     )
     from repro.perfbench.harness import BenchEquivalenceError
+
+    if args.sweep:
+        if args.quick:
+            config = quick_sweep_config()
+        else:
+            defaults = SweepBenchConfig()
+            config = SweepBenchConfig(
+                workloads=tuple(args.workload) or defaults.workloads,
+                topology=args.topology,
+                budgets_gbps=tuple(args.bw) or defaults.budgets_gbps,
+                repeats=args.repeats,
+            )
+        output = args.output or "BENCH_sweep.json"
+        try:
+            artifact = run_sweep_benchmark(config)
+        except BenchEquivalenceError as exc:
+            # Warm results that drift from the cold path are the one
+            # failure CI must catch; no artifact is written because the
+            # timings cannot be trusted.
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+        print(format_sweep_report(artifact))
+        write_artifact(output, artifact)
+        print(f"wrote {output}")
+        if args.min_speedup > 0 and artifact["speedup"] < args.min_speedup:
+            print(
+                f"error: sweep speedup {artifact['speedup']:.2f}x below "
+                f"the {args.min_speedup:g}x floor",
+                file=sys.stderr,
+            )
+            return 3
+        return 0
 
     if args.quick:
         config = quick_config()
@@ -630,6 +702,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             total_bw_gbps=args.total_bw,
             repeats=args.repeats,
         )
+    output = args.output or "BENCH_solver.json"
     try:
         artifact = run_benchmarks(config)
     except BenchEquivalenceError as exc:
@@ -638,8 +711,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 3
     print(format_report(artifact))
-    write_artifact(args.output, artifact)
-    print(f"wrote {args.output}")
+    write_artifact(output, artifact)
+    print(f"wrote {output}")
     return 0
 
 

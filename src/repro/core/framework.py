@@ -176,13 +176,36 @@ class Libra:
         scheme: Scheme,
         constraints: ConstraintSet,
         kernel: str = "vectorized",
+        warm_start: Sequence[float] | None = None,
+        max_starts: int | None = None,
     ) -> DesignPoint:
         """Run one optimization scheme under the given constraints.
 
         ``kernel`` selects the solver's inner loop: ``"vectorized"``
         (matrix-form constraint blocks, default) or ``"closures"`` (the
         per-constraint reference path kept for equivalence checks and
-        benchmarking).
+        benchmarking). ``warm_start`` (bytes/s) is a prior optimum used as
+        a continuation seed; ``max_starts`` caps the multi-start family.
+        """
+        point, _ = self.optimize_result(
+            scheme, constraints, kernel=kernel,
+            warm_start=warm_start, max_starts=max_starts,
+        )
+        return point
+
+    def optimize_result(
+        self,
+        scheme: Scheme,
+        constraints: ConstraintSet,
+        kernel: str = "vectorized",
+        warm_start: Sequence[float] | None = None,
+        max_starts: int | None = None,
+    ) -> tuple[DesignPoint, SolverResult | None]:
+        """:meth:`optimize`, also returning the raw solver diagnostics.
+
+        The second element is ``None`` for the EqualBW baseline (no solver
+        runs); otherwise it is the :class:`SolverResult` whose ``starts``
+        and ``warm_start`` fields feed the service's response diagnostics.
         """
         self._require_workloads()
         if constraints.num_dims != self.network.num_dims:
@@ -193,22 +216,27 @@ class Libra:
         if scheme is Scheme.EQUAL_BW:
             if constraints.total_bandwidth is None:
                 raise OptimizationError("EqualBW needs a total-bandwidth budget")
-            return self.equal_bw_point(constraints.total_bandwidth)
+            return self.equal_bw_point(constraints.total_bandwidth), None
 
         expression = self.combined_expression()
         if scheme is Scheme.PERF_OPT:
-            result = minimize_training_time(expression, constraints, kernel=kernel)
+            result = minimize_training_time(
+                expression, constraints, kernel=kernel,
+                warm_start=warm_start, max_starts=max_starts,
+            )
         elif scheme is Scheme.PERF_PER_COST_OPT:
             rates = np.asarray(cost_rates(self.network, self.cost_model))
             rates_total = rates * self.network.num_npus
             result = minimize_time_cost_product(
-                expression, constraints, rates_total, kernel=kernel
+                expression, constraints, rates_total, kernel=kernel,
+                warm_start=warm_start, max_starts=max_starts,
             )
         else:
             raise ConfigurationError(f"unknown scheme {scheme!r}")
-        return self.evaluate(
+        point = self.evaluate(
             result.bandwidths, scheme=scheme, solver_message=result.message
         )
+        return point, result
 
     # -- reporting ---------------------------------------------------------------
 

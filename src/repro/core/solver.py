@@ -39,12 +39,21 @@ A memoization tier keyed on the frozen expression —
 repeat solves over one workload (warm starts, budget sweeps) skip all tree
 work. :func:`clear_solver_caches` resets every tier (used by benchmarks for
 cold-path timing).
+
+**Continuation solving** — both entry points accept ``warm_start``: a prior
+optimum (e.g. the neighboring cell of a budget sweep). The warm point is
+projected onto the new feasible region (budget-rescaled, box-clipped) and
+solved first; the full multi-start family then runs *only* when that warm
+run's achieved objective drifts past :data:`WARM_TRUST_RTOL` relative to
+the best raw seed evaluation (the adaptive fan-out that keeps correctness
+from silently degrading). ``warm_start=None`` is the cold path and stays
+the default everywhere.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 
 import numpy as np
@@ -69,6 +78,23 @@ _SCALE = GBPS
 
 #: Solver kernel names accepted by the ``kernel=`` arguments below.
 KERNELS = ("vectorized", "closures")
+
+#: Relative objective drift past which a warm-started solve is distrusted.
+#: A warm run is accepted only when it converged (or stopped on a
+#: line-search stall of the same trajectory), its iterate is feasible, and
+#: its *true* (re-evaluated) objective is within this factor of the best
+#: raw seed evaluation; otherwise the full multi-start family runs with
+#: the warm run's result kept as one more candidate. The
+#: documented continuation tolerance: accepted warm results match the cold
+#: path's objective within ~1e-2 relative in practice, and never sit above
+#: the seed family's own evaluations by more than this threshold.
+WARM_TRUST_RTOL = 1e-4
+
+#: Seed-family truncation used by PerfPerCostOptBW's internal PerfOpt warm
+#: start on the vectorized kernel (PerfOpt is convex — any converging seed
+#: reaches the optimum; two seeds are kept as a numerical safety net).
+#: Overridable per call via ``perf_warm_starts``.
+DEFAULT_PERF_WARM_STARTS = 2
 
 
 # ---------------------------------------------------------------------------
@@ -380,6 +406,29 @@ def build_seeds(
     return seeds
 
 
+def project_warm_start(
+    warm_start: Sequence[float], constraints: ConstraintSet
+) -> np.ndarray | None:
+    """Project a prior optimum onto a constraint set's feasible region.
+
+    Continuation neighbors usually differ only by the budget scalar, so the
+    projection keeps the warm point's *shape*: the bandwidth shares are
+    redistributed onto the new budget and clipped into the box bounds
+    (general linear rows are left to SLSQP, exactly as for the cold seed
+    family). Returns ``None`` when the point cannot seed this set — wrong
+    dimensionality, non-finite, or all-zero — which callers treat as
+    "fall back to cold".
+    """
+    point = np.asarray(warm_start, dtype=float)
+    if point.shape != (constraints.num_dims,):
+        return None
+    if not np.all(np.isfinite(point)) or np.sum(np.maximum(point, 0.0)) <= 0:
+        return None
+    if constraints.total_bandwidth is not None:
+        return _proportional_split(point, constraints)
+    return np.clip(point, constraints.lower_bounds, constraints.upper_bounds)
+
+
 # ---------------------------------------------------------------------------
 # Solve
 # ---------------------------------------------------------------------------
@@ -398,6 +447,10 @@ class SolverResult:
             evaluation) is returned instead.
         message: Solver diagnostics (which start won, fallbacks used).
         starts: Number of seed points tried.
+        warm_start: Continuation diagnostics — empty for cold solves,
+            ``"accepted"`` when the warm run passed the trust check and the
+            multi-start family was skipped, ``"rejected:<reason>"`` when the
+            solve fell back to the full fan-out.
     """
 
     bandwidths: tuple[float, ...]
@@ -405,6 +458,7 @@ class SolverResult:
     success: bool
     message: str
     starts: int
+    warm_start: str = ""
 
 
 def _scipy_constraints(
@@ -677,6 +731,68 @@ def _finish(
     )
 
 
+def _seed_fallbacks(
+    program: CompiledProgram,
+    seeds: Sequence[np.ndarray],
+    value_at: Callable[[np.ndarray], float],
+) -> list[tuple[np.ndarray, float, bool, str]]:
+    """Feasible tight-aux candidates at every seed (the no-solve floor)."""
+    fallbacks = []
+    for seed in seeds:
+        scaled = seed / _SCALE
+        x = np.concatenate([scaled, program.initial_aux(scaled)])
+        fallbacks.append((x, value_at(x), False, "seed"))
+    return fallbacks
+
+
+def _try_warm(
+    program: CompiledProgram,
+    constraints: ConstraintSet,
+    objective: Callable[[np.ndarray], float],
+    objective_grad: Callable[[np.ndarray], np.ndarray],
+    evaluate_true: Callable[[np.ndarray], float],
+    warm_seed: np.ndarray,
+    seeds: list[np.ndarray],
+    blocks: ConstraintBlocks | None,
+    trust_rtol: float,
+) -> tuple[tuple[np.ndarray, float, bool, str], str]:
+    """One SLSQP run from the projected warm point, trust-checked.
+
+    Returns ``(candidate, "")`` when the run is trustworthy: it either
+    converged or stopped on a line-search stall (a point of the same
+    iterate trajectory — see :func:`_solve_from_seed`), its iterate is
+    feasible, and its *re-evaluated* objective is no worse (within the
+    trust rtol) than the tightest cheap floor available — the best raw
+    seed evaluation *and* the projected warm seed's own evaluation, so an
+    SLSQP run that wanders into a stale basin below its feasible starting
+    point is rejected. Returns ``(candidate, reason)`` when the caller
+    must fan out cold; the candidate is still returned so the fallback
+    can pool it instead of re-running the identical deterministic solve.
+
+    This floor is deliberately evaluation-only: the cold PerfPerCost
+    path's PerfOpt-anchored guarantee would cost the inner solve that
+    continuation exists to skip. The residual risk — a basin shift the
+    floor cannot see — is bounded by the documented continuation
+    tolerance and measured by the sweep benchmark's per-cell gate.
+    """
+    candidate = _solve_from_seed(
+        program, constraints, objective, objective_grad, warm_seed, blocks=blocks
+    )
+    if not candidate[2] and not candidate[3].startswith("stalled"):
+        return candidate, "solver-failure"
+    bandwidths = np.maximum(candidate[0][: program.num_dims] * _SCALE, 0.0)
+    if not constraints.is_feasible(bandwidths, tolerance=1e-4):
+        return candidate, "infeasible-iterate"
+    warm_true = evaluate_true(bandwidths)
+    floor = min(
+        min(evaluate_true(seed) for seed in seeds),
+        evaluate_true(warm_seed),
+    )
+    if warm_true > floor * (1.0 + trust_rtol):
+        return candidate, "drift"
+    return candidate, ""
+
+
 def _check_kernel(kernel: str) -> None:
     if kernel not in KERNELS:
         raise OptimizationError(
@@ -699,20 +815,33 @@ def minimize_training_time(
     expr: Expr,
     constraints: ConstraintSet,
     kernel: str = "vectorized",
+    max_starts: int | None = None,
+    warm_start: Sequence[float] | None = None,
+    trust_rtol: float | None = None,
     _blocks: ConstraintBlocks | None = None,
-    _max_starts: int | None = None,
 ) -> SolverResult:
     """PerfOptBW: minimize the training-time expression (convex program).
 
-    ``_max_starts`` truncates the multi-start family (internal: the
-    PerfPerCost warm start needs only the convex optimum, which any
-    converging seed reaches; the public entry point keeps every seed as a
-    numerical safety net).
+    Args:
+        expr: Training-time expression.
+        constraints: Designer constraint set.
+        kernel: ``"vectorized"`` or ``"closures"``.
+        max_starts: Cap on the multi-start seed family; ``None`` keeps every
+            seed (the historical behavior). The convex program reaches the
+            optimum from any converging seed, so truncation is a speed knob,
+            not a correctness one.
+        warm_start: Prior optimum (bytes/s) used as a continuation seed; the
+            multi-start family is skipped when the warm run passes the trust
+            check. ``None`` is the cold path (default).
+        trust_rtol: Relative drift tolerance of the trust check;
+            ``None`` reads :data:`WARM_TRUST_RTOL` at call time.
     """
     _check_kernel(kernel)
     program = compile_expression(expr, constraints.num_dims)
     if program.num_aux == 0:
-        # Pure-compute workload: any feasible point is optimal.
+        # Pure-compute workload: any feasible point is optimal. A warm
+        # seed has nothing to continue from, so diagnostics say so rather
+        # than claiming a cold solve against a warm_source that says hit.
         point = build_seeds(expr, constraints)[0]
         return SolverResult(
             bandwidths=tuple(float(b) for b in point),
@@ -720,6 +849,9 @@ def minimize_training_time(
             success=True,
             message="bandwidth-independent objective",
             starts=1,
+            warm_start=(
+                "" if warm_start is None else "rejected:bandwidth-independent"
+            ),
         )
 
     blocks = _blocks
@@ -738,23 +870,55 @@ def minimize_training_time(
     def objective_grad(x: np.ndarray) -> np.ndarray:
         return gradient
 
+    evaluate_true = vector_evaluator(simplify(expr))
     seeds = build_seeds(expr, constraints)
-    if _max_starts is not None:
-        seeds = seeds[:_max_starts]
-    candidates = [
+    if max_starts is not None:
+        seeds = seeds[: max(1, max_starts)]
+
+    warm_tag = ""
+    warm_candidates: list[tuple[np.ndarray, float, bool, str]] = []
+    if warm_start is not None:
+        if trust_rtol is None:
+            trust_rtol = WARM_TRUST_RTOL
+        warm_seed = project_warm_start(warm_start, constraints)
+        if warm_seed is None:
+            warm_tag = "rejected:unprojectable"
+        else:
+            candidate, reason = _try_warm(
+                program, constraints, objective, objective_grad,
+                evaluate_true, warm_seed, seeds, blocks, trust_rtol,
+            )
+            if not reason:
+                # The projected warm seed joins the fallback pool: the
+                # returned point can never be worse than the continuation
+                # anchor (the prior optimum reshaped onto this budget).
+                result = _finish(
+                    program, constraints, evaluate_true,
+                    [candidate] + _seed_fallbacks(
+                        program, seeds + [warm_seed], program.objective_value
+                    ),
+                    starts=1,
+                )
+                return replace(result, warm_start="accepted")
+            warm_tag = f"rejected:{reason}"
+            # Pool the warm run instead of re-seeding: _solve_from_seed is
+            # deterministic, so re-running from warm_seed would just pay
+            # the dominant per-cell cost twice for the identical result.
+            warm_candidates = [candidate]
+
+    candidates = warm_candidates + [
         _solve_from_seed(
             program, constraints, objective, objective_grad, seed, blocks=blocks
         )
         for seed in seeds
     ]
     # The seeds themselves are feasible fallbacks (aux tight = true value).
-    for seed in seeds:
-        scaled = seed / _SCALE
-        x = np.concatenate([scaled, program.initial_aux(scaled)])
-        candidates.append((x, program.objective_value(x), False, "seed"))
-    return _finish(
-        program, constraints, vector_evaluator(simplify(expr)), candidates, len(seeds)
+    candidates.extend(_seed_fallbacks(program, seeds, program.objective_value))
+    result = _finish(
+        program, constraints, evaluate_true, candidates,
+        len(seeds) + len(warm_candidates),
     )
+    return replace(result, warm_start=warm_tag) if warm_tag else result
 
 
 def minimize_time_cost_product(
@@ -763,6 +927,10 @@ def minimize_time_cost_product(
     cost_rates: Sequence[float],
     fixed_cost: float = 0.0,
     kernel: str = "vectorized",
+    max_starts: int | None = None,
+    warm_start: Sequence[float] | None = None,
+    trust_rtol: float | None = None,
+    perf_warm_starts: int | None = None,
 ) -> SolverResult:
     """PerfPerCostOptBW: minimize time × dollar-cost (bilinear objective).
 
@@ -775,6 +943,17 @@ def minimize_time_cost_product(
         fixed_cost: Bandwidth-independent cost offset in dollars.
         kernel: ``"vectorized"`` (matrix-form blocks, default) or
             ``"closures"`` (the per-constraint reference path).
+        max_starts: Cap on the multi-start seed family (the PerfOpt warm
+            start is appended on top); ``None`` keeps every seed.
+        warm_start: Prior optimum (bytes/s) used as a continuation seed;
+            a trusted warm run skips both the seed fan-out *and* the inner
+            PerfOpt warm-start solve. ``None`` is the cold path (default).
+        trust_rtol: Relative drift tolerance of the trust check;
+            ``None`` reads :data:`WARM_TRUST_RTOL` at call time.
+        perf_warm_starts: Seed cap for the internal PerfOpt warm-start
+            solve; ``None`` picks :data:`DEFAULT_PERF_WARM_STARTS` on the
+            vectorized kernel and the full family on the closure kernel
+            (the historical behavior).
     """
     _check_kernel(kernel)
     program = compile_expression(expr, constraints.num_dims)
@@ -797,6 +976,8 @@ def minimize_time_cost_product(
         )
 
     seeds = build_seeds(expr, constraints, cost_rates=rates)
+    if max_starts is not None:
+        seeds = seeds[: max(1, max_starts)]
 
     # Normalize the product objective to O(1): raw time×dollar values reach
     # 1e7+, which defeats SLSQP's convergence tests and line search.
@@ -824,6 +1005,39 @@ def minimize_time_cost_product(
         gradient_buffer[:num_dims] = time_value * rates_scaled / scale
         gradient_buffer[num_dims:] = cost_value * objective_weights / scale
         return gradient_buffer
+
+    # Continuation: a trusted warm run skips the whole fan-out below —
+    # including the inner PerfOpt solve, the dominant cost of a cold
+    # PerfPerCost call. A distrusted warm run joins the candidate pool.
+    warm_tag = ""
+    warm_candidates: list[tuple[np.ndarray, float, bool, str]] = []
+    if warm_start is not None and program.num_aux > 0:
+        if trust_rtol is None:
+            trust_rtol = WARM_TRUST_RTOL
+        warm_seed = project_warm_start(warm_start, constraints)
+        if warm_seed is None:
+            warm_tag = "rejected:unprojectable"
+        else:
+            candidate, reason = _try_warm(
+                program, constraints, objective, objective_grad,
+                evaluate_true, warm_seed, seeds, blocks, trust_rtol,
+            )
+            if not reason:
+                # As in minimize_training_time: the projected warm seed is
+                # the continuation anchor and joins the fallback pool.
+                result = _finish(
+                    program, constraints, evaluate_true,
+                    [candidate] + _seed_fallbacks(
+                        program, seeds + [warm_seed], objective
+                    ),
+                    starts=1,
+                )
+                return replace(result, warm_start="accepted")
+            warm_tag = f"rejected:{reason}"
+            # Pool, don't re-seed: the solve is deterministic (see
+            # minimize_training_time).
+            warm_candidates = [candidate]
+
     # Warm-start from the PerfOpt solution: the time-cost product is
     # bilinear, and the pure-performance optimum is both a strong basin and
     # a guarantee that PerfPerCostOpt never reports a worse perf-per-cost
@@ -838,7 +1052,10 @@ def minimize_time_cost_product(
             constraints,
             kernel=kernel,
             _blocks=blocks,
-            _max_starts=2 if kernel == "vectorized" else None,
+            max_starts=(
+                perf_warm_starts if perf_warm_starts is not None
+                else (DEFAULT_PERF_WARM_STARTS if kernel == "vectorized" else None)
+            ),
         )
         seeds.append(np.asarray(perf_result.bandwidths, dtype=float))
     except OptimizationError:
@@ -850,16 +1067,22 @@ def minimize_time_cost_product(
         for seed in seeds:
             x = seed / _SCALE
             candidates.append((x, evaluate_true(seed), True, "cost-only"))
-        return _finish(program, constraints, evaluate_true, candidates, len(seeds))
+        result = _finish(
+            program, constraints, evaluate_true, candidates, len(seeds)
+        )
+        if warm_start is not None:
+            return replace(result, warm_start="rejected:bandwidth-independent")
+        return result
 
-    candidates = [
+    candidates = warm_candidates + [
         _solve_from_seed(
             program, constraints, objective, objective_grad, seed, blocks=blocks
         )
         for seed in seeds
     ]
-    for seed in seeds:
-        scaled = seed / _SCALE
-        x = np.concatenate([scaled, program.initial_aux(scaled)])
-        candidates.append((x, objective(x), False, "seed"))
-    return _finish(program, constraints, evaluate_true, candidates, len(seeds))
+    candidates.extend(_seed_fallbacks(program, seeds, objective))
+    result = _finish(
+        program, constraints, evaluate_true, candidates,
+        len(seeds) + len(warm_candidates),
+    )
+    return replace(result, warm_start=warm_tag) if warm_tag else result

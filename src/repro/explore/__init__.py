@@ -7,7 +7,8 @@ package makes that a first-class subsystem instead of hand-rolled loops:
 * :class:`SweepSpec` / :class:`ExplorationPoint` — declarative grids over
   workloads × topologies × budgets × schemes × cost models.
 * :func:`run_sweep` — parallel, cached, failure-contained execution with
-  deterministic row ordering.
+  deterministic row ordering; grids partition into continuation chains
+  (:func:`build_chains`) so budget-neighbors warm-start each other.
 * :class:`ResultCache` / :func:`point_key` — content-addressed result reuse
   (re-running a sweep or widening an axis only solves new cells).
 * :func:`pareto_frontier` and friends — trade-off analysis over any two
@@ -28,6 +29,7 @@ Typical session::
 """
 
 from repro.explore.cache import ResultCache
+from repro.explore.chains import build_chains, chain_signature
 from repro.explore.executor import run_sweep, solve_point
 from repro.explore.keys import (
     ENGINE_VERSION,
@@ -42,7 +44,12 @@ from repro.explore.pareto import (
     pareto_frontier,
     summary_rows,
 )
-from repro.explore.records import METRICS, ExplorationResult, SweepResult
+from repro.explore.records import (
+    METRICS,
+    ExplorationResult,
+    SweepProfile,
+    SweepResult,
+)
 from repro.explore.spec import (
     SCHEME_ALIASES,
     ExplorationPoint,
@@ -53,6 +60,8 @@ from repro.explore.spec import (
 
 __all__ = [
     "ResultCache",
+    "build_chains",
+    "chain_signature",
     "run_sweep",
     "solve_point",
     "ENGINE_VERSION",
@@ -66,6 +75,7 @@ __all__ = [
     "summary_rows",
     "METRICS",
     "ExplorationResult",
+    "SweepProfile",
     "SweepResult",
     "SCHEME_ALIASES",
     "ExplorationPoint",

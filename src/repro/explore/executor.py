@@ -1,18 +1,29 @@
-"""Sweep execution: cache lookup, parallel solving, deterministic assembly.
+"""Sweep execution: cache lookup, chained continuation solving, assembly.
 
 :func:`run_sweep` is the engine's entry point. It expands a spec (or takes
-an explicit point list), serves every cell it can from the cache, solves the
-remainder — inline, or fanned out over a ``ProcessPoolExecutor`` — and
-assembles the rows back in grid order, so serial, parallel, and cached runs
-of the same spec are indistinguishable except for wall-clock time.
+an explicit point list), serves every cell it can from the cache, and
+partitions the remainder into *continuation chains*
+(:mod:`repro.explore.chains`): same workload × topology × scheme × cost
+model × caps, sorted by ascending budget. Chains solve sequentially —
+each cell's optimum becomes the next cell's ``warm_start`` seed — and are
+the unit of process-pool fan-out, so warm-start propagation survives
+parallel execution without any cross-process state. Rows are assembled
+back in grid order, so serial, parallel, and cached runs of the same spec
+are indistinguishable except for wall-clock time.
+
+``continuation=False`` restores the cold path (every cell pays the full
+multi-start bill from cold seeds) — the reference the sweep benchmark and
+the warm-vs-cold equivalence suite compare against.
 
 Failure containment: a cell that cannot be built or solved becomes an error
 row (``ExplorationResult.error`` set), never a sweep abort. Identical cells
-appearing more than once in a grid are solved once and fanned back out.
+appearing more than once in a grid are solved once and fanned back out;
+``SweepResult.fanout_cells`` reports how many rows were served that way.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
@@ -22,12 +33,14 @@ from repro.api.registry import resolve_workload
 from repro.api.requests import OptimizeRequest
 from repro.api.scenario import Scenario, ScenarioWorkload
 from repro.api.service import get_service
+from repro.core.results import Scheme
 from repro.utils.errors import ReproError
 from repro.workloads.workload import Workload
 
 from repro.explore.cache import ResultCache
+from repro.explore.chains import build_chains, chain_signature
 from repro.explore.keys import point_constraints, point_key, resolve_topology
-from repro.explore.records import ExplorationResult, SweepResult
+from repro.explore.records import ExplorationResult, SweepProfile, SweepResult
 from repro.explore.spec import ExplorationPoint, SweepSpec
 
 #: Called after each resolved cell with (done, total, result).
@@ -78,13 +91,27 @@ def point_scenario(point: ExplorationPoint) -> Scenario:
     )
 
 
-def solve_point(point: ExplorationPoint, key: str = "") -> ExplorationResult:
-    """Solve one exploration cell, capturing any failure as an error row."""
+def solve_point(
+    point: ExplorationPoint,
+    key: str = "",
+    warm_start: tuple[float, ...] | None = None,
+) -> ExplorationResult:
+    """Solve one exploration cell, capturing any failure as an error row.
+
+    ``warm_start`` (GB/s) is a prior optimum from a continuation neighbor;
+    ``None`` is the cold path (the default, and the only path for EqualBW
+    cells, where the request layer ignores warm seeds).
+    """
     try:
         response = get_service().submit(
-            OptimizeRequest(scenario=point_scenario(point), scheme=point.scheme)
+            OptimizeRequest(
+                scenario=point_scenario(point),
+                scheme=point.scheme,
+                warm_start=warm_start,
+            )
         )
         optimized = response.point
+        diagnostics = response.diagnostics or {}
         return ExplorationResult(
             point=point,
             key=key,
@@ -96,6 +123,8 @@ def solve_point(point: ExplorationPoint, key: str = "") -> ExplorationResult:
             speedup_over_equal=response.speedup_over_baseline or 0.0,
             ppc_gain_over_equal=response.ppc_gain_over_baseline or 0.0,
             solver_message=optimized.solver_message,
+            solver_starts=int(diagnostics.get("starts", 0)),
+            warm_start=str(diagnostics.get("warm_start", "")),
         )
     except Exception as exc:  # noqa: BLE001 — error containment is the contract
         return ExplorationResult(
@@ -105,9 +134,49 @@ def solve_point(point: ExplorationPoint, key: str = "") -> ExplorationResult:
         )
 
 
-def _solve_indexed(key: str, point: ExplorationPoint) -> ExplorationResult:
-    """Top-level worker entry (must be picklable for the process pool)."""
-    return solve_point(point, key=key)
+def _solve_chain(
+    chain: list[tuple[str, ExplorationPoint]],
+    continuation: bool,
+    initial_warm: tuple[float, ...] | None = None,
+) -> list[tuple[str, ExplorationResult]]:
+    """Solve one continuation chain in budget order (pool-worker entry).
+
+    Each cell warm-starts from the most recent *successful* optimum in the
+    chain; the first cell starts from ``initial_warm`` — a budget-neighbor
+    the cache already answered, when one exists — or cold. The whole chain
+    runs in one process, so propagation needs no cross-worker state.
+    """
+    rows: list[tuple[str, ExplorationResult]] = []
+    warm = initial_warm if continuation else None
+    for key, point in chain:
+        result = solve_point(point, key=key, warm_start=warm)
+        rows.append((key, result))
+        if continuation and result.ok and point.scheme is not Scheme.EQUAL_BW:
+            warm = result.bandwidths_gbps
+    return rows
+
+
+def _cached_neighbor_seed(
+    chain: list[tuple[str, ExplorationPoint]],
+    cached_by_signature: dict[tuple, list[tuple[float, tuple[float, ...]]]],
+) -> tuple[float, ...] | None:
+    """The warm seed a chain's first cell inherits from cached neighbors.
+
+    Widening a cached sweep by one budget must not pay a cold solve while
+    the neighboring optima sit in the rows phase 1 just served: the
+    nearest cached budget of the same continuation family (preferring the
+    largest at-or-below, matching ascending chain order) seeds the chain.
+    """
+    _, first = chain[0]
+    if first.scheme is Scheme.EQUAL_BW:
+        return None
+    candidates = cached_by_signature.get(chain_signature(first))
+    if not candidates:
+        return None
+    budget = first.total_bw_gbps
+    below = [entry for entry in candidates if entry[0] <= budget]
+    pool = below or candidates
+    return min(pool, key=lambda entry: abs(entry[0] - budget))[1]
 
 
 def run_sweep(
@@ -116,8 +185,9 @@ def run_sweep(
     cache: ResultCache | None = None,
     workers: int = 1,
     progress: ProgressCallback | None = None,
+    continuation: bool = True,
 ) -> SweepResult:
-    """Run a sweep: cache-serve, solve the rest, return rows in grid order.
+    """Run a sweep: cache-serve, chain-solve the rest, return grid-order rows.
 
     Args:
         spec: A :class:`SweepSpec` (expanded deterministically) or an
@@ -125,10 +195,16 @@ def run_sweep(
         cache: Optional result cache; hits skip the solver entirely and
             fresh solves are stored back.
         workers: Process-pool width; ``1`` solves inline in this process.
+            Chains (not single cells) are the unit of fan-out.
         progress: Optional callback invoked after each resolved cell with
             ``(done, total, result)`` — cache hits first, then solves in
-            completion order.
+            completion order. Each grid cell reports exactly once, so
+            ``done`` never exceeds ``total``.
+        continuation: Propagate warm starts through budget-ordered chains
+            (default). ``False`` solves every cell from cold seeds — the
+            reference path for benchmarks and equivalence checks.
     """
+    started = time.perf_counter()
     points = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
     total = len(points)
     results: list[ExplorationResult | None] = [None] * total
@@ -164,35 +240,90 @@ def run_sweep(
             resolved(index, replace(cached, point=point, from_cache=True))
         else:
             pending.setdefault(keys[index], []).append(index)
+    lookup_s = time.perf_counter() - started
 
-    # Phase 2 — solve each distinct uncached cell once.
+    # Phase 2 — solve each distinct uncached cell once, chained so later
+    # budgets continue from earlier optima. Duplicate grid cells fan the
+    # one result back out to every index that asked for it.
+    warm_accepted = 0
+    warm_rejected = 0
+    cold_solves = 0
+
     def install(key: str, result: ExplorationResult) -> None:
+        nonlocal warm_accepted, warm_rejected, cold_solves
+        if result.warm_start == "accepted":
+            warm_accepted += 1
+        elif result.warm_start.startswith("rejected"):
+            warm_rejected += 1
+        elif result.ok:
+            cold_solves += 1
         if cache is not None:
             cache.put(key, result)
         for index in pending[key]:
             resolved(index, replace(result, point=points[index]))
 
-    solver_calls = len(pending)
-    if workers <= 1 or solver_calls <= 1:
-        for key, indices in pending.items():
-            install(key, solve_point(points[indices[0]], key=key))
+    representatives = [(key, points[indices[0]]) for key, indices in pending.items()]
+    if continuation:
+        chains = build_chains(representatives)
+        # Optima phase 1 served from the cache seed their chains' first
+        # cells, so widening a cached grid never pays a cold solve.
+        cached_by_signature: dict[tuple, list[tuple[float, tuple[float, ...]]]] = {}
+        for index, row in enumerate(results):
+            if row is None or not row.from_cache or not row.ok:
+                continue
+            if points[index].scheme is Scheme.EQUAL_BW:
+                continue
+            cached_by_signature.setdefault(
+                chain_signature(points[index]), []
+            ).append((points[index].total_bw_gbps, row.bandwidths_gbps))
+        warm_seeds = [
+            _cached_neighbor_seed(chain, cached_by_signature)
+            for chain in chains
+        ]
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, solver_calls)) as pool:
+        chains = [[item] for item in representatives]
+        warm_seeds = [None] * len(chains)
+    solver_calls = len(representatives)
+    fanout_cells = sum(len(indices) - 1 for indices in pending.values())
+
+    solve_started = time.perf_counter()
+    if workers <= 1 or len(chains) <= 1:
+        for chain, seed in zip(chains, warm_seeds):
+            for key, result in _solve_chain(chain, continuation, seed):
+                install(key, result)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(chains))) as pool:
             futures = {
-                pool.submit(_solve_indexed, key, points[indices[0]]): key
-                for key, indices in pending.items()
+                pool.submit(_solve_chain, chain, continuation, seed): index
+                for index, (chain, seed) in enumerate(zip(chains, warm_seeds))
             }
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    install(futures[future], future.result())
+                    for key, result in future.result():
+                        install(key, result)
+    solve_s = time.perf_counter() - solve_started
 
+    assemble_started = time.perf_counter()
     _require_complete(results, total)
+    now = time.perf_counter()
+    profile = SweepProfile(
+        lookup_s=lookup_s,
+        solve_s=solve_s,
+        assemble_s=now - assemble_started,
+        total_s=now - started,
+        chains=len(chains),
+        warm_accepted=warm_accepted,
+        warm_rejected=warm_rejected,
+        cold_solves=cold_solves,
+    )
     return SweepResult(
         results=list(results),  # type: ignore[arg-type]
         cache_hits=cache_hits,
         solver_calls=solver_calls,
+        fanout_cells=fanout_cells,
+        profile=profile,
     )
 
 

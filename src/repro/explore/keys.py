@@ -25,7 +25,10 @@ from repro.explore.spec import ExplorationPoint
 # repro.utils.canonical; both are re-exported here for compatibility.
 
 #: Bump to invalidate every cached exploration result (schema / semantics).
-ENGINE_VERSION = 1
+#: v2: continuation solving — sweep cells may be warm-started from chain
+#: neighbors, so results carry new diagnostics and can differ from v1
+#: entries within the documented objective tolerance.
+ENGINE_VERSION = 2
 
 
 def point_constraints(point: ExplorationPoint, num_dims: int) -> ConstraintSet:

@@ -35,6 +35,11 @@ class ExplorationResult:
         speedup_over_equal: Training speedup vs the EqualBW baseline.
         ppc_gain_over_equal: Perf-per-cost gain vs the EqualBW baseline.
         solver_message: Optimizer diagnostics.
+        solver_starts: Seeds the multi-start actually ran (0 when unknown,
+            e.g. EqualBW rows and pre-continuation cache entries).
+        warm_start: Continuation diagnostics — ``"cold"``, ``"accepted"``,
+            or ``"rejected:<reason>"``; empty when the solve predates
+            continuation or never reached the solver.
         error: Failure description; empty for successful solves.
         from_cache: True when this run served the row from the cache.
     """
@@ -47,6 +52,8 @@ class ExplorationResult:
     speedup_over_equal: float = 0.0
     ppc_gain_over_equal: float = 0.0
     solver_message: str = ""
+    solver_starts: int = 0
+    warm_start: str = ""
     error: str = ""
     from_cache: bool = False
 
@@ -81,6 +88,8 @@ class ExplorationResult:
             "speedup_over_equal": self.speedup_over_equal,
             "ppc_gain_over_equal": self.ppc_gain_over_equal,
             "solver_message": self.solver_message,
+            "solver_starts": self.solver_starts,
+            "warm_start": self.warm_start,
             "error": self.error,
             "from_cache": self.from_cache,
         }
@@ -103,6 +112,8 @@ class ExplorationResult:
                 speedup_over_equal=float(payload.get("speedup_over_equal", 0.0)),
                 ppc_gain_over_equal=float(payload.get("ppc_gain_over_equal", 0.0)),
                 solver_message=str(payload.get("solver_message", "")),
+                solver_starts=int(payload.get("solver_starts", 0)),
+                warm_start=str(payload.get("warm_start", "")),
                 error=str(payload.get("error", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -121,6 +132,72 @@ METRICS: dict[str, Callable[[ExplorationResult], float]] = {
 }
 
 
+@dataclass(frozen=True)
+class SweepProfile:
+    """Per-stage timing and warm-start telemetry of one ``run_sweep`` call.
+
+    Wall-clock numbers are never serialized with the sweep rows (they vary
+    run to run and would break row-identity comparisons); the profile rides
+    on :attr:`SweepResult.profile` for the CLI's ``--profile`` report and
+    the sweep benchmark's cache-hit breakdown.
+
+    Attributes:
+        lookup_s: Phase-1 time — content-addressing cells, cache lookups.
+        solve_s: Phase-2 time — chain solving (inline or pool drain).
+        assemble_s: Row re-assembly and completeness accounting.
+        total_s: End-to-end ``run_sweep`` wall time.
+        chains: Continuation chains the grid partitioned into.
+        warm_accepted: Solved cells whose warm start passed the trust check.
+        warm_rejected: Solved cells that fell back to the full fan-out.
+        cold_solves: Solved cells that never had a warm seed.
+    """
+
+    lookup_s: float = 0.0
+    solve_s: float = 0.0
+    assemble_s: float = 0.0
+    total_s: float = 0.0
+    chains: int = 0
+    warm_accepted: int = 0
+    warm_rejected: int = 0
+    cold_solves: int = 0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Trusted warm starts over all solver calls (0.0 when none ran)."""
+        solves = self.warm_accepted + self.warm_rejected + self.cold_solves
+        return self.warm_accepted / solves if solves else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (benchmark artifacts only, never cache rows)."""
+        return {
+            "lookup_s": self.lookup_s,
+            "solve_s": self.solve_s,
+            "assemble_s": self.assemble_s,
+            "total_s": self.total_s,
+            "chains": self.chains,
+            "warm_accepted": self.warm_accepted,
+            "warm_rejected": self.warm_rejected,
+            "cold_solves": self.cold_solves,
+            "warm_hit_rate": self.warm_hit_rate,
+        }
+
+    def format(self) -> str:
+        """Human-readable per-stage summary (the ``--profile`` report)."""
+        solves = self.warm_accepted + self.warm_rejected + self.cold_solves
+        lines = [
+            "sweep profile:",
+            f"  cache lookup: {self.lookup_s * 1e3:>9.1f} ms",
+            f"  solving:      {self.solve_s * 1e3:>9.1f} ms "
+            f"({solves} solves in {self.chains} chains)",
+            f"  assembly:     {self.assemble_s * 1e3:>9.1f} ms",
+            f"  total:        {self.total_s * 1e3:>9.1f} ms",
+            f"  warm starts:  {self.warm_accepted} accepted / "
+            f"{self.warm_rejected} rejected / {self.cold_solves} cold "
+            f"({self.warm_hit_rate:.1%} hit rate)",
+        ]
+        return "\n".join(lines)
+
+
 @dataclass
 class SweepResult:
     """All rows of one sweep, in grid order, plus execution accounting.
@@ -129,11 +206,19 @@ class SweepResult:
         results: One row per grid cell, in :meth:`SweepSpec.expand` order.
         cache_hits: Rows served from the cache without solving.
         solver_calls: Distinct optimizations actually executed.
+        fanout_cells: Cells resolved by copying another identical cell's
+            result (grid duplicates) — so ``cache_hits + solver_calls +
+            fanout_cells + error rows`` accounts for every cell exactly
+            once and progress callbacks never over-report.
+        profile: Per-stage timing/warm-start telemetry; excluded from
+            :meth:`to_dict` because wall-clock numbers are not row data.
     """
 
     results: list[ExplorationResult]
     cache_hits: int = 0
     solver_calls: int = 0
+    fanout_cells: int = 0
+    profile: SweepProfile | None = None
 
     @property
     def cache_misses(self) -> int:
@@ -209,5 +294,6 @@ class SweepResult:
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
             "solver_calls": self.solver_calls,
+            "fanout_cells": self.fanout_cells,
             "num_errors": self.num_errors,
         }

@@ -3,7 +3,9 @@
 Times the solver/compile/sweep hot paths on Table-II-scale workloads,
 checks vectorized-vs-closure solver equivalence, and writes the
 ``BENCH_solver.json`` artifact that records the perf trajectory across PRs.
-See ``benchmarks/perf/README.md`` for the artifact schema.
+:mod:`repro.perfbench.sweep` benchmarks whole grids — continuation (warm)
+vs cold — into ``BENCH_sweep.json`` with a per-cell equivalence gate.
+See ``benchmarks/perf/README.md`` for the artifact schemas.
 """
 
 from repro.perfbench.harness import (
@@ -14,6 +16,13 @@ from repro.perfbench.harness import (
     run_benchmarks,
     write_artifact,
 )
+from repro.perfbench.sweep import (
+    SWEEP_BENCH_SCHEMA_VERSION,
+    SweepBenchConfig,
+    format_sweep_report,
+    quick_sweep_config,
+    run_sweep_benchmark,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -22,4 +31,9 @@ __all__ = [
     "quick_config",
     "run_benchmarks",
     "write_artifact",
+    "SWEEP_BENCH_SCHEMA_VERSION",
+    "SweepBenchConfig",
+    "format_sweep_report",
+    "quick_sweep_config",
+    "run_sweep_benchmark",
 ]

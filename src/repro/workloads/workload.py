@@ -31,6 +31,14 @@ class Workload:
     layers: tuple[Layer, ...]
     parallelism: Parallelism
     dtype_bytes: int = 2
+    #: Lazily computed :meth:`canonical` payload. Workload instances are
+    #: immutable and widely shared (per-worker LRUs, engine memos), while
+    #: content-addressing — scenario keys, engine keys, sweep cache keys —
+    #: re-reads the canonical payload on every request; caching it keeps
+    #: key derivation out of the sweep hot path.
+    _canonical_cache: dict | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -87,8 +95,13 @@ class Workload:
         datatype — as a JSON-stable dict. Display-only metadata (comm
         labels) is excluded so round-tripping the text format preserves
         identity.
+
+        Computed once per instance and shared; treat the returned payload
+        as read-only.
         """
-        return {
+        if self._canonical_cache is not None:
+            return self._canonical_cache
+        payload = {
             "name": self.name,
             "parallelism": {
                 "tp": self.parallelism.tp,
@@ -121,6 +134,8 @@ class Workload:
                 for layer in self.layers
             ],
         }
+        object.__setattr__(self, "_canonical_cache", payload)
+        return payload
 
     def with_parallelism(self, parallelism: Parallelism) -> "Workload":
         """Shallow re-tag with a different strategy.

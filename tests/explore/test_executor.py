@@ -188,7 +188,8 @@ class TestParallelExecution:
         parallel = run_sweep(spec, workers=2)
         assert len(serial.results) == len(parallel.results) == 4
         for a, b in zip(serial.results, parallel.results):
-            # Bit-identical rows: same solver, same seeds, same order.
+            # Bit-identical rows: chains are the unit of fan-out, so warm
+            # propagation follows the identical path in both modes.
             assert a.to_dict() == b.to_dict()
 
     def test_parallel_fills_cache(self):
@@ -198,3 +199,114 @@ class TestParallelExecution:
         assert cold.solver_calls == 2
         warm = run_sweep(spec, cache=cache, workers=2)
         assert warm.hit_rate == 1.0 and warm.solver_calls == 0
+
+
+class TestContinuation:
+    def test_chain_cells_report_warm_diagnostics(self):
+        sweep = run_sweep(tiny_spec(bandwidths_gbps=(100.0, 200.0, 300.0)))
+        first, second, third = sweep.results
+        assert first.warm_start == "cold"
+        for row in (second, third):
+            assert row.warm_start == "accepted" or row.warm_start.startswith(
+                "rejected"
+            )
+        assert first.solver_starts > 1
+
+    def test_continuation_off_solves_every_cell_cold(self):
+        sweep = run_sweep(
+            tiny_spec(bandwidths_gbps=(100.0, 200.0, 300.0)),
+            continuation=False,
+        )
+        assert all(row.warm_start == "cold" for row in sweep.results)
+        assert sweep.profile is not None
+        assert sweep.profile.chains == 3  # singleton chains
+        assert sweep.profile.warm_accepted == 0
+
+    def test_warm_objectives_match_cold_within_tolerance(self):
+        spec = tiny_spec(
+            bandwidths_gbps=(100.0, 200.0, 300.0),
+            schemes=(Scheme.PERF_OPT, Scheme.PERF_PER_COST_OPT),
+        )
+        cold = run_sweep(spec, continuation=False)
+        warm = run_sweep(spec, continuation=True)
+        for a, b in zip(cold.results, warm.results):
+            assert b.step_time_ms <= a.step_time_ms * 1.02
+
+    def test_equal_bw_cells_never_warm_start(self):
+        sweep = run_sweep(
+            tiny_spec(
+                bandwidths_gbps=(100.0, 200.0), schemes=(Scheme.EQUAL_BW,)
+            )
+        )
+        # EqualBW rows carry no solver diagnostics at all.
+        assert all(row.warm_start == "" for row in sweep.results)
+        assert all(row.solver_starts == 0 for row in sweep.results)
+
+    def test_profile_reports_stage_timings(self):
+        sweep = run_sweep(tiny_spec())
+        profile = sweep.profile
+        assert profile is not None
+        assert profile.total_s > 0
+        assert profile.solve_s > 0
+        assert profile.chains == 1
+        assert (
+            profile.warm_accepted + profile.warm_rejected + profile.cold_solves
+            == sweep.solver_calls
+        )
+        assert 0.0 <= profile.warm_hit_rate <= 1.0
+        assert "sweep profile:" in profile.format()
+
+    def test_profile_not_serialized_with_rows(self):
+        """Wall-clock numbers must never leak into row artifacts."""
+        payload = run_sweep(tiny_spec()).to_dict()
+        assert "profile" not in payload
+
+    def test_widened_axis_warm_starts_from_cached_neighbor(self):
+        """Appending one budget to a cached column must not pay a cold
+        solve: the new cell seeds from the nearest cached optimum."""
+        cache = ResultCache()
+        run_sweep(tiny_spec(bandwidths_gbps=(100.0, 300.0)), cache=cache)
+        widened = run_sweep(
+            tiny_spec(bandwidths_gbps=(100.0, 200.0, 300.0)), cache=cache
+        )
+        assert widened.cache_hits == 2
+        assert widened.solver_calls == 1
+        new_row = widened.get(total_bw_gbps=200.0)
+        assert not new_row.from_cache
+        assert new_row.warm_start == "accepted" or new_row.warm_start.startswith(
+            "rejected"
+        )
+
+    def test_rejected_warm_start_still_matches_cold(self, monkeypatch):
+        """A distrusted warm seed must fall back to the cold fan-out."""
+        import repro.core.solver as solver
+
+        cold = run_sweep(
+            tiny_spec(bandwidths_gbps=(100.0, 200.0)), continuation=False
+        )
+        monkeypatch.setattr(solver, "WARM_TRUST_RTOL", -1.0)
+        warm = run_sweep(tiny_spec(bandwidths_gbps=(100.0, 200.0)))
+        assert warm.results[1].warm_start == "rejected:drift"
+        assert warm.profile.warm_rejected == 1
+        for a, b in zip(cold.results, warm.results):
+            assert b.step_time_ms <= a.step_time_ms * 1.02
+
+
+class TestFanoutAccounting:
+    def test_duplicates_reported_as_fanout_not_extra_solves(self):
+        point = ExplorationPoint("Turing-NLG", TINY, 100.0, Scheme.PERF_OPT)
+        seen = []
+        sweep = run_sweep(
+            [point, point, point],
+            progress=lambda done, total, r: seen.append((done, total)),
+        )
+        assert sweep.solver_calls == 1
+        assert sweep.fanout_cells == 2
+        # Every grid cell reports exactly once and done never exceeds total.
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+        assert sweep.to_dict()["fanout_cells"] == 2
+
+    def test_unique_grid_has_zero_fanout(self):
+        sweep = run_sweep(tiny_spec())
+        assert sweep.fanout_cells == 0
+        assert sweep.solver_calls == 2

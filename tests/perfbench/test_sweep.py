@@ -1,0 +1,76 @@
+"""Sweep benchmark harness: artifact schema and the equivalence gate."""
+
+import json
+
+import pytest
+
+from repro.perfbench.harness import BenchEquivalenceError
+from repro.perfbench.sweep import (
+    SWEEP_BENCH_SCHEMA_VERSION,
+    SweepBenchConfig,
+    format_sweep_report,
+    quick_sweep_config,
+    run_sweep_benchmark,
+)
+
+TINY = SweepBenchConfig(
+    workloads=("Turing-NLG",),
+    topology="RI(3)_RI(2)",
+    budgets_gbps=(100.0, 200.0, 300.0),
+    schemes=("perf", "perf-per-cost"),
+    repeats=1,
+    label="tiny",
+)
+
+
+class TestSweepBenchmark:
+    def test_artifact_schema_and_speed_fields(self):
+        artifact = run_sweep_benchmark(TINY)
+        assert artifact["schema_version"] == SWEEP_BENCH_SCHEMA_VERSION
+        assert artifact["cells"] == 6
+        assert artifact["errors"] == 0
+        assert artifact["cold_s"] > 0 and artifact["warm_s"] > 0
+        assert artifact["speedup"] == pytest.approx(
+            artifact["cold_s"] / artifact["warm_s"]
+        )
+        breakdown = artifact["breakdown"]
+        assert breakdown["chains"] == 2
+        assert (
+            breakdown["warm_accepted"]
+            + breakdown["warm_rejected"]
+            + breakdown["cold_solves"]
+            == 6
+        )
+        assert artifact["equivalence"]["ok"] is True
+        assert (
+            artifact["equivalence"]["max_objective_rel_diff"]
+            <= TINY.objective_rtol
+        )
+        assert json.dumps(artifact)  # artifact must be JSON-serializable
+
+    def test_report_is_human_readable(self):
+        artifact = run_sweep_benchmark(TINY)
+        report = format_sweep_report(artifact)
+        assert "speedup" in report
+        assert "equivalence: ok" in report
+        assert "Turing-NLG" in report
+
+    def test_quick_config_is_seconds_scale(self):
+        config = quick_sweep_config()
+        assert config.quick
+        assert config.topology == "3D-512"
+        assert len(config.budgets_gbps) >= 4  # enough cells to amortize
+
+    def test_drift_past_tolerance_raises(self):
+        """An impossible tolerance must trip the gate, not write numbers."""
+        with pytest.raises(BenchEquivalenceError, match="drifted past"):
+            run_sweep_benchmark(
+                SweepBenchConfig(
+                    workloads=("Turing-NLG",),
+                    topology="RI(3)_RI(2)",
+                    budgets_gbps=(100.0, 300.0),
+                    schemes=("perf-per-cost",),
+                    repeats=1,
+                    objective_rtol=-1e-9,  # nothing can pass a negative bound
+                )
+            )

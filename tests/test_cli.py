@@ -387,6 +387,18 @@ class TestExplore:
         assert main(self.ARGS + ["--workers", "2"]) == 0
         assert "solver calls: 2" in capsys.readouterr().out
 
+    def test_profile_prints_stage_timings(self, capsys):
+        assert main(self.ARGS + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep profile:" in out
+        assert "cache lookup:" in out
+        assert "warm starts:" in out
+
+    def test_no_continuation_runs_cold(self, capsys):
+        assert main(self.ARGS + ["--no-continuation", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "0 accepted" in out
+
     def test_error_rows_do_not_abort(self, capsys):
         # GPT-3 cannot map onto 6 NPUs: its rows error, the sweep continues.
         code = main(self.ARGS + ["--workload", "GPT-3"])
