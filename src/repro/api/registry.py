@@ -160,6 +160,61 @@ def _seed_builtins() -> None:
 
 _seed_builtins()
 
+#: Every registry by a stable tag, for snapshot/replay across processes.
+_ALL_REGISTRIES: dict[str, Registry] = {
+    "topologies": TOPOLOGIES,
+    "workloads": WORKLOADS,
+    "cost_models": COST_MODELS,
+    "compute_models": COMPUTE_MODELS,
+    "loops": LOOPS,
+}
+
+#: The factory each name mapped to right after seeding — an entry is a
+#: *user* entry when its name is new OR its factory differs (a builtin
+#: overridden with ``overwrite=True`` must replay too, or spawn workers
+#: would silently solve the stock preset under the override's cache key).
+_BUILTIN_FACTORIES: dict[str, dict[str, Callable[..., Any]]] = {
+    tag: {name: registry.get(name) for name in registry.names()}
+    for tag, registry in _ALL_REGISTRIES.items()
+}
+
+
+def custom_entries() -> list[tuple[str, str, Callable[..., Any]]]:
+    """Snapshot the picklable user-registered entries, for worker replay.
+
+    ``spawn``-ed pool workers re-import this module and get only the
+    builtins; the executor ships this snapshot through each worker's
+    initializer so dynamically registered names — including builtins
+    overridden with ``overwrite=True`` — keep resolving there (exactly
+    what ``fork`` used to inherit for free). Factories that do not
+    pickle (lambdas, closures) are skipped — they cannot cross a spawn
+    boundary at all; such names degrade to per-cell error rows in pool
+    workers, same as any unknown name.
+    """
+    import pickle
+
+    snapshot: list[tuple[str, str, Callable[..., Any]]] = []
+    for tag, registry in _ALL_REGISTRIES.items():
+        builtins = _BUILTIN_FACTORIES[tag]
+        for name in registry.names():
+            factory = registry.get(name)
+            if builtins.get(name) is factory:
+                continue  # the unmodified builtin; workers reseed it
+            try:
+                pickle.dumps(factory)
+            except Exception:  # noqa: BLE001 — unpicklable: cannot ship it
+                continue
+            snapshot.append((tag, name, factory))
+    return snapshot
+
+
+def install_entries(
+    entries: list[tuple[str, str, Callable[..., Any]]],
+) -> None:
+    """Replay a :func:`custom_entries` snapshot (last write wins)."""
+    for tag, name, factory in entries:
+        _ALL_REGISTRIES[tag].register(name, factory, overwrite=True)
+
 
 # ---------------------------------------------------------------------------
 # Resolution helpers (registry first, structural fallbacks second)

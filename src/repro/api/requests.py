@@ -32,14 +32,52 @@ if TYPE_CHECKING:  # explore sits above the api layer; never import it here
     from repro.explore.records import SweepResult
     from repro.explore.spec import SweepSpec
 
-#: Bump when the OptimizeResponse payload layout changes incompatibly.
+#: Bump when the response payload layout changes incompatibly.
 #: v2: added the ``diagnostics`` object (multi-start / warm-start telemetry).
-RESPONSE_SCHEMA_VERSION = 2
+#: v3: batch responses carry sweep ``diagnostics`` (fan-out, warm-hit rate,
+#: per-stage timings) and responses may arrive wrapped in a ``job``
+#: envelope (:mod:`repro.serve`). v2 payloads are still readable.
+RESPONSE_SCHEMA_VERSION = 3
 
-#: Bump when the OptimizeRequest payload layout changes incompatibly.
+#: Bump when the request payload layout changes incompatibly.
 #: v1 payloads (no ``schema_version`` field) predate continuation solving
 #: and are still readable — the warm-start fields simply default to cold.
-REQUEST_SCHEMA_VERSION = 2
+#: v2 payloads (continuation fields, no ``kind`` envelope) up-convert via
+#: :func:`request_from_dict`. v3 adds the typed job envelope
+#: ``{"kind": "optimize"|"batch", "request": {...}}`` so one wire endpoint
+#: (``POST /v3/jobs``) can carry both request shapes.
+REQUEST_SCHEMA_VERSION = 3
+
+#: Request schema versions :func:`OptimizeRequest.from_dict` still reads.
+_READABLE_REQUEST_VERSIONS = (1, 2, REQUEST_SCHEMA_VERSION)
+
+#: Response schema versions :func:`OptimizeResponse.from_dict` still reads
+#: (the v2 → v3 layout change touched only batch responses).
+_READABLE_RESPONSE_VERSIONS = (2, RESPONSE_SCHEMA_VERSION)
+
+
+def check_schema_version(
+    payload: Mapping,
+    readable: tuple[int, ...],
+    what: str,
+    default: int | None = None,
+) -> int:
+    """The one schema-version gate every ``from_dict`` goes through.
+
+    Reads ``payload["schema_version"]`` (falling back to ``default`` when
+    the field is absent — pass ``None`` to make it required) and raises a
+    located :class:`ConfigurationError` unless it is in ``readable``.
+    Centralized so a future v4 bump changes one place, not every codec.
+    """
+    version = payload.get("schema_version", default)
+    if version not in readable:
+        shown = readable[0] if len(readable) == 1 else readable
+        raise ConfigurationError(
+            f"unsupported {what} schema version {version!r}; this "
+            f"library reads {'version' if len(readable) == 1 else 'versions'} "
+            f"{shown}"
+        )
+    return version
 
 #: The ``warm_start`` sentinel asking the service to consult its own
 #: per-engine solution memo instead of an explicitly provided point.
@@ -140,14 +178,13 @@ class OptimizeRequest:
         """Rebuild a request from :meth:`to_dict` output.
 
         Accepts version-1 payloads (no ``schema_version`` field), which
-        predate the continuation fields and parse as cold requests.
+        predate the continuation fields and parse as cold requests, and
+        version-2 payloads (same field layout as v3, minus the job
+        envelope handled by :func:`request_from_dict`).
         """
-        version = payload.get("schema_version", 1)
-        if version not in (1, REQUEST_SCHEMA_VERSION):
-            raise ConfigurationError(
-                f"unsupported request schema version {version!r}; this "
-                f"library reads versions 1 and {REQUEST_SCHEMA_VERSION}"
-            )
+        check_schema_version(
+            payload, _READABLE_REQUEST_VERSIONS, "request", default=1
+        )
         try:
             bandwidths = payload.get("bandwidths_gbps")
             warm = payload.get("warm_start")
@@ -221,13 +258,8 @@ class OptimizeResponse:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "OptimizeResponse":
-        """Rebuild a response from :meth:`to_dict` output."""
-        version = payload.get("schema_version")
-        if version != RESPONSE_SCHEMA_VERSION:
-            raise ConfigurationError(
-                f"unsupported response schema version {version!r}; "
-                f"this library reads version {RESPONSE_SCHEMA_VERSION}"
-            )
+        """Rebuild a response from :meth:`to_dict` output (v2 or v3)."""
+        check_schema_version(payload, _READABLE_RESPONSE_VERSIONS, "response")
         try:
             baseline = payload.get("baseline")
             speedup = payload.get("speedup_over_baseline")
@@ -273,16 +305,166 @@ class BatchRequest:
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        Only name-addressable specs serialize (a spec carrying concrete
+        ``Workload`` or ``CostModel`` objects round-trips through the
+        registry names it was built from, exactly as spec files do).
+        ``cache_dir`` is interpreted by whichever process executes the
+        request — for remote submission it names a *server-side* cache.
+        """
+        return {
+            "schema_version": REQUEST_SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BatchRequest":
+        """Rebuild a batch request from :meth:`to_dict` output."""
+        from repro.explore.spec import SweepSpec
+
+        check_schema_version(
+            payload, _READABLE_REQUEST_VERSIONS, "request",
+            default=REQUEST_SCHEMA_VERSION,
+        )
+        try:
+            workers = payload.get("workers", 1)
+            cache_dir = payload.get("cache_dir")
+            return cls(
+                spec=SweepSpec.from_dict(payload["spec"]),
+                workers=int(workers),
+                cache_dir=None if cache_dir is None else str(cache_dir),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed batch-request payload: {exc}"
+            ) from exc
+
 
 @dataclass(frozen=True)
 class BatchResponse:
-    """The answer to one :class:`BatchRequest`: the assembled sweep rows."""
+    """The answer to one :class:`BatchRequest`: the assembled sweep rows.
+
+    Attributes:
+        sweep: The grid rows plus execution accounting.
+        diagnostics: Sweep telemetry remote clients would otherwise lose
+            (``repro explore --profile`` prints the same numbers locally):
+            ``fanout_cells`` — duplicate grid cells served by copying;
+            ``cache_hits`` / ``solver_calls`` — the cache split;
+            ``warm_hit_rate`` plus the ``profile`` object — per-stage
+            timings and warm-start accounting of this particular
+            execution. ``None`` on payloads that predate schema v3.
+    """
 
     sweep: "SweepResult"
+    diagnostics: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready payload (row schema is the explore artifact format)."""
         return {
             "schema_version": RESPONSE_SCHEMA_VERSION,
             "sweep": self.sweep.to_dict(),
+            "diagnostics": (
+                None if self.diagnostics is None else dict(self.diagnostics)
+            ),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BatchResponse":
+        """Rebuild a batch response from :meth:`to_dict` output (v2 or v3)."""
+        from repro.explore.records import SweepResult
+
+        check_schema_version(payload, _READABLE_RESPONSE_VERSIONS, "response")
+        try:
+            diagnostics = payload.get("diagnostics")
+            return cls(
+                sweep=SweepResult.from_dict(payload["sweep"]),
+                diagnostics=None if diagnostics is None else dict(diagnostics),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed batch-response payload: {exc}"
+            ) from exc
+
+
+# ---------------------------------------------------------------------------
+# The v3 job envelope: one wire shape for both request kinds
+# ---------------------------------------------------------------------------
+
+#: ``kind`` discriminator values of the v3 request envelope.
+REQUEST_KINDS = ("optimize", "batch")
+
+
+def request_kind(request: OptimizeRequest | BatchRequest) -> str:
+    """The envelope ``kind`` discriminator for a request value."""
+    if isinstance(request, BatchRequest):
+        return "batch"
+    if isinstance(request, OptimizeRequest):
+        return "optimize"
+    raise ConfigurationError(
+        f"unknown request type {type(request).__name__}; expected "
+        "OptimizeRequest or BatchRequest"
+    )
+
+
+def request_to_dict(request: OptimizeRequest | BatchRequest) -> dict:
+    """Wrap a request in the v3 job envelope; inverse of
+    :func:`request_from_dict`.
+
+    The envelope is what ``POST /v3/jobs`` accepts and what job ids are
+    derived from::
+
+        {"schema_version": 3, "kind": "optimize", "request": {...}}
+    """
+    return {
+        "schema_version": REQUEST_SCHEMA_VERSION,
+        "kind": request_kind(request),
+        "request": request.to_dict(),
+    }
+
+
+def request_from_dict(payload: Mapping) -> OptimizeRequest | BatchRequest:
+    """Parse a request payload, enveloped or bare, any readable version.
+
+    Three accepted shapes:
+
+    * the v3 envelope (``kind`` + ``request``),
+    * a bare v1/v2/v3 :class:`OptimizeRequest` payload (up-converted — the
+      historical wire format, identified by its ``scenario`` field),
+    * a bare :class:`BatchRequest` payload (identified by ``spec``).
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"request payload must be an object, got {type(payload).__name__}"
+        )
+    if "kind" in payload:
+        kind = payload["kind"]
+        if kind not in REQUEST_KINDS:
+            raise ConfigurationError(
+                f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}"
+            )
+        check_schema_version(
+            payload, _READABLE_REQUEST_VERSIONS, "request",
+            default=REQUEST_SCHEMA_VERSION,
+        )
+        body = payload.get("request")
+        if not isinstance(body, Mapping):
+            raise ConfigurationError(
+                "request envelope is missing its 'request' object"
+            )
+        if kind == "batch":
+            return BatchRequest.from_dict(body)
+        return OptimizeRequest.from_dict(body)
+    # Bare payloads: v1/v2 optimize requests (and their v3 equivalents)
+    # carry a scenario; batch payloads carry a spec.
+    if "scenario" in payload:
+        return OptimizeRequest.from_dict(payload)
+    if "spec" in payload:
+        return BatchRequest.from_dict(payload)
+    raise ConfigurationError(
+        "request payload has neither a 'kind' envelope, a 'scenario' "
+        "(optimize request), nor a 'spec' (batch request)"
+    )

@@ -32,7 +32,9 @@ Typical session::
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from collections.abc import Callable
 
 from repro.api.requests import (
     WARM_START_AUTO,
@@ -40,6 +42,7 @@ from repro.api.requests import (
     BatchResponse,
     OptimizeRequest,
     OptimizeResponse,
+    request_kind,
 )
 from repro.api.scenario import Scenario
 from repro.core.constraints import ConstraintSet
@@ -72,6 +75,14 @@ def constraint_family_key(constraints: ConstraintSet) -> str:
 class LibraService:
     """Stateless scenario optimizer with bounded engine and solution memos.
 
+    Thread-safe: one lock guards every memo (engines, prior solutions, the
+    lazy batch cache), so a single service instance can sit behind a
+    worker pool (:class:`repro.serve.JobManager`) or any other concurrent
+    caller. Engine compilation runs *outside* the lock — two threads
+    racing on one cold key may both compile, but the memo stays
+    consistent (last writer wins, bounded eviction preserved) and no
+    request ever blocks behind another scenario's compile.
+
     Args:
         max_compiled: Engine-memo capacity (LRU eviction). Compiled engines
             hold symbolic expression trees, so the bound keeps a
@@ -91,6 +102,7 @@ class LibraService:
             )
         self._max_compiled = max_compiled
         self._max_solutions = max_solutions
+        self._lock = threading.Lock()
         self._engines: OrderedDict[str, Libra] = OrderedDict()
         self._solutions: OrderedDict[tuple, tuple[float, ...]] = OrderedDict()
         self._batch_cache = None  # lazy per-service in-memory ResultCache
@@ -105,31 +117,43 @@ class LibraService:
         differing only in budget or caps share one engine.
         """
         key = scenario.engine_key()
-        engine = self._engines.get(key)
-        if engine is None:
-            engine = scenario.compile()
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                self._engines.move_to_end(key)
+                return engine
+        # Compile without holding the lock: a concurrent duplicate compile
+        # is benign (identical engines; one wins the memo slot), whereas
+        # serializing every request behind one compile is not.
+        engine = scenario.compile()
+        with self._lock:
+            racer = self._engines.get(key)
+            if racer is not None:
+                self._engines.move_to_end(key)
+                return racer
             self._engines[key] = engine
             if len(self._engines) > self._max_compiled:
                 self._engines.popitem(last=False)
-        else:
-            self._engines.move_to_end(key)
         return engine
 
     @property
     def compiled_count(self) -> int:
         """How many engines the memo currently holds."""
-        return len(self._engines)
+        with self._lock:
+            return len(self._engines)
 
     @property
     def solution_count(self) -> int:
         """How many prior optima the solution memo currently holds."""
-        return len(self._solutions)
+        with self._lock:
+            return len(self._solutions)
 
     def clear(self) -> None:
         """Drop every memo: engines, prior solutions, the batch cache."""
-        self._engines.clear()
-        self._solutions.clear()
-        self._batch_cache = None
+        with self._lock:
+            self._engines.clear()
+            self._solutions.clear()
+            self._batch_cache = None
 
     # -- solution memo -------------------------------------------------------
 
@@ -147,25 +171,31 @@ class LibraService:
     def _recall_solution(self, key: tuple | None) -> tuple[float, ...] | None:
         if key is None:
             return None
-        solution = self._solutions.get(key)
-        if solution is not None:
-            self._solutions.move_to_end(key)
-        return solution
+        with self._lock:
+            solution = self._solutions.get(key)
+            if solution is not None:
+                self._solutions.move_to_end(key)
+            return solution
 
     def _store_solution(
         self, key: tuple | None, bandwidths: tuple[float, ...]
     ) -> None:
         if key is None:
             return
-        self._solutions[key] = bandwidths
-        self._solutions.move_to_end(key)
-        if len(self._solutions) > self._max_solutions:
-            self._solutions.popitem(last=False)
+        with self._lock:
+            self._solutions[key] = bandwidths
+            self._solutions.move_to_end(key)
+            if len(self._solutions) > self._max_solutions:
+                self._solutions.popitem(last=False)
 
     # -- dispatch ------------------------------------------------------------
 
     def submit(
-        self, request: OptimizeRequest | BatchRequest
+        self,
+        request: OptimizeRequest | BatchRequest,
+        *,
+        should_stop: Callable[[], bool] | None = None,
+        on_event: Callable[[dict], None] | None = None,
     ) -> OptimizeResponse | BatchResponse:
         """Answer one request.
 
@@ -173,19 +203,35 @@ class LibraService:
         evaluations, and EqualBW baselines run through the compiled engine;
         batch requests route through the explore engine and its
         content-addressed cache.
+
+        Both keyword seams are *runtime* concerns, deliberately not part
+        of the (serializable) request value. ``should_stop`` is a
+        cooperative cancellation predicate polled between multi-start
+        seeds and between sweep cells (a true return raises
+        :class:`~repro.utils.errors.JobCancelled`). ``on_event`` receives
+        structured progress dicts — the solver's warm-start outcome for
+        single solves, per-cell/per-chain events for batches — which
+        :class:`repro.serve.JobManager` turns into streamed
+        ``ProgressEvent``\\ s.
         """
-        if isinstance(request, BatchRequest):
-            return self._submit_batch(request)
-        if isinstance(request, OptimizeRequest):
-            return self._submit_optimize(request)
-        raise ConfigurationError(
-            f"unknown request type {type(request).__name__}; expected "
-            "OptimizeRequest or BatchRequest"
+        # request_kind owns the discriminator (and its rejection message);
+        # the wire layer and this dispatch must never disagree.
+        if request_kind(request) == "batch":
+            return self._submit_batch(
+                request, should_stop=should_stop, on_event=on_event
+            )
+        return self._submit_optimize(
+            request, should_stop=should_stop, on_event=on_event
         )
 
     # -- single requests -----------------------------------------------------
 
-    def _submit_optimize(self, request: OptimizeRequest) -> OptimizeResponse:
+    def _submit_optimize(
+        self,
+        request: OptimizeRequest,
+        should_stop: Callable[[], bool] | None = None,
+        on_event: Callable[[dict], None] | None = None,
+    ) -> OptimizeResponse:
         scenario = request.scenario
         engine = self.engine(scenario)
         diagnostics = None
@@ -205,6 +251,7 @@ class LibraService:
                 kernel=request.kernel,
                 warm_start=warm,
                 max_starts=request.max_starts,
+                should_stop=should_stop,
             )
             self._store_solution(memo_key, point.bandwidths)
             if solver_result is not None:
@@ -214,6 +261,8 @@ class LibraService:
                     "warm_start": solver_result.warm_start or "cold",
                     "warm_source": warm_source,
                 }
+                if on_event is not None:
+                    on_event({"type": "solve", **diagnostics})
 
         baseline = None
         if (
@@ -265,7 +314,12 @@ class LibraService:
 
     # -- batch requests --------------------------------------------------------
 
-    def _submit_batch(self, request: BatchRequest) -> BatchResponse:
+    def _submit_batch(
+        self,
+        request: BatchRequest,
+        should_stop: Callable[[], bool] | None = None,
+        on_event: Callable[[dict], None] | None = None,
+    ) -> BatchResponse:
         # Imported lazily: the explore engine sits *above* the api layer
         # (its spec module pulls scheme aliases from the registry), so a
         # module-level import here would be circular.
@@ -276,12 +330,48 @@ class LibraService:
             cache = ResultCache(request.cache_dir)
         else:
             # The documented per-service in-memory cache: repeat batch
-            # submissions against one service reuse solved cells.
-            if self._batch_cache is None:
-                self._batch_cache = ResultCache()
-            cache = self._batch_cache
-        sweep = run_sweep(request.spec, cache=cache, workers=request.workers)
-        return BatchResponse(sweep=sweep)
+            # submissions against one service reuse solved cells. Bounded
+            # like the other memos — a long-running server must not grow
+            # without limit; evicted cells simply re-solve.
+            with self._lock:
+                if self._batch_cache is None:
+                    self._batch_cache = ResultCache(max_memory=4096)
+                cache = self._batch_cache
+        sweep = run_sweep(
+            request.spec,
+            cache=cache,
+            workers=request.workers,
+            on_event=on_event,
+            should_stop=should_stop,
+            service=self,
+            # The service may be driven from a thread pool (repro.serve);
+            # forking a multithreaded process can deadlock pool children
+            # on locks held across the fork, so batches always spawn.
+            mp_context="spawn",
+        )
+        return BatchResponse(sweep=sweep, diagnostics=sweep_diagnostics(sweep))
+
+
+def sweep_diagnostics(sweep) -> dict:
+    """The batch-response ``diagnostics`` object for one executed sweep.
+
+    Mirrors what ``repro explore --profile`` prints locally so remote
+    clients get the same telemetry: duplicate fan-out, the cache split,
+    the warm-start hit rate, and the per-stage :class:`SweepProfile`
+    timings of this particular execution (wall-clock numbers live here —
+    on the response envelope — precisely because they are *not* row
+    data and never enter cache keys or row-identity comparisons).
+    """
+    profile = sweep.profile
+    return {
+        "cells": len(sweep.results),
+        "cache_hits": sweep.cache_hits,
+        "solver_calls": sweep.solver_calls,
+        "fanout_cells": sweep.fanout_cells,
+        "num_errors": sweep.num_errors,
+        "warm_hit_rate": 0.0 if profile is None else profile.warm_hit_rate,
+        "profile": None if profile is None else profile.to_dict(),
+    }
 
 
 def _ppc_gain(point: DesignPoint, baseline: DesignPoint) -> float:

@@ -8,8 +8,15 @@ Every subcommand is a thin request builder over the
     repro-libra optimize --topology 4D-4K --workload GPT-3 \\
         --total-bw 500 --scheme perf
     repro-libra optimize --scenario gpt3.json --scheme perf-per-cost --json
+    repro-libra optimize --scenario - < gpt3.json
     repro-libra scenario --topology 4D-4K --workload GPT-3 \\
         --total-bw 500 --output gpt3.json
+    repro-libra serve --port 8350 --workers 2
+    repro-libra submit --scenario gpt3.json --events
+    repro-libra submit --url http://127.0.0.1:8350 --scenario gpt3.json --json
+    repro-libra submit --url http://127.0.0.1:8350 --spec sweep.json --no-wait
+    repro-libra jobs --url http://127.0.0.1:8350
+    repro-libra jobs --url http://127.0.0.1:8350 --events job-abc123 --follow
     repro-libra sweep --topology 4D-4K --workload MSFT-1T \\
         --bw 100 --bw 500 --bw 1000
     repro-libra explore --workload GPT-3 --workload Turing-NLG \\
@@ -74,7 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
     optimize = sub.add_parser("optimize", help="optimize one design point")
     optimize.add_argument(
         "--scenario", metavar="FILE",
-        help="scenario JSON file (replaces --topology/--workload/--total-bw)",
+        help="scenario JSON file, or - for stdin "
+             "(replaces --topology/--workload/--total-bw)",
     )
     _add_target_args(optimize, required=False)
     optimize.add_argument(
@@ -263,6 +271,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact path (default BENCH_solver.json, or "
              "BENCH_sweep.json with --sweep)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP job server (async submit/poll/stream/cancel "
+             "over POST /v3/jobs)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8350, help="bind port (default 8350)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent jobs (default 2; batch jobs parallelize "
+             "internally via their own 'workers' field)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=256,
+        help="job-table bound; submissions beyond it evict finished jobs "
+             "or are refused (default 256)",
+    )
+    serve.add_argument(
+        "--cache-root", metavar="DIR",
+        help="accept client-supplied batch cache_dir names, sandboxed "
+             "under this directory (without it they are rejected)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job: to a remote serve endpoint (--url) or an "
+             "in-process queue, from the same scenario/spec files",
+    )
+    submit.add_argument(
+        "--url", metavar="URL",
+        help="serve endpoint (e.g. http://127.0.0.1:8350); omitted = "
+             "run through an in-process job queue",
+    )
+    submit.add_argument(
+        "--scenario", metavar="FILE",
+        help="scenario JSON file, or - for stdin "
+             "(replaces --topology/--workload/--total-bw)",
+    )
+    _add_target_args(submit, required=False)
+    submit.add_argument(
+        "--total-bw", type=float,
+        help="aggregate bandwidth budget per NPU, GB/s",
+    )
+    submit.add_argument(
+        "--scheme", choices=sorted(_SCHEMES), default=None,
+        help="optimization objective (default: perf; a spec file carries "
+             "its own schemes axis)",
+    )
+    submit.add_argument(
+        "--cap", action="append", default=[], metavar="DIM:GBPS",
+        help="cap one dimension's bandwidth (repeatable)",
+    )
+    submit.add_argument(
+        "--spec", metavar="FILE",
+        help="sweep-spec JSON file: submit a batch (sweep) job instead "
+             "of a single optimize",
+    )
+    submit.add_argument(
+        "--batch-workers", type=int, default=1,
+        help="with --spec: the sweep's process-pool width (default 1)",
+    )
+    submit.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="with --spec: content-addressed result cache the executing "
+             "process should use (server-side path with --url)",
+    )
+    submit.add_argument(
+        "--events", action="store_true",
+        help="print progress events while waiting",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="with --url: print the job envelope and return without "
+             "waiting (an in-process queue dies with the CLI, so local "
+             "submissions always wait)",
+    )
+    submit.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the response payload (or job envelope with --no-wait) "
+             "as JSON",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="inspect a serve endpoint's job table"
+    )
+    jobs.add_argument(
+        "--url", required=True, metavar="URL",
+        help="serve endpoint (e.g. http://127.0.0.1:8350)",
+    )
+    jobs.add_argument(
+        "--job", metavar="ID", help="show one job's envelope (with result)"
+    )
+    jobs.add_argument("--cancel", metavar="ID", help="cancel one job")
+    jobs.add_argument(
+        "--events", metavar="ID", help="print one job's event log"
+    )
+    jobs.add_argument(
+        "--follow", action="store_true",
+        help="with --events: stream live until the job finishes",
+    )
+    jobs.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON",
+    )
     return parser
 
 
@@ -339,15 +459,36 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_scenario(source: str) -> Scenario:
+    """Load a scenario from a file path, or from stdin when ``source`` is ``-``.
+
+    Malformed stdin payloads fail exactly like malformed files: a located
+    :class:`~repro.api.scenario.ScenarioValidationError` (a
+    :class:`ReproError`), which :func:`main` turns into exit code 2.
+    """
+    if source != "-":
+        return load_scenario(source)
+    try:
+        payload = json.load(sys.stdin)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"scenario on stdin is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"scenario on stdin must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return Scenario.from_dict(payload)
+
+
 def _optimize_scenario(args: argparse.Namespace) -> Scenario:
-    """Resolve the optimize subcommand's flags into one scenario."""
+    """Resolve the optimize/submit flags into one scenario."""
     if args.scenario:
         if args.topology or args.workload or args.workload_file or args.cap:
             raise ReproError(
                 "--scenario replaces the target flags; drop "
                 "--topology/--workload/--workload-file/--cap or edit the file"
             )
-        scenario = load_scenario(args.scenario)
+        scenario = _read_scenario(args.scenario)
         has_budget = (
             scenario.constraints is not None
             and scenario.constraints.total_bandwidth is not None
@@ -379,12 +520,10 @@ def _optimize_scenario(args: argparse.Namespace) -> Scenario:
     return _target_scenario(args, args.total_bw)
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    scenario = _optimize_scenario(args)
-    response = get_service().submit(
-        OptimizeRequest(scenario=scenario, scheme=_SCHEMES[args.scheme])
-    )
-    if args.as_json:
+def _print_optimize_response(response, as_json: bool) -> int:
+    """Render one OptimizeResponse — the optimize and submit paths share it
+    so local, queued, and remote execution print identically."""
+    if as_json:
         print(json.dumps(response.to_dict(), indent=1, sort_keys=True))
         return 0
     print(response.point.describe())
@@ -399,6 +538,14 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             f"{response.ppc_gain_over_baseline:.3f}x"
         )
     return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    scenario = _optimize_scenario(args)
+    response = get_service().submit(
+        OptimizeRequest(scenario=scenario, scheme=_SCHEMES[args.scheme])
+    )
+    return _print_optimize_response(response, args.as_json)
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -716,6 +863,181 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import JobManager, create_server
+
+    manager = JobManager(workers=args.workers, max_jobs=args.max_jobs)
+    server = create_server(
+        manager, host=args.host, port=args.port, verbose=args.verbose,
+        cache_root=args.cache_root,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(schema v3; {args.workers} job workers; Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down…")
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown()
+    return 0
+
+
+def _submit_request(args: argparse.Namespace):
+    """Build the request a submit invocation describes (optimize or batch)."""
+    from repro.api.requests import BatchRequest
+    from repro.explore import load_sweep_spec
+
+    if args.spec:
+        if args.scenario or args.topology or args.workload or args.workload_file:
+            raise ReproError(
+                "--spec submits a batch job; drop the scenario/target flags"
+            )
+        if args.total_bw is not None or args.cap or args.scheme is not None:
+            # Never silently drop a constraint the user typed: the spec
+            # file owns the budget/scheme axes and per-cell caps.
+            raise ReproError(
+                "--spec submits a batch job; --total-bw/--cap/--scheme "
+                "belong in the spec file's axes, not on the command line"
+            )
+        return BatchRequest(
+            spec=load_sweep_spec(args.spec),
+            workers=args.batch_workers,
+            cache_dir=args.cache_dir,
+        )
+    if args.cache_dir or args.batch_workers != 1:
+        # Symmetric with the --spec conflicts above: batch-only flags on a
+        # single optimize must fail loudly, not silently do nothing.
+        raise ReproError(
+            "--cache-dir/--batch-workers apply to batch jobs; add --spec"
+        )
+    scenario = _optimize_scenario(args)
+    return OptimizeRequest(
+        scenario=scenario, scheme=_SCHEMES[args.scheme or "perf"]
+    )
+
+
+def _print_event(event, file=None) -> None:
+    data = json.dumps(event.data, sort_keys=True)
+    print(f"[{event.seq:>3}] {event.kind:<6} {data}", file=file or sys.stderr)
+
+
+def _print_batch_response(response, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps(response.to_dict(), indent=1, sort_keys=True))
+        return 0
+    sweep = response.sweep
+    for result in sweep.results:
+        point = result.point
+        status = (
+            f"ERROR: {result.error}" if not result.ok
+            else f"{result.step_time_ms:.3f} ms, ${result.network_cost:,.0f}"
+        )
+        print(f"{point.label():<55} {status}")
+    diagnostics = response.diagnostics or {}
+    print(
+        f"cells: {len(sweep.results)}, cache hits: {sweep.cache_hits}, "
+        f"solver calls: {sweep.solver_calls}, "
+        f"warm hit rate: {diagnostics.get('warm_hit_rate', 0.0):.1%}, "
+        f"errors: {sweep.num_errors}"
+    )
+    return 2 if sweep.results and sweep.num_errors == len(sweep.results) else 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api.requests import BatchResponse
+
+    request = _submit_request(args)
+
+    if args.url:
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(args.url)
+        info = client.submit(request)
+        print(f"job {info.id}: {info.state.value}", file=sys.stderr)
+        if args.no_wait:
+            print(json.dumps(info.to_dict(), indent=1, sort_keys=True))
+            return 0
+        if args.events and not info.done:
+            client.follow_to_completion(info.id, on_event=_print_event)
+            response = client.result(info.id)
+        else:
+            # No event display wanted: poll, and decode the envelope the
+            # final poll already downloaded — no second result fetch, no
+            # streaming (and discarding) a huge per-cell event log.
+            response = client.wait(info.id).response()
+    else:
+        if args.no_wait:
+            # Returning without waiting only means something when the job
+            # outlives this process; an in-process queue cannot offer that.
+            raise ReproError(
+                "--no-wait requires --url: an in-process job queue dies "
+                "when the CLI exits"
+            )
+        from repro.serve import JobManager
+
+        with JobManager(workers=1) as manager:
+            handle = manager.submit(request)
+            print(f"job {handle.id}: queued (in-process)", file=sys.stderr)
+            if args.events:
+                for event in handle.stream():
+                    _print_event(event)
+            response = handle.result()
+
+    if isinstance(response, BatchResponse):
+        return _print_batch_response(response, args.as_json)
+    return _print_optimize_response(response, args.as_json)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.url)
+    if args.cancel:
+        info = client.cancel(args.cancel)
+        print(f"job {info.id}: {info.state.value}")
+        return 0
+    if args.events:
+        def show(event) -> None:
+            if args.as_json:
+                print(json.dumps(event.to_dict(), sort_keys=True))
+            else:
+                _print_event(event, file=sys.stdout)
+
+        if args.follow:
+            # Stall-tolerant: a quiet long solve must not abort the watch.
+            client.follow_to_completion(args.events, on_event=show)
+        else:
+            for event in client.events(args.events):
+                show(event)
+        return 0
+    if args.job:
+        info = client.job(args.job)
+        print(json.dumps(info.to_dict(), indent=1, sort_keys=True))
+        return 0
+    listing = client.jobs()
+    if args.as_json:
+        print(json.dumps(
+            [info.to_dict()["job"] for info in listing],
+            indent=1, sort_keys=True,
+        ))
+        return 0
+    if not listing:
+        print("no jobs")
+        return 0
+    print(f"{'id':<24} {'kind':<9} {'state':<10} {'events':>6}  error")
+    for info in listing:
+        print(
+            f"{info.id:<24} {info.kind:<9} {info.state.value:<10} "
+            f"{info.num_events:>6}  {info.error}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "topologies": _cmd_topologies,
     "workloads": _cmd_workloads,
@@ -726,6 +1048,9 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "cost": _cmd_cost,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 

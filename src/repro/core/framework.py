@@ -22,7 +22,7 @@ step-by-step sessions. A typical session::
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -178,6 +178,7 @@ class Libra:
         kernel: str = "vectorized",
         warm_start: Sequence[float] | None = None,
         max_starts: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> DesignPoint:
         """Run one optimization scheme under the given constraints.
 
@@ -185,11 +186,14 @@ class Libra:
         (matrix-form constraint blocks, default) or ``"closures"`` (the
         per-constraint reference path kept for equivalence checks and
         benchmarking). ``warm_start`` (bytes/s) is a prior optimum used as
-        a continuation seed; ``max_starts`` caps the multi-start family.
+        a continuation seed; ``max_starts`` caps the multi-start family;
+        ``should_stop`` is the solver's cooperative cancellation predicate
+        (polled between multi-start seeds).
         """
         point, _ = self.optimize_result(
             scheme, constraints, kernel=kernel,
             warm_start=warm_start, max_starts=max_starts,
+            should_stop=should_stop,
         )
         return point
 
@@ -200,6 +204,7 @@ class Libra:
         kernel: str = "vectorized",
         warm_start: Sequence[float] | None = None,
         max_starts: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> tuple[DesignPoint, SolverResult | None]:
         """:meth:`optimize`, also returning the raw solver diagnostics.
 
@@ -223,6 +228,7 @@ class Libra:
             result = minimize_training_time(
                 expression, constraints, kernel=kernel,
                 warm_start=warm_start, max_starts=max_starts,
+                should_stop=should_stop,
             )
         elif scheme is Scheme.PERF_PER_COST_OPT:
             rates = np.asarray(cost_rates(self.network, self.cost_model))
@@ -230,6 +236,7 @@ class Libra:
             result = minimize_time_cost_product(
                 expression, constraints, rates_total, kernel=kernel,
                 warm_start=warm_start, max_starts=max_starts,
+                should_stop=should_stop,
             )
         else:
             raise ConfigurationError(f"unknown scheme {scheme!r}")

@@ -70,7 +70,7 @@ from repro.training.expr import (
     simplify,
     vector_evaluator,
 )
-from repro.utils.errors import OptimizationError
+from repro.utils.errors import JobCancelled, OptimizationError
 from repro.utils.units import GBPS
 
 #: Internal bandwidth unit (GB/s) — keeps decision variables O(1)–O(1000).
@@ -793,6 +793,19 @@ def _try_warm(
     return candidate, ""
 
 
+def _checkpoint(should_stop: Callable[[], bool] | None, context: str) -> None:
+    """Cooperative cancellation checkpoint (between multi-start seeds).
+
+    Seeds are the natural granularity: one SLSQP run is seconds at most,
+    so a cancel request is observed promptly without polluting the kernel
+    inner loop. Raising :class:`JobCancelled` (never returning a partial
+    result) keeps the solver's contract simple — a cancelled solve
+    produced nothing.
+    """
+    if should_stop is not None and should_stop():
+        raise JobCancelled(f"optimization cancelled {context}")
+
+
 def _check_kernel(kernel: str) -> None:
     if kernel not in KERNELS:
         raise OptimizationError(
@@ -818,6 +831,7 @@ def minimize_training_time(
     max_starts: int | None = None,
     warm_start: Sequence[float] | None = None,
     trust_rtol: float | None = None,
+    should_stop: Callable[[], bool] | None = None,
     _blocks: ConstraintBlocks | None = None,
 ) -> SolverResult:
     """PerfOptBW: minimize the training-time expression (convex program).
@@ -835,8 +849,11 @@ def minimize_training_time(
             check. ``None`` is the cold path (default).
         trust_rtol: Relative drift tolerance of the trust check;
             ``None`` reads :data:`WARM_TRUST_RTOL` at call time.
+        should_stop: Cooperative cancellation predicate, polled between
+            multi-start seeds; a true return raises :class:`JobCancelled`.
     """
     _check_kernel(kernel)
+    _checkpoint(should_stop, "before the first start")
     program = compile_expression(expr, constraints.num_dims)
     if program.num_aux == 0:
         # Pure-compute workload: any feasible point is optimal. A warm
@@ -906,12 +923,15 @@ def minimize_training_time(
             # the dominant per-cell cost twice for the identical result.
             warm_candidates = [candidate]
 
-    candidates = warm_candidates + [
-        _solve_from_seed(
-            program, constraints, objective, objective_grad, seed, blocks=blocks
+    candidates = list(warm_candidates)
+    for index, seed in enumerate(seeds):
+        _checkpoint(should_stop, f"before start {index + 1} of {len(seeds)}")
+        candidates.append(
+            _solve_from_seed(
+                program, constraints, objective, objective_grad, seed,
+                blocks=blocks,
+            )
         )
-        for seed in seeds
-    ]
     # The seeds themselves are feasible fallbacks (aux tight = true value).
     candidates.extend(_seed_fallbacks(program, seeds, program.objective_value))
     result = _finish(
@@ -931,6 +951,7 @@ def minimize_time_cost_product(
     warm_start: Sequence[float] | None = None,
     trust_rtol: float | None = None,
     perf_warm_starts: int | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> SolverResult:
     """PerfPerCostOptBW: minimize time × dollar-cost (bilinear objective).
 
@@ -954,8 +975,12 @@ def minimize_time_cost_product(
             solve; ``None`` picks :data:`DEFAULT_PERF_WARM_STARTS` on the
             vectorized kernel and the full family on the closure kernel
             (the historical behavior).
+        should_stop: Cooperative cancellation predicate, polled between
+            multi-start seeds (including the inner PerfOpt solve's); a
+            true return raises :class:`JobCancelled`.
     """
     _check_kernel(kernel)
+    _checkpoint(should_stop, "before the first start")
     program = compile_expression(expr, constraints.num_dims)
     rates = np.asarray(cost_rates, dtype=float)
     if rates.shape != (constraints.num_dims,):
@@ -1056,6 +1081,7 @@ def minimize_time_cost_product(
                 perf_warm_starts if perf_warm_starts is not None
                 else (DEFAULT_PERF_WARM_STARTS if kernel == "vectorized" else None)
             ),
+            should_stop=should_stop,
         )
         seeds.append(np.asarray(perf_result.bandwidths, dtype=float))
     except OptimizationError:
@@ -1074,12 +1100,15 @@ def minimize_time_cost_product(
             return replace(result, warm_start="rejected:bandwidth-independent")
         return result
 
-    candidates = warm_candidates + [
-        _solve_from_seed(
-            program, constraints, objective, objective_grad, seed, blocks=blocks
+    candidates = list(warm_candidates)
+    for index, seed in enumerate(seeds):
+        _checkpoint(should_stop, f"before start {index + 1} of {len(seeds)}")
+        candidates.append(
+            _solve_from_seed(
+                program, constraints, objective, objective_grad, seed,
+                blocks=blocks,
+            )
         )
-        for seed in seeds
-    ]
     candidates.extend(_seed_fallbacks(program, seeds, objective))
     result = _finish(
         program, constraints, evaluate_true, candidates,

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
 
@@ -30,13 +32,33 @@ STORE_VERSION = 1
 class ResultCache:
     """In-memory, optionally disk-backed store of exploration results.
 
+    Thread-safe: the memory map is guarded by a lock (the serve layer
+    shares one cache across concurrent batch jobs), and disk writes use
+    writer-unique temp names with an atomic replace.
+
     Args:
         directory: Where to persist entries as ``<key>.json`` files;
             ``None`` keeps the cache purely in memory.
+        max_memory: Bound on the in-memory map (LRU eviction). ``None``
+            (the default, and the historical behavior) keeps everything —
+            right for one-shot CLI sweeps; long-running servers pass a
+            bound so repeated large grids cannot grow memory without
+            limit. With a directory, evicted entries reload from disk;
+            memory-only caches genuinely forget them (re-solve on demand).
     """
 
-    def __init__(self, directory: str | Path | None = None):
-        self._memory: dict[str, ExplorationResult] = {}
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_memory: int | None = None,
+    ):
+        if max_memory is not None and max_memory < 1:
+            raise ConfigurationError(
+                f"max_memory must be >= 1, got {max_memory}"
+            )
+        self._memory: OrderedDict[str, ExplorationResult] = OrderedDict()
+        self._max_memory = max_memory
+        self._lock = threading.Lock()
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             try:
@@ -52,11 +74,23 @@ class ResultCache:
 
     def __len__(self) -> int:
         if self._directory is None:
-            return len(self._memory)
+            with self._lock:
+                return len(self._memory)
         return sum(1 for _ in self._directory.glob("*.json"))
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
+
+    def _remember(self, key: str, result: ExplorationResult) -> None:
+        """LRU-insert into the memory map (bounded when configured)."""
+        with self._lock:
+            self._memory[key] = result
+            self._memory.move_to_end(key)
+            if (
+                self._max_memory is not None
+                and len(self._memory) > self._max_memory
+            ):
+                self._memory.popitem(last=False)
 
     def get(self, key: str) -> ExplorationResult | None:
         """The cached result for ``key``, or ``None``.
@@ -64,9 +98,11 @@ class ResultCache:
         Unreadable or schema-incompatible disk entries are treated as
         misses, not errors — a corrupted cache degrades to re-solving.
         """
-        cached = self._memory.get(key)
-        if cached is not None:
-            return cached
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                return cached
         if self._directory is None:
             return None
         path = self._entry_path(key)
@@ -81,7 +117,7 @@ class ResultCache:
             return None
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ReproError):
             return None
-        self._memory[key] = result
+        self._remember(key, result)
         return result
 
     def put(self, key: str, result: ExplorationResult) -> None:
@@ -89,23 +125,33 @@ class ResultCache:
         if not result.ok:
             return
         stored = replace(result, key=key, from_cache=False)
-        self._memory[key] = stored
+        self._remember(key, stored)
         if self._directory is None:
             return
         path = self._entry_path(key)
         wrapper = {"store_version": STORE_VERSION, "result": stored.to_dict()}
-        tmp_path = path.with_suffix(".json.tmp")
+        # Writer-unique temp name: concurrent threads/processes storing the
+        # same key must not collide on one .tmp (the os.replace loser would
+        # otherwise hit FileNotFoundError); last atomic replace wins.
+        tmp_path = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         try:
             tmp_path.write_text(json.dumps(wrapper, sort_keys=True, indent=1))
             os.replace(tmp_path, path)
         except OSError as exc:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
             raise ConfigurationError(
                 f"cannot write cache entry {path}: {exc}"
             ) from exc
 
     def clear(self) -> None:
         """Drop every entry, in memory and on disk."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if self._directory is None:
             return
         for path in self._directory.glob("*.json"):

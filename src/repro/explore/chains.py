@@ -46,6 +46,25 @@ def chain_signature(point: ExplorationPoint) -> tuple:
     )
 
 
+def chain_label(point: ExplorationPoint) -> str:
+    """Compact human-readable continuation-family label.
+
+    The executor stamps this onto chain progress events so streaming
+    clients (``repro.serve``) can say *which* column of the grid is
+    advancing without reverse-engineering the signature tuple.
+    """
+    caps = (
+        "" if not point.dim_caps_gbps
+        else " caps=" + ",".join(
+            f"{dim}:{cap:g}" for dim, cap in point.dim_caps_gbps
+        )
+    )
+    return (
+        f"{point.workload_name} @ {point.topology} "
+        f"[{point.scheme.value}/{point.cost_model_name}]{caps}"
+    )
+
+
 def build_chains(
     items: Sequence[tuple[T, ExplorationPoint]],
 ) -> list[list[tuple[T, ExplorationPoint]]]:

@@ -23,6 +23,7 @@ appearing more than once in a grid are solved once and fanned back out;
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -34,17 +35,44 @@ from repro.api.requests import OptimizeRequest
 from repro.api.scenario import Scenario, ScenarioWorkload
 from repro.api.service import get_service
 from repro.core.results import Scheme
-from repro.utils.errors import ReproError
+from repro.utils.errors import JobCancelled, ReproError
 from repro.workloads.workload import Workload
 
 from repro.explore.cache import ResultCache
-from repro.explore.chains import build_chains, chain_signature
+from repro.explore.chains import build_chains, chain_label, chain_signature
 from repro.explore.keys import point_constraints, point_key, resolve_topology
 from repro.explore.records import ExplorationResult, SweepProfile, SweepResult
 from repro.explore.spec import ExplorationPoint, SweepSpec
 
 #: Called after each resolved cell with (done, total, result).
 ProgressCallback = Callable[[int, int, ExplorationResult], None]
+
+#: Called with structured progress dicts (the callback seam consumers such
+#: as ``repro.serve`` adapt into typed events). Every dict carries a
+#: ``"type"`` discriminator:
+#:
+#: * ``"plan"`` — after cache lookup: ``total``, ``cached``, ``chains``,
+#:   ``solver_calls``, ``fanout_cells``.
+#: * ``"cell"`` — one grid cell resolved: ``done``, ``total``, ``label``,
+#:   ``key``, ``status`` (``cached`` / ``solved`` / ``error``),
+#:   ``warm_start``, ``error``.
+#: * ``"chain"`` — continuation-chain progress: ``status``, ``chain``,
+#:   ``chains``, ``cells``, ``label``. Inline runs emit ``start``/``done``
+#:   around each chain; pool runs emit ``queued`` at submission (the
+#:   coordinator cannot observe when a worker actually picks a chain up)
+#:   and ``done`` at completion.
+EventCallback = Callable[[dict], None]
+
+
+def _init_pool_worker(registry_entries) -> None:
+    """Pool-worker initializer: replay the parent's custom registrations.
+
+    Only needed for non-``fork`` start methods, whose workers re-import
+    the registry module and would otherwise know just the builtins.
+    """
+    from repro.api.registry import install_entries
+
+    install_entries(registry_entries)
 
 
 @lru_cache(maxsize=64)
@@ -95,20 +123,28 @@ def solve_point(
     point: ExplorationPoint,
     key: str = "",
     warm_start: tuple[float, ...] | None = None,
+    should_stop: Callable[[], bool] | None = None,
+    service=None,
 ) -> ExplorationResult:
     """Solve one exploration cell, capturing any failure as an error row.
 
     ``warm_start`` (GB/s) is a prior optimum from a continuation neighbor;
     ``None`` is the cold path (the default, and the only path for EqualBW
-    cells, where the request layer ignores warm seeds).
+    cells, where the request layer ignores warm seeds). ``should_stop``
+    reaches the solver's between-seed cancellation checkpoints; a
+    :class:`JobCancelled` raised there *propagates* — cancellation is not
+    a cell failure and must never be pinned as an error row. ``service``
+    is the executing :class:`~repro.api.service.LibraService`; ``None``
+    uses the per-process default.
     """
     try:
-        response = get_service().submit(
+        response = (service if service is not None else get_service()).submit(
             OptimizeRequest(
                 scenario=point_scenario(point),
                 scheme=point.scheme,
                 warm_start=warm_start,
-            )
+            ),
+            should_stop=should_stop,
         )
         optimized = response.point
         diagnostics = response.diagnostics or {}
@@ -126,6 +162,8 @@ def solve_point(
             solver_starts=int(diagnostics.get("starts", 0)),
             warm_start=str(diagnostics.get("warm_start", "")),
         )
+    except JobCancelled:
+        raise
     except Exception as exc:  # noqa: BLE001 — error containment is the contract
         return ExplorationResult(
             point=point,
@@ -134,26 +172,49 @@ def solve_point(
         )
 
 
-def _solve_chain(
+def _iter_chain(
     chain: list[tuple[str, ExplorationPoint]],
     continuation: bool,
     initial_warm: tuple[float, ...] | None = None,
-) -> list[tuple[str, ExplorationResult]]:
-    """Solve one continuation chain in budget order (pool-worker entry).
+    should_stop: Callable[[], bool] | None = None,
+    service=None,
+):
+    """Solve one continuation chain in budget order, yielding per cell.
 
     Each cell warm-starts from the most recent *successful* optimum in the
     chain; the first cell starts from ``initial_warm`` — a budget-neighbor
     the cache already answered, when one exists — or cold. The whole chain
     runs in one process, so propagation needs no cross-worker state.
+
+    Yielding cell-by-cell (rather than returning the finished chain) is
+    what makes cancellation lossless on the inline path: every yielded row
+    is installed — and cached — before the next cell's ``should_stop``
+    checkpoint can raise :class:`JobCancelled`.
     """
-    rows: list[tuple[str, ExplorationResult]] = []
     warm = initial_warm if continuation else None
     for key, point in chain:
-        result = solve_point(point, key=key, warm_start=warm)
-        rows.append((key, result))
+        if should_stop is not None and should_stop():
+            raise JobCancelled("sweep cancelled between cells")
+        result = solve_point(
+            point, key=key, warm_start=warm, should_stop=should_stop,
+            service=service,
+        )
+        yield key, result
         if continuation and result.ok and point.scheme is not Scheme.EQUAL_BW:
             warm = result.bandwidths_gbps
-    return rows
+
+
+def _solve_chain(
+    chain: list[tuple[str, ExplorationPoint]],
+    continuation: bool,
+    initial_warm: tuple[float, ...] | None = None,
+) -> list[tuple[str, ExplorationResult]]:
+    """Pool-worker entry: one whole chain, solved in its worker process.
+
+    No ``should_stop`` here — predicates do not cross process boundaries;
+    in pool mode the *coordinator* cancels between chain completions.
+    """
+    return list(_iter_chain(chain, continuation, initial_warm))
 
 
 def _cached_neighbor_seed(
@@ -186,6 +247,10 @@ def run_sweep(
     workers: int = 1,
     progress: ProgressCallback | None = None,
     continuation: bool = True,
+    on_event: EventCallback | None = None,
+    should_stop: Callable[[], bool] | None = None,
+    service=None,
+    mp_context: str | None = None,
 ) -> SweepResult:
     """Run a sweep: cache-serve, chain-solve the rest, return grid-order rows.
 
@@ -203,6 +268,33 @@ def run_sweep(
         continuation: Propagate warm starts through budget-ordered chains
             (default). ``False`` solves every cell from cold seeds — the
             reference path for benchmarks and equivalence checks.
+        on_event: Structured-progress seam (see :data:`EventCallback`):
+            one ``plan`` dict after cache lookup, one ``cell`` dict per
+            resolved cell, ``chain`` start/done dicts around each
+            continuation chain. Called from the coordinating process only.
+        should_stop: Cooperative cancellation predicate, polled between
+            cells (inline) or between chain completions (process pool),
+            and forwarded to the solver's between-seed checkpoints on the
+            inline path. When it turns true the sweep raises
+            :class:`JobCancelled` — but only *after* installing every
+            already-solved row, so with a cache all completed cells are
+            persisted and reusable (atomic per-cell writes; no partial
+            rows by construction).
+        service: The :class:`~repro.api.service.LibraService` inline
+            solves run through (so a caller's engine/solution memos are
+            actually used); ``None`` falls back to the per-process
+            default. Pool workers always use their own per-process
+            service — a service cannot cross a process boundary.
+        mp_context: Multiprocessing start method for the pool (``None``
+            keeps the platform default). Single-threaded drivers (the
+            CLI) keep the default, but multithreaded callers (the serve
+            layer) must pass ``"spawn"``: forking a multithreaded
+            process can deadlock children on locks held by other
+            threads at fork time. Non-fork workers replay the parent's
+            picklable custom registry entries via an initializer, so
+            dynamically registered names keep resolving (unpicklable
+            factories — lambdas, closures — cannot cross a spawn
+            boundary and degrade to per-cell error rows).
     """
     started = time.perf_counter()
     points = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
@@ -210,12 +302,29 @@ def run_sweep(
     results: list[ExplorationResult | None] = [None] * total
     done = 0
 
+    def emit(payload: dict) -> None:
+        if on_event is not None:
+            on_event(payload)
+
     def resolved(index: int, result: ExplorationResult) -> None:
         nonlocal done
         results[index] = result
         done += 1
         if progress is not None:
             progress(done, total, result)
+        emit({
+            "type": "cell",
+            "done": done,
+            "total": total,
+            "label": result.point.label(),
+            "key": result.key,
+            "status": (
+                "cached" if result.from_cache
+                else ("error" if not result.ok else "solved")
+            ),
+            "warm_start": result.warm_start,
+            "error": result.error,
+        })
 
     # Phase 1 — content-address every cell and serve what the cache knows.
     # A key failure (bad topology notation, malformed point) is itself an
@@ -285,24 +394,81 @@ def run_sweep(
         warm_seeds = [None] * len(chains)
     solver_calls = len(representatives)
     fanout_cells = sum(len(indices) - 1 for indices in pending.values())
+    emit({
+        "type": "plan",
+        "total": total,
+        "cached": cache_hits,
+        "chains": len(chains),
+        "solver_calls": solver_calls,
+        "fanout_cells": fanout_cells,
+    })
+
+    def chain_event(status: str, index: int) -> dict:
+        _, first = chains[index][0]
+        return {
+            "type": "chain",
+            "status": status,
+            "chain": index,
+            "chains": len(chains),
+            "cells": len(chains[index]),
+            "label": chain_label(first),
+        }
 
     solve_started = time.perf_counter()
     if workers <= 1 or len(chains) <= 1:
-        for chain, seed in zip(chains, warm_seeds):
-            for key, result in _solve_chain(chain, continuation, seed):
+        for index, (chain, seed) in enumerate(zip(chains, warm_seeds)):
+            emit(chain_event("start", index))
+            for key, result in _iter_chain(
+                chain, continuation, seed, should_stop, service
+            ):
                 install(key, result)
+            emit(chain_event("done", index))
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(chains))) as pool:
+        if mp_context:
+            from repro.api.registry import custom_entries
+
+            pool_kwargs = {
+                "mp_context": multiprocessing.get_context(mp_context),
+                "initializer": _init_pool_worker,
+                "initargs": (custom_entries(),),
+            }
+        else:
+            pool_kwargs = {}
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chains)), **pool_kwargs
+        ) as pool:
             futures = {
                 pool.submit(_solve_chain, chain, continuation, seed): index
                 for index, (chain, seed) in enumerate(zip(chains, warm_seeds))
             }
+            for index in range(len(chains)):
+                emit(chain_event("queued", index))
             remaining = set(futures)
+            cancelled = False
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
                     for key, result in future.result():
                         install(key, result)
+                    emit(chain_event("done", futures[future]))
+                if (
+                    not cancelled
+                    and remaining  # a finished sweep is never "cancelled"
+                    and should_stop is not None
+                    and should_stop()
+                ):
+                    # Predicates do not cross process boundaries, so pool
+                    # cancellation is chain-grained: unstarted chains are
+                    # withdrawn, running ones drain normally (their rows
+                    # still install and cache), then the sweep raises.
+                    cancelled = True
+                    remaining = {
+                        future for future in remaining if not future.cancel()
+                    }
+            if cancelled:
+                raise JobCancelled(
+                    f"sweep cancelled after {done} of {total} cells"
+                )
     solve_s = time.perf_counter() - solve_started
 
     assemble_started = time.perf_counter()

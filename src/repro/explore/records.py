@@ -115,6 +115,7 @@ class ExplorationResult:
                 solver_starts=int(payload.get("solver_starts", 0)),
                 warm_start=str(payload.get("warm_start", "")),
                 error=str(payload.get("error", "")),
+                from_cache=bool(payload.get("from_cache", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(
@@ -180,6 +181,28 @@ class SweepProfile:
             "cold_solves": self.cold_solves,
             "warm_hit_rate": self.warm_hit_rate,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepProfile":
+        """Rebuild a profile from :meth:`to_dict` output.
+
+        (``warm_hit_rate`` is a derived property and is ignored on input.)
+        """
+        try:
+            return cls(
+                lookup_s=float(payload.get("lookup_s", 0.0)),
+                solve_s=float(payload.get("solve_s", 0.0)),
+                assemble_s=float(payload.get("assemble_s", 0.0)),
+                total_s=float(payload.get("total_s", 0.0)),
+                chains=int(payload.get("chains", 0)),
+                warm_accepted=int(payload.get("warm_accepted", 0)),
+                warm_rejected=int(payload.get("warm_rejected", 0)),
+                cold_solves=int(payload.get("cold_solves", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed sweep-profile payload: {exc}"
+            ) from exc
 
     def format(self) -> str:
         """Human-readable per-stage summary (the ``--profile`` report)."""
@@ -297,3 +320,28 @@ class SweepResult:
             "fanout_cells": self.fanout_cells,
             "num_errors": self.num_errors,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_dict` output.
+
+        The inverse remote clients (``repro.serve.client``) need to turn a
+        batch-job result payload back into first-class rows. Derived
+        accounting (``cache_misses``, ``hit_rate``, ``num_errors``) is
+        recomputed, not read; the profile is wall-clock telemetry and is
+        never serialized with the rows, so it comes back ``None``.
+        """
+        try:
+            return cls(
+                results=[
+                    ExplorationResult.from_dict(row)
+                    for row in payload.get("results", ())
+                ],
+                cache_hits=int(payload.get("cache_hits", 0)),
+                solver_calls=int(payload.get("solver_calls", 0)),
+                fanout_cells=int(payload.get("fanout_cells", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed sweep-result payload: {exc}"
+            ) from exc

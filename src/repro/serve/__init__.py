@@ -1,0 +1,55 @@
+"""Asynchronous job-oriented serving over :class:`~repro.api.service.LibraService`.
+
+PR 3 made the whole problem statement a value (``Scenario`` →
+``OptimizeRequest`` / ``BatchRequest``); this package makes the *execution*
+a value too. Instead of one blocking ``submit()`` call, work becomes a
+**job** with a typed lifecycle (``queued → running → done/failed/
+cancelled``), a content-derived id, a structured event stream, and
+cooperative cancellation — the shape long-running topology searches
+(LIBRA fig-13-style sweeps are hundreds of solver cells) actually need.
+
+Layers, bottom-up:
+
+* :mod:`repro.serve.events` — :class:`ProgressEvent`, the per-job stream.
+* :mod:`repro.serve.jobs` — lifecycle states, the v3 job envelope,
+  :class:`JobHandle` (await / stream / cancel) and :class:`JobInfo`.
+* :mod:`repro.serve.manager` — :class:`JobManager`, the bounded worker
+  pool over one thread-safe service.
+* :mod:`repro.serve.http` — the dependency-free HTTP front end
+  (``repro serve``; ``POST /v3/jobs`` etc.).
+* :mod:`repro.serve.client` — :class:`ServeClient`, the stdlib client the
+  ``repro submit`` / ``repro jobs`` CLI modes drive.
+
+In-process, queued, and remote execution accept identical request
+payloads, so the same scenario file drives all three.
+"""
+
+from repro.serve.events import EVENT_KINDS, EVENT_SCHEMA_VERSION, ProgressEvent
+from repro.serve.jobs import (
+    TERMINAL_STATES,
+    JobHandle,
+    JobInfo,
+    JobState,
+    derive_job_id,
+    job_content_key,
+)
+from repro.serve.manager import JobManager
+from repro.serve.http import ServeServer, create_server
+from repro.serve.client import ServeClient, ServeClientError
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "JobHandle",
+    "JobInfo",
+    "JobManager",
+    "JobState",
+    "ProgressEvent",
+    "ServeClient",
+    "ServeClientError",
+    "ServeServer",
+    "TERMINAL_STATES",
+    "create_server",
+    "derive_job_id",
+    "job_content_key",
+]

@@ -1,0 +1,327 @@
+"""Dependency-free HTTP front end over a :class:`JobManager`.
+
+Built entirely on the stdlib (``http.server.ThreadingHTTPServer``) so the
+server runs wherever the library does. The surface is the v3 job API::
+
+    POST   /v3/jobs              submit (v3 envelope, or bare v1/v2
+                                 optimize / batch payloads — up-converted)
+    GET    /v3/jobs              list job envelopes (summaries, no results)
+    GET    /v3/jobs/{id}         one job envelope, result included when done
+    GET    /v3/jobs/{id}/events  the event log as NDJSON; ``?after=N``
+                                 resumes mid-stream, ``?follow=1`` keeps the
+                                 connection open and streams live events
+                                 until the job is terminal
+    DELETE /v3/jobs/{id}         cooperative cancellation
+    GET    /healthz              liveness + schema version
+
+Responses are JSON (NDJSON for event streams). Errors are JSON too:
+``{"error": ..., "path": ...}`` with ``path`` set for located scenario
+validation failures — the same message a local caller would get, so a
+remote client can surface it verbatim.
+
+Connections are HTTP/1.0 (one request per connection): an event stream is
+then delimited by connection close, which every client — ``urllib``
+included — already handles, with no chunked-encoding machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.requests import (
+    RESPONSE_SCHEMA_VERSION,
+    BatchRequest,
+    request_from_dict,
+)
+from repro.api.scenario import ScenarioValidationError
+from repro.serve.manager import JobManager
+from repro.utils.errors import ReproError
+
+#: Largest accepted request body; a scenario payload is a few KB, so this
+#: is generous while still bounding a misbehaving client.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Quiet-stream heartbeat period for ``?follow=1``: a blank NDJSON line
+#: (clients skip it) written whenever no event arrives for this long, so a
+#: disconnected follower's handler thread hits BrokenPipeError and exits
+#: instead of parking forever on a job that emits nothing.
+FOLLOW_HEARTBEAT_S = 15.0
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Route the v3 job API onto the server's :class:`JobManager`."""
+
+    server_version = "repro-serve/3"
+    protocol_version = "HTTP/1.0"
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, status: int, message: str, path: str | None = None
+    ) -> None:
+        self._send_json(status, {"error": message, "path": path})
+
+    def _read_body(self) -> dict | None:
+        """The request body as parsed JSON, or ``None`` after replying 400."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_json(
+                400, f"request body must be 1..{MAX_BODY_BYTES} bytes of JSON"
+            )
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._send_error_json(400, f"request body is not valid JSON: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json(400, "request body must be a JSON object")
+            return None
+        return payload
+
+    def _route(self) -> tuple[str, dict[str, list[str]]]:
+        parsed = urlparse(self.path)
+        return parsed.path.rstrip("/") or "/", parse_qs(parsed.query)
+
+    def _job_id(self, path: str, suffix: str = "") -> str | None:
+        """Extract ``{id}`` from ``/v3/jobs/{id}[/suffix]``; else ``None``."""
+        prefix = "/v3/jobs/"
+        if not path.startswith(prefix):
+            return None
+        rest = path[len(prefix):]
+        if suffix:
+            if not rest.endswith("/" + suffix):
+                return None
+            rest = rest[: -len("/" + suffix)]
+        return rest if rest and "/" not in rest else None
+
+    # -- methods -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path, query = self._route()
+        if path == "/healthz":
+            self._send_json(
+                200, {"ok": True, "schema_version": RESPONSE_SCHEMA_VERSION}
+            )
+            return
+        if path == "/v3/jobs":
+            self._send_json(200, {
+                "schema_version": RESPONSE_SCHEMA_VERSION,
+                "jobs": [
+                    handle.info(include_result=False).to_dict()["job"]
+                    for handle in self.manager.handles()
+                ],
+            })
+            return
+        events_id = self._job_id(path, suffix="events")
+        if events_id is not None:
+            self._get_events(events_id, query)
+            return
+        job_id = self._job_id(path)
+        if job_id is not None:
+            handle = self.manager.get(job_id)
+            if handle is None:
+                self._send_error_json(404, f"unknown job id {job_id!r}")
+                return
+            self._send_json(200, handle.info().to_dict())
+            return
+        self._send_error_json(404, f"no route for GET {path}")
+
+    def _get_events(self, job_id: str, query: dict[str, list[str]]) -> None:
+        handle = self.manager.get(job_id)
+        if handle is None:
+            self._send_error_json(404, f"unknown job id {job_id!r}")
+            return
+        try:
+            after = int(query.get("after", ["0"])[0])
+        except ValueError:
+            self._send_error_json(400, "'after' must be an integer")
+            return
+        follow = query.get("follow", ["0"])[0] not in ("0", "", "false")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            if follow:
+                # Live stream: one JSON line per event until the job's
+                # terminal event; connection close ends the stream. Quiet
+                # stretches emit blank-line heartbeats (handle.stream's
+                # timeout raises ConfigurationError between events) both
+                # to keep intermediaries from timing out and to detect
+                # disconnected clients.
+                cursor = after
+                while True:
+                    try:
+                        for event in handle.stream(
+                            after=cursor, timeout=FOLLOW_HEARTBEAT_S
+                        ):
+                            cursor = event.seq + 1
+                            self._write_line(event.to_dict())
+                        break  # terminal event delivered
+                    except ReproError:
+                        self.wfile.write(b"\n")
+                        self.wfile.flush()
+            else:
+                for event in handle.events(after=after):
+                    self._write_line(event.to_dict())
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
+
+    def _write_line(self, payload: dict) -> None:
+        self.wfile.write(
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        self.wfile.flush()
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        path, _ = self._route()
+        if path != "/v3/jobs":
+            self._send_error_json(404, f"no route for POST {path}")
+            return
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            request = request_from_dict(payload)
+        except ScenarioValidationError as exc:
+            self._send_error_json(400, str(exc), path=exc.path)
+            return
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        if isinstance(request, BatchRequest):
+            # Wire-supplied batch requests are untrusted: bound their
+            # process fan-out and confine their server-side cache path.
+            # Over-cap workers are *rejected*, not silently clamped — job
+            # ids are content-derived, and a silent rewrite would make
+            # the id depend on this server's core count. (cache_dir IS
+            # rewritten under the root; the envelope's id is therefore
+            # authoritative for cached batches — clients must use it
+            # rather than re-deriving ids from their own payload.)
+            workers_cap = max(1, os.cpu_count() or 1)
+            if request.workers > workers_cap:
+                self._send_error_json(
+                    400,
+                    f"workers={request.workers} exceeds this server's cap "
+                    f"of {workers_cap}; lower it (cells still parallelize "
+                    "across chains up to the cap)",
+                )
+                return
+            if request.cache_dir is not None:
+                request = self._sandbox_cache_dir(request)
+                if request is None:
+                    return
+        try:
+            handle = self.manager.submit(request)
+        except ReproError as exc:
+            self._send_error_json(503, str(exc))
+            return
+        self._send_json(202, handle.info().to_dict())
+
+    def _sandbox_cache_dir(self, request: BatchRequest) -> BatchRequest | None:
+        """Map a client-supplied ``cache_dir`` under the server's cache root.
+
+        ``cache_dir`` names a *server-side* directory; accepting it
+        verbatim would hand any network client an arbitrary
+        mkdir/file-write primitive. So it is only honored when the
+        operator opted in (``repro serve --cache-root DIR``), and then as
+        a relative name confined under that root — absolute paths and
+        ``..`` traversal are rejected. Replies 400 and returns ``None``
+        on rejection.
+        """
+        root = getattr(self.server, "cache_root", None)
+        if root is None:
+            self._send_error_json(
+                400,
+                "this server does not accept client-supplied cache paths; "
+                "start it with --cache-root to enable sandboxed batch "
+                "caches, or drop cache_dir from the request",
+            )
+            return None
+        name = request.cache_dir
+        candidate = (root / name).resolve()
+        if Path(name).is_absolute() or not candidate.is_relative_to(root):
+            self._send_error_json(
+                400,
+                f"cache_dir {name!r} must be a relative path inside the "
+                "server's cache root",
+            )
+            return None
+        return replace(request, cache_dir=str(candidate))
+
+    def do_DELETE(self) -> None:  # noqa: N802 — http.server API
+        path, _ = self._route()
+        job_id = self._job_id(path)
+        if job_id is None:
+            self._send_error_json(404, f"no route for DELETE {path}")
+            return
+        handle = self.manager.get(job_id)
+        if handle is None:
+            self._send_error_json(404, f"unknown job id {job_id!r}")
+            return
+        handle.cancel()
+        self._send_json(200, handle.info().to_dict())
+
+
+class ServeServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`JobManager`."""
+
+    daemon_threads = True  # event streams must not block shutdown
+
+    def __init__(
+        self,
+        address,
+        manager: JobManager,
+        verbose: bool = False,
+        cache_root: str | Path | None = None,
+    ):
+        super().__init__(address, ServeHandler)
+        self.manager = manager
+        self.verbose = verbose
+        self.cache_root = (
+            None if cache_root is None else Path(cache_root).resolve()
+        )
+
+
+def create_server(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    verbose: bool = False,
+    cache_root: str | Path | None = None,
+) -> ServeServer:
+    """Bind the job API; ``port=0`` picks a free port (tests).
+
+    ``cache_root`` opts in to client-supplied batch ``cache_dir`` names,
+    confined under that directory; without it they are rejected with a
+    clear 400. The caller owns the loop: ``server.serve_forever()`` to
+    run, ``server.shutdown()`` + ``manager.shutdown()`` to stop.
+    """
+    return ServeServer(
+        (host, port), manager, verbose=verbose, cache_root=cache_root
+    )

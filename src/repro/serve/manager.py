@@ -1,0 +1,262 @@
+"""The :class:`JobManager`: a bounded worker pool over :class:`LibraService`.
+
+The manager is the redesign's pivot: where PR 3's ``service.submit()``
+blocks its caller for the whole solve, ``manager.submit()`` returns a
+:class:`~repro.serve.jobs.JobHandle` immediately and a pool thread runs
+the request — polling the job's cancel flag through the service's
+``should_stop`` seam and fanning the executor's progress dicts out as
+:class:`~repro.serve.events.ProgressEvent`\\ s. One manager multiplexes
+any number of clients over one (thread-safe) service instance, so engine
+and solution memos are shared across all jobs.
+
+Threads, not processes, are the pool substrate: a job's real parallelism
+lives *inside* the request (``BatchRequest.workers`` drives the explore
+engine's process pool), so job workers spend their life waiting on numpy/
+scipy code that releases the GIL or on child processes. ``workers`` here
+bounds *concurrent jobs*, not solver parallelism.
+
+Typical session::
+
+    from repro.api import OptimizeRequest, build_scenario
+    from repro.serve import JobManager
+
+    with JobManager(workers=2) as manager:
+        handle = manager.submit(OptimizeRequest(scenario=build_scenario(
+            "4D-4K", ["GPT-3"], total_bw_gbps=500)))
+        for event in handle.stream():
+            print(event.kind, event.data)
+        response = handle.result()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api.requests import BatchRequest, OptimizeRequest
+from repro.api.service import LibraService
+from repro.serve.jobs import (
+    TERMINAL_STATES,
+    JobHandle,
+    JobRecord,
+    JobState,
+    derive_job_id,
+    job_content_key,
+)
+from repro.utils.errors import ConfigurationError, JobCancelled
+
+
+class JobManager:
+    """Queue requests onto a bounded worker pool; hand back job handles.
+
+    Args:
+        service: The request executor; a fresh :class:`LibraService` when
+            omitted. Must be thread-safe (the stock service is).
+        workers: Concurrent-job bound (pool threads). Queued jobs beyond
+            it wait in submission order.
+        max_jobs: Job-table capacity. Submission evicts the oldest
+            *terminal* jobs past the bound and refuses outright when the
+            table is full of live ones — backpressure beats unbounded
+            memory growth in a long-running server.
+        evict_grace_s: How long a terminal job is immune from eviction
+            after finishing. A submitter that just streamed a job to
+            completion still has to fetch its result by id; without the
+            grace window, a burst of other submissions could evict the
+            finished job between those two steps and turn its success
+            into a 404.
+    """
+
+    def __init__(
+        self,
+        service: LibraService | None = None,
+        workers: int = 2,
+        max_jobs: int = 256,
+        evict_grace_s: float = 60.0,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if max_jobs < 1:
+            raise ConfigurationError(f"max_jobs must be >= 1, got {max_jobs}")
+        if evict_grace_s < 0:
+            raise ConfigurationError(
+                f"evict_grace_s must be >= 0, got {evict_grace_s}"
+            )
+        self._evict_grace_s = evict_grace_s
+        self.service = service if service is not None else LibraService()
+        self._max_jobs = max_jobs
+        self._lock = threading.Lock()
+        self._jobs: OrderedDict[str, JobRecord] = OrderedDict()
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        request: OptimizeRequest | BatchRequest,
+        *,
+        dedupe: bool = True,
+    ) -> JobHandle:
+        """Queue one request; return its handle immediately.
+
+        Job ids are content-derived, and by default submission is
+        *idempotent over live and successful work*: re-submitting a
+        payload whose job is queued, running, or done returns the
+        existing handle (clients retrying over a flaky link never fork
+        duplicate solves). A payload whose previous job failed or was
+        cancelled gets a fresh ``-r<N>`` id — reruns after failure are
+        the one case where "same content" must mean "new attempt".
+        ``dedupe=False`` forces a fresh job unconditionally.
+        """
+        content_key = job_content_key(request)
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    "job manager is shut down; no new submissions"
+                )
+            if dedupe:
+                for record in reversed(self._jobs.values()):
+                    if record.content_key != content_key:
+                        continue
+                    with record.cond:
+                        reusable = record.state not in (
+                            JobState.FAILED, JobState.CANCELLED
+                        )
+                    if reusable:
+                        return JobHandle(record)
+                    break  # most recent attempt failed/cancelled: rerun
+            rerun = 0
+            job_id = derive_job_id(content_key, rerun)
+            while job_id in self._jobs:
+                rerun += 1
+                job_id = derive_job_id(content_key, rerun)
+            self._evict_terminal()
+            record = JobRecord(job_id, request, content_key)  # emits queued
+            self._jobs[job_id] = record
+            # Scheduling happens under the manager lock: shutdown() flips
+            # _closed under the same lock before it stops the pool, so a
+            # submission that passed the _closed check above cannot race
+            # the pool into RuntimeError. The guard below is a belt for
+            # exotic interpreter shutdown paths only.
+            try:
+                self._pool.submit(self._run, record)
+            except RuntimeError as exc:
+                with record.cond:
+                    record.transition(
+                        JobState.CANCELLED, error=f"worker pool unavailable: {exc}"
+                    )
+                raise ConfigurationError(
+                    "job manager is shut down; no new submissions"
+                ) from exc
+        return JobHandle(record)
+
+    def _evict_terminal(self) -> None:
+        """Keep the job table bounded. Caller holds the manager lock.
+
+        Only terminal jobs *past the grace window* are evictable — a
+        just-finished job's submitter may still be about to fetch its
+        result. A table full of live or freshly finished jobs refuses
+        the submission instead (backpressure).
+        """
+        while len(self._jobs) >= self._max_jobs:
+            victim = None
+            now = time.time()
+            for job_id, record in self._jobs.items():
+                with record.cond:
+                    evictable = (
+                        record.state in TERMINAL_STATES
+                        and record.finished_at is not None
+                        and now - record.finished_at >= self._evict_grace_s
+                    )
+                if evictable:
+                    victim = job_id
+                    break
+            if victim is None:
+                raise ConfigurationError(
+                    f"job table is full ({self._max_jobs} live or "
+                    "just-finished jobs); wait, cancel some, or raise "
+                    "--max-jobs"
+                )
+            del self._jobs[victim]
+
+    # -- execution -----------------------------------------------------------
+
+    def _run(self, record: JobRecord) -> None:
+        """Pool-thread entry: drive one job through its lifecycle."""
+        with record.cond:
+            if record.state is not JobState.QUEUED:
+                return  # cancelled while queued
+            record.transition(JobState.RUNNING)
+
+        def on_event(payload: dict) -> None:
+            data = dict(payload)
+            kind = data.pop("type", "solve")
+            with record.cond:
+                record.emit(kind, data)
+
+        try:
+            response = self.service.submit(
+                record.request,
+                should_stop=record.cancel_requested.is_set,
+                on_event=on_event,
+            )
+        except JobCancelled as exc:
+            with record.cond:
+                record.transition(JobState.CANCELLED, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 — job containment contract
+            with record.cond:
+                record.transition(
+                    JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
+                )
+        else:
+            with record.cond:
+                record.result = response
+                record.transition(JobState.DONE)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobHandle | None:
+        """The handle for ``job_id``, or ``None``."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+        return None if record is None else JobHandle(record)
+
+    def job(self, job_id: str) -> JobHandle:
+        """The handle for ``job_id``; unknown ids raise."""
+        handle = self.get(job_id)
+        if handle is None:
+            raise ConfigurationError(f"unknown job id {job_id!r}")
+        return handle
+
+    def handles(self) -> list[JobHandle]:
+        """Every tracked job, oldest first."""
+        with self._lock:
+            return [JobHandle(record) for record in self._jobs.values()]
+
+    def cancel(self, job_id: str) -> JobHandle:
+        """Request cancellation of ``job_id``; returns its handle."""
+        handle = self.job(job_id)
+        handle.cancel()
+        return handle
+
+    # -- shutdown ------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = True) -> None:
+        """Stop accepting jobs; optionally cancel what has not finished."""
+        with self._lock:
+            self._closed = True
+            records = list(self._jobs.values())
+        if cancel_pending:
+            for record in records:
+                JobHandle(record).cancel()
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

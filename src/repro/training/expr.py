@@ -27,6 +27,7 @@ per-node Python recursion of :meth:`Expr.evaluate`.
 from __future__ import annotations
 
 import abc
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -214,10 +215,12 @@ class VectorEvaluator:
     ``Sum``/``MaxExpr`` combine ops that survive :func:`simplify` — not one
     call per tree node. Numerically identical to :meth:`Expr.evaluate`.
 
-    Instances reuse an internal value buffer between calls and are therefore
-    not thread-safe; build one per thread (or go through the memoized
-    :func:`vector_evaluator`, which is fine under the solver's single-thread
-    / process-pool execution model).
+    Instances are thread-safe: the slot buffer is kept per thread
+    (seeded once from a constants template), so the memoized
+    :func:`vector_evaluator` can be shared by concurrent solves — the
+    `repro.serve` worker pool drives exactly that — while each thread
+    still reuses its buffer across calls instead of allocating per
+    evaluation.
     """
 
     __slots__ = (
@@ -225,10 +228,11 @@ class VectorEvaluator:
         "_comm_dims",
         "_comm_slots",
         "_comm_starts",
+        "_local",
         "_max_dim",
         "_ops",
         "_root",
-        "_values",
+        "_template",
     )
 
     def __init__(self, expr: Expr):
@@ -278,8 +282,9 @@ class VectorEvaluator:
 
         self._root = visit(expr)
         self._max_dim = expr.max_dim()
-        self._values = np.zeros(num_slots)
-        self._values[const_slots] = const_values
+        self._template = np.zeros(num_slots)
+        self._template[const_slots] = const_values
+        self._local = threading.local()
         self._comm_dims = np.asarray(comm_dims, dtype=np.intp)
         self._comm_coeffs = np.asarray(comm_coeffs, dtype=float)
         self._comm_starts = np.asarray(comm_starts, dtype=np.intp)
@@ -294,7 +299,13 @@ class VectorEvaluator:
                 f"expression references dim {self._max_dim} "
                 f"but got {values.shape[0]} bandwidths"
             )
-        buffer = self._values
+        # Per-thread working buffer: const slots come pre-filled from the
+        # template and are never overwritten, comm/op slots are rewritten
+        # on every call — so one copy per thread is both safe and enough.
+        buffer = getattr(self._local, "values", None)
+        if buffer is None:
+            buffer = self._template.copy()
+            self._local.values = buffer
         if self._comm_dims.size:
             ratios = self._comm_coeffs / values[self._comm_dims]
             buffer[self._comm_slots] = np.maximum.reduceat(

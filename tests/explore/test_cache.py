@@ -98,3 +98,57 @@ class TestDiskCache:
     def test_creates_directory(self, tmp_path):
         ResultCache(tmp_path / "deep" / "cache")
         assert (tmp_path / "deep" / "cache").is_dir()
+
+
+class TestConcurrentPut:
+    def test_racing_writers_on_one_key_never_fail(self, tmp_path):
+        """Two threads storing the same key must not collide on a temp file
+        (the worker-pool serving path stores into one shared cache)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.core.results import Scheme
+        from repro.explore.spec import ExplorationPoint
+
+        cache = ResultCache(tmp_path)
+        point = ExplorationPoint("Turing-NLG", "RI(3)_RI(2)", 100.0, Scheme.PERF_OPT)
+        row = ExplorationResult(
+            point=point, bandwidths_gbps=(80.0, 20.0),
+            step_times_ms={"Turing-NLG": 1.0},
+        )
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: cache.put("same-key", row), range(64)))
+        assert cache.get("same-key") is not None
+        assert not list(tmp_path.glob("*.tmp")), "temp file leaked"
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+class TestBoundedMemory:
+    def _row(self, budget):
+        from repro.core.results import Scheme
+
+        point = ExplorationPoint("Turing-NLG", "RI(3)_RI(2)", budget, Scheme.PERF_OPT)
+        return ExplorationResult(
+            point=point, bandwidths_gbps=(80.0, 20.0),
+            step_times_ms={"Turing-NLG": 1.0},
+        )
+
+    def test_memory_only_cache_evicts_lru_past_bound(self):
+        cache = ResultCache(max_memory=2)
+        for index in range(4):
+            cache.put(f"k{index}", self._row(100.0 + index))
+        assert len(cache) == 2
+        assert cache.get("k0") is None and cache.get("k1") is None
+        assert cache.get("k2") is not None and cache.get("k3") is not None
+
+    def test_disk_backed_bound_reloads_evicted_entries(self, tmp_path):
+        cache = ResultCache(tmp_path, max_memory=1)
+        cache.put("a", self._row(100.0))
+        cache.put("b", self._row(200.0))  # evicts "a" from memory only
+        assert cache.get("a") is not None  # read-through from disk
+        assert len(cache) == 2  # disk still holds both
+
+    def test_bad_bound_rejected(self):
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="max_memory"):
+            ResultCache(max_memory=0)

@@ -1,0 +1,57 @@
+"""ProgressEvent values and their v3 wire form."""
+
+import pytest
+
+from repro.serve.events import EVENT_SCHEMA_VERSION, ProgressEvent
+from repro.utils.errors import ConfigurationError
+
+
+def _event(**overrides):
+    fields = {
+        "seq": 3,
+        "job_id": "job-abc123def456",
+        "kind": "cell",
+        "at": 1_722_000_000.25,
+        "data": {"done": 2, "total": 6, "status": "solved"},
+    }
+    fields.update(overrides)
+    return ProgressEvent(**fields)
+
+
+class TestProgressEvent:
+    def test_round_trip(self):
+        event = _event()
+        payload = event.to_dict()
+        assert payload["schema_version"] == EVENT_SCHEMA_VERSION
+        assert ProgressEvent.from_dict(payload) == event
+
+    def test_round_trip_is_json_stable(self):
+        import json
+
+        payload = _event().to_dict()
+        assert ProgressEvent.from_dict(json.loads(json.dumps(payload))) == _event()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown event kind"):
+            _event(kind="telemetry")
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ConfigurationError, match="seq"):
+            _event(seq=-1)
+
+    def test_unknown_schema_version_rejected(self):
+        payload = _event().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="schema version"):
+            ProgressEvent.from_dict(payload)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            ProgressEvent.from_dict({"seq": "x"})
+
+    def test_data_is_copied(self):
+        payload = _event().to_dict()
+        payload["data"]["done"] = 99
+        event = ProgressEvent.from_dict(payload)
+        payload["data"]["done"] = 0
+        assert event.data["done"] == 99

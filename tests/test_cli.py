@@ -503,3 +503,140 @@ class TestCost:
     def test_bad_topology(self, capsys):
         code = main(["cost", "--topology", "XX(2)", "--bandwidths", "1"])
         assert code == 2
+
+
+class TestStdinScenario:
+    """`--scenario -` reads the scenario payload from stdin (satellite)."""
+
+    def _pipe(self, monkeypatch, text: str) -> None:
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+    def test_optimize_from_stdin(self, monkeypatch, capsys):
+        import json
+
+        from repro.api import build_scenario
+
+        scenario = build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300)
+        self._pipe(monkeypatch, json.dumps(scenario.to_dict()))
+        assert main(["optimize", "--scenario", "-"]) == 0
+        assert "PerfOptBW" in capsys.readouterr().out
+
+    def test_invalid_json_on_stdin_exits_2(self, monkeypatch, capsys):
+        self._pipe(monkeypatch, "this is not json")
+        assert main(["optimize", "--scenario", "-"]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err and "Traceback" not in err
+
+    def test_malformed_payload_reports_located_path(self, monkeypatch, capsys):
+        import json
+
+        from repro.api import build_scenario
+
+        payload = build_scenario(
+            "RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300
+        ).to_dict()
+        payload["workloads"][0]["weight"] = -1
+        self._pipe(monkeypatch, json.dumps(payload))
+        assert main(["optimize", "--scenario", "-"]) == 2
+        err = capsys.readouterr().err
+        assert "workloads[0].weight" in err  # the located validation path
+
+    def test_non_object_payload_exits_2(self, monkeypatch, capsys):
+        self._pipe(monkeypatch, "[1, 2, 3]")
+        assert main(["optimize", "--scenario", "-"]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_submit_accepts_stdin_too(self, monkeypatch, capsys):
+        import json
+
+        from repro.api import build_scenario
+
+        scenario = build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300)
+        self._pipe(monkeypatch, json.dumps(scenario.to_dict()))
+        assert main(["submit", "--scenario", "-"]) == 0
+        assert "PerfOptBW" in capsys.readouterr().out
+
+
+class TestSubmitCommand:
+    """`repro submit` without --url runs through an in-process job queue."""
+
+    def _scenario_file(self, tmp_path):
+        from repro.api import build_scenario, save_scenario
+
+        path = tmp_path / "s.json"
+        save_scenario(
+            build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300), path
+        )
+        return str(path)
+
+    def test_local_submit_matches_optimize(self, tmp_path, capsys):
+        import json
+
+        path = self._scenario_file(tmp_path)
+        assert main(["optimize", "--scenario", path, "--json"]) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert main(["submit", "--scenario", path, "--json"]) == 0
+        queued = json.loads(capsys.readouterr().out)
+        assert queued == direct  # same scenario file, identical payloads
+
+    def test_local_submit_events_go_to_stderr(self, tmp_path, capsys):
+        path = self._scenario_file(tmp_path)
+        assert main(["submit", "--scenario", path, "--events"]) == 0
+        captured = capsys.readouterr()
+        assert "PerfOptBW" in captured.out
+        assert "state" in captured.err and "running" in captured.err
+
+    def test_local_no_wait_is_clean_error(self, tmp_path, capsys):
+        """--no-wait only makes sense against a server that outlives us."""
+        path = self._scenario_file(tmp_path)
+        assert main(["submit", "--scenario", path, "--no-wait"]) == 2
+        assert "requires --url" in capsys.readouterr().err
+
+    def test_local_batch_submit_via_spec(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "workloads": ["Turing-NLG"],
+            "topologies": ["RI(3)_RI(2)"],
+            "bandwidths_gbps": [100, 300],
+        }))
+        code = main([
+            "submit", "--spec", str(spec_path),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cells: 2" in out and "solver calls: 2" in out
+
+    def test_spec_plus_scenario_is_clean_error(self, tmp_path, capsys):
+        path = self._scenario_file(tmp_path)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text("{}")
+        code = main(["submit", "--spec", str(spec_path), "--scenario", path])
+        assert code == 2
+        assert "batch job" in capsys.readouterr().err
+
+    def test_spec_plus_constraint_flags_is_clean_error(self, tmp_path, capsys):
+        """--total-bw/--cap/--scheme must never be silently dropped."""
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text("{}")
+        for flags in (["--total-bw", "500"], ["--cap", "0:50"],
+                      ["--scheme", "perf"]):
+            code = main(["submit", "--spec", str(spec_path), *flags])
+            assert code == 2
+            assert "spec file" in capsys.readouterr().err
+
+    def test_batch_flags_without_spec_are_clean_errors(self, tmp_path, capsys):
+        path = self._scenario_file(tmp_path)
+        for flags in (["--cache-dir", str(tmp_path / "c")],
+                      ["--batch-workers", "4"]):
+            code = main(["submit", "--scenario", path, *flags])
+            assert code == 2
+            assert "add --spec" in capsys.readouterr().err
+
+    def test_missing_target_is_clean_error(self, capsys):
+        assert main(["submit"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,56 @@
+"""VectorEvaluator thread-safety (shared via the lru-cached factory)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.topology import MultiDimNetwork
+from repro.training.expr import vector_evaluator
+from repro.utils import gbps
+from repro.workloads import build_workload
+
+
+def _expression():
+    from repro.core import Libra
+
+    network = MultiDimNetwork.from_notation("RI(3)_RI(2)")
+    libra = Libra(network)
+    libra.add_workload(build_workload("Turing-NLG", network.num_npus))
+    return libra.combined_expression()
+
+
+class TestSharedEvaluatorUnderThreads:
+    def test_concurrent_calls_match_serial_values(self):
+        """One memoized evaluator instance, many threads, distinct inputs:
+        every thread must get the value serial evaluation produces (the
+        serve worker pool drives exactly this sharing pattern)."""
+        evaluator = vector_evaluator(_expression())
+        rng = np.random.default_rng(7)
+        inputs = [
+            tuple(gbps(b) for b in rng.uniform(20.0, 400.0, size=2))
+            for _ in range(64)
+        ]
+        expected = [evaluator(bandwidths) for bandwidths in inputs]
+
+        def hammer(index: int) -> bool:
+            # Interleave many evaluations per thread to force buffer reuse.
+            for _ in range(50):
+                value = evaluator(inputs[index])
+                if value != expected[index]:
+                    return False
+            return True
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(hammer, range(len(inputs))))
+        assert all(results)
+
+    def test_instance_is_shared_across_threads(self):
+        expr = _expression()
+        seen = set()
+
+        def grab(_):
+            seen.add(id(vector_evaluator(expr)))
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(grab, range(8)))
+        assert len(seen) == 1  # the memo shares one instance; safety matters
