@@ -14,8 +14,8 @@ service::
 
     scenario = build_scenario("4D-4K", ["GPT-3"], total_bw_gbps=500)
     response = LibraService().submit(OptimizeRequest(scenario=scenario))
-    print(response.point.describe())
-    print(f"{response.speedup_over_baseline:.2f}x over EqualBW")
+    optimum = response.point
+    speedup = response.speedup_over_baseline
 
 The imperative facade remains available for step-by-step sessions::
 
@@ -26,7 +26,7 @@ The imperative facade remains available for step-by-step sessions::
     constraints = libra.constraints().with_total_bandwidth(gbps(500))
     optimized = libra.optimize(Scheme.PERF_OPT, constraints)
     baseline = libra.equal_bw_point(gbps(500))
-    print(optimized.speedup_over(baseline))
+    speedup = optimized.speedup_over(baseline)
 
 Subpackage map (see DESIGN.md for the full inventory):
 

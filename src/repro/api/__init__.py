@@ -11,8 +11,8 @@ in a :class:`BatchRequest`), and submit it to a stateless
 
     scenario = build_scenario("4D-4K", ["GPT-3"], total_bw_gbps=500)
     response = LibraService().submit(OptimizeRequest(scenario=scenario))
-    print(response.point.describe())
-    print(f"speedup over EqualBW: {response.speedup_over_baseline:.2f}x")
+    optimum = response.point
+    speedup = response.speedup_over_baseline
 
 Why request-shaped? Every production concern the roadmap names — batching,
 caching, sharding, serving over the wire — needs the problem statement to

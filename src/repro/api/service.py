@@ -27,7 +27,8 @@ Typical session::
     service = LibraService()
     scenario = build_scenario("4D-4K", ["GPT-3"], total_bw_gbps=500)
     response = service.submit(OptimizeRequest(scenario=scenario))
-    print(response.point.describe(), response.speedup_over_baseline)
+    optimum = response.point           # the optimized DesignPoint
+    speedup = response.speedup_over_baseline
 """
 
 from __future__ import annotations
@@ -48,9 +49,28 @@ from repro.api.scenario import Scenario
 from repro.core.constraints import ConstraintSet
 from repro.core.framework import Libra
 from repro.core.results import DesignPoint, Scheme
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
+from repro.obs import trace as obs_trace
 from repro.utils.canonical import digest
 from repro.utils.errors import ConfigurationError, OptimizationError
 from repro.utils.units import gbps
+
+
+def _engine_memo_counter():
+    return obs_metrics.get_registry().counter(
+        obs_names.SERVICE_ENGINE_MEMO,
+        "Engine-memo consultations (a miss is a scenario compile).",
+        labels=("outcome",),
+    )
+
+
+def _solution_memo_counter():
+    return obs_metrics.get_registry().counter(
+        obs_names.SERVICE_SOLUTION_MEMO,
+        "Solution-memo reads (hit/miss) and writes (store).",
+        labels=("outcome",),
+    )
 
 
 def constraint_family_key(constraints: ConstraintSet) -> str:
@@ -121,11 +141,14 @@ class LibraService:
             engine = self._engines.get(key)
             if engine is not None:
                 self._engines.move_to_end(key)
+                _engine_memo_counter().labels(outcome="hit").inc()
                 return engine
+        _engine_memo_counter().labels(outcome="miss").inc()
         # Compile without holding the lock: a concurrent duplicate compile
         # is benign (identical engines; one wins the memo slot), whereas
         # serializing every request behind one compile is not.
-        engine = scenario.compile()
+        with obs_trace.get_tracer().span("service.compile"):
+            engine = scenario.compile()
         with self._lock:
             racer = self._engines.get(key)
             if racer is not None:
@@ -175,13 +198,17 @@ class LibraService:
             solution = self._solutions.get(key)
             if solution is not None:
                 self._solutions.move_to_end(key)
-            return solution
+        _solution_memo_counter().labels(
+            outcome="hit" if solution is not None else "miss"
+        ).inc()
+        return solution
 
     def _store_solution(
         self, key: tuple | None, bandwidths: tuple[float, ...]
     ) -> None:
         if key is None:
             return
+        _solution_memo_counter().labels(outcome="store").inc()
         with self._lock:
             self._solutions[key] = bandwidths
             self._solutions.move_to_end(key)
@@ -216,7 +243,13 @@ class LibraService:
         """
         # request_kind owns the discriminator (and its rejection message);
         # the wire layer and this dispatch must never disagree.
-        if request_kind(request) == "batch":
+        kind = request_kind(request)
+        obs_metrics.get_registry().counter(
+            obs_names.SERVICE_REQUESTS,
+            "Requests dispatched through LibraService.submit.",
+            labels=("kind",),
+        ).labels(kind=kind).inc()
+        if kind == "batch":
             return self._submit_batch(
                 request, should_stop=should_stop, on_event=on_event
             )
@@ -349,10 +382,12 @@ class LibraService:
             # on locks held across the fork, so batches always spawn.
             mp_context="spawn",
         )
-        return BatchResponse(sweep=sweep, diagnostics=sweep_diagnostics(sweep))
+        return BatchResponse(
+            sweep=sweep, diagnostics=sweep_diagnostics(sweep, cache=cache)
+        )
 
 
-def sweep_diagnostics(sweep) -> dict:
+def sweep_diagnostics(sweep, cache=None) -> dict:
     """The batch-response ``diagnostics`` object for one executed sweep.
 
     Mirrors what ``repro explore --profile`` prints locally so remote
@@ -360,7 +395,10 @@ def sweep_diagnostics(sweep) -> dict:
     the warm-start hit rate, and the per-stage :class:`SweepProfile`
     timings of this particular execution (wall-clock numbers live here —
     on the response envelope — precisely because they are *not* row
-    data and never enter cache keys or row-identity comparisons).
+    data and never enter cache keys or row-identity comparisons). With a
+    ``cache``, its lifetime :meth:`~repro.explore.cache.ResultCache.stats`
+    snapshot rides along under ``"cache"`` (lifetime of the cache object,
+    not of this sweep — a shared server-side cache accumulates).
     """
     profile = sweep.profile
     return {
@@ -371,6 +409,7 @@ def sweep_diagnostics(sweep) -> dict:
         "num_errors": sweep.num_errors,
         "warm_hit_rate": 0.0 if profile is None else profile.warm_hit_rate,
         "profile": None if profile is None else profile.to_dict(),
+        "cache": None if cache is None else cache.stats(),
     }
 
 

@@ -12,6 +12,7 @@ Every subcommand is a thin request builder over the
     repro-libra scenario --topology 4D-4K --workload GPT-3 \\
         --total-bw 500 --output gpt3.json
     repro-libra serve --port 8350 --workers 2
+    repro-libra serve --port 8350 --log-level info --log-json
     repro-libra submit --scenario gpt3.json --events
     repro-libra submit --url http://127.0.0.1:8350 --scenario gpt3.json --json
     repro-libra submit --url http://127.0.0.1:8350 --spec sweep.json --no-wait
@@ -25,6 +26,8 @@ Every subcommand is a thin request builder over the
         --workers 4 --cache-dir .repro-cache --output results.json
     repro-libra explore --spec sweep.json --cache-dir .repro-cache
     repro-libra explore --spec sweep.json --profile --no-continuation
+    repro-libra explore --spec sweep.json --trace trace.json
+    repro-libra obs trace trace.json
     repro-libra simulate --topology 4D-4K --workload GPT-3 \\
         --bandwidths 225,138,104,33 --themis
     repro-libra cost --topology 4D-4K --bandwidths 125,125,125,125
@@ -195,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve every cell from cold seeds instead of propagating "
              "warm starts through budget chains (the reference path)",
     )
+    explore.add_argument(
+        "--trace", metavar="FILE",
+        help="record sweep/chain/cell/solve spans and write a Chrome "
+             "trace-event JSON file (open in chrome://tracing or Perfetto; "
+             "summarize with 'obs trace FILE')",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="chunk-level simulation of one training step"
@@ -299,7 +308,34 @@ def build_parser() -> argparse.ArgumentParser:
              "under this directory (without it they are rejected)",
     )
     serve.add_argument(
-        "--verbose", action="store_true", help="log every HTTP request"
+        "--verbose", action="store_true",
+        help="shorthand for --log-level debug (per-request wire detail)",
+    )
+    serve.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="structured-log threshold on stderr (default: info; the "
+             "REPRO_LOG environment variable sets the same thing)",
+    )
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of the human format",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="observability utilities (trace summaries)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_trace_cmd = obs_sub.add_parser(
+        "trace",
+        help="summarize a Chrome trace file written by explore --trace",
+    )
+    obs_trace_cmd.add_argument(
+        "file", metavar="FILE", help="trace-event JSON file"
+    )
+    obs_trace_cmd.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the per-span aggregates as JSON",
     )
 
     submit = sub.add_parser(
@@ -658,13 +694,27 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             )
             print(f"[{done}/{total}] {result.point.label()}: {status}")
 
-    sweep = run_sweep(
-        spec,
-        cache=cache,
-        workers=args.workers,
-        progress=progress,
-        continuation=not args.no_continuation,
-    )
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            sweep = run_sweep(
+                spec,
+                cache=cache,
+                workers=args.workers,
+                progress=progress,
+                continuation=not args.no_continuation,
+            )
+    else:
+        sweep = run_sweep(
+            spec,
+            cache=cache,
+            workers=args.workers,
+            progress=progress,
+            continuation=not args.no_continuation,
+        )
 
     print(
         f"{'workload':<12} {'topology':<10} {'scheme':<17} {'BW':>6}  "
@@ -704,6 +754,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if args.profile and sweep.profile is not None:
         print()
         print(sweep.profile.format())
+
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(
+            f"wrote {args.trace} ({len(tracer.spans())} spans; "
+            f"inspect with 'obs trace {args.trace}')"
+        )
 
     if args.output:
         artifact = {
@@ -863,9 +920,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Summarize a Chrome trace file: per-name count / total / mean / max."""
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"trace file is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ReproError(
+            f"{args.file!r} is not a Chrome trace (no traceEvents key)"
+        )
+    totals: dict[str, dict] = {}
+    for event in payload["traceEvents"]:
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        entry = totals.setdefault(str(event.get("name", "?")), {
+            "count": 0, "total_ms": 0.0, "max_ms": 0.0, "cpu_ms": 0.0,
+        })
+        duration_ms = float(event.get("dur", 0.0)) / 1e3
+        entry["count"] += 1
+        entry["total_ms"] += duration_ms
+        entry["max_ms"] = max(entry["max_ms"], duration_ms)
+        entry["cpu_ms"] += float(event.get("args", {}).get("cpu_s", 0.0)) * 1e3
+    if args.as_json:
+        for entry in totals.values():
+            for key in ("total_ms", "max_ms", "cpu_ms"):
+                entry[key] = round(entry[key], 6)
+        print(json.dumps(dict(sorted(totals.items())), indent=1, sort_keys=True))
+        return 0
+    if not totals:
+        print("no spans")
+        return 0
+    print(
+        f"{'span':<16} {'count':>6}  {'total (ms)':>11}  {'mean (ms)':>10}  "
+        f"{'max (ms)':>10}  {'cpu (ms)':>10}"
+    )
+    for name, entry in sorted(
+        totals.items(), key=lambda item: -item[1]["total_ms"]
+    ):
+        mean_ms = entry["total_ms"] / entry["count"]
+        print(
+            f"{name:<16} {entry['count']:>6}  {entry['total_ms']:>11.3f}  "
+            f"{mean_ms:>10.3f}  {entry['max_ms']:>10.3f}  "
+            f"{entry['cpu_ms']:>10.3f}"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import setup_logging
     from repro.serve import JobManager, create_server
 
+    level = args.log_level or ("debug" if args.verbose else None)
+    setup_logging(level=level, json_format=args.log_json)
     manager = JobManager(workers=args.workers, max_jobs=args.max_jobs)
     server = create_server(
         manager, host=args.host, port=args.port, verbose=args.verbose,
@@ -1051,6 +1161,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "obs": _cmd_obs,
 }
 
 

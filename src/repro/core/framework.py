@@ -17,7 +17,7 @@ step-by-step sessions. A typical session::
     constraints = libra.constraints().with_total_bandwidth(gbps(500))
     best = libra.optimize(Scheme.PERF_OPT, constraints)
     baseline = libra.equal_bw_point(gbps(500))
-    print(best.speedup_over(baseline))
+    speedup = best.speedup_over(baseline)
 """
 
 from __future__ import annotations

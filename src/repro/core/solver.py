@@ -52,6 +52,8 @@ the default everywhere.
 
 from __future__ import annotations
 
+import functools
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
@@ -61,6 +63,9 @@ from scipy.optimize import NonlinearConstraint, minimize
 
 from repro.core.constraints import ConstraintSet
 from repro.core.kernel import ConstraintBlocks, minimize_slsqp
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
+from repro.obs import trace as obs_trace
 from repro.training.expr import (
     CommTerm,
     Const,
@@ -646,6 +651,29 @@ def _solve_from_seed(
     With ``blocks`` the run goes through the vectorized kernel; without,
     it rebuilds the per-constraint closures (the reference path).
     """
+    tracer = obs_trace.get_tracer()
+    if tracer is obs_trace.NULL_TRACER:
+        return _solve_from_seed_impl(
+            program, constraints, objective, objective_grad, seed, blocks
+        )
+    kernel = "vectorized" if blocks is not None else "closures"
+    with tracer.span("solve.seed", attrs={"kernel": kernel}) as span:
+        result = _solve_from_seed_impl(
+            program, constraints, objective, objective_grad, seed, blocks
+        )
+        span.set("converged", result[2])
+        span.set("path", result[3])
+        return result
+
+
+def _solve_from_seed_impl(
+    program: CompiledProgram,
+    constraints: ConstraintSet,
+    objective: Callable[[np.ndarray], float],
+    objective_grad: Callable[[np.ndarray], np.ndarray],
+    seed: np.ndarray,
+    blocks: ConstraintBlocks | None,
+) -> tuple[np.ndarray, float, bool, str]:
     seed_scaled = seed / _SCALE
     x0 = np.concatenate([seed_scaled, program.initial_aux(seed_scaled) * 1.0001])
 
@@ -775,6 +803,34 @@ def _try_warm(
     floor cannot see — is bounded by the documented continuation
     tolerance and measured by the sweep benchmark's per-cell gate.
     """
+    tracer = obs_trace.get_tracer()
+    if tracer is obs_trace.NULL_TRACER:
+        return _try_warm_impl(
+            program, constraints, objective, objective_grad,
+            evaluate_true, warm_seed, seeds, blocks, trust_rtol,
+        )
+    with tracer.span("solve.warm_trust") as span:
+        candidate, reason = _try_warm_impl(
+            program, constraints, objective, objective_grad,
+            evaluate_true, warm_seed, seeds, blocks, trust_rtol,
+        )
+        span.set("accepted", not reason)
+        if reason:
+            span.set("reason", reason)
+        return candidate, reason
+
+
+def _try_warm_impl(
+    program: CompiledProgram,
+    constraints: ConstraintSet,
+    objective: Callable[[np.ndarray], float],
+    objective_grad: Callable[[np.ndarray], np.ndarray],
+    evaluate_true: Callable[[np.ndarray], float],
+    warm_seed: np.ndarray,
+    seeds: list[np.ndarray],
+    blocks: ConstraintBlocks | None,
+    trust_rtol: float,
+) -> tuple[tuple[np.ndarray, float, bool, str], str]:
     candidate = _solve_from_seed(
         program, constraints, objective, objective_grad, warm_seed, blocks=blocks
     )
@@ -824,6 +880,64 @@ def clear_solver_caches() -> None:
     _vector_evaluator.cache_clear()
 
 
+def _warm_label(warm_start: str) -> str:
+    """Collapse the warm diagnostic to a bounded metric label value."""
+    if not warm_start:
+        return "cold"
+    return "accepted" if warm_start == "accepted" else "rejected"
+
+
+def _observed_solve(scheme: str):
+    """Wrap a solver entry point in a ``solve`` span plus solver metrics.
+
+    When both the tracer and the registry are their null singletons the
+    wrapper is two global reads and a tail call — the zero-overhead
+    default the BENCH_solver floor pins. The PerfOpt solve that
+    PerfPerCost runs internally is counted as its own ``scheme="perf"``
+    solve (it goes through this same wrapper).
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = obs_trace.get_tracer()
+            registry = obs_metrics.get_registry()
+            if (
+                tracer is obs_trace.NULL_TRACER
+                and registry is obs_metrics.NULL_REGISTRY
+            ):
+                return fn(*args, **kwargs)
+            begin = time.perf_counter()
+            with tracer.span("solve", attrs={"scheme": scheme}) as span:
+                result = fn(*args, **kwargs)
+                warm = _warm_label(result.warm_start)
+                span.set("warm", warm)
+                span.set("starts", result.starts)
+                span.set("objective", result.objective)
+            elapsed = time.perf_counter() - begin
+            registry.counter(
+                obs_names.SOLVER_SOLVES,
+                "Solver entry-point solves by scheme and warm-start outcome.",
+                labels=("scheme", "warm"),
+            ).labels(scheme=scheme, warm=warm).inc()
+            registry.counter(
+                obs_names.SOLVER_STARTS,
+                "Multi-start seed attempts by scheme.",
+                labels=("scheme",),
+            ).labels(scheme=scheme).inc(result.starts)
+            registry.histogram(
+                obs_names.SOLVER_SECONDS,
+                "Wall time of one solver entry-point call.",
+                labels=("scheme",),
+            ).labels(scheme=scheme).observe(elapsed)
+            return result
+
+        return wrapper
+
+    return decorate
+
+
+@_observed_solve("perf")
 def minimize_training_time(
     expr: Expr,
     constraints: ConstraintSet,
@@ -941,6 +1055,7 @@ def minimize_training_time(
     return replace(result, warm_start=warm_tag) if warm_tag else result
 
 
+@_observed_solve("ppc")
 def minimize_time_cost_product(
     expr: Expr,
     constraints: ConstraintSet,

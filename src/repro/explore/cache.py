@@ -9,6 +9,12 @@ process restarts and can be shared between CLI invocations.
 
 Only successful solves are cached; error rows are recomputed on the next
 run so transient failures do not get pinned.
+
+Effectiveness is visible two ways: :meth:`ResultCache.stats` reports this
+instance's lifetime tallies (memory/disk hits and misses, writes,
+evictions) — batch responses embed it under ``diagnostics["cache"]`` —
+and the same events feed the process-wide metrics registry
+(``repro_cache_*`` families) when metrics are enabled.
 """
 
 from __future__ import annotations
@@ -23,10 +29,30 @@ from pathlib import Path
 from repro.utils.errors import ConfigurationError, ReproError
 
 from repro.explore.records import ExplorationResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 
 #: On-disk wrapper schema version (the solve semantics are versioned in the
 #: key itself via ``keys.ENGINE_VERSION``; this guards the record format).
 STORE_VERSION = 1
+
+#: Keys of the :meth:`ResultCache.stats` payload, in reporting order.
+STAT_KEYS = (
+    "memory_hits",
+    "memory_misses",
+    "disk_hits",
+    "disk_misses",
+    "writes",
+    "evictions",
+)
+
+
+def _lookup_counter():
+    return obs_metrics.get_registry().counter(
+        obs_names.CACHE_LOOKUPS,
+        "ResultCache lookups by tier and outcome.",
+        labels=("tier", "outcome"),
+    )
 
 
 class ResultCache:
@@ -59,6 +85,7 @@ class ResultCache:
         self._memory: OrderedDict[str, ExplorationResult] = OrderedDict()
         self._max_memory = max_memory
         self._lock = threading.Lock()
+        self._stats = dict.fromkeys(STAT_KEYS, 0)
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             try:
@@ -81,8 +108,24 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
 
+    def stats(self) -> dict[str, int]:
+        """Lifetime tallies of this instance, as a plain dict snapshot.
+
+        ``memory_misses`` counts every lookup that fell past the memory
+        tier (so for a disk-backed cache, disk hits + disk misses ==
+        memory misses); ``writes`` counts accepted :meth:`put` stores;
+        ``evictions`` counts memory-tier LRU drops.
+        """
+        with self._lock:
+            return dict(self._stats)
+
+    def _count(self, stat: str, amount: int = 1) -> None:
+        with self._lock:
+            self._stats[stat] += amount
+
     def _remember(self, key: str, result: ExplorationResult) -> None:
         """LRU-insert into the memory map (bounded when configured)."""
+        evicted = False
         with self._lock:
             self._memory[key] = result
             self._memory.move_to_end(key)
@@ -91,6 +134,13 @@ class ResultCache:
                 and len(self._memory) > self._max_memory
             ):
                 self._memory.popitem(last=False)
+                self._stats["evictions"] += 1
+                evicted = True
+        if evicted:
+            obs_metrics.get_registry().counter(
+                obs_names.CACHE_EVICTIONS,
+                "ResultCache memory-tier LRU evictions.",
+            ).inc()
 
     def get(self, key: str) -> ExplorationResult | None:
         """The cached result for ``key``, or ``None``.
@@ -102,23 +152,36 @@ class ResultCache:
             cached = self._memory.get(key)
             if cached is not None:
                 self._memory.move_to_end(key)
-                return cached
+                self._stats["memory_hits"] += 1
+            else:
+                self._stats["memory_misses"] += 1
+        if cached is not None:
+            _lookup_counter().labels(tier="memory", outcome="hit").inc()
+            return cached
+        _lookup_counter().labels(tier="memory", outcome="miss").inc()
         if self._directory is None:
             return None
         path = self._entry_path(key)
         try:
             wrapper = json.loads(path.read_text())
             if not isinstance(wrapper, dict):
-                return None
+                return self._disk_miss()
             if wrapper.get("store_version") != STORE_VERSION:
-                return None
+                return self._disk_miss()
             result = ExplorationResult.from_dict(wrapper["result"])
         except FileNotFoundError:
-            return None
+            return self._disk_miss()
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ReproError):
-            return None
+            return self._disk_miss()
+        self._count("disk_hits")
+        _lookup_counter().labels(tier="disk", outcome="hit").inc()
         self._remember(key, result)
         return result
+
+    def _disk_miss(self) -> None:
+        self._count("disk_misses")
+        _lookup_counter().labels(tier="disk", outcome="miss").inc()
+        return None
 
     def put(self, key: str, result: ExplorationResult) -> None:
         """Store a successful result under its content address."""
@@ -126,6 +189,11 @@ class ResultCache:
             return
         stored = replace(result, key=key, from_cache=False)
         self._remember(key, stored)
+        self._count("writes")
+        obs_metrics.get_registry().counter(
+            obs_names.CACHE_WRITES,
+            "ResultCache entries stored via put().",
+        ).inc()
         if self._directory is None:
             return
         path = self._entry_path(key)
@@ -149,7 +217,7 @@ class ResultCache:
             ) from exc
 
     def clear(self) -> None:
-        """Drop every entry, in memory and on disk."""
+        """Drop every entry, in memory and on disk (stats are kept)."""
         with self._lock:
             self._memory.clear()
         if self._directory is None:

@@ -43,6 +43,9 @@ from repro.explore.chains import build_chains, chain_label, chain_signature
 from repro.explore.keys import point_constraints, point_key, resolve_topology
 from repro.explore.records import ExplorationResult, SweepProfile, SweepResult
 from repro.explore.spec import ExplorationPoint, SweepSpec
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
+from repro.obs import trace as obs_trace
 
 #: Called after each resolved cell with (done, total, result).
 ProgressCallback = Callable[[int, int, ExplorationResult], None]
@@ -195,10 +198,24 @@ def _iter_chain(
     for key, point in chain:
         if should_stop is not None and should_stop():
             raise JobCancelled("sweep cancelled between cells")
-        result = solve_point(
-            point, key=key, warm_start=warm, should_stop=should_stop,
-            service=service,
-        )
+        # Cell spans record on whichever process runs the chain: the
+        # coordinator inline, or a pool worker — where the tracer is the
+        # fresh process's no-op default, so pool results stay bit-identical
+        # to serial ones whether or not the coordinator traces.
+        tracer = obs_trace.get_tracer()
+        if tracer is obs_trace.NULL_TRACER:
+            result = solve_point(
+                point, key=key, warm_start=warm, should_stop=should_stop,
+                service=service,
+            )
+        else:
+            with tracer.span("cell", attrs={"label": point.label()}) as span:
+                result = solve_point(
+                    point, key=key, warm_start=warm, should_stop=should_stop,
+                    service=service,
+                )
+                span.set("status", "solved" if result.ok else "error")
+                span.set("warm_start", result.warm_start)
         yield key, result
         if continuation and result.ok and point.scheme is not Scheme.EQUAL_BW:
             warm = result.bandwidths_gbps
@@ -296,6 +313,35 @@ def run_sweep(
             factories — lambdas, closures — cannot cross a spawn
             boundary and degrade to per-cell error rows).
     """
+    tracer = obs_trace.get_tracer()
+    if tracer is obs_trace.NULL_TRACER:
+        return _run_sweep_impl(
+            spec, cache, workers, progress, continuation, on_event,
+            should_stop, service, mp_context,
+        )
+    with tracer.span("sweep") as span:
+        sweep = _run_sweep_impl(
+            spec, cache, workers, progress, continuation, on_event,
+            should_stop, service, mp_context,
+        )
+        span.set("total", len(sweep.results))
+        span.set("cache_hits", sweep.cache_hits)
+        span.set("solver_calls", sweep.solver_calls)
+        span.set("chains", sweep.profile.chains)
+        return sweep
+
+
+def _run_sweep_impl(
+    spec: SweepSpec | Iterable[ExplorationPoint],
+    cache: ResultCache | None,
+    workers: int,
+    progress: ProgressCallback | None,
+    continuation: bool,
+    on_event: EventCallback | None,
+    should_stop: Callable[[], bool] | None,
+    service,
+    mp_context: str | None,
+) -> SweepResult:
     started = time.perf_counter()
     points = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
     total = len(points)
@@ -306,10 +352,21 @@ def run_sweep(
         if on_event is not None:
             on_event(payload)
 
+    cells_counter = obs_metrics.get_registry().counter(
+        obs_names.SWEEP_CELLS,
+        "Sweep grid cells resolved, by outcome.",
+        labels=("status",),
+    )
+
     def resolved(index: int, result: ExplorationResult) -> None:
         nonlocal done
         results[index] = result
         done += 1
+        status = (
+            "cached" if result.from_cache
+            else ("error" if not result.ok else "solved")
+        )
+        cells_counter.labels(status=status).inc()
         if progress is not None:
             progress(done, total, result)
         emit({
@@ -318,10 +375,7 @@ def run_sweep(
             "total": total,
             "label": result.point.label(),
             "key": result.key,
-            "status": (
-                "cached" if result.from_cache
-                else ("error" if not result.ok else "solved")
-            ),
+            "status": status,
             "warm_start": result.warm_start,
             "error": result.error,
         })
@@ -332,23 +386,26 @@ def run_sweep(
     keys: list[str] = [""] * total
     pending: dict[str, list[int]] = {}
     cache_hits = 0
-    for index, point in enumerate(points):
-        try:
-            keys[index] = point_key(point)
-        except Exception as exc:  # noqa: BLE001 — error containment
-            resolved(
-                index,
-                ExplorationResult(
-                    point=point, error=f"{type(exc).__name__}: {exc}"
-                ),
-            )
-            continue
-        cached = cache.get(keys[index]) if cache is not None else None
-        if cached is not None:
-            cache_hits += 1
-            resolved(index, replace(cached, point=point, from_cache=True))
-        else:
-            pending.setdefault(keys[index], []).append(index)
+    with obs_trace.get_tracer().span("sweep.lookup") as lookup_span:
+        for index, point in enumerate(points):
+            try:
+                keys[index] = point_key(point)
+            except Exception as exc:  # noqa: BLE001 — error containment
+                resolved(
+                    index,
+                    ExplorationResult(
+                        point=point, error=f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+                continue
+            cached = cache.get(keys[index]) if cache is not None else None
+            if cached is not None:
+                cache_hits += 1
+                resolved(index, replace(cached, point=point, from_cache=True))
+            else:
+                pending.setdefault(keys[index], []).append(index)
+        lookup_span.set("total", total)
+        lookup_span.set("cache_hits", cache_hits)
     lookup_s = time.perf_counter() - started
 
     # Phase 2 — solve each distinct uncached cell once, chained so later
@@ -394,6 +451,11 @@ def run_sweep(
         warm_seeds = [None] * len(chains)
     solver_calls = len(representatives)
     fanout_cells = sum(len(indices) - 1 for indices in pending.values())
+    if chains:
+        obs_metrics.get_registry().counter(
+            obs_names.SWEEP_CHAINS,
+            "Continuation chains executed by sweeps.",
+        ).inc(len(chains))
     emit({
         "type": "plan",
         "total": total,
@@ -418,10 +480,14 @@ def run_sweep(
     if workers <= 1 or len(chains) <= 1:
         for index, (chain, seed) in enumerate(zip(chains, warm_seeds)):
             emit(chain_event("start", index))
-            for key, result in _iter_chain(
-                chain, continuation, seed, should_stop, service
+            with obs_trace.get_tracer().span(
+                "chain",
+                attrs={"cells": len(chain), "label": chain_label(chain[0][1])},
             ):
-                install(key, result)
+                for key, result in _iter_chain(
+                    chain, continuation, seed, should_stop, service
+                ):
+                    install(key, result)
             emit(chain_event("done", index))
     else:
         if mp_context:

@@ -1,0 +1,149 @@
+"""Structured logging for the repro CLI and serve tier.
+
+A thin policy layer over the stdlib :mod:`logging` module — no new
+concepts, just three decisions made once:
+
+* **Namespace.** Every logger lives under ``"repro."``
+  (:func:`get_logger`), so one call configures the whole system and
+  host applications embedding the library can route or silence it as a
+  unit.
+* **Silence by default.** Importing the library never prints: the root
+  ``repro`` logger carries a :class:`logging.NullHandler` until
+  :func:`setup_logging` is called (by ``repro serve --log-level ...``,
+  ``REPRO_LOG=info``, or an embedding application).
+* **One line, two formats.** Human format is ``ts level logger message
+  key=value...``; JSON format is one object per line with the same
+  fields (``ts``, ``level``, ``logger``, ``msg``, plus any extras) —
+  what log shippers want, still greppable.
+
+Extra fields ride the stdlib ``extra=`` mechanism::
+
+    log = get_logger("serve.http")
+    log.info("request", extra={"fields": {"path": "/v3/jobs", "status": 200}})
+
+``fields`` is a single dict key rather than loose ``extra`` keys so the
+formatter can tell structured payload from :class:`logging.LogRecord`
+internals without a denylist.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+#: Environment variable consulted for the default level; same values as
+#: ``--log-level`` (debug/info/warning/error, case-insensitive).
+ENV_VAR = "REPRO_LOG"
+
+_ROOT_NAME = "repro"
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_root = logging.getLogger(_ROOT_NAME)
+_root.addHandler(logging.NullHandler())
+
+#: The handler installed by setup_logging, tracked so reconfiguration
+#: replaces it instead of stacking duplicates.
+_installed: logging.Handler | None = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("serve.http")``)."""
+    if not name:
+        return _root
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def _record_fields(record: logging.LogRecord) -> dict:
+    fields = getattr(record, "fields", None)
+    return fields if isinstance(fields, dict) else {}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg, then extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        payload.update(_record_fields(record))
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """``ts level logger message key=value ...`` for terminals."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+        )
+        parts = [
+            stamp,
+            record.levelname.lower(),
+            record.name,
+            record.getMessage(),
+        ]
+        for key, value in sorted(_record_fields(record).items()):
+            parts.append(f"{key}={value}")
+        line = " ".join(str(part) for part in parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def parse_level(level: str) -> int:
+    """Map a ``--log-level`` string to a :mod:`logging` level (or raise)."""
+    try:
+        return _LEVELS[level.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+        ) from None
+
+
+def setup_logging(
+    level: str | int | None = None,
+    json_format: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Route ``repro.*`` logs to ``stream`` (default stderr) at ``level``.
+
+    ``level=None`` consults :data:`ENV_VAR` and falls back to ``info``.
+    Idempotent: calling again replaces the previous configuration rather
+    than stacking handlers, so tests and re-execs stay single-line.
+    Returns the root ``repro`` logger.
+    """
+    global _installed
+    if level is None:
+        level = os.environ.get(ENV_VAR) or "info"
+    resolved = parse_level(level) if isinstance(level, str) else int(level)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_format else HumanFormatter())
+    if _installed is not None:
+        _root.removeHandler(_installed)
+    _root.addHandler(handler)
+    _root.setLevel(resolved)
+    _root.propagate = False
+    _installed = handler
+    return _root
+
+
+def reset_logging() -> None:
+    """Remove the installed handler; back to silent default (tests)."""
+    global _installed
+    if _installed is not None:
+        _root.removeHandler(_installed)
+        _installed = None
+    _root.setLevel(logging.NOTSET)

@@ -1,0 +1,479 @@
+"""Process-local metrics: counters, gauges, histograms, Prometheus text.
+
+The registry is the aggregation point: instrumented code asks it for a
+*family* (``registry.counter("repro_solver_solves_total", ...)``) and
+bumps a *series* of that family (``family.labels(scheme="perf").inc()``).
+Families are created on first use and returned unchanged afterwards, so
+call sites never coordinate — they just name the metric they mean
+(:mod:`repro.obs.names` is the canonical name table).
+
+Everything here is stdlib-only and thread-safe: one lock per registry
+guards family creation, one lock per family guards its series map, and
+the scalar bumps themselves happen under the family lock — a threaded
+sweep incrementing one counter from eight workers never loses a tick.
+
+**Off by default.** :func:`get_registry` returns :data:`NULL_REGISTRY` — a
+registry whose instruments are shared do-nothing singletons — until
+:func:`enable_metrics` (or :func:`set_registry`) installs a real one.
+Instrumented hot paths therefore cost two attribute lookups and a no-op
+call when observability is off, which is what keeps the BENCH_* floors
+honest.
+
+Rendering follows the Prometheus text exposition format (version 0.0.4):
+``# HELP`` / ``# TYPE`` per family, one line per series, histograms as
+cumulative ``_bucket{le=...}`` plus ``_sum`` / ``_count``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Mapping
+
+from repro.utils.errors import ConfigurationError
+
+#: Fixed histogram buckets (seconds). Chosen to straddle the system's
+#: real latencies: sub-ms cache lookups, 10ms–10s solves, minutes-long
+#: sweep jobs. Fixed (not configurable per call site) so every duration
+#: family renders and aggregates identically.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise ConfigurationError(
+            f"metric name {name!r} must be non-empty [a-zA-Z0-9_]"
+        )
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN (a failed gauge callback renders, not raises)
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _series_suffix(label_names: tuple[str, ...], label_values: tuple[str, ...],
+                   extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(label_names, label_values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Family:
+    """Common machinery of one metric family (shared by all three types)."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...]):
+        _validate_name(name)
+        for label in label_names:
+            _validate_name(label)
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ConfigurationError(
+                f"metric {self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def labels(self, **labels: str):
+        """The series for one label-value combination (created on demand)."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._make_series()
+                self._series[key] = series
+            return series
+
+    def _default_series(self):
+        """The single series of a label-less family."""
+        if self.label_names:
+            raise ConfigurationError(
+                f"metric {self.name} requires labels {self.label_names}"
+            )
+        return self.labels()
+
+    def _make_series(self):  # pragma: no cover — overridden
+        raise NotImplementedError
+
+    def _snapshot(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.metric_type}",
+        ]
+        for key, series in self._snapshot():
+            lines.extend(self._render_series(key, series))
+        return lines
+
+    def _render_series(self, key, series) -> list[str]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _CounterSeries:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; inc({amount}) is not allowed"
+            )
+        with self._lock:
+            self.value += amount
+
+
+class Counter(_Family):
+    """A monotonically increasing count (events, hits, errors)."""
+
+    metric_type = "counter"
+
+    def _make_series(self):
+        return _CounterSeries(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_series().inc(amount)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0.0 if it never fired)."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return 0.0 if series is None else series.value
+
+    def _render_series(self, key, series) -> list[str]:
+        suffix = _series_suffix(self.label_names, key)
+        return [f"{self.name}{suffix} {_format_value(series.value)}"]
+
+
+class _GaugeSeries:
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+        self._fn = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._fn = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn) -> None:
+        """Compute the value at scrape time (live queue depths etc.)."""
+        with self._lock:
+            self._fn = fn
+
+    def read(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:  # called outside the lock: fn may itself take locks
+            return float(fn())
+        except Exception:  # noqa: BLE001 — a scrape must never throw
+            return float("nan")
+
+
+class Gauge(_Family):
+    """A value that can go up and down (depths, in-flight counts)."""
+
+    metric_type = "gauge"
+
+    def _make_series(self):
+        return _GaugeSeries(self._lock)
+
+    def set(self, value: float) -> None:
+        self._default_series().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_series().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_series().dec(amount)
+
+    def set_function(self, fn) -> None:
+        self._default_series().set_function(fn)
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+        return 0.0 if series is None else series.read()
+
+    def _render_series(self, key, series) -> list[str]:
+        suffix = _series_suffix(self.label_names, key)
+        return [f"{self.name}{suffix} {_format_value(series.read())}"]
+
+    def _snapshot(self):
+        # Gauge functions run outside the family lock (see _GaugeSeries.read),
+        # so snapshot only the series map here.
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class _HistogramSeries:
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(self, lock: threading.Lock, buckets: tuple[float, ...]):
+        self._lock = lock
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+
+
+class Histogram(_Family):
+    """A distribution with fixed buckets (latencies, durations)."""
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, label_names)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ConfigurationError("histogram needs at least one bucket")
+
+    def _make_series(self):
+        return _HistogramSeries(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_series().observe(value)
+
+    def observations(self, **labels: str) -> tuple[int, float]:
+        """``(count, sum)`` of one series (``(0, 0.0)`` if never observed)."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return (0, 0.0) if series is None else (series.count, series.sum)
+
+    def _render_series(self, key, series) -> list[str]:
+        # series.counts is already cumulative (observe bumps every bucket
+        # whose bound covers the value), matching Prometheus bucket rules.
+        lines = []
+        for bound, bucket_count in zip(series.buckets, series.counts):
+            suffix = _series_suffix(
+                self.label_names, key, extra=f'le="{_format_value(bound)}"'
+            )
+            lines.append(f"{self.name}_bucket{suffix} {bucket_count}")
+        inf_suffix = _series_suffix(self.label_names, key, extra='le="+Inf"')
+        lines.append(f"{self.name}_bucket{inf_suffix} {series.count}")
+        plain = _series_suffix(self.label_names, key)
+        lines.append(f"{self.name}_sum{plain} {_format_value(series.sum)}")
+        lines.append(f"{self.name}_count{plain} {series.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A process-local family table with Prometheus text rendering.
+
+    ``counter`` / ``gauge`` / ``histogram`` are *get-or-create*: the first
+    call registers the family, later calls return it (and reject a
+    conflicting redefinition — one name, one type, one label set).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        labels = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, labels, **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls) or family.label_names != labels:
+            raise ConfigurationError(
+                f"metric {name} is already registered as a "
+                f"{family.metric_type} with labels {family.label_names}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def families(self) -> list[str]:
+        """Registered family names, sorted."""
+        with self._lock:
+            return sorted(self._families)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        lines: list[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+class _NullInstrument:
+    """One shared do-nothing series/family — the off switch's hot path."""
+
+    metric_type = "null"
+    buckets = DEFAULT_BUCKETS
+
+    def labels(self, **labels: str) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def value(self, **labels: str) -> float:
+        return 0.0
+
+    def observations(self, **labels: str) -> tuple[int, float]:
+        return (0, 0.0)
+
+    def render(self) -> list[str]:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The default registry: every instrument is a shared no-op."""
+
+    def counter(self, name, help="", labels=()):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labels=()):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labels=(), buckets=DEFAULT_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def families(self) -> list[str]:
+        return []
+
+    def render(self) -> str:
+        return ""
+
+
+#: The shared off-switch registry (identity-comparable: ``is NULL_REGISTRY``).
+NULL_REGISTRY = NullRegistry()
+
+_ACTIVE: MetricsRegistry | NullRegistry = NULL_REGISTRY
+_ACTIVE_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The process-wide registry instrumented code reports into."""
+    return _ACTIVE
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> MetricsRegistry | NullRegistry:
+    """Install ``registry`` as the process-wide target; returns the old one."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = registry
+    return previous
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Turn metrics on (idempotent); returns the live registry.
+
+    Installs a fresh :class:`MetricsRegistry` if the process is still on
+    :data:`NULL_REGISTRY`; an already-enabled process keeps its registry
+    (two servers in one process must share one scrape surface).
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        if isinstance(_ACTIVE, NullRegistry):
+            _ACTIVE = MetricsRegistry()
+        return _ACTIVE
+
+
+def reset_metrics() -> None:
+    """Back to the no-op default (test isolation)."""
+    set_registry(NULL_REGISTRY)

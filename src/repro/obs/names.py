@@ -1,0 +1,91 @@
+"""The canonical metric-family name table.
+
+Every instrumented call site imports its family name from here, and the
+``obs-smoke`` CI job asserts :data:`REQUIRED_FAMILIES` are all present
+in a live ``/v3/metrics`` scrape — so renaming a metric is a loud,
+single-file change instead of silent dashboard drift.
+
+Naming follows Prometheus conventions: ``repro_`` prefix, base units in
+the name (``_seconds``), ``_total`` suffix on counters. Labels are
+listed next to each family; keep cardinality bounded (enums only, never
+job ids or paths).
+"""
+
+from __future__ import annotations
+
+# -- solver (core/solver.py) -------------------------------------------------
+#: Counter{scheme=perf|ppc, warm=cold|accepted|rejected}: entry-point solves.
+SOLVER_SOLVES = "repro_solver_solves_total"
+#: Counter{scheme}: individual multi-start seed attempts.
+SOLVER_STARTS = "repro_solver_starts_total"
+#: Histogram{scheme}: wall time of one entry-point solve.
+SOLVER_SECONDS = "repro_solver_solve_seconds"
+
+# -- service memos (api/service.py) ------------------------------------------
+#: Counter{kind=optimize|batch}: requests dispatched through LibraService.
+SERVICE_REQUESTS = "repro_service_requests_total"
+#: Counter{outcome=hit|miss}: engine memo consultations (miss == compile).
+SERVICE_ENGINE_MEMO = "repro_service_engine_compiles_total"
+#: Counter{outcome=hit|miss|store}: solution memo reads and writes.
+SERVICE_SOLUTION_MEMO = "repro_service_solution_memo_total"
+
+# -- result cache (explore/cache.py) -----------------------------------------
+#: Counter{tier=memory|disk, outcome=hit|miss}: ResultCache lookups.
+CACHE_LOOKUPS = "repro_cache_lookups_total"
+#: Counter: results stored via ResultCache.put.
+CACHE_WRITES = "repro_cache_writes_total"
+#: Counter: memory-tier LRU evictions.
+CACHE_EVICTIONS = "repro_cache_evictions_total"
+
+# -- sweep executor (explore/executor.py) ------------------------------------
+#: Counter{status=cached|solved|error}: grid cells resolved.
+SWEEP_CELLS = "repro_sweep_cells_total"
+#: Counter: continuation chains executed.
+SWEEP_CHAINS = "repro_sweep_chains_total"
+
+# -- job manager (serve/manager.py) ------------------------------------------
+#: Counter{kind=optimize|batch}: jobs accepted (dedupe hits not counted).
+JOBS_SUBMITTED = "repro_jobs_submitted_total"
+#: Counter{state=succeeded|failed|cancelled}: jobs reaching a terminal state.
+JOBS_COMPLETED = "repro_jobs_completed_total"
+#: Gauge: jobs currently running.
+JOBS_ACTIVE = "repro_jobs_active"
+#: Gauge: jobs queued but not yet running.
+JOB_QUEUE_DEPTH = "repro_job_queue_depth"
+#: Histogram: submit → running latency.
+JOB_QUEUE_SECONDS = "repro_job_queue_seconds"
+#: Histogram: running → terminal latency.
+JOB_RUN_SECONDS = "repro_job_run_seconds"
+
+# -- HTTP front end (serve/http.py) ------------------------------------------
+#: Counter{route, status}: requests served, by normalized route template.
+HTTP_REQUESTS = "repro_http_requests_total"
+#: Histogram{route}: request handling wall time.
+HTTP_SECONDS = "repro_http_request_seconds"
+
+#: Families the obs-smoke CI job requires in a live scrape after it has
+#: run one optimize job and one cache-backed batch job. (Gauges render
+#: even at zero once registered; counters with enum labels appear once
+#: any series fires. ``CACHE_EVICTIONS`` is the one family deliberately
+#: absent: it needs a bounded memory tier to overflow, which no smoke
+#: run does.)
+REQUIRED_FAMILIES = (
+    SOLVER_SOLVES,
+    SOLVER_STARTS,
+    SOLVER_SECONDS,
+    SERVICE_REQUESTS,
+    SERVICE_ENGINE_MEMO,
+    SERVICE_SOLUTION_MEMO,
+    CACHE_LOOKUPS,
+    CACHE_WRITES,
+    SWEEP_CELLS,
+    SWEEP_CHAINS,
+    JOBS_SUBMITTED,
+    JOBS_COMPLETED,
+    JOBS_ACTIVE,
+    JOB_QUEUE_DEPTH,
+    JOB_QUEUE_SECONDS,
+    JOB_RUN_SECONDS,
+    HTTP_REQUESTS,
+    HTTP_SECONDS,
+)

@@ -39,6 +39,7 @@ from repro.core.solver import (
     traffic_totals,
 )
 from repro.cost.estimator import cost_rates
+from repro.obs import Tracer, use_tracer
 from repro.training.expr import simplify
 from repro.utils.errors import ReproError
 from repro.utils.units import gbps
@@ -279,9 +280,16 @@ def run_benchmarks(config: BenchConfig) -> dict:
         },
         "benchmarks": [],
     }
-    artifact["benchmarks"].extend(bench_solver(config))
-    artifact["benchmarks"].append(bench_compile_memo(config))
-    artifact["benchmarks"].append(bench_sweep(config))
+    # The harness is the one caller that always opts into tracing: the
+    # artifact carries per-span aggregates ("spans") next to the timings,
+    # so a regression bisects to a stage (seed solves? warm-trust checks?
+    # compile?) without rerunning anything. Production stays no-op.
+    tracer = Tracer()
+    with use_tracer(tracer):
+        artifact["benchmarks"].extend(bench_solver(config))
+        artifact["benchmarks"].append(bench_compile_memo(config))
+        artifact["benchmarks"].append(bench_sweep(config))
+    artifact["spans"] = tracer.summary()
     return artifact
 
 

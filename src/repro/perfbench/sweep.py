@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.api.service import reset_service
 from repro.core.solver import clear_solver_caches
+from repro.obs import Tracer, use_tracer
 from repro.perfbench.harness import BenchEquivalenceError
 from repro.utils.errors import ReproError
 
@@ -159,8 +160,17 @@ def run_sweep_benchmark(config: SweepBenchConfig) -> dict:
         bandwidths_gbps=config.budgets_gbps,
         schemes=config.schemes,
     )
-    cold_s, cold = _timed_sweep(spec, continuation=False, repeats=config.repeats)
-    warm_s, warm = _timed_sweep(spec, continuation=True, repeats=config.repeats)
+    # Both paths trace identically (same instrumented call sites), so the
+    # warm/cold ratio is unperturbed and the artifact's "spans" aggregates
+    # say where each grid spent its time.
+    tracer = Tracer()
+    with use_tracer(tracer):
+        cold_s, cold = _timed_sweep(
+            spec, continuation=False, repeats=config.repeats
+        )
+        warm_s, warm = _timed_sweep(
+            spec, continuation=True, repeats=config.repeats
+        )
     equivalence = _equivalence(cold, warm, config.objective_rtol)
 
     cells = len(warm.results)
@@ -194,6 +204,7 @@ def run_sweep_benchmark(config: SweepBenchConfig) -> dict:
             "cache_hits": warm.cache_hits,
         },
         "equivalence": equivalence,
+        "spans": tracer.summary(),
     }
 
 

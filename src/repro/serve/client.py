@@ -14,8 +14,10 @@ Typical session::
 
     client = ServeClient("http://127.0.0.1:8350")
     info = client.submit(request)
-    for event in client.events(info.id, follow=True):
-        print(event.kind, event.data)
+    progress = [
+        (event.kind, event.data)
+        for event in client.events(info.id, follow=True)
+    ]
     response = client.result(info.id)
 """
 

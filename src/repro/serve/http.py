@@ -12,7 +12,8 @@ server runs wherever the library does. The surface is the v3 job API::
                                  connection open and streams live events
                                  until the job is terminal
     DELETE /v3/jobs/{id}         cooperative cancellation
-    GET    /healthz              liveness + schema version
+    GET    /healthz              liveness, uptime, queue/job-state counts
+    GET    /v3/metrics           Prometheus text exposition (version 0.0.4)
 
 Responses are JSON (NDJSON for event streams). Errors are JSON too:
 ``{"error": ..., "path": ...}`` with ``path`` set for located scenario
@@ -22,12 +23,21 @@ remote client can surface it verbatim.
 Connections are HTTP/1.0 (one request per connection): an event stream is
 then delimited by connection close, which every client — ``urllib``
 included — already handles, with no chunked-encoding machinery.
+
+Observability: constructing a :class:`ServeServer` enables the process
+metrics registry (a server *is* the opt-in) and points the job gauges at
+its manager; every request is counted and timed under a normalized route
+template (``/v3/jobs/{id}`` — never raw paths, which would be unbounded
+label cardinality) and emits one structured access-log line at INFO
+through ``repro.serve.http`` (visible with ``repro serve --log-level
+info`` or ``REPRO_LOG=info``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -39,8 +49,13 @@ from repro.api.requests import (
     request_from_dict,
 )
 from repro.api.scenario import ScenarioValidationError
+from repro.obs import get_logger
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 from repro.serve.manager import JobManager
 from repro.utils.errors import ReproError
+
+_log = get_logger("serve.http")
 
 #: Largest accepted request body; a scenario payload is a few KB, so this
 #: is generous while still bounding a misbehaving client.
@@ -66,8 +81,57 @@ class ServeHandler(BaseHTTPRequestHandler):
         return self.server.manager  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+        # http.server's own per-response lines (and error notices) go to
+        # the structured logger at DEBUG; the INFO-level access log is
+        # emitted once per request by _observed, with timing attached.
+        _log.debug("%s - %s" % (self.address_string(), format % args))
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        self._status = code
+        super().send_response(code, message)
+
+    def _route_label(self) -> str:
+        """The bounded route template this request hit (metric label)."""
+        path, _ = self._route()
+        if path in ("/healthz", "/v3/metrics", "/v3/jobs"):
+            return path
+        if self._job_id(path, suffix="events") is not None:
+            return "/v3/jobs/{id}/events"
+        if self._job_id(path) is not None:
+            return "/v3/jobs/{id}"
+        return "other"
+
+    def _observed(self, handler) -> None:
+        """Run one request handler with timing, metrics, and access log."""
+        self._status = 0
+        begin = time.perf_counter()
+        try:
+            handler()
+        finally:
+            elapsed = time.perf_counter() - begin
+            route = self._route_label()
+            status = str(self._status or 0)
+            registry = obs_metrics.get_registry()
+            registry.counter(
+                obs_names.HTTP_REQUESTS,
+                "HTTP requests served, by route template and status.",
+                labels=("route", "status"),
+            ).labels(route=route, status=status).inc()
+            registry.histogram(
+                obs_names.HTTP_SECONDS,
+                "HTTP request handling wall time by route template.",
+                labels=("route",),
+            ).labels(route=route).observe(elapsed)
+            fields = {
+                "method": self.command,
+                "path": self.path,
+                "status": self._status or 0,
+                "duration_ms": round(elapsed * 1e3, 3),
+            }
+            job_ref = getattr(self, "_job_ref", None)
+            if job_ref:
+                fields["job"] = job_ref
+            _log.info("request", extra={"fields": fields})
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -123,11 +187,44 @@ class ServeHandler(BaseHTTPRequestHandler):
     # -- methods -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._observed(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self._observed(self._handle_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802 — http.server API
+        self._observed(self._handle_delete)
+
+    def _handle_get(self) -> None:
         path, query = self._route()
         if path == "/healthz":
-            self._send_json(
-                200, {"ok": True, "schema_version": RESPONSE_SCHEMA_VERSION}
+            counts = self.manager.counts()
+            started = getattr(self.server, "started_at", None)
+            terminal = (
+                counts["done"] + counts["failed"] + counts["cancelled"]
             )
+            self._send_json(200, {
+                "ok": True,
+                "schema_version": RESPONSE_SCHEMA_VERSION,
+                "uptime_s": (
+                    None if started is None
+                    else round(time.time() - started, 3)
+                ),
+                "queue_depth": counts["queued"],
+                "active_jobs": counts["running"],
+                "terminal_jobs": terminal,
+                "jobs": counts,
+            })
+            return
+        if path == "/v3/metrics":
+            body = obs_metrics.get_registry().render().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         if path == "/v3/jobs":
             self._send_json(200, {
@@ -140,10 +237,12 @@ class ServeHandler(BaseHTTPRequestHandler):
             return
         events_id = self._job_id(path, suffix="events")
         if events_id is not None:
+            self._job_ref = events_id
             self._get_events(events_id, query)
             return
         job_id = self._job_id(path)
         if job_id is not None:
+            self._job_ref = job_id
             handle = self.manager.get(job_id)
             if handle is None:
                 self._send_error_json(404, f"unknown job id {job_id!r}")
@@ -198,7 +297,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         )
         self.wfile.flush()
 
-    def do_POST(self) -> None:  # noqa: N802 — http.server API
+    def _handle_post(self) -> None:
         path, _ = self._route()
         if path != "/v3/jobs":
             self._send_error_json(404, f"no route for POST {path}")
@@ -241,6 +340,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send_error_json(503, str(exc))
             return
+        self._job_ref = handle.id
         self._send_json(202, handle.info().to_dict())
 
     def _sandbox_cache_dir(self, request: BatchRequest) -> BatchRequest | None:
@@ -274,12 +374,13 @@ class ServeHandler(BaseHTTPRequestHandler):
             return None
         return replace(request, cache_dir=str(candidate))
 
-    def do_DELETE(self) -> None:  # noqa: N802 — http.server API
+    def _handle_delete(self) -> None:
         path, _ = self._route()
         job_id = self._job_id(path)
         if job_id is None:
             self._send_error_json(404, f"no route for DELETE {path}")
             return
+        self._job_ref = job_id
         handle = self.manager.get(job_id)
         if handle is None:
             self._send_error_json(404, f"unknown job id {job_id!r}")
@@ -289,7 +390,12 @@ class ServeHandler(BaseHTTPRequestHandler):
 
 
 class ServeServer(ThreadingHTTPServer):
-    """A :class:`ThreadingHTTPServer` bound to one :class:`JobManager`."""
+    """A :class:`ThreadingHTTPServer` bound to one :class:`JobManager`.
+
+    Construction turns the process metrics registry on (the server is
+    the scrape surface, so running one *is* the observability opt-in)
+    and points the live job gauges at ``manager``.
+    """
 
     daemon_threads = True  # event streams must not block shutdown
 
@@ -306,6 +412,8 @@ class ServeServer(ThreadingHTTPServer):
         self.cache_root = (
             None if cache_root is None else Path(cache_root).resolve()
         )
+        self.started_at = time.time()
+        manager.register_gauges(obs_metrics.enable_metrics())
 
 
 def create_server(

@@ -46,6 +46,8 @@ from repro.api.requests import (
     request_kind,
     request_to_dict,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 from repro.serve.events import ProgressEvent
 from repro.utils.canonical import digest
 from repro.utils.errors import ConfigurationError, JobCancelled, ReproError
@@ -214,6 +216,19 @@ class JobRecord:
         """A frozen wire snapshot. Caller need not hold ``cond``."""
         with self.cond:
             result = self.result
+            metrics = {}
+            if self.started_at is not None:
+                metrics["queue_s"] = round(
+                    self.started_at - self.created_at, 6
+                )
+                if self.finished_at is not None:
+                    metrics["run_s"] = round(
+                        self.finished_at - self.started_at, 6
+                    )
+            if self.finished_at is not None:
+                metrics["total_s"] = round(
+                    self.finished_at - self.created_at, 6
+                )
             return JobInfo(
                 id=self.id,
                 kind=self.kind,
@@ -228,6 +243,7 @@ class JobRecord:
                     if include_result and result is not None
                     else None
                 ),
+                metrics=metrics or None,
             )
 
 
@@ -246,6 +262,9 @@ class JobInfo:
         num_events: Events emitted so far (the stream cursor's upper bound).
         result_payload: The response ``to_dict`` payload once ``done``
             (``None`` otherwise, and in list summaries).
+        metrics: Lifecycle latencies derived from the timestamps —
+            ``queue_s`` (submit → running) once started, plus ``run_s``
+            and ``total_s`` once terminal. ``None`` while queued.
     """
 
     id: str
@@ -257,6 +276,7 @@ class JobInfo:
     error: str = ""
     num_events: int = 0
     result_payload: dict | None = None
+    metrics: dict | None = None
 
     @property
     def done(self) -> bool:
@@ -294,6 +314,7 @@ class JobInfo:
                 "error": self.error,
                 "events": self.num_events,
                 "result": self.result_payload,
+                "metrics": self.metrics,
             },
         }
 
@@ -310,6 +331,7 @@ class JobInfo:
             started = job.get("started_at")
             finished = job.get("finished_at")
             result = job.get("result")
+            metrics = job.get("metrics")
             return cls(
                 id=str(job["id"]),
                 kind=str(job["kind"]),
@@ -320,6 +342,7 @@ class JobInfo:
                 error=str(job.get("error", "")),
                 num_events=int(job.get("events", 0)),
                 result_payload=None if result is None else dict(result),
+                metrics=None if metrics is None else dict(metrics),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(
@@ -368,13 +391,23 @@ class JobHandle:
         state (cancelling a finished job is a no-op, not an error).
         """
         record = self._record
+        cancelled_queued = False
         with record.cond:
             if record.state in TERMINAL_STATES:
                 return False
             record.cancel_requested.set()
             if record.state is JobState.QUEUED:
                 record.transition(JobState.CANCELLED, error="cancelled while queued")
-            return True
+                cancelled_queued = True
+        if cancelled_queued:
+            # A queued job never reaches the worker's terminal accounting
+            # (JobManager._run returns early), so it is counted here.
+            obs_metrics.get_registry().counter(
+                obs_names.JOBS_COMPLETED,
+                "Jobs reaching a terminal state.",
+                labels=("state",),
+            ).labels(state=JobState.CANCELLED.value).inc()
+        return True
 
     def wait(self, timeout: float | None = None) -> JobState:
         """Block until the job is terminal (or ``timeout`` elapses)."""

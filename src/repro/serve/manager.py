@@ -23,8 +23,7 @@ Typical session::
     with JobManager(workers=2) as manager:
         handle = manager.submit(OptimizeRequest(scenario=build_scenario(
             "4D-4K", ["GPT-3"], total_bw_gbps=500)))
-        for event in handle.stream():
-            print(event.kind, event.data)
+        progress = [(e.kind, e.data) for e in handle.stream()]
         response = handle.result()
 """
 
@@ -37,6 +36,10 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.requests import BatchRequest, OptimizeRequest
 from repro.api.service import LibraService
+from repro.obs import get_logger
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
+from repro.obs import trace as obs_trace
 from repro.serve.jobs import (
     TERMINAL_STATES,
     JobHandle,
@@ -46,6 +49,8 @@ from repro.serve.jobs import (
     job_content_key,
 )
 from repro.utils.errors import ConfigurationError, JobCancelled
+
+_log = get_logger("serve.manager")
 
 
 class JobManager:
@@ -92,6 +97,35 @@ class JobManager:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
+        self.register_gauges(obs_metrics.get_registry())
+
+    def register_gauges(self, registry) -> None:
+        """Point the live-depth gauges at this manager.
+
+        Callback gauges, deliberately: queue depth and active count are
+        computed at *scrape* time from :meth:`counts` rather than eagerly
+        bumped from job transitions — transition code holds each record's
+        condition lock, and taking the manager lock under it would invert
+        the manager-lock → record-cond ordering ``submit`` relies on.
+        Re-invoked by the HTTP server once metrics are enabled (the
+        constructor call is a no-op under the null registry).
+        """
+        registry.gauge(
+            obs_names.JOB_QUEUE_DEPTH, "Jobs queued but not yet running."
+        ).set_function(lambda: self.counts()["queued"])
+        registry.gauge(
+            obs_names.JOBS_ACTIVE, "Jobs currently running."
+        ).set_function(lambda: self.counts()["running"])
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per lifecycle state (the /healthz and gauge snapshot)."""
+        with self._lock:
+            records = list(self._jobs.values())
+        tallies = {state.value: 0 for state in JobState}
+        for record in records:
+            with record.cond:
+                tallies[record.state.value] += 1
+        return tallies
 
     # -- submission ----------------------------------------------------------
 
@@ -152,6 +186,15 @@ class JobManager:
                 raise ConfigurationError(
                     "job manager is shut down; no new submissions"
                 ) from exc
+        obs_metrics.get_registry().counter(
+            obs_names.JOBS_SUBMITTED,
+            "Jobs accepted into the queue (dedupe hits excluded).",
+            labels=("kind",),
+        ).labels(kind=record.kind).inc()
+        _log.info(
+            "job queued",
+            extra={"fields": {"job": record.id, "kind": record.kind}},
+        )
         return JobHandle(record)
 
     def _evict_terminal(self) -> None:
@@ -191,6 +234,20 @@ class JobManager:
             if record.state is not JobState.QUEUED:
                 return  # cancelled while queued
             record.transition(JobState.RUNNING)
+            queued_s = (record.started_at or 0.0) - record.created_at
+        # Latency observations happen after the condition lock is released
+        # (see register_gauges for the ordering this preserves).
+        registry = obs_metrics.get_registry()
+        registry.histogram(
+            obs_names.JOB_QUEUE_SECONDS, "Submit-to-running latency."
+        ).observe(max(queued_s, 0.0))
+        _log.debug(
+            "job running",
+            extra={"fields": {
+                "job": record.id, "kind": record.kind,
+                "queue_s": round(max(queued_s, 0.0), 6),
+            }},
+        )
 
         def on_event(payload: dict) -> None:
             data = dict(payload)
@@ -199,11 +256,14 @@ class JobManager:
                 record.emit(kind, data)
 
         try:
-            response = self.service.submit(
-                record.request,
-                should_stop=record.cancel_requested.is_set,
-                on_event=on_event,
-            )
+            with obs_trace.get_tracer().span(
+                "job", attrs={"job": record.id, "kind": record.kind}
+            ):
+                response = self.service.submit(
+                    record.request,
+                    should_stop=record.cancel_requested.is_set,
+                    on_event=on_event,
+                )
         except JobCancelled as exc:
             with record.cond:
                 record.transition(JobState.CANCELLED, error=str(exc))
@@ -216,6 +276,30 @@ class JobManager:
             with record.cond:
                 record.result = response
                 record.transition(JobState.DONE)
+        with record.cond:
+            state = record.state
+            error = record.error
+            run_s = (
+                (record.finished_at or 0.0) - (record.started_at or 0.0)
+                if state in TERMINAL_STATES else 0.0
+            )
+        if state in TERMINAL_STATES:
+            registry.histogram(
+                obs_names.JOB_RUN_SECONDS, "Running-to-terminal latency."
+            ).observe(max(run_s, 0.0))
+            registry.counter(
+                obs_names.JOBS_COMPLETED,
+                "Jobs reaching a terminal state.",
+                labels=("state",),
+            ).labels(state=state.value).inc()
+            fields = {
+                "job": record.id, "kind": record.kind,
+                "state": state.value, "run_s": round(max(run_s, 0.0), 6),
+            }
+            if error:
+                fields["error"] = error
+            level = _log.info if state is JobState.DONE else _log.warning
+            level("job finished", extra={"fields": fields})
 
     # -- lookup --------------------------------------------------------------
 
@@ -250,6 +334,12 @@ class JobManager:
         with self._lock:
             self._closed = True
             records = list(self._jobs.values())
+        _log.info(
+            "manager shutdown",
+            extra={"fields": {
+                "jobs": len(records), "cancel_pending": cancel_pending,
+            }},
+        )
         if cancel_pending:
             for record in records:
                 JobHandle(record).cancel()

@@ -122,6 +122,73 @@ class TestConcurrentPut:
         assert len(list(tmp_path.glob("*.json"))) == 1
 
 
+class TestStats:
+    def test_memory_tier_tallies(self):
+        cache = ResultCache()
+        result = _result()
+        assert cache.get(result.key) is None
+        cache.put(result.key, result)
+        assert cache.get(result.key) is not None
+        stats = cache.stats()
+        assert stats["memory_hits"] == 1
+        assert stats["memory_misses"] == 1
+        assert stats["writes"] == 1
+        assert stats["disk_hits"] == stats["disk_misses"] == 0
+        assert stats["evictions"] == 0
+
+    def test_disk_tier_tallies(self, tmp_path):
+        result = _result()
+        ResultCache(tmp_path / "cache").put(result.key, result)
+        reopened = ResultCache(tmp_path / "cache")
+        assert reopened.get("0" * 64) is None  # disk miss
+        assert reopened.get(result.key) is not None  # disk hit
+        assert reopened.get(result.key) is not None  # now a memory hit
+        stats = reopened.stats()
+        assert stats["memory_misses"] == 2
+        assert stats["disk_misses"] == 1
+        assert stats["disk_hits"] == 1
+        assert stats["memory_hits"] == 1
+        # The invariant the docstring states for disk-backed caches.
+        assert (
+            stats["disk_hits"] + stats["disk_misses"] == stats["memory_misses"]
+        )
+
+    def test_rejected_put_not_counted_as_write(self):
+        cache = ResultCache()
+        failed = _result(error="MappingError: nope")
+        cache.put(failed.key, failed)
+        assert cache.stats()["writes"] == 0
+
+    def test_evictions_counted(self):
+        cache = ResultCache(max_memory=1)
+        cache.put("a" * 64, _result(key="a" * 64))
+        cache.put("b" * 64, _result(key="b" * 64))
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear_keeps_stats(self):
+        cache = ResultCache()
+        result = _result()
+        cache.put(result.key, result)
+        cache.clear()
+        assert cache.stats()["writes"] == 1
+
+    def test_stats_snapshot_is_detached(self):
+        cache = ResultCache()
+        snapshot = cache.stats()
+        snapshot["writes"] = 99
+        assert cache.stats()["writes"] == 0
+
+    def test_threaded_lookups_never_lose_a_tick(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultCache()
+        result = _result()
+        cache.put(result.key, result)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: cache.get(result.key), range(400)))
+        assert cache.stats()["memory_hits"] == 400
+
+
 class TestBoundedMemory:
     def _row(self, budget):
         from repro.core.results import Scheme

@@ -1,0 +1,25 @@
+"""Observability tests share one invariant: leave the process off again.
+
+Tracing, metrics, and logging are process-wide opt-ins; every test here
+that flips one on must not leak it into later tests (or into the rest of
+the suite, which asserts no-op defaults in places).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import reset_logging, reset_metrics, reset_tracing
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    # Before as well as after: a server booted by an earlier test module
+    # enables metrics process-wide, and these tests assert the defaults.
+    reset_tracing()
+    reset_metrics()
+    reset_logging()
+    yield
+    reset_tracing()
+    reset_metrics()
+    reset_logging()

@@ -1,0 +1,97 @@
+"""Structured logging: formats, idempotent setup, the env default."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import get_logger, reset_logging, setup_logging
+from repro.obs.log import ENV_VAR, parse_level
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("serve.http").name == "repro.serve.http"
+
+    def test_silent_by_default(self, capsys):
+        get_logger("quiet").info("nothing to see")
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+
+class TestSetup:
+    def test_human_format_line(self):
+        stream = io.StringIO()
+        setup_logging(level="info", stream=stream)
+        get_logger("unit").info(
+            "request", extra={"fields": {"status": 200, "path": "/healthz"}}
+        )
+        line = stream.getvalue().strip()
+        assert " info repro.unit request " in line
+        assert line.endswith("path=/healthz status=200")
+
+    def test_json_format_line(self):
+        stream = io.StringIO()
+        setup_logging(level="info", json_format=True, stream=stream)
+        get_logger("unit").info(
+            "request", extra={"fields": {"status": 200}}
+        )
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.unit"
+        assert payload["msg"] == "request"
+        assert payload["status"] == 200
+        assert isinstance(payload["ts"], float)
+
+    def test_level_threshold(self):
+        stream = io.StringIO()
+        setup_logging(level="warning", stream=stream)
+        get_logger("unit").info("dropped")
+        get_logger("unit").warning("kept")
+        assert "dropped" not in stream.getvalue()
+        assert "kept" in stream.getvalue()
+
+    def test_reconfiguration_replaces_not_stacks(self):
+        first, second = io.StringIO(), io.StringIO()
+        setup_logging(level="info", stream=first)
+        setup_logging(level="info", stream=second)
+        get_logger("unit").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_env_var_sets_default_level(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "debug")
+        stream = io.StringIO()
+        setup_logging(stream=stream)
+        get_logger("unit").debug("visible")
+        assert "visible" in stream.getvalue()
+
+    def test_exception_is_appended(self):
+        stream = io.StringIO()
+        setup_logging(level="error", stream=stream)
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("unit").exception("failed")
+        assert "ValueError: boom" in stream.getvalue()
+
+    def test_reset_silences_again(self, capsys):
+        stream = io.StringIO()
+        setup_logging(level="info", stream=stream)
+        reset_logging()
+        get_logger("unit").info("after reset")
+        assert "after reset" not in stream.getvalue()
+        captured = capsys.readouterr()
+        assert captured.err == ""
+
+
+class TestParseLevel:
+    def test_known_levels(self):
+        assert parse_level("info") == logging.INFO
+        assert parse_level(" DEBUG ") == logging.DEBUG
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            parse_level("verbose")

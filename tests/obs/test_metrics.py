@@ -1,0 +1,174 @@
+"""Metrics registry: instruments, concurrency, Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    enable_metrics,
+    get_registry,
+    reset_metrics,
+    set_registry,
+)
+from repro.obs.metrics import _NULL_INSTRUMENT
+from repro.utils.errors import ConfigurationError
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter("c_total", "", labels=("kind",))
+        counter.labels(kind="a").inc()
+        counter.labels(kind="a").inc()
+        counter.labels(kind="b").inc()
+        assert counter.value(kind="a") == 2
+        assert counter.value(kind="b") == 1
+        assert counter.value(kind="never") == 0
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ConfigurationError, match="only go up"):
+            counter.inc(-1)
+
+    def test_wrong_label_set_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "", labels=("kind",))
+        with pytest.raises(ConfigurationError, match="takes labels"):
+            counter.labels(other="x")
+        with pytest.raises(ConfigurationError, match="requires labels"):
+            counter.inc()
+
+    def test_threaded_increments_never_lose_a_tick(self):
+        counter = MetricsRegistry().counter("c_total")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+    def test_set_function_reads_at_scrape_time(self):
+        depth = [0]
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set_function(lambda: depth[0])
+        assert gauge.value() == 0
+        depth[0] = 7
+        assert gauge.value() == 7
+
+    def test_failing_function_renders_nan_not_raises(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set_function(lambda: 1 / 0)
+        assert "g NaN" in registry.render()
+
+
+class TestHistogram:
+    def test_observations(self):
+        histogram = MetricsRegistry().histogram("h_seconds")
+        histogram.observe(0.02)
+        histogram.observe(7.0)
+        assert histogram.observations() == (2, 7.02)
+
+    def test_buckets_render_cumulatively(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds").observe(0.02)
+        registry.histogram("h_seconds").observe(7.0)
+        text = registry.render()
+        # 0.02 lands at le=0.025 and above; 7.0 only from le=10 up.
+        assert 'h_seconds_bucket{le="0.01"} 0' in text
+        assert 'h_seconds_bucket{le="0.025"} 1' in text
+        assert 'h_seconds_bucket{le="5"} 1' in text
+        assert 'h_seconds_bucket{le="10"} 2' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+        assert "h_seconds_count 2" in text
+
+    def test_custom_buckets_sorted_and_required(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 0.1))
+        assert histogram.buckets == (0.1, 1.0)
+        with pytest.raises(ConfigurationError, match="at least one"):
+            MetricsRegistry().histogram("h2", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_one_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_conflicting_redefinition_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name", "", labels=("a",))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("name")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.counter("name", "", labels=("b",))
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ConfigurationError, match="metric name"):
+            registry.counter("ok", "", labels=("bad label",))
+
+    def test_render_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "Things counted.", labels=("kind",)).labels(
+            kind='tri"cky\nvalue'
+        ).inc()
+        registry.gauge("g", "A level.").set(2)
+        text = registry.render()
+        assert "# HELP c_total Things counted.\n# TYPE c_total counter" in text
+        assert 'c_total{kind="tri\\"cky\\nvalue"} 1' in text
+        assert "# TYPE g gauge\ng 2" in text
+        assert text.endswith("\n")
+        assert registry.families() == ["c_total", "g"]
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+class TestProcessSwitch:
+    def test_default_is_null_and_shared(self):
+        assert get_registry() is NULL_REGISTRY
+        registry = get_registry()
+        assert registry.counter("x") is _NULL_INSTRUMENT
+        assert registry.histogram("y").labels(a="b") is _NULL_INSTRUMENT
+        registry.counter("x").inc()  # must be free and silent
+        assert registry.render() == ""
+        assert registry.families() == []
+
+    def test_enable_metrics_is_idempotent(self):
+        first = enable_metrics()
+        assert isinstance(first, MetricsRegistry)
+        assert get_registry() is first
+        assert enable_metrics() is first  # no second registry
+        reset_metrics()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_returns_previous(self):
+        mine = MetricsRegistry()
+        assert set_registry(mine) is NULL_REGISTRY
+        assert isinstance(set_registry(NULL_REGISTRY), MetricsRegistry)
+
+    def test_null_registry_type_is_replaceable(self):
+        assert isinstance(NullRegistry(), NullRegistry)

@@ -1,0 +1,156 @@
+"""Tracer spans: nesting, Chrome export, summaries, the no-op default."""
+
+import json
+import threading
+import time
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    reset_tracing,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestSpans:
+    def test_span_records_name_attrs_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", attrs={"k": "v"}) as span:
+            time.sleep(0.002)
+            span.set("extra", 7)
+        (record,) = tracer.spans()
+        assert record.name == "work"
+        assert record.attrs == {"k": "v", "extra": 7}
+        assert record.duration_s >= 0.002
+        assert record.cpu_s >= 0.0
+
+    def test_nesting_depth_tracks_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["parent"].depth == 0
+        assert by_name["child"].depth == 1
+        assert by_name["sibling"].depth == 1
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert [s.name for s in tracer.spans()] == ["doomed"]
+
+    def test_threads_keep_separate_stacks(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("thread-root"):
+                pass
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The thread's span is a root of its own tid, not a child of main's.
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["thread-root"].depth == 0
+        assert by_name["thread-root"].tid != by_name["main-root"].tid
+
+
+class TestChromeExport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("outer", attrs={"label": "a"}):
+            with tracer.span("inner"):
+                time.sleep(0.001)
+        return tracer
+
+    def test_export_shape(self):
+        payload = self._traced().to_chrome()
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["dur"] >= 0
+            assert "cpu_s" in event["args"]
+
+    def test_nesting_is_time_containment(self):
+        """Viewers rebuild the tree from containment per tid — the inner
+        event must sit inside the outer's [ts, ts+dur] window."""
+        events = {e["name"]: e for e in self._traced().to_chrome()["traceEvents"]}
+        outer, inner = events["outer"], events["inner"]
+        assert outer["tid"] == inner["tid"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1.0
+
+    def test_export_is_deterministic(self):
+        tracer = self._traced()
+        assert tracer.to_chrome() == tracer.to_chrome()
+        assert json.dumps(tracer.to_chrome(), sort_keys=True) == json.dumps(
+            tracer.to_chrome(), sort_keys=True
+        )
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        path = self._traced().write(tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert {e["name"] for e in payload["traceEvents"]} == {"outer", "inner"}
+
+    def test_summary_aggregates_per_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("repeated"):
+                pass
+        summary = tracer.summary()
+        assert summary["repeated"]["count"] == 3
+        assert summary["repeated"]["total_s"] >= summary["repeated"]["max_s"]
+
+
+class TestNullDefault:
+    def test_default_tracer_is_the_null_singleton(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_null_spans_are_one_shared_object(self):
+        first = NULL_TRACER.span("a")
+        second = NULL_TRACER.span("b", attrs={"x": 1})
+        assert first is second is _NULL_SPAN
+        with first as span:
+            span.set("ignored", 1)  # must not raise
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.to_chrome() == {
+            "traceEvents": [], "displayTimeUnit": "ms",
+        }
+        assert NULL_TRACER.summary() == {}
+
+    def test_use_tracer_scopes_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with get_tracer().span("inside"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert [s.name for s in tracer.spans()] == ["inside"]
+
+    def test_use_tracer_restores_on_exception(self):
+        try:
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        assert set_tracer(tracer) is NULL_TRACER
+        assert set_tracer(NULL_TRACER) is tracer
+        reset_tracing()
+        assert get_tracer() is NULL_TRACER
