@@ -308,6 +308,13 @@ def build_parser() -> argparse.ArgumentParser:
              "under this directory (without it they are rejected)",
     )
     serve.add_argument(
+        "--state-dir", metavar="DIR",
+        help="persist jobs and their event logs under this directory; on "
+             "restart, unfinished jobs are recovered and re-run (pair "
+             "with --cache-root so recovered sweeps resume from "
+             "already-solved cells instead of starting over)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true",
         help="shorthand for --log-level debug (per-request wire detail)",
     )
@@ -972,19 +979,31 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import setup_logging
-    from repro.serve import JobManager, create_server
+    from repro.serve import JobManager, JobStore, create_server
 
     level = args.log_level or ("debug" if args.verbose else None)
     setup_logging(level=level, json_format=args.log_json)
-    manager = JobManager(workers=args.workers, max_jobs=args.max_jobs)
+    store = JobStore(args.state_dir) if args.state_dir else None
+    manager = JobManager(
+        workers=args.workers, max_jobs=args.max_jobs, store=store
+    )
     server = create_server(
         manager, host=args.host, port=args.port, verbose=args.verbose,
         cache_root=args.cache_root,
     )
     host, port = server.server_address[:2]
+    durability = (
+        f"; durable state in {args.state_dir}"
+        + (
+            f" ({manager.recovered_jobs} jobs recovered)"
+            if manager.recovered_jobs else ""
+        )
+        if store is not None else ""
+    )
     print(
         f"repro serve: listening on http://{host}:{port} "
-        f"(schema v3; {args.workers} job workers; Ctrl-C to stop)"
+        f"(schema v3; {args.workers} job workers{durability}; "
+        f"Ctrl-C to stop)"
     )
     try:
         server.serve_forever()
@@ -993,7 +1012,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
         server.server_close()
-        manager.shutdown()
+        # With a durable store, leave queued work on disk for the next
+        # boot instead of cancelling it: restart is resume, not reset.
+        manager.shutdown(cancel_pending=store is None)
     return 0
 
 

@@ -44,6 +44,7 @@ STAT_KEYS = (
     "disk_misses",
     "writes",
     "evictions",
+    "corrupt",
 )
 
 
@@ -114,7 +115,8 @@ class ResultCache:
         ``memory_misses`` counts every lookup that fell past the memory
         tier (so for a disk-backed cache, disk hits + disk misses ==
         memory misses); ``writes`` counts accepted :meth:`put` stores;
-        ``evictions`` counts memory-tier LRU drops.
+        ``evictions`` counts memory-tier LRU drops; ``corrupt`` counts
+        disk entries quarantined as unreadable (each also a disk miss).
         """
         with self._lock:
             return dict(self._stats)
@@ -147,6 +149,13 @@ class ResultCache:
 
         Unreadable or schema-incompatible disk entries are treated as
         misses, not errors — a corrupted cache degrades to re-solving.
+        Entries that are actually *corrupt* (truncated JSON from a kill
+        -9 mid-write, an undecodable record) are additionally
+        quarantined: renamed to ``<key>.json.corrupt`` so the defect is
+        preserved for inspection but never re-read, counted under
+        ``stats()["corrupt"]`` and ``repro_cache_corrupt_total``. A
+        missing file or a ``store_version`` from another release is a
+        plain miss — absence and version skew are not corruption.
         """
         with self._lock:
             cached = self._memory.get(key)
@@ -165,14 +174,19 @@ class ResultCache:
         try:
             wrapper = json.loads(path.read_text())
             if not isinstance(wrapper, dict):
-                return self._disk_miss()
+                return self._quarantine(path)
             if wrapper.get("store_version") != STORE_VERSION:
                 return self._disk_miss()
             result = ExplorationResult.from_dict(wrapper["result"])
         except FileNotFoundError:
             return self._disk_miss()
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ReproError):
-            return self._disk_miss()
+        except OSError:
+            return self._disk_miss()  # unreadable, not provably corrupt
+        except (
+            json.JSONDecodeError, UnicodeDecodeError,
+            KeyError, TypeError, ReproError,
+        ):
+            return self._quarantine(path)
         self._count("disk_hits")
         _lookup_counter().labels(tier="disk", outcome="hit").inc()
         self._remember(key, result)
@@ -182,6 +196,25 @@ class ResultCache:
         self._count("disk_misses")
         _lookup_counter().labels(tier="disk", outcome="miss").inc()
         return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Sideline a corrupt entry; the lookup itself is a disk miss.
+
+        ``os.replace`` to ``<name>.corrupt`` (outside the ``*.json`` glob,
+        so it never counts toward ``len(cache)`` and never re-parses) —
+        best-effort, because two threads may race to quarantine the same
+        entry and the loser must not raise.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+        self._count("corrupt")
+        obs_metrics.get_registry().counter(
+            obs_names.CACHE_CORRUPT,
+            "Corrupt/truncated ResultCache disk entries quarantined.",
+        ).inc()
+        return self._disk_miss()
 
     def put(self, key: str, result: ExplorationResult) -> None:
         """Store a successful result under its content address."""
@@ -200,12 +233,18 @@ class ResultCache:
         wrapper = {"store_version": STORE_VERSION, "result": stored.to_dict()}
         # Writer-unique temp name: concurrent threads/processes storing the
         # same key must not collide on one .tmp (the os.replace loser would
-        # otherwise hit FileNotFoundError); last atomic replace wins.
+        # otherwise hit FileNotFoundError); last atomic replace wins. The
+        # fsync before the replace means a crash at any instant leaves
+        # either no entry or a complete one — a half-written entry can
+        # only ever exist under the temp name, which lookups never read.
         tmp_path = path.with_name(
             f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
         try:
-            tmp_path.write_text(json.dumps(wrapper, sort_keys=True, indent=1))
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(wrapper, sort_keys=True, indent=1))
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_path, path)
         except OSError as exc:
             try:

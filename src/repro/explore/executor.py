@@ -16,7 +16,12 @@ multi-start bill from cold seeds) — the reference the sweep benchmark and
 the warm-vs-cold equivalence suite compare against.
 
 Failure containment: a cell that cannot be built or solved becomes an error
-row (``ExplorationResult.error`` set), never a sweep abort. Identical cells
+row (``ExplorationResult.error`` set), never a sweep abort. *Transient*
+failures retry first — :class:`~repro.utils.errors.TransientError` cells
+re-attempt in place (:data:`CELL_RETRY_ATTEMPTS`, exponential backoff) and
+a chain whose pool worker died requeues on a fresh pool
+(:data:`CHAIN_RETRY_ATTEMPTS` rounds) — and only past those budgets is the
+work *quarantined* into error rows, which are never cached. Identical cells
 appearing more than once in a grid are solved once and fanned back out;
 ``SweepResult.fanout_cells`` reports how many rows were served that way.
 """
@@ -27,6 +32,7 @@ import multiprocessing
 import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from functools import lru_cache
 
@@ -35,7 +41,8 @@ from repro.api.requests import OptimizeRequest
 from repro.api.scenario import Scenario, ScenarioWorkload
 from repro.api.service import get_service
 from repro.core.results import Scheme
-from repro.utils.errors import JobCancelled, ReproError
+from repro.serve import faults
+from repro.utils.errors import JobCancelled, ReproError, TransientError
 from repro.workloads.workload import Workload
 
 from repro.explore.cache import ResultCache
@@ -46,6 +53,24 @@ from repro.explore.spec import ExplorationPoint, SweepSpec
 from repro.obs import metrics as obs_metrics
 from repro.obs import names as obs_names
 from repro.obs import trace as obs_trace
+
+#: Solve attempts per cell before a transient failure is quarantined as
+#: an error row. Permanent failures (bad input, infeasible problem) never
+#: retry — only :class:`~repro.utils.errors.TransientError` does.
+CELL_RETRY_ATTEMPTS = 3
+
+#: Base of the per-cell retry backoff (``base * 2**(attempt-1)`` seconds).
+CELL_RETRY_BACKOFF_S = 0.05
+
+#: Requeue rounds a chain survives after its pool worker died before its
+#: remaining cells are quarantined as error rows. Worker death takes all
+#: in-flight chains down with it, so attribution is round-grained: every
+#: unfinished chain's counter bumps and the poisoned one exhausts the
+#: budget within this many rounds.
+CHAIN_RETRY_ATTEMPTS = 2
+
+#: Base backoff between pool-rebuild rounds (seconds, exponential).
+POOL_RETRY_BACKOFF_S = 0.25
 
 #: Called after each resolved cell with (done, total, result).
 ProgressCallback = Callable[[int, int, ExplorationResult], None]
@@ -63,7 +88,9 @@ ProgressCallback = Callable[[int, int, ExplorationResult], None]
 #:   ``chains``, ``cells``, ``label``. Inline runs emit ``start``/``done``
 #:   around each chain; pool runs emit ``queued`` at submission (the
 #:   coordinator cannot observe when a worker actually picks a chain up)
-#:   and ``done`` at completion.
+#:   and ``done`` at completion, plus ``requeued`` when a dead pool
+#:   worker forces a chain onto a fresh pool and ``quarantined`` when a
+#:   chain exhausts its requeue budget (its cells become error rows).
 EventCallback = Callable[[dict], None]
 
 
@@ -139,40 +166,70 @@ def solve_point(
     a cell failure and must never be pinned as an error row. ``service``
     is the executing :class:`~repro.api.service.LibraService`; ``None``
     uses the per-process default.
+
+    Transient failures (:class:`~repro.utils.errors.TransientError`, e.g.
+    injected worker faults) are retried in place up to
+    :data:`CELL_RETRY_ATTEMPTS` times with bounded exponential backoff;
+    past the budget the cell is *quarantined* — an error row whose
+    message says so — rather than failing the sweep. Error rows are never
+    cached, so a quarantined cell re-solves on the next run.
     """
-    try:
-        response = (service if service is not None else get_service()).submit(
-            OptimizeRequest(
-                scenario=point_scenario(point),
-                scheme=point.scheme,
-                warm_start=warm_start,
-            ),
-            should_stop=should_stop,
-        )
-        optimized = response.point
-        diagnostics = response.diagnostics or {}
-        return ExplorationResult(
-            point=point,
-            key=key,
-            bandwidths_gbps=optimized.bandwidths_gbps(),
-            step_times_ms={
-                name: time * 1e3 for name, time in optimized.step_times.items()
-            },
-            network_cost=optimized.network_cost,
-            speedup_over_equal=response.speedup_over_baseline or 0.0,
-            ppc_gain_over_equal=response.ppc_gain_over_baseline or 0.0,
-            solver_message=optimized.solver_message,
-            solver_starts=int(diagnostics.get("starts", 0)),
-            warm_start=str(diagnostics.get("warm_start", "")),
-        )
-    except JobCancelled:
-        raise
-    except Exception as exc:  # noqa: BLE001 — error containment is the contract
-        return ExplorationResult(
-            point=point,
-            key=key,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+    last_transient: TransientError | None = None
+    for attempt in range(CELL_RETRY_ATTEMPTS):
+        if attempt:
+            time.sleep(CELL_RETRY_BACKOFF_S * 2 ** (attempt - 1))
+            obs_metrics.get_registry().counter(
+                obs_names.JOB_RETRIES,
+                "Transient-failure retries (job requeues and chain requeues).",
+            ).inc()
+        try:
+            faults.fire("worker.solve")
+            response = (
+                service if service is not None else get_service()
+            ).submit(
+                OptimizeRequest(
+                    scenario=point_scenario(point),
+                    scheme=point.scheme,
+                    warm_start=warm_start,
+                ),
+                should_stop=should_stop,
+            )
+            optimized = response.point
+            diagnostics = response.diagnostics or {}
+            return ExplorationResult(
+                point=point,
+                key=key,
+                bandwidths_gbps=optimized.bandwidths_gbps(),
+                step_times_ms={
+                    name: time * 1e3
+                    for name, time in optimized.step_times.items()
+                },
+                network_cost=optimized.network_cost,
+                speedup_over_equal=response.speedup_over_baseline or 0.0,
+                ppc_gain_over_equal=response.ppc_gain_over_baseline or 0.0,
+                solver_message=optimized.solver_message,
+                solver_starts=int(diagnostics.get("starts", 0)),
+                warm_start=str(diagnostics.get("warm_start", "")),
+            )
+        except JobCancelled:
+            raise
+        except TransientError as exc:
+            last_transient = exc
+            continue
+        except Exception as exc:  # noqa: BLE001 — error containment is the contract
+            return ExplorationResult(
+                point=point,
+                key=key,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+    return ExplorationResult(
+        point=point,
+        key=key,
+        error=(
+            f"quarantined after {CELL_RETRY_ATTEMPTS} transient failures: "
+            f"{type(last_transient).__name__}: {last_transient}"
+        ),
+    )
 
 
 def _iter_chain(
@@ -500,41 +557,101 @@ def _run_sweep_impl(
             }
         else:
             pool_kwargs = {}
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chains)), **pool_kwargs
-        ) as pool:
-            futures = {
-                pool.submit(_solve_chain, chain, continuation, seed): index
-                for index, (chain, seed) in enumerate(zip(chains, warm_seeds))
-            }
-            for index in range(len(chains)):
-                emit(chain_event("queued", index))
-            remaining = set(futures)
-            cancelled = False
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    for key, result in future.result():
-                        install(key, result)
-                    emit(chain_event("done", futures[future]))
-                if (
-                    not cancelled
-                    and remaining  # a finished sweep is never "cancelled"
-                    and should_stop is not None
-                    and should_stop()
-                ):
-                    # Predicates do not cross process boundaries, so pool
-                    # cancellation is chain-grained: unstarted chains are
-                    # withdrawn, running ones drain normally (their rows
-                    # still install and cache), then the sweep raises.
-                    cancelled = True
-                    remaining = {
-                        future for future in remaining if not future.cancel()
-                    }
-            if cancelled:
-                raise JobCancelled(
-                    f"sweep cancelled after {done} of {total} cells"
+        for index in range(len(chains)):
+            emit(chain_event("queued", index))
+        # Chain index -> requeue count. A dead pool worker poisons the
+        # whole pool (BrokenProcessPool on every in-flight future), so
+        # recovery is round-grained: unfinished chains requeue on a fresh
+        # pool with backoff, and a chain that exhausts its requeue budget
+        # is quarantined — its cells become error rows (never cached) and
+        # the rest of the sweep completes. Attribution is imprecise by
+        # construction (the coordinator cannot see which chain killed the
+        # worker), hence counters on every unfinished chain of a broken
+        # round; an innocent chain pays at most CHAIN_RETRY_ATTEMPTS
+        # requeues before the poisoned one is quarantined with it.
+        todo: dict[int, int] = dict.fromkeys(range(len(chains)), 0)
+        round_index = 0
+        while todo:
+            if round_index:
+                time.sleep(
+                    min(POOL_RETRY_BACKOFF_S * 2 ** (round_index - 1), 5.0)
                 )
+            broken: BrokenProcessPool | None = None
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(todo)), **pool_kwargs
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _solve_chain, chains[index], continuation,
+                        warm_seeds[index],
+                    ): index
+                    for index in sorted(todo)
+                }
+                remaining = set(futures)
+                cancelled = False
+                while remaining:
+                    finished, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        index = futures[future]
+                        try:
+                            rows = future.result()
+                        except BrokenProcessPool as exc:
+                            broken = exc
+                            continue
+                        for key, result in rows:
+                            install(key, result)
+                        emit(chain_event("done", index))
+                        del todo[index]
+                    if broken is not None:
+                        break  # unfinished chains requeue on a fresh pool
+                    if (
+                        not cancelled
+                        and remaining  # a finished sweep is never "cancelled"
+                        and should_stop is not None
+                        and should_stop()
+                    ):
+                        # Predicates do not cross process boundaries, so pool
+                        # cancellation is chain-grained: unstarted chains are
+                        # withdrawn, running ones drain normally (their rows
+                        # still install and cache), then the sweep raises.
+                        cancelled = True
+                        remaining = {
+                            future for future in remaining
+                            if not future.cancel()
+                        }
+                if cancelled:
+                    raise JobCancelled(
+                        f"sweep cancelled after {done} of {total} cells"
+                    )
+            if broken is None:
+                break  # every chain completed; todo is empty
+            survivors: dict[int, int] = {}
+            for index, requeues in sorted(todo.items()):
+                if requeues >= CHAIN_RETRY_ATTEMPTS:
+                    for key, point in chains[index]:
+                        if results[pending[key][0]] is None:
+                            install(key, ExplorationResult(
+                                point=point,
+                                key=key,
+                                error=(
+                                    "quarantined: pool worker died "
+                                    f"{requeues + 1} times while this chain "
+                                    f"was in flight ({broken})"
+                                ),
+                            ))
+                    emit(chain_event("quarantined", index))
+                else:
+                    survivors[index] = requeues + 1
+                    emit(chain_event("requeued", index))
+                    obs_metrics.get_registry().counter(
+                        obs_names.JOB_RETRIES,
+                        "Transient-failure retries (job requeues and "
+                        "chain requeues).",
+                    ).inc()
+            todo = survivors
+            round_index += 1
     solve_s = time.perf_counter() - solve_started
 
     assemble_started = time.perf_counter()

@@ -36,6 +36,8 @@ CACHE_LOOKUPS = "repro_cache_lookups_total"
 CACHE_WRITES = "repro_cache_writes_total"
 #: Counter: memory-tier LRU evictions.
 CACHE_EVICTIONS = "repro_cache_evictions_total"
+#: Counter: corrupt/truncated disk entries quarantined (renamed .corrupt).
+CACHE_CORRUPT = "repro_cache_corrupt_total"
 
 # -- sweep executor (explore/executor.py) ------------------------------------
 #: Counter{status=cached|solved|error}: grid cells resolved.
@@ -57,6 +59,14 @@ JOB_QUEUE_SECONDS = "repro_job_queue_seconds"
 #: Histogram: running → terminal latency.
 JOB_RUN_SECONDS = "repro_job_run_seconds"
 
+# -- durability (serve/store.py, serve/manager.py, explore/executor.py) ------
+#: Counter: unfinished jobs re-enqueued by the startup recovery pass.
+JOBS_RECOVERED = "repro_jobs_recovered_total"
+#: Counter: transient-failure retries (job requeues and chain requeues).
+JOB_RETRIES = "repro_job_retries_total"
+#: Histogram: JobStore fsync latency (event-log batches and records).
+STORE_FSYNC_SECONDS = "repro_store_fsync_seconds"
+
 # -- HTTP front end (serve/http.py) ------------------------------------------
 #: Counter{route, status}: requests served, by normalized route template.
 HTTP_REQUESTS = "repro_http_requests_total"
@@ -66,9 +76,11 @@ HTTP_SECONDS = "repro_http_request_seconds"
 #: Families the obs-smoke CI job requires in a live scrape after it has
 #: run one optimize job and one cache-backed batch job. (Gauges render
 #: even at zero once registered; counters with enum labels appear once
-#: any series fires. ``CACHE_EVICTIONS`` is the one family deliberately
-#: absent: it needs a bounded memory tier to overflow, which no smoke
-#: run does.)
+#: any series fires; the label-free durability families are pre-registered
+#: at server construction so a healthy-but-never-crashed server still
+#: scrapes them at zero. ``CACHE_EVICTIONS`` is the one family
+#: deliberately absent: it needs a bounded memory tier to overflow, which
+#: no smoke run does.)
 REQUIRED_FAMILIES = (
     SOLVER_SOLVES,
     SOLVER_STARTS,
@@ -86,6 +98,10 @@ REQUIRED_FAMILIES = (
     JOB_QUEUE_DEPTH,
     JOB_QUEUE_SECONDS,
     JOB_RUN_SECONDS,
+    JOBS_RECOVERED,
+    JOB_RETRIES,
+    STORE_FSYNC_SECONDS,
+    CACHE_CORRUPT,
     HTTP_REQUESTS,
     HTTP_SECONDS,
 )

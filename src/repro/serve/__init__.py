@@ -19,6 +19,10 @@ Layers, bottom-up:
   (``repro serve``; ``POST /v3/jobs`` etc.).
 * :mod:`repro.serve.client` — :class:`ServeClient`, the stdlib client the
   ``repro submit`` / ``repro jobs`` CLI modes drive.
+* :mod:`repro.serve.store` — :class:`JobStore`, the crash-safe on-disk
+  job store behind ``repro serve --state-dir`` (restart recovery).
+* :mod:`repro.serve.faults` — deterministic fault injection
+  (``REPRO_FAULTS``) the durability tests drive.
 
 In-process, queued, and remote execution accept identical request
 payloads, so the same scenario file drives all three.
@@ -34,6 +38,7 @@ from repro.serve.jobs import (
     job_content_key,
 )
 from repro.serve.manager import JobManager
+from repro.serve.store import JobStore
 from repro.serve.http import ServeServer, create_server
 from repro.serve.client import ServeClient, ServeClientError
 
@@ -44,6 +49,7 @@ __all__ = [
     "JobInfo",
     "JobManager",
     "JobState",
+    "JobStore",
     "ProgressEvent",
     "ServeClient",
     "ServeClientError",

@@ -24,6 +24,7 @@ Typical session::
 from __future__ import annotations
 
 import json
+import random
 import time
 from collections.abc import Iterator, Mapping
 from urllib.error import HTTPError, URLError
@@ -46,10 +47,18 @@ class ServeClientError(ReproError, RuntimeError):
 
     Attributes:
         status: HTTP status code, or 0 for transport-level failures.
+        transient: True for connection-level failures (refused, reset,
+            broken pipe) that a retry against a restarting server can
+            reasonably recover from. Protocol and HTTP-status errors are
+            never transient — the server answered, and will answer the
+            same way again.
     """
 
-    def __init__(self, message: str, status: int = 0):
+    def __init__(
+        self, message: str, status: int = 0, transient: bool = False
+    ):
         self.status = status
+        self.transient = transient
         super().__init__(message)
 
 
@@ -70,13 +79,35 @@ class ServeClient:
         base_url: e.g. ``"http://127.0.0.1:8350"`` (trailing slash ok).
         timeout: Per-connection socket timeout, seconds. Event streams
             use it as the *between-events* bound.
+        retries: How many times an idempotent GET is retried after a
+            transient connection failure (refused/reset), with jittered
+            exponential backoff — enough to ride through a server
+            restart. POSTs and DELETEs are never retried at the
+            transport level: a write whose fate is unknown must surface,
+            not silently repeat.
+        retry_backoff_s: Base backoff before the first retry; doubles
+            each attempt (jittered to half–full of the nominal delay).
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retries: int = 3,
+        retry_backoff_s: float = 0.2,
+    ):
         if "://" not in base_url:
             base_url = "http://" + base_url
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
 
     # -- transport -----------------------------------------------------------
 
@@ -106,17 +137,63 @@ class ServeClient:
                 pass
             raise ServeClientError(detail, status=exc.code) from exc
         except URLError as exc:
+            reason = getattr(exc, "reason", None)
             raise ServeClientError(
-                f"cannot reach {self.base_url}: {exc.reason}"
+                f"cannot reach {self.base_url}: {exc.reason}",
+                transient=isinstance(reason, ConnectionError),
             ) from exc
 
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Jittered exponential backoff before retry ``attempt`` (0-based).
+
+        Jitter spans half to full of the nominal delay so a crowd of
+        clients reconnecting to a restarted server does not arrive in
+        lockstep.
+        """
+        nominal = self.retry_backoff_s * (2 ** attempt)
+        time.sleep(min(nominal, 10.0) * random.uniform(0.5, 1.0))
+
+    def _open_get(self, path: str):
+        """``_open("GET", ...)``, retried across transient failures.
+
+        Safe precisely because GETs are idempotent: repeating one cannot
+        duplicate a submission or a cancellation.
+        """
+        for attempt in range(self.retries + 1):
+            try:
+                return self._open("GET", path)
+            except ServeClientError as exc:
+                if not exc.transient or attempt >= self.retries:
+                    raise
+            self._backoff_sleep(attempt)
+        raise AssertionError("unreachable")
+
     def _call(self, method: str, path: str, payload: Mapping | None = None) -> dict:
+        attempts = self.retries + 1 if method == "GET" else 1
+        for attempt in range(attempts):
+            try:
+                return self._call_once(method, path, payload)
+            except ServeClientError as exc:
+                if not exc.transient or attempt + 1 >= attempts:
+                    raise
+            self._backoff_sleep(attempt)
+        raise AssertionError("unreachable")
+
+    def _call_once(
+        self, method: str, path: str, payload: Mapping | None = None
+    ) -> dict:
         with self._open(method, path, payload) as response:
             try:
                 parsed = json.load(response)
             except json.JSONDecodeError as exc:
                 raise ServeClientError(
                     f"{method} {path}: server sent invalid JSON: {exc}"
+                ) from exc
+            except OSError as exc:
+                # The connection dropped mid-body (server restart, reset).
+                raise ServeClientError(
+                    f"{method} {path}: connection lost mid-response: {exc}",
+                    transient=isinstance(exc, ConnectionError),
                 ) from exc
         if not isinstance(parsed, dict):
             raise ServeClientError(
@@ -167,7 +244,7 @@ class ServeClient:
         suffix = f"/v3/jobs/{job_id}/events?after={int(after)}"
         if follow:
             suffix += "&follow=1"
-        with self._open("GET", suffix) as response:
+        with self._open_get(suffix) as response:
             while True:
                 try:
                     line = response.readline()
@@ -198,17 +275,25 @@ class ServeClient:
         after: int = 0,
         on_event=None,
     ) -> None:
-        """Stream a job's events until it is terminal, surviving stalls.
+        """Stream a job's events until it is terminal, surviving stalls
+        and server restarts.
 
         The one place the quiet-long-solve policy lives: when the follow
         stream outlives the between-events socket timeout
         (:class:`ServeStreamStalled`), the job's state is checked and the
-        stream resumes from the last seen sequence number. Protocol
+        stream resumes from the last seen sequence number. With a durable
+        server (``repro serve --state-dir``) the same resume-from-cursor
+        logic rides through a crash and restart: transient connection
+        failures back off and reconnect (each already GET-retried at the
+        transport layer) until the retry budget is spent. Protocol
         faults propagate. ``on_event`` receives each
-        :class:`ProgressEvent` exactly once.
+        :class:`ProgressEvent` exactly once — the durable event log
+        replays with the same sequence numbers across restarts, so the
+        cursor never re-delivers or skips.
         """
         cursor = max(0, after)
         fruitless = 0
+        reconnects = 0
         while True:
             progressed = False
             try:
@@ -228,6 +313,25 @@ class ServeClient:
                 # Fall through to the fruitless counter: the server
                 # heartbeats quiet follow streams, so a genuine client
                 # timeout means the stream (not the solve) is wedged.
+            except ServeClientError as exc:
+                if not exc.transient:
+                    raise
+                # The connection died and transport-level GET retries are
+                # exhausted — the server is down or mid-restart. Grant a
+                # second-tier budget of reconnect rounds (reset by any
+                # progress) before giving up for good.
+                reconnects += 1
+                if reconnects > self.retries:
+                    raise ServeClientError(
+                        f"lost the server while following job {job_id} "
+                        f"and could not reconnect after {reconnects} "
+                        f"rounds: {exc}",
+                        transient=True,
+                    ) from exc
+                self._backoff_sleep(reconnects - 1)
+                continue
+            if progressed:
+                reconnects = 0
             fruitless = 0 if progressed else fruitless + 1
             if fruitless >= 3:
                 raise ServeClientError(

@@ -53,6 +53,7 @@ from repro.obs import get_logger
 from repro.obs import metrics as obs_metrics
 from repro.obs import names as obs_names
 from repro.serve.manager import JobManager
+from repro.serve.store import register_durability_families
 from repro.utils.errors import ReproError
 
 _log = get_logger("serve.http")
@@ -213,6 +214,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "queue_depth": counts["queued"],
                 "active_jobs": counts["running"],
                 "terminal_jobs": terminal,
+                "recovered_jobs": getattr(self.manager, "recovered_jobs", 0),
                 "jobs": counts,
             })
             return
@@ -413,7 +415,12 @@ class ServeServer(ThreadingHTTPServer):
             None if cache_root is None else Path(cache_root).resolve()
         )
         self.started_at = time.time()
-        manager.register_gauges(obs_metrics.enable_metrics())
+        registry = obs_metrics.enable_metrics()
+        manager.register_gauges(registry)
+        # Durability families fire rarely (recovery, retries, fsyncs);
+        # pre-registering renders them at zero so scrapes and the
+        # obs-smoke assertion see the full table on a healthy server.
+        register_durability_families(registry)
 
 
 def create_server(

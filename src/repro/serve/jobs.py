@@ -8,9 +8,12 @@ A *job* is one queued request (optimize or batch) with a typed lifecycle::
 
 Transitions only ever move rightward (enforced by
 :meth:`JobRecord.transition`); ``done`` / ``failed`` / ``cancelled`` are
-terminal. Every transition appends a ``"state"``
-:class:`~repro.serve.events.ProgressEvent`, so the event stream alone
-reconstructs the whole lifecycle.
+terminal. The one deliberate exception is :meth:`JobRecord.requeue` —
+``running → queued`` — used exactly twice: by crash recovery (a job that
+was mid-flight when the process died) and by the transient-failure retry
+path. Every transition appends a ``"state"``
+:class:`~repro.serve.events.ProgressEvent` (requeues carry a ``reason``),
+so the event stream alone reconstructs the whole lifecycle.
 
 Job ids are **content-derived**: the canonical digest of the request's v3
 envelope (:func:`repro.api.requests.request_to_dict`). Two submissions of
@@ -132,6 +135,13 @@ class JobRecord:
     :meth:`set_result` while holding :attr:`cond` — waiters
     (:meth:`JobHandle.result`, event streams, the HTTP front end) block on
     the same condition, so every append wakes them exactly once.
+
+    ``sink``, when given, receives ``(record, event)`` for every emitted
+    event *before* waiters wake — the persistence seam: the manager's
+    store sink appends the event (and, on state events, the record) to
+    the durable store, so anything a waiter ever observed is at least as
+    persistent as the fsync policy promises. Sink failures are the
+    sink's problem to contain; they must not raise into ``emit``.
     """
 
     def __init__(
@@ -139,6 +149,7 @@ class JobRecord:
         job_id: str,
         request: OptimizeRequest | BatchRequest,
         content_key: str,
+        sink=None,
     ):
         self.id = job_id
         self.request = request
@@ -152,12 +163,60 @@ class JobRecord:
         self.result: OptimizeResponse | BatchResponse | None = None
         self.events: list[ProgressEvent] = []
         self.next_seq = 0  # total events ever emitted (ring may drop old)
+        self.attempts = 0  # transient-failure requeues so far
+        self.sink = sink
         self.cancel_requested = threading.Event()
         self.cond = threading.Condition()
         # The record owns its whole event stream, including the initial
         # queued event — one owner for the state-event shape.
         with self.cond:
             self.emit("state", {"state": self.state.value})
+
+    @classmethod
+    def restore(
+        cls,
+        job_id: str,
+        request: OptimizeRequest | BatchRequest,
+        content_key: str,
+        *,
+        state: JobState,
+        created_at: float,
+        started_at: float | None,
+        finished_at: float | None,
+        error: str,
+        result: OptimizeResponse | BatchResponse | None,
+        events: list[ProgressEvent],
+        attempts: int = 0,
+        sink=None,
+    ) -> "JobRecord":
+        """Rebuild a record from durable state without emitting anything.
+
+        The recovery path's constructor: the replayed events *are* the
+        history, so no fresh queued event is emitted (that would double
+        seq 0). ``next_seq`` continues from the replayed log — the log,
+        not any persisted counter, is the truth about what a client could
+        have seen; events lost past the last fsync simply never happened.
+        Only the newest :data:`EVENT_LOG_LIMIT` events stay in memory
+        (same ring bound as a live record).
+        """
+        record = cls.__new__(cls)
+        record.id = job_id
+        record.request = request
+        record.kind = request_kind(request)
+        record.content_key = content_key
+        record.state = state
+        record.created_at = created_at
+        record.started_at = started_at
+        record.finished_at = finished_at
+        record.error = error
+        record.result = result
+        record.events = events[-EVENT_LOG_LIMIT:]
+        record.next_seq = events[-1].seq + 1 if events else 0
+        record.attempts = attempts
+        record.sink = sink
+        record.cancel_requested = threading.Event()
+        record.cond = threading.Condition()
+        return record
 
     @property
     def events_base(self) -> int:
@@ -184,6 +243,10 @@ class JobRecord:
         overflow = len(self.events) - EVENT_LOG_LIMIT
         if overflow > 0:
             del self.events[:overflow]
+        if self.sink is not None:
+            # Persist before waking waiters: nothing becomes observable
+            # until the durable store has (at least batched) the event.
+            self.sink(self, event)
         self.cond.notify_all()
         return event
 
@@ -210,6 +273,25 @@ class JobRecord:
             data["error"] = error
         self.emit("state", data)
 
+    def requeue(self, reason: str) -> None:
+        """Move a non-terminal job back to ``queued`` — the one leftward edge.
+
+        Used by crash recovery (the process died while this job was
+        queued or running) and by transient-failure retry; ``reason``
+        lands in the state event's data so the stream explains the loop.
+        Kept out of :data:`_TRANSITIONS` deliberately: the relation stays
+        rightward-only and this documented exception stays greppable.
+        Caller holds ``cond``. Requeueing a terminal job raises.
+        """
+        if self.state in TERMINAL_STATES:
+            raise ConfigurationError(
+                f"job {self.id}: cannot requeue from terminal state "
+                f"{self.state.value}"
+            )
+        self.state = JobState.QUEUED
+        self.started_at = None
+        self.emit("state", {"state": self.state.value, "reason": reason})
+
     # -- snapshots -----------------------------------------------------------
 
     def info(self, include_result: bool = True) -> "JobInfo":
@@ -229,6 +311,8 @@ class JobRecord:
                 metrics["total_s"] = round(
                     self.finished_at - self.created_at, 6
                 )
+            if self.attempts:
+                metrics["attempts"] = self.attempts
             return JobInfo(
                 id=self.id,
                 kind=self.kind,
@@ -264,7 +348,9 @@ class JobInfo:
             (``None`` otherwise, and in list summaries).
         metrics: Lifecycle latencies derived from the timestamps —
             ``queue_s`` (submit → running) once started, plus ``run_s``
-            and ``total_s`` once terminal. ``None`` while queued.
+            and ``total_s`` once terminal, and ``attempts`` when the job
+            was ever requeued after a transient failure. ``None`` while
+            queued.
     """
 
     id: str

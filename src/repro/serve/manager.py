@@ -33,13 +33,23 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.api.requests import BatchRequest, OptimizeRequest
+from repro.api.requests import (
+    BatchRequest,
+    BatchResponse,
+    OptimizeRequest,
+    OptimizeResponse,
+    request_from_dict,
+    request_to_dict,
+)
 from repro.api.service import LibraService
 from repro.obs import get_logger
 from repro.obs import metrics as obs_metrics
 from repro.obs import names as obs_names
 from repro.obs import trace as obs_trace
+from repro.serve import faults
+from repro.serve.events import ProgressEvent
 from repro.serve.jobs import (
     TERMINAL_STATES,
     JobHandle,
@@ -47,10 +57,32 @@ from repro.serve.jobs import (
     JobState,
     derive_job_id,
     job_content_key,
+    resolve_state,
 )
-from repro.utils.errors import ConfigurationError, JobCancelled
+from repro.serve.store import STORE_VERSION, JobStore
+from repro.utils.errors import (
+    ConfigurationError,
+    JobCancelled,
+    ReproError,
+    TransientError,
+)
 
 _log = get_logger("serve.manager")
+
+#: Cap on the exponential retry backoff (seconds).
+MAX_RETRY_BACKOFF_S = 30.0
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Should this job failure be retried rather than recorded?
+
+    :class:`~repro.utils.errors.TransientError` is the opt-in taxonomy
+    (fault injection and future resource-pressure signals);
+    ``BrokenProcessPool`` escaping the sweep executor's own chain-requeue
+    bound means every in-process retry already failed, so one more
+    job-level attempt on a fresh pool is the last line of defense.
+    """
+    return isinstance(exc, (TransientError, BrokenProcessPool))
 
 
 class JobManager:
@@ -71,6 +103,18 @@ class JobManager:
             grace window, a burst of other submissions could evict the
             finished job between those two steps and turn its success
             into a 404.
+        store: Optional :class:`~repro.serve.store.JobStore`. With one,
+            every job persists (record + event log) and construction runs
+            a recovery pass: persisted jobs re-enter the table, and those
+            that were queued/running at crash time are requeued — batch
+            jobs then resume from their cached cells. Eviction deletes
+            the job's durable state along with its table entry.
+        max_retries: Job-level requeues after *transient* failures
+            (injected faults, pool collapse) before the job fails for
+            real. Permanent errors never retry.
+        retry_backoff_s: Base of the bounded exponential backoff between
+            job retries (``base * 2**(attempt-1)``, capped at
+            :data:`MAX_RETRY_BACKOFF_S`).
     """
 
     def __init__(
@@ -79,6 +123,9 @@ class JobManager:
         workers: int = 2,
         max_jobs: int = 256,
         evict_grace_s: float = 60.0,
+        store: JobStore | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.25,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -88,16 +135,32 @@ class JobManager:
             raise ConfigurationError(
                 f"evict_grace_s must be >= 0, got {evict_grace_s}"
             )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self._evict_grace_s = evict_grace_s
         self.service = service if service is not None else LibraService()
         self._max_jobs = max_jobs
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._store = store
+        self._sink = self._store_sink if store is not None else None
+        self.recovered_jobs = 0
         self._lock = threading.Lock()
         self._jobs: OrderedDict[str, JobRecord] = OrderedDict()
         self._closed = False
+        self._retry_timers: set[threading.Timer] = set()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
         self.register_gauges(obs_metrics.get_registry())
+        if store is not None:
+            self._recover()
 
     def register_gauges(self, registry) -> None:
         """Point the live-depth gauges at this manager.
@@ -126,6 +189,132 @@ class JobManager:
             with record.cond:
                 tallies[record.state.value] += 1
         return tallies
+
+    # -- persistence & recovery ----------------------------------------------
+
+    def _record_payload(self, record: JobRecord) -> dict:
+        """The durable envelope for one job (``record.json``'s content)."""
+        return {
+            "store_version": STORE_VERSION,
+            "job": record.info().to_dict()["job"],
+            "request": request_to_dict(record.request),
+            "content_key": record.content_key,
+            "attempts": record.attempts,
+        }
+
+    def _store_sink(self, record: JobRecord, event: ProgressEvent) -> None:
+        """Per-event persistence (the :class:`JobRecord` sink).
+
+        Event first, then (on state events) the record — so the log is
+        never behind the record a crash leaves on disk. State events
+        fsync through; progress events ride the store's batch window.
+        Persistence failure is contained: the in-memory job keeps
+        running (availability over durability) and the fault is logged —
+        a full disk must degrade the server to PR 5 behavior, not kill
+        every job mid-solve.
+        """
+        try:
+            self._store.append_event(
+                record.id, event.to_dict(), durable=event.kind == "state"
+            )
+            if event.kind == "state":
+                self._store.save_record(record.id, self._record_payload(record))
+        except (ReproError, OSError) as exc:
+            _log.error(
+                "job persistence failed; continuing in memory",
+                extra={"fields": {
+                    "job": record.id, "seq": event.seq,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }},
+            )
+
+    def _recover(self) -> None:
+        """Reload persisted jobs; requeue the ones the crash interrupted.
+
+        Runs once, from the constructor, before any new submission can
+        race it. Terminal jobs re-enter the table read-only (their
+        results keep answering ``GET /v3/jobs/{id}``); queued/running
+        jobs requeue with a ``recovered`` reason — their attempt counter
+        survives, so a job that keeps crashing the server still exhausts
+        its retry budget instead of looping forever. Unreadable records
+        are logged and skipped, never fatal: recovery must not be able
+        to prevent the server from starting.
+        """
+        requeued = 0
+        restored = 0
+        for stored in self._store.load():
+            try:
+                record = self._restore_record(stored)
+            except ReproError as exc:
+                _log.warning(
+                    "skipping unrecoverable persisted job",
+                    extra={"fields": {
+                        "job": stored.job_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }},
+                )
+                continue
+            self._jobs[record.id] = record
+            restored += 1
+            if record.state in TERMINAL_STATES:
+                continue
+            with record.cond:
+                record.requeue("recovered after restart")
+            self._pool.submit(self._run, record)
+            requeued += 1
+            obs_metrics.get_registry().counter(
+                obs_names.JOBS_RECOVERED,
+                "Unfinished jobs re-enqueued by the startup recovery pass.",
+            ).inc()
+        self.recovered_jobs = requeued
+        if restored:
+            _log.info(
+                "recovery pass complete",
+                extra={"fields": {
+                    "restored": restored, "requeued": requeued,
+                }},
+            )
+
+    def _restore_record(self, stored) -> JobRecord:
+        """One persisted job back into a live record (sink reattached)."""
+        payload = stored.record
+        try:
+            job = payload["job"]
+            request = request_from_dict(payload["request"])
+            state = resolve_state(job["state"])
+            started = job.get("started_at")
+            finished = job.get("finished_at")
+            result_payload = job.get("result")
+            result: OptimizeResponse | BatchResponse | None = None
+            if result_payload is not None:
+                result = (
+                    BatchResponse.from_dict(result_payload)
+                    if job.get("kind") == "batch"
+                    else OptimizeResponse.from_dict(result_payload)
+                )
+            events = [
+                ProgressEvent.from_dict(event) for event in stored.events
+            ]
+            return JobRecord.restore(
+                stored.job_id,
+                request,
+                str(payload.get("content_key", "")) or job_content_key(request),
+                state=state,
+                created_at=float(job["created_at"]),
+                started_at=None if started is None else float(started),
+                finished_at=None if finished is None else float(finished),
+                error=str(job.get("error", "")),
+                result=result,
+                events=events,
+                attempts=int(payload.get("attempts", 0)),
+                sink=self._sink,
+            )
+        except ReproError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed persisted job record: {exc}"
+            ) from exc
 
     # -- submission ----------------------------------------------------------
 
@@ -169,7 +358,10 @@ class JobManager:
                 rerun += 1
                 job_id = derive_job_id(content_key, rerun)
             self._evict_terminal()
-            record = JobRecord(job_id, request, content_key)  # emits queued
+            # Emits the queued event; with a store the sink persists the
+            # record before submit returns — a crash after the 202 can
+            # never lose an acknowledged job.
+            record = JobRecord(job_id, request, content_key, sink=self._sink)
             self._jobs[job_id] = record
             # Scheduling happens under the manager lock: shutdown() flips
             # _closed under the same lock before it stops the pool, so a
@@ -225,6 +417,11 @@ class JobManager:
                     "--max-jobs"
                 )
             del self._jobs[victim]
+            if self._store is not None:
+                # Durable state follows the table: an evicted job must
+                # not resurrect on the next restart (and the store must
+                # not grow without bound).
+                self._store.delete(victim)
 
     # -- execution -----------------------------------------------------------
 
@@ -259,6 +456,7 @@ class JobManager:
             with obs_trace.get_tracer().span(
                 "job", attrs={"job": record.id, "kind": record.kind}
             ):
+                faults.fire("manager.run")
                 response = self.service.submit(
                     record.request,
                     should_stop=record.cancel_requested.is_set,
@@ -268,6 +466,8 @@ class JobManager:
             with record.cond:
                 record.transition(JobState.CANCELLED, error=str(exc))
         except Exception as exc:  # noqa: BLE001 — job containment contract
+            if self._maybe_retry(record, exc):
+                return  # requeued; terminal accounting happens on the last run
             with record.cond:
                 record.transition(
                     JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
@@ -301,6 +501,74 @@ class JobManager:
             level = _log.info if state is JobState.DONE else _log.warning
             level("job finished", extra={"fields": fields})
 
+    def _maybe_retry(self, record: JobRecord, exc: BaseException) -> bool:
+        """Requeue a transiently failed job with bounded backoff.
+
+        True means the failure was absorbed: the record is back in
+        ``queued`` (attempt counter bumped, retry state event emitted and
+        persisted) and a timer will resubmit it after
+        ``retry_backoff_s * 2**(attempt-1)`` seconds, capped at
+        :data:`MAX_RETRY_BACKOFF_S`. False means the caller should fail
+        the job for real: permanent errors, exhausted budget, or a
+        cancel/shutdown race.
+        """
+        if not _is_transient(exc):
+            return False
+        with record.cond:
+            if (
+                record.state is not JobState.RUNNING
+                or record.cancel_requested.is_set()
+                or record.attempts >= self._max_retries
+            ):
+                return False
+            record.attempts += 1
+            attempt = record.attempts
+            record.requeue(
+                f"retry {attempt}/{self._max_retries} after transient "
+                f"failure: {type(exc).__name__}: {exc}"
+            )
+        obs_metrics.get_registry().counter(
+            obs_names.JOB_RETRIES,
+            "Transient-failure retries (job requeues and chain requeues).",
+        ).inc()
+        delay = min(
+            self._retry_backoff_s * 2 ** (attempt - 1), MAX_RETRY_BACKOFF_S
+        )
+        _log.warning(
+            "job retrying after transient failure",
+            extra={"fields": {
+                "job": record.id, "attempt": attempt,
+                "max_retries": self._max_retries,
+                "backoff_s": round(delay, 3),
+                "error": f"{type(exc).__name__}: {exc}",
+            }},
+        )
+        # A timer, not a sleep: sleeping here would pin a pool slot for
+        # the whole backoff window.
+        timer = threading.Timer(delay, self._resubmit, args=(record,))
+        timer.daemon = True
+        with self._lock:
+            if self._closed:
+                # Shutdown raced the retry; leave the job queued — with a
+                # store the next boot's recovery pass picks it up.
+                return True
+            self._retry_timers.add(timer)
+        timer.start()
+        return True
+
+    def _resubmit(self, record: JobRecord) -> None:
+        """Timer target: put a backed-off job back on the pool."""
+        with self._lock:
+            self._retry_timers = {
+                timer for timer in self._retry_timers if timer.is_alive()
+            }
+            if self._closed:
+                return
+            try:
+                self._pool.submit(self._run, record)
+            except RuntimeError:
+                pass  # interpreter/pool teardown; recovery owns the job now
+
     # -- lookup --------------------------------------------------------------
 
     def get(self, job_id: str) -> JobHandle | None:
@@ -330,10 +598,22 @@ class JobManager:
     # -- shutdown ------------------------------------------------------------
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = True) -> None:
-        """Stop accepting jobs; optionally cancel what has not finished."""
+        """Stop accepting jobs; optionally cancel what has not finished.
+
+        ``cancel_pending=False`` is the durable-restart mode: queued work
+        items are withdrawn from the pool *without* transitioning their
+        jobs (running jobs still drain when ``wait``), so with a store
+        they stay persisted as ``queued`` and the next boot's recovery
+        pass resumes them — a graceful restart must not turn the backlog
+        into a pile of cancellations.
+        """
         with self._lock:
             self._closed = True
             records = list(self._jobs.values())
+            timers = list(self._retry_timers)
+            self._retry_timers.clear()
+        for timer in timers:
+            timer.cancel()
         _log.info(
             "manager shutdown",
             extra={"fields": {
@@ -343,7 +623,9 @@ class JobManager:
         if cancel_pending:
             for record in records:
                 JobHandle(record).cancel()
-        self._pool.shutdown(wait=wait)
+        self._pool.shutdown(wait=wait, cancel_futures=not cancel_pending)
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "JobManager":
         return self

@@ -33,6 +33,20 @@ class OptimizationError(ReproError, RuntimeError):
     """The bandwidth optimizer failed to produce a feasible design point."""
 
 
+class TransientError(ReproError, RuntimeError):
+    """A failure that may succeed if simply tried again.
+
+    The retry taxonomy's root: raising (or deriving from) this marks a
+    failure as *transient* — a dead pool worker, an injected fault, a
+    momentarily unavailable resource — so retry layers (solve-level cell
+    retry in :mod:`repro.explore.executor`, job requeue in
+    :mod:`repro.serve.manager`) re-attempt it with bounded backoff
+    instead of recording it as a permanent error. Anything else (bad
+    input, infeasible problem) stays permanent: retrying a deterministic
+    failure only burns time.
+    """
+
+
 class JobCancelled(ReproError, RuntimeError):
     """A cooperative cancellation checkpoint observed a cancel request.
 

@@ -1,0 +1,111 @@
+"""ResultCache corruption handling: quarantine, never crash, never re-read."""
+
+import json
+
+from repro.core import Scheme
+from repro.explore import ExplorationPoint, ExplorationResult, ResultCache
+from repro.explore.cache import STORE_VERSION
+
+
+def _result(key: str = "k" * 64) -> ExplorationResult:
+    return ExplorationResult(
+        point=ExplorationPoint("Turing-NLG", "RI(3)_RI(2)", 100.0, Scheme.PERF_OPT),
+        key=key,
+        bandwidths_gbps=(80.0, 20.0),
+        step_times_ms={"Turing-NLG": 1480.5},
+        network_cost=6648.0,
+        speedup_over_equal=1.023,
+        ppc_gain_over_equal=2.003,
+    )
+
+
+def _entry_path(cache: ResultCache, key: str):
+    return cache.directory / f"{key}.json"
+
+
+def _seeded(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    result = _result()
+    cache.put(result.key, result)
+    return ResultCache(tmp_path / "cache"), result  # fresh = cold memory
+
+
+class TestQuarantine:
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        cache, result = _seeded(tmp_path)
+        path = _entry_path(cache, result.key)
+        path.write_text(path.read_text()[:25])  # the kill -9 torn write
+        assert cache.get(result.key) is None
+        assert cache.stats()["corrupt"] == 1
+        assert cache.stats()["disk_misses"] == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_non_object_wrapper_is_quarantined(self, tmp_path):
+        cache, result = _seeded(tmp_path)
+        _entry_path(cache, result.key).write_text("[1, 2, 3]")
+        assert cache.get(result.key) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_undecodable_record_is_quarantined(self, tmp_path):
+        cache, result = _seeded(tmp_path)
+        _entry_path(cache, result.key).write_text(json.dumps(
+            {"store_version": STORE_VERSION, "result": {"wrong": "shape"}}
+        ))
+        assert cache.get(result.key) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_quarantined_entry_is_not_re_read(self, tmp_path):
+        cache, result = _seeded(tmp_path)
+        _entry_path(cache, result.key).write_text("{")
+        cache.get(result.key)
+        assert len(cache) == 0  # .corrupt is outside the *.json glob
+        # Second lookup: plain miss (file gone), not another quarantine.
+        assert cache.get(result.key) is None
+        stats = cache.stats()
+        assert stats["corrupt"] == 1
+        assert stats["disk_misses"] == 2
+
+    def test_overwrite_heals_a_quarantined_key(self, tmp_path):
+        cache, result = _seeded(tmp_path)
+        _entry_path(cache, result.key).write_text("{")
+        cache.get(result.key)
+        cache.put(result.key, result)
+        reopened = ResultCache(cache.directory)
+        hit = reopened.get(result.key)
+        assert hit is not None
+        assert hit.to_dict() == reopened.get(result.key).to_dict()
+
+
+class TestPlainMisses:
+    """Absence and version skew are not corruption: no quarantine."""
+
+    def test_version_skew_is_a_plain_miss(self, tmp_path):
+        cache, result = _seeded(tmp_path)
+        path = _entry_path(cache, result.key)
+        wrapper = json.loads(path.read_text())
+        wrapper["store_version"] = STORE_VERSION + 1
+        path.write_text(json.dumps(wrapper))
+        assert cache.get(result.key) is None
+        assert cache.stats()["corrupt"] == 0
+        assert path.exists()  # left in place for the newer release
+
+    def test_missing_file_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("0" * 64) is None
+        assert cache.stats()["corrupt"] == 0
+
+    def test_miss_accounting_invariant_holds(self, tmp_path):
+        # disk hits + disk misses == memory misses, quarantines included.
+        cache, result = _seeded(tmp_path)
+        _entry_path(cache, result.key).write_text("{")
+        cache.get(result.key)       # quarantine -> disk miss
+        cache.get("0" * 64)         # plain miss
+        cache.put(result.key, result)
+        fresh = ResultCache(cache.directory)
+        fresh.get(result.key)       # disk hit
+        for stats in (cache.stats(), fresh.stats()):
+            assert (
+                stats["disk_hits"] + stats["disk_misses"]
+                == stats["memory_misses"]
+            )

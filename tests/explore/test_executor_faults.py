@@ -1,0 +1,101 @@
+"""Executor resilience: cell retry, quarantine, and pool-death recovery."""
+
+import os
+
+import pytest
+
+from repro.core import Scheme
+from repro.explore import ExplorationPoint, run_sweep
+from repro.explore.executor import (
+    CELL_RETRY_ATTEMPTS,
+    CHAIN_RETRY_ATTEMPTS,
+    solve_point,
+)
+from repro.explore.spec import SweepSpec
+from repro.serve import faults
+
+TOPOLOGY = "RI(3)_RI(2)"
+WORKLOAD = "Turing-NLG"
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+def _point(total_bw=100.0):
+    return ExplorationPoint(WORKLOAD, TOPOLOGY, total_bw, Scheme.PERF_OPT)
+
+
+class TestSolvePointRetry:
+    def test_transient_failures_retry_in_place(self):
+        plan = faults.configure(f"raise:worker.solve:{CELL_RETRY_ATTEMPTS - 1}")
+        result = solve_point(_point())
+        assert result.ok, result.error
+        # Every attempt fired the instrumentation point.
+        assert plan._directives["worker.solve"][0].count == CELL_RETRY_ATTEMPTS
+
+    def test_exhausted_budget_quarantines_the_cell(self):
+        faults.configure("raise:worker.solve:99")
+        result = solve_point(_point())
+        assert not result.ok
+        assert "quarantined after" in result.error
+        assert "FaultInjected" in result.error
+
+    def test_quarantined_cells_are_never_cached(self):
+        from repro.explore import ResultCache
+
+        faults.configure("raise:worker.solve:99")
+        result = solve_point(_point(), key="k" * 64)
+        cache = ResultCache()
+        cache.put(result.key, result)
+        assert cache.get(result.key) is None
+
+    def test_permanent_failures_do_not_retry(self):
+        bad = ExplorationPoint(WORKLOAD, "NOPE(9)", 100.0, Scheme.PERF_OPT)
+        result = solve_point(bad)
+        assert not result.ok
+        assert "quarantined" not in result.error  # error row, first try
+
+
+class TestPoolFaults:
+    """Worker-side faults arm through the environment (spawn inherits it)."""
+
+    def _spec(self):
+        # Two topologies -> two chains, the minimum for the pool path.
+        return SweepSpec(
+            workloads=(WORKLOAD,),
+            topologies=(TOPOLOGY, "RI(2)_RI(3)"),
+            bandwidths_gbps=(100.0, 300.0),
+        )
+
+    def test_worker_raise_is_absorbed_inside_the_worker(self):
+        os.environ["REPRO_FAULTS"] = "raise:worker.solve:2"
+        try:
+            sweep = run_sweep(self._spec(), workers=2, mp_context="spawn")
+        finally:
+            del os.environ["REPRO_FAULTS"]
+        assert all(row.ok for row in sweep.results)
+
+    def test_worker_crash_requeues_then_quarantines_chains(self):
+        events = []
+        # Every spawned worker dies at its first solve: each round's pool
+        # breaks, chains requeue with backoff, and after the budget they
+        # quarantine as error rows — the sweep completes, never hangs.
+        os.environ["REPRO_FAULTS"] = "crash:worker.solve:1"
+        try:
+            sweep = run_sweep(
+                self._spec(), workers=2, mp_context="spawn",
+                on_event=events.append,
+            )
+        finally:
+            del os.environ["REPRO_FAULTS"]
+        assert len(sweep.results) == 4
+        assert all(not row.ok for row in sweep.results)
+        assert all("quarantined" in row.error for row in sweep.results)
+        statuses = [e["status"] for e in events if e["type"] == "chain"]
+        assert statuses.count("quarantined") == 2
+        # Each chain requeued its full budget before quarantine.
+        assert statuses.count("requeued") == 2 * CHAIN_RETRY_ATTEMPTS

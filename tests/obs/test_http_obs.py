@@ -57,12 +57,16 @@ def endpoint(_server_bits):
 
     The shared ``_obs_isolation`` fixture resets the process registry
     around every test in this package; the server only opts in at
-    construction, so each test re-enables and re-points the gauges (the
-    same re-registration path the real server uses)."""
+    construction, so each test re-enables and re-points the gauges and
+    durability families (the same re-registration path the real server
+    uses)."""
     from repro.obs import enable_metrics
+    from repro.serve.store import register_durability_families
 
     manager, client = _server_bits
-    manager.register_gauges(enable_metrics())
+    registry = enable_metrics()
+    manager.register_gauges(registry)
+    register_durability_families(registry)
     return client
 
 
@@ -102,6 +106,22 @@ class TestMetricsEndpoint:
         values = _parse_families(text)
         assert values.get(obs_names.JOBS_ACTIVE) == 0
         assert values.get(obs_names.JOB_QUEUE_DEPTH) == 0
+
+    def test_durability_families_render_at_zero(self, endpoint):
+        # Pre-registered at server construction: a healthy server that
+        # never crashed still scrapes explicit zeros for the recovery and
+        # retry ledgers (so dashboards can tell "never" from "missing").
+        _, text = _get(endpoint, "/v3/metrics")
+        values = _parse_families(text)
+        assert values.get(obs_names.JOBS_RECOVERED) == 0
+        assert values.get(obs_names.JOB_RETRIES) == 0
+        assert values.get(obs_names.CACHE_CORRUPT) == 0
+        assert values.get(f"{obs_names.STORE_FSYNC_SECONDS}_count") == 0
+        for family in (
+            obs_names.JOBS_RECOVERED, obs_names.JOB_RETRIES,
+            obs_names.CACHE_CORRUPT, obs_names.STORE_FSYNC_SECONDS,
+        ):
+            assert f"# TYPE {family}" in text
 
 
 class TestHealthz:

@@ -1,0 +1,176 @@
+"""ServeClient resilience: GET retry, transient taxonomy, stream reconnect."""
+
+import socket
+import time
+
+import pytest
+
+from repro.api.requests import RESPONSE_SCHEMA_VERSION
+from repro.serve.client import ServeClient, ServeClientError, ServeStreamStalled
+from repro.serve.events import ProgressEvent
+from repro.serve.jobs import JobInfo, JobState
+from repro.utils.errors import ConfigurationError
+
+
+def _dead_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _client(**kwargs) -> ServeClient:
+    client = ServeClient(
+        f"http://127.0.0.1:{_dead_port()}",
+        timeout=5,
+        retry_backoff_s=0.0,
+        **kwargs,
+    )
+    # Record backoffs instead of sleeping: attempt counting without time.
+    client._sleeps = []
+    client._backoff_sleep = client._sleeps.append
+    return client
+
+
+def _done_info(job_id: str = "job-x") -> JobInfo:
+    return JobInfo(
+        id=job_id, kind="optimize", state=JobState.DONE,
+        created_at=1000.0, started_at=1000.5, finished_at=1001.0,
+    )
+
+
+def _event(seq: int) -> ProgressEvent:
+    return ProgressEvent(
+        seq=seq, job_id="job-x", kind="state", at=1000.0,
+        data={"state": "done"},
+    )
+
+
+class TestTransientClassification:
+    def test_connection_refused_is_transient_and_retried(self):
+        client = _client(retries=2)
+        with pytest.raises(ServeClientError) as err:
+            client.job("job-x")
+        assert err.value.transient
+        assert err.value.status == 0
+        assert client._sleeps == [0, 1]  # two backed-off retries
+
+    def test_http_errors_are_not_transient(self):
+        info = _done_info()
+
+        def fake_open(method, path, payload=None):
+            raise ServeClientError("GET /x -> HTTP 404", status=404)
+
+        client = _client(retries=3)
+        client._open = fake_open
+        with pytest.raises(ServeClientError) as err:
+            client.job(info.id)
+        assert not err.value.transient
+        assert client._sleeps == []  # no retry: the server answered
+
+    def test_posts_are_never_retried(self):
+        client = _client(retries=3)
+        with pytest.raises(ServeClientError) as err:
+            client.submit({"schema_version": RESPONSE_SCHEMA_VERSION})
+        assert err.value.transient
+        assert client._sleeps == []  # a write of unknown fate must surface
+
+    def test_zero_retries_fails_on_first_transient(self):
+        client = _client(retries=0)
+        with pytest.raises(ServeClientError):
+            client.job("job-x")
+        assert client._sleeps == []
+
+    def test_bad_retry_settings_raise(self):
+        with pytest.raises(ConfigurationError):
+            ServeClient("127.0.0.1:1", retries=-1)
+        with pytest.raises(ConfigurationError):
+            ServeClient("127.0.0.1:1", retry_backoff_s=-0.5)
+
+
+class TestGetRetrySucceeds:
+    def test_get_recovers_once_the_server_is_back(self):
+        client = _client(retries=3)
+        calls = {"n": 0}
+
+        def flaky_call_once(method, path, payload=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise ServeClientError("refused", transient=True)
+            return _done_info().to_dict()
+
+        client._call_once = flaky_call_once
+        info = client.job("job-x")
+        assert info.done
+        assert calls["n"] == 3
+        assert client._sleeps == [0, 1]
+
+    def test_jittered_backoff_grows_and_caps(self):
+        client = ServeClient("127.0.0.1:1", retry_backoff_s=0.2)
+        slept = []
+        real_sleep = time.sleep
+        try:
+            time.sleep = slept.append  # noqa: PLW0603 — scoped stub
+            client._backoff_sleep(0)
+            client._backoff_sleep(1)
+            client._backoff_sleep(20)  # nominal 200k s: must cap
+        finally:
+            time.sleep = real_sleep
+        assert 0.1 <= slept[0] <= 0.2
+        assert 0.2 <= slept[1] <= 0.4
+        assert slept[2] <= 10.0
+
+
+class TestFollowReconnect:
+    def test_follow_rides_through_a_restart(self):
+        client = _client(retries=2)
+        attempts = {"n": 0}
+
+        def fake_events(job_id, after=0, follow=False):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                yield _event(after)
+                raise ServeClientError("reset mid-stream", transient=True)
+            yield from (_event(after),)
+
+        client.events = fake_events
+        client.job = lambda job_id: _done_info(job_id)
+        seen = []
+        client.follow_to_completion("job-x", on_event=seen.append)
+        assert [e.seq for e in seen] == [0, 1]  # resumed at the cursor
+        assert attempts["n"] == 2
+        assert client._sleeps == [0]  # one reconnect backoff round
+
+    def test_reconnect_budget_is_bounded(self):
+        client = _client(retries=2)
+
+        def dead_events(job_id, after=0, follow=False):
+            raise ServeClientError("refused", transient=True)
+            yield  # pragma: no cover — generator shape
+
+        client.events = dead_events
+        with pytest.raises(ServeClientError, match="could not reconnect"):
+            client.follow_to_completion("job-x")
+        assert client._sleeps == [0, 1]  # retries rounds, then give up
+
+    def test_non_transient_stream_faults_propagate(self):
+        client = _client(retries=3)
+
+        def broken_events(job_id, after=0, follow=False):
+            raise ServeClientError("malformed event line")
+            yield  # pragma: no cover — generator shape
+
+        client.events = broken_events
+        with pytest.raises(ServeClientError, match="malformed"):
+            client.follow_to_completion("job-x")
+        assert client._sleeps == []
+
+    def test_stall_still_checks_the_job_and_finishes(self):
+        client = _client(retries=2)
+
+        def stalling_events(job_id, after=0, follow=False):
+            raise ServeStreamStalled("quiet too long")
+            yield  # pragma: no cover — generator shape
+
+        client.events = stalling_events
+        client.job = lambda job_id: _done_info(job_id)
+        client.follow_to_completion("job-x")  # returns: job is done
