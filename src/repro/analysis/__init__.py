@@ -1,0 +1,53 @@
+"""Bottleneck-structure analytics over solved design points.
+
+A read-only analysis layer on top of :mod:`repro.core` (it never runs the
+solver and never mutates solver state): given a design point, compute
+*why* it looks the way it does — which constraint rows bind, how the
+water-filling kinks distribute, how far the point sits from the wasteless
+traffic-proportional baseline — and answer cheap what-if perturbations
+through the memoized vector evaluator.
+
+The package depends only on ``core``/``training``/``obs``/``utils``;
+``api`` wires it to the request surface (``AnalyzeRequest``, schema v4)
+and ``serve`` exposes it at ``GET /v3/analyze``.
+"""
+
+from repro.analysis.report import (
+    ANALYSIS_SCHEMA_VERSION,
+    AnalysisReport,
+    build_report,
+    format_report,
+)
+from repro.analysis.structure import (
+    ROW_BINDING_RTOL,
+    BottleneckStructure,
+    ConstraintAttribution,
+    bottleneck_structure,
+    wasteless_baseline,
+)
+from repro.analysis.whatif import (
+    WHATIF_OPS,
+    WhatIfMemo,
+    WhatIfQuery,
+    WhatIfResult,
+    default_queries,
+    evaluate_whatifs,
+)
+
+__all__ = [
+    "ANALYSIS_SCHEMA_VERSION",
+    "AnalysisReport",
+    "BottleneckStructure",
+    "ConstraintAttribution",
+    "ROW_BINDING_RTOL",
+    "WHATIF_OPS",
+    "WhatIfMemo",
+    "WhatIfQuery",
+    "WhatIfResult",
+    "bottleneck_structure",
+    "build_report",
+    "default_queries",
+    "evaluate_whatifs",
+    "format_report",
+    "wasteless_baseline",
+]

@@ -53,6 +53,8 @@ from repro.api.requests import (
     REQUEST_SCHEMA_VERSION,
     RESPONSE_SCHEMA_VERSION,
     WARM_START_AUTO,
+    AnalyzeRequest,
+    AnalyzeResponse,
     BatchRequest,
     BatchResponse,
     OptimizeRequest,
@@ -86,6 +88,8 @@ __all__ = [
     "REQUEST_SCHEMA_VERSION",
     "RESPONSE_SCHEMA_VERSION",
     "WARM_START_AUTO",
+    "AnalyzeRequest",
+    "AnalyzeResponse",
     "BatchRequest",
     "BatchResponse",
     "OptimizeRequest",

@@ -23,6 +23,8 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.analysis.report import AnalysisReport
+from repro.analysis.whatif import WhatIfQuery
 from repro.api.registry import resolve_scheme
 from repro.api.scenario import Scenario
 from repro.core.results import DesignPoint, Scheme
@@ -30,14 +32,16 @@ from repro.utils.errors import ConfigurationError
 
 if TYPE_CHECKING:  # explore sits above the api layer; never import it here
     from repro.explore.records import SweepResult
-    from repro.explore.spec import SweepSpec
+    from repro.explore.spec import ExplorationPoint, SweepSpec
 
 #: Bump when the response payload layout changes incompatibly.
 #: v2: added the ``diagnostics`` object (multi-start / warm-start telemetry).
 #: v3: batch responses carry sweep ``diagnostics`` (fan-out, warm-hit rate,
 #: per-stage timings) and responses may arrive wrapped in a ``job``
-#: envelope (:mod:`repro.serve`). v2 payloads are still readable.
-RESPONSE_SCHEMA_VERSION = 3
+#: envelope (:mod:`repro.serve`). v4: adds the ``analyze`` response shape
+#: (bottleneck-structure reports); optimize/batch layouts are unchanged,
+#: so v2 and v3 payloads are still readable.
+RESPONSE_SCHEMA_VERSION = 4
 
 #: Bump when the request payload layout changes incompatibly.
 #: v1 payloads (no ``schema_version`` field) predate continuation solving
@@ -45,15 +49,18 @@ RESPONSE_SCHEMA_VERSION = 3
 #: v2 payloads (continuation fields, no ``kind`` envelope) up-convert via
 #: :func:`request_from_dict`. v3 adds the typed job envelope
 #: ``{"kind": "optimize"|"batch", "request": {...}}`` so one wire endpoint
-#: (``POST /v3/jobs``) can carry both request shapes.
-REQUEST_SCHEMA_VERSION = 3
+#: (``POST /v3/jobs``) can carry both request shapes. v4 adds the
+#: ``analyze`` kind to the envelope; the optimize/batch layouts are
+#: unchanged, so v3 envelopes up-convert transparently.
+REQUEST_SCHEMA_VERSION = 4
 
 #: Request schema versions :func:`OptimizeRequest.from_dict` still reads.
-_READABLE_REQUEST_VERSIONS = (1, 2, REQUEST_SCHEMA_VERSION)
+_READABLE_REQUEST_VERSIONS = (1, 2, 3, REQUEST_SCHEMA_VERSION)
 
 #: Response schema versions :func:`OptimizeResponse.from_dict` still reads
-#: (the v2 → v3 layout change touched only batch responses).
-_READABLE_RESPONSE_VERSIONS = (2, RESPONSE_SCHEMA_VERSION)
+#: (the v2 → v3 layout change touched only batch responses; v3 → v4 only
+#: added the analyze shape).
+_READABLE_RESPONSE_VERSIONS = (2, 3, RESPONSE_SCHEMA_VERSION)
 
 
 def check_schema_version(
@@ -390,34 +397,220 @@ class BatchResponse:
             ) from exc
 
 
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """Ask *why* a design point looks the way it does (schema v4).
+
+    The target point resolves one of three ways, cheapest first:
+
+    * ``cell`` — a cached sweep cell (:class:`~repro.explore.spec.
+      ExplorationPoint`): the service reads the point from the result
+      cache and **never runs the solver** (a cache miss is an error —
+      analysis is read-only by contract);
+    * ``scenario`` + ``bandwidths_gbps`` — an inline point evaluated
+      directly (no solver);
+    * ``scenario`` alone — the service solves (or serves from its
+      solution memo) under ``scheme`` first, then analyzes the optimum.
+
+    Attributes:
+        scenario: Problem statement for inline/solve targets.
+        cell: Cached sweep cell to analyze (mutually exclusive with
+            ``scenario``).
+        cache_dir: On-disk result cache holding ``cell``; ``None`` uses
+            the service's in-memory batch cache.
+        scheme: Scheme of the analyzed point.
+        bandwidths_gbps: Explicit point to analyze (GB/s) instead of the
+            scheme optimum; requires ``scenario``.
+        queries: What-if perturbations to evaluate; empty runs the
+            deterministic default probe set.
+    """
+
+    scenario: Scenario | None = None
+    cell: "ExplorationPoint | None" = None
+    cache_dir: str | None = None
+    scheme: Scheme = Scheme.PERF_OPT
+    bandwidths_gbps: tuple[float, ...] | None = None
+    queries: tuple[WhatIfQuery, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheme", resolve_scheme(self.scheme))
+        if (self.scenario is None) == (self.cell is None):
+            raise ConfigurationError(
+                "analyze request needs exactly one target: a scenario or "
+                "a cached sweep cell"
+            )
+        if self.bandwidths_gbps is not None:
+            if self.scenario is None:
+                raise ConfigurationError(
+                    "explicit bandwidths_gbps require a scenario target "
+                    "(a cell names its own cached point)"
+                )
+            values = tuple(float(b) for b in self.bandwidths_gbps)
+            if len(values) != self.scenario.network.num_dims:
+                raise ConfigurationError(
+                    f"expected {self.scenario.network.num_dims} bandwidths, "
+                    f"got {len(values)}"
+                )
+            if any(b <= 0 for b in values):
+                raise ConfigurationError(
+                    f"bandwidths must be positive, got {values}"
+                )
+            object.__setattr__(self, "bandwidths_gbps", values)
+        object.__setattr__(self, "queries", tuple(self.queries))
+        for query in self.queries:
+            if not isinstance(query, WhatIfQuery):
+                raise ConfigurationError(
+                    f"queries must be WhatIfQuery values, got "
+                    f"{type(query).__name__}"
+                )
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "schema_version": REQUEST_SCHEMA_VERSION,
+            "scenario": (
+                None if self.scenario is None else self.scenario.to_dict()
+            ),
+            "cell": None if self.cell is None else self.cell.to_dict(),
+            "cache_dir": self.cache_dir,
+            "scheme": self.scheme.value,
+            "bandwidths_gbps": (
+                None if self.bandwidths_gbps is None
+                else list(self.bandwidths_gbps)
+            ),
+            "queries": [query.to_dict() for query in self.queries],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AnalyzeRequest":
+        """Rebuild an analyze request from :meth:`to_dict` output."""
+        from repro.explore.spec import ExplorationPoint
+
+        check_schema_version(
+            payload, _READABLE_REQUEST_VERSIONS, "request",
+            default=REQUEST_SCHEMA_VERSION,
+        )
+        try:
+            scenario = payload.get("scenario")
+            cell = payload.get("cell")
+            cache_dir = payload.get("cache_dir")
+            bandwidths = payload.get("bandwidths_gbps")
+            return cls(
+                scenario=(
+                    None if scenario is None else Scenario.from_dict(scenario)
+                ),
+                cell=(
+                    None if cell is None else ExplorationPoint.from_dict(cell)
+                ),
+                cache_dir=None if cache_dir is None else str(cache_dir),
+                scheme=resolve_scheme(payload.get("scheme", "perf")),
+                bandwidths_gbps=(
+                    None if bandwidths is None
+                    else tuple(float(b) for b in bandwidths)
+                ),
+                queries=tuple(
+                    WhatIfQuery.from_dict(query)
+                    for query in payload.get("queries", ())
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed analyze-request payload: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class AnalyzeResponse:
+    """The answer to one :class:`AnalyzeRequest`.
+
+    Attributes:
+        scenario_key: Content address of the analyzed scenario.
+        scheme: Scheme of the analyzed point.
+        report: The bottleneck-structure + what-if report.
+        source: How the target point was obtained — ``"cache"`` (a cached
+            sweep cell), ``"inline"`` (explicit bandwidths), or
+            ``"solve"`` (the service solved/memo-served the optimum).
+        memo_hit: True when the whole response came from the service's
+            analyze memo (no re-computation at all).
+        diagnostics: What-if memo accounting and resolution telemetry.
+    """
+
+    scenario_key: str
+    scheme: Scheme
+    report: AnalysisReport
+    source: str
+    memo_hit: bool = False
+    diagnostics: dict | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (``json.dumps``-able without custom encoders)."""
+        return {
+            "schema_version": RESPONSE_SCHEMA_VERSION,
+            "scenario_key": self.scenario_key,
+            "scheme": self.scheme.value,
+            "report": self.report.to_dict(),
+            "source": self.source,
+            "memo_hit": self.memo_hit,
+            "diagnostics": (
+                None if self.diagnostics is None else dict(self.diagnostics)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AnalyzeResponse":
+        """Rebuild an analyze response (v4 — the shape's first version)."""
+        check_schema_version(payload, (RESPONSE_SCHEMA_VERSION,), "response")
+        try:
+            diagnostics = payload.get("diagnostics")
+            return cls(
+                scenario_key=str(payload["scenario_key"]),
+                scheme=resolve_scheme(payload["scheme"]),
+                report=AnalysisReport.from_dict(payload["report"]),
+                source=str(payload["source"]),
+                memo_hit=bool(payload.get("memo_hit", False)),
+                diagnostics=None if diagnostics is None else dict(diagnostics),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed analyze-response payload: {exc}"
+            ) from exc
+
+
 # ---------------------------------------------------------------------------
-# The v3 job envelope: one wire shape for both request kinds
+# The job envelope: one wire shape for every request kind
 # ---------------------------------------------------------------------------
 
-#: ``kind`` discriminator values of the v3 request envelope.
-REQUEST_KINDS = ("optimize", "batch")
+#: ``kind`` discriminator values of the request envelope. ``analyze`` is
+#: envelope-only on the wire (a bare analyze payload would sniff as an
+#: optimize request via its ``scenario`` field).
+REQUEST_KINDS = ("optimize", "batch", "analyze")
+
+#: Any request value the service dispatches on.
+ServiceRequest = OptimizeRequest | BatchRequest | AnalyzeRequest
 
 
-def request_kind(request: OptimizeRequest | BatchRequest) -> str:
+def request_kind(request: "ServiceRequest") -> str:
     """The envelope ``kind`` discriminator for a request value."""
     if isinstance(request, BatchRequest):
         return "batch"
+    if isinstance(request, AnalyzeRequest):
+        return "analyze"
     if isinstance(request, OptimizeRequest):
         return "optimize"
     raise ConfigurationError(
         f"unknown request type {type(request).__name__}; expected "
-        "OptimizeRequest or BatchRequest"
+        "OptimizeRequest, BatchRequest, or AnalyzeRequest"
     )
 
 
-def request_to_dict(request: OptimizeRequest | BatchRequest) -> dict:
-    """Wrap a request in the v3 job envelope; inverse of
+def request_to_dict(request: "ServiceRequest") -> dict:
+    """Wrap a request in the job envelope; inverse of
     :func:`request_from_dict`.
 
     The envelope is what ``POST /v3/jobs`` accepts and what job ids are
     derived from::
 
-        {"schema_version": 3, "kind": "optimize", "request": {...}}
+        {"schema_version": 4, "kind": "optimize", "request": {...}}
     """
     return {
         "schema_version": REQUEST_SCHEMA_VERSION,
@@ -426,12 +619,12 @@ def request_to_dict(request: OptimizeRequest | BatchRequest) -> dict:
     }
 
 
-def request_from_dict(payload: Mapping) -> OptimizeRequest | BatchRequest:
+def request_from_dict(payload: Mapping) -> "ServiceRequest":
     """Parse a request payload, enveloped or bare, any readable version.
 
     Three accepted shapes:
 
-    * the v3 envelope (``kind`` + ``request``),
+    * the v3/v4 envelope (``kind`` + ``request``; ``analyze`` requires it),
     * a bare v1/v2/v3 :class:`OptimizeRequest` payload (up-converted — the
       historical wire format, identified by its ``scenario`` field),
     * a bare :class:`BatchRequest` payload (identified by ``spec``).
@@ -457,6 +650,8 @@ def request_from_dict(payload: Mapping) -> OptimizeRequest | BatchRequest:
             )
         if kind == "batch":
             return BatchRequest.from_dict(body)
+        if kind == "analyze":
+            return AnalyzeRequest.from_dict(body)
         return OptimizeRequest.from_dict(body)
     # Bare payloads: v1/v2 optimize requests (and their v3 equivalents)
     # carry a scenario; batch payloads carry a spec.

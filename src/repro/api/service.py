@@ -34,11 +34,21 @@ Typical session::
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Callable
+from dataclasses import replace
 
+from repro.analysis import (
+    WhatIfMemo,
+    bottleneck_structure,
+    build_report,
+    evaluate_whatifs,
+)
 from repro.api.requests import (
     WARM_START_AUTO,
+    AnalyzeRequest,
+    AnalyzeResponse,
     BatchRequest,
     BatchResponse,
     OptimizeRequest,
@@ -53,7 +63,11 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import names as obs_names
 from repro.obs import trace as obs_trace
 from repro.utils.canonical import digest
-from repro.utils.errors import ConfigurationError, OptimizationError
+from repro.utils.errors import (
+    AnalysisCacheMiss,
+    ConfigurationError,
+    OptimizationError,
+)
 from repro.utils.units import gbps
 
 
@@ -71,6 +85,57 @@ def _solution_memo_counter():
         "Solution-memo reads (hit/miss) and writes (store).",
         labels=("outcome",),
     )
+
+
+def _analyze_request_counter():
+    return obs_metrics.get_registry().counter(
+        obs_names.ANALYZE_REQUESTS,
+        "Analyze requests by how the target point resolved.",
+        labels=("source",),
+    )
+
+
+def _analyze_memo_counter():
+    return obs_metrics.get_registry().counter(
+        obs_names.ANALYZE_MEMO,
+        "What-if probes served from a memo instead of re-evaluation.",
+        labels=("layer",),
+    )
+
+
+def _analyze_seconds():
+    return obs_metrics.get_registry().histogram(
+        obs_names.ANALYZE_SECONDS,
+        "Wall time of one analyze request end to end.",
+    )
+
+
+def register_analysis_families(registry) -> None:
+    """Pre-register the analyze families so scrapes show them at zero.
+
+    Same contract as the serve tier's durability families: a server that
+    has not yet analyzed anything still renders all three families, so
+    the obs-smoke assertion can tell "never requested" from "renamed
+    away". Label values are enumerated up front — they are closed sets.
+    """
+    requests = registry.counter(
+        obs_names.ANALYZE_REQUESTS,
+        "Analyze requests by how the target point resolved.",
+        labels=("source",),
+    )
+    for source in ("cache", "inline", "solve"):
+        requests.labels(source=source)
+    memo = registry.counter(
+        obs_names.ANALYZE_MEMO,
+        "What-if probes served from a memo instead of re-evaluation.",
+        labels=("layer",),
+    )
+    for layer in ("service", "whatif"):
+        memo.labels(layer=layer)
+    registry.histogram(
+        obs_names.ANALYZE_SECONDS,
+        "Wall time of one analyze request end to end.",
+    ).labels()
 
 
 def constraint_family_key(constraints: ConstraintSet) -> str:
@@ -109,9 +174,18 @@ class LibraService:
             long-running service's footprint flat.
         max_solutions: Solution-memo capacity (LRU eviction); each entry is
             one bandwidth tuple, so the default is generous.
+        max_analyses: Analyze-memo capacity (LRU eviction): whole analyze
+            responses keyed on the resolved target's content, so repeat
+            what-if sessions against one cached point skip all
+            re-computation.
     """
 
-    def __init__(self, max_compiled: int = 128, max_solutions: int = 1024):
+    def __init__(
+        self,
+        max_compiled: int = 128,
+        max_solutions: int = 1024,
+        max_analyses: int = 1024,
+    ):
         if max_compiled < 1:
             raise ConfigurationError(
                 f"max_compiled must be >= 1, got {max_compiled}"
@@ -120,11 +194,18 @@ class LibraService:
             raise ConfigurationError(
                 f"max_solutions must be >= 1, got {max_solutions}"
             )
+        if max_analyses < 1:
+            raise ConfigurationError(
+                f"max_analyses must be >= 1, got {max_analyses}"
+            )
         self._max_compiled = max_compiled
         self._max_solutions = max_solutions
+        self._max_analyses = max_analyses
         self._lock = threading.Lock()
         self._engines: OrderedDict[str, Libra] = OrderedDict()
         self._solutions: OrderedDict[tuple, tuple[float, ...]] = OrderedDict()
+        self._analyses: OrderedDict[str, AnalyzeResponse] = OrderedDict()
+        self._whatif_memo = WhatIfMemo()
         self._batch_cache = None  # lazy per-service in-memory ResultCache
 
     # -- compilation ---------------------------------------------------------
@@ -172,10 +253,12 @@ class LibraService:
             return len(self._solutions)
 
     def clear(self) -> None:
-        """Drop every memo: engines, prior solutions, the batch cache."""
+        """Drop every memo: engines, solutions, analyses, the batch cache."""
         with self._lock:
             self._engines.clear()
             self._solutions.clear()
+            self._analyses.clear()
+            self._whatif_memo = WhatIfMemo()
             self._batch_cache = None
 
     # -- solution memo -------------------------------------------------------
@@ -219,17 +302,19 @@ class LibraService:
 
     def submit(
         self,
-        request: OptimizeRequest | BatchRequest,
+        request: OptimizeRequest | BatchRequest | AnalyzeRequest,
         *,
         should_stop: Callable[[], bool] | None = None,
         on_event: Callable[[dict], None] | None = None,
-    ) -> OptimizeResponse | BatchResponse:
+    ) -> OptimizeResponse | BatchResponse | AnalyzeResponse:
         """Answer one request.
 
         Dispatches on the request type: single solves, explicit-bandwidth
         evaluations, and EqualBW baselines run through the compiled engine;
         batch requests route through the explore engine and its
-        content-addressed cache.
+        content-addressed cache; analyze requests resolve their target
+        point (cached cell, inline bandwidths, or a fresh solve) and run
+        the read-only bottleneck-structure analysis over it.
 
         Both keyword seams are *runtime* concerns, deliberately not part
         of the (serializable) request value. ``should_stop`` is a
@@ -253,6 +338,8 @@ class LibraService:
             return self._submit_batch(
                 request, should_stop=should_stop, on_event=on_event
             )
+        if kind == "analyze":
+            return self._submit_analyze(request, should_stop=should_stop)
         return self._submit_optimize(
             request, should_stop=should_stop, on_event=on_event
         )
@@ -344,6 +431,125 @@ class LibraService:
                 "constraint set"
             )
         return scenario.constraints.total_bandwidth
+
+    # -- analyze requests ------------------------------------------------------
+
+    def _resolve_analyze_target(
+        self,
+        request: AnalyzeRequest,
+        should_stop: Callable[[], bool] | None,
+    ) -> tuple[Scenario, Scheme, tuple[float, ...], str]:
+        """Resolve (scenario, scheme, bandwidths bytes/s, source) for analysis.
+
+        The cache path **never solves** — analysis of a sweep cell is
+        read-only by contract, so a cache miss is an error telling the
+        caller to run the sweep first, not a silent re-solve.
+        """
+        if request.cell is not None:
+            # Lazy explore imports, same circularity rationale as batch.
+            from repro.explore.cache import ResultCache
+            from repro.explore.executor import point_scenario
+            from repro.explore.keys import point_key
+
+            if request.cache_dir is not None:
+                cache = ResultCache(request.cache_dir)
+            else:
+                with self._lock:
+                    if self._batch_cache is None:
+                        self._batch_cache = ResultCache(max_memory=4096)
+                    cache = self._batch_cache
+            cached = cache.get(point_key(request.cell))
+            if cached is None or not cached.ok:
+                raise AnalysisCacheMiss(
+                    f"sweep cell {request.cell.label()!r} is not in the "
+                    "result cache; analysis is read-only — run the sweep "
+                    "first (repro explore / a batch request), then analyze"
+                )
+            scenario = point_scenario(request.cell)
+            bandwidths = tuple(gbps(b) for b in cached.bandwidths_gbps)
+            return scenario, request.cell.scheme, bandwidths, "cache"
+        scenario = request.scenario
+        if request.bandwidths_gbps is not None:
+            bandwidths = tuple(gbps(b) for b in request.bandwidths_gbps)
+            return scenario, request.scheme, bandwidths, "inline"
+        solved = self._submit_optimize(
+            OptimizeRequest(
+                scenario=scenario,
+                scheme=request.scheme,
+                include_baseline=False,
+            ),
+            should_stop=should_stop,
+        )
+        return scenario, request.scheme, solved.point.bandwidths, "solve"
+
+    def _submit_analyze(
+        self,
+        request: AnalyzeRequest,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> AnalyzeResponse:
+        started = time.perf_counter()
+        tracer = obs_trace.get_tracer()
+        with tracer.span("analyze") as span:
+            scenario, scheme, bandwidths, source = (
+                self._resolve_analyze_target(request, should_stop)
+            )
+            memo_key = digest(
+                {
+                    "engine_key": scenario.engine_key(),
+                    "constraints": (
+                        None if scenario.constraints is None
+                        else scenario.constraints.canonical()
+                    ),
+                    "scheme": scheme.value,
+                    "bandwidths": list(bandwidths),
+                    "queries": [q.to_dict() for q in request.queries],
+                }
+            )
+            with self._lock:
+                memoized = self._analyses.get(memo_key)
+                if memoized is not None:
+                    self._analyses.move_to_end(memo_key)
+            if memoized is not None:
+                _analyze_memo_counter().labels(layer="service").inc()
+                _analyze_request_counter().labels(source=source).inc()
+                _analyze_seconds().observe(time.perf_counter() - started)
+                span.set("memo", "hit")
+                return replace(memoized, source=source, memo_hit=True)
+
+            engine = self.engine(scenario)
+            expression = engine.combined_expression()
+            with tracer.span("analyze.structure"):
+                structure = bottleneck_structure(
+                    expression, bandwidths, scenario.constraints
+                )
+            with tracer.span("analyze.whatif"):
+                whatifs = evaluate_whatifs(
+                    expression,
+                    bandwidths,
+                    request.queries,
+                    memo=self._whatif_memo,
+                    context=f"{scenario.engine_key()}:{scheme.value}",
+                )
+            response = AnalyzeResponse(
+                scenario_key=scenario.key(),
+                scheme=scheme,
+                report=build_report(structure, whatifs, scheme=scheme.value),
+                source=source,
+                memo_hit=False,
+                diagnostics={
+                    "whatif_memo": self._whatif_memo.stats(),
+                    "binding_rows": len(structure.binding_rows()),
+                },
+            )
+            with self._lock:
+                self._analyses[memo_key] = response
+                self._analyses.move_to_end(memo_key)
+                if len(self._analyses) > self._max_analyses:
+                    self._analyses.popitem(last=False)
+            span.set("memo", "miss")
+        _analyze_request_counter().labels(source=source).inc()
+        _analyze_seconds().observe(time.perf_counter() - started)
+        return response
 
     # -- batch requests --------------------------------------------------------
 

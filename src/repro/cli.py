@@ -106,6 +106,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the OptimizeResponse payload as JSON",
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="bottleneck-structure analysis of a design point: binding "
+             "set, transfer gradients, what-if probes",
+    )
+    analyze.add_argument(
+        "--scenario", metavar="FILE",
+        help="scenario JSON file, or - for stdin "
+             "(replaces --topology/--workload/--total-bw)",
+    )
+    _add_target_args(analyze, required=False)
+    analyze.add_argument(
+        "--total-bw", type=float,
+        help="aggregate bandwidth budget per NPU, GB/s "
+             "(required without --scenario)",
+    )
+    analyze.add_argument(
+        "--scheme", choices=sorted(_SCHEMES), default="perf",
+        help="optimization objective (default: perf)",
+    )
+    analyze.add_argument(
+        "--cap", action="append", default=[], metavar="DIM:GBPS",
+        help="cap one dimension's bandwidth, e.g. --cap 3:50 (repeatable)",
+    )
+    analyze.add_argument(
+        "--bandwidths", metavar="GBPS,...",
+        help="analyze this explicit allocation (comma-separated GB/s) "
+             "instead of solving for the optimum",
+    )
+    analyze.add_argument(
+        "--from-sweep", metavar="CACHE_DIR",
+        help="read the point from a sweep result cache (the cell named by "
+             "--topology/--workload/--total-bw/--scheme/--cap) instead of "
+             "solving; errors if the cell was never swept — analysis "
+             "never runs the solver",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the AnalyzeResponse payload as JSON",
+    )
+
     scenario = sub.add_parser(
         "scenario",
         help="build a scenario JSON file from flags (input to optimize --scenario)",
@@ -265,6 +306,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep", action="store_true",
         help="benchmark whole sweep grids instead of single solves: "
              "continuation (warm) vs cold, writes BENCH_sweep.json",
+    )
+    bench.add_argument(
+        "--analyze", action="store_true",
+        help="benchmark cached what-if probes against a swept cell "
+             "(p50/p95 latency), writes BENCH_analyze.json",
+    )
+    bench.add_argument(
+        "--probes", type=int, default=200,
+        help="with --analyze: memo-served probes to sample (default 200)",
+    )
+    bench.add_argument(
+        "--max-p95-ms", type=float, default=0.0,
+        help="with --analyze: fail (exit 3) if the cached-probe p95 "
+             "exceeds this many milliseconds (default 0 = report only)",
     )
     bench.add_argument(
         "--bw", action="append", type=float, default=[], metavar="GBPS",
@@ -591,6 +646,56 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return _print_optimize_response(response, args.as_json)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import format_report
+    from repro.api.requests import AnalyzeRequest
+
+    if args.from_sweep:
+        from repro.explore.spec import ExplorationPoint
+
+        if args.scenario or args.workload_file or args.bandwidths:
+            raise ReproError(
+                "--from-sweep names a cached sweep cell by "
+                "--topology/--workload/--total-bw; drop "
+                "--scenario/--workload-file/--bandwidths"
+            )
+        if not (args.topology and args.workload and args.total_bw):
+            raise ReproError(
+                "--from-sweep needs --topology, --workload, and --total-bw "
+                "to name the cell"
+            )
+        request = AnalyzeRequest(
+            cell=ExplorationPoint(
+                workload=args.workload,
+                topology=args.topology,
+                total_bw_gbps=args.total_bw,
+                scheme=_SCHEMES[args.scheme],
+                dim_caps_gbps=_parse_caps(args.cap),
+            ),
+            cache_dir=args.from_sweep,
+        )
+    else:
+        scenario = _optimize_scenario(args)
+        bandwidths = None
+        if args.bandwidths:
+            bandwidths = tuple(
+                float(part) for part in args.bandwidths.split(",")
+            )
+        request = AnalyzeRequest(
+            scenario=scenario,
+            scheme=_SCHEMES[args.scheme],
+            bandwidths_gbps=bandwidths,
+        )
+    response = get_service().submit(request)
+    if args.as_json:
+        print(json.dumps(response.to_dict(), indent=1, sort_keys=True))
+        return 0
+    print(format_report(response.report))
+    memo = " (memo hit)" if response.memo_hit else ""
+    print(f"\npoint resolved from: {response.source}{memo}")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     scenario = _target_scenario(args, args.total_bw)
     if args.output:
@@ -860,17 +965,48 @@ def _cmd_cost(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perfbench import (
+        AnalyzeBenchConfig,
         BenchConfig,
         SweepBenchConfig,
+        format_analyze_report,
         format_report,
         format_sweep_report,
+        quick_analyze_config,
         quick_config,
         quick_sweep_config,
+        run_analyze_benchmark,
         run_benchmarks,
         run_sweep_benchmark,
         write_artifact,
     )
     from repro.perfbench.harness import BenchEquivalenceError
+
+    if args.analyze:
+        if args.quick:
+            config = quick_analyze_config()
+        else:
+            defaults = AnalyzeBenchConfig()
+            config = AnalyzeBenchConfig(
+                workload=(
+                    args.workload[0] if args.workload else defaults.workload
+                ),
+                topology=args.topology,
+                budget_gbps=args.total_bw,
+                probes=args.probes,
+            )
+        artifact = run_analyze_benchmark(config)
+        output = args.output or "BENCH_analyze.json"
+        print(format_analyze_report(artifact))
+        write_artifact(output, artifact)
+        print(f"wrote {output}")
+        if args.max_p95_ms > 0 and artifact["cached_p95_ms"] > args.max_p95_ms:
+            print(
+                f"error: cached-probe p95 {artifact['cached_p95_ms']:.3f} ms "
+                f"exceeds the {args.max_p95_ms:g} ms floor",
+                file=sys.stderr,
+            )
+            return 3
+        return 0
 
     if args.sweep:
         if args.quick:
@@ -1002,7 +1138,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         f"repro serve: listening on http://{host}:{port} "
-        f"(schema v3; {args.workers} job workers{durability}; "
+        f"(schema v4; {args.workers} job workers{durability}; "
         f"Ctrl-C to stop)"
     )
     try:
@@ -1173,6 +1309,7 @@ _COMMANDS = {
     "topologies": _cmd_topologies,
     "workloads": _cmd_workloads,
     "optimize": _cmd_optimize,
+    "analyze": _cmd_analyze,
     "scenario": _cmd_scenario,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,

@@ -30,7 +30,13 @@ from repro.core.framework import Libra
 from repro.core.group import GroupStudyResult, run_group_study
 from repro.core.kernel import HAS_FAST_SLSQP, ConstraintBlocks, KernelResult
 from repro.core.results import DesignPoint, Scheme
-from repro.core.sensitivity import SensitivityReport, bandwidth_sensitivity
+from repro.core.sensitivity import (
+    OptimalityCertificate,
+    SensitivityReport,
+    bandwidth_sensitivity,
+    certify_optimum,
+    one_sided_gap,
+)
 from repro.core.solver import (
     KERNELS,
     CompiledProgram,
@@ -59,8 +65,11 @@ __all__ = [
     "GroupStudyResult",
     "run_group_study",
     "DesignPoint",
+    "OptimalityCertificate",
     "SensitivityReport",
     "bandwidth_sensitivity",
+    "certify_optimum",
+    "one_sided_gap",
     "Scheme",
     "CompiledProgram",
     "ConstraintBlocks",

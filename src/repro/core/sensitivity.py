@@ -12,17 +12,22 @@ value report:
 * transfer gradients — the benefit of moving budget from one dimension to
   another at fixed total, exposing constraint pressure.
 
-A caveat for points *at* a water-filling optimum: the objective has a kink
-there (several dimensions co-bottleneck a ``max``), so central differences
-report half-slopes that scale as ``T/B_i`` — smaller dimensions look more
-"valuable" even though no budget transfer actually helps. Use direct
-re-evaluation (as the optimality tests do) to certify an optimum; use this
-module to rank *off-optimum* points and to find the binding structure.
+The objective has a kink at a water-filling optimum (several dimensions
+co-bottleneck a ``max``), where the two one-sided slopes genuinely differ:
+shrinking a loaded dimension costs ``~T/B_i`` while growing it buys
+nothing. ``mode="central"`` (the historical default) averages the two and
+reports half-slopes — fine for ranking *off-optimum* points, misleading at
+the kink itself. ``mode="backward"`` measures the loss from *taking
+bandwidth away* (what "binding" means at an optimum) and ``mode="forward"``
+the gain from adding it; :func:`one_sided_gap` exposes the difference as a
+per-dimension kink detector. To certify a solved point, skip derivatives
+entirely and use :func:`certify_optimum` — direct re-evaluation of
+budget-preserving transfers, the correct first-order statement at a kink.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,20 +35,28 @@ import numpy as np
 from repro.training.expr import Expr
 from repro.utils.errors import ConfigurationError
 
+#: Finite-difference modes accepted by :func:`bandwidth_sensitivity`.
+SENSITIVITY_MODES = ("central", "forward", "backward")
+
 
 @dataclass(frozen=True)
 class SensitivityReport:
     """Marginal values of bandwidth at one design point.
 
+    Every field is a plain Python float — the payload round-trips through
+    ``json.dumps`` with no custom encoder.
+
     Attributes:
         bandwidths: The evaluated point, bytes/s.
         step_time: Training-step seconds at the point.
         marginals: ``dT/dB_i`` in seconds per (byte/s); non-positive.
+        mode: Finite-difference mode the marginals were computed with.
     """
 
     bandwidths: tuple[float, ...]
     step_time: float
     marginals: tuple[float, ...]
+    mode: str = "central"
 
     @property
     def most_valuable_dim(self) -> int:
@@ -53,7 +66,8 @@ class SensitivityReport:
     def binding_dims(self, tolerance: float = 0.05) -> tuple[int, ...]:
         """Dimensions whose marginal value is within ``tolerance`` (relative)
         of the best. A singleton means one dimension bottlenecks the step;
-        at a clean water-filling optimum every loaded dimension appears."""
+        at a clean water-filling optimum every loaded dimension appears
+        (use ``mode="backward"`` there — see the module docstring)."""
         best = min(self.marginals)
         if best >= 0.0:
             return ()
@@ -78,13 +92,83 @@ class SensitivityReport:
         """Marginals rescaled to seconds saved per extra GB/s (≥ 0)."""
         return tuple(-value * 1e9 for value in self.marginals)
 
+    def to_dict(self) -> dict:
+        """A ``json.dumps``-able payload (plain floats throughout)."""
+        return {
+            "bandwidths": list(self.bandwidths),
+            "step_time": self.step_time,
+            "marginals": list(self.marginals),
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> SensitivityReport:
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"sensitivity payload must be a mapping, got {type(payload).__name__}"
+            )
+        try:
+            return cls(
+                bandwidths=tuple(float(v) for v in payload["bandwidths"]),
+                step_time=float(payload["step_time"]),
+                marginals=tuple(float(v) for v in payload["marginals"]),
+                mode=str(payload.get("mode", "central")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad sensitivity payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class OptimalityCertificate:
+    """Result of certifying a point by direct re-evaluation.
+
+    Attributes:
+        step_time: Step seconds at the certified point.
+        relative_delta: Transfer size as a fraction of the smallest
+            bandwidth at the point.
+        tolerance: Relative improvement below which a move counts as noise.
+        best_gain: Largest relative step-time *reduction* any probed
+            budget-preserving transfer achieved (≥ 0; ≤ ``tolerance``
+            iff the point certifies).
+        best_move: ``(source, target)`` of the most improving transfer,
+            or ``None`` when nothing helped at all.
+        certified: True when no transfer beats the tolerance.
+    """
+
+    step_time: float
+    relative_delta: float
+    tolerance: float
+    best_gain: float
+    best_move: tuple[int, int] | None
+    certified: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "step_time": self.step_time,
+            "relative_delta": self.relative_delta,
+            "tolerance": self.tolerance,
+            "best_gain": self.best_gain,
+            "best_move": list(self.best_move) if self.best_move else None,
+            "certified": self.certified,
+        }
+
+
+def _validated_point(bandwidths: Sequence[float]) -> np.ndarray:
+    point = np.asarray(bandwidths, dtype=float)
+    if point.ndim != 1 or point.size == 0:
+        raise ConfigurationError("bandwidths must be a non-empty vector")
+    if np.any(point <= 0):
+        raise ConfigurationError(f"bandwidths must be positive, got {point}")
+    return point
+
 
 def bandwidth_sensitivity(
     expression: Expr,
     bandwidths: Sequence[float],
     relative_step: float = 1e-4,
+    mode: str = "central",
 ) -> SensitivityReport:
-    """Central-difference sensitivity of a time expression at a point.
+    """Finite-difference sensitivity of a time expression at a point.
 
     Args:
         expression: Symbolic step time (from the estimator or pipeline
@@ -92,16 +176,20 @@ def bandwidth_sensitivity(
         bandwidths: Evaluation point, bytes/s; all entries must be positive.
         relative_step: Finite-difference step as a fraction of each
             bandwidth.
+        mode: ``"central"`` (default), ``"forward"`` (slope of adding
+            bandwidth), or ``"backward"`` (slope of removing it). At a
+            water-filling kink the one-sided modes are exact where central
+            reports half-slopes.
     """
-    point = np.asarray(bandwidths, dtype=float)
-    if point.ndim != 1 or point.size == 0:
-        raise ConfigurationError("bandwidths must be a non-empty vector")
-    if np.any(point <= 0):
-        raise ConfigurationError(f"bandwidths must be positive, got {point}")
+    point = _validated_point(bandwidths)
     if not 0 < relative_step < 0.5:
         raise ConfigurationError(f"relative_step must be in (0, 0.5), got {relative_step}")
+    if mode not in SENSITIVITY_MODES:
+        raise ConfigurationError(
+            f"mode must be one of {SENSITIVITY_MODES}, got {mode!r}"
+        )
 
-    base_time = expression.evaluate(point)
+    base_time = float(expression.evaluate(point))
     marginals = []
     for dim in range(point.size):
         step = point[dim] * relative_step
@@ -109,11 +197,94 @@ def bandwidth_sensitivity(
         lower = point.copy()
         upper[dim] += step
         lower[dim] -= step
-        marginals.append(
-            (expression.evaluate(upper) - expression.evaluate(lower)) / (2 * step)
-        )
+        if mode == "forward":
+            slope = (float(expression.evaluate(upper)) - base_time) / step
+        elif mode == "backward":
+            slope = (base_time - float(expression.evaluate(lower))) / step
+        else:
+            slope = (
+                float(expression.evaluate(upper)) - float(expression.evaluate(lower))
+            ) / (2 * step)
+        marginals.append(float(slope))
     return SensitivityReport(
         bandwidths=tuple(float(value) for value in point),
         step_time=base_time,
         marginals=tuple(marginals),
+        mode=mode,
+    )
+
+
+def one_sided_gap(
+    expression: Expr,
+    bandwidths: Sequence[float],
+    relative_step: float = 1e-4,
+) -> tuple[float, ...]:
+    """Per-dimension ``forward − backward`` slope gap (≥ 0 up to noise).
+
+    Zero where the objective is smooth; ``~T/B_i`` where dimension *i*
+    sits on a water-filling kink (the backward slope is steeply negative
+    there while the forward slope vanishes) — a direct kink detector.
+    """
+    forward = bandwidth_sensitivity(
+        expression, bandwidths, relative_step, mode="forward"
+    )
+    backward = bandwidth_sensitivity(
+        expression, bandwidths, relative_step, mode="backward"
+    )
+    return tuple(
+        float(f - b) for f, b in zip(forward.marginals, backward.marginals)
+    )
+
+
+def certify_optimum(
+    expression: Expr,
+    bandwidths: Sequence[float],
+    relative_delta: float = 0.01,
+    tolerance: float = 1e-6,
+) -> OptimalityCertificate:
+    """Certify a budget-constrained optimum by direct re-evaluation.
+
+    Probes every ordered pair ``(source, target)`` with a budget-preserving
+    transfer of ``relative_delta × min(bandwidths)`` and reports the best
+    relative improvement found. This is the statement the optimality tests
+    make and the one that stays correct at water-filling kinks, where
+    derivative-based checks mis-rank.
+
+    Args:
+        expression: Symbolic step time.
+        bandwidths: Candidate optimum, bytes/s; all entries positive.
+        relative_delta: Transfer size as a fraction of the smallest
+            bandwidth (keeps every probe strictly feasible).
+        tolerance: Relative improvement below which the point certifies.
+    """
+    point = _validated_point(bandwidths)
+    if not 0 < relative_delta < 1:
+        raise ConfigurationError(
+            f"relative_delta must be in (0, 1), got {relative_delta}"
+        )
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+    base = float(expression.evaluate(point))
+    delta = float(point.min()) * relative_delta
+    best_gain = 0.0
+    best_move: tuple[int, int] | None = None
+    for source in range(point.size):
+        for target in range(point.size):
+            if source == target:
+                continue
+            moved = point.copy()
+            moved[source] -= delta
+            moved[target] += delta
+            time = float(expression.evaluate(moved))
+            gain = (base - time) / base if base > 0 else 0.0
+            if gain > best_gain:
+                best_gain = gain
+                best_move = (source, target)
+    return OptimalityCertificate(
+        step_time=base,
+        relative_delta=relative_delta,
+        tolerance=tolerance,
+        best_gain=best_gain,
+        best_move=best_move,
+        certified=best_gain <= tolerance,
     )

@@ -67,6 +67,14 @@ JOB_RETRIES = "repro_job_retries_total"
 #: Histogram: JobStore fsync latency (event-log batches and records).
 STORE_FSYNC_SECONDS = "repro_store_fsync_seconds"
 
+# -- analysis (repro/analysis, api/service.py) -------------------------------
+#: Counter{source=cache|inline|solve}: analyze requests by target resolution.
+ANALYZE_REQUESTS = "repro_analyze_requests_total"
+#: Histogram: wall time of one analyze request end to end.
+ANALYZE_SECONDS = "repro_analyze_seconds"
+#: Counter{layer=service|whatif}: probes served from a memo.
+ANALYZE_MEMO = "repro_analyze_memo_hits_total"
+
 # -- HTTP front end (serve/http.py) ------------------------------------------
 #: Counter{route, status}: requests served, by normalized route template.
 HTTP_REQUESTS = "repro_http_requests_total"
@@ -76,9 +84,9 @@ HTTP_SECONDS = "repro_http_request_seconds"
 #: Families the obs-smoke CI job requires in a live scrape after it has
 #: run one optimize job and one cache-backed batch job. (Gauges render
 #: even at zero once registered; counters with enum labels appear once
-#: any series fires; the label-free durability families are pre-registered
-#: at server construction so a healthy-but-never-crashed server still
-#: scrapes them at zero. ``CACHE_EVICTIONS`` is the one family
+#: any series fires; the durability and analyze families are pre-registered
+#: at server construction so a healthy-but-never-crashed (or never-analyzed)
+#: server still scrapes them at zero. ``CACHE_EVICTIONS`` is the one family
 #: deliberately absent: it needs a bounded memory tier to overflow, which
 #: no smoke run does.)
 REQUIRED_FAMILIES = (
@@ -102,6 +110,9 @@ REQUIRED_FAMILIES = (
     JOB_RETRIES,
     STORE_FSYNC_SECONDS,
     CACHE_CORRUPT,
+    ANALYZE_REQUESTS,
+    ANALYZE_SECONDS,
+    ANALYZE_MEMO,
     HTTP_REQUESTS,
     HTTP_SECONDS,
 )

@@ -5,9 +5,18 @@ checks vectorized-vs-closure solver equivalence, and writes the
 ``BENCH_solver.json`` artifact that records the perf trajectory across PRs.
 :mod:`repro.perfbench.sweep` benchmarks whole grids — continuation (warm)
 vs cold — into ``BENCH_sweep.json`` with a per-cell equivalence gate.
+:mod:`repro.perfbench.analyze` times cached what-if probes into
+``BENCH_analyze.json`` with a p95 latency floor.
 See ``benchmarks/perf/README.md`` for the artifact schemas.
 """
 
+from repro.perfbench.analyze import (
+    ANALYZE_BENCH_SCHEMA_VERSION,
+    AnalyzeBenchConfig,
+    format_analyze_report,
+    quick_analyze_config,
+    run_analyze_benchmark,
+)
 from repro.perfbench.harness import (
     BENCH_SCHEMA_VERSION,
     BenchConfig,
@@ -25,6 +34,11 @@ from repro.perfbench.sweep import (
 )
 
 __all__ = [
+    "ANALYZE_BENCH_SCHEMA_VERSION",
+    "AnalyzeBenchConfig",
+    "format_analyze_report",
+    "quick_analyze_config",
+    "run_analyze_benchmark",
     "BENCH_SCHEMA_VERSION",
     "BenchConfig",
     "format_report",

@@ -1,0 +1,155 @@
+"""What-if probe latency benchmark: the sub-second analysis promise.
+
+Where :mod:`repro.perfbench.harness` times solves and
+:mod:`repro.perfbench.sweep` times grids, this module times the *analysis*
+fast path: repeat :class:`~repro.api.requests.AnalyzeRequest` probes
+against a sweep cell that is already cache-resident. The first probe pays
+the evaluator (structure + what-ifs); every later identical probe must be
+served from the service's analyze memo. The artifact —
+``BENCH_analyze.json`` — records the cold latency plus the p50/p95 of the
+memo-served probes, and the CLI's ``--max-p95-ms`` floor turns the "cached
+probes answer in well under 50 ms" claim into a CI gate (exit 3 on miss).
+
+The benchmark never touches the solver beyond the one sweep that seeds
+the cache: analysis is read-only, and a latency number that silently
+included a solve would be measuring the wrong tier.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.utils.errors import ReproError
+
+#: Bump when the BENCH_analyze.json layout changes.
+ANALYZE_BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AnalyzeBenchConfig:
+    """One analyze-benchmark invocation.
+
+    Attributes:
+        workload: Preset workload of the probed sweep cell.
+        topology: Preset topology / notation of the cell.
+        budget_gbps: The cell's bandwidth budget, GB/s.
+        probes: Memo-served probes to sample for the percentiles.
+        quick: True for the seconds-scale CI smoke configuration.
+        label: Free-form tag recorded in the artifact.
+    """
+
+    workload: str = "GPT-3"
+    topology: str = "4D-4K"
+    budget_gbps: float = 500.0
+    probes: int = 200
+    quick: bool = False
+    label: str = ""
+
+
+def quick_analyze_config() -> AnalyzeBenchConfig:
+    """A seconds-scale configuration for CI smoke runs."""
+    return AnalyzeBenchConfig(
+        workload="Turing-NLG",
+        topology="3D-512",
+        budget_gbps=300.0,
+        probes=50,
+        quick=True,
+        label="quick",
+    )
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_analyze_benchmark(config: AnalyzeBenchConfig) -> dict:
+    """Run the probe-latency benchmark; returns the artifact payload."""
+    from repro.api.requests import AnalyzeRequest, BatchRequest
+    from repro.api.service import LibraService
+    from repro.explore.spec import ExplorationPoint, SweepSpec
+
+    if config.probes < 1:
+        raise ReproError(f"probes must be >= 1, got {config.probes}")
+
+    service = LibraService()
+    spec = SweepSpec(
+        workloads=(config.workload,),
+        topologies=(config.topology,),
+        bandwidths_gbps=(config.budget_gbps,),
+    )
+    seed_start = time.perf_counter()
+    batch = service.submit(BatchRequest(spec=spec))
+    seed_s = time.perf_counter() - seed_start
+    if batch.sweep.num_errors:
+        raise ReproError(
+            f"seeding sweep failed for {config.workload} on "
+            f"{config.topology}: {batch.sweep.num_errors} error cells"
+        )
+
+    cell = ExplorationPoint(
+        workload=config.workload,
+        topology=config.topology,
+        total_bw_gbps=config.budget_gbps,
+        scheme=next(iter(spec.schemes)),
+    )
+    request = AnalyzeRequest(cell=cell)
+
+    cold_start = time.perf_counter()
+    cold = service.submit(request)
+    cold_s = time.perf_counter() - cold_start
+    if cold.memo_hit or cold.source != "cache":
+        raise ReproError(
+            f"cold probe should be a fresh cache-sourced analysis, got "
+            f"source={cold.source!r} memo_hit={cold.memo_hit}"
+        )
+
+    samples: list[float] = []
+    for _ in range(config.probes):
+        start = time.perf_counter()
+        response = service.submit(request)
+        samples.append(time.perf_counter() - start)
+        if not response.memo_hit:
+            raise ReproError(
+                "repeat probe missed the analyze memo; the benchmark "
+                "would be timing re-evaluation, not the cached path"
+            )
+
+    return {
+        "schema_version": ANALYZE_BENCH_SCHEMA_VERSION,
+        "unix_time": time.time(),
+        "config": {
+            "workload": config.workload,
+            "topology": config.topology,
+            "budget_gbps": config.budget_gbps,
+            "probes": config.probes,
+            "quick": config.quick,
+            "label": config.label,
+        },
+        "seed_sweep_s": seed_s,
+        "cold_ms": cold_s * 1e3,
+        "cached_p50_ms": _percentile(samples, 0.50) * 1e3,
+        "cached_p95_ms": _percentile(samples, 0.95) * 1e3,
+        "cached_max_ms": max(samples) * 1e3,
+        "probes_per_sec": len(samples) / max(sum(samples), 1e-12),
+        "whatif_memo": dict(cold.diagnostics or {}).get("whatif_memo"),
+    }
+
+
+def format_analyze_report(artifact: dict) -> str:
+    """Human-readable summary of one BENCH_analyze.json payload."""
+    config = artifact["config"]
+    return "\n".join([
+        f"analyze bench — {config['workload']} on {config['topology']} @ "
+        f"{config['budget_gbps']:.0f} GB/s ({config['probes']} probes)",
+        f"  seed sweep:        {artifact['seed_sweep_s'] * 1e3:>9.1f} ms "
+        f"(one-time, not the measured tier)",
+        f"  cold analysis:     {artifact['cold_ms']:>9.3f} ms",
+        f"  cached probe p50:  {artifact['cached_p50_ms']:>9.3f} ms",
+        f"  cached probe p95:  {artifact['cached_p95_ms']:>9.3f} ms",
+        f"  cached probe max:  {artifact['cached_max_ms']:>9.3f} ms "
+        f"({artifact['probes_per_sec']:.0f} probes/s)",
+    ])

@@ -12,6 +12,9 @@ server runs wherever the library does. The surface is the v3 job API::
                                  connection open and streams live events
                                  until the job is terminal
     DELETE /v3/jobs/{id}         cooperative cancellation
+    GET    /v3/analyze          synchronous bottleneck analysis of a
+                                 cache-resident sweep cell (never solves;
+                                 404 when the cell was not swept)
     GET    /healthz              liveness, uptime, queue/job-state counts
     GET    /v3/metrics           Prometheus text exposition (version 0.0.4)
 
@@ -45,16 +48,18 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.api.requests import (
     RESPONSE_SCHEMA_VERSION,
+    AnalyzeRequest,
     BatchRequest,
     request_from_dict,
 )
 from repro.api.scenario import ScenarioValidationError
+from repro.api.service import register_analysis_families
 from repro.obs import get_logger
 from repro.obs import metrics as obs_metrics
 from repro.obs import names as obs_names
 from repro.serve.manager import JobManager
 from repro.serve.store import register_durability_families
-from repro.utils.errors import ReproError
+from repro.utils.errors import AnalysisCacheMiss, ReproError
 
 _log = get_logger("serve.http")
 
@@ -94,7 +99,7 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _route_label(self) -> str:
         """The bounded route template this request hit (metric label)."""
         path, _ = self._route()
-        if path in ("/healthz", "/v3/metrics", "/v3/jobs"):
+        if path in ("/healthz", "/v3/metrics", "/v3/jobs", "/v3/analyze"):
             return path
         if self._job_id(path, suffix="events") is not None:
             return "/v3/jobs/{id}/events"
@@ -237,6 +242,9 @@ class ServeHandler(BaseHTTPRequestHandler):
                 ],
             })
             return
+        if path == "/v3/analyze":
+            self._get_analyze(query)
+            return
         events_id = self._job_id(path, suffix="events")
         if events_id is not None:
             self._job_ref = events_id
@@ -293,6 +301,64 @@ class ServeHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-stream; nothing to clean up
 
+    def _get_analyze(self, query: dict[str, list[str]]) -> None:
+        """Synchronous bottleneck analysis of a cache-resident sweep cell.
+
+        The fast path the issue promises: for a point the server already
+        swept (a batch job, optionally with a sandboxed cache dir), the
+        answer comes from the evaluator plus the analyze memo — no job
+        round-trip, no solver. The request is expressed entirely in query
+        parameters (``workload``, ``topology``, ``budget_gbps``, optional
+        ``scheme``, ``caps`` as comma-separated ``dim:gbps`` pairs, and
+        ``cache``) because the target must
+        already exist; a cell that was never swept is a 404, never a
+        solve — analysis is read-only by contract.
+        """
+        # Lazy: the serve tier reaches explore only through this path and
+        # the batch worker, mirroring the service's own lazy import.
+        from repro.api.registry import resolve_scheme
+        from repro.explore.spec import ExplorationPoint
+
+        def param(name: str) -> str | None:
+            values = query.get(name)
+            return values[-1] if values else None
+
+        missing = [
+            name for name in ("workload", "topology", "budget_gbps")
+            if param(name) is None
+        ]
+        if missing:
+            self._send_error_json(
+                400, f"missing query parameter(s): {', '.join(missing)}"
+            )
+            return
+        cache_dir = None
+        if param("cache") is not None:
+            cache_dir = self._sandboxed_cache_path(param("cache"))
+            if cache_dir is None:
+                return
+        try:
+            caps = tuple(
+                (int(entry.split(":", 1)[0]), float(entry.split(":", 1)[1]))
+                for entry in (param("caps") or "").split(",") if entry
+            )
+            cell = ExplorationPoint(
+                workload=param("workload"),
+                topology=param("topology"),
+                total_bw_gbps=float(param("budget_gbps")),
+                scheme=resolve_scheme(param("scheme") or "perf"),
+                dim_caps_gbps=caps,
+            )
+            request = AnalyzeRequest(cell=cell, cache_dir=cache_dir)
+            response = self.manager.service.submit(request)
+        except AnalysisCacheMiss as exc:
+            self._send_error_json(404, str(exc))
+            return
+        except (ReproError, ValueError, IndexError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(200, response.to_dict())
+
     def _write_line(self, payload: dict) -> None:
         self.wfile.write(
             json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
@@ -348,24 +414,33 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _sandbox_cache_dir(self, request: BatchRequest) -> BatchRequest | None:
         """Map a client-supplied ``cache_dir`` under the server's cache root.
 
-        ``cache_dir`` names a *server-side* directory; accepting it
+        Replies 400 and returns ``None`` on rejection.
+        """
+        path = self._sandboxed_cache_path(request.cache_dir)
+        return None if path is None else replace(request, cache_dir=path)
+
+    def _sandboxed_cache_path(self, name: str) -> str | None:
+        """Confine a client-supplied cache name under the server's root.
+
+        A cache name designates a *server-side* directory; accepting it
         verbatim would hand any network client an arbitrary
         mkdir/file-write primitive. So it is only honored when the
         operator opted in (``repro serve --cache-root DIR``), and then as
         a relative name confined under that root — absolute paths and
         ``..`` traversal are rejected. Replies 400 and returns ``None``
-        on rejection.
+        on rejection. Both the batch submit path and ``GET /v3/analyze``
+        go through this, so the two surfaces agree on what a cache name
+        may reach.
         """
         root = getattr(self.server, "cache_root", None)
         if root is None:
             self._send_error_json(
                 400,
                 "this server does not accept client-supplied cache paths; "
-                "start it with --cache-root to enable sandboxed batch "
-                "caches, or drop cache_dir from the request",
+                "start it with --cache-root to enable sandboxed caches, "
+                "or drop the cache path from the request",
             )
             return None
-        name = request.cache_dir
         candidate = (root / name).resolve()
         if Path(name).is_absolute() or not candidate.is_relative_to(root):
             self._send_error_json(
@@ -374,7 +449,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "server's cache root",
             )
             return None
-        return replace(request, cache_dir=str(candidate))
+        return str(candidate)
 
     def _handle_delete(self) -> None:
         path, _ = self._route()
@@ -417,10 +492,12 @@ class ServeServer(ThreadingHTTPServer):
         self.started_at = time.time()
         registry = obs_metrics.enable_metrics()
         manager.register_gauges(registry)
-        # Durability families fire rarely (recovery, retries, fsyncs);
-        # pre-registering renders them at zero so scrapes and the
-        # obs-smoke assertion see the full table on a healthy server.
+        # Durability and analysis families fire rarely (recovery,
+        # retries, fsyncs; analyze requests); pre-registering renders
+        # them at zero so scrapes and the obs-smoke assertion see the
+        # full table on a healthy server.
         register_durability_families(registry)
+        register_analysis_families(registry)
 
 
 def create_server(

@@ -41,6 +41,8 @@ from dataclasses import dataclass
 
 from repro.api.requests import (
     RESPONSE_SCHEMA_VERSION,
+    AnalyzeRequest,
+    AnalyzeResponse,
     BatchRequest,
     BatchResponse,
     OptimizeRequest,
@@ -104,7 +106,7 @@ def resolve_state(value: JobState | str) -> JobState:
         ) from None
 
 
-def job_content_key(request: OptimizeRequest | BatchRequest) -> str:
+def job_content_key(request: OptimizeRequest | BatchRequest | AnalyzeRequest) -> str:
     """The content address job ids derive from (full canonical digest)."""
     return digest(request_to_dict(request))
 
@@ -147,7 +149,7 @@ class JobRecord:
     def __init__(
         self,
         job_id: str,
-        request: OptimizeRequest | BatchRequest,
+        request: OptimizeRequest | BatchRequest | AnalyzeRequest,
         content_key: str,
         sink=None,
     ):
@@ -160,7 +162,7 @@ class JobRecord:
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self.error = ""
-        self.result: OptimizeResponse | BatchResponse | None = None
+        self.result: OptimizeResponse | BatchResponse | AnalyzeResponse | None = None
         self.events: list[ProgressEvent] = []
         self.next_seq = 0  # total events ever emitted (ring may drop old)
         self.attempts = 0  # transient-failure requeues so far
@@ -176,7 +178,7 @@ class JobRecord:
     def restore(
         cls,
         job_id: str,
-        request: OptimizeRequest | BatchRequest,
+        request: OptimizeRequest | BatchRequest | AnalyzeRequest,
         content_key: str,
         *,
         state: JobState,
@@ -184,7 +186,7 @@ class JobRecord:
         started_at: float | None,
         finished_at: float | None,
         error: str,
-        result: OptimizeResponse | BatchResponse | None,
+        result: OptimizeResponse | BatchResponse | AnalyzeResponse | None,
         events: list[ProgressEvent],
         attempts: int = 0,
         sink=None,
@@ -337,7 +339,7 @@ class JobInfo:
 
     Attributes:
         id: Content-derived job id.
-        kind: ``"optimize"`` or ``"batch"``.
+        kind: ``"optimize"``, ``"batch"``, or ``"analyze"``.
         state: Current lifecycle state.
         created_at: Submission wall-clock time.
         started_at: When the worker picked the job up; ``None`` while queued.
@@ -369,7 +371,7 @@ class JobInfo:
         """True once the job reached a terminal state."""
         return self.state in TERMINAL_STATES
 
-    def response(self) -> OptimizeResponse | BatchResponse:
+    def response(self) -> OptimizeResponse | BatchResponse | AnalyzeResponse:
         """Decode the result payload into the typed response value.
 
         Raises the job's own failure (:class:`JobCancelled` for cancelled
@@ -384,6 +386,8 @@ class JobInfo:
             )
         if self.kind == "batch":
             return BatchResponse.from_dict(self.result_payload)
+        if self.kind == "analyze":
+            return AnalyzeResponse.from_dict(self.result_payload)
         return OptimizeResponse.from_dict(self.result_payload)
 
     def to_dict(self) -> dict:
@@ -406,9 +410,9 @@ class JobInfo:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "JobInfo":
-        """Rebuild a snapshot from the v3 job envelope."""
+        """Rebuild a snapshot from the v3/v4 job envelope."""
         check_schema_version(
-            payload, (RESPONSE_SCHEMA_VERSION,), "job envelope"
+            payload, (3, RESPONSE_SCHEMA_VERSION), "job envelope"
         )
         job = payload.get("job")
         if not isinstance(job, Mapping):
@@ -511,7 +515,7 @@ class JobHandle:
 
     def result(
         self, timeout: float | None = None
-    ) -> OptimizeResponse | BatchResponse:
+    ) -> OptimizeResponse | BatchResponse | AnalyzeResponse:
         """Await the response value; raise the job's failure instead.
 
         :class:`JobCancelled` for cancelled jobs, :class:`ReproError` for

@@ -36,6 +36,8 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.api.requests import (
+    AnalyzeRequest,
+    AnalyzeResponse,
     BatchRequest,
     BatchResponse,
     OptimizeRequest,
@@ -285,13 +287,15 @@ class JobManager:
             started = job.get("started_at")
             finished = job.get("finished_at")
             result_payload = job.get("result")
-            result: OptimizeResponse | BatchResponse | None = None
+            result: OptimizeResponse | BatchResponse | AnalyzeResponse | None = None
             if result_payload is not None:
-                result = (
-                    BatchResponse.from_dict(result_payload)
-                    if job.get("kind") == "batch"
-                    else OptimizeResponse.from_dict(result_payload)
-                )
+                kind = job.get("kind")
+                if kind == "batch":
+                    result = BatchResponse.from_dict(result_payload)
+                elif kind == "analyze":
+                    result = AnalyzeResponse.from_dict(result_payload)
+                else:
+                    result = OptimizeResponse.from_dict(result_payload)
             events = [
                 ProgressEvent.from_dict(event) for event in stored.events
             ]
@@ -320,7 +324,7 @@ class JobManager:
 
     def submit(
         self,
-        request: OptimizeRequest | BatchRequest,
+        request: OptimizeRequest | BatchRequest | AnalyzeRequest,
         *,
         dedupe: bool = True,
     ) -> JobHandle:

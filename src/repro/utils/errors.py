@@ -33,6 +33,16 @@ class OptimizationError(ReproError, RuntimeError):
     """The bandwidth optimizer failed to produce a feasible design point."""
 
 
+class AnalysisCacheMiss(ConfigurationError):
+    """An analyze request named a sweep cell absent from the result cache.
+
+    Analysis is read-only by contract: it never runs the solver to
+    materialize a missing cell. Its own subclass (rather than a bare
+    :class:`ConfigurationError`) so serving layers can distinguish
+    "that resource does not exist" (HTTP 404) from "that request is
+    malformed" (HTTP 400)."""
+
+
 class TransientError(ReproError, RuntimeError):
     """A failure that may succeed if simply tried again.
 

@@ -1,0 +1,114 @@
+"""What-if queries: perturbation semantics and memo accounting."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    WhatIfMemo,
+    WhatIfQuery,
+    default_queries,
+    evaluate_whatifs,
+)
+from repro.analysis.whatif import WhatIfResult
+from repro.api import LibraService, build_scenario
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GBPS, gbps
+
+
+def _expression():
+    service = LibraService()
+    scenario = build_scenario("3D-512", ["Turing-NLG"], total_bw_gbps=300)
+    return service.engine(scenario).combined_expression()
+
+
+POINT = (gbps(200.0), gbps(60.0), gbps(40.0))
+
+
+class TestQueries:
+    def test_scale_apply(self):
+        moved = WhatIfQuery(op="scale", dim=1, factor=2.0).apply(POINT)
+        assert moved == (POINT[0], 2 * POINT[1], POINT[2])
+
+    def test_move_apply_conserves_total(self):
+        query = WhatIfQuery(op="move", source=0, target=2, delta_gbps=25.0)
+        moved = query.apply(POINT)
+        assert sum(moved) == pytest.approx(sum(POINT))
+        assert moved[0] == pytest.approx(POINT[0] - 25.0 * GBPS)
+        assert moved[2] == pytest.approx(POINT[2] + 25.0 * GBPS)
+
+    def test_budget_apply_scales_proportionally(self):
+        moved = WhatIfQuery(op="budget", delta_gbps=30.0).apply(POINT)
+        factor = (sum(POINT) + 30.0 * GBPS) / sum(POINT)
+        assert all(
+            after == pytest.approx(before * factor)
+            for before, after in zip(POINT, moved)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            WhatIfQuery(op="scale", dim=0, factor=0.0)
+        with pytest.raises(ConfigurationError, match="source"):
+            WhatIfQuery(op="move", source=1, target=1, delta_gbps=5.0)
+        with pytest.raises(ConfigurationError, match="op"):
+            WhatIfQuery(op="teleport")
+
+    def test_round_trip(self):
+        for query in (
+            WhatIfQuery(op="scale", dim=2, factor=1.5),
+            WhatIfQuery(op="move", source=0, target=1, delta_gbps=10.0),
+            WhatIfQuery(op="budget", delta_gbps=-20.0),
+        ):
+            payload = json.loads(json.dumps(query.to_dict()))
+            assert WhatIfQuery.from_dict(payload) == query
+
+
+class TestEvaluate:
+    def test_default_probe_set_is_deterministic(self):
+        expression = _expression()
+        first = evaluate_whatifs(expression, POINT)
+        second = evaluate_whatifs(expression, POINT)
+        assert [r.to_dict() for r in first] == [r.to_dict() for r in second]
+        # Per-dim scales plus the two budget probes.
+        assert len(first) == len(default_queries(len(POINT))) + 2
+
+    def test_results_round_trip(self):
+        result = evaluate_whatifs(_expression(), POINT)[0]
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = WhatIfResult.from_dict(payload)
+        assert restored.to_dict() == result.to_dict()
+
+    def test_more_budget_never_hurts(self):
+        results = evaluate_whatifs(
+            _expression(), POINT,
+            queries=(WhatIfQuery(op="budget", delta_gbps=50.0),),
+        )
+        assert results[0].step_time <= results[0].base_step_time + 1e-12
+
+
+class TestMemoAccounting:
+    def test_hit_miss_counts(self):
+        expression = _expression()
+        memo = WhatIfMemo()
+        queries = (
+            WhatIfQuery(op="scale", dim=0, factor=1.1),
+            WhatIfQuery(op="move", source=0, target=1, delta_gbps=5.0),
+        )
+        evaluate_whatifs(expression, POINT, queries, memo=memo, context="k")
+        assert memo.stats() == {"hits": 0, "misses": 2, "entries": 2}
+        evaluate_whatifs(expression, POINT, queries, memo=memo, context="k")
+        assert memo.stats() == {"hits": 2, "misses": 2, "entries": 2}
+        # A different context is a different probe — no false sharing.
+        evaluate_whatifs(expression, POINT, queries, memo=memo, context="k2")
+        assert memo.stats() == {"hits": 2, "misses": 4, "entries": 4}
+
+    def test_lru_bound(self):
+        memo = WhatIfMemo(max_entries=2)
+        expression = _expression()
+        for dim in range(3):
+            evaluate_whatifs(
+                expression, POINT,
+                queries=(WhatIfQuery(op="scale", dim=dim, factor=1.1),),
+                memo=memo, context="k",
+            )
+        assert memo.stats()["entries"] == 2

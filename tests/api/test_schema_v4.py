@@ -1,0 +1,160 @@
+"""Schema v4: the analyze request kind and v3 envelope up-conversion."""
+
+import json
+
+import pytest
+
+from repro.analysis import WhatIfQuery
+from repro.api.requests import (
+    REQUEST_KINDS,
+    REQUEST_SCHEMA_VERSION,
+    RESPONSE_SCHEMA_VERSION,
+    AnalyzeRequest,
+    AnalyzeResponse,
+    BatchRequest,
+    OptimizeRequest,
+    request_from_dict,
+    request_kind,
+    request_to_dict,
+)
+from repro.api.scenario import build_scenario
+from repro.api.service import LibraService
+from repro.core.results import Scheme
+from repro.explore.spec import ExplorationPoint
+from repro.utils.errors import AnalysisCacheMiss, ConfigurationError
+
+TOPOLOGY = "RI(3)_RI(2)"
+WORKLOAD = "Turing-NLG"
+
+
+def _scenario():
+    return build_scenario(TOPOLOGY, [WORKLOAD], total_bw_gbps=300)
+
+
+def _cell():
+    return ExplorationPoint(WORKLOAD, "3D-512", 300.0, Scheme.PERF_OPT)
+
+
+class TestAnalyzeRequestEnvelope:
+    def test_analyze_is_a_request_kind(self):
+        assert "analyze" in REQUEST_KINDS
+        assert request_kind(AnalyzeRequest(scenario=_scenario())) == "analyze"
+
+    def test_scenario_target_round_trip(self):
+        request = AnalyzeRequest(
+            scenario=_scenario(),
+            bandwidths_gbps=(240.0, 60.0),
+            queries=(
+                WhatIfQuery(op="scale", dim=0, factor=1.2),
+                WhatIfQuery(op="move", source=0, target=1, delta_gbps=10.0),
+            ),
+        )
+        envelope = request_to_dict(request)
+        assert envelope["schema_version"] == REQUEST_SCHEMA_VERSION == 4
+        assert envelope["kind"] == "analyze"
+        parsed = request_from_dict(json.loads(json.dumps(envelope)))
+        assert isinstance(parsed, AnalyzeRequest)
+        assert parsed.bandwidths_gbps == (240.0, 60.0)
+        assert parsed.queries == request.queries
+        assert request_to_dict(parsed) == envelope
+
+    def test_cell_target_round_trip(self):
+        request = AnalyzeRequest(cell=_cell(), cache_dir="warm-cells")
+        parsed = request_from_dict(
+            json.loads(json.dumps(request_to_dict(request)))
+        )
+        assert isinstance(parsed, AnalyzeRequest)
+        assert parsed.cell == _cell()
+        assert parsed.cache_dir == "warm-cells"
+        assert parsed.scenario is None
+
+    def test_needs_exactly_one_target(self):
+        with pytest.raises(ConfigurationError, match="exactly one target"):
+            AnalyzeRequest()
+        with pytest.raises(ConfigurationError, match="exactly one target"):
+            AnalyzeRequest(scenario=_scenario(), cell=_cell())
+
+    def test_bandwidths_validated_against_scenario(self):
+        with pytest.raises(ConfigurationError, match="expected 2 bandwidths"):
+            AnalyzeRequest(scenario=_scenario(), bandwidths_gbps=(1.0,))
+        with pytest.raises(ConfigurationError, match="positive"):
+            AnalyzeRequest(scenario=_scenario(), bandwidths_gbps=(-1.0, 2.0))
+        with pytest.raises(ConfigurationError, match="require a scenario"):
+            AnalyzeRequest(cell=_cell(), bandwidths_gbps=(1.0, 2.0))
+
+    def test_queries_must_be_whatif_values(self):
+        with pytest.raises(ConfigurationError, match="WhatIfQuery"):
+            AnalyzeRequest(scenario=_scenario(), queries=("scale dim0",))
+
+
+class TestV3UpConversion:
+    """v3 envelopes (and older bare payloads) still parse under v4."""
+
+    def test_v3_optimize_envelope(self):
+        envelope = request_to_dict(OptimizeRequest(scenario=_scenario()))
+        envelope["schema_version"] = 3
+        parsed = request_from_dict(envelope)
+        assert isinstance(parsed, OptimizeRequest)
+
+    def test_v3_batch_envelope(self):
+        from repro.explore.spec import SweepSpec
+
+        request = BatchRequest(
+            spec=SweepSpec(
+                workloads=(WORKLOAD,), topologies=(TOPOLOGY,),
+                bandwidths_gbps=(300.0,),
+            )
+        )
+        envelope = request_to_dict(request)
+        envelope["schema_version"] = 3
+        parsed = request_from_dict(envelope)
+        assert isinstance(parsed, BatchRequest)
+
+    def test_bare_optimize_payload_still_sniffs(self):
+        payload = OptimizeRequest(scenario=_scenario()).to_dict()
+        del payload["schema_version"]
+        assert isinstance(request_from_dict(payload), OptimizeRequest)
+
+    def test_future_version_rejected(self):
+        envelope = request_to_dict(AnalyzeRequest(scenario=_scenario()))
+        envelope["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="schema version"):
+            request_from_dict(envelope)
+
+
+class TestAnalyzeResponse:
+    def _response(self):
+        return LibraService().submit(AnalyzeRequest(scenario=_scenario()))
+
+    def test_round_trip(self):
+        response = self._response()
+        payload = json.loads(json.dumps(response.to_dict()))
+        assert payload["schema_version"] == RESPONSE_SCHEMA_VERSION == 4
+        restored = AnalyzeResponse.from_dict(payload)
+        assert restored.to_dict() == response.to_dict()
+        assert restored.source == "solve"
+        assert restored.report.binding_dims == response.report.binding_dims
+
+    def test_pre_v4_payload_rejected(self):
+        """The analyze shape's first version is v4 — no v3 payload of it
+        can exist, so older versions are rejected outright."""
+        payload = self._response().to_dict()
+        payload["schema_version"] = 3
+        with pytest.raises(ConfigurationError, match="schema version"):
+            AnalyzeResponse.from_dict(payload)
+
+
+class TestServiceAnalyzeMemo:
+    def test_repeat_submit_is_memo_served(self):
+        service = LibraService()
+        request = AnalyzeRequest(scenario=_scenario())
+        first = service.submit(request)
+        second = service.submit(request)
+        assert not first.memo_hit
+        assert second.memo_hit
+        assert second.report.to_dict() == first.report.to_dict()
+
+    def test_cell_miss_is_read_only(self):
+        service = LibraService()
+        with pytest.raises(AnalysisCacheMiss, match="read-only"):
+            service.submit(AnalyzeRequest(cell=_cell()))

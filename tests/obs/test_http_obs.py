@@ -131,7 +131,7 @@ class TestHealthz:
         _, body = _get(endpoint, "/healthz")
         payload = json.loads(body)
         assert payload["ok"] is True
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert payload["uptime_s"] >= 0
         assert payload["queue_depth"] == 0
         assert payload["active_jobs"] == 0
