@@ -370,6 +370,25 @@ def build_parser() -> argparse.ArgumentParser:
              "already-solved cells instead of starting over)",
     )
     serve.add_argument(
+        "--fleet", action="store_true",
+        help="join a multi-server fleet on the shared --state-dir "
+             "(required): jobs are claimed via lease files so each runs "
+             "on exactly one member, dead members' jobs are reclaimed, "
+             "and SIGTERM drains gracefully (pair with a shared "
+             "--cache-root so reclaimed sweeps resume from cached cells)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECONDS",
+        help="fleet lease time-to-live: how long a member can go "
+             "without heartbeating before peers take its jobs over "
+             "(default 15; renewals run every ttl/3)",
+    )
+    serve.add_argument(
+        "--fleet-poll", type=float, default=1.0, metavar="SECONDS",
+        help="fleet scan interval for peer-job mirroring and stale-"
+             "lease takeover (default 1)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true",
         help="shorthand for --log-level debug (per-request wire detail)",
     )
@@ -1114,14 +1133,29 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.obs import setup_logging
-    from repro.serve import JobManager, JobStore, create_server
+    from repro.serve import FleetCoordinator, JobManager, JobStore, create_server
 
     level = args.log_level or ("debug" if args.verbose else None)
     setup_logging(level=level, json_format=args.log_json)
+    if args.fleet and not args.state_dir:
+        print("repro serve: --fleet requires --state-dir", file=sys.stderr)
+        return 2
     store = JobStore(args.state_dir) if args.state_dir else None
+    fleet = (
+        FleetCoordinator(
+            store,
+            lease_ttl_s=args.lease_ttl,
+            poll_interval_s=args.fleet_poll,
+        )
+        if args.fleet else None
+    )
     manager = JobManager(
-        workers=args.workers, max_jobs=args.max_jobs, store=store
+        workers=args.workers, max_jobs=args.max_jobs, store=store,
+        fleet=fleet,
     )
     server = create_server(
         manager, host=args.host, port=args.port, verbose=args.verbose,
@@ -1136,20 +1170,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if store is not None else ""
     )
+    fleet_note = (
+        f"; fleet member {fleet.owner_id} (lease ttl {args.lease_ttl:g}s)"
+        if fleet is not None else ""
+    )
     print(
         f"repro serve: listening on http://{host}:{port} "
-        f"(schema v4; {args.workers} job workers{durability}; "
+        f"(schema v4; {args.workers} job workers{durability}{fleet_note}; "
         f"Ctrl-C to stop)"
     )
+
+    def _drain(signum, frame):
+        # Graceful drain: stop claiming new work right away, then stop
+        # the accept loop. shutdown() must run off the main thread —
+        # the main thread is inside serve_forever() and shutdown()
+        # blocks until that loop exits.
+        if fleet is not None:
+            fleet.drain()
+        threading.Thread(
+            target=server.shutdown, name="repro-drain", daemon=True
+        ).start()
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _drain)
     try:
         server.serve_forever()
+        print("\ndraining…" if fleet is not None else "\nshutting down…")
     except KeyboardInterrupt:
         print("\nshutting down…")
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         server.shutdown()
         server.server_close()
         # With a durable store, leave queued work on disk for the next
         # boot instead of cancelling it: restart is resume, not reset.
+        # In fleet mode this releases still-queued leases to the peers.
         manager.shutdown(cancel_pending=store is None)
     return 0
 

@@ -42,6 +42,7 @@ STAT_KEYS = (
     "memory_misses",
     "disk_hits",
     "disk_misses",
+    "peer_hits",
     "writes",
     "evictions",
     "corrupt",
@@ -62,6 +63,19 @@ class ResultCache:
     Thread-safe: the memory map is guarded by a lock (the serve layer
     shares one cache across concurrent batch jobs), and disk writes use
     writer-unique temp names with an atomic replace.
+
+    Safe to share across *processes* too (fleet mode points every server
+    at one directory): content addressing makes concurrent puts of the
+    same key idempotent (last atomic replace wins, both replaces carry
+    the same bytes), every disk lookup reads the live file rather than
+    trusting a listing snapshot, and eviction only ever touches this
+    instance's memory tier under its lock — one process's LRU pressure
+    can never unlink a peer's disk entry. The stats split disk hits by
+    provenance: a hit on an entry this instance wrote is a plain
+    ``disk_hits``; one written by a peer process (or an earlier run)
+    additionally counts under ``peer_hits`` and the
+    ``repro_cache_peer_hits_total`` counter, which is how a fleet
+    operator sees cross-server reuse actually happening.
 
     Args:
         directory: Where to persist entries as ``<key>.json`` files;
@@ -87,6 +101,9 @@ class ResultCache:
         self._max_memory = max_memory
         self._lock = threading.Lock()
         self._stats = dict.fromkeys(STAT_KEYS, 0)
+        # Keys this instance has put to disk — the provenance line
+        # between disk_hits and peer_hits (guarded by the same lock).
+        self._own_keys: set[str] = set()
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             try:
@@ -114,9 +131,12 @@ class ResultCache:
 
         ``memory_misses`` counts every lookup that fell past the memory
         tier (so for a disk-backed cache, disk hits + disk misses ==
-        memory misses); ``writes`` counts accepted :meth:`put` stores;
-        ``evictions`` counts memory-tier LRU drops; ``corrupt`` counts
-        disk entries quarantined as unreadable (each also a disk miss).
+        memory misses); ``peer_hits`` is the subset of ``disk_hits``
+        whose entry this instance never wrote (a peer process, or an
+        earlier run, did); ``writes`` counts accepted :meth:`put`
+        stores; ``evictions`` counts memory-tier LRU drops; ``corrupt``
+        counts disk entries quarantined as unreadable (each also a disk
+        miss).
         """
         with self._lock:
             return dict(self._stats)
@@ -187,8 +207,17 @@ class ResultCache:
             KeyError, TypeError, ReproError,
         ):
             return self._quarantine(path)
-        self._count("disk_hits")
+        with self._lock:
+            self._stats["disk_hits"] += 1
+            peer = key not in self._own_keys
+            if peer:
+                self._stats["peer_hits"] += 1
         _lookup_counter().labels(tier="disk", outcome="hit").inc()
+        if peer:
+            obs_metrics.get_registry().counter(
+                obs_names.CACHE_PEER_HITS,
+                "Disk-tier cache hits on entries written by another process.",
+            ).inc()
         self._remember(key, result)
         return result
 
@@ -222,7 +251,9 @@ class ResultCache:
             return
         stored = replace(result, key=key, from_cache=False)
         self._remember(key, stored)
-        self._count("writes")
+        with self._lock:
+            self._stats["writes"] += 1
+            self._own_keys.add(key)
         obs_metrics.get_registry().counter(
             obs_names.CACHE_WRITES,
             "ResultCache entries stored via put().",

@@ -66,6 +66,23 @@ JOBS_RECOVERED = "repro_jobs_recovered_total"
 JOB_RETRIES = "repro_job_retries_total"
 #: Histogram: JobStore fsync latency (event-log batches and records).
 STORE_FSYNC_SECONDS = "repro_store_fsync_seconds"
+#: Counter: job directories without an intact record skipped by load().
+STORE_ORPHANS = "repro_store_orphans_total"
+#: Counter: disk-tier cache hits on entries written by another process.
+CACHE_PEER_HITS = "repro_cache_peer_hits_total"
+
+# -- fleet (serve/fleet.py) ---------------------------------------------------
+# These four only register on servers started with ``--fleet``, so they
+# are deliberately NOT in REQUIRED_FAMILIES (obs-smoke scrapes a plain
+# single server).
+#: Counter{outcome=won|lost}: lease-claim attempts.
+FLEET_CLAIMS = "repro_fleet_claims_total"
+#: Counter: stale leases taken over from a dead/silent peer.
+FLEET_TAKEOVERS = "repro_fleet_takeovers_total"
+#: Counter{outcome=ok|lost}: heartbeat lease renewals.
+FLEET_RENEWALS = "repro_fleet_lease_renewals_total"
+#: Gauge: leases this server currently holds.
+FLEET_LEASES_HELD = "repro_fleet_leases_held"
 
 # -- analysis (repro/analysis, api/service.py) -------------------------------
 #: Counter{source=cache|inline|solve}: analyze requests by target resolution.
@@ -88,7 +105,8 @@ HTTP_SECONDS = "repro_http_request_seconds"
 #: at server construction so a healthy-but-never-crashed (or never-analyzed)
 #: server still scrapes them at zero. ``CACHE_EVICTIONS`` is the one family
 #: deliberately absent: it needs a bounded memory tier to overflow, which
-#: no smoke run does.)
+#: no smoke run does. The ``repro_fleet_*`` families are likewise absent:
+#: they register only on ``--fleet`` servers, which obs-smoke does not run.)
 REQUIRED_FAMILIES = (
     SOLVER_SOLVES,
     SOLVER_STARTS,
@@ -109,7 +127,9 @@ REQUIRED_FAMILIES = (
     JOBS_RECOVERED,
     JOB_RETRIES,
     STORE_FSYNC_SECONDS,
+    STORE_ORPHANS,
     CACHE_CORRUPT,
+    CACHE_PEER_HITS,
     ANALYZE_REQUESTS,
     ANALYZE_SECONDS,
     ANALYZE_MEMO,

@@ -23,6 +23,9 @@ Layers, bottom-up:
   job store behind ``repro serve --state-dir`` (restart recovery).
 * :mod:`repro.serve.faults` — deterministic fault injection
   (``REPRO_FAULTS``) the durability tests drive.
+* :mod:`repro.serve.fleet` — lease-based multi-server coordination
+  (``repro serve --fleet``): N processes share one state dir, each job
+  runs on exactly one of them, and dead members' jobs are reclaimed.
 
 In-process, queued, and remote execution accept identical request
 payloads, so the same scenario file drives all three.
@@ -37,6 +40,7 @@ from repro.serve.jobs import (
     derive_job_id,
     job_content_key,
 )
+from repro.serve.fleet import FleetCoordinator, LeaseStore
 from repro.serve.manager import JobManager
 from repro.serve.store import JobStore
 from repro.serve.http import ServeServer, create_server
@@ -45,11 +49,13 @@ from repro.serve.client import ServeClient, ServeClientError
 __all__ = [
     "EVENT_KINDS",
     "EVENT_SCHEMA_VERSION",
+    "FleetCoordinator",
     "JobHandle",
     "JobInfo",
     "JobManager",
     "JobState",
     "JobStore",
+    "LeaseStore",
     "ProgressEvent",
     "ServeClient",
     "ServeClientError",

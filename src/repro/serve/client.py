@@ -38,7 +38,7 @@ from repro.api.requests import (
     request_to_dict,
 )
 from repro.serve.events import ProgressEvent
-from repro.serve.jobs import JobInfo
+from repro.serve.jobs import JobInfo, derive_job_id, job_content_key
 from repro.utils.errors import ConfigurationError, ReproError
 
 
@@ -79,12 +79,16 @@ class ServeClient:
         base_url: e.g. ``"http://127.0.0.1:8350"`` (trailing slash ok).
         timeout: Per-connection socket timeout, seconds. Event streams
             use it as the *between-events* bound.
-        retries: How many times an idempotent GET is retried after a
+        retries: How many times an idempotent call is retried after a
             transient connection failure (refused/reset), with jittered
             exponential backoff — enough to ride through a server
-            restart. POSTs and DELETEs are never retried at the
-            transport level: a write whose fate is unknown must surface,
-            not silently repeat.
+            restart. Idempotent means GETs *and* job submission:
+            ``POST /v3/jobs`` dedupes on the content-derived job id, so
+            repeating a submission whose fate is unknown lands on the
+            same job instead of forking a duplicate (and :meth:`submit`
+            asserts the returned id matches the locally derived one).
+            DELETEs are never retried at the transport level: repeating
+            a cancellation whose fate is unknown could cancel a rerun.
         retry_backoff_s: Base backoff before the first retry; doubles
             each attempt (jittered to half–full of the nominal delay).
     """
@@ -213,12 +217,51 @@ class ServeClient:
     def submit(
         self, request: OptimizeRequest | BatchRequest | Mapping
     ) -> JobInfo:
-        """Submit a request (value or pre-encoded payload); job snapshot back."""
+        """Submit a request (value or pre-encoded payload); job snapshot back.
+
+        Retried across transient connection failures like a GET, which
+        is safe *because job ids are content-derived*: the server
+        dedupes a repeated payload onto the live job the first (fate
+        unknown) attempt may have created, so a retry can observe a
+        duplicate but never fork one. As a belt for that reasoning,
+        when the expected id is locally derivable the returned id is
+        asserted to match — a mismatch means the server is not the
+        deduping server this retry policy assumes, and surfaces as a
+        non-transient error rather than silently diverging work.
+        (Batch requests with a ``cache_dir`` skip the assertion: the
+        server rewrites the path under its ``--cache-root`` sandbox,
+        which legitimately changes the content key.)
+        """
         payload = (
             dict(request) if isinstance(request, Mapping)
             else request_to_dict(request)
         )
-        return JobInfo.from_dict(self._call("POST", "/v3/jobs", payload))
+        expected = None
+        if not isinstance(request, Mapping) and not (
+            isinstance(request, BatchRequest) and request.cache_dir
+        ):
+            expected = derive_job_id(job_content_key(request))
+        for attempt in range(self.retries + 1):
+            try:
+                info = JobInfo.from_dict(
+                    self._call_once("POST", "/v3/jobs", payload)
+                )
+                break
+            except ServeClientError as exc:
+                if not exc.transient or attempt >= self.retries:
+                    raise
+            self._backoff_sleep(attempt)
+        else:  # pragma: no cover — the loop always breaks or raises
+            raise AssertionError("unreachable")
+        if expected is not None and not (
+            info.id == expected or info.id.startswith(expected + "-r")
+        ):
+            raise ServeClientError(
+                f"server returned job id {info.id!r} for a payload that "
+                f"derives {expected!r}; refusing to retry against a "
+                "server that does not dedupe submissions by content"
+            )
+        return info
 
     def job(self, job_id: str) -> JobInfo:
         """The current envelope for one job (result included when done)."""

@@ -37,6 +37,11 @@ Instrumented points (grep for ``faults.fire``):
 ``manager.run``           in the job worker, before executing the request
 ``worker.solve``          in :func:`~repro.explore.executor.solve_point`,
                           before each solve attempt (fires in pool workers)
+``fleet.claim``           after a lease file is created but before the claim
+                          returns (``crash`` here is the mid-claim death a
+                          peer's scan must clean up)
+``fleet.renew``           before each lease-renewal write (``delay`` here is
+                          the heartbeat stall that forces a peer takeover)
 ========================  ====================================================
 
 The no-fault fast path is one module-global ``is None`` check, so

@@ -209,7 +209,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             terminal = (
                 counts["done"] + counts["failed"] + counts["cancelled"]
             )
-            self._send_json(200, {
+            payload = {
                 "ok": True,
                 "schema_version": RESPONSE_SCHEMA_VERSION,
                 "uptime_s": (
@@ -221,7 +221,13 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "terminal_jobs": terminal,
                 "recovered_jobs": getattr(self.manager, "recovered_jobs", 0),
                 "jobs": counts,
-            })
+            }
+            fleet = getattr(self.manager, "fleet", None)
+            if fleet is not None:
+                # Owner id, leases held, takeovers, draining — what a
+                # fleet load balancer needs to steer and drain by.
+                payload["fleet"] = fleet.stats()
+            self._send_json(200, payload)
             return
         if path == "/v3/metrics":
             body = obs_metrics.get_registry().render().encode("utf-8")

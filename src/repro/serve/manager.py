@@ -53,6 +53,7 @@ from repro.obs import trace as obs_trace
 from repro.serve import faults
 from repro.serve.events import ProgressEvent
 from repro.serve.jobs import (
+    EVENT_LOG_LIMIT,
     TERMINAL_STATES,
     JobHandle,
     JobRecord,
@@ -61,7 +62,7 @@ from repro.serve.jobs import (
     job_content_key,
     resolve_state,
 )
-from repro.serve.store import STORE_VERSION, JobStore
+from repro.serve.store import STORE_VERSION, JobStore, StoredJob
 from repro.utils.errors import (
     ConfigurationError,
     JobCancelled,
@@ -117,6 +118,15 @@ class JobManager:
         retry_backoff_s: Base of the bounded exponential backoff between
             job retries (``base * 2**(attempt-1)``, capped at
             :data:`MAX_RETRY_BACKOFF_S`).
+        fleet: Optional :class:`~repro.serve.fleet.FleetCoordinator`
+            (requires ``store``). With one, this manager is one member
+            of a multi-server fleet sharing the state dir: submissions
+            claim a lease before running (losing the race to a peer
+            tracks the job passively instead), the store sink only
+            persists for lease-owned jobs (the event log has exactly
+            one writer), recovery claims rather than assumes, and the
+            coordinator's background thread renews held leases and
+            takes over stale ones.
     """
 
     def __init__(
@@ -128,6 +138,7 @@ class JobManager:
         store: JobStore | None = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.25,
+        fleet=None,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -145,6 +156,10 @@ class JobManager:
             raise ConfigurationError(
                 f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
             )
+        if fleet is not None and store is None:
+            raise ConfigurationError(
+                "fleet mode requires a durable store (--state-dir)"
+            )
         self._evict_grace_s = evict_grace_s
         self.service = service if service is not None else LibraService()
         self._max_jobs = max_jobs
@@ -152,6 +167,7 @@ class JobManager:
         self._retry_backoff_s = retry_backoff_s
         self._store = store
         self._sink = self._store_sink if store is not None else None
+        self._fleet = fleet
         self.recovered_jobs = 0
         self._lock = threading.Lock()
         self._jobs: OrderedDict[str, JobRecord] = OrderedDict()
@@ -161,8 +177,20 @@ class JobManager:
             max_workers=workers, thread_name_prefix="repro-job"
         )
         self.register_gauges(obs_metrics.get_registry())
+        if fleet is not None:
+            # Bind before recovery (recovery claims through the
+            # coordinator) but start the renew/scan thread only after it,
+            # so the scan never races the initial table build.
+            fleet.bind(self)
         if store is not None:
             self._recover()
+        if fleet is not None:
+            fleet.start()
+
+    @property
+    def fleet(self):
+        """The bound fleet coordinator, or ``None`` (single-server mode)."""
+        return self._fleet
 
     def register_gauges(self, registry) -> None:
         """Point the live-depth gauges at this manager.
@@ -214,7 +242,17 @@ class JobManager:
         running (availability over durability) and the fault is logged —
         a full disk must degrade the server to PR 5 behavior, not kill
         every job mid-solve.
+
+        In fleet mode the sink is strictly lease-gated: the append-only
+        event log survives exactly one writer (a duplicate seq from a
+        second process would truncate the gapless prefix), so a record
+        this server does not hold the lease for — a passive mirror of a
+        peer's job, or a job whose lease was just lost — persists
+        nothing. The lease owner's sink writes the same events from its
+        identical record.
         """
+        if self._fleet is not None and not self._fleet.owns(record.id):
+            return
         try:
             self._store.append_event(
                 record.id, event.to_dict(), durable=event.kind == "state"
@@ -241,6 +279,13 @@ class JobManager:
         its retry budget instead of looping forever. Unreadable records
         are logged and skipped, never fatal: recovery must not be able
         to prevent the server from starting.
+
+        In fleet mode the pass *claims* instead of assuming: each
+        unfinished job's lease is contested through the coordinator. A
+        won claim requeues here (through a stale lease it carries the
+        takeover reason); a lost one means a live peer is running the
+        job, so it is restored as a passive mirror only — the scan
+        thread keeps it fresh and takes over if that peer dies.
         """
         requeued = 0
         restored = 0
@@ -260,8 +305,15 @@ class JobManager:
             restored += 1
             if record.state in TERMINAL_STATES:
                 continue
+            reason = "recovered after restart"
+            if self._fleet is not None:
+                claim = self._fleet.try_claim(record.id)
+                if not claim.won:
+                    continue  # a live peer owns it; mirror passively
+                if claim.reclaimed_from:
+                    reason = f"reclaimed from dead owner {claim.reclaimed_from}"
             with record.cond:
-                record.requeue("recovered after restart")
+                record.requeue(reason)
             self._pool.submit(self._run, record)
             requeued += 1
             obs_metrics.get_registry().counter(
@@ -320,6 +372,130 @@ class JobManager:
                 f"malformed persisted job record: {exc}"
             ) from exc
 
+    # -- fleet coordination (called from the FleetCoordinator thread) --------
+
+    def _fleet_sync_from_disk(self, job_id: str, record_payload: dict) -> JobRecord | None:
+        """Mirror a peer-owned job's disk state into the local table.
+
+        Adopts unknown jobs (so any fleet member answers ``GET`` and
+        dedupes against work running anywhere) and refreshes known
+        passive mirrors in place — replacing the event list wholesale
+        with the disk log, which shares the gapless seq prefix local
+        streams have already delivered, so cursors stay valid. Records
+        this server owns, and mirrors that already reached a local
+        terminal state, are never touched.
+        """
+        if self._fleet is not None and self._fleet.owns(job_id):
+            return None
+        stored = StoredJob(
+            job_id=job_id,
+            record=record_payload,
+            events=self._store.read_events(job_id),
+        )
+        try:
+            fresh = self._restore_record(stored)
+        except ReproError:
+            return None
+        with self._lock:
+            if self._closed:
+                return None
+            record = self._jobs.get(job_id)
+            if record is None:
+                self._jobs[job_id] = fresh
+                return fresh
+        with record.cond:
+            if record.state in TERMINAL_STATES:
+                return record
+            record.state = fresh.state
+            record.started_at = fresh.started_at
+            record.finished_at = fresh.finished_at
+            record.error = fresh.error
+            record.result = fresh.result
+            record.attempts = fresh.attempts
+            if fresh.next_seq > record.next_seq:
+                record.events = fresh.events
+                record.next_seq = fresh.next_seq
+            record.cond.notify_all()
+        return record
+
+    def _fleet_run_claimed(
+        self, job_id: str, record_payload: dict, reason: str
+    ) -> None:
+        """Run a job whose lease this server just won (takeover path).
+
+        Syncs the record to disk truth first — the disk log is what this
+        server's sink will append after — then requeues with ``reason``
+        (now persisted, since the lease is ours) and schedules it.
+        """
+        assert self._fleet is not None
+        stored = StoredJob(
+            job_id=job_id,
+            record=record_payload,
+            events=self._store.read_events(job_id),
+        )
+        with self._lock:
+            if self._closed:
+                self._fleet.release(job_id)
+                return
+            record = self._jobs.get(job_id)
+            if record is None:
+                try:
+                    record = self._restore_record(stored)
+                except ReproError as exc:
+                    _log.warning(
+                        "cannot adopt claimed job; releasing lease",
+                        extra={"fields": {
+                            "job": job_id,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }},
+                    )
+                    self._fleet.release(job_id)
+                    return
+                self._jobs[job_id] = record
+        with record.cond:
+            if record.state in TERMINAL_STATES:
+                self._fleet.release(job_id)
+                return
+            # Align the in-memory record with the disk log before the
+            # first owned append, and reset the cancel flag: a previous
+            # local runner that lost this lease mid-solve still holds
+            # the old (set) Event and will stop at its next checkpoint.
+            events = [ProgressEvent.from_dict(e) for e in stored.events]
+            if events and events[-1].seq + 1 > record.next_seq:
+                record.events = events[-EVENT_LOG_LIMIT:]
+                record.next_seq = events[-1].seq + 1
+            record.cancel_requested = threading.Event()
+            record.requeue(reason)
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                self._pool.submit(self._run, record)
+            except RuntimeError:
+                pass  # teardown; the lease releases in close()
+
+    def _fleet_lease_lost(self, record: JobRecord) -> None:
+        """React to losing a lease (renewal failed): stop, don't persist.
+
+        The job is not cancelled globally — a peer has (or will) take it
+        over. Locally: a running solve gets its cancel flag raised so it
+        stops at the next checkpoint, and the record returns to
+        ``queued`` as a passive mirror (the sink is already gated off,
+        so nothing we do from here reaches the shared log).
+        """
+        with record.cond:
+            if record.state in TERMINAL_STATES:
+                return
+            if record.state is JobState.RUNNING:
+                record.cancel_requested.set()
+            record.requeue(
+                "lease lost (renewal failed); a peer server owns this job"
+            )
+        _log.warning(
+            "stopped local run after lease loss",
+            extra={"fields": {"job": record.id}},
+        )
+
     # -- submission ----------------------------------------------------------
 
     def submit(
@@ -362,11 +538,27 @@ class JobManager:
                 rerun += 1
                 job_id = derive_job_id(content_key, rerun)
             self._evict_terminal()
+            # Fleet mode claims the lease *before* creating the record:
+            # the record's first emitted event (queued, seq 0) must only
+            # persist on the server that owns the log. Identical
+            # payloads racing on two servers derive the same job id, so
+            # the O_EXCL claim picks the single runner; the loser tracks
+            # the job passively and the scan thread mirrors the winner's
+            # progress in.
+            claimed = None
+            if self._fleet is not None:
+                claimed = self._fleet.try_claim(job_id)
             # Emits the queued event; with a store the sink persists the
             # record before submit returns — a crash after the 202 can
             # never lose an acknowledged job.
             record = JobRecord(job_id, request, content_key, sink=self._sink)
             self._jobs[job_id] = record
+            if claimed is not None and not claimed.won:
+                _log.info(
+                    "job claimed by a peer server; tracking passively",
+                    extra={"fields": {"job": job_id, "kind": record.kind}},
+                )
+                return JobHandle(record)
             # Scheduling happens under the manager lock: shutdown() flips
             # _closed under the same lock before it stops the pool, so a
             # submission that passed the _closed check above cannot race
@@ -431,6 +623,8 @@ class JobManager:
 
     def _run(self, record: JobRecord) -> None:
         """Pool-thread entry: drive one job through its lifecycle."""
+        if self._fleet is not None and not self._fleet.owns(record.id):
+            return  # lease lost while queued; a peer owns the job now
         with record.cond:
             if record.state is not JobState.QUEUED:
                 return  # cancelled while queued
@@ -468,18 +662,28 @@ class JobManager:
                 )
         except JobCancelled as exc:
             with record.cond:
-                record.transition(JobState.CANCELLED, error=str(exc))
+                # Only a still-RUNNING record cancels here: a fleet
+                # lease loss requeues the record mid-solve (queued →
+                # cancelled is legal, and transitioning would wrongly
+                # terminate a job a peer is about to run).
+                if record.state is JobState.RUNNING:
+                    record.transition(JobState.CANCELLED, error=str(exc))
         except Exception as exc:  # noqa: BLE001 — job containment contract
             if self._maybe_retry(record, exc):
                 return  # requeued; terminal accounting happens on the last run
             with record.cond:
-                record.transition(
-                    JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
-                )
+                if record.state is JobState.RUNNING:
+                    record.transition(
+                        JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
+                    )
         else:
             with record.cond:
-                record.result = response
-                record.transition(JobState.DONE)
+                # A record no longer RUNNING was requeued under us (fleet
+                # lease loss): the outcome is discarded — the lease owner
+                # recomputes it, cheaply, from the shared cache.
+                if record.state is JobState.RUNNING:
+                    record.result = response
+                    record.transition(JobState.DONE)
         with record.cond:
             state = record.state
             error = record.error
@@ -487,6 +691,10 @@ class JobManager:
                 (record.finished_at or 0.0) - (record.started_at or 0.0)
                 if state in TERMINAL_STATES else 0.0
             )
+        if state in TERMINAL_STATES and self._fleet is not None:
+            # The terminal state event is already persisted (the sink
+            # runs inside the transition), so the lease has done its job.
+            self._fleet.release(record.id)
         if state in TERMINAL_STATES:
             registry.histogram(
                 obs_names.JOB_RUN_SECONDS, "Running-to-terminal latency."
@@ -610,6 +818,13 @@ class JobManager:
         they stay persisted as ``queued`` and the next boot's recovery
         pass resumes them — a graceful restart must not turn the backlog
         into a pile of cancellations.
+
+        In fleet mode this is the graceful drain: after any cancellation
+        pass, still-queued claimed jobs have their leases released (a
+        peer's next scan claims and runs them — their records are on
+        disk as ``queued``, exactly the takeover shape), running jobs
+        finish while ``wait`` holds their leases, and the coordinator
+        shuts down last so heartbeats cover the whole drain.
         """
         with self._lock:
             self._closed = True
@@ -627,7 +842,11 @@ class JobManager:
         if cancel_pending:
             for record in records:
                 JobHandle(record).cancel()
+        if self._fleet is not None:
+            self._fleet.drain()
         self._pool.shutdown(wait=wait, cancel_futures=not cancel_pending)
+        if self._fleet is not None:
+            self._fleet.close()
         if self._store is not None:
             self._store.close()
 

@@ -52,10 +52,13 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import get_logger
 from repro.obs import metrics as obs_metrics
 from repro.obs import names as obs_names
 from repro.serve import faults
 from repro.utils.errors import ConfigurationError
+
+_log = get_logger("serve.store")
 
 #: On-disk record schema version (guards the envelope wrapper layout).
 STORE_VERSION = 1
@@ -92,6 +95,14 @@ def register_durability_families(registry) -> None:
     registry.counter(
         obs_names.CACHE_CORRUPT,
         "Corrupt/truncated ResultCache disk entries quarantined.",
+    ).labels()
+    registry.counter(
+        obs_names.STORE_ORPHANS,
+        "Job directories without an intact record skipped by load().",
+    ).labels()
+    registry.counter(
+        obs_names.CACHE_PEER_HITS,
+        "Disk-tier cache hits on entries written by another process.",
     ).labels()
 
 
@@ -236,10 +247,27 @@ class JobStore:
         self._lock = threading.Lock()
         self._logs: dict[str, _EventLog] = {}
         self._closed = False
+        #: Cumulative orphan directories skipped by :meth:`load`.
+        self.orphans_skipped = 0
 
     @property
     def root(self) -> Path:
         return self._root
+
+    @property
+    def jobs_dir(self) -> Path:
+        """The ``jobs/`` directory (fleet leases live inside it)."""
+        return self._jobs_dir
+
+    def job_ids(self) -> list[str]:
+        """Every job directory name, sorted — the fleet scan's worklist."""
+        try:
+            return sorted(
+                entry.name for entry in self._jobs_dir.iterdir()
+                if entry.is_dir()
+            )
+        except OSError:
+            return []
 
     def job_dir(self, job_id: str) -> Path:
         if not job_id or "/" in job_id or job_id in (".", ".."):
@@ -338,10 +366,12 @@ class JobStore:
                     (job_dir / name).unlink()
                 except OSError:
                     pass
-            # Stray temp files from interrupted record writes.
+            # Stray temp files from interrupted record writes, plus any
+            # fleet lease (and steal debris) the owner left behind.
             try:
-                for stray in job_dir.glob("record.*.tmp"):
-                    stray.unlink()
+                for pattern in ("record.*.tmp", "lease.json", "lease.steal.*"):
+                    for stray in job_dir.glob(pattern):
+                        stray.unlink()
                 job_dir.rmdir()
             except OSError:
                 pass
@@ -385,8 +415,11 @@ class JobStore:
         A job directory without an intact ``record.json`` is skipped: the
         record is written (and fsynced) before submission returns, so an
         orphan means the crash hit mid-submit and no client ever saw the
-        job id. Event logs are repaired (torn tails truncated) as a side
-        effect of replay.
+        job id. Skips are not silent — each logs a structured WARNING and
+        counts in ``repro_store_orphans_total`` (and the cumulative
+        :attr:`orphans_skipped`), so a fleet operator can see state-dir
+        skew instead of wondering where a directory went. Event logs are
+        repaired (torn tails truncated) as a side effect of replay.
         """
         jobs = []
         try:
@@ -398,6 +431,16 @@ class JobStore:
                 continue
             record = self.read_record(entry.name)
             if record is None:
+                self.orphans_skipped += 1
+                _log.warning(
+                    "skipping orphan job directory (no intact record.json)",
+                    extra={"fields": {"path": str(entry)}},
+                )
+                obs_metrics.get_registry().counter(
+                    obs_names.STORE_ORPHANS,
+                    "Job directories without an intact record skipped "
+                    "by load().",
+                ).inc()
                 continue
             jobs.append(
                 StoredJob(

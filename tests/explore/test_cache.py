@@ -153,6 +153,27 @@ class TestStats:
             stats["disk_hits"] + stats["disk_misses"] == stats["memory_misses"]
         )
 
+    def test_peer_hits_split_own_writes_from_fleet_writes(self, tmp_path):
+        # Two caches over one directory model two fleet members sharing
+        # --cache-root. A disk hit on a key this process never wrote is a
+        # peer hit — the subset of disk_hits that measures what fleet
+        # sharing actually saved.
+        key_a, key_b = "a" * 64, "b" * 64
+        writer = ResultCache(tmp_path / "cache", max_memory=1)
+        reader = ResultCache(tmp_path / "cache")
+        writer.put(key_a, _result(key=key_a))
+        writer.put(key_b, _result(key=key_b))  # evicts key_a from memory
+
+        assert reader.get(key_a) is not None  # a peer's write
+        stats = reader.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["peer_hits"] == 1
+
+        assert writer.get(key_a) is not None  # its own write, via disk
+        stats = writer.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["peer_hits"] == 0  # provenance: written here
+
     def test_rejected_put_not_counted_as_write(self):
         cache = ResultCache()
         failed = _result(error="MappingError: nope")

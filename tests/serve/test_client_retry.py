@@ -5,11 +5,18 @@ import time
 
 import pytest
 
-from repro.api.requests import RESPONSE_SCHEMA_VERSION
+from repro.api.requests import RESPONSE_SCHEMA_VERSION, OptimizeRequest
+from repro.api.scenario import build_scenario
 from repro.serve.client import ServeClient, ServeClientError, ServeStreamStalled
 from repro.serve.events import ProgressEvent
-from repro.serve.jobs import JobInfo, JobState
+from repro.serve.jobs import JobInfo, JobState, derive_job_id, job_content_key
 from repro.utils.errors import ConfigurationError
+
+
+def _submit_request() -> OptimizeRequest:
+    return OptimizeRequest(
+        scenario=build_scenario("RI(3)_RI(2)", ["Turing-NLG"], total_bw_gbps=300)
+    )
 
 
 def _dead_port() -> int:
@@ -67,12 +74,63 @@ class TestTransientClassification:
         assert not err.value.transient
         assert client._sleeps == []  # no retry: the server answered
 
-    def test_posts_are_never_retried(self):
+    def test_deletes_are_never_retried(self):
         client = _client(retries=3)
+        with pytest.raises(ServeClientError) as err:
+            client.cancel("job-x")
+        assert err.value.transient
+        assert client._sleeps == []  # repeating a cancel is not idempotent
+
+    def test_submit_retries_like_a_get(self):
+        # Safe because job ids are content-derived: the server dedupes a
+        # repeated payload onto whatever the fate-unknown first attempt
+        # created.
+        client = _client(retries=2)
         with pytest.raises(ServeClientError) as err:
             client.submit({"schema_version": RESPONSE_SCHEMA_VERSION})
         assert err.value.transient
-        assert client._sleeps == []  # a write of unknown fate must surface
+        assert client._sleeps == [0, 1]
+
+    def test_submit_recovers_and_checks_the_deduped_id(self):
+        request = _submit_request()
+        expected = derive_job_id(job_content_key(request))
+        client = _client(retries=3)
+        calls = {"n": 0}
+
+        def flaky_call_once(method, path, payload=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ServeClientError("refused", transient=True)
+            return _done_info(expected).to_dict()
+
+        client._call_once = flaky_call_once
+        info = client.submit(request)
+        assert info.id == expected
+        assert calls["n"] == 2
+        assert client._sleeps == [0]
+
+    def test_submit_rejects_a_server_that_does_not_dedupe(self):
+        # The id assertion is the belt on the retry reasoning: a server
+        # answering with an unrelated id is not deduping by content, so
+        # retrying against it could fork duplicate work.
+        client = _client(retries=3)
+        client._call_once = (
+            lambda method, path, payload=None: _done_info("job-other").to_dict()
+        )
+        with pytest.raises(ServeClientError, match="dedupe") as err:
+            client.submit(_submit_request())
+        assert not err.value.transient
+        assert client._sleeps == []
+
+    def test_submit_accepts_a_rerun_suffix(self):
+        request = _submit_request()
+        expected = derive_job_id(job_content_key(request))
+        client = _client(retries=0)
+        client._call_once = (
+            lambda method, path, payload=None:
+            _done_info(expected + "-r2").to_dict()
+        )
+        assert client.submit(request).id == expected + "-r2"
 
     def test_zero_retries_fails_on_first_transient(self):
         client = _client(retries=0)

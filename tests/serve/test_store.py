@@ -7,6 +7,7 @@ duplicate a sequence number.
 """
 
 import json
+import logging
 
 import pytest
 from hypothesis import given, settings
@@ -217,6 +218,37 @@ class TestLoad:
             store.append_event("job-orphan", _event(0))
             store.save_record("job-abc", _record_payload())
         assert [job.job_id for job in JobStore(tmp_path).load()] == ["job-abc"]
+
+    def test_orphan_dirs_are_counted_and_warned(self, tmp_path):
+        # Operators debugging a fleet need orphans visible, not silent:
+        # each one is a structured WARNING and a counter increment.
+        with JobStore(tmp_path) as store:
+            store.append_event("job-orphan-a", _event(0))
+            (store.jobs_dir / "job-orphan-b").mkdir()  # empty husk
+            store.save_record("job-abc", _record_payload())
+        reloaded = JobStore(tmp_path)
+        # Capture on the store's own logger: the repro root logger stops
+        # propagating once structured logging is configured, so a
+        # root-level capture would be order-dependent across the suite.
+        records: list[logging.LogRecord] = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        logger = logging.getLogger("repro.serve.store")
+        logger.addHandler(handler)
+        old_level = logger.level
+        logger.setLevel(logging.WARNING)
+        try:
+            jobs = reloaded.load()
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+        assert [job.job_id for job in jobs] == ["job-abc"]
+        assert reloaded.orphans_skipped == 2
+        orphan_warnings = [
+            record for record in records
+            if "orphan" in record.getMessage()
+        ]
+        assert len(orphan_warnings) == 2
 
     def test_oldest_first(self, tmp_path):
         with JobStore(tmp_path) as store:
