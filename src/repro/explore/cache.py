@@ -36,6 +36,14 @@ from repro.obs import names as obs_names
 #: key itself via ``keys.ENGINE_VERSION``; this guards the record format).
 STORE_VERSION = 1
 
+#: Bound on the per-instance provenance set that splits ``disk_hits``
+#: into own vs. ``peer_hits``. Purely statistical bookkeeping, so it is
+#: LRU-bounded rather than exact: on a long-running fleet server an
+#: unbounded set of one digest per ``put()`` is a slow memory leak. A
+#: key evicted here re-counts as a peer hit later — a stats skew in the
+#: conservative direction, never a correctness issue.
+OWN_KEYS_LIMIT = 65_536
+
 #: Keys of the :meth:`ResultCache.stats` payload, in reporting order.
 STAT_KEYS = (
     "memory_hits",
@@ -103,7 +111,8 @@ class ResultCache:
         self._stats = dict.fromkeys(STAT_KEYS, 0)
         # Keys this instance has put to disk — the provenance line
         # between disk_hits and peer_hits (guarded by the same lock).
-        self._own_keys: set[str] = set()
+        # An LRU bounded at OWN_KEYS_LIMIT, not an ever-growing set.
+        self._own_keys: OrderedDict[str, None] = OrderedDict()
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             try:
@@ -133,7 +142,8 @@ class ResultCache:
         tier (so for a disk-backed cache, disk hits + disk misses ==
         memory misses); ``peer_hits`` is the subset of ``disk_hits``
         whose entry this instance never wrote (a peer process, or an
-        earlier run, did); ``writes`` counts accepted :meth:`put`
+        earlier run, did — judged against the :data:`OWN_KEYS_LIMIT`-
+        bounded provenance LRU); ``writes`` counts accepted :meth:`put`
         stores; ``evictions`` counts memory-tier LRU drops; ``corrupt``
         counts disk entries quarantined as unreadable (each also a disk
         miss).
@@ -212,6 +222,8 @@ class ResultCache:
             peer = key not in self._own_keys
             if peer:
                 self._stats["peer_hits"] += 1
+            else:
+                self._own_keys.move_to_end(key)  # hot provenance stays
         _lookup_counter().labels(tier="disk", outcome="hit").inc()
         if peer:
             obs_metrics.get_registry().counter(
@@ -253,7 +265,10 @@ class ResultCache:
         self._remember(key, stored)
         with self._lock:
             self._stats["writes"] += 1
-            self._own_keys.add(key)
+            self._own_keys[key] = None
+            self._own_keys.move_to_end(key)
+            while len(self._own_keys) > OWN_KEYS_LIMIT:
+                self._own_keys.popitem(last=False)
         obs_metrics.get_registry().counter(
             obs_names.CACHE_WRITES,
             "ResultCache entries stored via put().",

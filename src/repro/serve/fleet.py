@@ -31,19 +31,26 @@ store directory::
   winner requeues the job with a ``reclaimed from dead owner`` state
   event and runs it through the ordinary worker path.
 
-Staleness is ``age > ttl`` on the monotonic stamp, with one
-accelerator: a lease whose recorded host matches ours and whose pid is
-dead is stale immediately — same-host failover (the common
-one-box-many-processes deployment, and the CI fleet-smoke job) does not
-wait out the ttl. The monotonic clock is per-boot system-wide on Linux,
-so stamps compare across processes on one host; fleets spanning hosts
-rely on the ttl being generous relative to clock skew.
+Staleness is ``age > ttl``, judged on the stamp whose epoch we share
+with the writer. A lease written on *this* host ages on the monotonic
+stamp — CLOCK_MONOTONIC is per-boot system-wide on Linux, so stamps
+compare exactly across processes on one host — with one accelerator: a
+same-host lease whose pid is dead is stale immediately (the common
+one-box-many-processes deployment, and the CI fleet-smoke job, never
+wait out the ttl). A lease written on *another* host ages on the
+wall-clock ``renewed_at`` stamp instead, padded by
+:data:`DEFAULT_WALL_SKEW_S`: monotonic epochs are boot-relative and
+unbounded apart between hosts (a later-booted host would judge every
+peer lease permanently live, an earlier-booted one would judge them all
+stale and double-run every job), so cross-host staleness must use the
+one clock NTP keeps within a bounded skew.
 
 **Why safety holds.** At most one process believes it owns a live lease
 at any instant: O_EXCL serializes creation; renewal self-fences at the
-same ttl that takeover requires, so by the time a thief may steal, the
-owner has already stopped renewing; and the rename-aside makes stealing
-itself single-winner. The property test in ``tests/serve/test_fleet``
+ttl while takeover requires at least the ttl (plus the wall-skew margin
+when the thief is on another host), so by the time a thief may steal,
+the owner has already stopped renewing; and the rename-aside makes
+stealing itself single-winner. The property test in ``tests/serve/test_fleet``
 drives interleaved claim/renew/expire/release schedules over a fake
 clock and asserts the invariant directly.
 
@@ -97,6 +104,14 @@ LEASE_VERSION = 1
 #: may take over). Renewal runs every ttl/3, so one missed heartbeat
 #: never loses a lease.
 DEFAULT_LEASE_TTL_S = 15.0
+
+#: Extra margin added to the ttl when judging a *cross-host* lease's
+#: staleness on its wall-clock stamp. The owner self-fences at exactly
+#: ttl on its own monotonic clock, so a thief requiring ttl + skew on
+#: wall time only ever steals after the owner stopped renewing, as long
+#: as the hosts' wall clocks agree within this margin (NTP keeps real
+#: fleets well inside it).
+DEFAULT_WALL_SKEW_S = 5.0
 
 
 def register_fleet_families(registry) -> None:
@@ -166,8 +181,12 @@ class LeaseStore:
             each job's subdirectory).
         owner_id: This process's fleet identity.
         ttl_s: Seconds without renewal before peers may take over.
-        clock: Monotonic clock, injectable for the property tests. All
-            fleet members must share its epoch (one host, or one boot).
+        clock: Monotonic clock, injectable for the property tests. Only
+            ever compared against stamps written on this same host (one
+            boot, one epoch); cross-host leases age on wall time.
+        wall_skew_s: Wall-clock disagreement tolerated between hosts
+            when judging a cross-host lease's staleness (added to the
+            ttl; see :data:`DEFAULT_WALL_SKEW_S`).
     """
 
     def __init__(
@@ -176,13 +195,19 @@ class LeaseStore:
         owner_id: str | None = None,
         ttl_s: float = DEFAULT_LEASE_TTL_S,
         clock=time.monotonic,
+        wall_skew_s: float = DEFAULT_WALL_SKEW_S,
     ):
         if ttl_s <= 0:
             raise ConfigurationError(f"ttl_s must be > 0, got {ttl_s}")
+        if wall_skew_s < 0:
+            raise ConfigurationError(
+                f"wall_skew_s must be >= 0, got {wall_skew_s}"
+            )
         self.jobs_dir = Path(jobs_dir)
         self.owner_id = owner_id or default_owner_id()
         self.ttl_s = ttl_s
         self.clock = clock
+        self.wall_skew_s = wall_skew_s
         self.host = socket.gethostname()
         self.pid = os.getpid()
         self._lock = threading.Lock()
@@ -380,13 +405,23 @@ class LeaseStore:
             # an old one means the writer died mid-rewrite (stale). Wall
             # clock, not the injected one — mtimes are wall time.
             return time.time() - mtime > self.ttl_s
-        if (
-            info.host == self.host
-            and info.pid != self.pid
-            and not _pid_alive(info.pid)
-        ):
-            return True  # dead same-host owner: no need to wait out the ttl
-        return self.clock() - info.renewed_mono > info.ttl_s
+        return self._expired(info)
+
+    def _expired(self, info: LeaseInfo) -> bool:
+        """Has ``info``'s owner stopped renewing (by our best clock)?
+
+        Same-host leases age on the monotonic stamp (one boot, one
+        epoch — exact), with the dead-pid accelerator. Cross-host
+        leases age on the wall-clock stamp plus the skew margin:
+        monotonic epochs are boot-relative and never comparable between
+        hosts, so using them here would judge every cross-host lease
+        permanently live or instantly stale depending on boot order.
+        """
+        if info.host == self.host:
+            if info.pid != self.pid and not _pid_alive(info.pid):
+                return True  # dead same-host owner: skip the ttl wait
+            return self.clock() - info.renewed_mono > info.ttl_s
+        return time.time() - info.renewed_at > info.ttl_s + self.wall_skew_s
 
     def _steal(self, path: Path, info: LeaseInfo | None) -> str | None:
         """Rename a stale lease aside; the previous owner (or ``""``) on
@@ -400,20 +435,15 @@ class LeaseStore:
             return None  # another thief (or a release) got there first
         # The owner may have renewed between our staleness read and the
         # rename — it holds an fd to this same inode. Re-check on the
-        # renamed file; if it is live after all, put it back.
-        info2, mtime2 = self._read(aside)
-        if info2 is not None and self.clock() - info2.renewed_mono <= info2.ttl_s:
-            alive = (
-                info2.host != self.host
-                or info2.pid == self.pid
-                or _pid_alive(info2.pid)
-            )
-            if alive:
-                try:
-                    os.rename(aside, path)
-                except OSError:
-                    pass
-                return None
+        # renamed file (same epoch-aware rule as the first read); if it
+        # is live after all, put it back.
+        info2, _ = self._read(aside)
+        if info2 is not None and not self._expired(info2):
+            try:
+                os.rename(aside, path)
+            except OSError:
+                pass
+            return None
         try:
             os.unlink(aside)
         except OSError:

@@ -166,6 +166,12 @@ class JobRecord:
         self.events: list[ProgressEvent] = []
         self.next_seq = 0  # total events ever emitted (ring may drop old)
         self.attempts = 0  # transient-failure requeues so far
+        # Bumped (under cond) each time a worker thread transitions this
+        # record to RUNNING. A finishing thread may only apply a terminal
+        # outcome while its own generation is still current — a record
+        # requeued and re-run under it (fleet lease loss + reclaim) must
+        # not have the stale thread's outcome land on the new attempt.
+        self.run_generation = 0
         self.sink = sink
         self.cancel_requested = threading.Event()
         self.cond = threading.Condition()
@@ -215,6 +221,7 @@ class JobRecord:
         record.events = events[-EVENT_LOG_LIMIT:]
         record.next_seq = events[-1].seq + 1 if events else 0
         record.attempts = attempts
+        record.run_generation = 0
         record.sink = sink
         record.cancel_requested = threading.Event()
         record.cond = threading.Condition()

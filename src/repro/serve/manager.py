@@ -514,6 +514,13 @@ class JobManager:
         cancelled gets a fresh ``-r<N>`` id — reruns after failure are
         the one case where "same content" must mean "new attempt".
         ``dedupe=False`` forces a fresh job unconditionally.
+
+        In fleet mode the same semantics extend to disk state the local
+        table has not mirrored yet: a won lease claim is followed by a
+        store read, and an existing record is adopted (terminal ``done``
+        dedupes, failed/cancelled reruns under the next id, a live one
+        is taken over and requeued) rather than shadowed by a fresh
+        seq-0 record that would corrupt its event log.
         """
         content_key = job_content_key(request)
         with self._lock:
@@ -532,11 +539,6 @@ class JobManager:
                     if reusable:
                         return JobHandle(record)
                     break  # most recent attempt failed/cancelled: rerun
-            rerun = 0
-            job_id = derive_job_id(content_key, rerun)
-            while job_id in self._jobs:
-                rerun += 1
-                job_id = derive_job_id(content_key, rerun)
             self._evict_terminal()
             # Fleet mode claims the lease *before* creating the record:
             # the record's first emitted event (queued, seq 0) must only
@@ -545,20 +547,88 @@ class JobManager:
             # the O_EXCL claim picks the single runner; the loser tracks
             # the job passively and the scan thread mirrors the winner's
             # progress in.
+            rerun = 0
+            job_id = derive_job_id(content_key, rerun)
             claimed = None
-            if self._fleet is not None:
+            record: JobRecord | None = None
+            reason = ""
+            while True:
+                if job_id in self._jobs:
+                    rerun += 1
+                    job_id = derive_job_id(content_key, rerun)
+                    continue
+                if self._fleet is None:
+                    break
                 claimed = self._fleet.try_claim(job_id)
-            # Emits the queued event; with a store the sink persists the
-            # record before submit returns — a crash after the 202 can
-            # never lose an acknowledged job.
-            record = JobRecord(job_id, request, content_key, sink=self._sink)
-            self._jobs[job_id] = record
-            if claimed is not None and not claimed.won:
-                _log.info(
-                    "job claimed by a peer server; tracking passively",
-                    extra={"fields": {"job": job_id, "kind": record.kind}},
+                if not claimed.won:
+                    break
+                # A won claim is not yet proof the id is fresh: the id's
+                # record may exist on disk without a local mirror yet (a
+                # peer's terminal job, or a drain-released queued one,
+                # inside the scan interval — neither carries a lease). A
+                # fresh record's seq-0 queued event would then append
+                # after the existing log's tail and break the gapless
+                # prefix, so disk truth wins over a new record.
+                stored_payload = self._store.read_record(job_id)
+                if stored_payload is None:
+                    break  # genuinely fresh id, lease held: create below
+                stored = StoredJob(
+                    job_id=job_id,
+                    record=stored_payload,
+                    events=self._store.read_events(job_id),
                 )
-                return JobHandle(record)
+                try:
+                    mirror = self._restore_record(stored)
+                except ReproError:
+                    # Unreadable record: leave it to the scan's orphan
+                    # handling and take the next rerun id.
+                    self._fleet.release(job_id)
+                    rerun += 1
+                    job_id = derive_job_id(content_key, rerun)
+                    continue
+                state = mirror.state
+                self._jobs[job_id] = mirror
+                if state in TERMINAL_STATES:
+                    self._fleet.release(job_id)
+                    if dedupe and state is JobState.DONE:
+                        return JobHandle(mirror)  # fleet-wide dedupe hit
+                    # Failed/cancelled (or dedupe off): rerun, fresh id.
+                    rerun += 1
+                    job_id = derive_job_id(content_key, rerun)
+                    continue
+                if not dedupe:
+                    # A fresh job was demanded; the live record goes back
+                    # to the fleet (a peer's scan claims and runs it).
+                    self._fleet.release(job_id)
+                    rerun += 1
+                    job_id = derive_job_id(content_key, rerun)
+                    continue
+                # Live on disk (queued by a drained peer, or under the
+                # stale lease the claim just took over) and now leased to
+                # us: this submission *is* the takeover — requeue the
+                # adopted record instead of minting a duplicate.
+                record = mirror
+                reason = (
+                    f"reclaimed from dead owner {claimed.reclaimed_from}"
+                    if claimed.reclaimed_from
+                    else "claimed on submit"
+                )
+                break
+            if record is not None:
+                with record.cond:
+                    record.requeue(reason)
+            else:
+                # Emits the queued event; with a store the sink persists
+                # the record before submit returns — a crash after the
+                # 202 can never lose an acknowledged job.
+                record = JobRecord(job_id, request, content_key, sink=self._sink)
+                self._jobs[job_id] = record
+                if claimed is not None and not claimed.won:
+                    _log.info(
+                        "job claimed by a peer server; tracking passively",
+                        extra={"fields": {"job": job_id, "kind": record.kind}},
+                    )
+                    return JobHandle(record)
             # Scheduling happens under the manager lock: shutdown() flips
             # _closed under the same lock before it stops the pool, so a
             # submission that passed the _closed check above cannot race
@@ -622,12 +692,25 @@ class JobManager:
     # -- execution -----------------------------------------------------------
 
     def _run(self, record: JobRecord) -> None:
-        """Pool-thread entry: drive one job through its lifecycle."""
+        """Pool-thread entry: drive one job through its lifecycle.
+
+        The attempt stamps ``record.run_generation`` at its RUNNING
+        transition, and every outcome below requires that stamp to still
+        be current. ``state is RUNNING`` alone cannot tell *whose*
+        running it is: after a fleet lease loss the record requeues, and
+        if this same server reclaims the job (its own expired lease
+        retaken by its scan) a new attempt goes RUNNING while the old
+        solver thread is still winding down — without the generation
+        check the old thread's outcome would terminate the new attempt
+        and persist a wrong terminal state under the freshly held lease.
+        """
         if self._fleet is not None and not self._fleet.owns(record.id):
             return  # lease lost while queued; a peer owns the job now
         with record.cond:
             if record.state is not JobState.QUEUED:
                 return  # cancelled while queued
+            record.run_generation += 1
+            generation = record.run_generation
             record.transition(JobState.RUNNING)
             queued_s = (record.started_at or 0.0) - record.created_at
         # Latency observations happen after the condition lock is released
@@ -662,40 +745,58 @@ class JobManager:
                 )
         except JobCancelled as exc:
             with record.cond:
-                # Only a still-RUNNING record cancels here: a fleet
-                # lease loss requeues the record mid-solve (queued →
-                # cancelled is legal, and transitioning would wrongly
-                # terminate a job a peer is about to run).
-                if record.state is JobState.RUNNING:
+                # Only this attempt's still-RUNNING record cancels here:
+                # a fleet lease loss requeues the record mid-solve
+                # (queued → cancelled is legal, and transitioning would
+                # wrongly terminate a job a peer — or a newer local
+                # attempt — is about to run).
+                if (
+                    record.state is JobState.RUNNING
+                    and record.run_generation == generation
+                ):
                     record.transition(JobState.CANCELLED, error=str(exc))
         except Exception as exc:  # noqa: BLE001 — job containment contract
-            if self._maybe_retry(record, exc):
+            if self._maybe_retry(record, exc, generation):
                 return  # requeued; terminal accounting happens on the last run
             with record.cond:
-                if record.state is JobState.RUNNING:
+                if (
+                    record.state is JobState.RUNNING
+                    and record.run_generation == generation
+                ):
                     record.transition(
                         JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
                     )
         else:
             with record.cond:
-                # A record no longer RUNNING was requeued under us (fleet
-                # lease loss): the outcome is discarded — the lease owner
-                # recomputes it, cheaply, from the shared cache.
-                if record.state is JobState.RUNNING:
+                # A record no longer RUNNING — or running under a newer
+                # generation — was requeued under us (fleet lease loss):
+                # the outcome is discarded — the lease owner recomputes
+                # it, cheaply, from the shared cache.
+                if (
+                    record.state is JobState.RUNNING
+                    and record.run_generation == generation
+                ):
                     record.result = response
                     record.transition(JobState.DONE)
         with record.cond:
             state = record.state
             error = record.error
+            # Terminal accounting (and the lease release) belongs to the
+            # attempt that set the terminal state; a stale thread racing
+            # a newer attempt must not release its lease or double-count.
+            finished_here = (
+                state in TERMINAL_STATES
+                and record.run_generation == generation
+            )
             run_s = (
                 (record.finished_at or 0.0) - (record.started_at or 0.0)
-                if state in TERMINAL_STATES else 0.0
+                if finished_here else 0.0
             )
-        if state in TERMINAL_STATES and self._fleet is not None:
+        if finished_here and self._fleet is not None:
             # The terminal state event is already persisted (the sink
             # runs inside the transition), so the lease has done its job.
             self._fleet.release(record.id)
-        if state in TERMINAL_STATES:
+        if finished_here:
             registry.histogram(
                 obs_names.JOB_RUN_SECONDS, "Running-to-terminal latency."
             ).observe(max(run_s, 0.0))
@@ -713,7 +814,9 @@ class JobManager:
             level = _log.info if state is JobState.DONE else _log.warning
             level("job finished", extra={"fields": fields})
 
-    def _maybe_retry(self, record: JobRecord, exc: BaseException) -> bool:
+    def _maybe_retry(
+        self, record: JobRecord, exc: BaseException, generation: int
+    ) -> bool:
         """Requeue a transiently failed job with bounded backoff.
 
         True means the failure was absorbed: the record is back in
@@ -722,13 +825,16 @@ class JobManager:
         ``retry_backoff_s * 2**(attempt-1)`` seconds, capped at
         :data:`MAX_RETRY_BACKOFF_S`. False means the caller should fail
         the job for real: permanent errors, exhausted budget, or a
-        cancel/shutdown race.
+        cancel/shutdown race. ``generation`` is the calling attempt's
+        run stamp — a stale thread (the record was requeued and re-run
+        under it) absorbs nothing and requeues nothing.
         """
         if not _is_transient(exc):
             return False
         with record.cond:
             if (
                 record.state is not JobState.RUNNING
+                or record.run_generation != generation
                 or record.cancel_requested.is_set()
                 or record.attempts >= self._max_retries
             ):

@@ -174,6 +174,25 @@ class TestStats:
         assert stats["disk_hits"] == 1
         assert stats["peer_hits"] == 0  # provenance: written here
 
+    def test_own_key_provenance_is_bounded(self, tmp_path, monkeypatch):
+        # The own-keys provenance set is an LRU capped at OWN_KEYS_LIMIT,
+        # not a per-put leak: on a long-running fleet server its only job
+        # is the disk_hits/peer_hits split, so bounded memory wins over
+        # exact provenance. An evicted key's later disk hit re-counts as
+        # a peer hit — stats skew, never a correctness issue.
+        from repro.explore import cache as cache_module
+        monkeypatch.setattr(cache_module, "OWN_KEYS_LIMIT", 2)
+        cache = ResultCache(tmp_path / "cache", max_memory=1)
+        keys = [c * 64 for c in "abc"]
+        for key in keys:
+            cache.put(key, _result(key=key))
+        assert len(cache._own_keys) == 2  # oldest provenance dropped
+
+        assert cache.get(keys[0]) is not None  # provenance evicted
+        assert cache.stats()["peer_hits"] == 1
+        assert cache.get(keys[2]) is not None  # provenance retained
+        assert cache.stats()["peer_hits"] == 1
+
     def test_rejected_put_not_counted_as_write(self):
         cache = ResultCache()
         failed = _result(error="MappingError: nope")

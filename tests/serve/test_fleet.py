@@ -99,17 +99,19 @@ def _persist_queued(store: JobStore, request) -> str:
 def _write_stale_lease(
     jobs_dir: Path, job_id: str, owner: str, pid: int | None = None
 ) -> Path:
-    """Plant a lease whose monotonic stamp expired long ago."""
+    """Plant a lease whose stamps expired long ago."""
     path = jobs_dir / job_id / "lease.json"
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps({
         "lease_version": LEASE_VERSION,
         "owner": owner,
-        "host": "elsewhere",  # off-host: only the ttl can expire it
+        # Off-host: stale via the wall-clock ttl+skew, not the dead-pid
+        # accelerator (cross-host staleness ages on renewed_at).
+        "host": "elsewhere",
         "pid": pid if pid is not None else os.getpid(),
         "acquired_mono": 0.0,
-        "renewed_mono": 0.0,  # monotonic clocks start near boot: long stale
-        "renewed_at": 0.0,
+        "renewed_mono": 0.0,
+        "renewed_at": 0.0,  # epoch 1970: long past any ttl + skew
         "ttl_s": 5.0,
     }))
     return path
@@ -208,6 +210,41 @@ class TestLeaseMechanics:
         for bad in ("", "..", "a/b"):
             with pytest.raises(ConfigurationError):
                 store.lease_path(bad)
+
+    def test_cross_host_staleness_ignores_monotonic_epochs(self, tmp_path):
+        # Monotonic clocks are per-boot: a peer host's stamp can sit
+        # anywhere relative to ours, so cross-host staleness must come
+        # from the wall-clock stamp (+ skew margin), never from
+        # monotonic arithmetic.
+        clock = FakeClock()
+        store = _store(tmp_path, "b", clock)
+        path = store.lease_path(JOB)
+        path.parent.mkdir(parents=True)
+
+        def plant(renewed_mono: float, renewed_at: float) -> None:
+            path.write_text(json.dumps({
+                "lease_version": LEASE_VERSION,
+                "owner": "a", "host": "elsewhere", "pid": 1,
+                "acquired_mono": renewed_mono, "renewed_mono": renewed_mono,
+                "renewed_at": renewed_at, "ttl_s": 10.0,
+            }))
+
+        # Peer booted long before us: its monotonic stamp is tiny, ours
+        # is large. The wall-clock stamp is fresh, so the lease is live
+        # — a naive monotonic compare would steal it and double-run.
+        plant(renewed_mono=0.0, renewed_at=time.time())
+        assert not store.is_stale(JOB)
+        assert not store.claim(JOB).won
+
+        # Peer booted long after us: its monotonic stamp dwarfs ours.
+        # The wall-clock stamp is old, so the lease is stale — a naive
+        # monotonic compare would judge it live forever and never
+        # recover the job.
+        plant(renewed_mono=1e9, renewed_at=time.time() - 100.0)
+        assert store.is_stale(JOB)
+        claim = store.claim(JOB)
+        assert claim.won
+        assert claim.reclaimed_from == "a"
 
     def test_torn_lease_with_old_mtime_is_stale(self, tmp_path):
         clock = FakeClock()
@@ -382,6 +419,68 @@ class TestFleetInProcess:
             assert "recovered after restart" in reasons
         finally:
             manager.shutdown(cancel_pending=False)
+
+    def test_submit_adopts_queued_disk_record_without_local_mirror(
+        self, tmp_path
+    ):
+        # A peer drains (or dies) after this server's recovery pass: the
+        # queued record sits on disk, unleased and unmirrored, until the
+        # next scan. Submitting the same payload wins the claim — and
+        # must adopt the disk record, because a fresh record's seq-0
+        # queued event would append behind the existing log's tail and
+        # break the gapless prefix.
+        request = _request()
+        store = JobStore(tmp_path / "state")
+        fleet = FleetCoordinator(
+            store, owner_id="srv-b", poll_interval_s=3600.0
+        )
+        manager = JobManager(workers=1, store=store, fleet=fleet)
+        try:
+            with JobStore(tmp_path / "state") as peer:
+                job_id = _persist_queued(peer, request)
+            handle = manager.submit(request)
+            assert handle.id == job_id
+            assert handle.result(timeout=120) is not None
+            stored_seqs = [e["seq"] for e in store.read_events(job_id)]
+            assert stored_seqs == list(range(len(stored_seqs)))
+            reasons = [
+                e.data.get("reason")
+                for e in handle.events()
+                if e.kind == "state"
+            ]
+            assert "claimed on submit" in reasons
+        finally:
+            manager.shutdown(cancel_pending=False)
+
+    def test_submit_dedupes_unmirrored_terminal_peer_job(self, tmp_path):
+        # A peer finishes the job after this server's recovery pass and
+        # before its next scan: no local mirror, no lease. The claim
+        # wins — but submit must adopt the done record rather than fork
+        # a second run over its event log.
+        request = _request()
+        store_b = JobStore(tmp_path / "state")
+        fleet_b = FleetCoordinator(
+            store_b, owner_id="srv-b", poll_interval_s=3600.0
+        )
+        manager_b = JobManager(workers=1, store=store_b, fleet=fleet_b)
+        try:
+            store_a = JobStore(tmp_path / "state")
+            fleet_a = FleetCoordinator(store_a, owner_id="srv-a")
+            manager_a = JobManager(workers=1, store=store_a, fleet=fleet_a)
+            try:
+                done = manager_a.submit(request)
+                response = done.result(timeout=120)
+            finally:
+                manager_a.shutdown(cancel_pending=False)
+
+            again = manager_b.submit(request)
+            assert again.id == done.id
+            assert again.state is JobState.DONE  # adopted, not re-run
+            assert again.result().to_dict() == response.to_dict()
+            stored_seqs = [e["seq"] for e in store_b.read_events(done.id)]
+            assert stored_seqs == list(range(len(stored_seqs)))
+        finally:
+            manager_b.shutdown(cancel_pending=False)
 
     def test_drain_refuses_submissions_and_releases_queued_leases(
         self, tmp_path

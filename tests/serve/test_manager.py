@@ -1,5 +1,8 @@
 """JobManager: the async lifecycle over a thread-safe LibraService."""
 
+import threading
+import time
+
 import pytest
 
 from repro.api.requests import BatchRequest, OptimizeRequest
@@ -155,6 +158,72 @@ class TestCancel:
         handle.result(timeout=120)
         assert handle.cancel() is False
         assert handle.state is JobState.DONE
+
+
+class TestStaleAttemptIsolation:
+    """A requeued-and-rerun record must ignore the old thread's outcome.
+
+    Models the fleet lease-loss + self-reclaim interleaving without the
+    fleet machinery: attempt 1 blocks mid-solve, the record requeues
+    (what a lease loss does to a running job), attempt 2 goes RUNNING on
+    the same record, and attempt 1 then finishes. ``state is RUNNING``
+    alone cannot tell the attempts apart — only the per-attempt
+    ``run_generation`` stamp keeps the stale thread's outcome from
+    terminating the new run.
+    """
+
+    class _GateService:
+        def __init__(self):
+            self.first_started = threading.Event()
+            self.first_release = threading.Event()
+            self.second_started = threading.Event()
+            self.second_release = threading.Event()
+            self._calls = 0
+            self._lock = threading.Lock()
+
+        def submit(self, request, should_stop=None, on_event=None):
+            with self._lock:
+                self._calls += 1
+                call = self._calls
+            if call == 1:
+                self.first_started.set()
+                assert self.first_release.wait(timeout=60)
+                raise JobCancelled("stale attempt winding down")
+            self.second_started.set()
+            assert self.second_release.wait(timeout=60)
+            return f"result-from-attempt-{call}"
+
+    def test_stale_attempt_outcome_never_lands_on_a_new_run(self):
+        service = self._GateService()
+        manager = JobManager(service=service, workers=2)
+        try:
+            handle = manager.submit(_request())
+            record = handle._record
+            assert service.first_started.wait(timeout=60)
+            # The lease-loss shape: the running record goes back to
+            # queued while its solver thread is still inside submit().
+            with record.cond:
+                record.requeue("lease lost (renewal failed); test")
+            # The reclaim shape: a second attempt runs the same record.
+            manager._pool.submit(manager._run, record)
+            assert service.second_started.wait(timeout=60)
+            # Let the stale attempt finish while attempt 2 is RUNNING;
+            # its JobCancelled must not cancel attempt 2's run.
+            service.first_release.set()
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                assert handle.state is JobState.RUNNING, (
+                    "stale attempt's outcome landed on the new run"
+                )
+                time.sleep(0.02)
+            service.second_release.set()
+            assert handle.wait(timeout=60) is JobState.DONE
+            with record.cond:
+                assert record.result == "result-from-attempt-2"
+        finally:
+            service.first_release.set()
+            service.second_release.set()
+            manager.shutdown()
 
 
 class TestBounds:
