@@ -57,6 +57,8 @@ from repro.api.requests import (
     AnalyzeResponse,
     BatchRequest,
     BatchResponse,
+    CostrategyRequest,
+    CostrategyResponse,
     OptimizeRequest,
     OptimizeResponse,
 )
@@ -92,6 +94,8 @@ __all__ = [
     "AnalyzeResponse",
     "BatchRequest",
     "BatchResponse",
+    "CostrategyRequest",
+    "CostrategyResponse",
     "OptimizeRequest",
     "OptimizeResponse",
     "SCENARIO_SCHEMA_VERSION",

@@ -30,9 +30,11 @@ from repro.api.scenario import Scenario
 from repro.core.results import DesignPoint, Scheme
 from repro.utils.errors import ConfigurationError
 
-if TYPE_CHECKING:  # explore sits above the api layer; never import it here
+if TYPE_CHECKING:  # explore/strategy sit above the api layer; never import here
     from repro.explore.records import SweepResult
     from repro.explore.spec import ExplorationPoint, SweepSpec
+    from repro.strategy.frontier import StrategyFrontier
+    from repro.strategy.space import StrategySpace
 
 #: Bump when the response payload layout changes incompatibly.
 #: v2: added the ``diagnostics`` object (multi-start / warm-start telemetry).
@@ -40,8 +42,10 @@ if TYPE_CHECKING:  # explore sits above the api layer; never import it here
 #: per-stage timings) and responses may arrive wrapped in a ``job``
 #: envelope (:mod:`repro.serve`). v4: adds the ``analyze`` response shape
 #: (bottleneck-structure reports); optimize/batch layouts are unchanged,
-#: so v2 and v3 payloads are still readable.
-RESPONSE_SCHEMA_VERSION = 4
+#: so v2 and v3 payloads are still readable. v5: adds the ``costrategy``
+#: response shape (strategy frontiers); every earlier layout is unchanged,
+#: so v2–v4 payloads remain readable.
+RESPONSE_SCHEMA_VERSION = 5
 
 #: Bump when the request payload layout changes incompatibly.
 #: v1 payloads (no ``schema_version`` field) predate continuation solving
@@ -51,16 +55,18 @@ RESPONSE_SCHEMA_VERSION = 4
 #: ``{"kind": "optimize"|"batch", "request": {...}}`` so one wire endpoint
 #: (``POST /v3/jobs``) can carry both request shapes. v4 adds the
 #: ``analyze`` kind to the envelope; the optimize/batch layouts are
-#: unchanged, so v3 envelopes up-convert transparently.
-REQUEST_SCHEMA_VERSION = 4
+#: unchanged, so v3 envelopes up-convert transparently. v5 adds the
+#: ``costrategy`` kind (joint strategy × bandwidth co-optimization); the
+#: earlier kinds are unchanged, so v4 envelopes up-convert transparently.
+REQUEST_SCHEMA_VERSION = 5
 
 #: Request schema versions :func:`OptimizeRequest.from_dict` still reads.
-_READABLE_REQUEST_VERSIONS = (1, 2, 3, REQUEST_SCHEMA_VERSION)
+_READABLE_REQUEST_VERSIONS = (1, 2, 3, 4, REQUEST_SCHEMA_VERSION)
 
 #: Response schema versions :func:`OptimizeResponse.from_dict` still reads
 #: (the v2 → v3 layout change touched only batch responses; v3 → v4 only
-#: added the analyze shape).
-_READABLE_RESPONSE_VERSIONS = (2, 3, RESPONSE_SCHEMA_VERSION)
+#: added the analyze shape; v4 → v5 only added the costrategy shape).
+_READABLE_RESPONSE_VERSIONS = (2, 3, 4, RESPONSE_SCHEMA_VERSION)
 
 
 def check_schema_version(
@@ -558,8 +564,8 @@ class AnalyzeResponse:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "AnalyzeResponse":
-        """Rebuild an analyze response (v4 — the shape's first version)."""
-        check_schema_version(payload, (RESPONSE_SCHEMA_VERSION,), "response")
+        """Rebuild an analyze response (introduced in v4; unchanged in v5)."""
+        check_schema_version(payload, (4, RESPONSE_SCHEMA_VERSION), "response")
         try:
             diagnostics = payload.get("diagnostics")
             return cls(
@@ -576,17 +582,178 @@ class AnalyzeResponse:
             ) from exc
 
 
+@dataclass(frozen=True)
+class CostrategyRequest:
+    """Joint parallelization-strategy × bandwidth co-optimization (v5).
+
+    The service enumerates the :class:`~repro.strategy.space.StrategySpace`
+    over the topology's node count, solves every surviving strategy across
+    ``budgets_gbps`` through the shared result cache (warm-starting within
+    and across strategies), and answers with the
+    :class:`~repro.strategy.frontier.StrategyFrontier`.
+
+    Attributes:
+        workload: Registered workload preset name (the strategy axis
+            re-parallelizes it, so only presets are accepted — a concrete
+            workload already fixes its parallelism).
+        topology: Topology preset name; its node count is the number the
+            strategy space factorizes.
+        budgets_gbps: Total-bandwidth budgets (GB/s) forming the grid's
+            bandwidth axis.
+        scheme: Allocation scheme for every solved cell.
+        space: Strategy-space bounds; ``None`` means the default space
+            (power-of-two TP degrees up to the node count, no CP/EP/PP).
+        dim_caps_gbps: Per-dimension bandwidth caps as ``(dim, GB/s)``
+            pairs, applied to every cell (the sweep-spec convention).
+        cache_dir: On-disk result cache directory; ``None`` uses the
+            service's shared in-memory batch cache.
+        cross_warm: Seed each strategy's cells from the previous
+            strategy's optima at the same budget (the adjacency the
+            deterministic enumeration order is designed for).
+        attribution: Attach per-strategy binding-dimension attribution to
+            the frontier (read-only analyze calls; never fails the search).
+    """
+
+    workload: str
+    topology: str
+    budgets_gbps: tuple[float, ...]
+    scheme: Scheme = Scheme.PERF_OPT
+    space: "StrategySpace | None" = None
+    dim_caps_gbps: tuple[tuple[int, float], ...] = ()
+    cache_dir: str | None = None
+    cross_warm: bool = True
+    attribution: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheme", resolve_scheme(self.scheme))
+        if not isinstance(self.workload, str) or not self.workload:
+            raise ConfigurationError(
+                "costrategy request needs a workload preset name"
+            )
+        if not isinstance(self.topology, str) or not self.topology:
+            raise ConfigurationError(
+                "costrategy request needs a topology preset name"
+            )
+        budgets = tuple(float(b) for b in self.budgets_gbps)
+        if not budgets:
+            raise ConfigurationError(
+                "costrategy request needs at least one bandwidth budget"
+            )
+        if any(b <= 0 for b in budgets):
+            raise ConfigurationError(
+                f"bandwidth budgets must be positive, got {budgets}"
+            )
+        object.__setattr__(self, "budgets_gbps", budgets)
+        caps = tuple(
+            (int(dim), float(cap)) for dim, cap in self.dim_caps_gbps
+        )
+        if any(cap <= 0 for _, cap in caps):
+            raise ConfigurationError(
+                f"dimension caps must be positive, got {caps}"
+            )
+        object.__setattr__(self, "dim_caps_gbps", caps)
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "schema_version": REQUEST_SCHEMA_VERSION,
+            "workload": self.workload,
+            "topology": self.topology,
+            "budgets_gbps": list(self.budgets_gbps),
+            "scheme": self.scheme.value,
+            "space": None if self.space is None else self.space.to_dict(),
+            "dim_caps_gbps": [list(pair) for pair in self.dim_caps_gbps],
+            "cache_dir": self.cache_dir,
+            "cross_warm": self.cross_warm,
+            "attribution": self.attribution,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CostrategyRequest":
+        """Rebuild a costrategy request from :meth:`to_dict` output."""
+        from repro.strategy.space import StrategySpace
+
+        check_schema_version(
+            payload, _READABLE_REQUEST_VERSIONS, "request",
+            default=REQUEST_SCHEMA_VERSION,
+        )
+        try:
+            space = payload.get("space")
+            cache_dir = payload.get("cache_dir")
+            return cls(
+                workload=str(payload["workload"]),
+                topology=str(payload["topology"]),
+                budgets_gbps=tuple(
+                    float(b) for b in payload.get("budgets_gbps", ())
+                ),
+                scheme=resolve_scheme(payload.get("scheme", "perf")),
+                space=(
+                    None if space is None else StrategySpace.from_dict(space)
+                ),
+                dim_caps_gbps=tuple(
+                    (int(dim), float(cap))
+                    for dim, cap in payload.get("dim_caps_gbps", ())
+                ),
+                cache_dir=None if cache_dir is None else str(cache_dir),
+                cross_warm=bool(payload.get("cross_warm", True)),
+                attribution=bool(payload.get("attribution", True)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed costrategy-request payload: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class CostrategyResponse:
+    """The answer to one :class:`CostrategyRequest`.
+
+    Attributes:
+        frontier: The joint search's decision surface — best strategy per
+            budget, the strategy × bandwidth Pareto set, per-strategy
+            attribution, and every underlying cell (its ``diagnostics``
+            carry the warm-start accounting).
+    """
+
+    frontier: "StrategyFrontier"
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (``json.dumps``-able without custom encoders)."""
+        return {
+            "schema_version": RESPONSE_SCHEMA_VERSION,
+            "frontier": self.frontier.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CostrategyResponse":
+        """Rebuild a costrategy response (v5 — the shape's first version)."""
+        from repro.strategy.frontier import StrategyFrontier
+
+        check_schema_version(payload, (RESPONSE_SCHEMA_VERSION,), "response")
+        try:
+            return cls(
+                frontier=StrategyFrontier.from_dict(payload["frontier"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed costrategy-response payload: {exc}"
+            ) from exc
+
+
 # ---------------------------------------------------------------------------
 # The job envelope: one wire shape for every request kind
 # ---------------------------------------------------------------------------
 
-#: ``kind`` discriminator values of the request envelope. ``analyze`` is
-#: envelope-only on the wire (a bare analyze payload would sniff as an
-#: optimize request via its ``scenario`` field).
-REQUEST_KINDS = ("optimize", "batch", "analyze")
+#: ``kind`` discriminator values of the request envelope. ``analyze`` and
+#: ``costrategy`` are envelope-only on the wire (a bare analyze payload
+#: would sniff as an optimize request via its ``scenario`` field; a bare
+#: costrategy payload has no historical bare shape to honor).
+REQUEST_KINDS = ("optimize", "batch", "analyze", "costrategy")
 
 #: Any request value the service dispatches on.
-ServiceRequest = OptimizeRequest | BatchRequest | AnalyzeRequest
+ServiceRequest = (
+    OptimizeRequest | BatchRequest | AnalyzeRequest | CostrategyRequest
+)
 
 
 def request_kind(request: "ServiceRequest") -> str:
@@ -595,11 +762,13 @@ def request_kind(request: "ServiceRequest") -> str:
         return "batch"
     if isinstance(request, AnalyzeRequest):
         return "analyze"
+    if isinstance(request, CostrategyRequest):
+        return "costrategy"
     if isinstance(request, OptimizeRequest):
         return "optimize"
     raise ConfigurationError(
         f"unknown request type {type(request).__name__}; expected "
-        "OptimizeRequest, BatchRequest, or AnalyzeRequest"
+        "OptimizeRequest, BatchRequest, AnalyzeRequest, or CostrategyRequest"
     )
 
 
@@ -610,7 +779,7 @@ def request_to_dict(request: "ServiceRequest") -> dict:
     The envelope is what ``POST /v3/jobs`` accepts and what job ids are
     derived from::
 
-        {"schema_version": 4, "kind": "optimize", "request": {...}}
+        {"schema_version": 5, "kind": "optimize", "request": {...}}
     """
     return {
         "schema_version": REQUEST_SCHEMA_VERSION,
@@ -624,7 +793,8 @@ def request_from_dict(payload: Mapping) -> "ServiceRequest":
 
     Three accepted shapes:
 
-    * the v3/v4 envelope (``kind`` + ``request``; ``analyze`` requires it),
+    * the v3–v5 envelope (``kind`` + ``request``; ``analyze`` and
+      ``costrategy`` require it),
     * a bare v1/v2/v3 :class:`OptimizeRequest` payload (up-converted — the
       historical wire format, identified by its ``scenario`` field),
     * a bare :class:`BatchRequest` payload (identified by ``spec``).
@@ -652,6 +822,8 @@ def request_from_dict(payload: Mapping) -> "ServiceRequest":
             return BatchRequest.from_dict(body)
         if kind == "analyze":
             return AnalyzeRequest.from_dict(body)
+        if kind == "costrategy":
+            return CostrategyRequest.from_dict(body)
         return OptimizeRequest.from_dict(body)
     # Bare payloads: v1/v2 optimize requests (and their v3 equivalents)
     # carry a scenario; batch payloads carry a spec.

@@ -51,6 +51,8 @@ from repro.api.requests import (
     AnalyzeResponse,
     BatchRequest,
     BatchResponse,
+    CostrategyRequest,
+    CostrategyResponse,
     OptimizeRequest,
     OptimizeResponse,
     request_kind,
@@ -135,6 +137,27 @@ def register_analysis_families(registry) -> None:
     registry.histogram(
         obs_names.ANALYZE_SECONDS,
         "Wall time of one analyze request end to end.",
+    ).labels()
+
+
+def register_strategy_families(registry) -> None:
+    """Pre-register the strategy families so scrapes show them at zero.
+
+    Same contract as :func:`register_analysis_families`: a server that has
+    never run a costrategy job still renders both families, so obs-smoke
+    can tell "never requested" from "renamed away". The ``outcome`` label
+    is a closed set.
+    """
+    candidates = registry.counter(
+        obs_names.STRATEGY_CANDIDATES,
+        "Joint-search candidate cells resolved, by outcome.",
+        labels=("outcome",),
+    )
+    for outcome in ("solved", "cached", "error", "pruned"):
+        candidates.labels(outcome=outcome)
+    registry.histogram(
+        obs_names.STRATEGY_SECONDS,
+        "Wall time of one joint strategy × bandwidth search.",
     ).labels()
 
 
@@ -302,11 +325,15 @@ class LibraService:
 
     def submit(
         self,
-        request: OptimizeRequest | BatchRequest | AnalyzeRequest,
+        request: (
+            OptimizeRequest | BatchRequest | AnalyzeRequest | CostrategyRequest
+        ),
         *,
         should_stop: Callable[[], bool] | None = None,
         on_event: Callable[[dict], None] | None = None,
-    ) -> OptimizeResponse | BatchResponse | AnalyzeResponse:
+    ) -> (
+        OptimizeResponse | BatchResponse | AnalyzeResponse | CostrategyResponse
+    ):
         """Answer one request.
 
         Dispatches on the request type: single solves, explicit-bandwidth
@@ -314,7 +341,9 @@ class LibraService:
         batch requests route through the explore engine and its
         content-addressed cache; analyze requests resolve their target
         point (cached cell, inline bandwidths, or a fresh solve) and run
-        the read-only bottleneck-structure analysis over it.
+        the read-only bottleneck-structure analysis over it; costrategy
+        requests run the joint strategy × bandwidth search and condense it
+        into a frontier.
 
         Both keyword seams are *runtime* concerns, deliberately not part
         of the (serializable) request value. ``should_stop`` is a
@@ -340,6 +369,10 @@ class LibraService:
             )
         if kind == "analyze":
             return self._submit_analyze(request, should_stop=should_stop)
+        if kind == "costrategy":
+            return self._submit_costrategy(
+                request, should_stop=should_stop, on_event=on_event
+            )
         return self._submit_optimize(
             request, should_stop=should_stop, on_event=on_event
         )
@@ -591,6 +624,47 @@ class LibraService:
         return BatchResponse(
             sweep=sweep, diagnostics=sweep_diagnostics(sweep, cache=cache)
         )
+
+    # -- costrategy requests ---------------------------------------------------
+
+    def _submit_costrategy(
+        self,
+        request: CostrategyRequest,
+        should_stop: Callable[[], bool] | None = None,
+        on_event: Callable[[dict], None] | None = None,
+    ) -> CostrategyResponse:
+        # Lazy imports: repro.strategy drives this service through the
+        # explore layer, so both sit above api and load at call time only.
+        from repro.explore.cache import ResultCache
+        from repro.strategy.frontier import build_frontier
+        from repro.strategy.search import joint_search
+
+        if request.cache_dir is not None:
+            cache = ResultCache(request.cache_dir)
+        else:
+            # Share the batch cache: a costrategy search and a plain batch
+            # sweep over the same cells replay each other's results.
+            with self._lock:
+                if self._batch_cache is None:
+                    self._batch_cache = ResultCache(max_memory=4096)
+                cache = self._batch_cache
+        search = joint_search(
+            request.workload,
+            request.topology,
+            request.budgets_gbps,
+            space=request.space,
+            scheme=request.scheme,
+            dim_caps_gbps=request.dim_caps_gbps,
+            cache=cache,
+            cross_warm=request.cross_warm,
+            service=self,
+            should_stop=should_stop,
+            on_event=on_event,
+        )
+        frontier = build_frontier(
+            search, attribution=request.attribution, service=self
+        )
+        return CostrategyResponse(frontier=frontier)
 
 
 def sweep_diagnostics(sweep, cache=None) -> dict:

@@ -147,6 +147,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the AnalyzeResponse payload as JSON",
     )
 
+    costrategy = sub.add_parser(
+        "costrategy",
+        help="joint parallelization-strategy × bandwidth co-optimization: "
+             "enumerate (tp, cp, ep, pp, dp) factorizations of the node "
+             "count, solve each across the budgets with warm-start reuse, "
+             "and report the strategy frontier",
+    )
+    costrategy.add_argument(
+        "--workload", required=True, metavar="NAME",
+        help="preset workload name (the strategy axis re-parallelizes it)",
+    )
+    costrategy.add_argument(
+        "--topology", required=True, metavar="NAME",
+        help="preset topology name or notation "
+             "(e.g. 3D-512 or SW(16)_SW(8)_SW(4))",
+    )
+    costrategy.add_argument(
+        "--bw", action="append", type=float, required=True, metavar="GBPS",
+        help="bandwidth budget in GB/s (repeatable)",
+    )
+    costrategy.add_argument(
+        "--scheme", choices=sorted(_SCHEMES), default="perf",
+        help="optimization objective for every cell (default: perf)",
+    )
+    costrategy.add_argument(
+        "--max-tp", type=int, default=None, metavar="N",
+        help="largest tensor-parallel degree (default: the node count)",
+    )
+    costrategy.add_argument(
+        "--max-cp", type=int, default=1, metavar="N",
+        help="largest context-parallel degree (default 1 = axis disabled)",
+    )
+    costrategy.add_argument(
+        "--max-ep", type=int, default=1, metavar="N",
+        help="largest expert-parallel degree (default 1 = axis disabled)",
+    )
+    costrategy.add_argument(
+        "--max-pp", type=int, default=1, metavar="N",
+        help="largest pipeline-parallel degree (default 1 = axis disabled)",
+    )
+    costrategy.add_argument(
+        "--cap", action="append", default=[], metavar="DIM:GBPS",
+        help="cap one dimension's bandwidth at every cell (repeatable)",
+    )
+    costrategy.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed result cache; re-runs replay solved cells",
+    )
+    costrategy.add_argument(
+        "--no-cross-warm", action="store_true",
+        help="do not seed strategies from their predecessor's optima "
+             "(independent columns; the reference path)",
+    )
+    costrategy.add_argument(
+        "--no-attribution", action="store_true",
+        help="skip the per-strategy binding-dimension analysis",
+    )
+    costrategy.add_argument(
+        "--progress", action="store_true",
+        help="print one line per resolved strategy × budget cell",
+    )
+    costrategy.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the CostrategyResponse payload as JSON",
+    )
+    costrategy.add_argument(
+        "--output", metavar="FILE",
+        help="write the frontier JSON artifact here",
+    )
+
     scenario = sub.add_parser(
         "scenario",
         help="build a scenario JSON file from flags (input to optimize --scenario)",
@@ -311,6 +381,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--analyze", action="store_true",
         help="benchmark cached what-if probes against a swept cell "
              "(p50/p95 latency), writes BENCH_analyze.json",
+    )
+    bench.add_argument(
+        "--strategy", action="store_true",
+        help="benchmark the joint strategy × bandwidth search: warm-start "
+             "reuse vs independent cold columns, writes BENCH_strategy.json",
+    )
+    bench.add_argument(
+        "--min-reuse", type=float, default=0.0,
+        help="with --strategy: fail (exit 3) if the warm run's solver-call "
+             "reduction vs cold is below this ratio (default 0 = report only)",
     )
     bench.add_argument(
         "--probes", type=int, default=200,
@@ -715,6 +795,78 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_costrategy(args: argparse.Namespace) -> int:
+    from repro.api.requests import CostrategyRequest
+    from repro.strategy import StrategySpace, strategy_slug
+
+    request = CostrategyRequest(
+        workload=args.workload,
+        topology=args.topology,
+        budgets_gbps=tuple(args.bw),
+        scheme=_SCHEMES[args.scheme],
+        space=StrategySpace(
+            max_tp=args.max_tp,
+            max_cp=args.max_cp,
+            max_ep=args.max_ep,
+            max_pp=args.max_pp,
+        ),
+        dim_caps_gbps=_parse_caps(args.cap),
+        cache_dir=args.cache_dir,
+        cross_warm=not args.no_cross_warm,
+        attribution=not args.no_attribution,
+    )
+
+    def on_event(event: dict) -> None:
+        if args.progress and event.get("type") == "cell":
+            print(
+                f"[{event['done']}/{event['total']}] "
+                f"{event['status']:<6} {event['label']}"
+            )
+
+    response = get_service().submit(request, on_event=on_event)
+    frontier = response.frontier
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(frontier.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.as_json:
+        print(json.dumps(response.to_dict(), indent=1, sort_keys=True))
+        return 0
+
+    diag = frontier.diagnostics
+    print(
+        f"{frontier.workload} on {frontier.topology} — "
+        f"{diag.get('strategies', len(frontier.runs))} strategies "
+        f"({diag.get('pruned', 0)} pruned) × "
+        f"{len(frontier.budgets_gbps)} budgets"
+    )
+    print(f"\n{'BW (GB/s)':>10}  {'best strategy':<24} {'step (ms)':>10}  {'cost':>12}")
+    for cell in frontier.best_per_budget:
+        print(
+            f"{cell.budget_gbps:>10.0f}  "
+            f"{strategy_slug(cell.strategy):<24} "
+            f"{cell.step_time_ms:>10.3f}  {cell.network_cost:>12.1f}"
+        )
+    if frontier.attributions:
+        print("\nbinding dimensions at each strategy's best cell:")
+        for attr in frontier.attributions:
+            dims = ", ".join(str(d) for d in attr.binding_dims) or "none"
+            print(
+                f"  {strategy_slug(attr.strategy):<24} binding: {dims} "
+                f"(most valuable: dim {attr.most_valuable_dim})"
+            )
+    print(
+        f"\ncells: {diag.get('cells', 0)} "
+        f"(solved {diag.get('solved', 0)}, cached {diag.get('cached', 0)}, "
+        f"errors {diag.get('errors', 0)}); "
+        f"warm-start hit rate {diag.get('warm_hit_rate', 0.0):.0%} "
+        f"({diag.get('cross_warm_accepted', 0)} across strategies); "
+        f"pareto cells: {len(frontier.pareto)}"
+    )
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     scenario = _target_scenario(args, args.total_bw)
     if args.output:
@@ -986,19 +1138,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perfbench import (
         AnalyzeBenchConfig,
         BenchConfig,
+        StrategyBenchConfig,
         SweepBenchConfig,
         format_analyze_report,
         format_report,
+        format_strategy_report,
         format_sweep_report,
         quick_analyze_config,
         quick_config,
+        quick_strategy_config,
         quick_sweep_config,
         run_analyze_benchmark,
         run_benchmarks,
+        run_strategy_benchmark,
         run_sweep_benchmark,
         write_artifact,
     )
     from repro.perfbench.harness import BenchEquivalenceError
+
+    if args.strategy:
+        if args.quick:
+            config = quick_strategy_config()
+        else:
+            defaults = StrategyBenchConfig()
+            config = StrategyBenchConfig(
+                workload=(
+                    args.workload[0] if args.workload else defaults.workload
+                ),
+                topology=(
+                    args.topology if args.topology != "4D-4K"
+                    else defaults.topology
+                ),
+                budgets_gbps=tuple(args.bw) or defaults.budgets_gbps,
+                repeats=args.repeats,
+            )
+        output = args.output or "BENCH_strategy.json"
+        try:
+            artifact = run_strategy_benchmark(config)
+        except BenchEquivalenceError as exc:
+            # Warm results that drift from the cold path are the one
+            # failure CI must catch; no artifact is written because the
+            # timings cannot be trusted.
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+        print(format_strategy_report(artifact))
+        write_artifact(output, artifact)
+        print(f"wrote {output}")
+        reduction = artifact["breakdown"]["start_reduction"]
+        if args.min_reuse > 0 and reduction < args.min_reuse:
+            print(
+                f"error: warm-start reuse cut only {reduction:.1%} of the "
+                f"cold baseline's solver starts, below the "
+                f"{args.min_reuse:.1%} floor",
+                file=sys.stderr,
+            )
+            return 3
+        return 0
 
     if args.analyze:
         if args.quick:
@@ -1364,6 +1559,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "optimize": _cmd_optimize,
     "analyze": _cmd_analyze,
+    "costrategy": _cmd_costrategy,
     "scenario": _cmd_scenario,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,

@@ -92,6 +92,14 @@ ANALYZE_SECONDS = "repro_analyze_seconds"
 #: Counter{layer=service|whatif}: probes served from a memo.
 ANALYZE_MEMO = "repro_analyze_memo_hits_total"
 
+# -- strategy co-optimization (repro/strategy, api/service.py) ----------------
+#: Counter{outcome=solved|cached|error|pruned}: joint-search candidate cells
+#: resolved (one series per strategy × budget cell; pruned counts strategies
+#: removed from the space before any cell ran).
+STRATEGY_CANDIDATES = "repro_strategy_candidates_total"
+#: Histogram: wall time of one joint strategy × bandwidth search.
+STRATEGY_SECONDS = "repro_strategy_search_seconds"
+
 # -- HTTP front end (serve/http.py) ------------------------------------------
 #: Counter{route, status}: requests served, by normalized route template.
 HTTP_REQUESTS = "repro_http_requests_total"
@@ -133,6 +141,8 @@ REQUIRED_FAMILIES = (
     ANALYZE_REQUESTS,
     ANALYZE_SECONDS,
     ANALYZE_MEMO,
+    STRATEGY_CANDIDATES,
+    STRATEGY_SECONDS,
     HTTP_REQUESTS,
     HTTP_SECONDS,
 )

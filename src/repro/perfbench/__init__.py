@@ -7,6 +7,9 @@ checks vectorized-vs-closure solver equivalence, and writes the
 vs cold — into ``BENCH_sweep.json`` with a per-cell equivalence gate.
 :mod:`repro.perfbench.analyze` times cached what-if probes into
 ``BENCH_analyze.json`` with a p95 latency floor.
+:mod:`repro.perfbench.strategy` benchmarks the joint strategy × bandwidth
+search — warm-start reuse vs independent cold columns — into
+``BENCH_strategy.json`` with a solver-start reduction floor.
 See ``benchmarks/perf/README.md`` for the artifact schemas.
 """
 
@@ -24,6 +27,13 @@ from repro.perfbench.harness import (
     quick_config,
     run_benchmarks,
     write_artifact,
+)
+from repro.perfbench.strategy import (
+    STRATEGY_BENCH_SCHEMA_VERSION,
+    StrategyBenchConfig,
+    format_strategy_report,
+    quick_strategy_config,
+    run_strategy_benchmark,
 )
 from repro.perfbench.sweep import (
     SWEEP_BENCH_SCHEMA_VERSION,
@@ -45,6 +55,11 @@ __all__ = [
     "quick_config",
     "run_benchmarks",
     "write_artifact",
+    "STRATEGY_BENCH_SCHEMA_VERSION",
+    "StrategyBenchConfig",
+    "format_strategy_report",
+    "quick_strategy_config",
+    "run_strategy_benchmark",
     "SWEEP_BENCH_SCHEMA_VERSION",
     "SweepBenchConfig",
     "format_sweep_report",

@@ -37,8 +37,9 @@ from repro.utils.errors import ConfigurationError
 #: Event payloads ride the v3 API schema (they were introduced by it).
 EVENT_SCHEMA_VERSION = RESPONSE_SCHEMA_VERSION
 
-#: Known event kinds, in rough emission order within a job.
-EVENT_KINDS = ("state", "solve", "plan", "cell", "chain")
+#: Known event kinds, in rough emission order within a job. ``strategy``
+#: brackets each strategy column of a costrategy job's joint search.
+EVENT_KINDS = ("state", "solve", "plan", "cell", "chain", "strategy")
 
 
 @dataclass(frozen=True)
@@ -81,8 +82,10 @@ class ProgressEvent:
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ProgressEvent":
         """Rebuild an event from :meth:`to_dict` output."""
+        # The event shape has not changed since v3, so logs persisted by
+        # earlier builds stay replayable across schema bumps.
         check_schema_version(
-            payload, (EVENT_SCHEMA_VERSION,), "event",
+            payload, (3, 4, EVENT_SCHEMA_VERSION), "event",
             default=EVENT_SCHEMA_VERSION,
         )
         try:

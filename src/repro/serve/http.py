@@ -50,10 +50,14 @@ from repro.api.requests import (
     RESPONSE_SCHEMA_VERSION,
     AnalyzeRequest,
     BatchRequest,
+    CostrategyRequest,
     request_from_dict,
 )
 from repro.api.scenario import ScenarioValidationError
-from repro.api.service import register_analysis_families
+from repro.api.service import (
+    register_analysis_families,
+    register_strategy_families,
+)
 from repro.obs import get_logger
 from repro.obs import metrics as obs_metrics
 from repro.obs import names as obs_names
@@ -409,6 +413,13 @@ class ServeHandler(BaseHTTPRequestHandler):
                 request = self._sandbox_cache_dir(request)
                 if request is None:
                     return
+        elif isinstance(request, CostrategyRequest):
+            # Costrategy requests carry the same server-side cache-path
+            # field as batches; confine it identically.
+            if request.cache_dir is not None:
+                request = self._sandbox_cache_dir(request)
+                if request is None:
+                    return
         try:
             handle = self.manager.submit(request)
         except ReproError as exc:
@@ -417,7 +428,9 @@ class ServeHandler(BaseHTTPRequestHandler):
         self._job_ref = handle.id
         self._send_json(202, handle.info().to_dict())
 
-    def _sandbox_cache_dir(self, request: BatchRequest) -> BatchRequest | None:
+    def _sandbox_cache_dir(
+        self, request: BatchRequest | CostrategyRequest
+    ) -> BatchRequest | CostrategyRequest | None:
         """Map a client-supplied ``cache_dir`` under the server's cache root.
 
         Replies 400 and returns ``None`` on rejection.
@@ -504,6 +517,7 @@ class ServeServer(ThreadingHTTPServer):
         # full table on a healthy server.
         register_durability_families(registry)
         register_analysis_families(registry)
+        register_strategy_families(registry)
 
 
 def create_server(

@@ -45,6 +45,8 @@ from repro.api.requests import (
     AnalyzeResponse,
     BatchRequest,
     BatchResponse,
+    CostrategyRequest,
+    CostrategyResponse,
     OptimizeRequest,
     OptimizeResponse,
     check_schema_version,
@@ -346,7 +348,8 @@ class JobInfo:
 
     Attributes:
         id: Content-derived job id.
-        kind: ``"optimize"``, ``"batch"``, or ``"analyze"``.
+        kind: ``"optimize"``, ``"batch"``, ``"analyze"``, or
+            ``"costrategy"``.
         state: Current lifecycle state.
         created_at: Submission wall-clock time.
         started_at: When the worker picked the job up; ``None`` while queued.
@@ -378,7 +381,9 @@ class JobInfo:
         """True once the job reached a terminal state."""
         return self.state in TERMINAL_STATES
 
-    def response(self) -> OptimizeResponse | BatchResponse | AnalyzeResponse:
+    def response(
+        self,
+    ) -> OptimizeResponse | BatchResponse | AnalyzeResponse | CostrategyResponse:
         """Decode the result payload into the typed response value.
 
         Raises the job's own failure (:class:`JobCancelled` for cancelled
@@ -395,6 +400,8 @@ class JobInfo:
             return BatchResponse.from_dict(self.result_payload)
         if self.kind == "analyze":
             return AnalyzeResponse.from_dict(self.result_payload)
+        if self.kind == "costrategy":
+            return CostrategyResponse.from_dict(self.result_payload)
         return OptimizeResponse.from_dict(self.result_payload)
 
     def to_dict(self) -> dict:
@@ -419,7 +426,7 @@ class JobInfo:
     def from_dict(cls, payload: Mapping) -> "JobInfo":
         """Rebuild a snapshot from the v3/v4 job envelope."""
         check_schema_version(
-            payload, (3, RESPONSE_SCHEMA_VERSION), "job envelope"
+            payload, (3, 4, RESPONSE_SCHEMA_VERSION), "job envelope"
         )
         job = payload.get("job")
         if not isinstance(job, Mapping):

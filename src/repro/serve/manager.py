@@ -40,6 +40,8 @@ from repro.api.requests import (
     AnalyzeResponse,
     BatchRequest,
     BatchResponse,
+    CostrategyRequest,
+    CostrategyResponse,
     OptimizeRequest,
     OptimizeResponse,
     request_from_dict,
@@ -339,13 +341,18 @@ class JobManager:
             started = job.get("started_at")
             finished = job.get("finished_at")
             result_payload = job.get("result")
-            result: OptimizeResponse | BatchResponse | AnalyzeResponse | None = None
+            result: (
+                OptimizeResponse | BatchResponse | AnalyzeResponse
+                | CostrategyResponse | None
+            ) = None
             if result_payload is not None:
                 kind = job.get("kind")
                 if kind == "batch":
                     result = BatchResponse.from_dict(result_payload)
                 elif kind == "analyze":
                     result = AnalyzeResponse.from_dict(result_payload)
+                elif kind == "costrategy":
+                    result = CostrategyResponse.from_dict(result_payload)
                 else:
                     result = OptimizeResponse.from_dict(result_payload)
             events = [
@@ -500,7 +507,9 @@ class JobManager:
 
     def submit(
         self,
-        request: OptimizeRequest | BatchRequest | AnalyzeRequest,
+        request: (
+            OptimizeRequest | BatchRequest | AnalyzeRequest | CostrategyRequest
+        ),
         *,
         dedupe: bool = True,
     ) -> JobHandle:

@@ -1,0 +1,286 @@
+"""The strategy frontier: what the joint search actually answers.
+
+A :class:`StrategyFrontier` condenses one
+:class:`~repro.strategy.search.StrategySearchResult` into the three
+decision artifacts (stable JSON schema,
+:data:`STRATEGY_FRONTIER_SCHEMA_VERSION`):
+
+* **best strategy per budget** — which factorization wins at each
+  bandwidth budget (the Fig. 21-style headline);
+* **Pareto set across strategy × bandwidth** — the non-dominated
+  (network cost, step time) cells over the whole joint grid, via the
+  existing :func:`~repro.explore.pareto.frontier_indices`;
+* **per-strategy attribution** — which network dimensions bind at each
+  strategy's best point, answered read-only through the
+  :mod:`repro.analysis` service path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.results import Scheme
+from repro.explore.pareto import frontier_indices
+from repro.explore.records import ExplorationResult
+from repro.utils.errors import ConfigurationError
+from repro.workloads.parallelism import Parallelism
+
+from repro.strategy.search import StrategyRun, StrategySearchResult
+from repro.strategy.space import PrunedStrategy
+
+#: Version of the frontier JSON payload. Bump when the shape changes.
+STRATEGY_FRONTIER_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FrontierCell:
+    """One referenced cell of the joint grid (a winner or a Pareto point)."""
+
+    budget_gbps: float
+    strategy: Parallelism
+    key: str
+    step_time_ms: float
+    network_cost: float
+
+    def to_dict(self) -> dict:
+        return {
+            "budget_gbps": self.budget_gbps,
+            "strategy": self.strategy.to_dict(),
+            "key": self.key,
+            "step_time_ms": self.step_time_ms,
+            "network_cost": self.network_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FrontierCell":
+        return cls(
+            budget_gbps=float(payload["budget_gbps"]),
+            strategy=Parallelism.from_dict(payload["strategy"]),
+            key=str(payload.get("key", "")),
+            step_time_ms=float(payload["step_time_ms"]),
+            network_cost=float(payload["network_cost"]),
+        )
+
+
+@dataclass(frozen=True)
+class StrategyAttribution:
+    """Binding-dimension attribution of one strategy's best cell."""
+
+    strategy: Parallelism
+    budget_gbps: float
+    binding_dims: tuple[int, ...]
+    most_valuable_dim: int
+    source: str
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy.to_dict(),
+            "budget_gbps": self.budget_gbps,
+            "binding_dims": list(self.binding_dims),
+            "most_valuable_dim": self.most_valuable_dim,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StrategyAttribution":
+        return cls(
+            strategy=Parallelism.from_dict(payload["strategy"]),
+            budget_gbps=float(payload["budget_gbps"]),
+            binding_dims=tuple(int(d) for d in payload.get("binding_dims", ())),
+            most_valuable_dim=int(payload["most_valuable_dim"]),
+            source=str(payload.get("source", "")),
+        )
+
+
+@dataclass
+class StrategyFrontier:
+    """The joint search's decision surface, with a stable JSON schema."""
+
+    workload: str
+    topology: str
+    scheme: Scheme
+    budgets_gbps: tuple[float, ...]
+    runs: tuple[StrategyRun, ...]
+    best_per_budget: tuple[FrontierCell, ...] = ()
+    pareto: tuple[FrontierCell, ...] = ()
+    attributions: tuple[StrategyAttribution, ...] = ()
+    pruned: tuple[PrunedStrategy, ...] = ()
+    diagnostics: dict = field(default_factory=dict)
+
+    def rows(self) -> list[ExplorationResult]:
+        """Every cell, strategy-major, budget-ascending."""
+        return [result for run in self.runs for result in run.results]
+
+    def best_at(self, budget_gbps: float) -> FrontierCell:
+        """The winning cell at one budget (exact-match lookup)."""
+        for cell in self.best_per_budget:
+            if cell.budget_gbps == float(budget_gbps):
+                return cell
+        raise ConfigurationError(
+            f"no frontier winner at {budget_gbps} GB/s; "
+            f"budgets: {list(self.budgets_gbps)}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "schema_version": STRATEGY_FRONTIER_SCHEMA_VERSION,
+            "workload": self.workload,
+            "topology": self.topology,
+            "scheme": self.scheme.value,
+            "budgets_gbps": list(self.budgets_gbps),
+            "runs": [run.to_dict() for run in self.runs],
+            "best_per_budget": [cell.to_dict() for cell in self.best_per_budget],
+            "pareto": [cell.to_dict() for cell in self.pareto],
+            "attributions": [attr.to_dict() for attr in self.attributions],
+            "pruned": [entry.to_dict() for entry in self.pruned],
+            "diagnostics": dict(self.diagnostics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StrategyFrontier":
+        """Rebuild a frontier from :meth:`to_dict` output."""
+        from repro.api.registry import resolve_scheme
+
+        version = payload.get(
+            "schema_version", STRATEGY_FRONTIER_SCHEMA_VERSION
+        )
+        if version != STRATEGY_FRONTIER_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unreadable strategy-frontier payload: schema_version "
+                f"{version!r} (this build reads "
+                f"{STRATEGY_FRONTIER_SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                workload=str(payload["workload"]),
+                topology=str(payload["topology"]),
+                scheme=resolve_scheme(payload["scheme"]),
+                budgets_gbps=tuple(
+                    float(b) for b in payload.get("budgets_gbps", ())
+                ),
+                runs=tuple(
+                    StrategyRun.from_dict(run)
+                    for run in payload.get("runs", ())
+                ),
+                best_per_budget=tuple(
+                    FrontierCell.from_dict(cell)
+                    for cell in payload.get("best_per_budget", ())
+                ),
+                pareto=tuple(
+                    FrontierCell.from_dict(cell)
+                    for cell in payload.get("pareto", ())
+                ),
+                attributions=tuple(
+                    StrategyAttribution.from_dict(attr)
+                    for attr in payload.get("attributions", ())
+                ),
+                pruned=tuple(
+                    PrunedStrategy.from_dict(entry)
+                    for entry in payload.get("pruned", ())
+                ),
+                diagnostics=dict(payload.get("diagnostics", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed strategy-frontier payload: {exc}"
+            ) from exc
+
+
+def build_frontier(
+    search: StrategySearchResult,
+    *,
+    attribution: bool = True,
+    service=None,
+) -> StrategyFrontier:
+    """Condense a search result into its :class:`StrategyFrontier`.
+
+    ``attribution=True`` analyzes each strategy's best cell (inline, no
+    solver) through the service's analyze path to report which dimensions
+    bind; errors there degrade to a missing attribution entry, never a
+    frontier failure.
+    """
+    cells: list[tuple[Parallelism, ExplorationResult]] = [
+        (run.strategy, result)
+        for run in search.runs
+        for result in run.results
+        if result.ok
+    ]
+
+    winners: dict[float, tuple[Parallelism, ExplorationResult]] = {}
+    for strategy, result in cells:
+        budget = result.point.total_bw_gbps
+        incumbent = winners.get(budget)
+        if incumbent is None or result.step_time_ms < incumbent[1].step_time_ms:
+            winners[budget] = (strategy, result)
+    best = tuple(
+        _cell(strategy, result)
+        for _, (strategy, result) in sorted(winners.items())
+    )
+
+    coordinates = [
+        (result.network_cost, result.step_time_ms) for _, result in cells
+    ]
+    pareto = tuple(
+        _cell(*cells[i]) for i in frontier_indices(coordinates)
+    )
+
+    attributions: list[StrategyAttribution] = []
+    if attribution:
+        for run in search.runs:
+            entry = _attribute_best(run, service)
+            if entry is not None:
+                attributions.append(entry)
+
+    return StrategyFrontier(
+        workload=search.workload,
+        topology=search.topology,
+        scheme=search.scheme,
+        budgets_gbps=search.budgets_gbps,
+        runs=tuple(search.runs),
+        best_per_budget=best,
+        pareto=pareto,
+        attributions=tuple(attributions),
+        pruned=tuple(search.pruned),
+        diagnostics=dict(search.diagnostics),
+    )
+
+
+def _cell(strategy: Parallelism, result: ExplorationResult) -> FrontierCell:
+    return FrontierCell(
+        budget_gbps=result.point.total_bw_gbps,
+        strategy=strategy,
+        key=result.key,
+        step_time_ms=result.step_time_ms,
+        network_cost=result.network_cost,
+    )
+
+
+def _attribute_best(run: StrategyRun, service) -> StrategyAttribution | None:
+    """Binding-dim attribution of one strategy's best solved cell."""
+    from repro.api.requests import AnalyzeRequest
+    from repro.api.service import get_service
+    from repro.explore.executor import point_scenario
+
+    solved = [r for r in run.results if r.ok and r.bandwidths_gbps]
+    if not solved:
+        return None
+    best = min(solved, key=lambda r: r.step_time_ms)
+    try:
+        response = (service if service is not None else get_service()).submit(
+            AnalyzeRequest(
+                scenario=point_scenario(best.point),
+                bandwidths_gbps=best.bandwidths_gbps,
+                scheme=best.point.scheme,
+            )
+        )
+    except Exception:  # noqa: BLE001 — attribution must not fail the frontier
+        return None
+    return StrategyAttribution(
+        strategy=run.strategy,
+        budget_gbps=best.point.total_bw_gbps,
+        binding_dims=response.report.binding_dims,
+        most_valuable_dim=response.report.most_valuable_dim,
+        source=response.source,
+    )

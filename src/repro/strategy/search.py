@@ -1,0 +1,386 @@
+"""Joint parallelization-strategy × bandwidth search.
+
+:func:`joint_search` runs the TopoOpt-style outer grid: for every strategy
+the :class:`~repro.strategy.space.StrategySpace` admits, solve the full
+bandwidth-budget column through the existing cell primitive
+(:func:`~repro.explore.executor.solve_point`), content-addressed in the
+same :class:`~repro.explore.cache.ResultCache` the sweep pipeline uses.
+
+Warm-start reuse happens on two axes:
+
+* *within* a strategy, budgets solve ascending and each cell seeds the next
+  (the PR 4 continuation discipline);
+* *across* strategies, the first cell of each strategy seeds from the
+  previous — adjacent — strategy's optimum at the same budget
+  (``cross_warm=True``). The space enumerates strategies sorted by degree
+  tuple precisely so neighbors differ minimally and those seeds survive
+  the solver's trust check.
+
+Every cell is cached under its content key, so re-running any single
+strategy's column independently (``run_sweep`` over its points, or another
+``joint_search``) replays bit-identical rows from the cache — the
+determinism contract the serve tier's recovery path and the CI smoke job
+lean on.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+
+from repro.core.results import Scheme
+from repro.cost.model import CostModel
+from repro.explore.cache import ResultCache
+from repro.explore.executor import solve_point
+from repro.explore.keys import point_key, resolve_topology
+from repro.explore.records import ExplorationResult
+from repro.explore.spec import ExplorationPoint
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
+from repro.obs import trace as obs_trace
+from repro.utils.errors import ConfigurationError, JobCancelled
+from repro.workloads.parallelism import Parallelism
+from repro.workloads.presets import build_workload
+from repro.workloads.workload import Workload
+
+from repro.strategy.space import PrunedStrategy, StrategySpace, strategy_slug
+
+#: Separator between the preset name and the strategy slug in the tagged
+#: per-strategy workload name (``"Turing-NLG#tp2-dp3"``).
+STRATEGY_TAG = "#"
+
+#: Structured-progress callback; dicts carry a ``"type"`` discriminator:
+#: ``"plan"`` (once, after enumeration), ``"strategy"`` (start/done around
+#: each strategy column), ``"cell"`` (one cell resolved — same shape the
+#: sweep executor emits, so serve-tier progress adapters work unchanged).
+EventCallback = Callable[[dict], None]
+
+
+@dataclass(frozen=True)
+class StrategyRun:
+    """One strategy's solved bandwidth column, budget-ascending."""
+
+    strategy: Parallelism
+    results: tuple[ExplorationResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy.to_dict(),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StrategyRun":
+        return cls(
+            strategy=Parallelism.from_dict(payload["strategy"]),
+            results=tuple(
+                ExplorationResult.from_dict(row)
+                for row in payload.get("results", ())
+            ),
+        )
+
+
+@dataclass
+class StrategySearchResult:
+    """Everything one joint search produced.
+
+    Attributes:
+        workload: Base preset name the strategies were applied to.
+        topology: Target topology (preset name or notation).
+        scheme: Optimization scheme of every cell.
+        budgets_gbps: The bandwidth column, ascending.
+        runs: One :class:`StrategyRun` per kept strategy, in search order.
+        pruned: Strategies the space removed, with reasons.
+        diagnostics: Execution accounting (cache/warm/cross-warm splits).
+    """
+
+    workload: str
+    topology: str
+    scheme: Scheme
+    budgets_gbps: tuple[float, ...]
+    runs: list[StrategyRun]
+    pruned: list[PrunedStrategy] = field(default_factory=list)
+    diagnostics: dict = field(default_factory=dict)
+
+    def rows(self) -> list[ExplorationResult]:
+        """Every cell of the search, strategy-major, budget-ascending."""
+        return [result for run in self.runs for result in run.results]
+
+
+def tagged_workload(preset: str, num_npus: int, strategy: Parallelism) -> Workload:
+    """The concrete workload of one (preset, strategy) candidate.
+
+    The name is tagged with the strategy slug so result rows, continuation
+    signatures, and frontier groupings separate cleanly per strategy; the
+    content key already separates on the full canonical payload (which
+    includes the parallelization degrees).
+    """
+    workload = build_workload(preset, num_npus, parallelism=strategy)
+    return replace(
+        workload, name=f"{workload.name}{STRATEGY_TAG}{strategy_slug(strategy)}"
+    )
+
+
+def base_workload_name(tagged: str) -> str:
+    """Invert :func:`tagged_workload`'s naming for display/grouping."""
+    return tagged.split(STRATEGY_TAG, 1)[0]
+
+
+def joint_search(
+    workload: str,
+    topology: str,
+    budgets_gbps: Sequence[float],
+    *,
+    space: StrategySpace | None = None,
+    scheme: Scheme = Scheme.PERF_OPT,
+    cost_model: CostModel | None = None,
+    dim_caps_gbps: Iterable[tuple[int, float]] = (),
+    cache: ResultCache | None = None,
+    cross_warm: bool = True,
+    continuation: bool = True,
+    service=None,
+    should_stop: Callable[[], bool] | None = None,
+    on_event: EventCallback | None = None,
+) -> StrategySearchResult:
+    """Search strategy × bandwidth jointly; return every solved column.
+
+    Args:
+        workload: Preset workload name (the strategy axis re-materializes
+            it per candidate via ``build_workload``).
+        topology: Preset topology name or notation.
+        budgets_gbps: Bandwidth budgets; solved ascending per strategy.
+        space: The strategy space to enumerate; ``None`` uses the default
+            (power-of-two TP splits only).
+        scheme: Optimization scheme for every cell.
+        cost_model: Cost table override; ``None`` = Table I defaults.
+        dim_caps_gbps: Per-dimension caps applied to every cell.
+        cache: Result cache; hits skip the solver, fresh solves store back.
+        cross_warm: Seed each strategy's first cell from the previous
+            strategy's same-budget optimum. ``False`` keeps strategies
+            independent (the cold reference for the benchmark harness).
+        continuation: Thread warm starts through each budget column.
+            ``False`` solves every cell cold (benchmark baseline).
+        service: Executing :class:`~repro.api.service.LibraService`;
+            ``None`` uses the per-process default.
+        should_stop: Cooperative-cancellation predicate, polled between
+            cells. Raises :class:`~repro.utils.errors.JobCancelled` — after
+            caching every completed cell, so a recovered job replays them.
+        on_event: Structured-progress seam (see :data:`EventCallback`).
+
+    Raises:
+        ConfigurationError: empty budget column, or a space that prunes
+            every candidate.
+    """
+    started = time.perf_counter()
+    budgets = tuple(sorted(float(b) for b in budgets_gbps))
+    if not budgets:
+        raise ConfigurationError("joint search needs at least one budget")
+    if len(set(budgets)) != len(budgets):
+        raise ConfigurationError(f"duplicate budgets in {budgets}")
+    space = space if space is not None else StrategySpace()
+    network = resolve_topology(topology)
+    strategies, pruned = space.split(network.num_npus, network)
+    if not strategies:
+        raise ConfigurationError(
+            f"strategy space admits no candidate for {network.num_npus} NPUs "
+            f"on {topology!r} ({len(pruned)} pruned)"
+        )
+
+    registry = obs_metrics.get_registry()
+    candidates = registry.counter(
+        obs_names.STRATEGY_CANDIDATES,
+        "Joint-search candidate cells resolved, by outcome.",
+        labels=("outcome",),
+    )
+    if pruned:
+        candidates.labels(outcome="pruned").inc(len(pruned))
+
+    def emit(payload: dict) -> None:
+        if on_event is not None:
+            on_event(payload)
+
+    total = len(strategies) * len(budgets)
+    emit({
+        "type": "plan",
+        "total": total,
+        "strategies": len(strategies),
+        "budgets": len(budgets),
+        "pruned": len(pruned),
+    })
+
+    counts = {"solved": 0, "cached": 0, "error": 0}
+    warm = {"accepted": 0, "rejected": 0, "cold": 0, "cross_accepted": 0}
+    runs: list[StrategyRun] = []
+    done = 0
+    # Previous strategy's optimum per budget — the cross-strategy seeds.
+    prev_optima: dict[float, tuple[float, ...]] = {}
+
+    with obs_trace.get_tracer().span(
+        "strategy.search",
+        attrs={"workload": workload, "topology": topology, "cells": total},
+    ) as search_span:
+        for index, strategy in enumerate(strategies):
+            emit({
+                "type": "strategy",
+                "status": "start",
+                "index": index,
+                "strategies": len(strategies),
+                "label": str(strategy),
+            })
+            with obs_trace.get_tracer().span(
+                "strategy.candidate", attrs={"label": str(strategy)}
+            ) as span:
+                results, optima, done = _solve_column(
+                    workload, strategy, topology, budgets, scheme,
+                    cost_model, tuple(dim_caps_gbps), cache,
+                    prev_optima if cross_warm else {},
+                    continuation, service, should_stop,
+                    candidates, counts, warm, emit, done, total,
+                    network.num_npus,
+                )
+                span.set("ok", all(r.ok for r in results))
+            runs.append(StrategyRun(strategy=strategy, results=tuple(results)))
+            prev_optima = optima
+            emit({
+                "type": "strategy",
+                "status": "done",
+                "index": index,
+                "strategies": len(strategies),
+                "label": str(strategy),
+            })
+        search_span.set("solved", counts["solved"])
+        search_span.set("cached", counts["cached"])
+        search_span.set("errors", counts["error"])
+
+    elapsed = time.perf_counter() - started
+    registry.histogram(
+        obs_names.STRATEGY_SECONDS,
+        "Wall time of one joint strategy × bandwidth search.",
+    ).observe(elapsed)
+
+    solves = warm["accepted"] + warm["rejected"] + warm["cold"]
+    return StrategySearchResult(
+        workload=workload,
+        topology=topology,
+        scheme=scheme,
+        budgets_gbps=budgets,
+        runs=runs,
+        pruned=pruned,
+        diagnostics={
+            "strategies": len(strategies),
+            "pruned": len(pruned),
+            "cells": total,
+            "solved": counts["solved"],
+            "cached": counts["cached"],
+            "errors": counts["error"],
+            "warm_accepted": warm["accepted"],
+            "warm_rejected": warm["rejected"],
+            "cold_solves": warm["cold"],
+            "cross_warm_accepted": warm["cross_accepted"],
+            "warm_hit_rate": warm["accepted"] / solves if solves else 0.0,
+            "search_s": elapsed,
+        },
+    )
+
+
+def _solve_column(
+    preset: str,
+    strategy: Parallelism,
+    topology: str,
+    budgets: tuple[float, ...],
+    scheme: Scheme,
+    cost_model: CostModel | None,
+    dim_caps: tuple[tuple[int, float], ...],
+    cache: ResultCache | None,
+    cross_seeds: Mapping[float, tuple[float, ...]],
+    continuation: bool,
+    service,
+    should_stop: Callable[[], bool] | None,
+    candidates,
+    counts: dict,
+    warm_counts: dict,
+    emit: Callable[[dict], None],
+    done: int,
+    total: int,
+    num_npus: int,
+):
+    """One strategy's budget column; returns (results, optima, done)."""
+    concrete = tagged_workload(preset, num_npus, strategy)
+    results: list[ExplorationResult] = []
+    optima: dict[float, tuple[float, ...]] = {}
+    warm: tuple[float, ...] | None = None
+    for budget in budgets:
+        if should_stop is not None and should_stop():
+            raise JobCancelled("joint search cancelled between cells")
+        point = ExplorationPoint(
+            workload=concrete,
+            topology=topology,
+            total_bw_gbps=budget,
+            scheme=scheme,
+            cost_model=cost_model,
+            dim_caps_gbps=dim_caps,
+        )
+        try:
+            key = point_key(point)
+        except Exception as exc:  # noqa: BLE001 — error containment
+            result = ExplorationResult(
+                point=point, error=f"{type(exc).__name__}: {exc}"
+            )
+            key = ""
+        else:
+            result = None
+        cross_seeded = False
+        if result is None:
+            cached = cache.get(key) if cache is not None else None
+            if cached is not None:
+                result = replace(cached, point=point, from_cache=True)
+            else:
+                seed = warm if continuation else None
+                if seed is None and continuation:
+                    seed = cross_seeds.get(budget)
+                    cross_seeded = seed is not None
+                if scheme is Scheme.EQUAL_BW:
+                    seed = None
+                result = solve_point(
+                    point, key=key, warm_start=seed,
+                    should_stop=should_stop, service=service,
+                )
+                if cache is not None:
+                    cache.put(key, result)
+        status = (
+            "cached" if result.from_cache
+            else ("error" if not result.ok else "solved")
+        )
+        counts[status] = counts.get(status, 0) + 1
+        candidates.labels(outcome=status).inc()
+        if status == "solved":
+            if result.warm_start == "accepted":
+                warm_counts["accepted"] += 1
+                if cross_seeded:
+                    warm_counts["cross_accepted"] += 1
+            elif result.warm_start.startswith("rejected"):
+                warm_counts["rejected"] += 1
+            else:
+                warm_counts["cold"] += 1
+        results.append(result)
+        done += 1
+        emit({
+            "type": "cell",
+            "done": done,
+            "total": total,
+            "label": point.label(),
+            "key": result.key,
+            "status": status,
+            "warm_start": result.warm_start,
+            "error": result.error,
+        })
+        if result.ok and scheme is not Scheme.EQUAL_BW:
+            optima[budget] = result.bandwidths_gbps
+            if continuation:
+                warm = result.bandwidths_gbps
+    return results, optima, done

@@ -26,7 +26,25 @@ class MappingError(ReproError, ValueError):
 
     For example, ``HP-(3, 5)`` cannot be placed on a 16-NPU network, and a
     TP degree that does not factor across dimension sizes cannot be split.
+
+    Attributes:
+        parallelism: The offending strategy, when the raiser knows it (the
+            strategy-space enumerator prunes on this instead of re-parsing
+            the message).
+        network: Name/notation of the network the strategy failed against,
+            when known.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        parallelism: object | None = None,
+        network: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.parallelism = parallelism
+        self.network = network
 
 
 class OptimizationError(ReproError, RuntimeError):

@@ -28,6 +28,7 @@ from repro.workloads.parser import (
     serialize_workload,
 )
 from repro.workloads.presets import (
+    DEFAULT_AXES,
     TP_SIZES,
     build_all_workloads,
     build_workload,
@@ -36,9 +37,14 @@ from repro.workloads.presets import (
 from repro.workloads.resnet import build_resnet50
 from repro.workloads.transformer import (
     GPT3_CONFIG,
+    LONG_128K_CONFIG,
+    MOE_1T_CONFIG,
     MSFT_1T_CONFIG,
     TURING_NLG_CONFIG,
+    MoEConfig,
     TransformerConfig,
+    build_long_context_transformer,
+    build_moe_transformer,
     build_transformer,
 )
 from repro.workloads.workload import Workload
@@ -57,15 +63,21 @@ __all__ = [
     "parse_workload",
     "save_workload_file",
     "serialize_workload",
+    "DEFAULT_AXES",
     "TP_SIZES",
     "build_all_workloads",
     "build_workload",
     "workload_names",
     "build_resnet50",
     "GPT3_CONFIG",
+    "LONG_128K_CONFIG",
+    "MOE_1T_CONFIG",
     "MSFT_1T_CONFIG",
     "TURING_NLG_CONFIG",
+    "MoEConfig",
     "TransformerConfig",
+    "build_long_context_transformer",
+    "build_moe_transformer",
     "build_transformer",
     "Workload",
 ]

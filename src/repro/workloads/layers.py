@@ -33,6 +33,12 @@ class CommScope(enum.Enum):
     DP = "dp"
     #: Pipeline-parallel stage boundary (point-to-point transfers).
     PP = "pp"
+    #: Context-parallel group — ring-attention KV exchange across the
+    #: sequence shards of one long-context layer.
+    CP = "cp"
+    #: Expert-parallel group — MoE token dispatch/combine All-to-All across
+    #: the NPUs holding different experts.
+    EP = "ep"
     #: The whole system — used by DLRM's embedding All-to-All, which the
     #: paper runs "across all NPUs" regardless of the TP/DP split.
     GLOBAL = "global"

@@ -27,40 +27,82 @@ from repro.workloads.layers import CommScope
 
 @dataclass(frozen=True)
 class Parallelism:
-    """A hybrid parallelization strategy HP-(tp, dp) or HP-(tp, pp, dp).
+    """A hybrid parallelization strategy over up to five degrees.
 
     Pipeline parallelism is the extension the paper sketches in Sec. IV-C:
     the model is additionally split into ``pp`` stages connected by
-    point-to-point activation/gradient transfers. ``pp = 1`` (the default)
-    recovers the paper's two-degree scheme exactly.
+    point-to-point activation/gradient transfers. Context parallelism
+    (``cp``, ring-attention sequence sharding) and expert parallelism
+    (``ep``, MoE expert sharding) extend the strategy space the TopoOpt-style
+    co-optimization searches over. All extra degrees default to 1, which
+    recovers the paper's two-degree HP-(tp, dp) scheme exactly.
     """
 
     tp: int
     dp: int
     pp: int = 1
+    cp: int = 1
+    ep: int = 1
 
     def __post_init__(self) -> None:
         check_positive_int(self.tp, "tp degree")
         check_positive_int(self.dp, "dp degree")
         check_positive_int(self.pp, "pp degree")
+        check_positive_int(self.cp, "cp degree")
+        check_positive_int(self.ep, "ep degree")
 
     @property
     def total_npus(self) -> int:
-        """NPUs the strategy occupies: ``tp × pp × dp``."""
-        return self.tp * self.pp * self.dp
+        """NPUs the strategy occupies: ``tp × cp × ep × pp × dp``."""
+        return self.tp * self.cp * self.ep * self.pp * self.dp
+
+    @property
+    def degrees(self) -> tuple[int, int, int, int, int]:
+        """The (tp, cp, ep, pp, dp) degree tuple, in placement order."""
+        return (self.tp, self.cp, self.ep, self.pp, self.dp)
 
     def __str__(self) -> str:
-        if self.pp == 1:
-            return f"HP-({self.tp}, {self.dp})"
-        return f"HP-({self.tp}, {self.pp}, {self.dp})"
+        if self.cp == 1 and self.ep == 1:
+            if self.pp == 1:
+                return f"HP-({self.tp}, {self.dp})"
+            return f"HP-({self.tp}, {self.pp}, {self.dp})"
+        return (
+            f"HP-(tp={self.tp}, cp={self.cp}, ep={self.ep}, "
+            f"pp={self.pp}, dp={self.dp})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; degree-1 extension axes are omitted so the
+        serialized form of a classic HP-(tp, dp) strategy is unchanged."""
+        payload: dict = {"tp": self.tp, "dp": self.dp, "pp": self.pp}
+        if self.cp != 1:
+            payload["cp"] = self.cp
+        if self.ep != 1:
+            payload["ep"] = self.ep
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload) -> "Parallelism":
+        """Rebuild a strategy from :meth:`to_dict` output."""
+        return cls(
+            tp=int(payload["tp"]),
+            dp=int(payload["dp"]),
+            pp=int(payload.get("pp", 1)),
+            cp=int(payload.get("cp", 1)),
+            ep=int(payload.get("ep", 1)),
+        )
 
 
 @dataclass(frozen=True)
 class GroupMapping:
-    """Resolved placement of TP / PP / DP / global groups on dimensions.
+    """Resolved placement of TP / CP / EP / PP / DP / global groups.
 
     Attributes:
         tp_spans: Dimensions (with effective sizes) the TP group occupies.
+        cp_spans: Dimensions the context-parallel group occupies (empty for
+            cp = 1).
+        ep_spans: Dimensions the expert-parallel group occupies (empty for
+            ep = 1).
         pp_spans: Dimensions the pipeline group occupies (empty for pp = 1).
         dp_spans: Dimensions the DP group occupies.
         global_spans: Full-network spans for GLOBAL-scope collectives.
@@ -70,6 +112,8 @@ class GroupMapping:
     dp_spans: tuple[DimSpan, ...]
     global_spans: tuple[DimSpan, ...]
     pp_spans: tuple[DimSpan, ...] = ()
+    cp_spans: tuple[DimSpan, ...] = ()
+    ep_spans: tuple[DimSpan, ...] = ()
 
     def spans_for(self, scope: CommScope) -> tuple[DimSpan, ...]:
         """Spans of the group serving ``scope``."""
@@ -79,6 +123,10 @@ class GroupMapping:
             return self.dp_spans
         if scope is CommScope.PP:
             return self.pp_spans
+        if scope is CommScope.CP:
+            return self.cp_spans
+        if scope is CommScope.EP:
+            return self.ep_spans
         return self.global_spans
 
     def boundary_spans(self, boundary: int) -> tuple[DimSpan, ...]:
@@ -109,32 +157,51 @@ class GroupMapping:
 
 
 def map_parallelism(network: MultiDimNetwork, parallelism: Parallelism) -> GroupMapping:
-    """Place ``parallelism`` onto ``network``: TP innermost, then PP, then DP.
+    """Place ``parallelism`` onto ``network``, innermost-first.
 
-    TP communicates the most per byte of model state, so it sits on the
-    cheapest, fattest inner dimensions; pipeline stages sit in the middle;
-    data parallelism takes the scale-out remainder — the same placement
-    real Megatron-style systems use.
+    Placement order is TP, then CP, then EP, then PP, with DP taking the
+    scale-out remainder. TP communicates the most per byte of model state,
+    so it sits on the cheapest, fattest inner dimensions; context/expert
+    groups exchange activations every layer and sit just outside; pipeline
+    stages only pass boundary activations; data parallelism syncs once per
+    step and takes the rest — the same ordering real Megatron-style systems
+    use.
 
     Raises:
-        MappingError: when ``tp × pp × dp`` does not equal the NPU count, or
-            a degree cannot be factored across the dimension sizes (any
-            split must divide the dimension).
+        MappingError: when the degree product does not equal the NPU count,
+            or a degree cannot be factored across the dimension sizes (any
+            split must divide the dimension). The error carries the
+            offending ``parallelism`` and the network name so callers (the
+            strategy-space enumerator, error reports) can locate it without
+            parsing the message.
     """
+    network_label = network.name or network.notation
     if parallelism.total_npus != network.num_npus:
         raise MappingError(
             f"{parallelism} needs {parallelism.total_npus} NPUs but network "
-            f"{network.name or network.notation} has {network.num_npus}"
+            f"{network_label} has {network.num_npus}",
+            parallelism=parallelism,
+            network=network_label,
         )
 
-    tp_spans, pp_spans, dp_spans = _place_degrees(
-        network, (parallelism.tp, parallelism.pp)
-    )
+    try:
+        tp_spans, cp_spans, ep_spans, pp_spans, dp_spans = _place_degrees(
+            network,
+            (parallelism.tp, parallelism.cp, parallelism.ep, parallelism.pp),
+        )
+    except MappingError as exc:
+        raise MappingError(
+            f"{parallelism} cannot be placed on {network_label}: {exc}",
+            parallelism=parallelism,
+            network=network_label,
+        ) from exc
     global_spans = tuple(
         DimSpan(dim, size) for dim, size in enumerate(network.dim_sizes) if size > 1
     )
     return GroupMapping(
         tp_spans=tp_spans,
+        cp_spans=cp_spans,
+        ep_spans=ep_spans,
         pp_spans=pp_spans,
         dp_spans=dp_spans,
         global_spans=global_spans,

@@ -16,21 +16,35 @@ from repro.workloads.parallelism import Parallelism
 from repro.workloads.resnet import build_resnet50
 from repro.workloads.transformer import (
     GPT3_CONFIG,
+    LONG_128K_CONFIG,
+    MOE_1T_CONFIG,
     MSFT_1T_CONFIG,
     TURING_NLG_CONFIG,
+    build_long_context_transformer,
+    build_moe_transformer,
     build_transformer,
 )
 from repro.workloads.workload import Workload
 
 #: Table II tensor-parallel degrees. DLRM's embedding exchange spans all
 #: NPUs via GLOBAL-scope collectives, so its tp entry is 1 (the MLP side is
-#: data-parallel across the whole system).
+#: data-parallel across the whole system). The extension rows (MoE-1T,
+#: Long-128K) follow the same convention.
 TP_SIZES: dict[str, int] = {
     "Turing-NLG": 1,
     "GPT-3": 16,
     "MSFT-1T": 128,
     "DLRM": 1,
     "ResNet-50": 1,
+    "MoE-1T": 8,
+    "Long-128K": 8,
+}
+
+#: Default non-unit extension degrees per preset: ``(cp, ep)``. Presets
+#: absent from this table use (1, 1) — the classic HP-(tp, dp) scheme.
+DEFAULT_AXES: dict[str, tuple[int, int]] = {
+    "MoE-1T": (1, 8),
+    "Long-128K": (8, 1),
 }
 
 _BUILDERS: dict[str, Callable[[Parallelism], Workload]] = {
@@ -39,6 +53,8 @@ _BUILDERS: dict[str, Callable[[Parallelism], Workload]] = {
     "MSFT-1T": lambda p: build_transformer(MSFT_1T_CONFIG, p),
     "DLRM": build_dlrm,
     "ResNet-50": build_resnet50,
+    "MoE-1T": lambda p: build_moe_transformer(MOE_1T_CONFIG, p),
+    "Long-128K": lambda p: build_long_context_transformer(LONG_128K_CONFIG, p),
 }
 
 
@@ -72,15 +88,19 @@ def build_workload(
         )
     if parallelism is None:
         tp = TP_SIZES[name]
-        if num_npus % tp != 0:
+        cp, ep = DEFAULT_AXES.get(name, (1, 1))
+        inner = tp * cp * ep
+        if num_npus % inner != 0:
             raise MappingError(
-                f"{name} needs TP={tp}, which does not divide {num_npus} NPUs"
+                f"{name} needs TP={tp}, CP={cp}, EP={ep}, whose product "
+                f"{inner} does not divide {num_npus} NPUs"
             )
-        parallelism = Parallelism(tp=tp, dp=num_npus // tp)
+        parallelism = Parallelism(tp=tp, dp=num_npus // inner, cp=cp, ep=ep)
     elif parallelism.total_npus != num_npus:
         raise MappingError(
             f"{parallelism} occupies {parallelism.total_npus} NPUs, "
-            f"but the system has {num_npus}"
+            f"but the system has {num_npus}",
+            parallelism=parallelism,
         )
     return builder(parallelism)
 

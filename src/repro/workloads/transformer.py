@@ -152,6 +152,213 @@ def build_transformer(
     )
 
 
+@dataclass(frozen=True)
+class MoEConfig(TransformerConfig):
+    """A mixture-of-experts transformer: dense attention + sharded experts.
+
+    Attributes:
+        num_experts: Expert MLPs per layer (each ``8 h²`` parameters).
+        top_k: Experts each token is routed to.
+    """
+
+    num_experts: int = 32
+    top_k: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive_int(self.num_experts, "num_experts")
+        check_positive_int(self.top_k, "top_k")
+        if self.top_k > self.num_experts:
+            raise ConfigurationError(
+                f"{self.name}: top_k {self.top_k} exceeds "
+                f"num_experts {self.num_experts}"
+            )
+
+    @property
+    def params_per_layer(self) -> float:
+        """Attention ``4 h²`` plus ``num_experts`` expert MLPs of ``8 h²``."""
+        return (4.0 + 8.0 * self.num_experts) * self.hidden * self.hidden
+
+
+def build_moe_transformer(config: MoEConfig, parallelism: Parallelism) -> Workload:
+    """Materialize a mixture-of-experts workload for an HP strategy.
+
+    Experts are sharded ``ep`` ways (expert parallelism): every layer routes
+    its tokens to ``top_k`` experts through an EP-scope dispatch All-to-All
+    and collects the outputs through a combine All-to-All, in both forward
+    and backward. The attention block keeps the dense Megatron TP pattern;
+    ZeRO-2 DP synchronizes each NPU's parameter shard (attention plus its
+    ``num_experts / ep`` local experts).
+    """
+    tp, ep = parallelism.tp, parallelism.ep
+    if config.hidden % tp != 0 and tp > 1:
+        raise ConfigurationError(
+            f"{config.name}: hidden {config.hidden} is not divisible by TP degree {tp}"
+        )
+    if config.num_experts % ep != 0:
+        raise ConfigurationError(
+            f"{config.name}: {config.num_experts} experts are not divisible "
+            f"by EP degree {ep}"
+        )
+
+    tokens = config.tokens_per_microbatch
+    hidden_sq = float(config.hidden) * config.hidden
+    attn_params = 4.0 * hidden_sq
+    expert_params = 8.0 * hidden_sq
+    # Per-NPU compute: dense attention matmuls, plus each token visiting
+    # top_k experts with the routed load spread across the EP group.
+    fwd_flops = (
+        2.0 * attn_params * tokens / tp
+        + 2.0 * expert_params * tokens * config.top_k / (tp * ep)
+    )
+    activation_bytes = tokens * config.hidden * config.dtype_bytes
+    routed_bytes = activation_bytes * config.top_k / tp
+    shard_params = (attn_params + expert_params * config.num_experts / ep) / tp
+    grad_shard_bytes = shard_params * config.dtype_bytes
+
+    fwd_comm: list[CommRequirement] = []
+    bwd_comm: list[CommRequirement] = []
+    if tp > 1:
+        fwd_comm.append(
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="fwd-attn-ar"))
+        bwd_comm.append(
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="bwd-attn-ar"))
+    if ep > 1:
+        fwd_comm.extend((
+            CommRequirement(CommScope.EP, CollectiveType.ALL_TO_ALL,
+                            routed_bytes, label="moe-dispatch-a2a"),
+            CommRequirement(CommScope.EP, CollectiveType.ALL_TO_ALL,
+                            routed_bytes, label="moe-combine-a2a"),
+        ))
+        bwd_comm.extend((
+            CommRequirement(CommScope.EP, CollectiveType.ALL_TO_ALL,
+                            routed_bytes, label="moe-grad-dispatch-a2a"),
+            CommRequirement(CommScope.EP, CollectiveType.ALL_TO_ALL,
+                            routed_bytes, label="moe-grad-combine-a2a"),
+        ))
+
+    dp_comm: tuple[CommRequirement, ...] = ()
+    if parallelism.dp > 1:
+        dp_comm = (
+            CommRequirement(CommScope.DP, CollectiveType.REDUCE_SCATTER,
+                            grad_shard_bytes, label="zero2-grad-rs"),
+            CommRequirement(CommScope.DP, CollectiveType.ALL_GATHER,
+                            grad_shard_bytes, label="zero2-param-ag"),
+        )
+
+    layers = tuple(
+        Layer(
+            name=f"{config.name.lower()}-block{index}",
+            fwd_compute_flops=fwd_flops,
+            fwd_comms=tuple(fwd_comm),
+            tp_compute_flops=fwd_flops,
+            tp_comms=tuple(bwd_comm),
+            dp_compute_flops=fwd_flops,
+            dp_comms=dp_comm,
+            param_count=config.params_per_layer,
+        )
+        for index in range(config.num_layers)
+    )
+    return Workload(
+        name=config.name,
+        layers=layers,
+        parallelism=parallelism,
+        dtype_bytes=config.dtype_bytes,
+    )
+
+
+def build_long_context_transformer(
+    config: TransformerConfig,
+    parallelism: Parallelism,
+) -> Workload:
+    """Materialize a long-context transformer for an HP strategy.
+
+    Context parallelism (``cp``) shards the sequence: every NPU holds
+    ``seq_len / cp`` tokens, exchanges its K/V shard around the CP ring
+    each layer (an All-Gather forward, the matching Reduce-Scatter of K/V
+    gradients backward), and — since weights are replicated across the CP
+    group — all-reduces weight gradients over CP before the ZeRO-2 DP sync.
+    """
+    tp, cp = parallelism.tp, parallelism.cp
+    if config.hidden % tp != 0 and tp > 1:
+        raise ConfigurationError(
+            f"{config.name}: hidden {config.hidden} is not divisible by TP degree {tp}"
+        )
+    if config.seq_len % cp != 0:
+        raise ConfigurationError(
+            f"{config.name}: seq_len {config.seq_len} is not divisible "
+            f"by CP degree {cp}"
+        )
+
+    local_tokens = config.tokens_per_microbatch // cp
+    params = config.params_per_layer
+    fwd_flops = 2.0 * params * local_tokens / tp
+    activation_bytes = local_tokens * config.hidden * config.dtype_bytes
+    # K and V shards for the local tokens, exchanged around the CP ring.
+    kv_bytes = 2.0 * activation_bytes
+    grad_shard_bytes = params / tp * config.dtype_bytes
+
+    fwd_comm: list[CommRequirement] = []
+    bwd_comm: list[CommRequirement] = []
+    if tp > 1:
+        fwd_comm.extend((
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="fwd-attn-ar"),
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="fwd-mlp-ar"),
+        ))
+        bwd_comm.extend((
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="bwd-attn-ar"),
+            CommRequirement(CommScope.TP, CollectiveType.ALL_REDUCE,
+                            activation_bytes, label="bwd-mlp-ar"),
+        ))
+    if cp > 1:
+        fwd_comm.append(
+            CommRequirement(CommScope.CP, CollectiveType.ALL_GATHER,
+                            kv_bytes, label="ring-kv-ag"))
+        bwd_comm.append(
+            CommRequirement(CommScope.CP, CollectiveType.REDUCE_SCATTER,
+                            kv_bytes, label="ring-kv-grad-rs"))
+
+    dp_comm: list[CommRequirement] = []
+    if cp > 1:
+        # Weights are replicated across CP: weight gradients reduce over the
+        # CP group before the data-parallel shard sync.
+        dp_comm.append(
+            CommRequirement(CommScope.CP, CollectiveType.ALL_REDUCE,
+                            grad_shard_bytes, label="cp-grad-ar"))
+    if parallelism.dp > 1:
+        dp_comm.extend((
+            CommRequirement(CommScope.DP, CollectiveType.REDUCE_SCATTER,
+                            grad_shard_bytes, label="zero2-grad-rs"),
+            CommRequirement(CommScope.DP, CollectiveType.ALL_GATHER,
+                            grad_shard_bytes, label="zero2-param-ag"),
+        ))
+
+    layers = tuple(
+        Layer(
+            name=f"{config.name.lower()}-block{index}",
+            fwd_compute_flops=fwd_flops,
+            fwd_comms=tuple(fwd_comm),
+            tp_compute_flops=fwd_flops,
+            tp_comms=tuple(bwd_comm),
+            dp_compute_flops=fwd_flops,
+            dp_comms=tuple(dp_comm),
+            param_count=params,
+        )
+        for index in range(config.num_layers)
+    )
+    return Workload(
+        name=config.name,
+        layers=layers,
+        parallelism=parallelism,
+        dtype_bytes=config.dtype_bytes,
+    )
+
+
 #: Architecture configurations behind Table II's transformer rows. The layer
 #: counts / widths are the published model shapes; each yields the Table II
 #: parameter count under the 12h² accounting (checked by tests).
@@ -163,4 +370,15 @@ GPT3_CONFIG = TransformerConfig(
 )
 MSFT_1T_CONFIG = TransformerConfig(
     name="MSFT-1T", num_layers=128, hidden=25600, seq_len=1024, microbatch=1
+)
+
+#: Extension scenarios for the co-optimization axes (ROADMAP): a ~1T-param
+#: mixture-of-experts model exercising expert parallelism and a 128K-context
+#: GPT-3 exercising context parallelism.
+MOE_1T_CONFIG = MoEConfig(
+    name="MoE-1T", num_layers=64, hidden=8192, seq_len=2048, microbatch=1,
+    num_experts=32, top_k=2,
+)
+LONG_128K_CONFIG = TransformerConfig(
+    name="Long-128K", num_layers=96, hidden=12288, seq_len=131072, microbatch=1
 )

@@ -101,13 +101,21 @@ class Workload:
         """
         if self._canonical_cache is not None:
             return self._canonical_cache
+        # Degree-1 cp/ep axes are omitted so the canonical payload (and
+        # every digest derived from it) of a classic HP-(tp, dp) workload
+        # is byte-identical to what pre-CP/EP releases produced.
+        parallelism_payload = {
+            "tp": self.parallelism.tp,
+            "dp": self.parallelism.dp,
+            "pp": self.parallelism.pp,
+        }
+        if self.parallelism.cp != 1:
+            parallelism_payload["cp"] = self.parallelism.cp
+        if self.parallelism.ep != 1:
+            parallelism_payload["ep"] = self.parallelism.ep
         payload = {
             "name": self.name,
-            "parallelism": {
-                "tp": self.parallelism.tp,
-                "dp": self.parallelism.dp,
-                "pp": self.parallelism.pp,
-            },
+            "parallelism": parallelism_payload,
             "dtype_bytes": self.dtype_bytes,
             "layers": [
                 {

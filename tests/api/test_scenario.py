@@ -25,16 +25,18 @@ from repro.training.compute import ComputeModel
 from repro.training.loops import TPDPOverlapLoop
 from repro.utils import gbps
 from repro.utils.errors import ConfigurationError
-from repro.workloads import TP_SIZES, build_workload, workload_names
+from repro.workloads import DEFAULT_AXES, TP_SIZES, build_workload, workload_names
 
 
 def _valid_combos():
-    """Every preset topology × Table II workload whose TP degree fits."""
+    """Every preset topology × Table II workload whose inner degrees fit."""
     combos = []
     for topology in list(EVALUATION_TOPOLOGIES) + list(REAL_SYSTEM_TOPOLOGIES):
         num_npus = get_topology(topology).num_npus
         for workload in workload_names():
-            if num_npus % TP_SIZES[workload] == 0 and num_npus > TP_SIZES[workload]:
+            cp, ep = DEFAULT_AXES.get(workload, (1, 1))
+            inner = TP_SIZES[workload] * cp * ep
+            if num_npus % inner == 0 and num_npus > inner:
                 combos.append((topology, workload))
     return combos
 

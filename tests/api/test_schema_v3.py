@@ -45,9 +45,9 @@ def _batch_request():
 
 
 class TestRequestEnvelope:
-    def test_versions_are_v4(self):
-        assert REQUEST_SCHEMA_VERSION == 4
-        assert RESPONSE_SCHEMA_VERSION == 4
+    def test_versions_are_v5(self):
+        assert REQUEST_SCHEMA_VERSION == 5
+        assert RESPONSE_SCHEMA_VERSION == 5
 
     def test_optimize_round_trip(self):
         request = _optimize_request(warm_start=(240.0, 60.0), max_starts=3)

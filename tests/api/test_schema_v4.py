@@ -50,7 +50,7 @@ class TestAnalyzeRequestEnvelope:
             ),
         )
         envelope = request_to_dict(request)
-        assert envelope["schema_version"] == REQUEST_SCHEMA_VERSION == 4
+        assert envelope["schema_version"] == REQUEST_SCHEMA_VERSION
         assert envelope["kind"] == "analyze"
         parsed = request_from_dict(json.loads(json.dumps(envelope)))
         assert isinstance(parsed, AnalyzeRequest)
@@ -129,7 +129,7 @@ class TestAnalyzeResponse:
     def test_round_trip(self):
         response = self._response()
         payload = json.loads(json.dumps(response.to_dict()))
-        assert payload["schema_version"] == RESPONSE_SCHEMA_VERSION == 4
+        assert payload["schema_version"] == RESPONSE_SCHEMA_VERSION
         restored = AnalyzeResponse.from_dict(payload)
         assert restored.to_dict() == response.to_dict()
         assert restored.source == "solve"

@@ -6,7 +6,7 @@ import urllib.request
 
 import pytest
 
-from repro.api.requests import OptimizeRequest
+from repro.api.requests import RESPONSE_SCHEMA_VERSION, OptimizeRequest
 from repro.api.scenario import build_scenario
 from repro.obs import names as obs_names
 from repro.serve import JobManager, ServeClient, create_server
@@ -131,7 +131,7 @@ class TestHealthz:
         _, body = _get(endpoint, "/healthz")
         payload = json.loads(body)
         assert payload["ok"] is True
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == RESPONSE_SCHEMA_VERSION
         assert payload["uptime_s"] >= 0
         assert payload["queue_depth"] == 0
         assert payload["active_jobs"] == 0

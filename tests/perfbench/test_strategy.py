@@ -1,0 +1,80 @@
+"""Strategy benchmark harness: artifact schema and the reuse floor metric."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.perfbench.harness import BenchEquivalenceError
+from repro.perfbench.strategy import (
+    STRATEGY_BENCH_SCHEMA_VERSION,
+    StrategyBenchConfig,
+    format_strategy_report,
+    quick_strategy_config,
+    run_strategy_benchmark,
+)
+
+TINY = replace(quick_strategy_config(), repeats=1, label="tiny")
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return run_strategy_benchmark(TINY)
+
+
+class TestStrategyBenchmark:
+    def test_artifact_schema_and_speed_fields(self, artifact):
+        assert artifact["schema_version"] == STRATEGY_BENCH_SCHEMA_VERSION
+        assert artifact["strategies"] == 2
+        assert artifact["cells"] == 6
+        assert artifact["errors"] == 0
+        assert artifact["cold_s"] > 0 and artifact["warm_s"] > 0
+        assert artifact["speedup"] == pytest.approx(
+            artifact["cold_s"] / artifact["warm_s"]
+        )
+        assert artifact["candidates_per_sec_warm"] == pytest.approx(
+            artifact["cells"] / artifact["warm_s"]
+        )
+        assert json.dumps(artifact)  # artifact must be JSON-serializable
+
+    def test_warm_reuse_actually_reduces_solver_work(self, artifact):
+        """The CI floor's metric: warm-start threading must shed a
+        meaningful share of the cold baseline's multi-start bill."""
+        breakdown = artifact["breakdown"]
+        assert breakdown["warm_accepted"] > 0
+        assert breakdown["cross_warm_accepted"] >= 1
+        assert breakdown["warm_hit_rate"] > 0
+        assert (
+            breakdown["solver_starts_warm"] < breakdown["solver_starts_cold"]
+        )
+        assert breakdown["start_reduction"] > 0
+        assert breakdown["start_reduction"] == pytest.approx(
+            1.0
+            - breakdown["solver_starts_warm"]
+            / breakdown["solver_starts_cold"]
+        )
+
+    def test_equivalence_gate_passed(self, artifact):
+        equivalence = artifact["equivalence"]
+        assert equivalence["ok"] is True
+        assert equivalence["max_objective_rel_diff"] <= TINY.objective_rtol
+
+    def test_report_is_human_readable(self, artifact):
+        report = format_strategy_report(artifact)
+        assert "Turing-NLG" in report
+        assert "speedup" in report
+        assert "across strategies" in report
+        assert "equivalence: ok" in report
+
+    def test_quick_config_is_seconds_scale(self):
+        config = quick_strategy_config()
+        assert config.quick
+        assert config.max_tp == 2
+        assert len(config.budgets_gbps) == 3
+
+    def test_drift_past_tolerance_raises(self):
+        """An impossible tolerance must trip the gate, not write numbers."""
+        with pytest.raises(BenchEquivalenceError, match="drifted past"):
+            run_strategy_benchmark(
+                replace(TINY, objective_rtol=-1e-9)
+            )

@@ -1,0 +1,213 @@
+"""joint_search and the frontier: warm-start reuse, cache replay, schema."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.explore.cache import ResultCache
+from repro.strategy import (
+    StrategyFrontier,
+    StrategySpace,
+    base_workload_name,
+    build_frontier,
+    joint_search,
+    strategy_slug,
+    tagged_workload,
+)
+from repro.utils.errors import ConfigurationError, JobCancelled
+
+WORKLOAD = "Turing-NLG"
+TOPOLOGY = "Google TPUv2"  # RI(4)_RI(2), 8 NPUs — two tp<=2 strategies
+BUDGETS = (100.0, 200.0, 300.0)
+SPACE = StrategySpace(max_tp=2)
+
+
+@pytest.fixture(scope="module")
+def searched():
+    """One shared search (and its cache) for the read-only assertions."""
+    cache = ResultCache()
+    search = joint_search(
+        WORKLOAD, TOPOLOGY, BUDGETS, space=SPACE, cache=cache
+    )
+    return search, cache
+
+
+class TestJointSearch:
+    def test_covers_the_full_grid(self, searched):
+        search, _ = searched
+        assert len(search.runs) == 2
+        assert [strategy_slug(r.strategy) for r in search.runs] == [
+            "tp1-dp8", "tp2-dp4",
+        ]
+        for run in search.runs:
+            assert run.ok
+            assert tuple(
+                r.point.total_bw_gbps for r in run.results
+            ) == BUDGETS
+        assert len(search.rows()) == 6
+
+    def test_rows_are_tagged_per_strategy(self, searched):
+        search, _ = searched
+        names = {row.point.workload.name for row in search.rows()}
+        assert names == {f"{WORKLOAD}#tp1-dp8", f"{WORKLOAD}#tp2-dp4"}
+        assert all(
+            base_workload_name(name) == WORKLOAD for name in names
+        )
+
+    def test_warm_start_reuse_within_and_across_strategies(self, searched):
+        search, _ = searched
+        diagnostics = search.diagnostics
+        assert diagnostics["cells"] == 6
+        assert diagnostics["solved"] == 6
+        assert diagnostics["errors"] == 0
+        # Continuation threads the budget columns...
+        assert diagnostics["warm_hit_rate"] > 0
+        # ...and the adjacent strategy seeds the next column's first cell.
+        assert diagnostics["cross_warm_accepted"] >= 1
+        assert (
+            diagnostics["warm_accepted"]
+            + diagnostics["warm_rejected"]
+            + diagnostics["cold_solves"]
+        ) == 6
+
+    def test_rerun_replays_bit_identical_rows_from_cache(self, searched):
+        """The determinism contract: any re-run against the same cache —
+        the whole grid or one strategy's column independently — replays
+        byte-identical rows instead of re-solving."""
+        search, cache = searched
+        replay = joint_search(
+            WORKLOAD, TOPOLOGY, BUDGETS, space=SPACE, cache=cache
+        )
+        assert replay.diagnostics["cached"] == 6
+        assert replay.diagnostics["solved"] == 0
+        for original, replayed in zip(search.rows(), replay.rows()):
+            assert replayed.from_cache
+            assert (
+                replace(replayed, from_cache=False).to_dict()
+                == replace(original, from_cache=False).to_dict()
+            )
+
+    def test_single_strategy_column_replays_independently(self, searched):
+        search, cache = searched
+        column = joint_search(
+            WORKLOAD, TOPOLOGY, BUDGETS,
+            space=StrategySpace(min_tp=2, max_tp=2), cache=cache,
+        )
+        [run] = column.runs
+        assert column.diagnostics["cached"] == 3
+        assert [
+            replace(r, from_cache=False).to_dict() for r in run.results
+        ] == [
+            replace(r, from_cache=False).to_dict()
+            for r in search.runs[1].results
+        ]
+
+    def test_events_narrate_plan_strategies_and_cells(self):
+        events = []
+        joint_search(
+            WORKLOAD, TOPOLOGY, (100.0,), space=SPACE,
+            cache=ResultCache(), on_event=events.append,
+        )
+        kinds = [event["type"] for event in events]
+        assert kinds[0] == "plan"
+        assert events[0]["total"] == 2
+        assert kinds.count("cell") == 2
+        assert kinds.count("strategy") == 4  # start/done per strategy
+        assert events[-1] == {
+            "type": "strategy", "status": "done", "index": 1,
+            "strategies": 2, "label": "HP-(2, 4)",
+        }
+
+    def test_cancellation_between_cells(self):
+        with pytest.raises(JobCancelled):
+            joint_search(
+                WORKLOAD, TOPOLOGY, BUDGETS, space=SPACE,
+                should_stop=lambda: True,
+            )
+
+    def test_empty_and_duplicate_budgets_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one budget"):
+            joint_search(WORKLOAD, TOPOLOGY, ())
+        with pytest.raises(ConfigurationError, match="duplicate budgets"):
+            joint_search(WORKLOAD, TOPOLOGY, (100.0, 100))
+
+    def test_space_admitting_nothing_rejected(self):
+        with pytest.raises(ConfigurationError, match="no candidate"):
+            joint_search(
+                WORKLOAD, TOPOLOGY, BUDGETS,
+                space=StrategySpace(min_tp=4096),
+            )
+
+    def test_tagged_workload_separates_content_keys(self):
+        a = tagged_workload(WORKLOAD, 8, search_strategy("tp1-dp8"))
+        b = tagged_workload(WORKLOAD, 8, search_strategy("tp2-dp4"))
+        assert a.name != b.name
+        assert a.canonical() != b.canonical()
+
+
+def search_strategy(slug):
+    from repro.workloads import Parallelism
+
+    return {
+        "tp1-dp8": Parallelism(1, 8), "tp2-dp4": Parallelism(2, 4)
+    }[slug]
+
+
+class TestFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self, searched):
+        search, _ = searched
+        return build_frontier(search)
+
+    def test_best_per_budget_covers_every_budget(self, frontier):
+        assert tuple(
+            cell.budget_gbps for cell in frontier.best_per_budget
+        ) == BUDGETS
+        for cell in frontier.best_per_budget:
+            assert frontier.best_at(cell.budget_gbps) == cell
+            # The winner really is the grid minimum at its budget.
+            rivals = [
+                row.step_time_ms for row in frontier.rows()
+                if row.point.total_bw_gbps == cell.budget_gbps
+            ]
+            assert cell.step_time_ms == min(rivals)
+
+    def test_best_at_unknown_budget_raises(self, frontier):
+        with pytest.raises(ConfigurationError, match="no frontier winner"):
+            frontier.best_at(999.0)
+
+    def test_pareto_cells_are_non_dominated(self, frontier):
+        assert frontier.pareto
+        points = [
+            (cell.network_cost, cell.step_time_ms) for cell in frontier.pareto
+        ]
+        for cost, time_ms in points:
+            assert not any(
+                other_cost <= cost and other_time <= time_ms
+                and (other_cost, other_time) != (cost, time_ms)
+                for other_cost, other_time in points
+            )
+
+    def test_attribution_per_strategy(self, frontier):
+        assert len(frontier.attributions) == 2
+        for attribution in frontier.attributions:
+            assert attribution.binding_dims
+            assert attribution.most_valuable_dim in attribution.binding_dims
+            assert attribution.source in ("solve", "memo", "inline")
+
+    def test_json_round_trip_is_exact(self, frontier):
+        payload = json.loads(json.dumps(frontier.to_dict()))
+        restored = StrategyFrontier.from_dict(payload)
+        assert restored.to_dict() == frontier.to_dict()
+        assert restored.best_per_budget == frontier.best_per_budget
+
+    def test_unknown_schema_version_rejected(self, frontier):
+        payload = frontier.to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="schema_version"):
+            StrategyFrontier.from_dict(payload)
+
+    def test_diagnostics_travel_with_the_frontier(self, frontier, searched):
+        search, _ = searched
+        assert frontier.diagnostics == search.diagnostics

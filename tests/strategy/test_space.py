@@ -1,0 +1,160 @@
+"""StrategySpace enumeration: bounds, pruning, determinism, serialization."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import MultiDimNetwork, get_topology
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import prod
+from repro.workloads import Parallelism
+from repro.strategy import StrategySpace, strategy_slug
+
+
+class TestEnumeration:
+    def test_default_space_is_power_of_two_tp(self):
+        strategies = StrategySpace().enumerate(8)
+        assert [s.tp for s in strategies] == [1, 2, 4, 8]
+        assert all(s.total_npus == 8 for s in strategies)
+        assert all((s.cp, s.ep, s.pp) == (1, 1, 1) for s in strategies)
+
+    def test_extension_axes_expand_the_space(self):
+        strategies = StrategySpace(max_tp=2, max_ep=2).enumerate(8)
+        assert all(s.total_npus == 8 for s in strategies)
+        assert any(s.ep == 2 for s in strategies)
+        # dp always absorbs the cofactor exactly.
+        assert all(s.dp == 8 // (s.tp * s.cp * s.ep * s.pp) for s in strategies)
+
+    def test_sorted_by_degree_tuple(self):
+        """Adjacency the cross-strategy warm start leans on."""
+        strategies = StrategySpace(max_tp=4, max_cp=2).enumerate(16)
+        degrees = [s.degrees for s in strategies]
+        assert degrees == sorted(degrees)
+        assert len(set(degrees)) == len(degrees)
+
+    def test_min_tp_floor(self):
+        strategies = StrategySpace(min_tp=4).enumerate(16)
+        assert [s.tp for s in strategies] == [4, 8, 16]
+
+    def test_min_tp_above_max_tp_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceeds max_tp"):
+            StrategySpace(min_tp=8, max_tp=4)
+
+    def test_non_power_of_two_degrees(self):
+        strategies = StrategySpace(max_tp=6, power_of_two=False).enumerate(12)
+        assert [s.tp for s in strategies] == [1, 2, 3, 4, 6]
+
+
+class TestPruning:
+    def test_unmappable_candidates_are_pruned_with_located_reason(self):
+        net = MultiDimNetwork.from_notation("RI(6)_RI(4)")
+        kept, pruned = StrategySpace(power_of_two=False).split(
+            net.num_npus, net
+        )
+        assert all(p.total_npus == 24 for p in kept)
+        # TP-4 cannot slice RI(6); the located MappingError is the reason.
+        removed = {entry.strategy.tp: entry.reason for entry in pruned}
+        assert 4 in removed
+        assert removed[4].startswith("unmappable:")
+        assert all(s.tp != 4 for s in kept)
+
+    def test_custom_rules_veto(self):
+        space = StrategySpace(
+            rules=(lambda s: "tp too small" if s.tp < 4 else "",)
+        )
+        kept, pruned = space.split(8)
+        assert [s.tp for s in kept] == [4, 8]
+        assert {entry.reason for entry in pruned} == {"tp too small"}
+
+    def test_pruned_entry_round_trips(self):
+        from repro.strategy.space import PrunedStrategy
+
+        entry = PrunedStrategy(Parallelism(4, 2), "unmappable: nope")
+        assert PrunedStrategy.from_dict(
+            json.loads(json.dumps(entry.to_dict()))
+        ) == entry
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        space = StrategySpace(
+            max_tp=64, max_cp=2, max_ep=4, max_pp=2, min_tp=2,
+            power_of_two=False,
+        )
+        restored = StrategySpace.from_dict(
+            json.loads(json.dumps(space.to_dict()))
+        )
+        assert restored == space
+
+    def test_unbounded_tp_round_trips_as_null(self):
+        payload = StrategySpace().to_dict()
+        assert payload["max_tp"] is None
+        assert StrategySpace.from_dict(payload) == StrategySpace()
+
+    def test_spaces_with_rules_refuse_to_serialize(self):
+        space = StrategySpace(rules=(lambda s: "",))
+        with pytest.raises(ConfigurationError, match="cannot be serialized"):
+            space.to_dict()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy-space"):
+            StrategySpace.from_dict({"max_tp": 4, "max_qp": 2})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            StrategySpace.from_dict({"max_cp": "lots"})
+
+
+class TestSlug:
+    def test_slug_omits_unit_axes(self):
+        assert strategy_slug(Parallelism(2, 4)) == "tp2-dp4"
+        assert (
+            strategy_slug(Parallelism(tp=2, dp=2, cp=2, ep=2, pp=2))
+            == "tp2-cp2-ep2-pp2-dp2"
+        )
+
+
+@given(
+    st.sampled_from([4, 8, 16, 32, 64]),
+    st.sampled_from([1, 2, 4]),
+    st.sampled_from([1, 2, 4]),
+    st.sampled_from([1, 2]),
+)
+def test_property_space_partitions_node_count(num_npus, max_cp, max_ep, max_pp):
+    """Every kept strategy factors ``num_npus`` exactly, exactly once."""
+    kept, pruned = StrategySpace(
+        max_cp=max_cp, max_ep=max_ep, max_pp=max_pp
+    ).split(num_npus)
+    assert kept, "bounded power-of-two spaces are never empty"
+    seen = set()
+    for strategy in kept:
+        assert prod(strategy.degrees) == num_npus
+        assert strategy.total_npus == num_npus
+        assert strategy.degrees not in seen
+        seen.add(strategy.degrees)
+        assert strategy.cp <= max_cp and strategy.ep <= max_ep
+        assert strategy.pp <= max_pp
+    # Deterministic order, and nothing pruned without a network or rules.
+    assert [s.degrees for s in kept] == sorted(s.degrees for s in kept)
+    assert pruned == []
+
+
+@given(st.sampled_from([8, 16, 64]), st.data())
+def test_property_network_pruning_is_a_partition(num_npus, data):
+    """With a network, kept ∪ pruned is the whole bounded space and every
+    kept candidate actually places."""
+    from repro.workloads import map_parallelism
+
+    sizes = {8: "RI(4)_RI(2)", 16: "RI(4)_RI(4)", 64: "SW(4)_SW(4)_SW(4)"}
+    net = MultiDimNetwork.from_notation(sizes[num_npus])
+    max_cp = data.draw(st.sampled_from([1, 2]))
+    space = StrategySpace(max_cp=max_cp)
+    kept, pruned = space.split(num_npus, net)
+    unconstrained, _ = space.split(num_npus)
+    assert {s.degrees for s in kept} | {
+        p.strategy.degrees for p in pruned
+    } == {s.degrees for s in unconstrained}
+    for strategy in kept:
+        map_parallelism(net, strategy)  # must not raise

@@ -1,0 +1,169 @@
+"""CP/EP placement, located MappingErrors, and the MoE/long-context presets."""
+
+import json
+
+import pytest
+
+from repro.collectives import DimSpan
+from repro.topology import MultiDimNetwork, get_topology
+from repro.utils.errors import MappingError
+from repro.utils.validation import prod
+from repro.workloads import (
+    CommScope,
+    Parallelism,
+    build_workload,
+    map_parallelism,
+)
+
+
+class TestFiveAxisParallelism:
+    def test_total_includes_all_degrees(self):
+        assert Parallelism(tp=2, dp=4, pp=2, cp=2, ep=2).total_npus == 64
+
+    def test_degrees_tuple_is_placement_order(self):
+        p = Parallelism(tp=2, dp=3, pp=5, cp=7, ep=11)
+        assert p.degrees == (2, 7, 11, 5, 3)
+
+    def test_str_forms(self):
+        assert str(Parallelism(8, 4)) == "HP-(8, 4)"
+        assert str(Parallelism(8, 4, pp=2)) == "HP-(8, 2, 4)"
+        assert (
+            str(Parallelism(tp=2, dp=4, cp=2, ep=2))
+            == "HP-(tp=2, cp=2, ep=2, pp=1, dp=4)"
+        )
+
+    def test_to_dict_omits_unit_extension_axes(self):
+        """A classic HP-(tp, dp) payload is byte-identical to pre-CP/EP
+        releases — the wire-compat contract."""
+        assert Parallelism(16, 256).to_dict() == {"tp": 16, "dp": 256, "pp": 1}
+        payload = Parallelism(tp=2, dp=4, cp=2, ep=2).to_dict()
+        assert payload == {"tp": 2, "dp": 4, "pp": 1, "cp": 2, "ep": 2}
+
+    def test_round_trip(self):
+        for p in (
+            Parallelism(16, 256),
+            Parallelism(tp=2, dp=4, pp=2, cp=2, ep=2),
+        ):
+            assert Parallelism.from_dict(json.loads(json.dumps(p.to_dict()))) == p
+
+    def test_bad_extension_degrees(self):
+        with pytest.raises(ValueError):
+            Parallelism(tp=2, dp=4, cp=0)
+        with pytest.raises(ValueError):
+            Parallelism(tp=2, dp=4, ep=-2)
+
+
+class TestExtensionAxisMapping:
+    def test_cp_and_ep_sit_between_tp_and_dp(self):
+        """tp=2 takes half of dim 0, cp the other half, ep half of dim 1;
+        DP mops up the rest — the innermost-first placement order."""
+        net = MultiDimNetwork.from_notation("RI(4)_RI(4)_RI(4)")
+        mapping = map_parallelism(
+            net, Parallelism(tp=2, cp=2, ep=2, dp=8)
+        )
+        assert mapping.tp_spans == (DimSpan(0, 2),)
+        assert mapping.cp_spans == (DimSpan(0, 2),)
+        assert mapping.ep_spans == (DimSpan(1, 2),)
+        assert mapping.pp_spans == ()
+        assert mapping.dp_spans == (DimSpan(1, 2), DimSpan(2, 4))
+
+    def test_spans_for_extension_scopes(self):
+        net = MultiDimNetwork.from_notation("RI(4)_RI(4)_RI(4)")
+        mapping = map_parallelism(net, Parallelism(tp=2, cp=2, ep=2, dp=8))
+        assert mapping.spans_for(CommScope.CP) == mapping.cp_spans
+        assert mapping.spans_for(CommScope.EP) == mapping.ep_spans
+
+    def test_degrees_partition_the_network(self):
+        net = get_topology("3D-512")
+        mapping = map_parallelism(net, Parallelism(tp=8, cp=2, ep=2, dp=16))
+        spanned = prod(
+            span.size
+            for group in (
+                mapping.tp_spans, mapping.cp_spans,
+                mapping.ep_spans, mapping.dp_spans,
+            )
+            for span in group
+        )
+        assert spanned == net.num_npus
+
+
+class TestLocatedMappingError:
+    """Satellite: MappingError carries the offending strategy and network,
+    so the strategy-space enumerator prunes without parsing messages."""
+
+    def test_count_mismatch_is_located(self):
+        net = get_topology("4D-4K")
+        p = Parallelism(16, 16)
+        with pytest.raises(MappingError, match="needs") as excinfo:
+            map_parallelism(net, p)
+        assert excinfo.value.parallelism is p
+        assert excinfo.value.network == net.name
+
+    def test_unplaceable_split_is_located(self):
+        net = MultiDimNetwork.from_notation("RI(6)_RI(4)")
+        p = Parallelism(4, 6)
+        with pytest.raises(MappingError, match="cannot be placed") as excinfo:
+            map_parallelism(net, p)
+        assert excinfo.value.parallelism is p
+        assert excinfo.value.network == net.notation
+
+    def test_plain_mapping_errors_default_unlocated(self):
+        exc = MappingError("boundary out of range")
+        assert exc.parallelism is None
+        assert exc.network == ""
+
+
+class TestExtensionPresets:
+    """Satellite: the MoE and long-context Table II extension rows."""
+
+    def test_moe_default_axes(self):
+        workload = build_workload("MoE-1T", 512)
+        p = workload.parallelism
+        assert (p.tp, p.cp, p.ep) == (8, 1, 8)
+        assert p.total_npus == 512
+
+    def test_long_context_default_axes(self):
+        workload = build_workload("Long-128K", 512)
+        p = workload.parallelism
+        assert (p.tp, p.cp, p.ep) == (8, 8, 1)
+        assert p.total_npus == 512
+
+    def test_moe_emits_ep_scope_comms(self):
+        workload = build_workload("MoE-1T", 512)
+        assert workload.comm_bytes_by_scope().get(CommScope.EP, 0.0) > 0
+
+    def test_long_context_emits_cp_scope_comms(self):
+        workload = build_workload("Long-128K", 512)
+        assert workload.comm_bytes_by_scope().get(CommScope.CP, 0.0) > 0
+
+    @pytest.mark.parametrize("name", ["MoE-1T", "Long-128K"])
+    def test_canonical_round_trips_through_json(self, name):
+        workload = build_workload(name, 512)
+        payload = workload.canonical()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_canonical_records_extension_degrees(self):
+        moe = build_workload("MoE-1T", 512).canonical()
+        assert moe["parallelism"]["ep"] == 8
+        assert "cp" not in moe["parallelism"]
+        long_ctx = build_workload("Long-128K", 512).canonical()
+        assert long_ctx["parallelism"]["cp"] == 8
+        assert "ep" not in long_ctx["parallelism"]
+
+    def test_canonical_unchanged_for_classic_presets(self):
+        """Degree-1 axes never appear: every pre-CP/EP digest stands."""
+        payload = build_workload("Turing-NLG", 512).canonical()
+        assert set(payload["parallelism"]) == {"tp", "dp", "pp"}
+
+    def test_default_axes_must_divide_the_system(self):
+        with pytest.raises(MappingError, match="does not divide"):
+            build_workload("MoE-1T", 96)
+
+    def test_preset_override_respects_total(self):
+        p = Parallelism(tp=8, cp=2, ep=4, dp=8)
+        workload = build_workload("MoE-1T", 512, parallelism=p)
+        assert workload.parallelism == p
+        bad = Parallelism(tp=8, dp=8)
+        with pytest.raises(MappingError, match="occupies") as excinfo:
+            build_workload("MoE-1T", 512, parallelism=bad)
+        assert excinfo.value.parallelism is bad

@@ -84,6 +84,8 @@ class TestRegistry:
             "MSFT-1T",
             "DLRM",
             "ResNet-50",
+            "MoE-1T",
+            "Long-128K",
         ]
 
     @pytest.mark.parametrize("name", ["Turing-NLG", "GPT-3", "MSFT-1T", "DLRM", "ResNet-50"])
